@@ -1,0 +1,10 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    """The benchmark world scale (REPRO_BENCH_SCALE, default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

@@ -1,0 +1,159 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Run on a small world (scale 0.02) regardless of REPRO_BENCH_SCALE —
+the un-pruned scans would be prohibitively large at paper scale, which
+is itself the point being demonstrated.
+"""
+
+import random
+
+import pytest
+
+from repro import WorldConfig, build_world
+from repro.relay.egress import EgressPool, RotationPolicy
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan import EcsScanner, EcsScanSettings
+from repro.netmodel.addr import IPAddress
+
+
+@pytest.fixture(scope="module")
+def ablation_world():
+    return build_world(WorldConfig(seed=2022, scale=0.02))
+
+
+class _ClientOnlyRouting:
+    """Routing view restricted to a sample of client prefixes."""
+
+    def __init__(self, world, max_prefixes: int):
+        self._world = world
+        self._prefixes = sorted(
+            (
+                p
+                for p in world.routing.routed_v4_prefixes()
+                if (world.routing.origin_of(p.network_address) or 0) >= 100_000
+            ),
+            key=lambda p: p.value,
+        )[:max_prefixes]
+
+    def routed_v4_prefixes(self):
+        return self._prefixes
+
+    def origin_of(self, address):
+        return self._world.routing.origin_of(address)
+
+
+def test_ablation_scope_pruning(benchmark, ablation_world, run_once):
+    """Respecting server ECS scopes vs blindly walking /24s.
+
+    The paper's ethics measure: honouring scopes wider than /24 cuts
+    query volume by an order of magnitude at identical coverage.
+    """
+    world = ablation_world
+    routing = _ClientOnlyRouting(world, 60)
+
+    def run_both():
+        pruned = EcsScanner(
+            world.route53, routing, world.clock,
+            EcsScanSettings(rate=1e9, respect_scope=True, prune_unrouted=True),
+        ).scan(RELAY_DOMAIN_QUIC)
+        naive = EcsScanner(
+            world.route53, routing, world.clock,
+            EcsScanSettings(rate=1e9, respect_scope=False, prune_unrouted=True),
+        ).scan(RELAY_DOMAIN_QUIC)
+        return pruned, naive
+
+    pruned, naive = run_once(benchmark, run_both)
+    print()
+    print(
+        f"scope pruning: {pruned.queries_sent} queries vs "
+        f"{naive.queries_sent} naive ({naive.queries_sent / pruned.queries_sent:.0f}x)"
+    )
+    assert naive.queries_sent > 5 * pruned.queries_sent
+    assert pruned.addresses() == naive.addresses()
+
+
+def test_ablation_routed_pruning(benchmark, ablation_world, run_once):
+    """Skipping unrouted space: full scans stay bounded by the BGP feed.
+
+    Without pruning, the /24 walk covers all 16.7 M blocks; with it,
+    queries track routed space plus a sparse unrouted sample.
+    """
+    world = ablation_world
+    settings = EcsScanSettings(rate=1e9, prune_unrouted=True)
+    scan = run_once(
+        benchmark,
+        lambda: EcsScanner(world.route53, world.routing, world.clock, settings).scan(
+            RELAY_DOMAIN_QUIC
+        ),
+    )
+    routed_24s = sum(
+        prefix.count_subnets(24) if prefix.length <= 24 else 1
+        for prefix in world.routing.routed_v4_prefixes()
+    )
+    total_24s = 1 << 24
+    print()
+    print(
+        f"routed pruning: {scan.queries_sent} queries "
+        f"({scan.sparse_queries} sparse) vs {routed_24s} routed /24s "
+        f"and {total_24s} total /24s"
+    )
+    assert scan.queries_sent < routed_24s
+    assert scan.queries_sent < total_24s / 100
+    assert scan.sparse_queries > 0
+
+
+def test_ablation_assignment_locality(benchmark, ablation_world, run_once):
+    """Regional pods explain the Atlas coverage gap.
+
+    Tail-country pods hold relays only ever served to client subnets in
+    countries without probes; removing them from the count yields the
+    addresses Atlas can see at best.
+    """
+    world = ablation_world
+    from repro.relay.ingress import RelayProtocol
+
+    at = world.deployment.april_scan_start
+    active = run_once(
+        benchmark,
+        lambda: [
+            r
+            for r in world.ingress_v4.relays
+            if r.is_active(at) and r.protocol is RelayProtocol.QUIC
+        ],
+    )
+    tail = [r for r in active if r.pod.startswith("CC:")]
+    assert tail, "expected tail-pod relays"
+    # Every tail pod's country hosts no probes.
+    probe_countries = {p.country for p in world.atlas.probes.values()}
+    for relay in tail:
+        assert relay.pod[3:] not in probe_countries
+    print()
+    print(
+        f"assignment locality: {len(tail)} of {len(active)} relays are "
+        "invisible to probe-based measurement"
+    )
+
+
+def test_ablation_rotation_policy(benchmark, run_once):
+    """Per-connection rotation vs the VPN-like sticky baseline."""
+    addresses = [IPAddress(4, (172 << 24) | (232 << 16) | i) for i in range(6)]
+
+    def run_policies():
+        results = {}
+        for policy in (RotationPolicy.PER_CONNECTION, RotationPolicy.STICKY):
+            pool = EgressPool(36183, "DE", addresses, policy, stickiness=0.08)
+            rng = random.Random(42)
+            draws = [pool.select("client", rng) for _ in range(2000)]
+            changes = sum(1 for a, b in zip(draws, draws[1:]) if a != b)
+            results[policy] = changes / (len(draws) - 1)
+        return results
+
+    rates = run_once(benchmark, run_policies)
+    print()
+    print(
+        f"rotation policy: per-connection change rate "
+        f"{rates[RotationPolicy.PER_CONNECTION]:.1%}, sticky "
+        f"{rates[RotationPolicy.STICKY]:.1%}"
+    )
+    assert rates[RotationPolicy.PER_CONNECTION] > 0.66
+    assert rates[RotationPolicy.STICKY] == 0.0

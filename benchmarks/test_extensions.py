@@ -1,0 +1,172 @@
+"""Benchmarks for the extension analyses (beyond the paper's figures).
+
+* **correlation attack** — the §6 adversary at fleet scale: only the
+  dual-role AS joins (client, destination) pairs;
+* **passive impact** — ISP attribution collapse and the IDS egress-list
+  mitigation under a relay-heavy workload;
+* **QoE backbone ablation** — how much the CDN backbone discount
+  recovers of the two-hop latency penalty.
+
+These run on a small dedicated world regardless of REPRO_BENCH_SCALE.
+"""
+
+import pytest
+
+from repro import WorldConfig, build_world
+from repro.analysis import (
+    FlowRecord,
+    IspMonitor,
+    PassiveFlow,
+    ServerSideIds,
+    compare_paths,
+    correlate_flows,
+)
+from repro.netmodel.addr import IPAddress
+from repro.relay.ingress import RelayProtocol
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan import EcsScanner, RelayScanConfig, RelayScanner
+
+
+@pytest.fixture(scope="module")
+def ext_world():
+    world = build_world(WorldConfig(seed=2022, scale=0.01))
+    world.clock.advance_to(world.scan_start(2022, 4))
+    return world
+
+
+def test_extension_correlation_attack(benchmark, ext_world, run_once):
+    world = ext_world
+    vantage = world.ground.vantage_prefix
+    ingress_pool = sorted(
+        world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+    )
+    flows = []
+    for i in range(400):
+        client_address = IPAddress(4, vantage.value + 8192 + i)
+        session = world.service.connect(
+            client_address=client_address,
+            client_asn=64496,
+            client_country="DE",
+            client_location=None,
+            ingress_address=ingress_pool[i % len(ingress_pool)],
+            target_authority=f"site-{i}.example",
+            client_key=str(client_address),
+        )
+        flows.append(FlowRecord(tunnel=session.tunnel))
+        world.clock.advance(0.7)
+
+    results = run_once(
+        benchmark,
+        lambda: {
+            asn: correlate_flows(flows, asn)
+            for asn in (64496, 714, 36183, 13335)
+        },
+    )
+    print()
+    for asn, result in results.items():
+        print(
+            f"AS{asn}: sees-both={result.observable_flows} "
+            f"claimed={len(result.pairs)} precision={result.precision:.0%} "
+            f"recall={result.recall:.0%}"
+        )
+    dual = results[36183]
+    assert dual.observable_flows > 0
+    assert dual.precision == 1.0
+    assert dual.recall == 1.0
+    for asn in (64496, 714, 13335):
+        assert results[asn].observable_flows == 0
+        assert not results[asn].pairs
+
+
+def test_extension_passive_impact(benchmark, ext_world, run_once):
+    world = ext_world
+    ecs = EcsScanner(world.route53, world.routing, world.clock).scan(
+        RELAY_DOMAIN_QUIC
+    )
+    world.web_server.clear()
+    client = world.make_vantage_client()
+    scan = RelayScanner(
+        client, world.web_server, world.echo_server, world.clock
+    ).run(RelayScanConfig(60.0, 7200.0), "passive")
+
+    def analyze():
+        flows = [
+            PassiveFlow(r.timestamp, client.address, r.curl.ingress_address,
+                        24_000, "web")
+            for r in scan.rounds
+        ]
+        monitor = IspMonitor(ecs.addresses())
+        isp = monitor.analyze(flows)
+        requests = [(e.timestamp, e.requester) for e in world.web_server.log]
+        naive = ServerSideIds(300.0, 3).analyze(requests)
+        mitigated = ServerSideIds(
+            300.0, 3, egress_list=world.egress_list_may
+        ).analyze(requests)
+        return isp, naive, mitigated
+
+    isp, naive, mitigated = run_once(benchmark, analyze)
+    print()
+    print(f"relay share {isp.relay_share:.0%}; IDS alerts naive={len(naive.alerts)} "
+          f"mitigated={len(mitigated.alerts)}")
+    assert isp.relay_share == 1.0  # every relayed flow detected
+    assert isp.unattributable_bytes > 0
+    assert naive.alerts  # churn looks anomalous without the list
+    assert not mitigated.alerts  # the paper's mitigation works
+
+
+def test_extension_routing_bottlenecks(benchmark, ext_world, run_once):
+    """Future work (i): where is relay traffic routed; any bottlenecks?"""
+    from repro.analysis import build_routing_report
+
+    world = ext_world
+    clients = [c.asys.number for c in world.ground.client_ases]
+    report = run_once(
+        benchmark, lambda: build_routing_report(world.as_graph, clients)
+    )
+    print()
+    print(report.render())
+    assert report.unreachable_clients == 0
+    assert report.single_peer_relay_as()
+    for operator, bottleneck in report.bottlenecks().items():
+        assert bottleneck is not None
+        _asn, share = bottleneck
+        # No single transit carries everything — the deployment has no
+        # absolute choke point, but load concentrates measurably.
+        assert 0.1 < share < 0.9
+
+
+def test_extension_qoe_backbone_ablation(benchmark, ext_world, run_once):
+    world = ext_world
+    client = world.make_vantage_client()
+    scan = RelayScanner(
+        client, world.web_server, world.echo_server, world.clock
+    ).run(RelayScanConfig(300.0, 7200.0), "qoe")
+    sample = next(
+        (r for r in scan.rounds if r.curl.egress_asn == 13335), scan.rounds[0]
+    )
+
+    def sweep():
+        return {
+            factor: compare_paths(
+                world.topology,
+                world.vantage_router_id,
+                sample.curl.ingress_address,
+                sample.curl.egress_address,
+                world.echo_server.address,
+                backbone_factor=factor,
+            )
+            for factor in (1.0, 0.8, 0.6, 0.4)
+        }
+
+    comparisons = run_once(benchmark, sweep)
+    print()
+    for factor, comparison in comparisons.items():
+        print(
+            f"backbone x{factor}: direct {comparison.direct_rtt_ms:.1f} ms, "
+            f"relayed {comparison.relayed_rtt_ms:.1f} ms "
+            f"(+{comparison.overhead_ratio:.0%})"
+        )
+    # Relaying costs latency; a faster backbone monotonically recovers it.
+    rtts = [comparisons[f].relayed_rtt_ms for f in (1.0, 0.8, 0.6, 0.4)]
+    assert rtts == sorted(rtts, reverse=True)
+    assert comparisons[1.0].overhead_ms >= 0

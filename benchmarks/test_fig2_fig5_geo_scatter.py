@@ -1,0 +1,58 @@
+"""Figures 2 and 5 — geolocation of egress subnets per providing AS.
+
+The figures are world maps of subnet locations.  The benchmark
+regenerates the underlying scatter series and asserts their shape: all
+four operators produce point clouds; the clouds concentrate in North
+America and Europe (58 % of subnets represent the US); Cloudflare's
+cloud spans the most countries.
+"""
+
+from repro.analysis import build_egress_facts, build_geo_scatter
+from repro.netmodel.asn import WellKnownAS
+
+from _bench_utils import bench_scale
+
+AKAMAI_PR = int(WellKnownAS.AKAMAI_PR)
+AKAMAI_EG = int(WellKnownAS.AKAMAI_EG)
+CLOUDFLARE = int(WellKnownAS.CLOUDFLARE)
+FASTLY = int(WellKnownAS.FASTLY)
+
+
+def test_fig2_fig5_geo_scatter(benchmark, bench_world, run_once):
+    world = bench_world
+    scatter = run_once(
+        benchmark,
+        lambda: build_geo_scatter(
+            world.egress_list_may, world.routing, world.gazetteer
+        ),
+    )
+    assert set(scatter) == {AKAMAI_PR, AKAMAI_EG, CLOUDFLARE, FASTLY}
+    for asn, points in scatter.items():
+        assert points, f"no scatter points for AS{asn}"
+        assert all(-90 <= lat <= 90 and -180 <= lon <= 180 for lat, lon in points)
+
+    # The NA/EU concentration: most points sit in the northern-western
+    # quadrant band (lat > 0, lon < 60) where NA and EU centroids lie.
+    def na_eu_share(points):
+        hits = sum(1 for lat, lon in points if lat > 5 and lon < 65)
+        return hits / len(points)
+
+    assert na_eu_share(scatter[AKAMAI_PR]) > 0.5
+    assert na_eu_share(scatter[CLOUDFLARE]) > 0.5
+
+    facts = build_egress_facts(
+        world.egress_list_may, world.routing, world.egress_list_jan, world.geodb
+    )
+    print()
+    print(facts.render())
+    for asn, points in sorted(scatter.items()):
+        print(f"AS{asn}: {len(points)} located subnets")
+    assert facts.us_share > 0.40  # paper: 58 %
+    assert facts.second_cc_share < 0.10  # paper: DE at 3.6 %
+    assert facts.cc_coverage[CLOUDFLARE] == max(facts.cc_coverage.values())
+    if bench_scale() == 1.0:
+        assert facts.us_share > 0.5
+        assert facts.cc_coverage[CLOUDFLARE] == 248
+        assert facts.cc_coverage[AKAMAI_PR] == 236
+        assert facts.uniquely_covered.get(CLOUDFLARE, 0) >= 10  # paper: 11
+        assert 100 < facts.ccs_below_50 < 160  # paper: 123

@@ -1,0 +1,40 @@
+"""Figure 3 — egress operator changes over the course of a scan day.
+
+Two step series (open DNS resolution vs fixed local DNS), 5-minute
+request rounds over 24 hours.  Shape targets: only Cloudflare and
+Akamai-PR appear at the vantage (Fastly absent), each series shows only
+a handful of operator changes with no regular pattern, and forcing the
+ingress does not change egress behaviour.
+"""
+
+from repro.analysis import build_rotation_report
+
+
+def test_fig3_operator_changes(benchmark, bench_world, relay_scans, run_once):
+    world = bench_world
+    open_day = relay_scans["open_day"]
+    fixed_day = relay_scans["fixed_day"]
+    report = run_once(
+        benchmark,
+        lambda: build_rotation_report(open_day, fixed_day, world.egress_list_may),
+    )
+
+    figure = report.figure3_series()
+    assert set(figure) == {"open", "fixed"}
+    assert len(figure["open"]) == 288  # 24 h at 5-minute rounds
+    assert len(figure["fixed"]) == 288
+
+    # Only the two locally present operators appear; Fastly never does.
+    assert report.operators_seen() <= {"Cloudflare", "Akamai_PR"}
+
+    changes = report.operator_change_counts()
+    print()
+    print(f"operator changes per scan day: {changes}")
+    for when, old, new in open_day.operator_changes():
+        print(f"  open:  t={when / 3600:5.1f}h  AS{old} -> AS{new}")
+    for when, old, new in fixed_day.operator_changes():
+        print(f"  fixed: t={when / 3600:5.1f}h  AS{old} -> AS{new}")
+    # "A handful" of changes per day, in both variants.
+    assert changes["open"] <= 12
+    assert changes["fixed"] <= 12
+    assert not report.forced_ingress_changes_behaviour()

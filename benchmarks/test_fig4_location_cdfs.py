@@ -1,0 +1,65 @@
+"""Figure 4 — CDFs of subnets over cities and countries per operator.
+
+Four panels: (a) IPv4 cities, (b) IPv6 cities, (c) IPv4 countries,
+(d) IPv6 countries.  Shape targets: every CDF is monotone and heavily
+top-weighted (the US dominates), Akamai-PR's IPv6 city panel extends to
+by far the most locations (~14 k at paper scale), and the country
+panels saturate quickly (a handful of CCs hold most subnets).
+"""
+
+from repro.analysis import build_location_cdfs
+from repro.netmodel.asn import WellKnownAS
+
+from _bench_utils import bench_scale
+
+AKAMAI_PR = int(WellKnownAS.AKAMAI_PR)
+FASTLY = int(WellKnownAS.FASTLY)
+
+
+def test_fig4_location_cdfs(benchmark, bench_world, run_once):
+    world = bench_world
+    cdfs = run_once(
+        benchmark,
+        lambda: build_location_cdfs(world.egress_list_may, world.routing),
+    )
+    panels = {(c.asn, c.version, c.granularity): c for c in cdfs}
+    # All four operators appear in all four panels.
+    operators = {AKAMAI_PR, int(WellKnownAS.AKAMAI_EG), int(WellKnownAS.CLOUDFLARE), FASTLY}
+    for version in (4, 6):
+        for granularity in ("city", "country"):
+            present = {asn for (asn, v, g) in panels if v == version and g == granularity}
+            assert operators <= present
+
+    for cdf in cdfs:
+        series = cdf.series()
+        fractions = [y for _x, y in series]
+        assert fractions == sorted(fractions)
+        assert abs(fractions[-1] - 1.0) < 1e-9
+
+    # Panel (b): Akamai-PR's IPv6 city extent dwarfs Fastly's (the gap
+    # compresses at small scales, where city budgets floor).
+    pr_v6_cities = panels[(AKAMAI_PR, 6, "city")]
+    fastly_v6_cities = panels[(FASTLY, 6, "city")]
+    factor = 3.0 if bench_scale() >= 0.5 else 1.8
+    assert pr_v6_cities.location_count() > factor * fastly_v6_cities.location_count()
+    # Country panels: the top countries hold a disproportionate share
+    # (the long tail gets a minimum of one subnet each, so the head's
+    # share shrinks at small scales).
+    head_share = 0.5 if bench_scale() >= 0.5 else 0.25
+    for (asn, version, granularity), cdf in panels.items():
+        if granularity != "country":
+            continue
+        total = sum(cdf.counts)
+        if total < 2 * cdf.location_count():
+            # Degenerate small-scale panel: barely one subnet per CC.
+            continue
+        assert sum(cdf.counts[:5]) / total > head_share
+
+    print()
+    for (asn, version, granularity), cdf in sorted(panels.items()):
+        print(
+            f"AS{asn} IPv{version} {granularity:>7}: "
+            f"{cdf.location_count():5d} locations"
+        )
+    if bench_scale() == 1.0:
+        assert pr_v6_cities.location_count() > 10_000  # paper: 14 085

@@ -1,0 +1,37 @@
+"""Section 3 — QUIC probing of ingress relays.
+
+Paper findings: standard QUIC handshakes (QScanner, curl) trigger *no*
+response from any ingress node — the attempt times out; the ZMap
+version-negotiation probe succeeds and advertises QUICv1 alongside
+drafts 29 to 27.
+"""
+
+from repro.scan import QuicScanner
+
+
+def test_s3_quic_probing(benchmark, bench_world, april_scan, run_once):
+    world = bench_world
+    addresses = sorted(april_scan.addresses())
+    report = run_once(
+        benchmark, lambda: QuicScanner(world.service).scan(list(addresses))
+    )
+    print()
+    print(
+        f"probed {report.probed}: {report.handshake_timeouts} handshake "
+        f"timeouts, {report.handshake_responses} responses, "
+        f"{report.version_negotiations} version negotiations, "
+        f"versions {report.dominant_versions()}"
+    )
+    assert report.probed == len(addresses)
+    assert report.all_handshakes_timed_out
+    # Every probed relay was still active and answered the VN probe.
+    assert report.version_negotiations + report.unreachable == report.probed
+    assert report.unreachable <= 1  # at most the late relay's sibling churn
+    assert report.dominant_versions() == (
+        "QUICv1",
+        "draft-29",
+        "draft-28",
+        "draft-27",
+    )
+    # All relays advertise the same version set.
+    assert len(report.version_sets) == 1

@@ -1,0 +1,76 @@
+"""Section 4.1 — ECS scan validation via Atlas, IPv6 ingress, blocking.
+
+Paper values: Atlas reports 1382 distinct IPv4 ingress addresses — 200
+fewer than the ECS scan's 1586 — with a single Atlas-only address that
+appeared during the 40-hour ECS scan window; IPv6 measurements find
+1575 addresses (346 Apple + 1229 Akamai-PR); 10 % of probes time out,
+~6-7 % fail with a response (72 % NXDOMAIN / 13 % NOERROR / 5 %
+REFUSED), and 645 probes (5.5 %) are DNS-blocked.
+"""
+
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan import EcsScanner
+
+from _bench_utils import bench_scale
+
+
+def test_s41_atlas_validation(benchmark, bench_world, april_scan, atlas_results, run_once):
+    validation = atlas_results["validation"]
+
+    # Timed step: the verification ECS scan that recovers the single
+    # address Atlas saw first.
+    world = bench_world
+    verification = run_once(
+        benchmark,
+        lambda: EcsScanner(world.route53, world.routing, world.clock).scan(
+            RELAY_DOMAIN_QUIC
+        ),
+    )
+    print()
+    print(
+        f"Atlas: {validation.atlas_count} addresses, ECS: {validation.ecs_count}, "
+        f"Atlas-only: {len(validation.atlas_only)}, ECS-only: {len(validation.ecs_only)}"
+    )
+    assert validation.ecs_count > validation.atlas_count
+    assert len(validation.atlas_only) == 1
+    # The verification scan uncovers the late relay.
+    assert validation.atlas_only <= verification.addresses()
+    if bench_scale() == 1.0:
+        assert validation.ecs_count == 1586
+        assert 1300 < validation.atlas_count < 1450  # paper: 1382
+        assert 150 < len(validation.ecs_only) < 260  # paper: ~200
+
+
+def test_s41_ipv6_ingress(benchmark, bench_world, atlas_results, run_once):
+    world = bench_world
+    report = atlas_results["v6"]
+    by_asn = run_once(benchmark, lambda: report.by_asn(world.routing))
+    print()
+    print(f"IPv6 ingress: {len(report.addresses)} addresses, per AS: {by_asn}")
+    assert set(by_asn) == {714, 36183}
+    assert by_asn[36183] > 2.5 * by_asn[714]  # paper: 1229 vs 346
+    assert report.rounds == 4
+    if bench_scale() == 1.0:
+        assert len(report.addresses) == 1575
+        assert by_asn[714] == 346
+        assert by_asn[36183] == 1229
+
+
+def test_s41_blocking(benchmark, bench_world, atlas_results, run_once):
+    report = atlas_results["blocking"]
+    shares = run_once(benchmark, lambda: report.rcode_breakdown_shares())
+    print()
+    print(
+        f"timeouts {report.timeout_share:.1%}, failures {report.failure_share:.1%}, "
+        f"blocked {report.blocked_probes} ({report.blocked_share:.1%}), "
+        f"rcodes {report.rcode_counts}, hijacks {report.hijacked_probes}"
+    )
+    assert 0.07 < report.timeout_share < 0.13  # paper: 10 %
+    assert not report.timeouts_attributed_to_blocking
+    assert 0.04 < report.failure_share < 0.09  # paper: 7 %
+    assert 0.6 < shares.get("NXDOMAIN", 0.0) < 0.85  # paper: 72 %
+    assert 0.05 < shares.get("NOERROR", 0.0) < 0.25  # paper: 13 %
+    assert report.hijacked_probes == 1
+    assert 0.04 < report.blocked_share < 0.07  # paper: 5.5 %
+    if bench_scale() == 1.0:
+        assert 600 < report.blocked_probes < 700  # paper: 645

@@ -1,0 +1,56 @@
+"""Section 6 — the correlation surface of AS36183.
+
+Paper findings: the Akamai private-relay AS hosts both ingress and
+egress relays; traceroutes to an ingress and an egress address end at
+the same last-hop router; of the 478 IPv4 + 1335 IPv6 prefixes the AS
+announces, ingress relays sit in 201 and egress relays in 1472 — never
+sharing a prefix — for a 92.2 % used fraction; and the AS first became
+visible in BGP in June 2021, the month of the service launch.
+"""
+
+from repro.analysis import build_overlap_report
+
+from _bench_utils import bench_scale
+
+AKAMAI_PR = 36183
+
+
+def test_s6_overlap(benchmark, bench_world, april_scan, atlas_results, relay_scans, run_once):
+    world = bench_world
+    fine = relay_scans["fine"]
+    used_ingress = sorted(
+        a for a in fine.ingress_addresses()
+        if world.routing.origin_of(a) == AKAMAI_PR
+    )
+    used_egress = sorted(
+        r.curl.egress_address for r in fine.rounds if r.curl.egress_asn == AKAMAI_PR
+    )
+    report = run_once(
+        benchmark,
+        lambda: build_overlap_report(
+            world.routing,
+            world.history,
+            april_scan.addresses(),
+            atlas_results["v6"].addresses,
+            world.egress_list_may,
+            world.topology,
+            world.vantage_router_id,
+            used_ingress[0] if used_ingress else None,
+            used_egress[0] if used_egress else None,
+        ),
+    )
+    print()
+    print(report.render())
+
+    assert report.overlap_asns == {AKAMAI_PR}
+    assert report.shared_last_hop
+    assert report.shared_prefixes == 0
+    assert report.first_seen == (2021, 6)
+    assert report.months_examined == 77
+    assert 0.85 < report.used_fraction <= 1.0  # paper: 92.2 %
+    if bench_scale() == 1.0:
+        assert 470 < report.announced_v4 < 490  # paper: 478
+        assert 1320 < report.announced_v6 < 1350  # paper: 1335
+        assert 190 < report.ingress_prefixes < 215  # paper: 201
+        assert 1450 < report.egress_prefixes < 1490  # paper: 1472
+        assert 0.90 < report.used_fraction < 0.95  # paper: 92.2 %

@@ -1,0 +1,42 @@
+"""Table 1 — ingress relay addresses per AS, January through April.
+
+Paper values (scale 1.0):
+
+    ====== ===== ======= ===== =======
+    Month  Apple  Akamai  FB-A  FB-Ak
+    ====== ===== ======= ===== =======
+    Jan     365    823     —     —
+    Feb     355    845    356    0
+    Mar     347    945    334    25
+    Apr     349   1237    336   1062
+    ====== ===== ======= ===== =======
+
+plus +34 % QUIC growth and +293 % fallback growth.
+"""
+
+from repro.analysis import build_table1
+
+from _bench_utils import bench_scale
+
+
+def test_table1_ingress_evolution(benchmark, bench_world, monthly_scans, run_once):
+    table1 = run_once(benchmark, lambda: build_table1(monthly_scans))
+    print()
+    print(table1.render())
+
+    scale = bench_scale()
+    config = bench_world.config
+    # Measured counts equal the deployed (scaled) paper counts exactly:
+    # the ECS scan uncovers the complete fleet.
+    for row, month in zip(table1.rows, config.ingress_months):
+        assert row.default_apple == config.s(month.quic_apple, 4)
+        assert row.default_akamai == config.s(month.quic_akamai, 8)
+    april = table1.rows[-1]
+    if scale == 1.0:
+        assert april.default_total == 1586
+        assert april.fallback_total == 1398
+    # Shape: Akamai's share grows to ~3/4; fallback starts Apple-only.
+    assert april.default_akamai / april.default_total > 0.7
+    assert table1.rows[1].fallback_akamai == 0
+    assert table1.quic_growth() > 0.2  # paper: +34 %
+    assert table1.fallback_growth() > 1.5  # paper: +293 %

@@ -1,0 +1,40 @@
+"""Table 2 — client ASes served by each ingress operator (April scan).
+
+Paper values: Akamai-only 994 M users / 34 627 ASes / 1.1 M subnets;
+Apple-only 105 M / 20 807 / 0.2 M; Both 2 373 M / 17 301 / 10.6 M with
+Apple holding 76 % of the "Both" subnets and 69 % of all subnets.
+"""
+
+from repro.analysis import build_table2
+
+from _bench_utils import bench_scale
+
+
+def test_table2_client_attribution(benchmark, bench_world, april_scan, run_once):
+    world = bench_world
+    table2 = run_once(
+        benchmark, lambda: build_table2(april_scan, world.routing, world.population)
+    )
+    print()
+    print(table2.render())
+
+    config = world.config
+    assert table2.akamai_only_ases == config.s(config.akamai_only_as_count, 4)
+    assert table2.apple_only_ases == config.s(config.apple_only_as_count, 4)
+    assert table2.both_ases == config.s(config.both_as_count, 4)
+
+    def close(measured: int, target: int, tolerance: float = 0.1) -> bool:
+        return abs(measured - target) <= tolerance * target
+
+    assert close(table2.akamai_only_slash24s, config.s(config.akamai_only_slash24s, 16))
+    assert close(table2.apple_only_slash24s, config.s(config.apple_only_slash24s, 8))
+    assert close(table2.both_slash24s, config.s(config.both_slash24s, 32))
+    assert close(table2.both_population, config.s(config.both_population))
+    # The two headline shares.
+    assert 0.72 < table2.apple_share_of_both < 0.80  # paper: 76 %
+    assert 0.65 < table2.apple_share_of_all_subnets < 0.73  # paper: 69 %
+    # "Both" ASes hold the largest user share.
+    assert table2.both_population > table2.akamai_only_population
+    assert table2.akamai_only_population > table2.apple_only_population
+    if bench_scale() == 1.0:
+        assert table2.both_ases == 17301

@@ -1,0 +1,53 @@
+"""Table 3 — egress subnets per operating AS.
+
+Paper values (IPv4 subnets / BGP prefixes / addresses; IPv6 subnets /
+prefixes / CCs): Akamai-PR 9890/301/57589 and 142826/1172/236;
+Akamai-EG 1602/1/5100 and 23495/1/24; Cloudflare 18218/112/18218 and
+26988/2/248; Fastly 8530/81/17060 and 8530/81/236.
+"""
+
+from repro.analysis import build_table3
+from repro.netmodel.asn import WellKnownAS
+
+from _bench_utils import bench_scale
+
+AKAMAI_PR = int(WellKnownAS.AKAMAI_PR)
+AKAMAI_EG = int(WellKnownAS.AKAMAI_EG)
+CLOUDFLARE = int(WellKnownAS.CLOUDFLARE)
+FASTLY = int(WellKnownAS.FASTLY)
+
+
+def test_table3_egress_subnets(benchmark, bench_world, run_once):
+    world = bench_world
+    table3 = run_once(
+        benchmark, lambda: build_table3(world.egress_list_may, world.routing)
+    )
+    print()
+    print(table3.render())
+
+    config = world.config
+    # Subnet counts per operator match the scaled paper values.
+    assert table3.row(AKAMAI_PR).v4_subnets == config.s(config.egress_v4_akamai_pr[0], 8)
+    assert table3.row(AKAMAI_EG).v4_subnets == config.s(config.egress_v4_akamai_eg[0], 8)
+    assert table3.row(CLOUDFLARE).v4_subnets == config.s(config.egress_v4_cloudflare[0], 8)
+    assert table3.row(FASTLY).v4_subnets == config.s(config.egress_v4_fastly[0], 8)
+    # Address-shape: Cloudflare /32s, Fastly /31s, Akamai larger subnets.
+    assert table3.row(CLOUDFLARE).v4_addresses == table3.row(CLOUDFLARE).v4_subnets
+    assert table3.row(FASTLY).v4_addresses == 2 * table3.row(FASTLY).v4_subnets
+    pr = table3.row(AKAMAI_PR)
+    assert 5.0 < pr.v4_addresses / pr.v4_subnets < 6.5  # paper: 5.8
+    # BGP-prefix structure: Akamai-EG announces a single prefix for all
+    # its subnets; Akamai-PR has by far the most IPv6 prefixes.
+    assert table3.row(AKAMAI_EG).v4_bgp_prefixes == 1
+    assert table3.row(AKAMAI_EG).v6_bgp_prefixes == 1
+    assert pr.v6_bgp_prefixes == max(r.v6_bgp_prefixes for r in table3.rows)
+    # Who wins: Cloudflare most IPv4 subnets, Akamai-PR most IPv6 subnets
+    # and the most IPv4 addresses.
+    assert table3.row(CLOUDFLARE).v4_subnets == max(r.v4_subnets for r in table3.rows)
+    assert pr.v6_subnets == max(r.v6_subnets for r in table3.rows)
+    assert pr.v4_addresses == max(r.v4_addresses for r in table3.rows)
+    if bench_scale() == 1.0:
+        assert table3.row(AKAMAI_PR).v4_bgp_prefixes == 301
+        assert table3.row(CLOUDFLARE).v6_countries == 248
+        assert abs(pr.v4_addresses - 57589) < 8
+        assert 230_000 < table3.total_subnets() < 250_000  # paper: ~238 k

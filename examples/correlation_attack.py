@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Section 6 demonstration: who can correlate relay traffic?
+
+Apple's claim: "No one entity can see both who a user is (IP address)
+and what they are accessing (origin server)".  This example generates
+relayed connections from many clients, hands each candidate observer AS
+the flow observations it can legitimately collect, runs the timing
+correlation attack, and reports precision/recall per observer.
+
+The result mirrors the paper: the dual-role AS36183 joins client and
+destination for the flows it carries on both sides; single-role
+operators recover nothing.
+
+Usage::
+
+    python examples/correlation_attack.py [--scale 0.01] [--flows 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import WorldConfig, build_world
+from repro.analysis import FlowRecord, correlate_flows
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.asn import operator_name
+from repro.relay.ingress import RelayProtocol
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--flows", type=int, default=300)
+    args = parser.parse_args()
+
+    world = build_world(WorldConfig(seed=args.seed, scale=args.scale))
+    world.clock.advance_to(world.scan_start(2022, 4))
+
+    # Many distinct clients at the vantage network, each opening one
+    # relayed connection to a distinct destination.
+    vantage = world.ground.vantage_prefix
+    ingress_pool = sorted(
+        world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+    )
+    flows = []
+    for i in range(args.flows):
+        client_address = IPAddress(4, vantage.value + 4096 + i)
+        session = world.service.connect(
+            client_address=client_address,
+            client_asn=64496,
+            client_country="DE",
+            client_location=None,
+            ingress_address=ingress_pool[i % len(ingress_pool)],
+            target_authority=f"site-{i}.example",
+            client_key=str(client_address),
+        )
+        flows.append(FlowRecord(tunnel=session.tunnel))
+        world.clock.advance(0.75)  # connections spaced over time
+
+    observers = {
+        64496: "client ISP (vantage AS)",
+        714: "Apple (ingress only)",
+        36183: "Akamai_PR (ingress AND egress)",
+        13335: "Cloudflare (egress only)",
+    }
+    print(f"{args.flows} relayed connections; per-observer correlation:\n")
+    print(f"{'observer':<34} {'flows seen both sides':>22} {'claimed':>8} "
+          f"{'precision':>10} {'recall':>8}")
+    for asn, label in observers.items():
+        result = correlate_flows(flows, asn)
+        print(
+            f"{label + ' AS' + str(asn):<34} {result.observable_flows:>22} "
+            f"{len(result.pairs):>8} {result.precision:>10.1%} "
+            f"{result.recall:>8.1%}"
+        )
+    print(
+        "\nOnly the AS hosting both relay layers can join (client, "
+        "destination) pairs — the paper's Section 6 finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a reproduction of "Towards a Tectonic Traffic Shift?
+Investigating Apple's New Relay Network" (IMC 2022).
+
+The package has three layers:
+
+* **substrates** (:mod:`repro.netmodel`, :mod:`repro.dns`,
+  :mod:`repro.quic`, :mod:`repro.masque`, :mod:`repro.relay`,
+  :mod:`repro.atlas`) — the Internet, DNS, QUIC/MASQUE, the relay
+  network itself, and a distributed measurement platform;
+* **worldgen** (:mod:`repro.worldgen`) — seeded synthetic worlds
+  calibrated to the paper's ground truth;
+* **measurement** (:mod:`repro.scan`, :mod:`repro.analysis`) — the
+  paper's scanning pipeline and the analyses producing every table and
+  figure.
+
+Quickstart::
+
+    from repro import build_world, WorldConfig
+    from repro.scan import EcsScanner
+    from repro.relay.service import RELAY_DOMAIN_QUIC
+
+    world = build_world(WorldConfig.small())
+    world.clock.advance_to(world.scan_start(2022, 4))
+    scanner = EcsScanner(world.route53, world.routing, world.clock)
+    result = scanner.scan(RELAY_DOMAIN_QUIC)
+    print(len(result.addresses()), "ingress relay addresses uncovered")
+"""
+
+from repro.archive import ArchiveBundle, read_archive, write_archive
+from repro.errors import ReproError
+from repro.worldgen import World, WorldConfig, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchiveBundle",
+    "read_archive",
+    "write_archive",
+    "ReproError",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,82 @@
+"""Analyses that turn scan results into the paper's tables and figures.
+
+Each module mirrors a paper artefact:
+
+* :mod:`repro.analysis.ingress_report` — Tables 1 and 2;
+* :mod:`repro.analysis.egress_report` — Tables 3 and 4, Figures 2/4/5;
+* :mod:`repro.analysis.rotation_report` — Figure 3 and the Section 4.3
+  rotation statistics;
+* :mod:`repro.analysis.overlap` — the Section 6 correlation analysis
+  (shared last hops, AS36183 prefix usage, BGP first occurrence).
+"""
+
+from repro.analysis.correlation import (
+    CorrelationResult,
+    FlowRecord,
+    correlate_flows,
+)
+from repro.analysis.egress_report import (
+    EgressFacts,
+    LocationCdf,
+    Table3Report,
+    Table4Report,
+    build_egress_facts,
+    build_geo_scatter,
+    build_location_cdfs,
+    build_table3,
+    build_table4,
+)
+from repro.analysis.ingress_report import (
+    Table1Report,
+    Table2Report,
+    build_table1,
+    build_table2,
+)
+from repro.analysis.overlap import OverlapReport, build_overlap_report
+from repro.analysis.passive import (
+    IspMonitor,
+    IspReport,
+    PassiveFlow,
+    ServerSideIds,
+)
+from repro.analysis.qoe import PathComparison, compare_paths
+from repro.analysis.routing_report import (
+    RoutingReport,
+    build_routing_report,
+    egress_paths_to_destination,
+)
+from repro.analysis.rotation_report import RotationReport, build_rotation_report
+from repro.analysis.tables import TextTable
+
+__all__ = [
+    "CorrelationResult",
+    "FlowRecord",
+    "correlate_flows",
+    "EgressFacts",
+    "LocationCdf",
+    "Table3Report",
+    "Table4Report",
+    "build_egress_facts",
+    "build_geo_scatter",
+    "build_location_cdfs",
+    "build_table3",
+    "build_table4",
+    "Table1Report",
+    "Table2Report",
+    "build_table1",
+    "build_table2",
+    "OverlapReport",
+    "build_overlap_report",
+    "PathComparison",
+    "compare_paths",
+    "IspMonitor",
+    "IspReport",
+    "PassiveFlow",
+    "ServerSideIds",
+    "RoutingReport",
+    "build_routing_report",
+    "egress_paths_to_destination",
+    "RotationReport",
+    "build_rotation_report",
+    "TextTable",
+]

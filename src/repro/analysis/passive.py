@@ -1,0 +1,184 @@
+"""Passive network analysis under relay traffic (Section 6 discussion).
+
+Two observer roles from the paper's discussion:
+
+* an **ISP monitor** in the client's access network, attributing
+  traffic to services (the Trevisan/Feldmann style of analysis).  With
+  the published ingress dataset it can *detect* relay traffic — the
+  ingress relays "appear as a highly active destination" — but service
+  attribution for those flows is impossible, because every relayed flow
+  terminates at an ingress relay regardless of the real destination;
+
+* a **server-side IDS/DDoS protection** observing requests whose
+  source addresses rotate per connection (the Imperva issue report the
+  paper cites).  Naively it flags anomalous address churn; "consulting
+  the published egress list to identify matching addresses" — the
+  paper's suggested mitigation — recognises the churn as relay egress
+  rotation and suppresses the false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netmodel.addr import IPAddress
+from repro.relay.egress_list import EgressList
+
+
+@dataclass(frozen=True, slots=True)
+class PassiveFlow:
+    """One flow as an access-network monitor records it."""
+
+    timestamp: float
+    src: IPAddress
+    dst: IPAddress
+    bytes_transferred: int
+    #: Ground-truth service label (for evaluating the monitor — the
+    #: monitor itself never reads it).
+    true_service: str = ""
+
+
+@dataclass
+class IspReport:
+    """What the ISP monitor could and could not attribute."""
+
+    total_flows: int = 0
+    relay_flows: int = 0
+    attributed: dict[str, int] = field(default_factory=dict)
+    unattributable_bytes: int = 0
+    top_destinations: list[tuple[IPAddress, int]] = field(default_factory=list)
+
+    @property
+    def relay_share(self) -> float:
+        """Fraction of flows hidden behind the relay."""
+        if not self.total_flows:
+            return 0.0
+        return self.relay_flows / self.total_flows
+
+
+class IspMonitor:
+    """Access-network flow attribution with an ingress dataset."""
+
+    def __init__(
+        self,
+        ingress_addresses: set[IPAddress],
+        service_map: dict[IPAddress, str] | None = None,
+    ) -> None:
+        self.ingress_addresses = set(ingress_addresses)
+        #: Destination address → service name, the monitor's usual tool.
+        self.service_map = dict(service_map or {})
+
+    def analyze(self, flows: list[PassiveFlow]) -> IspReport:
+        """Classify flows; relay flows stay service-unattributable."""
+        report = IspReport(total_flows=len(flows))
+        destination_bytes: dict[IPAddress, int] = {}
+        for flow in flows:
+            destination_bytes[flow.dst] = (
+                destination_bytes.get(flow.dst, 0) + flow.bytes_transferred
+            )
+            if flow.dst in self.ingress_addresses:
+                report.relay_flows += 1
+                report.unattributable_bytes += flow.bytes_transferred
+                continue
+            service = self.service_map.get(flow.dst, "unknown")
+            report.attributed[service] = report.attributed.get(service, 0) + 1
+        report.top_destinations = sorted(
+            destination_bytes.items(), key=lambda kv: -kv[1]
+        )[:10]
+        return report
+
+    def attribution_error(self, flows: list[PassiveFlow]) -> float:
+        """Fraction of flows whose true service the monitor cannot name."""
+        if not flows:
+            return 0.0
+        missed = 0
+        for flow in flows:
+            if flow.dst in self.ingress_addresses:
+                missed += 1
+            elif self.service_map.get(flow.dst, "") != flow.true_service:
+                missed += 1
+        return missed / len(flows)
+
+
+@dataclass(frozen=True, slots=True)
+class IdsAlert:
+    """One anomaly the server-side IDS raised."""
+
+    window_start: float
+    new_addresses: int
+    reason: str
+
+
+@dataclass
+class IdsReport:
+    """Server-side anomaly detection outcome."""
+
+    alerts: list[IdsAlert] = field(default_factory=list)
+    windows_evaluated: int = 0
+    relay_addresses_recognised: int = 0
+
+    @property
+    def alert_rate(self) -> float:
+        if not self.windows_evaluated:
+            return 0.0
+        return len(self.alerts) / self.windows_evaluated
+
+
+class ServerSideIds:
+    """Address-churn anomaly detection, with the paper's mitigation.
+
+    ``churn_threshold`` is the number of never-seen source addresses per
+    window that triggers an alert.  With ``egress_list`` set, addresses
+    inside published egress subnets are recognised as relay egress and
+    excluded from the churn count.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 300.0,
+        churn_threshold: int = 5,
+        egress_list: EgressList | None = None,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self.window_seconds = window_seconds
+        self.churn_threshold = churn_threshold
+        self.egress_list = egress_list
+
+    def analyze(self, requests: list[tuple[float, IPAddress]]) -> IdsReport:
+        """Evaluate request (timestamp, source) pairs window by window."""
+        report = IdsReport()
+        if not requests:
+            return report
+        seen: set[IPAddress] = set()
+        ordered = sorted(requests, key=lambda r: r[0])
+        window_start = ordered[0][0]
+        new_in_window = 0
+
+        def close_window(start: float) -> None:
+            report.windows_evaluated += 1
+            if new_in_window >= self.churn_threshold:
+                report.alerts.append(
+                    IdsAlert(
+                        window_start=start,
+                        new_addresses=new_in_window,
+                        reason="anomalous source-address churn",
+                    )
+                )
+
+        for timestamp, source in ordered:
+            while timestamp >= window_start + self.window_seconds:
+                close_window(window_start)
+                window_start += self.window_seconds
+                new_in_window = 0
+            if (
+                self.egress_list is not None
+                and self.egress_list.contains_address(source)
+            ):
+                report.relay_addresses_recognised += 1
+                continue
+            if source not in seen:
+                seen.add(source)
+                new_in_window += 1
+        close_window(window_start)
+        return report

@@ -1,0 +1,89 @@
+"""Extension: QoE impact of the two-hop relay path (paper §6, item iii).
+
+The paper closes with open questions, one of them: "How does the
+service impact the user's QoE?  Apple claims the impact is low, and
+caching would also lead to faster page load times."  This module makes
+that measurable over the simulated topology:
+
+* the **direct** path latency: client's vantage router → target;
+* the **relayed** path latency: vantage → ingress relay's last hop →
+  (operator backbone) → egress relay's last hop → target;
+* the **backbone discount**: egress CDNs run optimised backbones
+  (Cloudflare's Argo is cited in the paper), modelled as a latency
+  factor < 1 on the inter-relay segment.
+
+``compare_paths`` returns both RTTs plus the relative overhead, so the
+"two hops are (nearly) free thanks to optimised backbones" hypothesis
+can be tested quantitatively — benchmarked in the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class PathComparison:
+    """Direct vs relayed round-trip latency for one target."""
+
+    direct_rtt_ms: float
+    relayed_rtt_ms: float
+
+    @property
+    def overhead_ms(self) -> float:
+        """Absolute RTT added by the relay path."""
+        return self.relayed_rtt_ms - self.direct_rtt_ms
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Relative RTT inflation (0.0 = free relaying)."""
+        if self.direct_rtt_ms <= 0:
+            return 0.0
+        return self.overhead_ms / self.direct_rtt_ms
+
+
+def one_way_latency_ms(
+    topology: Topology, src_router_id: str, destination: IPAddress
+) -> float:
+    """One-way latency from a router to a host over the topology."""
+    path = topology.path_to_host(src_router_id, destination)
+    return topology.path_latency_ms(path)
+
+
+def compare_paths(
+    topology: Topology,
+    vantage_router_id: str,
+    ingress_address: IPAddress,
+    egress_address: IPAddress,
+    target_address: IPAddress,
+    backbone_factor: float = 0.6,
+) -> PathComparison:
+    """Compare direct and relayed RTTs for one target.
+
+    ``backbone_factor`` scales the ingress→egress segment: CDN-operated
+    backbones (Argo-style) forward faster than the public path between
+    the same points.  1.0 disables the optimisation (ablation).
+    """
+    if not 0.0 < backbone_factor <= 1.0:
+        raise TopologyError(f"backbone factor {backbone_factor} out of (0, 1]")
+    direct = one_way_latency_ms(topology, vantage_router_id, target_address)
+    to_ingress = one_way_latency_ms(topology, vantage_router_id, ingress_address)
+    ingress_router = topology.host_router(ingress_address)
+    ingress_to_egress = topology.path_latency_ms(
+        topology.path_to_host(ingress_router.router_id, egress_address)
+    )
+    egress_router = topology.host_router(egress_address)
+    egress_to_target = topology.path_latency_ms(
+        topology.path_to_host(egress_router.router_id, target_address)
+    )
+    relayed = (
+        to_ingress + backbone_factor * ingress_to_egress + egress_to_target
+    )
+    return PathComparison(
+        direct_rtt_ms=round(2 * direct, 3),
+        relayed_rtt_ms=round(2 * relayed, 3),
+    )

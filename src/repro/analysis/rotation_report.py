@@ -1,0 +1,103 @@
+"""Figure 3 and the Section 4.3 rotation findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netmodel.asn import operator_name
+from repro.relay.egress_list import EgressList
+from repro.scan.relay_scanner import RelayScanSeries
+
+
+@dataclass
+class RotationReport:
+    """Derived statistics of one or two relay scan series."""
+
+    open_scan: RelayScanSeries
+    fixed_scan: RelayScanSeries | None = None
+    egress_list: EgressList | None = None
+
+    # -- Figure 3 --------------------------------------------------------
+
+    def figure3_series(self) -> dict[str, list[tuple[float, int]]]:
+        """Per scan variant: the (relative time, operator ASN) step series."""
+        out = {self.open_scan.label: self.open_scan.operator_series()}
+        if self.fixed_scan is not None:
+            out[self.fixed_scan.label] = self.fixed_scan.operator_series()
+        return out
+
+    def operator_change_counts(self) -> dict[str, int]:
+        """Operator flips per scan variant (a handful per day)."""
+        out = {self.open_scan.label: len(self.open_scan.operator_changes())}
+        if self.fixed_scan is not None:
+            out[self.fixed_scan.label] = len(self.fixed_scan.operator_changes())
+        return out
+
+    def operators_seen(self) -> set[str]:
+        """Names of the egress operators observed at the vantage."""
+        asns = set(self.open_scan.operators_seen())
+        if self.fixed_scan is not None:
+            asns |= self.fixed_scan.operators_seen()
+        return {operator_name(asn) for asn in asns}
+
+    # -- rotation statistics ----------------------------------------------
+
+    def address_change_rate(self) -> float:
+        """Back-to-back egress address change rate (>66 % in the paper)."""
+        return self.open_scan.address_change_rate()
+
+    def distinct_address_count(self) -> int:
+        """Distinct egress addresses over the window (6 in the paper)."""
+        return len(self.open_scan.distinct_addresses())
+
+    def distinct_subnet_count(self) -> int:
+        """Distinct published subnets those addresses map to (4)."""
+        if self.egress_list is None:
+            return 0
+        return self.open_scan.distinct_subnets(self.egress_list)
+
+    def parallel_divergence_rate(self) -> float:
+        """How often the simultaneous Safari/curl pair diverged."""
+        return self.open_scan.parallel_divergence_rate()
+
+    def forced_ingress_changes_behaviour(self) -> bool:
+        """Whether forcing the ingress changed egress behaviour.
+
+        The paper observed no differences; True would contradict it.
+        """
+        if self.fixed_scan is None or not self.fixed_scan.rounds:
+            return False
+        open_rate = self.open_scan.address_change_rate()
+        fixed_rate = self.fixed_scan.address_change_rate()
+        if open_rate == 0.0 and fixed_rate == 0.0:
+            return False
+        return abs(open_rate - fixed_rate) > 0.25
+
+    def render(self) -> str:
+        """The rotation findings as prose lines."""
+        lines = [
+            f"operators seen: {', '.join(sorted(self.operators_seen()))}",
+            f"operator changes: {self.operator_change_counts()}",
+            f"address change rate: {self.address_change_rate():.1%}",
+            f"distinct egress addresses: {self.distinct_address_count()}",
+        ]
+        if self.egress_list is not None:
+            lines.append(f"distinct egress subnets: {self.distinct_subnet_count()}")
+        lines.append(
+            f"parallel divergence rate: {self.parallel_divergence_rate():.1%}"
+        )
+        if self.fixed_scan is not None:
+            lines.append(
+                "forced ingress changed egress behaviour: "
+                f"{self.forced_ingress_changes_behaviour()}"
+            )
+        return "\n".join(lines)
+
+
+def build_rotation_report(
+    open_scan: RelayScanSeries,
+    fixed_scan: RelayScanSeries | None = None,
+    egress_list: EgressList | None = None,
+) -> RotationReport:
+    """Bundle scan series into a rotation report."""
+    return RotationReport(open_scan, fixed_scan, egress_list)

@@ -1,0 +1,96 @@
+"""AS-level routing analysis of relay traffic (future work item i).
+
+Answers the paper's open question about where relay traffic is routed
+and whether the system has bottlenecks: computes valley-free AS paths
+from a client-AS sample towards the ingress operators (and from the
+egress operators towards an example destination), aggregates transit
+load shares, and names the heaviest-loaded transit AS.
+
+Also reports the relay AS's connectivity profile — in the generated
+worlds, as in the paper, AS36183's only peering link is to AS20940.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netmodel.asn import WellKnownAS, operator_name
+from repro.netmodel.aspath import ASGraph, AsPath, PathLoad
+
+APPLE = int(WellKnownAS.APPLE)
+AKAMAI_PR = int(WellKnownAS.AKAMAI_PR)
+
+
+@dataclass
+class RoutingReport:
+    """Path-load findings for traffic towards the ingress layer."""
+
+    per_operator: dict[int, PathLoad] = field(default_factory=dict)
+    unreachable_clients: int = 0
+    relay_peers: set[int] = field(default_factory=set)
+
+    def bottlenecks(self) -> dict[int, tuple[int, float] | None]:
+        """Per ingress operator: the heaviest transit AS and its share."""
+        return {
+            asn: load.bottleneck() for asn, load in self.per_operator.items()
+        }
+
+    def average_hops(self) -> dict[int, float]:
+        """Per ingress operator: mean AS-hop count from clients."""
+        return {
+            asn: load.average_hops() for asn, load in self.per_operator.items()
+        }
+
+    def single_peer_relay_as(self) -> bool:
+        """Whether the relay AS has exactly one peering link (AS20940)."""
+        return self.relay_peers == {int(WellKnownAS.AKAMAI_EG)}
+
+    def render(self) -> str:
+        """The path-load findings as prose lines."""
+        lines = []
+        for asn, load in sorted(self.per_operator.items()):
+            bottleneck = load.bottleneck()
+            lines.append(
+                f"towards {operator_name(asn)}: {len(load.paths)} paths, "
+                f"avg {load.average_hops():.1f} AS hops, bottleneck "
+                + (
+                    f"AS{bottleneck[0]} carrying {bottleneck[1]:.0%}"
+                    if bottleneck
+                    else "none"
+                )
+            )
+        lines.append(
+            "relay AS peering links: "
+            + (", ".join(f"AS{p}" for p in sorted(self.relay_peers)) or "none")
+        )
+        if self.unreachable_clients:
+            lines.append(f"unreachable client ASes: {self.unreachable_clients}")
+        return "\n".join(lines)
+
+
+def build_routing_report(
+    graph: ASGraph,
+    client_asns: list[int],
+    ingress_operators: tuple[int, ...] = (APPLE, AKAMAI_PR),
+) -> RoutingReport:
+    """Compute client→ingress path loads over a client-AS sample."""
+    report = RoutingReport(relay_peers=graph.peers_of(AKAMAI_PR))
+    for operator in ingress_operators:
+        report.per_operator[operator] = PathLoad()
+    for client_asn in client_asns:
+        for operator in ingress_operators:
+            path = graph.best_path(client_asn, operator)
+            if path is None:
+                report.unreachable_clients += 1
+                continue
+            report.per_operator[operator].add(path)
+    return report
+
+
+def egress_paths_to_destination(
+    graph: ASGraph, egress_operators: list[int], destination_asn: int
+) -> dict[int, AsPath | None]:
+    """Paths from each egress operator to a destination AS."""
+    return {
+        asn: graph.best_path(asn, destination_asn) for asn in egress_operators
+    }

@@ -1,0 +1,52 @@
+"""Monospace table rendering for reports and benchmark output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TextTable:
+    """A simple left/right-aligned text table."""
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row (cells are str()-converted)."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: list[str]) -> str:
+            out = []
+            for i, cell in enumerate(cells):
+                if i == 0:
+                    out.append(cell.ljust(widths[i]))
+                else:
+                    out.append(cell.rjust(widths[i]))
+            return "  ".join(out)
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a ratio as a percentage with one decimal."""
+    return f"{100.0 * value:.1f}%"

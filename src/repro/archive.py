@@ -1,0 +1,130 @@
+"""Research-data archive bundles.
+
+The paper publishes its data "as a research data archive" (the TUM
+library record) plus rolling results on relay-networks.github.io.
+:func:`write_archive` produces the same kind of bundle from a measured
+campaign — everything a downstream analyst needs, in plain files:
+
+    <dir>/
+      MANIFEST.json            what's inside, seed/scale, scan calendar
+      ingress-default.csv      longitudinal QUIC-relay dataset
+      ingress-fallback.csv     longitudinal fallback-relay dataset
+      egress-ip-ranges.csv     the May egress snapshot
+      egress-ip-ranges-jan.csv the January egress snapshot
+      bgp-origins.csv          per-month visibility of the relay AS
+
+:func:`read_archive` loads a bundle back for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.netmodel.bgp import BgpHistory
+from repro.relay.egress_list import EgressList
+from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+from repro.scan.campaign import ScanCampaign
+from repro.scan.longitudinal import IngressArchive
+
+_MANIFEST = "MANIFEST.json"
+_INGRESS_DEFAULT = "ingress-default.csv"
+_INGRESS_FALLBACK = "ingress-fallback.csv"
+_EGRESS_MAY = "egress-ip-ranges.csv"
+_EGRESS_JAN = "egress-ip-ranges-jan.csv"
+_BGP = "bgp-origins.csv"
+
+#: The AS whose visibility history the archive records.
+RELAY_ASN = 36183
+
+
+@dataclass
+class ArchiveBundle:
+    """A loaded research-data archive."""
+
+    manifest: dict
+    ingress_default: IngressArchive
+    ingress_fallback: IngressArchive
+    egress_may: EgressList
+    egress_jan: EgressList
+    relay_visibility: list[tuple[str, bool]]
+
+    def first_relay_visibility(self) -> str | None:
+        """First month the relay AS was visible, as ``YYYY-MM``."""
+        for month, visible in self.relay_visibility:
+            if visible:
+                return month
+        return None
+
+
+def write_archive(
+    directory: str | pathlib.Path,
+    campaign: ScanCampaign,
+    egress_may: EgressList,
+    egress_jan: EgressList,
+    history: BgpHistory,
+    metadata: dict | None = None,
+) -> pathlib.Path:
+    """Write a campaign's public artefacts as an archive directory."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / _INGRESS_DEFAULT).write_text(campaign.default_archive.to_csv())
+    (path / _INGRESS_FALLBACK).write_text(campaign.fallback_archive.to_csv())
+    (path / _EGRESS_MAY).write_text(egress_may.to_csv())
+    (path / _EGRESS_JAN).write_text(egress_jan.to_csv())
+    lines = ["month,relay_as_visible"]
+    for month, visible in history.visibility_series(RELAY_ASN):
+        lines.append(f"{month},{int(visible)}")
+    (path / _BGP).write_text("\n".join(lines) + "\n")
+    manifest = {
+        "format": "relay-networks-archive/1",
+        "domains": {
+            "default": RELAY_DOMAIN_QUIC,
+            "fallback": RELAY_DOMAIN_FALLBACK,
+        },
+        "scans": [
+            {"year": m.year, "month": m.month,
+             "default_addresses": len(m.default.addresses()),
+             "fallback_addresses": (
+                 len(m.fallback.addresses()) if m.fallback else None
+             )}
+            for m in campaign.months
+        ],
+        "egress_subnets": {"may": len(egress_may), "january": len(egress_jan)},
+        "metadata": metadata or {},
+    }
+    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def read_archive(directory: str | pathlib.Path) -> ArchiveBundle:
+    """Load an archive directory back into analysable objects."""
+    path = pathlib.Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise MeasurementError(f"no archive manifest in {path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != "relay-networks-archive/1":
+        raise MeasurementError(
+            f"unsupported archive format {manifest.get('format')!r}"
+        )
+    visibility: list[tuple[str, bool]] = []
+    for line in (path / _BGP).read_text().splitlines()[1:]:
+        if not line.strip():
+            continue
+        month, _, flag = line.partition(",")
+        visibility.append((month, flag.strip() == "1"))
+    return ArchiveBundle(
+        manifest=manifest,
+        ingress_default=IngressArchive.from_csv(
+            manifest["domains"]["default"], (path / _INGRESS_DEFAULT).read_text()
+        ),
+        ingress_fallback=IngressArchive.from_csv(
+            manifest["domains"]["fallback"], (path / _INGRESS_FALLBACK).read_text()
+        ),
+        egress_may=EgressList.from_csv((path / _EGRESS_MAY).read_text()),
+        egress_jan=EgressList.from_csv((path / _EGRESS_JAN).read_text()),
+        relay_visibility=visibility,
+    )

@@ -1,0 +1,27 @@
+"""A RIPE-Atlas-style distributed measurement platform.
+
+Models the properties of RIPE Atlas the paper leans on: ~10k probes
+spread over thousands of ASes and ~168 countries with a documented bias
+towards North America and Europe; per-probe resolver configurations
+(over half of probes sit behind Google/Cloudflare/Quad9/OpenDNS); and a
+DNS measurement API that can target either the probe's local resolver
+or an authoritative server directly.
+"""
+
+from repro.atlas.measurement import (
+    DnsMeasurementResult,
+    DnsMeasurementSpec,
+    MeasurementTarget,
+    ProbeDnsResult,
+)
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probe import Probe
+
+__all__ = [
+    "AtlasPlatform",
+    "Probe",
+    "DnsMeasurementSpec",
+    "DnsMeasurementResult",
+    "ProbeDnsResult",
+    "MeasurementTarget",
+]

@@ -1,0 +1,134 @@
+"""The measurement platform: probe inventory + measurement execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MeasurementError, ResolutionTimeout
+from repro.atlas.measurement import (
+    DnsMeasurementResult,
+    DnsMeasurementSpec,
+    MeasurementTarget,
+    ProbeDnsResult,
+)
+from repro.atlas.probe import Probe
+from repro.dns.message import DnsMessage
+from repro.dns.name import DnsName
+from repro.dns.rr import RRType
+from repro.dns.server import NameServerRegistry
+from repro.dns.whoami import WhoamiServer
+from repro.simtime import SimClock
+
+
+@dataclass
+class AtlasPlatform:
+    """Probe inventory plus one-off DNS measurement execution."""
+
+    registry: NameServerRegistry
+    clock: SimClock
+    probes: dict[int, Probe] = field(default_factory=dict)
+    #: Simulated seconds per full measurement ("the RIPE Atlas scan only
+    #: takes minutes" — vs 40 hours for the ECS scan).
+    measurement_duration: float = 300.0
+
+    def add_probe(self, probe: Probe) -> Probe:
+        """Register a probe; duplicate ids are an error."""
+        if probe.probe_id in self.probes:
+            raise MeasurementError(f"probe {probe.probe_id} already registered")
+        self.probes[probe.probe_id] = probe
+        return probe
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def probe(self, probe_id: int) -> Probe:
+        """Look up a probe by id."""
+        try:
+            return self.probes[probe_id]
+        except KeyError:
+            raise MeasurementError(f"unknown probe {probe_id}") from None
+
+    # ------------------------------------------------------------------
+    # Inventory properties (the distribution/bias facts the paper cites)
+    # ------------------------------------------------------------------
+
+    def distinct_asns(self) -> set[int]:
+        """ASes hosting at least one probe."""
+        return {p.asn for p in self.probes.values()}
+
+    def distinct_countries(self) -> set[str]:
+        """Countries hosting at least one probe."""
+        return {p.country for p in self.probes.values()}
+
+    def probes_by_region(self) -> dict[str, int]:
+        """Probe counts per region (shows the NA/EU bias)."""
+        counts: dict[str, int] = {}
+        for probe in self.probes.values():
+            counts[probe.region] = counts.get(probe.region, 0) + 1
+        return counts
+
+    def resolver_provider_shares(self) -> dict[str, float]:
+        """Share of probes per public-resolver provider ("local" = none)."""
+        if not self.probes:
+            return {}
+        counts: dict[str, int] = {}
+        for probe in self.probes.values():
+            provider = probe.resolver_provider or "local"
+            counts[provider] = counts.get(provider, 0) + 1
+        total = len(self.probes)
+        return {provider: count / total for provider, count in counts.items()}
+
+    # ------------------------------------------------------------------
+    # Measurement execution
+    # ------------------------------------------------------------------
+
+    def _selected(self, spec: DnsMeasurementSpec) -> list[Probe]:
+        if spec.probe_ids is None:
+            return list(self.probes.values())
+        return [self.probe(pid) for pid in spec.probe_ids]
+
+    def run_dns(self, spec: DnsMeasurementSpec) -> DnsMeasurementResult:
+        """Run a one-off DNS measurement on the selected probes."""
+        started = self.clock.now
+        result = DnsMeasurementResult(spec=spec, started_at=started)
+        for probe in self._selected(spec):
+            result.results.append(self._run_on_probe(probe, spec))
+        self.clock.advance(self.measurement_duration)
+        return result
+
+    def _run_on_probe(self, probe: Probe, spec: DnsMeasurementSpec) -> ProbeDnsResult:
+        if spec.rtype == RRType.AAAA and spec.target is MeasurementTarget.AUTHORITATIVE and not probe.has_ipv6:
+            # Probes without v6 connectivity cannot reach v6-only paths;
+            # they still query their resolver fine, so only the direct
+            # authoritative case degrades.  Modelled as a timeout.
+            return ProbeDnsResult(
+                probe.probe_id, probe.asn, probe.country, rcode=None, timed_out=True
+            )
+        if spec.target is MeasurementTarget.LOCAL_RESOLVER:
+            try:
+                response = probe.resolver.resolve(
+                    spec.domain, spec.rtype, client_address=probe.address
+                )
+            except ResolutionTimeout:
+                return ProbeDnsResult(
+                    probe.probe_id, probe.asn, probe.country, rcode=None, timed_out=True
+                )
+        else:
+            name = DnsName.parse(spec.domain)
+            server = self.registry.authoritative_for(name)
+            if server is None:
+                return ProbeDnsResult(
+                    probe.probe_id, probe.asn, probe.country, rcode=None, timed_out=True
+                )
+            query = DnsMessage.query(name, spec.rtype)
+            if isinstance(server, WhoamiServer):
+                response = server.handle_from(query, probe.address)
+            else:
+                response = server.handle(query, source_address=probe.address)
+        return ProbeDnsResult(
+            probe_id=probe.probe_id,
+            asn=probe.asn,
+            country=probe.country,
+            rcode=response.rcode,
+            addresses=tuple(response.answer_addresses()),
+        )

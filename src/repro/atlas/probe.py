@@ -1,0 +1,40 @@
+"""A measurement probe."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.resolver import Resolver
+from repro.netmodel.addr import IPAddress
+
+
+@dataclass
+class Probe:
+    """One probe: where it sits and how it resolves names.
+
+    ``resolver`` models the probe's configured DNS path end to end —
+    including any middlebox interference — so a probe behind a blocking
+    or hijacking resolver carries that resolver object directly.
+    """
+
+    probe_id: int
+    asn: int
+    country: str
+    region: str
+    address: IPAddress
+    resolver: Resolver
+    address_v6: IPAddress | None = None
+    #: Label of the public resolver service used, if any (for the
+    #: whoami-style resolver-population analysis).
+    resolver_provider: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.address.version != 4:
+            raise ValueError("probe primary address must be IPv4")
+        if self.address_v6 is not None and self.address_v6.version != 6:
+            raise ValueError("probe v6 address must be IPv6")
+
+    @property
+    def has_ipv6(self) -> bool:
+        """Whether the probe can run AAAA measurements natively."""
+        return self.address_v6 is not None

@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+``repro-relay`` exposes the measurement pipeline without writing code:
+
+* ``world-info`` — summarise a generated world;
+* ``ecs-scan`` — run one ECS ingress scan, optionally exporting the
+  longitudinal dataset CSV;
+* ``egress-report`` — Tables 3/4 plus the Section 4.2 facts;
+* ``relay-scan`` — a scan day through the relay with rotation stats;
+* ``blocking`` — the Atlas blocking study;
+* ``reproduce`` — the full paper-vs-measured report (see
+  ``examples/reproduce_paper.py`` for the stand-alone version).
+
+All subcommands take ``--scale`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import WorldConfig, build_world
+from repro.analysis import (
+    build_egress_facts,
+    build_rotation_report,
+    build_table3,
+    build_table4,
+)
+from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+from repro.scan import (
+    EcsScanner,
+    IngressArchive,
+    RelayScanConfig,
+    RelayScanner,
+    classify_blocking,
+)
+from repro.worldgen.world import CONTROL_DOMAIN
+
+INGRESS_ASNS = {714, 36183}
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="world scale (1.0 = paper scale)")
+    parser.add_argument("--seed", type=int, default=2022)
+
+
+def _world(args):
+    return build_world(WorldConfig(seed=args.seed, scale=args.scale))
+
+
+def cmd_world_info(args) -> int:
+    world = _world(args)
+    config = world.config
+    print(f"seed={config.seed} scale={config.scale}")
+    print(f"client ASes:        {len(world.ground.client_ases)}")
+    print(f"client /24 subnets: {world.ground.client_slash24_total()}")
+    print(f"assignment units:   {len(world.assignment)}")
+    print(f"ingress relays v4:  {len(world.ingress_v4.relays)}")
+    print(f"ingress relays v6:  {len(world.ingress_v6.relays)}")
+    print(f"egress subnets:     {len(world.egress_list_may)}")
+    print(f"atlas probes:       {len(world.atlas)} in "
+          f"{len(world.atlas.distinct_asns())} ASes, "
+          f"{len(world.atlas.distinct_countries())} countries")
+    return 0
+
+
+def cmd_ecs_scan(args) -> int:
+    world = _world(args)
+    world.clock.advance_to(world.scan_start(args.year, args.month))
+    domain = RELAY_DOMAIN_FALLBACK if args.fallback else RELAY_DOMAIN_QUIC
+    scanner = EcsScanner(world.route53, world.routing, world.clock)
+    result = scanner.scan(domain)
+    print(f"domain:    {domain}")
+    print(f"queries:   {result.queries_sent} "
+          f"({result.sparse_queries} sparse, "
+          f"{result.duration_hours():.1f} simulated hours)")
+    print(f"addresses: {len(result.addresses())}")
+    for asn, addresses in sorted(result.addresses_by_asn().items()):
+        print(f"  AS{asn}: {len(addresses)}")
+    if args.archive:
+        archive = IngressArchive(domain)
+        archive.record(result)
+        with open(args.archive, "w") as handle:
+            handle.write(archive.to_csv())
+        print(f"wrote {args.archive}")
+    return 0
+
+
+def cmd_egress_report(args) -> int:
+    world = _world(args)
+    print(build_table3(world.egress_list_may, world.routing).render())
+    print()
+    print(build_table4(world.egress_list_may, world.routing).render())
+    print()
+    facts = build_egress_facts(
+        world.egress_list_may, world.routing, world.egress_list_jan, world.geodb
+    )
+    print(facts.render())
+    return 0
+
+
+def cmd_relay_scan(args) -> int:
+    world = _world(args)
+    world.clock.advance_to(world.scan_start(2022, 4))
+    client = world.make_vantage_client()
+    scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
+    series = scanner.run(
+        RelayScanConfig(args.interval, args.duration), "cli-scan"
+    )
+    report = build_rotation_report(series, egress_list=world.egress_list_may)
+    print(f"rounds: {len(series)} (failures: {series.failures})")
+    print(report.render())
+    return 0
+
+
+def cmd_blocking(args) -> int:
+    world = _world(args)
+    world.clock.advance_to(world.scan_start(2022, 4))
+    report = classify_blocking(
+        world.atlas, world.routing, RELAY_DOMAIN_QUIC, CONTROL_DOMAIN, INGRESS_ASNS
+    )
+    print(f"probes:   {report.total_probes}")
+    print(f"timeouts: {report.timeouts} ({report.timeout_share:.1%})")
+    print(f"failures: {report.failures_with_response} ({report.failure_share:.1%})")
+    for rcode, count in sorted(report.rcode_counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {rcode}: {count}")
+    print(f"hijacks:  {report.hijacked_probes}")
+    print(f"blocked:  {report.blocked_probes} ({report.blocked_share:.1%})")
+    return 0
+
+
+def cmd_archive(args) -> int:
+    """Run the full campaign and write the research-data archive."""
+    from repro.archive import write_archive
+    from repro.scan import ScanCampaign
+
+    world = _world(args)
+    campaign = ScanCampaign(world.route53, world.routing, world.clock)
+    campaign.run(world.scan_months())
+    path = write_archive(
+        args.directory,
+        campaign,
+        world.egress_list_may,
+        world.egress_list_jan,
+        world.history,
+        metadata={"seed": args.seed, "scale": args.scale},
+    )
+    print(f"wrote archive to {path}")
+    print(f"  ingress (default):  {len(campaign.default_archive)} addresses")
+    print(f"  ingress (fallback): {len(campaign.fallback_archive)} addresses")
+    print(f"  egress subnets:     {len(world.egress_list_may)}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    # Delegate to the example script's logic for the full report.
+    import runpy
+    import pathlib
+
+    script = (
+        pathlib.Path(__file__).resolve().parents[2] / "examples" / "reproduce_paper.py"
+    )
+    argv = ["reproduce_paper.py", "--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.output:
+        argv += ["--output", args.output]
+    old_argv = sys.argv
+    sys.argv = argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-relay",
+        description="Reproduction toolkit for the IMC'22 iCloud Private Relay study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("world-info", help="summarise a generated world")
+    _add_world_args(p)
+    p.set_defaults(func=cmd_world_info)
+
+    p = sub.add_parser("ecs-scan", help="run one ECS ingress scan")
+    _add_world_args(p)
+    p.add_argument("--year", type=int, default=2022)
+    p.add_argument("--month", type=int, default=4)
+    p.add_argument("--fallback", action="store_true",
+                   help="scan mask-h2.icloud.com instead")
+    p.add_argument("--archive", type=str, default=None,
+                   help="write the longitudinal dataset CSV here")
+    p.set_defaults(func=cmd_ecs_scan)
+
+    p = sub.add_parser("egress-report", help="Tables 3/4 and egress facts")
+    _add_world_args(p)
+    p.set_defaults(func=cmd_egress_report)
+
+    p = sub.add_parser("relay-scan", help="scan through the relay")
+    _add_world_args(p)
+    p.add_argument("--interval", type=float, default=300.0)
+    p.add_argument("--duration", type=float, default=86400.0)
+    p.set_defaults(func=cmd_relay_scan)
+
+    p = sub.add_parser("blocking", help="the Atlas blocking study")
+    _add_world_args(p)
+    p.set_defaults(func=cmd_blocking)
+
+    p = sub.add_parser("archive", help="write the research-data archive")
+    _add_world_args(p)
+    p.add_argument("directory", help="output directory for the bundle")
+    p.set_defaults(func=cmd_archive)
+
+    p = sub.add_parser("reproduce", help="full paper-vs-measured report")
+    _add_world_args(p)
+    p.add_argument("--output", type=str, default=None)
+    p.set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""DNS substrate: messages, wire codec, EDNS0/ECS, servers, resolvers.
+
+Implements enough of the DNS to run the paper's measurement pipeline
+faithfully: RFC 1035 messages with a binary wire codec (including name
+compression), the EDNS0 OPT pseudo-record with the RFC 7871 Client
+Subnet option, an ECS-aware authoritative server modelled on the AWS
+Route 53 behaviour the paper observed for ``mask.icloud.com``, and a
+family of recursive-resolver models covering the blocking behaviours the
+RIPE Atlas study classified (NXDOMAIN, NOERROR-without-data, REFUSED,
+SERVFAIL, FORMERR, timeouts, and one hijacker).
+"""
+
+from repro.dns.edns import ClientSubnetOption, EdnsOptions
+from repro.dns.message import DnsMessage, Opcode, Question, Rcode
+from repro.dns.name import DnsName
+from repro.dns.ratelimit import TokenBucket
+from repro.dns.resolver import (
+    BlockingResolver,
+    HijackingResolver,
+    PublicResolver,
+    RecursiveResolver,
+    Resolver,
+    TimeoutResolver,
+)
+from repro.dns.rr import RRClass, RRType, ResourceRecord
+from repro.dns.server import AuthoritativeServer, EcsPolicy
+from repro.dns.wire import decode_message, encode_message
+from repro.dns.zone import Zone
+
+__all__ = [
+    "ClientSubnetOption",
+    "EdnsOptions",
+    "DnsMessage",
+    "Opcode",
+    "Question",
+    "Rcode",
+    "DnsName",
+    "TokenBucket",
+    "Resolver",
+    "RecursiveResolver",
+    "PublicResolver",
+    "BlockingResolver",
+    "HijackingResolver",
+    "TimeoutResolver",
+    "RRClass",
+    "RRType",
+    "ResourceRecord",
+    "AuthoritativeServer",
+    "EcsPolicy",
+    "decode_message",
+    "encode_message",
+    "Zone",
+]

@@ -1,0 +1,172 @@
+"""DNS over HTTPS (RFC 8484) framing.
+
+The relay's oblivious DNS path carries queries over DoH.  This module
+provides the concrete carrier: queries are encoded with the RFC 1035
+wire codec and wrapped in HTTP exchanges (`POST` with
+``application/dns-message``, or `GET` with base64url per §4.1 of the
+RFC), and a :class:`DohServer` unwraps them, hands them to a resolver
+or authoritative server, and wraps the answer back up.
+
+The HTTP layer is a faithful message model (method, path, headers,
+body, status) rather than a socket implementation — consistent with
+the rest of the simulated transports.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+
+from repro.errors import DnsWireError, ReproError
+from repro.dns.message import DnsMessage
+from repro.dns.resolver import Resolver
+from repro.dns.wire import decode_message, encode_message
+
+DNS_MESSAGE_TYPE = "application/dns-message"
+DOH_PATH = "/dns-query"
+
+
+class DohError(ReproError):
+    """A DoH exchange failed at the HTTP layer."""
+
+
+@dataclass(frozen=True, slots=True)
+class HttpRequest:
+    """One HTTP request in a DoH exchange."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass(frozen=True, slots=True)
+class HttpResponse:
+    """One HTTP response in a DoH exchange."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def encode_doh_post(query: DnsMessage) -> HttpRequest:
+    """Wrap a DNS query as an RFC 8484 POST request.
+
+    Per §4.1, the transaction id SHOULD be 0 for cache friendliness.
+    """
+    wire = encode_message(query.with_id(0))
+    return HttpRequest(
+        method="POST",
+        path=DOH_PATH,
+        headers={
+            "content-type": DNS_MESSAGE_TYPE,
+            "accept": DNS_MESSAGE_TYPE,
+        },
+        body=wire,
+    )
+
+
+def encode_doh_get(query: DnsMessage) -> HttpRequest:
+    """Wrap a DNS query as a GET with base64url ``dns`` parameter."""
+    wire = encode_message(query.with_id(0))
+    encoded = base64.urlsafe_b64encode(wire).rstrip(b"=").decode("ascii")
+    return HttpRequest(
+        method="GET",
+        path=f"{DOH_PATH}?dns={encoded}",
+        headers={"accept": DNS_MESSAGE_TYPE},
+    )
+
+
+def decode_doh_request(request: HttpRequest) -> DnsMessage:
+    """Extract the DNS query from a DoH HTTP request."""
+    if request.method == "POST":
+        if request.headers.get("content-type") != DNS_MESSAGE_TYPE:
+            raise DohError(
+                f"unsupported content type {request.headers.get('content-type')!r}"
+            )
+        return decode_message(request.body)
+    if request.method == "GET":
+        path, _, query_string = request.path.partition("?")
+        if path != DOH_PATH:
+            raise DohError(f"unknown path {path!r}")
+        params = dict(
+            pair.partition("=")[::2] for pair in query_string.split("&") if pair
+        )
+        encoded = params.get("dns")
+        if not encoded:
+            raise DohError("GET request without dns parameter")
+        padding = "=" * (-len(encoded) % 4)
+        try:
+            wire = base64.urlsafe_b64decode(encoded + padding)
+        except (ValueError, TypeError) as exc:
+            raise DohError(f"invalid base64url dns parameter: {exc}") from exc
+        return decode_message(wire)
+    raise DohError(f"unsupported method {request.method!r}")
+
+
+def decode_doh_response(response: HttpResponse) -> DnsMessage:
+    """Extract the DNS answer from a DoH HTTP response."""
+    if not response.ok:
+        raise DohError(f"DoH server returned status {response.status}")
+    if response.headers.get("content-type") != DNS_MESSAGE_TYPE:
+        raise DohError(
+            f"unsupported content type {response.headers.get('content-type')!r}"
+        )
+    return decode_message(response.body)
+
+
+@dataclass
+class DohServer:
+    """A DoH front-end in front of a recursive resolver."""
+
+    resolver: Resolver
+    requests_served: int = 0
+    bad_requests: int = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Process one DoH exchange end to end."""
+        try:
+            query = decode_doh_request(request)
+        except (DohError, DnsWireError):
+            self.bad_requests += 1
+            return HttpResponse(status=400)
+        if query.question is None:
+            self.bad_requests += 1
+            return HttpResponse(status=400)
+        ecs = query.client_subnet
+        client_hint = None
+        if ecs is not None:
+            client_hint = ecs.source.network_address
+        answer = self.resolver.resolve(
+            query.question.name, query.question.rtype, client_address=client_hint
+        )
+        self.requests_served += 1
+        # TTL-derived cache lifetime, as RFC 8484 recommends.
+        ttl = min((rr.ttl for rr in answer.answers), default=0)
+        return HttpResponse(
+            status=200,
+            headers={
+                "content-type": DNS_MESSAGE_TYPE,
+                "cache-control": f"max-age={ttl}",
+            },
+            body=encode_message(answer.with_id(0)),
+        )
+
+
+@dataclass
+class DohClient:
+    """A stub resolver speaking DoH to a :class:`DohServer`."""
+
+    server: DohServer
+    use_get: bool = False
+
+    def resolve(self, query: DnsMessage) -> DnsMessage:
+        """Send one query over DoH and decode the answer."""
+        request = (
+            encode_doh_get(query) if self.use_get else encode_doh_post(query)
+        )
+        return decode_doh_response(self.server.handle(request))

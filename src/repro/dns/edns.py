@@ -1,0 +1,175 @@
+"""EDNS0 options, in particular the RFC 7871 Client Subnet option.
+
+The ECS option is the core mechanism of the paper's ingress enumeration:
+the scanner attaches a /24 client subnet to each query; the authoritative
+server answers with records appropriate for that subnet and echoes a
+*scope prefix length* declaring how wide a block the answer is valid for.
+The scanner's pruning logic (do not re-query inside a scope wider than
+/24) hangs off that field.
+
+This module models the option both as a dataclass and as wire bytes
+(option code 8), including the address-truncation rule: the address field
+carries only ``ceil(source_prefix_length / 8)`` bytes and trailing host
+bits must be zero.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import DnsWireError
+from repro.netmodel.addr import IPAddress, Prefix
+
+OPTION_CODE_CLIENT_SUBNET = 8
+
+#: ECS family codes per the IANA Address Family Numbers registry.
+FAMILY_IPV4 = 1
+FAMILY_IPV6 = 2
+
+
+@dataclass(frozen=True, slots=True)
+class ClientSubnetOption:
+    """An RFC 7871 Client Subnet option.
+
+    ``source`` is the client-announced subnet; ``scope_prefix_length`` is
+    filled in by the responding server (0 in queries).
+    """
+
+    source: Prefix
+    scope_prefix_length: int = 0
+
+    def __post_init__(self) -> None:
+        max_scope = 32 if self.source.version == 4 else 128
+        if not 0 <= self.scope_prefix_length <= max_scope:
+            raise DnsWireError(
+                f"ECS scope {self.scope_prefix_length} out of range for "
+                f"IPv{self.source.version}"
+            )
+
+    @property
+    def family(self) -> int:
+        """The IANA address-family code of the source subnet."""
+        return FAMILY_IPV4 if self.source.version == 4 else FAMILY_IPV6
+
+    def with_scope(self, scope_prefix_length: int) -> "ClientSubnetOption":
+        """Copy of the option with the server-side scope filled in."""
+        return ClientSubnetOption(self.source, scope_prefix_length)
+
+    def scope_prefix(self) -> Prefix:
+        """The subnet the answer is declared valid for.
+
+        A scope shorter than the source widens validity (the scanner may
+        skip the rest of that block); scope 0 means "valid everywhere" —
+        the behaviour the paper observed for all IPv6 ECS queries.
+        """
+        if self.scope_prefix_length >= self.source.length:
+            return self.source
+        return self.source.truncate(self.scope_prefix_length)
+
+    def to_wire(self) -> bytes:
+        """Encode as EDNS option payload (without the code/length frame)."""
+        source_bits = self.source.length
+        address_bytes = (source_bits + 7) // 8
+        packed_full = self.source.network_address.packed()
+        address = packed_full[:address_bytes]
+        return (
+            struct.pack(
+                "!HBB", self.family, source_bits, self.scope_prefix_length
+            )
+            + address
+        )
+
+    @classmethod
+    def from_wire(cls, payload: bytes) -> "ClientSubnetOption":
+        """Decode an EDNS option payload into a Client Subnet option."""
+        if len(payload) < 4:
+            raise DnsWireError(f"ECS option too short: {len(payload)} bytes")
+        family, source_bits, scope_bits = struct.unpack("!HBB", payload[:4])
+        if family == FAMILY_IPV4:
+            version, full_bytes = 4, 4
+        elif family == FAMILY_IPV6:
+            version, full_bytes = 6, 16
+        else:
+            raise DnsWireError(f"unknown ECS address family {family}")
+        address = payload[4:]
+        expected = (source_bits + 7) // 8
+        if len(address) != expected:
+            raise DnsWireError(
+                f"ECS address field is {len(address)} bytes, expected {expected}"
+            )
+        if source_bits > full_bytes * 8:
+            raise DnsWireError(
+                f"ECS source prefix length {source_bits} too long for family"
+            )
+        padded = address + b"\x00" * (full_bytes - len(address))
+        value = int.from_bytes(padded, "big")
+        prefix = Prefix.from_address(IPAddress(version, value), source_bits)
+        if prefix.network_address.packed()[: len(address)] != address:
+            raise DnsWireError("ECS address field has non-zero host bits")
+        return cls(prefix, scope_bits)
+
+
+@dataclass(frozen=True, slots=True)
+class EdnsOptions:
+    """The EDNS0 state carried in a message's OPT pseudo-record."""
+
+    udp_payload_size: int = 1232
+    extended_rcode: int = 0
+    version: int = 0
+    dnssec_ok: bool = False
+    client_subnet: ClientSubnetOption | None = None
+    raw_options: tuple[tuple[int, bytes], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 512 <= self.udp_payload_size <= 65535:
+            raise DnsWireError(
+                f"EDNS UDP payload size {self.udp_payload_size} out of range"
+            )
+        if self.version != 0:
+            raise DnsWireError(f"unsupported EDNS version {self.version}")
+
+    def options_wire(self) -> bytes:
+        """Encode all options as the OPT record's rdata."""
+        chunks = []
+        if self.client_subnet is not None:
+            payload = self.client_subnet.to_wire()
+            chunks.append(
+                struct.pack("!HH", OPTION_CODE_CLIENT_SUBNET, len(payload)) + payload
+            )
+        for code, payload in self.raw_options:
+            chunks.append(struct.pack("!HH", code, len(payload)) + payload)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_options_wire(
+        cls,
+        rdata: bytes,
+        udp_payload_size: int = 1232,
+        extended_rcode: int = 0,
+        dnssec_ok: bool = False,
+    ) -> "EdnsOptions":
+        """Decode OPT rdata into an :class:`EdnsOptions`."""
+        client_subnet = None
+        raw: list[tuple[int, bytes]] = []
+        offset = 0
+        while offset < len(rdata):
+            if offset + 4 > len(rdata):
+                raise DnsWireError("truncated EDNS option header")
+            code, length = struct.unpack("!HH", rdata[offset : offset + 4])
+            offset += 4
+            payload = rdata[offset : offset + length]
+            if len(payload) != length:
+                raise DnsWireError("truncated EDNS option payload")
+            offset += length
+            if code == OPTION_CODE_CLIENT_SUBNET:
+                client_subnet = ClientSubnetOption.from_wire(payload)
+            else:
+                raw.append((code, payload))
+        return cls(
+            udp_payload_size=udp_payload_size,
+            extended_rcode=extended_rcode,
+            dnssec_ok=dnssec_ok,
+            client_subnet=client_subnet,
+            raw_options=tuple(raw),
+        )

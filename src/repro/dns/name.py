@@ -1,0 +1,81 @@
+"""Domain names.
+
+:class:`DnsName` stores a name as a tuple of lowercase labels and
+enforces the RFC 1035 length limits (63 bytes per label, 255 bytes per
+name).  Comparison is case-insensitive by construction, which is what the
+zone lookup and resolver caches need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DnsNameError
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+@dataclass(frozen=True, slots=True)
+class DnsName:
+    """A fully-qualified domain name as a label tuple (root = empty tuple)."""
+
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        total = 1  # terminating root length byte
+        for label in self.labels:
+            if not label:
+                raise DnsNameError("empty label inside name")
+            raw = label.encode("ascii", errors="strict") if label.isascii() else None
+            if raw is None:
+                raise DnsNameError(f"non-ASCII label {label!r}")
+            if len(raw) > MAX_LABEL_LENGTH:
+                raise DnsNameError(f"label {label!r} exceeds {MAX_LABEL_LENGTH} bytes")
+            if label != label.lower():
+                raise DnsNameError(
+                    f"labels must be stored lowercase, got {label!r} "
+                    "(use DnsName.parse for case folding)"
+                )
+            total += 1 + len(raw)
+        if total > MAX_NAME_LENGTH:
+            raise DnsNameError(f"name exceeds {MAX_NAME_LENGTH} bytes")
+
+    @classmethod
+    def parse(cls, text: str) -> "DnsName":
+        """Parse dotted text; a single trailing dot is accepted."""
+        text = text.strip()
+        if text in ("", "."):
+            return cls(())
+        if text.endswith("."):
+            text = text[:-1]
+        labels = tuple(label.lower() for label in text.split("."))
+        if any(not label for label in labels):
+            raise DnsNameError(f"empty label in {text!r}")
+        return cls(labels)
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is the root name."""
+        return not self.labels
+
+    def __str__(self) -> str:
+        if self.is_root:
+            return "."
+        return ".".join(self.labels) + "."
+
+    def parent(self) -> "DnsName":
+        """The name with its leftmost label removed."""
+        if self.is_root:
+            raise DnsNameError("root has no parent")
+        return DnsName(self.labels[1:])
+
+    def is_subdomain_of(self, other: "DnsName") -> bool:
+        """Whether this name equals or is beneath ``other``."""
+        if len(other.labels) > len(self.labels):
+            return False
+        return not other.labels or self.labels[-len(other.labels):] == other.labels
+
+    def child(self, label: str) -> "DnsName":
+        """Prepend a label (case-folded) to form a subdomain."""
+        return DnsName((label.lower(),) + self.labels)

@@ -1,0 +1,75 @@
+"""Token-bucket rate limiting against the simulated clock.
+
+The paper applies "a strict query rate limit" to all scans — strict
+enough that one full ECS scan takes up to 40 hours.  The scanner drains
+a :class:`TokenBucket` before each query; the bucket advances the shared
+:class:`~repro.simtime.SimClock` by however long a real scanner would
+have had to wait, so scan durations (and the fleet churn that happens
+during them) come out right without real sleeping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RateLimitExceeded
+from repro.simtime import SimClock
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float, clock: SimClock) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._tokens = burst
+        self._last = clock.now
+        self.total_waited = 0.0
+
+    def _refill(self) -> None:
+        now = self.clock.now
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, count: float = 1.0) -> bool:
+        """Take tokens if available without waiting; returns success."""
+        if count > self.burst:
+            raise RateLimitExceeded(
+                f"requested {count} tokens exceeds burst capacity {self.burst}"
+            )
+        self._refill()
+        if self._tokens >= count:
+            self._tokens -= count
+            return True
+        return False
+
+    def take(self, count: float = 1.0) -> float:
+        """Take tokens, advancing the simulated clock as needed.
+
+        Returns the simulated seconds waited (0.0 when tokens were ready).
+        """
+        if count > self.burst:
+            raise RateLimitExceeded(
+                f"requested {count} tokens exceeds burst capacity {self.burst}"
+            )
+        self._refill()
+        if self._tokens >= count:
+            self._tokens -= count
+            return 0.0
+        deficit = count - self._tokens
+        wait = deficit / self.rate
+        self.clock.advance(wait)
+        self._refill()
+        self._tokens -= count
+        self.total_waited += wait
+        return wait

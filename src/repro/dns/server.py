@@ -1,0 +1,203 @@
+"""ECS-aware authoritative name server.
+
+Models the behaviour the paper observed from the AWS Route 53 servers
+authoritative for the iCloud Private Relay domains:
+
+* IPv4 ECS queries are honoured — the answer depends on the client
+  subnet, and the response echoes the option with a scope prefix length
+  declaring the answer's validity range ("the name server always uses
+  the subnet provided in the query"; scope can be *shorter* than the
+  source, which the scanner's ethics pruning relies on).
+* IPv6 ECS queries always come back with **scope 0**, i.e. the response
+  claims validity for the entire IPv6 space — the reason the paper's ECS
+  enumeration "does not work for IPv6".
+
+The per-subnet answer computation itself lives in the zone's dynamic
+handlers (see :mod:`repro.dns.zone`); this module implements the message
+handling, ECS policy, and query accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.message import DnsMessage, Opcode, Rcode
+from repro.dns.name import DnsName
+from repro.dns.zone import Zone
+from repro.netmodel.addr import IPAddress, Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class EcsPolicy:
+    """How a server treats EDNS Client Subnet options.
+
+    ``max_source_v4`` caps the honoured IPv4 source length (RFC 7871
+    recommends truncating overly specific subnets); ``ipv6_scope_zero``
+    reproduces the observed always-/0 behaviour for IPv6 sources.
+    """
+
+    enabled: bool = True
+    max_source_v4: int = 24
+    ipv6_scope_zero: bool = True
+
+    def effective_subnet(self, subnet: Prefix | None) -> Prefix | None:
+        """The subnet the answer computation may depend on."""
+        if not self.enabled or subnet is None:
+            return None
+        if subnet.version == 4 and subnet.length > self.max_source_v4:
+            return subnet.truncate(self.max_source_v4)
+        return subnet
+
+    def response_scope(self, subnet: Prefix, zone_scope: int | None) -> int:
+        """The scope prefix length to place in the response's ECS option."""
+        if subnet.version == 6 and self.ipv6_scope_zero:
+            return 0
+        if zone_scope is not None:
+            return zone_scope
+        return min(subnet.length, self.max_source_v4 if subnet.version == 4 else 56)
+
+
+@dataclass
+class ServerStats:
+    """Query accounting, used by the ethics/ablation analyses."""
+
+    queries: int = 0
+    ecs_queries: int = 0
+    nxdomain: int = 0
+    nodata: int = 0
+    answered: int = 0
+    refused: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.queries = 0
+        self.ecs_queries = 0
+        self.nxdomain = 0
+        self.nodata = 0
+        self.answered = 0
+        self.refused = 0
+
+
+class AuthoritativeServer:
+    """Serves one or more zones, honouring ECS per its policy."""
+
+    def __init__(self, address: IPAddress, ecs_policy: EcsPolicy | None = None, name: str = "") -> None:
+        self.address = address
+        self.name = name or f"auth@{address}"
+        self.ecs_policy = ecs_policy or EcsPolicy()
+        self.stats = ServerStats()
+        self._zones: list[Zone] = []
+
+    def add_zone(self, zone: Zone) -> Zone:
+        """Attach a zone to this server."""
+        self._zones.append(zone)
+        return zone
+
+    def zones(self) -> list[Zone]:
+        """All attached zones."""
+        return list(self._zones)
+
+    def zone_for(self, name: DnsName) -> Zone | None:
+        """The most specific attached zone containing ``name``."""
+        best: Zone | None = None
+        for zone in self._zones:
+            if name.is_subdomain_of(zone.apex):
+                if best is None or len(zone.apex.labels) > len(best.apex.labels):
+                    best = zone
+        return best
+
+    def handle(
+        self, query: DnsMessage, source_address: IPAddress | None = None
+    ) -> DnsMessage:
+        """Answer one query message.
+
+        ``source_address`` is the transport-level source of the query —
+        the recursive resolver's egress address.  When the query carries
+        no ECS option, location-dependent zones fall back to it (how
+        Route 53 geolocates queries from non-ECS resolvers such as
+        Cloudflare's 1.1.1.1).
+        """
+        self.stats.queries += 1
+        if query.is_response or query.opcode != Opcode.QUERY or query.question is None:
+            self.stats.refused += 1
+            return query.reply(rcode=Rcode.FORMERR, recursion_available=False)
+        question = query.question
+        zone = self.zone_for(question.name)
+        if zone is None:
+            self.stats.refused += 1
+            return query.reply(rcode=Rcode.REFUSED, recursion_available=False)
+        subnet = None
+        ecs_option = query.client_subnet
+        if ecs_option is not None:
+            self.stats.ecs_queries += 1
+            subnet = self.ecs_policy.effective_subnet(ecs_option.source)
+        elif source_address is not None:
+            length = (
+                self.ecs_policy.max_source_v4 if source_address.version == 4 else 56
+            )
+            subnet = source_address.to_prefix(length)
+        result = zone.lookup(question.name, question.rtype, subnet)
+        scope = None
+        if ecs_option is not None:
+            scope = self.ecs_policy.response_scope(
+                ecs_option.source, result.scope_override
+            )
+        if not result.exists:
+            self.stats.nxdomain += 1
+            return query.reply(
+                rcode=Rcode.NXDOMAIN,
+                authoritative=True,
+                recursion_available=False,
+                ecs_scope=scope,
+            )
+        if result.is_nodata:
+            self.stats.nodata += 1
+            return query.reply(
+                rcode=Rcode.NOERROR,
+                authoritative=True,
+                recursion_available=False,
+                ecs_scope=scope,
+            )
+        self.stats.answered += 1
+        return query.reply(
+            rcode=Rcode.NOERROR,
+            answers=tuple(result.records),
+            authoritative=True,
+            recursion_available=False,
+            ecs_scope=scope,
+        )
+
+    def serves(self, name: DnsName) -> bool:
+        """Whether this server is authoritative for ``name``."""
+        return self.zone_for(name) is not None
+
+
+class NameServerRegistry:
+    """Maps names to the authoritative server responsible for them.
+
+    Stands in for delegation-following: recursive resolvers ask the
+    registry which server to contact instead of walking the root.
+    """
+
+    def __init__(self) -> None:
+        self._servers: list[AuthoritativeServer] = []
+
+    def register(self, server: AuthoritativeServer) -> AuthoritativeServer:
+        """Add a server to the registry."""
+        self._servers.append(server)
+        return server
+
+    def servers(self) -> list[AuthoritativeServer]:
+        """All registered servers."""
+        return list(self._servers)
+
+    def authoritative_for(self, name: DnsName) -> AuthoritativeServer | None:
+        """The server with the most specific zone for ``name``, or None."""
+        best: AuthoritativeServer | None = None
+        best_depth = -1
+        for server in self._servers:
+            zone = server.zone_for(name)
+            if zone is not None and len(zone.apex.labels) > best_depth:
+                best = server
+                best_depth = len(zone.apex.labels)
+        return best

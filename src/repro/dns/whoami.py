@@ -1,0 +1,69 @@
+"""A ``whoami.akamai.net``-style resolver-identity service.
+
+The paper measured ``whoami.akamai.net`` from RIPE Atlas probes to learn
+which recursive resolver each probe's queries actually reach the
+authoritative layer from — finding more than half of probes behind the
+big four public resolvers.
+
+The real service returns the requester's (i.e. the recursive resolver's)
+IP address as an A record.  Here the requester address is threaded
+through the resolver models: a resolver stamps its egress address into
+the query context before contacting the authoritative server.
+"""
+
+from __future__ import annotations
+
+from repro.dns.message import DnsMessage, Rcode
+from repro.dns.name import DnsName
+from repro.dns.rr import RRType, a_record, aaaa_record
+from repro.dns.server import AuthoritativeServer, EcsPolicy
+from repro.dns.zone import Zone
+from repro.netmodel.addr import IPAddress
+
+WHOAMI_DOMAIN = "whoami.akamai.net."
+
+
+class WhoamiServer(AuthoritativeServer):
+    """Authoritative server answering with the querying resolver's address.
+
+    The resolver's egress address arrives via :meth:`handle_from`; plain
+    :meth:`handle` calls (no known requester) return NODATA, matching the
+    real service queried directly without a resolver in between.
+    """
+
+    def __init__(self, address: IPAddress) -> None:
+        super().__init__(address, EcsPolicy(enabled=False), name="whoami")
+        self._zone = Zone(WHOAMI_DOMAIN)
+        self._name = DnsName.parse(WHOAMI_DOMAIN)
+        # The name exists even without a requester context: direct
+        # queries yield NODATA rather than NXDOMAIN.
+        self._zone.add_dynamic(self._name, RRType.A, lambda _n, _s: ([], None))
+        self._zone.add_dynamic(self._name, RRType.AAAA, lambda _n, _s: ([], None))
+        self.add_zone(self._zone)
+
+    def handle_from(self, query: DnsMessage, requester: IPAddress) -> DnsMessage:
+        """Answer a query arriving from ``requester`` (the resolver)."""
+        self.stats.queries += 1
+        question = query.question
+        if question is None or question.name != self._name:
+            return self.handle(query)
+        if question.rtype == RRType.A and requester.version == 4:
+            self.stats.answered += 1
+            return query.reply(
+                rcode=Rcode.NOERROR,
+                answers=(a_record(self._name, requester),),
+                authoritative=True,
+                recursion_available=False,
+            )
+        if question.rtype == RRType.AAAA and requester.version == 6:
+            self.stats.answered += 1
+            return query.reply(
+                rcode=Rcode.NOERROR,
+                answers=(aaaa_record(self._name, requester),),
+                authoritative=True,
+                recursion_available=False,
+            )
+        self.stats.nodata += 1
+        return query.reply(
+            rcode=Rcode.NOERROR, authoritative=True, recursion_available=False
+        )

@@ -1,0 +1,363 @@
+"""RFC 1035 wire codec with name compression.
+
+Round-trips :class:`~repro.dns.message.DnsMessage` objects to and from
+the binary format a real scanner would put on the wire, including the
+EDNS0 OPT pseudo-record framing (requestor payload size in the CLASS
+field, extended rcode/version/DO bit in the TTL field) and RFC 7871 ECS
+options inside it.
+
+The simulated transports exchange message objects directly for speed,
+but the codec is part of the public API (and the test suite round-trips
+every message shape through it) so the library is usable for real
+packet-level tooling.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DnsWireError
+from repro.dns.edns import EdnsOptions
+from repro.dns.message import DnsMessage, Opcode, Question, Rcode
+from repro.dns.name import DnsName
+from repro.dns.rr import RRClass, RRType, ResourceRecord, SoaData
+from repro.netmodel.addr import IPAddress
+
+_POINTER_MASK = 0xC0
+MAX_UDP_MESSAGE = 65535
+
+
+class _Writer:
+    """Accumulates wire bytes and tracks name-compression offsets."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+        self.length = 0
+        self._name_offsets: dict[tuple[str, ...], int] = {}
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+        self.length += len(data)
+
+    def write_name(self, name: DnsName) -> None:
+        """Write a (possibly compressed) domain name."""
+        labels = name.labels
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            offset = self._name_offsets.get(suffix)
+            if offset is not None:
+                self.write(struct.pack("!H", 0xC000 | offset))
+                return
+            if self.length < 0x3FFF:
+                self._name_offsets[suffix] = self.length
+            label = labels[i].encode("ascii")
+            self.write(bytes([len(label)]) + label)
+        self.write(b"\x00")
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class _Reader:
+    """Cursor over wire bytes with compression-pointer-safe name reads."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def read(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise DnsWireError(
+                f"truncated message: need {count} bytes at offset {self.offset}"
+            )
+        chunk = self.data[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read(4))[0]
+
+    def read_name(self) -> DnsName:
+        labels: list[str] = []
+        jumps = 0
+        offset = self.offset
+        followed_pointer = False
+        while True:
+            if offset >= len(self.data):
+                raise DnsWireError("name runs past end of message")
+            length = self.data[offset]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if offset + 1 >= len(self.data):
+                    raise DnsWireError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self.data[offset + 1]
+                if not followed_pointer:
+                    self.offset = offset + 2
+                    followed_pointer = True
+                jumps += 1
+                if jumps > 127:
+                    raise DnsWireError("compression pointer loop")
+                if target >= offset:
+                    raise DnsWireError("forward compression pointer")
+                offset = target
+                continue
+            if length & _POINTER_MASK:
+                raise DnsWireError(f"reserved label type {length:#x}")
+            if length == 0:
+                if not followed_pointer:
+                    self.offset = offset + 1
+                break
+            start = offset + 1
+            end = start + length
+            if end > len(self.data):
+                raise DnsWireError("label runs past end of message")
+            labels.append(self.data[start:end].decode("ascii").lower())
+            offset = end
+        return DnsName(tuple(labels))
+
+
+def _encode_rdata(rr: ResourceRecord, writer: _Writer) -> None:
+    """Write an RR's RDLENGTH and RDATA (with name compression inside)."""
+    if rr.rtype in (RRType.A, RRType.AAAA):
+        assert isinstance(rr.rdata, IPAddress)
+        payload = rr.rdata.packed()
+        writer.write(struct.pack("!H", len(payload)) + payload)
+    elif rr.rtype in (RRType.CNAME, RRType.NS):
+        assert isinstance(rr.rdata, DnsName)
+        # Name rdata is written uncompressed: RDLENGTH must be known before
+        # the rdata bytes, which rules out patching in pointers later.
+        payload = b"".join(
+            bytes([len(label)]) + label.encode("ascii") for label in rr.rdata.labels
+        ) + b"\x00"
+        writer.write(struct.pack("!H", len(payload)) + payload)
+    elif rr.rtype == RRType.TXT:
+        assert isinstance(rr.rdata, tuple)
+        chunks = []
+        for text in rr.rdata:
+            raw = text.encode("utf-8")
+            if len(raw) > 255:
+                raise DnsWireError(f"TXT string exceeds 255 bytes: {text[:40]!r}...")
+            chunks.append(bytes([len(raw)]) + raw)
+        payload = b"".join(chunks)
+        writer.write(struct.pack("!H", len(payload)) + payload)
+    elif rr.rtype == RRType.SOA:
+        assert isinstance(rr.rdata, SoaData)
+        soa = rr.rdata
+        names = b""
+        for name in (soa.mname, soa.rname):
+            names += b"".join(
+                bytes([len(label)]) + label.encode("ascii") for label in name.labels
+            ) + b"\x00"
+        payload = names + struct.pack(
+            "!IIIII", soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+        )
+        writer.write(struct.pack("!H", len(payload)) + payload)
+    elif rr.rtype == RRType.OPT:
+        assert isinstance(rr.rdata, bytes)
+        writer.write(struct.pack("!H", len(rr.rdata)) + rr.rdata)
+    else:
+        raise DnsWireError(f"cannot encode rdata for type {rr.rtype!r}")
+
+
+def _decode_rdata(rtype: RRType, payload: bytes) -> object:
+    """Decode RDATA bytes for a record type."""
+    if rtype == RRType.A:
+        if len(payload) != 4:
+            raise DnsWireError(f"A rdata must be 4 bytes, got {len(payload)}")
+        return IPAddress.from_packed(payload)
+    if rtype == RRType.AAAA:
+        if len(payload) != 16:
+            raise DnsWireError(f"AAAA rdata must be 16 bytes, got {len(payload)}")
+        return IPAddress.from_packed(payload)
+    if rtype in (RRType.CNAME, RRType.NS):
+        return _Reader(payload).read_name()
+    if rtype == RRType.TXT:
+        strings = []
+        reader = _Reader(payload)
+        while reader.offset < len(payload):
+            length = reader.read_u8()
+            strings.append(reader.read(length).decode("utf-8"))
+        return tuple(strings)
+    if rtype == RRType.SOA:
+        reader = _Reader(payload)
+        mname = reader.read_name()
+        rname = reader.read_name()
+        serial = reader.read_u32()
+        refresh = reader.read_u32()
+        retry = reader.read_u32()
+        expire = reader.read_u32()
+        minimum = reader.read_u32()
+        return SoaData(mname, rname, serial, refresh, retry, expire, minimum)
+    if rtype == RRType.OPT:
+        return payload
+    raise DnsWireError(f"cannot decode rdata for type {rtype!r}")
+
+
+def _encode_record(rr: ResourceRecord, writer: _Writer) -> None:
+    writer.write_name(rr.name)
+    writer.write(struct.pack("!HHI", rr.rtype, rr.rclass, rr.ttl))
+    _encode_rdata(rr, writer)
+
+
+def _opt_record(edns: EdnsOptions) -> ResourceRecord:
+    """Build the OPT pseudo-record for a message's EDNS options."""
+    ttl = (edns.extended_rcode << 24) | (edns.version << 16)
+    if edns.dnssec_ok:
+        ttl |= 0x8000
+    return ResourceRecord(
+        name=DnsName(()),
+        rtype=RRType.OPT,
+        rclass=_opt_class(edns.udp_payload_size),
+        ttl=ttl,
+        rdata=edns.options_wire(),
+    )
+
+
+class _OptClass(int):
+    """OPT CLASS field carrying a UDP payload size (not a real RRClass)."""
+
+    @property
+    def name(self) -> str:  # pragma: no cover - debug repr only
+        return f"PAYLOAD({int(self)})"
+
+
+def _opt_class(size: int) -> RRClass:
+    # The OPT CLASS field carries the payload size, which is not a member
+    # of the RRClass enum; smuggle it through as a plain int subclass.
+    return _OptClass(size)  # type: ignore[return-value]
+
+
+def encode_message(message: DnsMessage) -> bytes:
+    """Serialise a message to RFC 1035 wire format."""
+    writer = _Writer()
+    flags = 0
+    if message.is_response:
+        flags |= 0x8000
+    flags |= (message.opcode & 0xF) << 11
+    if message.authoritative:
+        flags |= 0x0400
+    if message.truncated:
+        flags |= 0x0200
+    if message.recursion_desired:
+        flags |= 0x0100
+    if message.recursion_available:
+        flags |= 0x0080
+    flags |= message.rcode & 0xF
+    additionals = list(message.additionals)
+    if message.edns is not None:
+        additionals.append(_opt_record(message.edns))
+    writer.write(
+        struct.pack(
+            "!HHHHHH",
+            message.message_id,
+            flags,
+            1 if message.question else 0,
+            len(message.answers),
+            len(message.authorities),
+            len(additionals),
+        )
+    )
+    if message.question is not None:
+        writer.write_name(message.question.name)
+        writer.write(struct.pack("!HH", message.question.rtype, message.question.rclass))
+    for rr in message.answers:
+        _encode_record(rr, writer)
+    for rr in message.authorities:
+        _encode_record(rr, writer)
+    for rr in additionals:
+        _encode_record(rr, writer)
+    wire = writer.getvalue()
+    if len(wire) > MAX_UDP_MESSAGE:
+        raise DnsWireError(f"message exceeds {MAX_UDP_MESSAGE} bytes")
+    return wire
+
+
+def _read_record(reader: _Reader) -> ResourceRecord:
+    name = reader.read_name()
+    rtype_code = reader.read_u16()
+    rclass_code = reader.read_u16()
+    ttl = reader.read_u32()
+    rdlength = reader.read_u16()
+    payload = reader.read(rdlength)
+    try:
+        rtype = RRType(rtype_code)
+    except ValueError:
+        raise DnsWireError(f"unsupported record type {rtype_code}") from None
+    if rtype == RRType.OPT:
+        # CLASS carries the payload size; TTL carries ext-rcode/version/DO.
+        return ResourceRecord(name, rtype, _opt_class(rclass_code), ttl & 0x7FFFFFFF, payload)
+    try:
+        rclass = RRClass(rclass_code)
+    except ValueError:
+        raise DnsWireError(f"unsupported record class {rclass_code}") from None
+    rdata = _decode_rdata(rtype, payload)
+    return ResourceRecord(name, rtype, rclass, ttl, rdata)  # type: ignore[arg-type]
+
+
+def decode_message(wire: bytes) -> DnsMessage:
+    """Parse RFC 1035 wire format into a message object."""
+    reader = _Reader(wire)
+    if len(wire) < 12:
+        raise DnsWireError(f"message shorter than header: {len(wire)} bytes")
+    message_id = reader.read_u16()
+    flags = reader.read_u16()
+    qdcount = reader.read_u16()
+    ancount = reader.read_u16()
+    nscount = reader.read_u16()
+    arcount = reader.read_u16()
+    if qdcount > 1:
+        raise DnsWireError(f"multi-question messages unsupported ({qdcount})")
+    question = None
+    if qdcount:
+        qname = reader.read_name()
+        qtype_code = reader.read_u16()
+        qclass_code = reader.read_u16()
+        try:
+            question = Question(qname, RRType(qtype_code), RRClass(qclass_code))
+        except ValueError as exc:
+            raise DnsWireError(f"unsupported question: {exc}") from None
+    answers = tuple(_read_record(reader) for _ in range(ancount))
+    authorities = tuple(_read_record(reader) for _ in range(nscount))
+    raw_additionals = [_read_record(reader) for _ in range(arcount)]
+    edns = None
+    additionals = []
+    for rr in raw_additionals:
+        if rr.rtype == RRType.OPT:
+            if edns is not None:
+                raise DnsWireError("multiple OPT records")
+            ttl = rr.ttl
+            assert isinstance(rr.rdata, bytes)
+            edns = EdnsOptions.from_options_wire(
+                rr.rdata,
+                udp_payload_size=max(512, int(rr.rclass)),
+                extended_rcode=(ttl >> 24) & 0xFF,
+                dnssec_ok=bool(ttl & 0x8000),
+            )
+        else:
+            additionals.append(rr)
+    try:
+        opcode = Opcode((flags >> 11) & 0xF)
+        rcode = Rcode(flags & 0xF)
+    except ValueError as exc:
+        raise DnsWireError(f"unsupported opcode/rcode: {exc}") from None
+    return DnsMessage(
+        message_id=message_id,
+        is_response=bool(flags & 0x8000),
+        opcode=opcode,
+        authoritative=bool(flags & 0x0400),
+        truncated=bool(flags & 0x0200),
+        recursion_desired=bool(flags & 0x0100),
+        recursion_available=bool(flags & 0x0080),
+        rcode=rcode,
+        question=question,
+        answers=answers,
+        authorities=authorities,
+        additionals=tuple(additionals),
+        edns=edns,
+    )

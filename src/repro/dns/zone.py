@@ -1,0 +1,120 @@
+"""Authoritative zone data.
+
+A :class:`Zone` owns an apex name, an SOA, and a set of records indexed
+by owner name and type.  Lookups distinguish NXDOMAIN (no records at the
+name at all) from NODATA (records exist, but not of the queried type) —
+a distinction the blocking study depends on, since blocking resolvers
+forge exactly these shapes.
+
+Besides static records, a zone supports *dynamic names*: a callable
+registered for an (owner, rtype) pair computes the record set per query,
+optionally as a function of the ECS client subnet.  The relay service
+registers its ingress assignment logic this way, mirroring how Route 53
+serves subnet-dependent answers for ``mask.icloud.com``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ZoneError
+from repro.dns.name import DnsName
+from repro.dns.rr import RRClass, RRType, ResourceRecord, SoaData
+from repro.netmodel.addr import Prefix
+
+#: A dynamic name handler: receives the queried name and the effective
+#: client subnet (the ECS source, or None), and returns the answer
+#: records plus the ECS scope prefix length the answer is valid for
+#: (None lets the server's EcsPolicy decide).
+DynamicHandler = Callable[
+    [DnsName, Optional[Prefix]], tuple[list[ResourceRecord], Optional[int]]
+]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a zone lookup."""
+
+    exists: bool
+    records: list[ResourceRecord] = field(default_factory=list)
+    scope_override: int | None = None
+
+    @property
+    def is_nodata(self) -> bool:
+        """Name exists but has no records of the queried type."""
+        return self.exists and not self.records
+
+
+class Zone:
+    """One authoritative zone."""
+
+    def __init__(self, apex: DnsName | str, soa: SoaData | None = None) -> None:
+        if isinstance(apex, str):
+            apex = DnsName.parse(apex)
+        self.apex = apex
+        if soa is None:
+            soa = SoaData(
+                mname=apex.child("ns1"),
+                rname=apex.child("hostmaster"),
+                serial=1,
+            )
+        self.soa = soa
+        self._static: dict[DnsName, dict[RRType, list[ResourceRecord]]] = {}
+        self._dynamic: dict[tuple[DnsName, RRType], DynamicHandler] = {}
+
+    def _check_in_zone(self, name: DnsName) -> None:
+        if not name.is_subdomain_of(self.apex):
+            raise ZoneError(f"{name} is not within zone {self.apex}")
+
+    def add_record(self, record: ResourceRecord) -> None:
+        """Add a static record (owner must be inside the zone)."""
+        self._check_in_zone(record.name)
+        by_type = self._static.setdefault(record.name, {})
+        by_type.setdefault(record.rtype, []).append(record)
+
+    def add_dynamic(self, name: DnsName | str, rtype: RRType, handler: DynamicHandler) -> None:
+        """Register a per-query handler for (name, rtype)."""
+        if isinstance(name, str):
+            name = DnsName.parse(name)
+        self._check_in_zone(name)
+        key = (name, rtype)
+        if key in self._dynamic:
+            raise ZoneError(f"dynamic handler already registered for {name} {rtype.name}")
+        self._dynamic[key] = handler
+
+    def names(self) -> set[DnsName]:
+        """All names with static records or dynamic handlers."""
+        return set(self._static) | {name for name, _ in self._dynamic}
+
+    def lookup(
+        self, name: DnsName, rtype: RRType, client_subnet: Prefix | None = None
+    ) -> LookupResult:
+        """Resolve a (name, type) within this zone.
+
+        Returns ``exists=False`` for NXDOMAIN; an empty record list with
+        ``exists=True`` for NODATA.
+        """
+        self._check_in_zone(name)
+        handler = self._dynamic.get((name, rtype))
+        if handler is not None:
+            records, scope = handler(name, client_subnet)
+            return LookupResult(exists=True, records=list(records), scope_override=scope)
+        by_type = self._static.get(name)
+        name_has_dynamic = any(dyn_name == name for dyn_name, _ in self._dynamic)
+        if by_type is None and not name_has_dynamic:
+            return LookupResult(exists=False)
+        records = list(by_type.get(rtype, [])) if by_type else []
+        # Chase CNAMEs one step within the zone (enough for our zones).
+        if not records and by_type and RRType.CNAME in by_type:
+            cname = by_type[RRType.CNAME][0]
+            records = [cname]
+            assert isinstance(cname.rdata, DnsName)
+            if cname.rdata.is_subdomain_of(self.apex):
+                target = self.lookup(cname.rdata, rtype, client_subnet)
+                records.extend(target.records)
+        return LookupResult(exists=True, records=records)
+
+    def soa_record(self) -> ResourceRecord:
+        """The zone's SOA as a resource record (for negative responses)."""
+        return ResourceRecord(self.apex, RRType.SOA, RRClass.IN, 900, self.soa)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+applications can catch library failures with a single except clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IP address or prefix is malformed or out of range."""
+
+
+class DnsError(ReproError):
+    """Base class for DNS subsystem errors."""
+
+
+class DnsWireError(DnsError):
+    """A DNS message could not be encoded to or decoded from wire format."""
+
+
+class DnsNameError(DnsError, ValueError):
+    """A domain name is malformed (empty label, too long, bad characters)."""
+
+
+class ZoneError(DnsError):
+    """A zone definition is inconsistent (duplicate SOA, bad owner names)."""
+
+
+class ResolutionTimeout(DnsError):
+    """A simulated DNS resolution timed out (no response at all)."""
+
+
+class RateLimitExceeded(ReproError):
+    """A scanner exceeded its configured query budget or rate limit."""
+
+
+class TopologyError(ReproError):
+    """The router-level topology is inconsistent or a path does not exist."""
+
+
+class RoutingError(ReproError):
+    """A BGP routing operation failed (no route, invalid announcement)."""
+
+
+class RelayError(ReproError):
+    """Base class for relay-network errors."""
+
+
+class RelayUnavailable(RelayError):
+    """The relay service cannot serve a client (blocked, no ingress, ...)."""
+
+
+class ConnectionFailed(RelayError):
+    """A simulated transport connection could not be established."""
+
+
+class QuicError(ReproError):
+    """A QUIC packet is malformed or the endpoint rejected it."""
+
+
+class MasqueError(ReproError):
+    """A MASQUE proxy request was rejected or malformed."""
+
+
+class MeasurementError(ReproError):
+    """A measurement platform operation failed (unknown probe, bad spec)."""
+
+
+class WorldGenError(ReproError):
+    """World generation parameters are inconsistent or infeasible."""
+
+
+class EgressListError(ReproError, ValueError):
+    """The egress IP range CSV is malformed."""

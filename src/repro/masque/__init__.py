@@ -1,0 +1,37 @@
+"""MASQUE-style proxying over HTTP/3 (with HTTP/2 fallback).
+
+iCloud Private Relay tunnels client traffic with the IETF MASQUE
+approach: the client holds an end-to-end encrypted tunnel to the egress
+relay, carried inside a proxy connection through the ingress relay.  The
+ingress sees the client address but not the destination; the egress sees
+the destination but not the client — the visibility split the paper's
+correlation analysis (Section 6) interrogates.
+
+:mod:`repro.masque.http` models the extended CONNECT request/response;
+:mod:`repro.masque.proxy` models the two-hop tunnel and enforces the
+visibility rules structurally (each relay leg only carries the fields
+that layer can see).
+"""
+
+from repro.masque.http import ConnectRequest, ConnectResponse, HttpVersion
+from repro.masque.proxy import MasqueTunnel, TunnelLeg
+from repro.masque.streams import (
+    Direction,
+    PaddingPolicy,
+    StreamState,
+    TunnelDataPlane,
+    TunnelStream,
+)
+
+__all__ = [
+    "ConnectRequest",
+    "ConnectResponse",
+    "HttpVersion",
+    "MasqueTunnel",
+    "TunnelLeg",
+    "Direction",
+    "PaddingPolicy",
+    "StreamState",
+    "TunnelDataPlane",
+    "TunnelStream",
+]

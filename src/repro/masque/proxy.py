@@ -1,0 +1,128 @@
+"""The two-hop MASQUE tunnel and its visibility split.
+
+A :class:`MasqueTunnel` is assembled from two legs:
+
+* the **ingress leg** (client → ingress relay) knows the client address
+  and the egress relay it forwards to, but carries only an opaque,
+  end-to-end encrypted stream — the destination is invisible;
+* the **egress leg** (ingress → egress relay) knows the ingress address
+  and, after the inner CONNECT is decrypted at the egress, the actual
+  destination — but the client address is invisible.
+
+The classes enforce this structurally: each leg object only *has* the
+fields that layer can observe, so analysis code cannot accidentally leak
+the wrong side's knowledge.  ``observable_by(asn)`` implements the
+Section 6 adversary: an AS observing both legs can correlate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MasqueError
+from repro.masque.http import ConnectMethod, ConnectRequest, ConnectResponse
+from repro.netmodel.addr import IPAddress
+
+
+@dataclass(frozen=True, slots=True)
+class TunnelLeg:
+    """One hop of the tunnel: what a passive observer of that hop sees."""
+
+    source: IPAddress
+    destination: IPAddress
+    source_asn: int
+    destination_asn: int
+    #: Bytes of (encrypted) payload carried; timing side channels operate
+    #: on sizes and timestamps, never on content.
+    bytes_carried: int = 0
+
+    def endpoints(self) -> tuple[IPAddress, IPAddress]:
+        """(source, destination) address pair."""
+        return self.source, self.destination
+
+
+@dataclass(frozen=True, slots=True)
+class MasqueTunnel:
+    """An established two-hop tunnel for one end-to-end connection."""
+
+    ingress_leg: TunnelLeg
+    egress_leg: TunnelLeg
+    #: Destination as known to the egress only.
+    destination_authority: str
+    destination_port: int
+    #: The egress's outbound address for this connection (rotates).
+    egress_address: IPAddress
+    egress_asn: int
+    established_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ingress_leg.destination != self.egress_leg.source:
+            raise MasqueError(
+                "tunnel legs do not join: ingress leg ends at "
+                f"{self.ingress_leg.destination}, egress leg starts at "
+                f"{self.egress_leg.source}"
+            )
+
+    @property
+    def client_address(self) -> IPAddress:
+        """The client address — visible on the ingress leg only."""
+        return self.ingress_leg.source
+
+    def asns_seeing_client(self) -> set[int]:
+        """ASes that observe the client's address (ingress leg ASes)."""
+        return {self.ingress_leg.source_asn, self.ingress_leg.destination_asn}
+
+    def asns_seeing_destination(self) -> set[int]:
+        """ASes that observe the destination side (egress operator's AS)."""
+        return {self.egress_leg.destination_asn, self.egress_asn}
+
+    def correlating_asns(self) -> set[int]:
+        """ASes positioned to see both who the user is and what they access.
+
+        Non-empty exactly in the situation the paper flags: the same AS
+        (Akamai's AS36183) hosting both ingress and egress relays.
+        """
+        return self.asns_seeing_client() & self.asns_seeing_destination()
+
+
+def establish_tunnel(
+    client_address: IPAddress,
+    client_asn: int,
+    ingress_address: IPAddress,
+    ingress_asn: int,
+    egress_service_address: IPAddress,
+    egress_service_asn: int,
+    egress_address: IPAddress,
+    egress_asn: int,
+    request: ConnectRequest,
+    established_at: float = 0.0,
+) -> tuple[MasqueTunnel | None, ConnectResponse]:
+    """Run the CONNECT exchange and assemble the tunnel.
+
+    Returns (tunnel, response); the tunnel is None when the proxy
+    rejects the request (currently: any UDP proxying attempt).
+    """
+    if request.method == ConnectMethod.CONNECT_UDP:
+        return None, ConnectResponse.rejected("UDP proxying not supported")
+    ingress_leg = TunnelLeg(
+        source=client_address,
+        destination=ingress_address,
+        source_asn=client_asn,
+        destination_asn=ingress_asn,
+    )
+    egress_leg = TunnelLeg(
+        source=ingress_address,
+        destination=egress_service_address,
+        source_asn=ingress_asn,
+        destination_asn=egress_service_asn,
+    )
+    tunnel = MasqueTunnel(
+        ingress_leg=ingress_leg,
+        egress_leg=egress_leg,
+        destination_authority=request.authority,
+        destination_port=request.port,
+        egress_address=egress_address,
+        egress_asn=egress_asn,
+        established_at=established_at,
+    )
+    return tunnel, ConnectResponse.established()

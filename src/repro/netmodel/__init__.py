@@ -1,0 +1,45 @@
+"""Internet substrate: addresses, prefixes, ASes, BGP, geo, topology.
+
+This package models the parts of the Internet the paper's measurements
+touch: the IPv4/IPv6 address space, autonomous systems and their BGP
+announcements (including a monthly visibility history), AS population
+data in the style of APNIC's customer-population dataset, a geolocation
+database in the style of MaxMind GeoLite2, and a router-level topology
+that supports traceroute-style path measurements.
+"""
+
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.asn import ASRegistry, AutonomousSystem, WellKnownAS
+from repro.netmodel.aspath import ASGraph, AsPath, PathLoad, Relationship
+from repro.netmodel.bgp import Announcement, BgpHistory, RoutingTable
+from repro.netmodel.geo import City, GeoPoint
+from repro.netmodel.geodb import GeoDatabase, GeoRecord
+from repro.netmodel.population import ASPopulationDataset
+from repro.netmodel.prefix_trie import PrefixTrie
+from repro.netmodel.topology import Router, Topology
+from repro.netmodel.traceroute import TracerouteResult, traceroute
+
+__all__ = [
+    "IPAddress",
+    "Prefix",
+    "ASRegistry",
+    "AutonomousSystem",
+    "WellKnownAS",
+    "ASGraph",
+    "AsPath",
+    "PathLoad",
+    "Relationship",
+    "Announcement",
+    "BgpHistory",
+    "RoutingTable",
+    "City",
+    "GeoPoint",
+    "GeoDatabase",
+    "GeoRecord",
+    "ASPopulationDataset",
+    "PrefixTrie",
+    "Router",
+    "Topology",
+    "TracerouteResult",
+    "traceroute",
+]

@@ -1,0 +1,256 @@
+"""Integer-backed IP addresses and prefixes.
+
+The scanners in this library iterate over millions of subnets, so address
+arithmetic must be cheap.  :class:`IPAddress` and :class:`Prefix` store the
+address as a plain ``int`` plus an IP version, parse from and render to the
+usual textual forms, and provide the subnet arithmetic the ECS scanner and
+the egress-list analysis need (containment, iteration over /24 blocks,
+supernet truncation).
+
+The standard library :mod:`ipaddress` module is used for parsing and
+formatting only; hot paths never construct :mod:`ipaddress` objects.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressError
+
+IPV4_BITS = 32
+IPV6_BITS = 128
+_MAX = {4: (1 << IPV4_BITS) - 1, 6: (1 << IPV6_BITS) - 1}
+_BITS = {4: IPV4_BITS, 6: IPV6_BITS}
+
+
+def _check_version(version: int) -> None:
+    if version not in (4, 6):
+        raise AddressError(f"IP version must be 4 or 6, got {version}")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class IPAddress:
+    """A single IPv4 or IPv6 address, stored as an integer."""
+
+    version: int
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_version(self.version)
+        if not 0 <= self.value <= _MAX[self.version]:
+            raise AddressError(
+                f"address value {self.value:#x} out of range for IPv{self.version}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse dotted-quad IPv4 or colon-hex IPv6 text."""
+        try:
+            parsed = ipaddress.ip_address(text.strip())
+        except ValueError as exc:
+            raise AddressError(f"invalid IP address {text!r}: {exc}") from exc
+        return cls(parsed.version, int(parsed))
+
+    @property
+    def bits(self) -> int:
+        """Address width in bits (32 or 128)."""
+        return _BITS[self.version]
+
+    def __str__(self) -> str:
+        if self.version == 4:
+            return str(ipaddress.IPv4Address(self.value))
+        return str(ipaddress.IPv6Address(self.value))
+
+    def to_prefix(self, length: int | None = None) -> "Prefix":
+        """The prefix of the given length containing this address.
+
+        With no length, returns the host prefix (/32 or /128).
+        """
+        if length is None:
+            length = self.bits
+        return Prefix.from_address(self, length)
+
+    def packed(self) -> bytes:
+        """Network-byte-order packed representation (4 or 16 bytes)."""
+        return self.value.to_bytes(self.bits // 8, "big")
+
+    @classmethod
+    def from_packed(cls, data: bytes) -> "IPAddress":
+        """Parse a 4-byte IPv4 or 16-byte IPv6 packed address."""
+        if len(data) == 4:
+            return cls(4, int.from_bytes(data, "big"))
+        if len(data) == 16:
+            return cls(6, int.from_bytes(data, "big"))
+        raise AddressError(f"packed address must be 4 or 16 bytes, got {len(data)}")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Prefix:
+    """A CIDR prefix: version, network value (host bits zero) and length."""
+
+    version: int
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        _check_version(self.version)
+        bits = _BITS[self.version]
+        if not 0 <= self.length <= bits:
+            raise AddressError(
+                f"prefix length {self.length} out of range for IPv{self.version}"
+            )
+        if not 0 <= self.value <= _MAX[self.version]:
+            raise AddressError(f"prefix value {self.value:#x} out of range")
+        if self.value & self.host_mask():
+            raise AddressError(
+                f"prefix {self.value:#x}/{self.length} has non-zero host bits"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse CIDR notation such as ``203.0.113.0/24`` or ``2001:db8::/64``."""
+        try:
+            parsed = ipaddress.ip_network(text.strip(), strict=True)
+        except ValueError as exc:
+            raise AddressError(f"invalid prefix {text!r}: {exc}") from exc
+        return cls(parsed.version, int(parsed.network_address), parsed.prefixlen)
+
+    @classmethod
+    def from_address(cls, address: IPAddress, length: int) -> "Prefix":
+        """The length-``length`` prefix containing ``address``."""
+        bits = address.bits
+        if not 0 <= length <= bits:
+            raise AddressError(f"prefix length {length} out of range")
+        mask = ((1 << length) - 1) << (bits - length)
+        return cls(address.version, address.value & mask, length)
+
+    @property
+    def bits(self) -> int:
+        """Address width in bits (32 or 128)."""
+        return _BITS[self.version]
+
+    def host_mask(self) -> int:
+        """Integer mask covering the host bits of this prefix."""
+        return (1 << (self.bits - self.length)) - 1
+
+    def network_mask(self) -> int:
+        """Integer mask covering the network bits of this prefix."""
+        return _MAX[self.version] ^ self.host_mask()
+
+    @property
+    def network_address(self) -> IPAddress:
+        """The first address of the prefix."""
+        return IPAddress(self.version, self.value)
+
+    @property
+    def broadcast_value(self) -> int:
+        """Integer value of the last address in the prefix."""
+        return self.value | self.host_mask()
+
+    def num_addresses(self) -> int:
+        """Total number of addresses covered by the prefix."""
+        return 1 << (self.bits - self.length)
+
+    def __str__(self) -> str:
+        return f"{IPAddress(self.version, self.value)}/{self.length}"
+
+    def contains_value(self, value: int) -> bool:
+        """Whether the integer address ``value`` falls inside the prefix."""
+        return self.value <= value <= self.broadcast_value
+
+    def contains_address(self, address: IPAddress) -> bool:
+        """Whether ``address`` falls inside this prefix (version-checked)."""
+        return self.version == address.version and self.contains_value(address.value)
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Whether ``other`` is equal to or more specific than this prefix."""
+        return (
+            self.version == other.version
+            and other.length >= self.length
+            and self.contains_value(other.value)
+        )
+
+    def truncate(self, length: int) -> "Prefix":
+        """The shorter prefix of the given length containing this one."""
+        if length > self.length:
+            raise AddressError(
+                f"cannot truncate /{self.length} to longer /{length}"
+            )
+        return Prefix.from_address(self.network_address, length)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``.
+
+        The ECS scanner uses this to walk /24 client subnets inside routed
+        BGP prefixes.  Iteration is lazy; a /8 split into /24s yields 65536
+        prefixes without materialising them.
+        """
+        if new_length < self.length:
+            raise AddressError(
+                f"new length /{new_length} shorter than prefix /{self.length}"
+            )
+        if new_length > self.bits:
+            raise AddressError(f"new length /{new_length} exceeds address width")
+        step = 1 << (self.bits - new_length)
+        for value in range(self.value, self.broadcast_value + 1, step):
+            yield Prefix(self.version, value, new_length)
+
+    def count_subnets(self, new_length: int) -> int:
+        """Number of subnets of ``new_length`` inside this prefix."""
+        if new_length < self.length:
+            raise AddressError(
+                f"new length /{new_length} shorter than prefix /{self.length}"
+            )
+        return 1 << (new_length - self.length)
+
+    def address_at(self, offset: int) -> IPAddress:
+        """The address at ``offset`` from the network address."""
+        if not 0 <= offset < self.num_addresses():
+            raise AddressError(
+                f"offset {offset} outside prefix {self} ({self.num_addresses()} addrs)"
+            )
+        return IPAddress(self.version, self.value + offset)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Whether the two prefixes share any address."""
+        if self.version != other.version:
+            return False
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+
+def summarize_covered_slash24s(prefixes: list[Prefix]) -> int:
+    """Count distinct /24 blocks covered by a set of IPv4 prefixes.
+
+    Prefixes longer than /24 count as covering their enclosing /24 (the
+    paper's ECS scan operates at /24 granularity).  Overlapping prefixes
+    are not double counted.
+    """
+    covered: set[int] = set()
+    spans: list[tuple[int, int]] = []
+    for prefix in prefixes:
+        if prefix.version != 4:
+            raise AddressError("slash-24 summarisation is IPv4-only")
+        start = prefix.value >> 8
+        end = prefix.broadcast_value >> 8
+        if end - start < 4096:
+            covered.update(range(start, end + 1))
+        else:
+            spans.append((start, end))
+    if not spans:
+        return len(covered)
+    # Merge large spans and subtract double counting against the small set.
+    spans.sort()
+    merged: list[tuple[int, int]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    total = sum(end - start + 1 for start, end in merged)
+    for block in covered:
+        if any(start <= block <= end for start, end in merged):
+            continue
+        total += 1
+    return total

@@ -1,0 +1,109 @@
+"""Autonomous systems and the AS registry.
+
+The paper's analyses attribute addresses and prefixes to ASes: ingress
+relays live in Apple's AS714 and the "Akamai private relay" AS36183;
+egress relays live in AS36183, Akamai's AS20940, Cloudflare's AS13335,
+and Fastly's AS54113.  Client traffic originates from tens of thousands
+of other ASes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.netmodel.addr import Prefix
+
+
+class WellKnownAS(enum.IntEnum):
+    """AS numbers that appear by name in the paper."""
+
+    APPLE = 714
+    AKAMAI_PR = 36183  # "Akamai private relay" AS, first visible June 2021
+    AKAMAI_EG = 20940  # Akamai's long-standing CDN AS
+    CLOUDFLARE = 13335
+    FASTLY = 54113
+
+
+#: Human-readable operator names used in tables, keyed by AS number.
+OPERATOR_NAMES: dict[int, str] = {
+    WellKnownAS.APPLE: "Apple",
+    WellKnownAS.AKAMAI_PR: "Akamai_PR",
+    WellKnownAS.AKAMAI_EG: "Akamai_EG",
+    WellKnownAS.CLOUDFLARE: "Cloudflare",
+    WellKnownAS.FASTLY: "Fastly",
+}
+
+
+def operator_name(asn: int) -> str:
+    """Table label for an AS number (falls back to ``AS<number>``)."""
+    return OPERATOR_NAMES.get(asn, f"AS{asn}")
+
+
+@dataclass
+class AutonomousSystem:
+    """One AS: number, name, country of registration, originated prefixes."""
+
+    number: int
+    name: str
+    country: str = "ZZ"
+    prefixes: list[Prefix] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.number < 2**32:
+            raise RoutingError(f"AS number {self.number} out of range")
+
+    def add_prefix(self, prefix: Prefix) -> None:
+        """Record a prefix originated by this AS."""
+        self.prefixes.append(prefix)
+
+    def prefixes_v(self, version: int) -> list[Prefix]:
+        """Originated prefixes of one IP version."""
+        return [p for p in self.prefixes if p.version == version]
+
+    def __hash__(self) -> int:
+        return hash(self.number)
+
+
+class ASRegistry:
+    """All ASes known to a simulated world, indexed by number."""
+
+    def __init__(self) -> None:
+        self._by_number: dict[int, AutonomousSystem] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_number)
+
+    def __contains__(self, number: int) -> bool:
+        return number in self._by_number
+
+    def __iter__(self):
+        return iter(self._by_number.values())
+
+    def register(self, asys: AutonomousSystem) -> AutonomousSystem:
+        """Add an AS; re-registering an existing number is an error."""
+        if asys.number in self._by_number:
+            raise RoutingError(f"AS{asys.number} already registered")
+        self._by_number[asys.number] = asys
+        return asys
+
+    def ensure(self, number: int, name: str | None = None, country: str = "ZZ") -> AutonomousSystem:
+        """Return the AS with ``number``, creating it if unknown."""
+        existing = self._by_number.get(number)
+        if existing is not None:
+            return existing
+        asys = AutonomousSystem(number, name or f"AS{number}", country)
+        self._by_number[number] = asys
+        return asys
+
+    def get(self, number: int) -> AutonomousSystem:
+        """The AS with ``number``; raises RoutingError if unknown."""
+        try:
+            return self._by_number[number]
+        except KeyError:
+            raise RoutingError(f"unknown AS{number}") from None
+
+    def numbers(self) -> list[int]:
+        """All registered AS numbers, sorted."""
+        return sorted(self._by_number)

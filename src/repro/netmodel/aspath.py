@@ -1,0 +1,228 @@
+"""AS-level routing: relationships and valley-free path selection.
+
+The paper's first open question: "Where and how is traffic routed to
+and from the relay nodes?  Does the system have bottlenecks that can
+lead to congestion for its users?"  Answering it needs AS-level paths,
+not just router hops.  This module provides:
+
+* an :class:`ASGraph` of business relationships — customer→provider
+  and peer↔peer edges, the Gao/Rexford model;
+* **valley-free** path computation: a path may climb customer→provider
+  links, cross at most one peer link, then descend provider→customer —
+  the standard export-policy constraint;
+* best-path selection by (shortest length, then lowest next AS number)
+  among valley-free candidates, via a three-phase BFS.
+
+It also carries the paper's one concrete inter-AS observation: the
+relay AS36183 "has only one publicly visible peering link, to
+Akamai[_EG]" — worldgen builds exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from collections import deque
+
+from repro.errors import RoutingError
+
+
+class Relationship(enum.Enum):
+    """The business relationship of an AS-graph edge, seen from ``a``."""
+
+    CUSTOMER_OF = "customer-of"  # a pays b (b is a's provider)
+    PEER = "peer"
+
+
+@dataclass(frozen=True, slots=True)
+class AsPath:
+    """One AS-level path (origin first, destination last)."""
+
+    asns: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    @property
+    def hops(self) -> int:
+        """Number of inter-AS hops."""
+        return len(self.asns) - 1
+
+    def transits(self) -> tuple[int, ...]:
+        """The intermediate ASes (everything but the endpoints)."""
+        return self.asns[1:-1]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.asns
+
+
+# BFS phases of a valley-free walk.
+_UP, _ACROSS, _DOWN = 0, 1, 2
+
+
+class ASGraph:
+    """Business-relationship graph with valley-free routing."""
+
+    def __init__(self) -> None:
+        #: asn -> set of provider asns.
+        self._providers: dict[int, set[int]] = {}
+        #: asn -> set of customer asns.
+        self._customers: dict[int, set[int]] = {}
+        #: asn -> set of peer asns.
+        self._peers: dict[int, set[int]] = {}
+        self._asns: set[int] = set()
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._asns
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def _touch(self, asn: int) -> None:
+        if asn not in self._asns:
+            self._asns.add(asn)
+            self._providers.setdefault(asn, set())
+            self._customers.setdefault(asn, set())
+            self._peers.setdefault(asn, set())
+
+    def add_customer(self, provider: int, customer: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        if provider == customer:
+            raise RoutingError(f"AS{provider} cannot be its own provider")
+        self._touch(provider)
+        self._touch(customer)
+        if provider in self._customers[customer]:
+            raise RoutingError(
+                f"AS{provider} is already a customer of AS{customer}"
+            )
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+
+    def add_peer(self, a: int, b: int) -> None:
+        """Record a settlement-free peering between two ASes."""
+        if a == b:
+            raise RoutingError(f"AS{a} cannot peer with itself")
+        self._touch(a)
+        self._touch(b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def providers_of(self, asn: int) -> set[int]:
+        """Direct transit providers of an AS."""
+        return set(self._providers.get(asn, set()))
+
+    def customers_of(self, asn: int) -> set[int]:
+        """Direct customers of an AS."""
+        return set(self._customers.get(asn, set()))
+
+    def peers_of(self, asn: int) -> set[int]:
+        """Peering partners of an AS."""
+        return set(self._peers.get(asn, set()))
+
+    def degree(self, asn: int) -> int:
+        """Total relationship count of an AS."""
+        return (
+            len(self._providers.get(asn, ()))
+            + len(self._customers.get(asn, ()))
+            + len(self._peers.get(asn, ()))
+        )
+
+    # ------------------------------------------------------------------
+    # Valley-free best-path computation
+    # ------------------------------------------------------------------
+
+    def best_path(self, src: int, dst: int) -> AsPath | None:
+        """The shortest valley-free path, or None if unreachable.
+
+        Ties break towards the lexicographically smallest AS sequence,
+        making selection deterministic.
+        """
+        if src not in self._asns or dst not in self._asns:
+            raise RoutingError(f"unknown AS in path query: {src} -> {dst}")
+        if src == dst:
+            return AsPath((src,))
+        # BFS over (asn, phase); track best predecessor per state.
+        start = (src, _UP)
+        best_prev: dict[tuple[int, int], tuple[int, int] | None] = {start: None}
+        queue = deque([start])
+        found: list[tuple[int, int]] = []
+        depth = {start: 0}
+        found_depth: int | None = None
+        while queue:
+            state = queue.popleft()
+            asn, phase = state
+            if found_depth is not None and depth[state] >= found_depth:
+                continue
+            for next_asn, next_phase in sorted(self._transitions(asn, phase)):
+                next_state = (next_asn, next_phase)
+                if next_state in best_prev:
+                    continue
+                best_prev[next_state] = state
+                depth[next_state] = depth[state] + 1
+                if next_asn == dst:
+                    found.append(next_state)
+                    found_depth = depth[next_state]
+                else:
+                    queue.append(next_state)
+        if not found:
+            return None
+        # Reconstruct all shortest candidates; pick the smallest sequence.
+        candidates = []
+        for state in found:
+            path = []
+            cursor: tuple[int, int] | None = state
+            while cursor is not None:
+                path.append(cursor[0])
+                cursor = best_prev[cursor]
+            candidates.append(tuple(reversed(path)))
+        return AsPath(min(candidates))
+
+    def _transitions(self, asn: int, phase: int):
+        """Valley-free next-hop states from (asn, phase)."""
+        if phase == _UP:
+            for provider in self._providers[asn]:
+                yield provider, _UP
+            for peer in self._peers[asn]:
+                yield peer, _ACROSS
+        if phase in (_UP, _ACROSS, _DOWN):
+            for customer in self._customers[asn]:
+                yield customer, _DOWN
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Whether a valley-free path exists."""
+        return self.best_path(src, dst) is not None
+
+
+@dataclass
+class PathLoad:
+    """Aggregate load statistics over a set of AS paths."""
+
+    paths: list[AsPath] = field(default_factory=list)
+
+    def add(self, path: AsPath) -> None:
+        """Record one path in the aggregate."""
+        self.paths.append(path)
+
+    def transit_shares(self) -> dict[int, float]:
+        """Per-transit-AS share of paths crossing it."""
+        if not self.paths:
+            return {}
+        counts: dict[int, int] = {}
+        for path in self.paths:
+            for asn in set(path.transits()):
+                counts[asn] = counts.get(asn, 0) + 1
+        return {asn: count / len(self.paths) for asn, count in counts.items()}
+
+    def bottleneck(self) -> tuple[int, float] | None:
+        """The transit AS carrying the largest path share."""
+        shares = self.transit_shares()
+        if not shares:
+            return None
+        asn = max(shares, key=lambda a: (shares[a], -a))
+        return asn, shares[asn]
+
+    def average_hops(self) -> float:
+        """Mean inter-AS hop count."""
+        if not self.paths:
+            return 0.0
+        return sum(p.hops for p in self.paths) / len(self.paths)

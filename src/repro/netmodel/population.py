@@ -1,0 +1,57 @@
+"""APNIC-style AS population dataset.
+
+Table 2 of the paper attributes users to ingress operators using the
+APNIC "Visible ASNs: Customer Populations" dataset, which estimates the
+number of Internet users per origin AS.  The dataset has AS granularity
+only — exactly the property that forces the paper's "Both" row, because
+ASes whose subnets are split between Apple and Akamai cannot have their
+users attributed to either operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class ASPopulationDataset:
+    """Estimated user population per AS number."""
+
+    _pop: dict[int, int] = field(default_factory=dict)
+
+    def set_population(self, asn: int, users: int) -> None:
+        """Record the user estimate for an AS."""
+        if users < 0:
+            raise MeasurementError(f"negative population {users} for AS{asn}")
+        self._pop[asn] = users
+
+    def population(self, asn: int) -> int:
+        """User estimate for an AS (0 if the AS is not in the dataset)."""
+        return self._pop.get(asn, 0)
+
+    def total_population(self, asns) -> int:
+        """Summed user estimate over a collection of AS numbers."""
+        return sum(self._pop.get(asn, 0) for asn in set(asns))
+
+    def __len__(self) -> int:
+        return len(self._pop)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._pop
+
+    def items(self) -> list[tuple[int, int]]:
+        """All (asn, users) pairs, sorted by AS number."""
+        return sorted(self._pop.items())
+
+    @staticmethod
+    def format_users(users: int) -> str:
+        """Human-readable user count in the paper's style (e.g. ``994M``)."""
+        if users >= 10**9:
+            return f"{users / 10**9:.1f}B"
+        if users >= 10**6:
+            return f"{users // 10**6}M"
+        if users >= 10**3:
+            return f"{users / 10**3:.1f}k"
+        return str(users)

@@ -1,0 +1,124 @@
+"""Router-level topology.
+
+Section 6 of the paper validates the ingress/egress co-location finding
+with traceroutes: ingress and egress addresses inside AS36183 share the
+*same last-hop router*.  To reproduce that as a real path measurement we
+model a router graph: routers belong to ASes, links carry latencies, and
+host addresses attach to a specific router (their last hop).
+
+Path computation uses :mod:`networkx` shortest paths weighted by link
+latency, which stands in for the BGP+IGP path selection a traceroute
+would traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.netmodel.addr import IPAddress
+
+
+@dataclass(frozen=True, slots=True)
+class Router:
+    """A router: stable id, owning AS, and its interface address."""
+
+    router_id: str
+    asn: int
+    interface: IPAddress
+
+    def __str__(self) -> str:
+        return f"{self.router_id}(AS{self.asn}, {self.interface})"
+
+
+@dataclass
+class Topology:
+    """A graph of routers with host attachments.
+
+    Hosts (relay addresses, web servers, vantage points) attach to exactly
+    one router; that router is the host's last hop as seen by traceroute.
+    """
+
+    _graph: nx.Graph = field(default_factory=nx.Graph)
+    _routers: dict[str, Router] = field(default_factory=dict)
+    _host_router: dict[IPAddress, Router] = field(default_factory=dict)
+
+    def add_router(self, router: Router) -> Router:
+        """Add a router node; duplicate ids are an error."""
+        if router.router_id in self._routers:
+            raise TopologyError(f"router {router.router_id} already exists")
+        self._routers[router.router_id] = router
+        self._graph.add_node(router.router_id)
+        return router
+
+    def router(self, router_id: str) -> Router:
+        """Look up a router by id."""
+        try:
+            return self._routers[router_id]
+        except KeyError:
+            raise TopologyError(f"unknown router {router_id!r}") from None
+
+    def routers(self) -> list[Router]:
+        """All routers."""
+        return list(self._routers.values())
+
+    def add_link(self, a: str, b: str, latency_ms: float = 1.0) -> None:
+        """Connect two routers with a link of the given latency."""
+        if a not in self._routers or b not in self._routers:
+            raise TopologyError(f"link endpoints must exist: {a!r} - {b!r}")
+        if a == b:
+            raise TopologyError(f"self-link on router {a!r}")
+        if latency_ms <= 0:
+            raise TopologyError(f"latency must be positive, got {latency_ms}")
+        self._graph.add_edge(a, b, latency=latency_ms)
+
+    def attach_host(self, address: IPAddress, router_id: str) -> None:
+        """Attach a host address behind a router (its last hop)."""
+        self._host_router[address] = self.router(router_id)
+
+    def detach_host(self, address: IPAddress) -> None:
+        """Remove a host attachment (e.g. a retired relay address)."""
+        self._host_router.pop(address, None)
+
+    def host_router(self, address: IPAddress) -> Router:
+        """The last-hop router of a host address."""
+        try:
+            return self._host_router[address]
+        except KeyError:
+            raise TopologyError(f"no host attached with address {address}") from None
+
+    def has_host(self, address: IPAddress) -> bool:
+        """Whether an address is attached anywhere in the topology."""
+        return address in self._host_router
+
+    def hosts(self) -> list[IPAddress]:
+        """All attached host addresses."""
+        return list(self._host_router)
+
+    def router_path(self, src_router_id: str, dst_router_id: str) -> list[Router]:
+        """Latency-shortest router path between two routers (inclusive)."""
+        self.router(src_router_id)
+        self.router(dst_router_id)
+        try:
+            node_path = nx.shortest_path(
+                self._graph, src_router_id, dst_router_id, weight="latency"
+            )
+        except nx.NetworkXNoPath:
+            raise TopologyError(
+                f"no path between {src_router_id!r} and {dst_router_id!r}"
+            ) from None
+        return [self._routers[node] for node in node_path]
+
+    def path_to_host(self, src_router_id: str, destination: IPAddress) -> list[Router]:
+        """Router path from a source router to a host address."""
+        last_hop = self.host_router(destination)
+        return self.router_path(src_router_id, last_hop.router_id)
+
+    def path_latency_ms(self, routers: list[Router]) -> float:
+        """Summed link latency along a router path."""
+        total = 0.0
+        for a, b in zip(routers, routers[1:]):
+            total += self._graph.edges[a.router_id, b.router_id]["latency"]
+        return total

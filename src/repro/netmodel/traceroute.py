@@ -1,0 +1,76 @@
+"""Traceroute over the simulated topology.
+
+Produces the hop list a TTL-limited probe train would elicit, including
+cumulative RTTs, and exposes the *last hop* — the datum the paper uses to
+show that AS36183 ingress and egress relays sit behind the same router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One hop: TTL index, responding interface, cumulative RTT."""
+
+    ttl: int
+    address: IPAddress
+    asn: int
+    rtt_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteResult:
+    """A completed traceroute: hops plus the destination address."""
+
+    destination: IPAddress
+    hops: tuple[TracerouteHop, ...]
+
+    @property
+    def last_hop(self) -> TracerouteHop:
+        """The final router hop before the destination host."""
+        if not self.hops:
+            raise ValueError("traceroute produced no hops")
+        return self.hops[-1]
+
+    @property
+    def hop_addresses(self) -> tuple[IPAddress, ...]:
+        """The responding interface address at every hop."""
+        return tuple(hop.address for hop in self.hops)
+
+    def shares_last_hop_with(self, other: "TracerouteResult") -> bool:
+        """Whether two traceroutes end at the same last-hop interface."""
+        return self.last_hop.address == other.last_hop.address
+
+
+def traceroute(
+    topology: Topology, vantage_router_id: str, destination: IPAddress
+) -> TracerouteResult:
+    """Trace the router path from a vantage router to a host address.
+
+    Hops exclude the vantage's own router (as a real traceroute's first
+    responding hop is the first *remote* router) and end at the host's
+    last-hop router.
+    """
+    path = topology.path_to_host(vantage_router_id, destination)
+    hops = []
+    cumulative = 0.0
+    for ttl, (prev, router) in enumerate(zip(path, path[1:]), start=1):
+        cumulative += topology.path_latency_ms([prev, router])
+        hops.append(
+            TracerouteHop(
+                ttl=ttl,
+                address=router.interface,
+                asn=router.asn,
+                rtt_ms=round(2 * cumulative, 3),
+            )
+        )
+    if len(path) == 1:
+        # Destination attached directly behind the vantage router.
+        only = path[0]
+        hops.append(TracerouteHop(ttl=1, address=only.interface, asn=only.asn, rtt_ms=0.0))
+    return TracerouteResult(destination=destination, hops=tuple(hops))

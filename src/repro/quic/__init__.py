@@ -1,0 +1,42 @@
+"""Minimal QUIC layer.
+
+Implements exactly the externally observable QUIC behaviour of iCloud
+Private Relay ingress nodes that the paper measured:
+
+* Standard QUIC Initials without relay credentials get **no reply at
+  all** — QScanner and curl handshakes time out.
+* A long-header packet with an unknown version triggers a **version
+  negotiation** response listing QUICv1 and drafts 29, 28, 27 — the
+  ZMap-module observation that verified standardised QUIC support.
+
+The packet codec covers long-header parsing/serialisation for Initial
+and Version Negotiation packets, which is all the probing needs.
+"""
+
+from repro.quic.endpoint import RelayQuicEndpoint
+from repro.quic.packet import (
+    InitialPacket,
+    VersionNegotiationPacket,
+    decode_packet,
+)
+from repro.quic.versions import (
+    DRAFT_27,
+    DRAFT_28,
+    DRAFT_29,
+    QUIC_V1,
+    RELAY_SUPPORTED_VERSIONS,
+    version_name,
+)
+
+__all__ = [
+    "RelayQuicEndpoint",
+    "InitialPacket",
+    "VersionNegotiationPacket",
+    "decode_packet",
+    "QUIC_V1",
+    "DRAFT_27",
+    "DRAFT_28",
+    "DRAFT_29",
+    "RELAY_SUPPORTED_VERSIONS",
+    "version_name",
+]

@@ -1,0 +1,92 @@
+"""The QUIC-facing behaviour of an ingress relay node.
+
+From the paper's Section 3:
+
+    "testing standard QUIC handshakes using the QScanner [...] or a
+    current curl version does not even trigger a response by ingress
+    nodes, neither a QUIC initial nor an error.  The connection attempt
+    times out.  Interestingly, a version negotiation from ingress nodes
+    can be triggered using the latest ZMap module [...]  The response
+    indicates support for QUICv1 alongside drafts 29 to 27."
+
+So the endpoint answers **only** version negotiation, and only for
+client versions it does not support.  Everything else — including
+well-formed Initials of supported versions that lack the relay's
+(private, token-based) authentication — is silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QuicError
+from repro.quic.packet import (
+    InitialPacket,
+    VersionNegotiationPacket,
+    decode_packet,
+)
+from repro.quic.versions import RELAY_SUPPORTED_VERSIONS
+
+#: Marker token that only genuine relay clients possess.  Stands in for
+#: Apple's private access-token scheme (rate-limited tokens per account
+#: and day); its exact bytes are irrelevant to the measurements.
+RELAY_ACCESS_TOKEN = b"apple-private-relay-access-token"
+
+
+@dataclass
+class EndpointStats:
+    """Counters for the probe analyses."""
+
+    datagrams: int = 0
+    dropped: int = 0
+    version_negotiations: int = 0
+    accepted: int = 0
+    malformed: int = 0
+
+
+@dataclass
+class RelayQuicEndpoint:
+    """One ingress relay's QUIC listener."""
+
+    supported_versions: tuple[int, ...] = RELAY_SUPPORTED_VERSIONS
+    stats: EndpointStats = field(default_factory=EndpointStats)
+
+    def handle_datagram(self, wire: bytes) -> bytes | None:
+        """Process one datagram; returns response bytes or None (drop)."""
+        self.stats.datagrams += 1
+        try:
+            packet = decode_packet(wire)
+        except QuicError:
+            self.stats.malformed += 1
+            return None
+        if isinstance(packet, VersionNegotiationPacket):
+            # Clients never send VN; drop.
+            self.stats.dropped += 1
+            return None
+        return self._handle_initial(packet)
+
+    def _handle_initial(self, packet: InitialPacket) -> bytes | None:
+        if packet.version not in self.supported_versions:
+            # Unknown version: respond with version negotiation, echoing
+            # the client's connection ids swapped per RFC 8999.
+            self.stats.version_negotiations += 1
+            return VersionNegotiationPacket(
+                destination_cid=packet.source_cid,
+                source_cid=packet.destination_cid,
+                supported_versions=self.supported_versions,
+            ).to_wire()
+        if packet.token != RELAY_ACCESS_TOKEN:
+            # Standard handshakes without relay credentials: silence.
+            self.stats.dropped += 1
+            return None
+        self.stats.accepted += 1
+        # A real endpoint would continue the handshake; for the
+        # measurement surface it is enough to signal acceptance.
+        return b"\x40accepted"
+
+    def accepts(self, packet: InitialPacket) -> bool:
+        """Whether an Initial would be accepted (has the relay token)."""
+        return (
+            packet.version in self.supported_versions
+            and packet.token == RELAY_ACCESS_TOKEN
+        )

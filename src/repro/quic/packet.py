@@ -1,0 +1,158 @@
+"""QUIC long-header packet codec (Initial + Version Negotiation).
+
+Follows RFC 8999 (version-independent invariants) and RFC 9000 for the
+Initial packet header layout.  Payload protection is not implemented —
+the relay endpoint never accepts a foreign handshake anyway, which is
+the observed behaviour this layer exists to reproduce — but header
+parsing is strict so malformed probes fail loudly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import QuicError
+
+LONG_HEADER_BIT = 0x80
+FIXED_BIT = 0x40
+MAX_CID_LENGTH = 20
+
+_TYPE_INITIAL = 0x00
+
+
+def _encode_varint(value: int) -> bytes:
+    """RFC 9000 variable-length integer encoding."""
+    if value < 0:
+        raise QuicError(f"varint cannot encode negative {value}")
+    if value < 1 << 6:
+        return bytes([value])
+    if value < 1 << 14:
+        return struct.pack("!H", value | 0x4000)
+    if value < 1 << 30:
+        return struct.pack("!I", value | 0x80000000)
+    if value < 1 << 62:
+        return struct.pack("!Q", value | 0xC000000000000000)
+    raise QuicError(f"varint cannot encode {value}")
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, new_offset)."""
+    if offset >= len(data):
+        raise QuicError("truncated varint")
+    first = data[offset]
+    length = 1 << (first >> 6)
+    if offset + length > len(data):
+        raise QuicError("truncated varint body")
+    value = first & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, offset + length
+
+
+def _check_cid(cid: bytes, what: str) -> None:
+    if len(cid) > MAX_CID_LENGTH:
+        raise QuicError(f"{what} connection id exceeds {MAX_CID_LENGTH} bytes")
+
+
+@dataclass(frozen=True, slots=True)
+class InitialPacket:
+    """A QUIC Initial packet (header fields + opaque payload)."""
+
+    version: int
+    destination_cid: bytes
+    source_cid: bytes
+    token: bytes = b""
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        _check_cid(self.destination_cid, "destination")
+        _check_cid(self.source_cid, "source")
+
+    def to_wire(self) -> bytes:
+        """Serialise with a 1-byte packet number (probe-sized)."""
+        first = LONG_HEADER_BIT | FIXED_BIT | (_TYPE_INITIAL << 4)  # pnlen bits 0
+        body = struct.pack("!I", self.version)
+        body += bytes([len(self.destination_cid)]) + self.destination_cid
+        body += bytes([len(self.source_cid)]) + self.source_cid
+        body += _encode_varint(len(self.token)) + self.token
+        # Length field covers packet number (1 byte) + payload.
+        body += _encode_varint(1 + len(self.payload))
+        body += b"\x00" + self.payload
+        return bytes([first]) + body
+
+
+@dataclass(frozen=True, slots=True)
+class VersionNegotiationPacket:
+    """A Version Negotiation packet: version field 0, list of versions."""
+
+    destination_cid: bytes
+    source_cid: bytes
+    supported_versions: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        _check_cid(self.destination_cid, "destination")
+        _check_cid(self.source_cid, "source")
+        if not self.supported_versions:
+            raise QuicError("version negotiation must list at least one version")
+
+    def to_wire(self) -> bytes:
+        """Serialise per RFC 8999 §6."""
+        first = LONG_HEADER_BIT | 0x40  # high bits set; rest unused in VN
+        body = struct.pack("!I", 0)
+        body += bytes([len(self.destination_cid)]) + self.destination_cid
+        body += bytes([len(self.source_cid)]) + self.source_cid
+        for version in self.supported_versions:
+            body += struct.pack("!I", version)
+        return bytes([first]) + body
+
+
+def decode_packet(wire: bytes) -> InitialPacket | VersionNegotiationPacket:
+    """Parse a long-header packet (Initial or Version Negotiation)."""
+    if not wire:
+        raise QuicError("empty datagram")
+    first = wire[0]
+    if not first & LONG_HEADER_BIT:
+        raise QuicError("short-header packets unsupported")
+    if len(wire) < 7:
+        raise QuicError("long header truncated")
+    version = struct.unpack("!I", wire[1:5])[0]
+    offset = 5
+    dcid_len = wire[offset]
+    offset += 1
+    if dcid_len > MAX_CID_LENGTH or offset + dcid_len > len(wire):
+        raise QuicError("bad destination cid length")
+    dcid = wire[offset : offset + dcid_len]
+    offset += dcid_len
+    if offset >= len(wire):
+        raise QuicError("truncated before source cid")
+    scid_len = wire[offset]
+    offset += 1
+    if scid_len > MAX_CID_LENGTH or offset + scid_len > len(wire):
+        raise QuicError("bad source cid length")
+    scid = wire[offset : offset + scid_len]
+    offset += scid_len
+    if version == 0:
+        versions = []
+        while offset + 4 <= len(wire):
+            versions.append(struct.unpack("!I", wire[offset : offset + 4])[0])
+            offset += 4
+        if offset != len(wire):
+            raise QuicError("version negotiation has trailing bytes")
+        return VersionNegotiationPacket(dcid, scid, tuple(versions))
+    if not first & FIXED_BIT:
+        raise QuicError("fixed bit not set on versioned packet")
+    packet_type = (first >> 4) & 0x3
+    if packet_type != _TYPE_INITIAL:
+        raise QuicError(f"unsupported long packet type {packet_type}")
+    token_len, offset = _decode_varint(wire, offset)
+    if offset + token_len > len(wire):
+        raise QuicError("truncated token")
+    token = wire[offset : offset + token_len]
+    offset += token_len
+    length, offset = _decode_varint(wire, offset)
+    if offset + length > len(wire):
+        raise QuicError("truncated packet body")
+    pn_len = (first & 0x03) + 1
+    payload = wire[offset + pn_len : offset + length]
+    return InitialPacket(version, dcid, scid, token, payload)

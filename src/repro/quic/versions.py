@@ -1,0 +1,37 @@
+"""QUIC version numbers.
+
+The paper's ZMap probe elicited a version negotiation from ingress nodes
+"indicating support for QUICv1 alongside drafts 29 to 27".
+"""
+
+from __future__ import annotations
+
+QUIC_V1 = 0x00000001
+DRAFT_29 = 0xFF00001D
+DRAFT_28 = 0xFF00001C
+DRAFT_27 = 0xFF00001B
+
+#: The versions ingress relays advertise in version negotiation, in the
+#: order the paper reports them.
+RELAY_SUPPORTED_VERSIONS: tuple[int, ...] = (QUIC_V1, DRAFT_29, DRAFT_28, DRAFT_27)
+
+_NAMES = {
+    QUIC_V1: "QUICv1",
+    DRAFT_29: "draft-29",
+    DRAFT_28: "draft-28",
+    DRAFT_27: "draft-27",
+}
+
+
+def version_name(version: int) -> str:
+    """Human-readable name for a version number."""
+    return _NAMES.get(version, f"0x{version:08x}")
+
+
+def is_forcing_version_negotiation(version: int) -> bool:
+    """Whether a client version is of the 0x?a?a?a?a greasing pattern.
+
+    ZMap-style probes use a reserved version to force negotiation; any
+    version the endpoint does not support has the same effect.
+    """
+    return (version & 0x0F0F0F0F) == 0x0A0A0A0A

@@ -1,0 +1,42 @@
+"""The iCloud Private Relay system model.
+
+Contains the two relay layers (ingress fleets operated by Apple/AS714
+and Akamai/AS36183; egress fleets operated by Akamai, Cloudflare and
+Fastly), Apple's published egress IP range list, the service control
+plane that wires DNS, relay selection and MASQUE tunnels together, and
+the client device model used for scans through the relay.
+"""
+
+from repro.relay.client import DnsConfig, RelayClient, RequestTool
+from repro.relay.egress import EgressFleet, EgressPool, RotationPolicy
+from repro.relay.egress_list import EgressEntry, EgressList
+from repro.relay.geohash import geohash_decode_center, geohash_encode
+from repro.relay.ingress import IngressFleet, IngressRelay, RelayProtocol
+from repro.relay.observer import EchoService, ObservationServer
+from repro.relay.odoh import ObliviousDnsPath, oblivious_path_for_session
+from repro.relay.service import PrivateRelayService, RelaySession
+from repro.relay.tokens import AccessToken, TokenIssuer
+
+__all__ = [
+    "DnsConfig",
+    "RelayClient",
+    "RequestTool",
+    "EgressFleet",
+    "EgressPool",
+    "RotationPolicy",
+    "EgressEntry",
+    "EgressList",
+    "geohash_encode",
+    "geohash_decode_center",
+    "IngressFleet",
+    "IngressRelay",
+    "RelayProtocol",
+    "EchoService",
+    "ObservationServer",
+    "ObliviousDnsPath",
+    "oblivious_path_for_session",
+    "PrivateRelayService",
+    "RelaySession",
+    "AccessToken",
+    "TokenIssuer",
+]

@@ -1,0 +1,78 @@
+"""Observation endpoints for scans through the relay.
+
+The paper ran two observation services: their own web server (logging
+the requester address of every fetch) and ``http://ipecho.net/plain``
+(which returns the requester's address in the response body).  Both see
+only the *egress* address of relayed connections — that is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netmodel.addr import IPAddress
+
+
+@dataclass(frozen=True, slots=True)
+class AccessLogEntry:
+    """One logged request: when, from which address, via which tool."""
+
+    timestamp: float
+    requester: IPAddress
+    requester_asn: int | None
+    tool: str
+    path: str
+
+
+@dataclass
+class ObservationServer:
+    """A web server that logs every requester address."""
+
+    hostname: str
+    address: IPAddress
+    asn: int
+    log: list[AccessLogEntry] = field(default_factory=list)
+
+    def handle_request(
+        self,
+        timestamp: float,
+        requester: IPAddress,
+        requester_asn: int | None = None,
+        tool: str = "unknown",
+        path: str = "/",
+    ) -> str:
+        """Serve a request, recording the requester."""
+        self.log.append(
+            AccessLogEntry(timestamp, requester, requester_asn, tool, path)
+        )
+        return "ok"
+
+    def requester_addresses(self) -> list[IPAddress]:
+        """All logged requester addresses in arrival order."""
+        return [entry.requester for entry in self.log]
+
+    def clear(self) -> None:
+        """Drop the access log."""
+        self.log.clear()
+
+
+@dataclass
+class EchoService:
+    """An ipecho.net-style service: the response body is your address."""
+
+    hostname: str
+    address: IPAddress
+    asn: int
+    requests_served: int = 0
+
+    def handle_request(
+        self,
+        timestamp: float,
+        requester: IPAddress,
+        requester_asn: int | None = None,
+        tool: str = "unknown",
+        path: str = "/plain",
+    ) -> str:
+        """Serve a request; the body is the requester's address."""
+        self.requests_served += 1
+        return str(requester)

@@ -1,0 +1,388 @@
+"""The iCloud Private Relay control plane.
+
+:class:`PrivateRelayService` wires together everything a client touches:
+
+* the **assignment map** — which ingress operator and regional pod
+  serves each client subnet.  This is what the authoritative DNS zone's
+  dynamic handlers consult, and its /24-or-coarser granularity is what
+  ECS scope answers expose;
+* the **DNS zone** for ``mask.icloud.com`` / ``mask-h2.icloud.com``,
+  built from the assignment map and the ingress fleets;
+* **egress selection** — sticky operator choice with rare re-draws,
+  per-connection address rotation within the local pool;
+* **tunnel establishment** via the MASQUE layer, producing
+  :class:`RelaySession` objects whose legs encode the visibility split;
+* the **QUIC listener** behaviour of every ingress address (silent to
+  foreign handshakes, version negotiation on unknown versions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import RelayError, RelayUnavailable
+from repro.dns.name import DnsName
+from repro.dns.rr import RRType, ResourceRecord, a_record, aaaa_record
+from repro.dns.zone import Zone
+from repro.masque.http import ConnectRequest, HttpVersion
+from repro.masque.proxy import MasqueTunnel, establish_tunnel
+from repro.masque.streams import Direction, PaddingPolicy, TunnelDataPlane
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.asn import WellKnownAS
+from repro.netmodel.bgp import RoutingTable
+from repro.netmodel.geo import GeoPoint
+from repro.netmodel.prefix_trie import DualStackTrie
+from repro.quic.endpoint import RelayQuicEndpoint
+from repro.relay.egress import EgressFleet
+from repro.relay.geohash import geohash_encode
+from repro.relay.ingress import IngressFleet, RelayProtocol
+from repro.simtime import SimClock
+
+RELAY_DOMAIN_QUIC = "mask.icloud.com."
+RELAY_DOMAIN_FALLBACK = "mask-h2.icloud.com."
+RELAY_ZONE_APEX = "icloud.com."
+
+#: Maximum address records per DNS response, as observed in the paper
+#: ("responses with up to eight different records").
+MAX_RECORDS_PER_RESPONSE = 8
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentUnit:
+    """One block of client space and how it is served.
+
+    ``scope_len`` is the granularity the name server declares in its ECS
+    scope field: all /24s inside ``prefix`` receive the same answer, and
+    a compliant scanner queries the unit only once.
+    """
+
+    prefix: Prefix
+    scope_len: int
+    operator_asn: int
+    pod: str
+
+    def __post_init__(self) -> None:
+        if self.scope_len < self.prefix.length:
+            raise RelayError(
+                f"scope /{self.scope_len} wider than assignment prefix {self.prefix}"
+            )
+
+
+class AssignmentMap:
+    """Client subnet → assignment unit, with longest-prefix semantics."""
+
+    def __init__(self) -> None:
+        self._trie: DualStackTrie[AssignmentUnit] = DualStackTrie()
+        self._units: list[AssignmentUnit] = []
+
+    def add(self, unit: AssignmentUnit) -> AssignmentUnit:
+        """Register a unit."""
+        self._trie.insert(unit.prefix, unit)
+        self._units.append(unit)
+        return unit
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def units(self) -> list[AssignmentUnit]:
+        """All registered units."""
+        return list(self._units)
+
+    def lookup(self, subnet: Prefix) -> AssignmentUnit | None:
+        """The unit serving a client subnet, or None if unserved."""
+        hit = self._trie.covering(subnet)
+        if hit is not None:
+            return hit[1]
+        # A subnet wider than the unit still matches by its first address.
+        hit2 = self._trie.lookup(subnet.network_address)
+        return hit2[1] if hit2 else None
+
+
+@dataclass
+class RelaySession:
+    """An established relay connection of one client."""
+
+    tunnel: MasqueTunnel
+    protocol: RelayProtocol
+    ingress_address: IPAddress
+    ingress_asn: int
+    egress_operator_asn: int
+    egress_address: IPAddress
+    egress_asn: int
+    geohash: str | None
+    established_at: float
+    data_plane: TunnelDataPlane = field(default_factory=TunnelDataPlane)
+
+    #: Nominal request/response sizes for an observation fetch.
+    _REQUEST_BYTES = 420
+    _RESPONSE_BYTES = 2800
+
+    def fetch(self, target, path: str = "/", tool: str = "curl") -> str:
+        """Fetch from an observation target through the tunnel.
+
+        ``target`` is an :class:`~repro.relay.observer.ObservationServer`
+        or :class:`~repro.relay.observer.EchoService` — either way it
+        observes only the egress address.  The exchange is accounted on
+        a fresh tunnel stream, so on-path observers see (padded) sizes.
+        """
+        stream = self.data_plane.open_stream(self.established_at)
+        self.data_plane.send(stream.stream_id, self._REQUEST_BYTES, Direction.UP)
+        body = target.handle_request(
+            timestamp=self.established_at,
+            requester=self.egress_address,
+            requester_asn=self.egress_asn,
+            tool=tool,
+            path=path,
+        )
+        self.data_plane.send(
+            stream.stream_id,
+            max(len(body), self._RESPONSE_BYTES),
+            Direction.DOWN,
+        )
+        self.data_plane.close_stream(stream.stream_id)
+        return body
+
+
+@dataclass
+class _ClientEgressState:
+    """Sticky egress-operator state for one client."""
+
+    operator_asn: int
+    chosen_at: float
+
+
+@dataclass
+class PrivateRelayService:
+    """The relay network's control and data plane."""
+
+    clock: SimClock
+    ingress_v4: IngressFleet
+    ingress_v6: IngressFleet
+    egress_fleet: EgressFleet
+    assignment: AssignmentMap
+    routing: RoutingTable
+    rng: random.Random = field(default_factory=lambda: random.Random(0x1C10))
+    #: Probability that an established client re-draws its egress operator
+    #: on a new connection (a handful of changes across a day of 5-minute
+    #: scans => order 1e-2).
+    operator_switch_probability: float = 0.012
+    #: Countries where local law forbids the service (requests refused).
+    unavailable_countries: frozenset[str] = frozenset({"CN", "BY", "SA"})
+    #: Observable-size quantisation of tunnel traffic (0 = no padding).
+    padding: PaddingPolicy = field(default_factory=lambda: PaddingPolicy(512))
+    _operator_state: dict[str, _ClientEgressState] = field(default_factory=dict)
+    _quic_endpoints: dict[IPAddress, RelayQuicEndpoint] = field(default_factory=dict)
+    _pod_counters: dict[tuple[str, RelayProtocol, int], int] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # DNS: the authoritative zone for the relay domains
+    # ------------------------------------------------------------------
+
+    def build_zone(self) -> Zone:
+        """The ``icloud.com`` zone with dynamic relay-domain handlers."""
+        zone = Zone(RELAY_ZONE_APEX)
+        for domain, protocol in (
+            (RELAY_DOMAIN_QUIC, RelayProtocol.QUIC),
+            (RELAY_DOMAIN_FALLBACK, RelayProtocol.TCP_FALLBACK),
+        ):
+            name = DnsName.parse(domain)
+            zone.add_dynamic(
+                name, RRType.A, self._make_handler(protocol, version=4)
+            )
+            zone.add_dynamic(
+                name, RRType.AAAA, self._make_handler(protocol, version=6)
+            )
+        return zone
+
+    def _make_handler(self, protocol: RelayProtocol, version: int):
+        fleet = self.ingress_v4 if version == 4 else self.ingress_v6
+
+        def handler(
+            name: DnsName, client_subnet: Prefix | None
+        ) -> tuple[list[ResourceRecord], int | None]:
+            unit = None
+            if client_subnet is not None:
+                unit = self.assignment.lookup(client_subnet)
+            if unit is None:
+                # Unserved space still resolves: the control plane falls
+                # back to the dominant operator's default pod.  Responses
+                # stay single-AS ("all response records are in the same
+                # AS", as the paper observed).
+                pods = sorted(p for p in fleet.pods() if not p.startswith("CC:"))
+                if not pods:
+                    return [], None
+                # Unassigned space is served uniformly, and the answer is
+                # declared valid for a wide (/16) scope.
+                unit_pod, operator_asn, scope = (
+                    pods[0],
+                    int(WellKnownAS.AKAMAI_PR),
+                    16 if client_subnet is not None and client_subnet.version == 4 else None,
+                )
+            else:
+                unit_pod, operator_asn, scope = (
+                    unit.pod,
+                    unit.operator_asn,
+                    unit.scope_len,
+                )
+            relays = fleet.pod_relays(unit_pod, protocol, self.clock.now)
+            if operator_asn is not None:
+                relays = [r for r in relays if r.asn == operator_asn]
+            if not relays:
+                # The pod has no relay of the assigned operator (yet):
+                # spill over to that operator's fleet-wide relays.  If the
+                # operator has none at all for this protocol — as for the
+                # Akamai TCP-fallback fleet before March 2022 — any active
+                # relay of the protocol serves, which is exactly how the
+                # fallback layer was "initially served by Apple".
+                relays = fleet.active_cached(
+                    self.clock.now, protocol, asn=operator_asn
+                ) or fleet.active_cached(self.clock.now, protocol)
+            if not relays:
+                return [], scope
+            counter_key = (unit_pod, protocol, version)
+            offset = self._pod_counters.get(counter_key, 0)
+            self._pod_counters[counter_key] = offset + 1
+            count = min(MAX_RECORDS_PER_RESPONSE, len(relays))
+            chosen = [relays[(offset + i) % len(relays)] for i in range(count)]
+            make = a_record if version == 4 else aaaa_record
+            return [make(name, relay.address) for relay in chosen], scope
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # QUIC listener surface
+    # ------------------------------------------------------------------
+
+    def quic_endpoint_for(self, address: IPAddress) -> RelayQuicEndpoint | None:
+        """The QUIC listener at an address, or None (probe times out).
+
+        Only active QUIC-protocol ingress relays listen; fallback relays
+        and retired addresses produce silence.
+        """
+        fleet = self.ingress_v4 if address.version == 4 else self.ingress_v6
+        active = fleet.active_addresses(self.clock.now, RelayProtocol.QUIC)
+        if address not in active:
+            return None
+        endpoint = self._quic_endpoints.get(address)
+        if endpoint is None:
+            endpoint = RelayQuicEndpoint()
+            self._quic_endpoints[address] = endpoint
+        return endpoint
+
+    # ------------------------------------------------------------------
+    # Connection establishment
+    # ------------------------------------------------------------------
+
+    def connect(
+        self,
+        client_address: IPAddress,
+        client_asn: int,
+        client_country: str,
+        client_location: GeoPoint | None,
+        ingress_address: IPAddress,
+        target_authority: str,
+        target_port: int = 80,
+        preserve_location: bool = True,
+        client_key: str | None = None,
+        protocol: RelayProtocol = RelayProtocol.QUIC,
+    ) -> RelaySession:
+        """Establish one relayed connection through a chosen ingress.
+
+        Raises :class:`RelayUnavailable` when the service does not serve
+        the client's country, and :class:`RelayError` when the ingress
+        address is not an active relay of the requested protocol.
+        """
+        if client_country in self.unavailable_countries:
+            raise RelayUnavailable(
+                f"iCloud Private Relay is not offered in {client_country}"
+            )
+        fleet = (
+            self.ingress_v4 if ingress_address.version == 4 else self.ingress_v6
+        )
+        active = fleet.active_addresses(self.clock.now, protocol)
+        if ingress_address not in active:
+            raise RelayError(
+                f"{ingress_address} is not an active {protocol.value} ingress relay"
+            )
+        ingress_asn = self.routing.origin_of(ingress_address)
+        if ingress_asn is None:
+            raise RelayError(f"ingress address {ingress_address} is unrouted")
+        key = client_key or str(client_address)
+        operator_asn = self._select_operator(key, client_country)
+        pool = self.egress_fleet.pool_for(operator_asn, client_country)
+        egress_address = pool.select(key, self.rng)
+        egress_asn = self.routing.origin_of(egress_address)
+        if egress_asn is None:
+            raise RelayError(f"egress address {egress_address} is unrouted")
+        request = ConnectRequest(
+            authority=target_authority,
+            port=target_port,
+            http_version=HttpVersion.H3
+            if protocol is RelayProtocol.QUIC
+            else HttpVersion.H2,
+        )
+        tunnel, response = establish_tunnel(
+            client_address=client_address,
+            client_asn=client_asn,
+            ingress_address=ingress_address,
+            ingress_asn=ingress_asn,
+            egress_service_address=egress_address,
+            egress_service_asn=egress_asn,
+            egress_address=egress_address,
+            egress_asn=egress_asn,
+            request=request,
+            established_at=self.clock.now,
+        )
+        if tunnel is None:
+            raise RelayUnavailable(f"proxy rejected connection: {response.reason}")
+        geohash = None
+        if preserve_location and client_location is not None:
+            geohash = geohash_encode(client_location)
+        return RelaySession(
+            tunnel=tunnel,
+            protocol=protocol,
+            ingress_address=ingress_address,
+            ingress_asn=ingress_asn,
+            egress_operator_asn=operator_asn,
+            egress_address=egress_address,
+            egress_asn=egress_asn,
+            geohash=geohash,
+            established_at=self.clock.now,
+            data_plane=TunnelDataPlane(self.padding),
+        )
+
+    def _select_operator(self, client_key: str, client_country: str) -> int:
+        state = self._operator_state.get(client_key)
+        weights = self.egress_fleet.operators_for(client_country)
+        if not weights:
+            raise RelayUnavailable(
+                f"no egress operator present for {client_country}"
+            )
+        if state is not None and state.operator_asn in weights:
+            if self.rng.random() >= self.operator_switch_probability:
+                return state.operator_asn
+        operator_asn = self.egress_fleet.choose_operator(client_country, self.rng)
+        self._operator_state[client_key] = _ClientEgressState(
+            operator_asn, self.clock.now
+        )
+        return operator_asn
+
+    # ------------------------------------------------------------------
+    # Appendix-B behaviours
+    # ------------------------------------------------------------------
+
+    def management_connection_target(self, ingress_address: IPAddress) -> IPAddress:
+        """Where the client's extra management QUIC connection goes.
+
+        The paper observed that shortly after connecting, clients open an
+        additional QUIC connection to an address "in the prefix (or AS in
+        the dual stack case) of the configured ingress".
+        """
+        prefix = self.routing.routed_prefix_of(ingress_address)
+        if prefix is None:
+            raise RelayError(f"{ingress_address} is unrouted")
+        offset = (ingress_address.value - prefix.value + 1) % prefix.num_addresses()
+        return prefix.address_at(offset)

@@ -1,0 +1,61 @@
+"""The paper's measurement pipeline.
+
+* :mod:`repro.scan.ecs_scanner` — ECS-based ingress enumeration over the
+  routed IPv4 space (the core methodological contribution);
+* :mod:`repro.scan.atlas_scanner` — RIPE-Atlas-style validation, IPv6
+  enumeration, and resolver surveys;
+* :mod:`repro.scan.blocking` — DNS-level service-blocking classification;
+* :mod:`repro.scan.relay_scanner` — scans through the relay (egress
+  operator and address rotation);
+* :mod:`repro.scan.quic_scanner` — QScanner/ZMap-style QUIC probing of
+  ingress nodes.
+"""
+
+from repro.scan.atlas_scanner import (
+    AtlasIngressScanner,
+    AtlasValidation,
+    Ipv6IngressReport,
+)
+from repro.scan.blocking import BlockingReport, classify_blocking
+from repro.scan.campaign import MonthlyScan, ScanCampaign
+from repro.scan.ecs_scanner import EcsScanner, EcsScanResult, EcsScanSettings
+from repro.scan.longitudinal import AddressSighting, IngressArchive
+from repro.scan.quic_scanner import QuicProbeReport, QuicScanner
+from repro.scan.relay_scanner import (
+    RelayScanConfig,
+    RelayScanRound,
+    RelayScanSeries,
+    RelayScanner,
+)
+from repro.scan.traceroute_campaign import (
+    LabelledTarget,
+    TracerouteCampaignResult,
+    run_traceroute_campaign,
+)
+from repro.scan.zmap import ZmapQuicSweep, ZmapSweepResult
+
+__all__ = [
+    "AtlasIngressScanner",
+    "AtlasValidation",
+    "Ipv6IngressReport",
+    "BlockingReport",
+    "classify_blocking",
+    "MonthlyScan",
+    "ScanCampaign",
+    "LabelledTarget",
+    "TracerouteCampaignResult",
+    "run_traceroute_campaign",
+    "ZmapQuicSweep",
+    "ZmapSweepResult",
+    "EcsScanner",
+    "EcsScanResult",
+    "EcsScanSettings",
+    "AddressSighting",
+    "IngressArchive",
+    "QuicProbeReport",
+    "QuicScanner",
+    "RelayScanConfig",
+    "RelayScanRound",
+    "RelayScanSeries",
+    "RelayScanner",
+]

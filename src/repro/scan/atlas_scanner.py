@@ -1,0 +1,163 @@
+"""Atlas-based ingress measurements.
+
+Covers the three uses the paper makes of RIPE Atlas:
+
+* **validation** of the ECS scan (A queries from all probes, compared
+  against the ECS address set — Section 4.1 "ECS Scan Validation");
+* **IPv6 enumeration** (AAAA measurements towards the local resolver
+  and the authoritative server, across the monthly rounds);
+* the **resolver survey** via a whoami-style service, classifying the
+  resolver population behind the probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atlas.measurement import DnsMeasurementSpec, MeasurementTarget
+from repro.atlas.platform import AtlasPlatform
+from repro.dns.rr import RRType
+from repro.dns.whoami import WHOAMI_DOMAIN
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.bgp import RoutingTable
+
+
+@dataclass
+class AtlasValidation:
+    """Comparison of one Atlas A measurement against an ECS scan."""
+
+    atlas_addresses: set[IPAddress]
+    ecs_addresses: set[IPAddress]
+
+    @property
+    def atlas_count(self) -> int:
+        return len(self.atlas_addresses)
+
+    @property
+    def ecs_count(self) -> int:
+        return len(self.ecs_addresses)
+
+    @property
+    def atlas_only(self) -> set[IPAddress]:
+        """Addresses Atlas saw that the ECS scan did not."""
+        return self.atlas_addresses - self.ecs_addresses
+
+    @property
+    def ecs_only(self) -> set[IPAddress]:
+        """Addresses only the ECS scan uncovered."""
+        return self.ecs_addresses - self.atlas_addresses
+
+    @property
+    def ecs_advantage(self) -> int:
+        """How many more addresses the ECS scan found."""
+        return self.ecs_count - self.atlas_count
+
+
+@dataclass
+class Ipv6IngressReport:
+    """Accumulated AAAA discovery across measurement rounds."""
+
+    addresses: set[IPAddress] = field(default_factory=set)
+    rounds: int = 0
+
+    def by_asn(self, routing: RoutingTable) -> dict[int, int]:
+        """Distinct v6 ingress addresses per origin AS."""
+        out: dict[int, int] = {}
+        for address in self.addresses:
+            asn = routing.origin_of(address)
+            if asn is not None:
+                out[asn] = out.get(asn, 0) + 1
+        return out
+
+
+class AtlasIngressScanner:
+    """Runs the paper's Atlas measurement set."""
+
+    def __init__(
+        self,
+        platform: AtlasPlatform,
+        routing: RoutingTable,
+        ingress_asns: set[int] | None = None,
+    ) -> None:
+        self.platform = platform
+        self.routing = routing
+        #: ASes accepted as ingress operators when filtering answers
+        #: (learnt from the ECS scans); hijacked or forged answers fall
+        #: outside and are dropped from address counts.
+        self.ingress_asns = ingress_asns
+
+    def _filter(self, addresses: set[IPAddress]) -> set[IPAddress]:
+        if self.ingress_asns is None:
+            return addresses
+        return {
+            a for a in addresses if self.routing.origin_of(a) in self.ingress_asns
+        }
+
+    def measure_ingress_v4(self, domain: str) -> set[IPAddress]:
+        """One A measurement over all probes via their local resolvers."""
+        result = self.platform.run_dns(
+            DnsMeasurementSpec(domain, RRType.A, MeasurementTarget.LOCAL_RESOLVER)
+        )
+        return self._filter(result.distinct_addresses())
+
+    def validate_against_ecs(
+        self, domain: str, ecs_addresses: set[IPAddress]
+    ) -> AtlasValidation:
+        """Run the validation measurement and compare with ECS results."""
+        return AtlasValidation(
+            atlas_addresses=self.measure_ingress_v4(domain),
+            ecs_addresses=set(ecs_addresses),
+        )
+
+    def measure_ingress_v6(
+        self, domain: str, report: Ipv6IngressReport | None = None
+    ) -> Ipv6IngressReport:
+        """One AAAA round (local resolver + authoritative), accumulated."""
+        report = report or Ipv6IngressReport()
+        for target in (
+            MeasurementTarget.LOCAL_RESOLVER,
+            MeasurementTarget.AUTHORITATIVE,
+        ):
+            result = self.platform.run_dns(
+                DnsMeasurementSpec(domain, RRType.AAAA, target)
+            )
+            addresses = {
+                a for a in result.distinct_addresses() if a.version == 6
+            }
+            report.addresses.update(self._filter(addresses))
+        report.rounds += 1
+        return report
+
+    def survey_resolvers(
+        self, resolver_blocks: dict[str, Prefix]
+    ) -> dict[str, float]:
+        """Whoami measurement: share of probes per resolver provider.
+
+        ``resolver_blocks`` maps provider names to their anycast blocks;
+        resolver addresses outside every block count as "local".
+        """
+        result = self.platform.run_dns(
+            DnsMeasurementSpec(
+                WHOAMI_DOMAIN, RRType.A, MeasurementTarget.LOCAL_RESOLVER
+            )
+        )
+        counts: dict[str, int] = {}
+        answered = 0
+        for probe_result in result.results:
+            if not probe_result.addresses:
+                continue
+            answered += 1
+            address = probe_result.addresses[0]
+            provider = "local"
+            for name, block in resolver_blocks.items():
+                if block.contains_address(address):
+                    provider = name
+                    break
+            counts[provider] = counts.get(provider, 0) + 1
+        if not answered:
+            return {}
+        return {name: count / answered for name, count in counts.items()}
+
+    def public_resolver_share(self, shares: dict[str, float]) -> float:
+        """Combined share of probes behind known public resolvers."""
+        return sum(v for k, v in shares.items() if k != "local")

@@ -1,0 +1,166 @@
+"""DNS-level service-blocking classification.
+
+Implements the Section 4.1 analysis: probes whose queries time out are
+checked against a control domain (similar timeout shares mean network
+issues, not blocking); probes whose resolvers answer but fail are
+classified by response code; NXDOMAIN and NOERROR-without-data
+responses are attributed to intentional blocking (the authoritative
+server never returns either for the relay domains); REFUSED counts as
+blocking once the resolver demonstrably works for the control domain;
+answers pointing outside the ingress ASes are DNS hijacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atlas.measurement import (
+    DnsMeasurementResult,
+    DnsMeasurementSpec,
+    MeasurementTarget,
+)
+from repro.atlas.platform import AtlasPlatform
+from repro.dns.message import Rcode
+from repro.dns.rr import RRType
+from repro.netmodel.bgp import RoutingTable
+
+
+@dataclass
+class BlockingReport:
+    """Aggregated blocking statistics across probes."""
+
+    total_probes: int
+    timeouts: int
+    failures_with_response: int
+    rcode_counts: dict[str, int]
+    hijacked_probes: int
+    refused_verified: int
+    blocked_probes: int
+    timeouts_control: int = 0
+
+    @property
+    def timeout_share(self) -> float:
+        """Fraction of probes with no DNS response at all."""
+        return self.timeouts / self.total_probes if self.total_probes else 0.0
+
+    @property
+    def failure_share(self) -> float:
+        """Fraction of probes that got a response but failed to resolve."""
+        return (
+            self.failures_with_response / self.total_probes
+            if self.total_probes
+            else 0.0
+        )
+
+    @property
+    def blocked_share(self) -> float:
+        """Fraction of probes classified as intentionally blocked."""
+        return self.blocked_probes / self.total_probes if self.total_probes else 0.0
+
+    @property
+    def timeouts_attributed_to_blocking(self) -> bool:
+        """Whether relay-domain timeouts exceed control-domain timeouts
+        enough to look like blocking (the paper found they do not)."""
+        if not self.total_probes:
+            return False
+        control_share = self.timeouts_control / self.total_probes
+        return self.timeout_share > 1.5 * control_share + 0.01
+
+    def rcode_share_of_failures(self, rcode_name: str) -> float:
+        """Share of one rcode among failures-with-response."""
+        if not self.failures_with_response:
+            return 0.0
+        return self.rcode_counts.get(rcode_name, 0) / self.failures_with_response
+
+    def rcode_breakdown_shares(self) -> dict[str, float]:
+        """All rcode shares among failures-with-response."""
+        return {
+            name: self.rcode_share_of_failures(name) for name in self.rcode_counts
+        }
+
+
+@dataclass
+class _ProbeOutcome:
+    timed_out: bool = False
+    rcode: Rcode | None = None
+    nodata: bool = False
+    hijacked: bool = False
+    succeeded: bool = False
+
+
+def classify_blocking(
+    platform: AtlasPlatform,
+    routing: RoutingTable,
+    relay_domain: str,
+    control_domain: str,
+    ingress_asns: set[int],
+) -> BlockingReport:
+    """Run the blocking study: relay + control measurements, classified."""
+    relay_result = platform.run_dns(
+        DnsMeasurementSpec(relay_domain, RRType.A, MeasurementTarget.LOCAL_RESOLVER)
+    )
+    control_result = platform.run_dns(
+        DnsMeasurementSpec(control_domain, RRType.A, MeasurementTarget.LOCAL_RESOLVER)
+    )
+    return classify_from_results(relay_result, control_result, routing, ingress_asns)
+
+
+def classify_from_results(
+    relay_result: DnsMeasurementResult,
+    control_result: DnsMeasurementResult,
+    routing: RoutingTable,
+    ingress_asns: set[int],
+) -> BlockingReport:
+    """Classify already-collected measurement results."""
+    control_ok = {
+        r.probe_id for r in control_result.results if r.succeeded
+    }
+    outcomes: dict[int, _ProbeOutcome] = {}
+    for result in relay_result.results:
+        outcome = _ProbeOutcome()
+        if result.timed_out:
+            outcome.timed_out = True
+        elif result.succeeded:
+            first = result.addresses[0]
+            if routing.origin_of(first) in ingress_asns:
+                outcome.succeeded = True
+            else:
+                outcome.hijacked = True
+        else:
+            outcome.rcode = result.rcode
+            outcome.nodata = result.rcode == Rcode.NOERROR
+        outcomes[result.probe_id] = outcome
+
+    timeouts = sum(1 for o in outcomes.values() if o.timed_out)
+    rcode_counts: dict[str, int] = {}
+    refused_verified = 0
+    blocked = 0
+    failures = 0
+    hijacked = sum(1 for o in outcomes.values() if o.hijacked)
+    for probe_id, outcome in outcomes.items():
+        if outcome.hijacked:
+            blocked += 1
+            continue
+        if outcome.rcode is None:
+            continue
+        failures += 1
+        name = outcome.rcode.name
+        rcode_counts[name] = rcode_counts.get(name, 0) + 1
+        if outcome.rcode in (Rcode.NXDOMAIN,) or outcome.nodata:
+            # The authoritative server never returns these for the relay
+            # domains: the resolver is forging them.
+            blocked += 1
+        elif outcome.rcode == Rcode.REFUSED and probe_id in control_ok:
+            # Verified-functional resolver refusing only the relay domain.
+            refused_verified += 1
+            blocked += 1
+    return BlockingReport(
+        total_probes=len(outcomes),
+        timeouts=timeouts,
+        failures_with_response=failures,
+        rcode_counts=rcode_counts,
+        hijacked_probes=hijacked,
+        refused_verified=refused_verified,
+        blocked_probes=blocked,
+        timeouts_control=sum(1 for r in control_result.results if r.timed_out),
+    )

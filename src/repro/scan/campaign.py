@@ -1,0 +1,92 @@
+"""The monthly scan campaign orchestrator.
+
+Encapsulates the paper's measurement calendar: for each month of the
+observation window, run the default-domain (QUIC) ECS scan and — from
+February on — the fallback-domain scan; keep the longitudinal archives
+up to date; and expose the results in the shape the Table 1/2 analyses
+expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.server import AuthoritativeServer
+from repro.netmodel.bgp import RoutingTable
+from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+from repro.scan.ecs_scanner import EcsScanResult, EcsScanner, EcsScanSettings
+from repro.scan.longitudinal import IngressArchive
+from repro.simtime import SimClock
+from repro.worldgen.deployment import scan_time
+
+
+@dataclass(frozen=True, slots=True)
+class MonthlyScan:
+    """One month's scans."""
+
+    year: int
+    month: int
+    default: EcsScanResult
+    fallback: EcsScanResult | None
+
+    def as_tuple(self) -> tuple[int, int, EcsScanResult, EcsScanResult | None]:
+        """The tuple shape ``build_table1`` consumes."""
+        return (self.year, self.month, self.default, self.fallback)
+
+
+@dataclass
+class ScanCampaign:
+    """Runs the Jan–Apr 2022 campaign against an authoritative server."""
+
+    server: AuthoritativeServer
+    routing: RoutingTable
+    clock: SimClock
+    settings: EcsScanSettings = field(default_factory=EcsScanSettings)
+    #: Months without a fallback-domain scan (the paper's January gap).
+    skip_fallback_months: frozenset[tuple[int, int]] = frozenset({(2022, 1)})
+    months: list[MonthlyScan] = field(default_factory=list)
+    default_archive: IngressArchive = field(
+        default_factory=lambda: IngressArchive(RELAY_DOMAIN_QUIC)
+    )
+    fallback_archive: IngressArchive = field(
+        default_factory=lambda: IngressArchive(RELAY_DOMAIN_FALLBACK)
+    )
+
+    def run_month(self, year: int, month: int) -> MonthlyScan:
+        """Run one month's scans (advancing the clock to the scan slot)."""
+        target = scan_time(year, month)
+        if self.clock.now < target:
+            self.clock.advance_to(target)
+        scanner = EcsScanner(self.server, self.routing, self.clock, self.settings)
+        default = scanner.scan(RELAY_DOMAIN_QUIC)
+        self.default_archive.record(default)
+        fallback = None
+        if (year, month) not in self.skip_fallback_months:
+            fallback = scanner.scan(RELAY_DOMAIN_FALLBACK)
+            self.fallback_archive.record(fallback)
+        result = MonthlyScan(year, month, default, fallback)
+        self.months.append(result)
+        return result
+
+    def run(self, calendar: list[tuple[int, int]]) -> list[MonthlyScan]:
+        """Run the whole calendar in order."""
+        return [self.run_month(year, month) for year, month in calendar]
+
+    def table1_input(self) -> list[tuple[int, int, EcsScanResult, EcsScanResult | None]]:
+        """All months in the shape ``build_table1`` expects."""
+        return [m.as_tuple() for m in self.months]
+
+    def latest_default(self) -> EcsScanResult:
+        """The most recent default-domain scan."""
+        if not self.months:
+            raise ValueError("campaign has not run yet")
+        return self.months[-1].default
+
+    def ingress_asns(self) -> set[int]:
+        """All ASes observed hosting ingress relays across the campaign."""
+        asns: set[int] = set()
+        for month in self.months:
+            asns.update(month.default.addresses_by_asn())
+            if month.fallback is not None:
+                asns.update(month.fallback.addresses_by_asn())
+        return asns

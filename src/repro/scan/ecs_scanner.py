@@ -1,0 +1,212 @@
+"""ECS-based ingress enumeration.
+
+Implements the paper's core scan: iterate client subnets over the IPv4
+space, attach each as an EDNS Client Subnet option to an A query for a
+relay domain, and collect the returned ingress addresses.
+
+The ethics measures from Section 7 are first-class here:
+
+* a strict token-bucket **rate limit** (a full scan takes tens of hours
+  of simulated time);
+* **routed-space pruning** — address space not visible in the local BGP
+  feed is only sparsely sampled;
+* **scope pruning** — when the server declares an ECS scope wider than
+  /24, no further query is sent inside that scope block.
+
+Both prunings can be disabled for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.message import DnsMessage, Rcode
+from repro.dns.ratelimit import TokenBucket
+from repro.dns.rr import RRType
+from repro.dns.server import AuthoritativeServer
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.bgp import RoutingTable
+from repro.simtime import SimClock
+
+
+@dataclass(frozen=True, slots=True)
+class EcsResponse:
+    """One answered ECS query."""
+
+    subnet: Prefix
+    scope: int
+    addresses: tuple[IPAddress, ...]
+    answer_asn: int | None
+
+    def covered_slash24s(self) -> int:
+        """How many /24 client subnets this answer is valid for."""
+        if self.scope >= 24:
+            return 1
+        return 1 << (24 - self.scope)
+
+
+@dataclass
+class EcsScanSettings:
+    """Scanner behaviour knobs."""
+
+    #: Queries per second (the strict rate limit).
+    rate: float = 2.2
+    burst: float = 10.0
+    #: ECS source prefix length sent with every query.
+    source_prefix_len: int = 24
+    #: Honour server scopes wider than /24 (skip the rest of the block).
+    respect_scope: bool = True
+    #: Only scan space covered by BGP routes; unrouted space is sampled
+    #: once every ``sparse_stride`` /24 blocks.
+    prune_unrouted: bool = True
+    sparse_stride: int = 4096
+
+
+@dataclass
+class EcsScanResult:
+    """The outcome of one full ECS scan of one domain."""
+
+    domain: str
+    started_at: float
+    finished_at: float = 0.0
+    queries_sent: int = 0
+    responses: list[EcsResponse] = field(default_factory=list)
+    sparse_queries: int = 0
+
+    def addresses(self) -> set[IPAddress]:
+        """All distinct ingress addresses uncovered."""
+        return {a for r in self.responses for a in r.addresses}
+
+    def addresses_by_asn(self) -> dict[int, set[IPAddress]]:
+        """Distinct addresses per answer AS (Table 1 cells)."""
+        out: dict[int, set[IPAddress]] = {}
+        for response in self.responses:
+            if response.answer_asn is None:
+                continue
+            out.setdefault(response.answer_asn, set()).update(response.addresses)
+        return out
+
+    def slash24s_by_asn(self) -> dict[int, int]:
+        """Served /24 client subnets per answer AS (Table 2 'Subnets')."""
+        out: dict[int, int] = {}
+        for response in self.responses:
+            if response.answer_asn is None:
+                continue
+            out[response.answer_asn] = (
+                out.get(response.answer_asn, 0) + response.covered_slash24s()
+            )
+        return out
+
+    def duration_hours(self) -> float:
+        """Simulated scan duration."""
+        return (self.finished_at - self.started_at) / 3600.0
+
+
+class EcsScanner:
+    """Scans one authoritative server with ECS queries."""
+
+    def __init__(
+        self,
+        server: AuthoritativeServer,
+        routing: RoutingTable,
+        clock: SimClock,
+        settings: EcsScanSettings | None = None,
+    ) -> None:
+        self.server = server
+        self.routing = routing
+        self.clock = clock
+        self.settings = settings or EcsScanSettings()
+
+    def scan(self, domain: str, rtype: RRType = RRType.A) -> EcsScanResult:
+        """Run a full scan for one relay domain."""
+        settings = self.settings
+        bucket = TokenBucket(settings.rate, settings.burst, self.clock)
+        result = EcsScanResult(domain=domain, started_at=self.clock.now)
+        message_id = 0
+        prefixes = sorted(
+            self.routing.routed_v4_prefixes(), key=lambda p: p.value
+        )
+        if settings.prune_unrouted:
+            spans = _merge_spans(prefixes)
+        else:
+            spans = [(0, (1 << 32) - 1)]
+        previous_end = 0
+        for span_start, span_end in spans:
+            if settings.prune_unrouted and span_start > previous_end:
+                self._sparse_scan(
+                    previous_end, span_start - 1, domain, rtype, bucket, result
+                )
+            previous_end = span_end + 1
+            cursor = span_start
+            while cursor <= span_end:
+                subnet = Prefix.from_address(
+                    IPAddress(4, cursor), settings.source_prefix_len
+                )
+                message_id = (message_id + 1) & 0xFFFF
+                response = self._query(domain, rtype, subnet, message_id, bucket, result)
+                step = 1 << (32 - settings.source_prefix_len)
+                if response is not None:
+                    result.responses.append(response)
+                    if settings.respect_scope and response.scope < settings.source_prefix_len:
+                        block = subnet.truncate(response.scope)
+                        cursor = block.broadcast_value + 1
+                        continue
+                cursor = subnet.value + step
+        result.finished_at = self.clock.now
+        return result
+
+    def _query(
+        self,
+        domain: str,
+        rtype: RRType,
+        subnet: Prefix,
+        message_id: int,
+        bucket: TokenBucket,
+        result: EcsScanResult,
+    ) -> EcsResponse | None:
+        bucket.take()
+        result.queries_sent += 1
+        query = DnsMessage.query(domain, rtype, message_id=message_id, ecs=subnet)
+        response = self.server.handle(query)
+        if response.rcode != Rcode.NOERROR or not response.answers:
+            return None
+        ecs = response.client_subnet
+        scope = ecs.scope_prefix_length if ecs is not None else subnet.length
+        addresses = tuple(response.answer_addresses())
+        answer_asn = self.routing.origin_of(addresses[0]) if addresses else None
+        return EcsResponse(subnet, scope, addresses, answer_asn)
+
+    def _sparse_scan(
+        self,
+        start: int,
+        end: int,
+        domain: str,
+        rtype: RRType,
+        bucket: TokenBucket,
+        result: EcsScanResult,
+    ) -> None:
+        """Sample unrouted space once per ``sparse_stride`` /24 blocks."""
+        stride = self.settings.sparse_stride << 8
+        message_id = 0
+        cursor = (start + stride - 1) // stride * stride
+        while cursor + 255 <= end:
+            subnet = Prefix.from_address(IPAddress(4, cursor), 24)
+            message_id = (message_id + 1) & 0xFFFF
+            bucket.take()
+            result.queries_sent += 1
+            result.sparse_queries += 1
+            query = DnsMessage.query(domain, rtype, message_id=message_id, ecs=subnet)
+            self.server.handle(query)
+            cursor += stride
+
+
+def _merge_spans(prefixes: list[Prefix]) -> list[tuple[int, int]]:
+    """Merge sorted prefixes into disjoint (start, end) integer spans."""
+    spans: list[tuple[int, int]] = []
+    for prefix in prefixes:
+        start, end = prefix.value, prefix.broadcast_value
+        if spans and start <= spans[-1][1] + 1:
+            spans[-1] = (spans[-1][0], max(spans[-1][1], end))
+        else:
+            spans.append((start, end))
+    return spans

@@ -1,0 +1,162 @@
+"""Longitudinal ingress-address dataset.
+
+The paper commits to "perform regular scans in the future and publish
+the collected ingress addresses" (the relay-networks.github.io data
+releases).  This module is that archive: it accumulates ECS scan
+results over time, tracks per-address first/last sightings, derives
+growth and churn series, and round-trips the published CSV format:
+
+    address,asn,first_seen,last_seen
+
+Timestamps are the simulated scan start times (seconds since the
+simulation epoch), rendered as integers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+from repro.errors import MeasurementError
+from repro.netmodel.addr import IPAddress
+from repro.scan.ecs_scanner import EcsScanResult
+
+
+@dataclass
+class AddressSighting:
+    """Lifetime of one ingress address across scans."""
+
+    address: IPAddress
+    asn: int | None
+    first_seen: float
+    last_seen: float
+
+    def seen_in_window(self, start: float, end: float) -> bool:
+        """Whether the address was sighted within [start, end]."""
+        return self.first_seen <= end and self.last_seen >= start
+
+
+@dataclass
+class IngressArchive:
+    """Accumulated ingress sightings across a scan campaign."""
+
+    domain: str
+    _sightings: dict[IPAddress, AddressSighting] = field(default_factory=dict)
+    _scans: list[tuple[float, int]] = field(default_factory=list)
+
+    def record(self, scan: EcsScanResult) -> int:
+        """Fold one scan into the archive; returns newly seen addresses.
+
+        Scans must be recorded in chronological order.
+        """
+        if scan.domain != self.domain:
+            raise MeasurementError(
+                f"archive tracks {self.domain!r}, got scan of {scan.domain!r}"
+            )
+        if self._scans and scan.started_at < self._scans[-1][0]:
+            raise MeasurementError("scans must be recorded chronologically")
+        new = 0
+        by_asn: dict[IPAddress, int | None] = {}
+        for asn, addresses in scan.addresses_by_asn().items():
+            for address in addresses:
+                by_asn[address] = asn
+        for address in scan.addresses():
+            sighting = self._sightings.get(address)
+            if sighting is None:
+                self._sightings[address] = AddressSighting(
+                    address, by_asn.get(address), scan.started_at, scan.started_at
+                )
+                new += 1
+            else:
+                sighting.last_seen = scan.started_at
+        self._scans.append((scan.started_at, len(scan.addresses())))
+        return new
+
+    def __len__(self) -> int:
+        return len(self._sightings)
+
+    def sightings(self) -> list[AddressSighting]:
+        """All sightings, ordered by address."""
+        return [self._sightings[a] for a in sorted(self._sightings)]
+
+    def scan_count(self) -> int:
+        """Number of recorded scans."""
+        return len(self._scans)
+
+    # ------------------------------------------------------------------
+    # Derived series
+    # ------------------------------------------------------------------
+
+    def growth_series(self) -> list[tuple[float, int]]:
+        """(scan time, addresses seen in that scan) per recorded scan."""
+        return list(self._scans)
+
+    def churned_addresses(self, as_of: float) -> set[IPAddress]:
+        """Addresses not sighted by the most recent scan at ``as_of``."""
+        relevant = [t for t, _n in self._scans if t <= as_of]
+        if not relevant:
+            return set()
+        latest = max(relevant)
+        return {
+            a for a, s in self._sightings.items() if s.last_seen < latest
+        }
+
+    def stable_addresses(self) -> set[IPAddress]:
+        """Addresses present from the first through the last scan."""
+        if not self._scans:
+            return set()
+        first, last = self._scans[0][0], self._scans[-1][0]
+        return {
+            a
+            for a, s in self._sightings.items()
+            if s.first_seen <= first and s.last_seen >= last
+        }
+
+    # ------------------------------------------------------------------
+    # Publication format
+    # ------------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise in the published dataset format."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["address", "asn", "first_seen", "last_seen"])
+        for sighting in self.sightings():
+            writer.writerow(
+                [
+                    str(sighting.address),
+                    sighting.asn if sighting.asn is not None else "",
+                    int(sighting.first_seen),
+                    int(sighting.last_seen),
+                ]
+            )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, domain: str, text: str) -> "IngressArchive":
+        """Parse a published dataset back into an archive."""
+        archive = cls(domain)
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header != ["address", "asn", "first_seen", "last_seen"]:
+            raise MeasurementError(f"unrecognised archive header: {header}")
+        times = set()
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise MeasurementError(f"line {lineno}: expected 4 columns")
+            address = IPAddress.parse(row[0])
+            asn = int(row[1]) if row[1] else None
+            first_seen, last_seen = float(row[2]), float(row[3])
+            if last_seen < first_seen:
+                raise MeasurementError(
+                    f"line {lineno}: last_seen precedes first_seen"
+                )
+            archive._sightings[address] = AddressSighting(
+                address, asn, first_seen, last_seen
+            )
+            times.update((first_seen, last_seen))
+        archive._scans = [(t, 0) for t in sorted(times)]
+        return archive

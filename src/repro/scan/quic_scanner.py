@@ -1,0 +1,105 @@
+"""QUIC probing of ingress relays (Section 3).
+
+Two probe styles, mirroring the tools the paper used:
+
+* a **QScanner-style handshake**: a well-formed QUICv1 Initial without
+  relay credentials.  Ingress nodes drop it silently — the probe times
+  out with neither an Initial nor an error in response;
+* a **ZMap-style version probe**: an Initial with a reserved greasing
+  version, which elicits a version negotiation listing the supported
+  versions (QUICv1 and drafts 29–27).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.quic.packet import InitialPacket, VersionNegotiationPacket, decode_packet
+from repro.quic.versions import QUIC_V1, version_name
+from repro.netmodel.addr import IPAddress
+from repro.relay.service import PrivateRelayService
+
+#: The reserved version ZMap uses to force negotiation.
+GREASE_VERSION = 0x1A2A3A4A
+
+
+@dataclass
+class QuicProbeReport:
+    """Aggregated results of probing a set of addresses."""
+
+    probed: int = 0
+    handshake_timeouts: int = 0
+    handshake_responses: int = 0
+    version_negotiations: int = 0
+    unreachable: int = 0
+    #: Distinct version lists observed (as tuples of names).
+    version_sets: dict[tuple[str, ...], int] = field(default_factory=dict)
+
+    @property
+    def all_handshakes_timed_out(self) -> bool:
+        """The paper's finding: no ingress answers a foreign handshake."""
+        return self.handshake_responses == 0 and self.probed > 0
+
+    def dominant_versions(self) -> tuple[str, ...]:
+        """The most common advertised version list."""
+        if not self.version_sets:
+            return ()
+        return max(self.version_sets.items(), key=lambda kv: kv[1])[0]
+
+
+class QuicScanner:
+    """Probes relay ingress addresses at the QUIC layer."""
+
+    def __init__(self, service: PrivateRelayService) -> None:
+        self.service = service
+
+    def _send(self, address: IPAddress, packet: InitialPacket) -> bytes | None:
+        endpoint = self.service.quic_endpoint_for(address)
+        if endpoint is None:
+            return None
+        return endpoint.handle_datagram(packet.to_wire())
+
+    def probe_handshake(self, address: IPAddress) -> bool:
+        """QScanner-style handshake; returns whether anything came back."""
+        packet = InitialPacket(
+            version=QUIC_V1,
+            destination_cid=b"\x01" * 8,
+            source_cid=b"\x02" * 8,
+            payload=b"client-hello",
+        )
+        return self._send(address, packet) is not None
+
+    def probe_versions(self, address: IPAddress) -> tuple[str, ...] | None:
+        """ZMap-style version probe; returns advertised version names."""
+        packet = InitialPacket(
+            version=GREASE_VERSION,
+            destination_cid=b"\x03" * 8,
+            source_cid=b"\x04" * 8,
+        )
+        wire = self._send(address, packet)
+        if wire is None:
+            return None
+        response = decode_packet(wire)
+        if not isinstance(response, VersionNegotiationPacket):
+            return None
+        return tuple(version_name(v) for v in response.supported_versions)
+
+    def scan(self, addresses: list[IPAddress]) -> QuicProbeReport:
+        """Run both probes against every address."""
+        report = QuicProbeReport()
+        for address in addresses:
+            report.probed += 1
+            if self.service.quic_endpoint_for(address) is None:
+                report.unreachable += 1
+                continue
+            if self.probe_handshake(address):
+                report.handshake_responses += 1
+            else:
+                report.handshake_timeouts += 1
+            versions = self.probe_versions(address)
+            if versions is not None:
+                report.version_negotiations += 1
+                report.version_sets[versions] = (
+                    report.version_sets.get(versions, 0) + 1
+                )
+        return report

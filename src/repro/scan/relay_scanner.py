@@ -1,0 +1,165 @@
+"""Scans through the relay (Section 4.3).
+
+Reproduces the measurement client's behaviour: every ``interval``
+seconds, issue the two parallel requests (Safari to the observation web
+server, curl to the ipecho-style service), log the observed egress
+operator and address, and derive:
+
+* the egress **operator change** time series (Figure 3), for both the
+  open-DNS and the fixed-DNS (forced ingress) scan variants;
+* egress **address rotation** statistics: change rate between
+  consecutive rounds, distinct addresses and subnets over the window,
+  and the divergence of parallel connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.netmodel.addr import IPAddress
+from repro.relay.client import RelayClient, RequestObservation
+from repro.relay.egress_list import EgressList
+from repro.relay.observer import EchoService, ObservationServer
+from repro.simtime import SimClock
+
+
+@dataclass(frozen=True, slots=True)
+class RelayScanRound:
+    """One scan round: the two parallel observations."""
+
+    timestamp: float
+    safari: RequestObservation
+    curl: RequestObservation
+
+    @property
+    def parallel_addresses_differ(self) -> bool:
+        """Whether the simultaneous connections used distinct egresses."""
+        return self.safari.egress_address != self.curl.egress_address
+
+    @property
+    def operator_asn(self) -> int:
+        """The egress operator of the round (from the curl observation)."""
+        return self.curl.egress_operator_asn
+
+
+@dataclass
+class RelayScanConfig:
+    """Scan cadence."""
+
+    interval_seconds: float = 300.0  # the 5-minute Figure 3 cadence
+    duration_seconds: float = 86400.0  # one scan day
+
+
+@dataclass
+class RelayScanSeries:
+    """A completed scan: all rounds plus derived statistics."""
+
+    label: str
+    rounds: list[RelayScanRound] = field(default_factory=list)
+    failures: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    # -- Figure 3 ------------------------------------------------------
+
+    def operator_series(self) -> list[tuple[float, int]]:
+        """(relative time, operator ASN) per round."""
+        if not self.rounds:
+            return []
+        start = self.rounds[0].timestamp
+        return [(r.timestamp - start, r.operator_asn) for r in self.rounds]
+
+    def operator_changes(self) -> list[tuple[float, int, int]]:
+        """(relative time, old ASN, new ASN) whenever the operator flips."""
+        changes = []
+        series = self.operator_series()
+        for (t0, op0), (t1, op1) in zip(series, series[1:]):
+            if op0 != op1:
+                changes.append((t1, op0, op1))
+        return changes
+
+    def operators_seen(self) -> set[int]:
+        """All egress operator ASes observed."""
+        return {r.operator_asn for r in self.rounds}
+
+    # -- rotation statistics --------------------------------------------
+
+    def address_change_rate(self) -> float:
+        """Fraction of consecutive curl requests with a changed address."""
+        if len(self.rounds) < 2:
+            return 0.0
+        changes = sum(
+            1
+            for a, b in zip(self.rounds, self.rounds[1:])
+            if a.curl.egress_address != b.curl.egress_address
+        )
+        return changes / (len(self.rounds) - 1)
+
+    def distinct_addresses(self) -> set[IPAddress]:
+        """All egress addresses observed (both tools)."""
+        out = set()
+        for r in self.rounds:
+            out.add(r.curl.egress_address)
+            out.add(r.safari.egress_address)
+        return out
+
+    def distinct_subnets(self, egress_list: EgressList) -> int:
+        """Number of published egress subnets the addresses fall into."""
+        subnets = set()
+        for address in self.distinct_addresses():
+            entry = egress_list.entry_for_address(address)
+            if entry is not None:
+                subnets.add(entry.prefix)
+        return len(subnets)
+
+    def parallel_divergence_rate(self) -> float:
+        """Fraction of rounds where Safari and curl saw different egresses."""
+        if not self.rounds:
+            return 0.0
+        differing = sum(1 for r in self.rounds if r.parallel_addresses_differ)
+        return differing / len(self.rounds)
+
+    def ingress_addresses(self) -> set[IPAddress]:
+        """All ingress addresses the client connected through."""
+        out = set()
+        for r in self.rounds:
+            out.add(r.curl.ingress_address)
+            out.add(r.safari.ingress_address)
+        return out
+
+
+class RelayScanner:
+    """Drives a relay client through a scan schedule."""
+
+    def __init__(
+        self,
+        client: RelayClient,
+        web_server: ObservationServer,
+        echo_server: EchoService,
+        clock: SimClock,
+    ) -> None:
+        self.client = client
+        self.web_server = web_server
+        self.echo_server = echo_server
+        self.clock = clock
+
+    def run(self, config: RelayScanConfig, label: str = "scan") -> RelayScanSeries:
+        """Run rounds until the configured duration elapses."""
+        series = RelayScanSeries(label=label)
+        deadline = self.clock.now + config.duration_seconds
+        while self.clock.now < deadline:
+            try:
+                safari, curl = self.client.request_parallel(
+                    self.web_server, self.echo_server
+                )
+                series.rounds.append(
+                    RelayScanRound(self.clock.now, safari, curl)
+                )
+            except ReproError:
+                # A failed round (DNS outage, relay refusal) is logged and
+                # the schedule continues — as a real scan harness would.
+                series.failures += 1
+            self.clock.advance(config.interval_seconds)
+        return series

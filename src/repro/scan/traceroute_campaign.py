@@ -1,0 +1,91 @@
+"""Traceroute campaign: systematic last-hop clustering.
+
+The paper validated the ingress/egress co-location "through traceroute
+measurements and found the same last hop address for ingress and egress
+addresses".  This module runs traceroutes from the vantage to arbitrary
+target sets, clusters targets by their last-hop router interface, and
+reports which clusters mix ingress and egress addresses — the
+correlation-enabling sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.topology import Topology
+from repro.netmodel.traceroute import TracerouteResult, traceroute
+
+
+@dataclass(frozen=True, slots=True)
+class LabelledTarget:
+    """A traceroute target with its relay role."""
+
+    address: IPAddress
+    role: str  # "ingress" | "egress"
+    asn: int | None = None
+
+
+@dataclass
+class LastHopCluster:
+    """Targets sharing one last-hop interface."""
+
+    last_hop: IPAddress
+    asn: int
+    targets: list[LabelledTarget] = field(default_factory=list)
+
+    @property
+    def roles(self) -> set[str]:
+        return {t.role for t in self.targets}
+
+    @property
+    def mixes_roles(self) -> bool:
+        """Whether this site hosts both ingress and egress addresses."""
+        return {"ingress", "egress"} <= self.roles
+
+
+@dataclass
+class TracerouteCampaignResult:
+    """All traceroutes of one campaign, clustered by last hop."""
+
+    traces: dict[IPAddress, TracerouteResult] = field(default_factory=dict)
+    clusters: list[LastHopCluster] = field(default_factory=list)
+    unreachable: list[LabelledTarget] = field(default_factory=list)
+
+    def mixed_clusters(self) -> list[LastHopCluster]:
+        """Clusters hosting both relay roles (the Section 6 finding)."""
+        return [c for c in self.clusters if c.mixes_roles]
+
+    def shared_last_hop_found(self) -> bool:
+        """Whether any site hosts ingress and egress together."""
+        return bool(self.mixed_clusters())
+
+    def asns_with_mixed_sites(self) -> set[int]:
+        """ASes operating at least one dual-role site."""
+        return {c.asn for c in self.mixed_clusters()}
+
+
+def run_traceroute_campaign(
+    topology: Topology,
+    vantage_router_id: str,
+    targets: list[LabelledTarget],
+) -> TracerouteCampaignResult:
+    """Trace every target and cluster by last-hop interface."""
+    result = TracerouteCampaignResult()
+    by_lasthop: dict[IPAddress, LastHopCluster] = {}
+    for target in targets:
+        try:
+            trace = traceroute(topology, vantage_router_id, target.address)
+        except TopologyError:
+            result.unreachable.append(target)
+            continue
+        result.traces[target.address] = trace
+        hop = trace.last_hop
+        cluster = by_lasthop.get(hop.address)
+        if cluster is None:
+            cluster = LastHopCluster(hop.address, hop.asn)
+            by_lasthop[hop.address] = cluster
+            result.clusters.append(cluster)
+        cluster.targets.append(target)
+    return result

@@ -1,0 +1,103 @@
+"""ZMap-style stateless QUIC sweep over address ranges.
+
+The paper identified QUIC support on ingress nodes with "the latest
+ZMap module from Zirngibl et al." — a stateless sweep that sends one
+version-forcing Initial per address and records version negotiations.
+:class:`ZmapQuicSweep` does that over whole prefixes (e.g. every
+address of the ingress /24s uncovered by the ECS scan), with the same
+token-bucket rate limiting the ethics section mandates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.ratelimit import TokenBucket
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.quic.packet import (
+    InitialPacket,
+    VersionNegotiationPacket,
+    decode_packet,
+)
+from repro.quic.versions import version_name
+from repro.relay.service import PrivateRelayService
+from repro.scan.quic_scanner import GREASE_VERSION
+from repro.simtime import SimClock
+
+
+@dataclass
+class ZmapSweepResult:
+    """Outcome of one stateless sweep."""
+
+    probes_sent: int = 0
+    responsive: dict[IPAddress, tuple[str, ...]] = field(default_factory=dict)
+    silent: int = 0
+    duration_seconds: float = 0.0
+
+    def responsive_addresses(self) -> set[IPAddress]:
+        """Addresses that answered with a version negotiation."""
+        return set(self.responsive)
+
+    def version_profile(self) -> dict[tuple[str, ...], int]:
+        """Histogram of advertised version lists."""
+        profile: dict[tuple[str, ...], int] = {}
+        for versions in self.responsive.values():
+            profile[versions] = profile.get(versions, 0) + 1
+        return profile
+
+
+@dataclass
+class ZmapQuicSweep:
+    """Stateless version-negotiation sweep at a configurable rate."""
+
+    service: PrivateRelayService
+    clock: SimClock
+    rate: float = 1000.0  # probes/second — ZMap-fast, but rate limited
+    burst: float = 100.0
+
+    def sweep_prefixes(self, prefixes: list[Prefix]) -> ZmapSweepResult:
+        """Probe every address of every prefix once."""
+        bucket = TokenBucket(self.rate, self.burst, self.clock)
+        result = ZmapSweepResult()
+        started = self.clock.now
+        for prefix in prefixes:
+            for offset in range(prefix.num_addresses()):
+                bucket.take()
+                address = prefix.address_at(offset)
+                self._probe(address, result)
+        result.duration_seconds = self.clock.now - started
+        return result
+
+    def sweep_addresses(self, addresses: list[IPAddress]) -> ZmapSweepResult:
+        """Probe an explicit address list once."""
+        bucket = TokenBucket(self.rate, self.burst, self.clock)
+        result = ZmapSweepResult()
+        started = self.clock.now
+        for address in addresses:
+            bucket.take()
+            self._probe(address, result)
+        result.duration_seconds = self.clock.now - started
+        return result
+
+    def _probe(self, address: IPAddress, result: ZmapSweepResult) -> None:
+        result.probes_sent += 1
+        endpoint = self.service.quic_endpoint_for(address)
+        if endpoint is None:
+            result.silent += 1
+            return
+        packet = InitialPacket(
+            version=GREASE_VERSION,
+            destination_cid=bytes([result.probes_sent & 0xFF] * 8),
+            source_cid=b"\x5a" * 8,
+        )
+        wire = endpoint.handle_datagram(packet.to_wire())
+        if wire is None:
+            result.silent += 1
+            return
+        response = decode_packet(wire)
+        if isinstance(response, VersionNegotiationPacket):
+            result.responsive[address] = tuple(
+                version_name(v) for v in response.supported_versions
+            )
+        else:
+            result.silent += 1

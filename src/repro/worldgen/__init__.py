@@ -1,0 +1,17 @@
+"""Synthetic-world generation.
+
+Builds a seeded, self-consistent simulated Internet — client ASes with
+prefixes and user populations, the relay deployment with its monthly
+evolution, the published egress list, the Atlas probe population, DNS
+infrastructure, and a router topology — calibrated so that running the
+paper's measurement pipeline over it reproduces the shapes of every
+table and figure.
+
+Ground truth lives here; the scanners and analyses never read it
+directly — they measure, exactly as the paper did.
+"""
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World, build_world
+
+__all__ = ["WorldConfig", "World", "build_world"]

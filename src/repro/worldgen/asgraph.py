@@ -1,0 +1,95 @@
+"""AS-relationship graph construction for a world.
+
+Builds the business-relationship hierarchy the AS-path analyses run on:
+
+* three tier-1 transit ASes (full mesh of peers);
+* two regional transit ASes per region — customers of two tier-1s,
+  peering with each other inside the region;
+* every client AS buys transit from one or two regional transits of its
+  region;
+* the relay/CDN operators are multihomed customers of all tier-1s —
+  except that **AS36183's only peering link is to Akamai's AS20940**,
+  the paper's observation about the relay AS's connectivity.
+"""
+
+from __future__ import annotations
+
+from repro.netmodel.asn import WellKnownAS
+from repro.netmodel.aspath import ASGraph
+from repro.netmodel.geo import REGIONS
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.internet import (
+    DNS_SERVICE_ASN,
+    HIJACK_ASN,
+    RESOLVER_BLOCKS,
+    VANTAGE_ASN,
+    InternetGround,
+)
+
+#: Tier-1 transit AS numbers (Lumen, Arelion, Cogent).
+TIER1_ASNS: tuple[int, ...] = (3356, 1299, 174)
+
+#: Base number for the synthetic regional transit ASes.
+_REGIONAL_BASE = 60_000
+
+
+def regional_transit_asns(region: str) -> tuple[int, int]:
+    """The two regional transit AS numbers of a region."""
+    index = REGIONS.index(region)
+    return (_REGIONAL_BASE + 2 * index, _REGIONAL_BASE + 2 * index + 1)
+
+
+def build_as_graph(config: WorldConfig, ground: InternetGround) -> ASGraph:
+    """Construct the relationship graph for a generated world."""
+    graph = ASGraph()
+    # Tier-1 full mesh.
+    for i, a in enumerate(TIER1_ASNS):
+        for b in TIER1_ASNS[i + 1:]:
+            graph.add_peer(a, b)
+    # Regional transits: dual-homed to tier-1s, peering regionally.
+    for region in REGIONS:
+        first, second = regional_transit_asns(region)
+        index = REGIONS.index(region)
+        graph.add_customer(TIER1_ASNS[index % 3], first)
+        graph.add_customer(TIER1_ASNS[(index + 1) % 3], first)
+        graph.add_customer(TIER1_ASNS[(index + 1) % 3], second)
+        graph.add_customer(TIER1_ASNS[(index + 2) % 3], second)
+        graph.add_peer(first, second)
+    # Client ASes attach to their region's transits.
+    gazetteer = ground.gazetteer
+    for client in ground.client_ases:
+        region = gazetteer.region_of(client.country)
+        first, second = regional_transit_asns(region)
+        choice = client.asys.number % 3
+        if choice == 0:
+            graph.add_customer(first, client.asys.number)
+        elif choice == 1:
+            graph.add_customer(second, client.asys.number)
+        else:  # multihomed
+            graph.add_customer(first, client.asys.number)
+            graph.add_customer(second, client.asys.number)
+    # Operators: multihomed to every tier-1.
+    operators = (
+        int(WellKnownAS.APPLE),
+        int(WellKnownAS.AKAMAI_PR),
+        int(WellKnownAS.AKAMAI_EG),
+        int(WellKnownAS.CLOUDFLARE),
+        int(WellKnownAS.FASTLY),
+    )
+    for asn in operators:
+        for tier1 in TIER1_ASNS:
+            graph.add_customer(tier1, asn)
+    # The paper's observation: AS36183's single visible peering link.
+    graph.add_peer(int(WellKnownAS.AKAMAI_PR), int(WellKnownAS.AKAMAI_EG))
+    # Infrastructure ASes.
+    eu = regional_transit_asns("EU")
+    graph.add_customer(eu[0], VANTAGE_ASN)
+    for asn in (DNS_SERVICE_ASN, HIJACK_ASN):
+        graph.add_customer(TIER1_ASNS[0], asn)
+        graph.add_customer(TIER1_ASNS[1], asn)
+    for _provider, (_block, asn) in RESOLVER_BLOCKS.items():
+        if asn not in graph or not graph.providers_of(asn):
+            for tier1 in TIER1_ASNS:
+                if asn != tier1:
+                    graph.add_customer(tier1, asn)
+    return graph

@@ -1,0 +1,246 @@
+"""World-generation configuration.
+
+Defaults are calibrated to the paper's measured aggregates, so a
+scale-1.0 world, when measured by the scanners in :mod:`repro.scan`,
+reproduces the published numbers to within sampling noise.  ``scale``
+shrinks every population linearly (with sane floors) for fast tests.
+
+All values describe **ground truth to deploy**, not the measurement
+results; where the paper's numbers are themselves measurements (e.g.
+the 1382 addresses RIPE Atlas saw), the deployed ground truth is chosen
+slightly larger so the measured value emerges from probe coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorldGenError
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer population with a floor."""
+    return max(minimum, round(value * scale))
+
+
+@dataclass(frozen=True)
+class MonthlyIngressCounts:
+    """Ingress relay counts for one calendar month (Table 1 row)."""
+
+    year: int
+    month: int
+    quic_apple: int
+    quic_akamai: int
+    fallback_apple: int
+    fallback_akamai: int
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Every knob of the synthetic world."""
+
+    seed: int = 2022
+    scale: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Client space (Table 2 calibration)
+    # ------------------------------------------------------------------
+    #: ASes whose subnets are exclusively served by one ingress operator,
+    #: and ASes split between both (the "Both" row).
+    apple_only_as_count: int = 20807
+    akamai_only_as_count: int = 34627
+    both_as_count: int = 17301
+    #: /24 client subnets per category (0.2 M / 1.1 M / 10.6 M).
+    apple_only_slash24s: int = 200_000
+    akamai_only_slash24s: int = 1_100_000
+    both_slash24s: int = 10_600_000
+    #: Apple's share of /24 subnets within "Both" ASes (76 %).
+    both_apple_share: float = 0.76
+    #: User populations per category (105 M / 994 M / 2 373 M).
+    apple_only_population: int = 105_000_000
+    akamai_only_population: int = 994_000_000
+    both_population: int = 2_373_000_000
+    #: Probability that a client BGP prefix is split into two assignment
+    #: units with distinct ECS scopes (exercises scope handling).
+    unit_split_probability: float = 0.12
+
+    # ------------------------------------------------------------------
+    # Ingress deployment (Table 1 calibration)
+    # ------------------------------------------------------------------
+    ingress_months: tuple[MonthlyIngressCounts, ...] = (
+        MonthlyIngressCounts(2022, 1, 365, 823, 356, 0),
+        MonthlyIngressCounts(2022, 2, 355, 845, 356, 0),
+        MonthlyIngressCounts(2022, 3, 347, 945, 334, 25),
+        MonthlyIngressCounts(2022, 4, 349, 1237, 336, 1062),
+    )
+    #: IPv6 QUIC fleet deployed in April (Atlas discovered 346 + 1229;
+    #: ground truth is a bit larger so discovery is probe-limited).
+    ingress_v6_apple: int = 352
+    ingress_v6_akamai: int = 1260
+    #: Ingress BGP prefixes ("within 123 routed BGP prefixes"): Apple +
+    #: Akamai-PR IPv4, and Akamai-PR IPv6 (for the Section 6 analysis).
+    ingress_v4_prefixes_apple: int = 30
+    ingress_v4_prefixes_akamai: int = 93
+    ingress_v6_prefixes_akamai: int = 108
+    ingress_v6_prefixes_apple: int = 24
+    #: One relay activates between the April ECS scan and the Atlas run
+    #: (the paper's single Atlas-only address).
+    late_relay_during_april: bool = True
+
+    # Regional ingress pods: pods per region; probe-poor regions explain
+    # the ~200 addresses Atlas misses.
+    pods_per_region: dict[str, int] = field(
+        default_factory=lambda: {"NA": 8, "EU": 8, "AS": 6, "SA": 3, "AF": 3, "OC": 2}
+    )
+
+    # ------------------------------------------------------------------
+    # Egress list (Table 3/4 calibration)
+    # ------------------------------------------------------------------
+    #: IPv4: per-operator (subnet count, total addresses, BGP prefixes).
+    egress_v4_akamai_pr: tuple[int, int, int] = (9890, 57589, 301)
+    egress_v4_akamai_eg: tuple[int, int, int] = (1602, 5100, 1)
+    egress_v4_cloudflare: tuple[int, int, int] = (18218, 18218, 112)
+    egress_v4_fastly: tuple[int, int, int] = (8530, 17060, 81)
+    #: IPv6: per-operator (subnet count, BGP prefixes); subnets are /64.
+    egress_v6_akamai_pr: tuple[int, int] = (142826, 1172)
+    egress_v6_akamai_eg: tuple[int, int] = (23495, 1)
+    egress_v6_cloudflare: tuple[int, int] = (26988, 2)
+    egress_v6_fastly: tuple[int, int] = (8530, 81)
+    #: Country coverage per operator (CF 248 incl. 11 unique; Akamai-PR
+    #: and Fastly 236; Akamai-EG 24).
+    egress_ccs_cloudflare: int = 248
+    egress_ccs_akamai_pr: int = 236
+    egress_ccs_fastly: int = 236
+    egress_ccs_akamai_eg: int = 24
+    cloudflare_unique_ccs: int = 11
+    #: City coverage targets per operator (Table 4): (v4 cities, v6 cities).
+    egress_cities_akamai_pr: tuple[int, int] = (853, 14085)
+    egress_cities_akamai_eg: tuple[int, int] = (455, 7507)
+    egress_cities_cloudflare: tuple[int, int] = (1134, 5228)
+    egress_cities_fastly: tuple[int, int] = (848, 848)
+    #: Location-distribution shape: US share of all subnets (58 %), DE
+    #: share (3.6 %), and the long tail (123 CCs below 50 subnets).
+    us_subnet_share: float = 0.58
+    de_subnet_share: float = 0.036
+    #: Fraction of entries with a blank city (1.6 %).
+    missing_city_fraction: float = 0.016
+    #: The May list is 15 % larger than January, with little churn.
+    egress_growth_jan_to_may: float = 0.15
+    egress_churn_fraction: float = 0.01
+    #: MaxMind-style DB adoption of the published mapping (most subnets).
+    geodb_adoption_rate: float = 0.95
+
+    # ------------------------------------------------------------------
+    # Atlas probe population (Section 4.1 calibration)
+    # ------------------------------------------------------------------
+    atlas_probe_count: int = 11700
+    atlas_as_count: int = 3326
+    atlas_country_count: int = 168
+    #: Regional probe shares (NA/EU bias as documented for RIPE Atlas).
+    atlas_region_shares: dict[str, float] = field(
+        default_factory=lambda: {
+            "EU": 0.47,
+            "NA": 0.27,
+            "AS": 0.13,
+            "OC": 0.05,
+            "SA": 0.04,
+            "AF": 0.04,
+        }
+    )
+    #: Share of probes behind each public resolver ("more than half of
+    #: all probes" in total).
+    atlas_public_resolver_shares: dict[str, float] = field(
+        default_factory=lambda: {
+            "Google": 0.26,
+            "Cloudflare": 0.15,
+            "Quad9": 0.07,
+            "OpenDNS": 0.05,
+        }
+    )
+    #: Fraction of probes timing out on any DNS measurement (~10 %).
+    atlas_timeout_fraction: float = 0.10
+    #: Fraction of probes behind resolvers that answer but fail for the
+    #: relay domains, and the rcode split among them.
+    atlas_block_fraction: float = 0.061
+    atlas_block_rcode_shares: dict[str, float] = field(
+        default_factory=lambda: {
+            "NXDOMAIN": 0.72,
+            "NOERROR": 0.13,
+            "REFUSED": 0.05,
+            "SERVFAIL": 0.07,
+            "FORMERR": 0.03,
+        }
+    )
+    #: Exactly one probe sits behind a hijacking (nextdns-style) resolver.
+    atlas_hijack_probes: int = 1
+    #: Share of probes with working IPv6.
+    atlas_ipv6_fraction: float = 0.55
+
+    # ------------------------------------------------------------------
+    # Relay scan vantage (Section 4.3)
+    # ------------------------------------------------------------------
+    vantage_country: str = "DE"
+    #: Egress-operator presence weights at the vantage: Fastly absent.
+    vantage_presence: dict[str, float] = field(
+        default_factory=lambda: {"Cloudflare": 0.55, "Akamai_PR": 0.45}
+    )
+    #: Default presence weights elsewhere.
+    default_presence: dict[str, float] = field(
+        default_factory=lambda: {"Cloudflare": 0.45, "Akamai_PR": 0.35, "Fastly": 0.20}
+    )
+    #: Local egress pool shape at one location.  Per operator the pool is
+    #: small; across the two operators present at the vantage, a 48-hour
+    #: scan observes the paper's "six addresses from four subnets" order
+    #: of magnitude.
+    egress_pool_addresses: int = 4
+    egress_pool_subnets: int = 3
+    #: Probability a new connection reuses the previous egress address
+    #: (calibrated so back-to-back requests change address >66 % of the
+    #: time).
+    egress_stickiness: float = 0.08
+
+    # ------------------------------------------------------------------
+    # DNS / scan mechanics
+    # ------------------------------------------------------------------
+    #: ECS scan rate limit (queries/second); tuned so that a full-scale
+    #: scan takes tens of hours of simulated time, as in the paper.
+    ecs_scan_rate: float = 2.2
+    #: Gazetteer size.
+    country_count: int = 250
+
+    # ------------------------------------------------------------------
+    # BGP history (Section 6)
+    # ------------------------------------------------------------------
+    history_start: tuple[int, int] = (2016, 1)
+    history_end: tuple[int, int] = (2022, 5)
+    akamai_pr_first_seen: tuple[int, int] = (2021, 6)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1.0:
+            raise WorldGenError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0.0 < self.both_apple_share < 1.0:
+            raise WorldGenError("both_apple_share must be in (0, 1)")
+        share_sum = sum(self.atlas_region_shares.values())
+        if abs(share_sum - 1.0) > 1e-6:
+            raise WorldGenError(f"atlas region shares sum to {share_sum}, not 1")
+        rcode_sum = sum(self.atlas_block_rcode_shares.values())
+        if abs(rcode_sum - 1.0) > 1e-6:
+            raise WorldGenError(f"block rcode shares sum to {rcode_sum}, not 1")
+
+    # ------------------------------------------------------------------
+    # Scaled accessors
+    # ------------------------------------------------------------------
+
+    def s(self, value: int, minimum: int = 1) -> int:
+        """Scale a ground-truth population by the world scale."""
+        return _scaled(value, self.scale, minimum)
+
+    @classmethod
+    def tiny(cls, seed: int = 2022) -> "WorldConfig":
+        """A small world for unit tests (sub-second generation)."""
+        return cls(seed=seed, scale=0.004)
+
+    @classmethod
+    def small(cls, seed: int = 2022) -> "WorldConfig":
+        """A mid-size world for integration tests."""
+        return cls(seed=seed, scale=0.02)

@@ -1,0 +1,431 @@
+"""Synthetic Internet: address space, client ASes, populations, routing.
+
+Lays out the IPv4 space: well-known operator blocks (Apple, the two
+Akamai ASes, Cloudflare, Fastly), public-resolver anycast blocks, a
+vantage network, and a densely packed client space of ~73 k ASes whose
+/24 counts, ingress-operator split, and user populations reproduce the
+Table 2 ground truth.
+
+Every client AS falls in one of three categories — served exclusively
+by Apple's ingress relays, exclusively by Akamai-PR's, or split between
+both — and contributes *assignment chunks*: (prefix, ECS scope,
+operator) triples that :mod:`repro.worldgen.deployment` later binds to
+regional pods and installs into the relay service's assignment map.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorldGenError
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.asn import ASRegistry, AutonomousSystem, WellKnownAS
+from repro.netmodel.bgp import RoutingTable
+from repro.netmodel.geo import Gazetteer
+from repro.netmodel.population import ASPopulationDataset
+from repro.worldgen.config import WorldConfig
+
+# ----------------------------------------------------------------------
+# Fixed address plan
+# ----------------------------------------------------------------------
+
+#: Operator supernets (reserved from client allocation, announced from
+#: the operator's AS by the deployment builder).
+OPERATOR_BLOCKS: dict[int, tuple[str, ...]] = {
+    WellKnownAS.APPLE: ("17.0.0.0/8",),
+    WellKnownAS.AKAMAI_PR: ("172.224.0.0/12",),
+    WellKnownAS.AKAMAI_EG: ("23.32.0.0/11",),
+    WellKnownAS.CLOUDFLARE: ("104.16.0.0/12", "172.64.0.0/13"),
+    WellKnownAS.FASTLY: ("151.101.0.0/16", "146.75.0.0/16"),
+}
+
+#: IPv6 operator supernets.
+OPERATOR_BLOCKS_V6: dict[int, tuple[str, ...]] = {
+    WellKnownAS.APPLE: ("2620:149::/32",),
+    WellKnownAS.AKAMAI_PR: ("2a02:26f7::/32",),
+    WellKnownAS.AKAMAI_EG: ("2600:1400::/28",),
+    WellKnownAS.CLOUDFLARE: ("2606:4700::/32",),
+    WellKnownAS.FASTLY: ("2a04:4e40::/32",),
+}
+
+#: Public resolver anycast blocks and operator AS numbers.
+RESOLVER_BLOCKS: dict[str, tuple[str, int]] = {
+    "Google": ("8.8.0.0/16", 15169),
+    "Cloudflare": ("1.1.0.0/16", WellKnownAS.CLOUDFLARE),
+    "Quad9": ("9.9.0.0/16", 19281),
+    "OpenDNS": ("208.67.0.0/16", 36692),
+}
+
+#: The measurement vantage network (the paper's university network).
+VANTAGE_BLOCK = "131.159.0.0/16"
+VANTAGE_ASN = 64496
+VANTAGE_AS_NAME = "Vantage-University"
+
+#: The authoritative DNS service block (Route 53-like).
+DNS_SERVICE_BLOCK = "205.251.192.0/21"
+DNS_SERVICE_ASN = 16509
+
+#: The hijack target block (nextdns.io-style filtering service).
+HIJACK_BLOCK = "45.90.28.0/22"
+HIJACK_ASN = 34939
+
+#: IETF/IANA special-use space, never allocated to clients.
+SPECIAL_USE_BLOCKS: tuple[str, ...] = (
+    "0.0.0.0/8",
+    "10.0.0.0/8",
+    "100.64.0.0/10",
+    "127.0.0.0/8",
+    "169.254.0.0/16",
+    "172.16.0.0/12",
+    "192.0.0.0/24",
+    "192.88.99.0/24",
+    "192.168.0.0/16",
+    "198.18.0.0/15",
+    "224.0.0.0/3",
+)
+
+
+def reserved_prefixes() -> list[Prefix]:
+    """All IPv4 prefixes excluded from client allocation."""
+    texts: list[str] = list(SPECIAL_USE_BLOCKS)
+    for blocks in OPERATOR_BLOCKS.values():
+        texts.extend(blocks)
+    for block, _asn in RESOLVER_BLOCKS.values():
+        texts.append(block)
+    texts.extend((VANTAGE_BLOCK, DNS_SERVICE_BLOCK, HIJACK_BLOCK))
+    return [Prefix.parse(t) for t in texts]
+
+
+class SpaceAllocator:
+    """Bump allocator of aligned IPv4 prefixes around reserved ranges.
+
+    Callers allocate in descending-size order, which keeps the cursor
+    aligned inside each free span and bounds fragmentation to the span
+    boundaries.
+    """
+
+    def __init__(self, reserved: list[Prefix], start: str = "1.0.0.0") -> None:
+        self._reserved = sorted(
+            (p.value, p.broadcast_value) for p in reserved
+        )
+        self._cursor = IPAddress.parse(start).value
+        self.wasted = 0
+
+    def allocate(self, length: int) -> Prefix:
+        """Allocate the next free, aligned prefix of ``length``."""
+        size = 1 << (32 - length)
+        while True:
+            aligned = (self._cursor + size - 1) & ~(size - 1)
+            end = aligned + size - 1
+            if end >= 1 << 32:
+                raise WorldGenError("IPv4 space exhausted during allocation")
+            conflict = self._find_conflict(aligned, end)
+            if conflict is None:
+                self.wasted += aligned - self._cursor
+                self._cursor = end + 1
+                return Prefix(4, aligned, length)
+            self._cursor = conflict + 1
+
+    def _find_conflict(self, start: int, end: int) -> int | None:
+        """The end of a reserved range overlapping [start, end], or None."""
+        # Reserved list is small (~25 entries); linear scan is fine.
+        for r_start, r_end in self._reserved:
+            if r_start <= end and start <= r_end:
+                return r_end
+        return None
+
+
+# ----------------------------------------------------------------------
+# Ground-truth records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentChunk:
+    """One client block and the ingress operator serving it."""
+
+    prefix: Prefix
+    scope_len: int
+    operator_asn: int
+    country: str
+
+
+@dataclass
+class ClientAS:
+    """Ground truth for one client AS."""
+
+    asys: AutonomousSystem
+    category: str  # "apple" | "akamai" | "both"
+    slash24_count: int
+    country: str
+    population: int
+
+
+@dataclass
+class InternetGround:
+    """Everything the rest of worldgen needs about the base Internet."""
+
+    config: WorldConfig
+    registry: ASRegistry
+    routing: RoutingTable
+    population: ASPopulationDataset
+    gazetteer: Gazetteer
+    client_ases: list[ClientAS]
+    chunks: list[AssignmentChunk]
+    resolver_sites: dict[tuple[str, str], IPAddress]
+    vantage_prefix: Prefix = field(default_factory=lambda: Prefix.parse(VANTAGE_BLOCK))
+
+    def client_slash24_total(self) -> int:
+        """Total ground-truth client /24 count."""
+        return sum(c.slash24_count for c in self.client_ases)
+
+
+# ----------------------------------------------------------------------
+# Distribution helpers
+# ----------------------------------------------------------------------
+
+
+def _power_law_counts(total: int, n: int, alpha: float, minimum: int) -> list[int]:
+    """Split ``total`` into ``n`` positive integers with a power-law shape."""
+    if n <= 0:
+        raise WorldGenError(f"cannot distribute over {n} recipients")
+    weights = [(i + 1) ** -alpha for i in range(n)]
+    weight_sum = sum(weights)
+    counts = [max(minimum, int(total * w / weight_sum)) for w in weights]
+    # Largest-remainder correction towards the exact total.
+    drift = total - sum(counts)
+    i = 0
+    while drift != 0 and n > 0:
+        idx = i % n
+        if drift > 0:
+            counts[idx] += 1
+            drift -= 1
+        elif counts[idx] > minimum:
+            counts[idx] -= 1
+            drift += 1
+        i += 1
+        if i > 10 * n and drift < 0:
+            break  # cannot shrink below minimums; accept slight overshoot
+    return counts
+
+
+def _round_to_power_of_two(counts: list[int], minimum: int) -> list[int]:
+    """Round each count to a power of two, steering total drift to ~0."""
+    out = []
+    drift = 0
+    for count in counts:
+        count = max(count, minimum)
+        floor_pow = 1 << (count.bit_length() - 1)
+        ceil_pow = floor_pow if floor_pow == count else floor_pow << 1
+        if drift > 0:
+            choice = floor_pow
+        elif drift < 0:
+            choice = ceil_pow
+        else:
+            choice = floor_pow if (count - floor_pow) <= (ceil_pow - count) else ceil_pow
+        choice = max(choice, minimum)
+        drift += choice - count
+        out.append(choice)
+    return out
+
+
+def _country_weights(gazetteer: Gazetteer) -> list[float]:
+    """Client-AS country weights: big codes first, long tail after."""
+    return [1.0 / (rank + 3.0) for rank in range(len(gazetteer.country_codes))]
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+
+
+def build_internet(config: WorldConfig) -> InternetGround:
+    """Build the base Internet for a configuration."""
+    rng = random.Random(config.seed)
+    gazetteer = Gazetteer(
+        config.seed ^ 0x9E0,
+        num_countries=config.country_count,
+        cities_per_country=(2, config.s(9000, 60)),
+    )
+    registry = ASRegistry()
+    routing = RoutingTable()
+    population = ASPopulationDataset()
+
+    _register_operators(registry)
+    _announce_infrastructure(routing, registry)
+    resolver_sites = _build_resolver_sites(routing, registry)
+
+    allocator = SpaceAllocator(reserved_prefixes())
+    client_ases, chunks = _build_client_space(
+        config, rng, gazetteer, registry, routing, population, allocator
+    )
+    _add_resolver_site_chunks(chunks, resolver_sites)
+    # The vantage network is a relay client too: it is served like any
+    # other subnet in its country (needed for scans through the relay).
+    chunks.append(
+        AssignmentChunk(
+            Prefix.parse(VANTAGE_BLOCK), 16, int(WellKnownAS.AKAMAI_PR), "DE"
+        )
+    )
+    return InternetGround(
+        config=config,
+        registry=registry,
+        routing=routing,
+        population=population,
+        gazetteer=gazetteer,
+        client_ases=client_ases,
+        chunks=chunks,
+        resolver_sites=resolver_sites,
+    )
+
+
+def _register_operators(registry: ASRegistry) -> None:
+    registry.register(AutonomousSystem(WellKnownAS.APPLE, "Apple Inc.", "US"))
+    registry.register(
+        AutonomousSystem(WellKnownAS.AKAMAI_PR, "Akamai Private Relay", "US")
+    )
+    registry.register(AutonomousSystem(WellKnownAS.AKAMAI_EG, "Akamai Intl.", "US"))
+    registry.register(AutonomousSystem(WellKnownAS.CLOUDFLARE, "Cloudflare", "US"))
+    registry.register(AutonomousSystem(WellKnownAS.FASTLY, "Fastly", "US"))
+    registry.register(AutonomousSystem(VANTAGE_ASN, VANTAGE_AS_NAME, "DE"))
+    registry.register(AutonomousSystem(DNS_SERVICE_ASN, "DNS-Cloud", "US"))
+    registry.register(AutonomousSystem(HIJACK_ASN, "NextFilter", "US"))
+
+
+def _announce_infrastructure(routing: RoutingTable, registry: ASRegistry) -> None:
+    for prefix_text, asn in (
+        (VANTAGE_BLOCK, VANTAGE_ASN),
+        (DNS_SERVICE_BLOCK, DNS_SERVICE_ASN),
+        (HIJACK_BLOCK, HIJACK_ASN),
+    ):
+        prefix = Prefix.parse(prefix_text)
+        routing.announce(prefix, asn)
+        registry.get(asn).add_prefix(prefix)
+
+
+def _build_resolver_sites(
+    routing: RoutingTable, registry: ASRegistry
+) -> dict[tuple[str, str], IPAddress]:
+    """One anycast site per (provider, region), each in its own /24."""
+    from repro.netmodel.geo import REGIONS
+
+    sites: dict[tuple[str, str], IPAddress] = {}
+    for provider, (block_text, asn) in RESOLVER_BLOCKS.items():
+        block = Prefix.parse(block_text)
+        asys = registry.ensure(asn, f"{provider} Resolver", "US")
+        routing.announce(block, asn)
+        asys.add_prefix(block)
+        for index, region in enumerate(REGIONS):
+            site_prefix = Prefix(4, block.value + (index << 8), 24)
+            sites[(provider, region)] = site_prefix.address_at(1)
+    return sites
+
+
+_CLIENT_ASN_BASE = 100_000
+
+
+def _build_client_space(
+    config: WorldConfig,
+    rng: random.Random,
+    gazetteer: Gazetteer,
+    registry: ASRegistry,
+    routing: RoutingTable,
+    population: ASPopulationDataset,
+    allocator: SpaceAllocator,
+) -> tuple[list[ClientAS], list[AssignmentChunk]]:
+    categories = (
+        # (name, AS count, /24 total, population, minimum /24s per AS)
+        ("both", config.s(config.both_as_count, 4), config.s(config.both_slash24s, 32), config.s(config.both_population), 8),
+        ("akamai", config.s(config.akamai_only_as_count, 4), config.s(config.akamai_only_slash24s, 16), config.s(config.akamai_only_population), 1),
+        ("apple", config.s(config.apple_only_as_count, 4), config.s(config.apple_only_slash24s, 8), config.s(config.apple_only_population), 1),
+    )
+    countries = gazetteer.country_codes
+    weights = _country_weights(gazetteer)
+    plans: list[tuple[str, int, int, str]] = []  # (category, count, pop, country)
+    for name, as_count, slash24_total, pop_total, minimum in categories:
+        counts = _round_to_power_of_two(
+            _power_law_counts(slash24_total, as_count, 0.3, minimum), minimum
+        )
+        pops = _power_law_counts(pop_total, as_count, 0.6, 10)
+        as_countries = rng.choices(countries, weights=weights, k=as_count)
+        plans.extend(
+            (name, counts[i], pops[i], as_countries[i]) for i in range(as_count)
+        )
+    # Allocate big-first across all categories for tight packing.
+    order = sorted(range(len(plans)), key=lambda i: -plans[i][1])
+    prefixes: list[Prefix | None] = [None] * len(plans)
+    for i in order:
+        count = plans[i][1]
+        length = 24 - (count.bit_length() - 1)
+        prefixes[i] = allocator.allocate(length)
+
+    client_ases: list[ClientAS] = []
+    chunks: list[AssignmentChunk] = []
+    next_asn = _CLIENT_ASN_BASE
+    for i, (category, count, pop, country) in enumerate(plans):
+        prefix = prefixes[i]
+        assert prefix is not None
+        asys = AutonomousSystem(next_asn, f"Client-{category}-{next_asn}", country)
+        next_asn += 1
+        registry.register(asys)
+        asys.add_prefix(prefix)
+        routing.announce(prefix, asys.number)
+        population.set_population(asys.number, pop)
+        client_ases.append(ClientAS(asys, category, count, country, pop))
+        chunks.extend(_chunks_for_as(config, rng, prefix, category, country))
+    return client_ases, chunks
+
+
+def _chunks_for_as(
+    config: WorldConfig,
+    rng: random.Random,
+    prefix: Prefix,
+    category: str,
+    country: str,
+) -> list[AssignmentChunk]:
+    apple = int(WellKnownAS.APPLE)
+    akamai = int(WellKnownAS.AKAMAI_PR)
+    if category in ("apple", "akamai"):
+        operator = apple if category == "apple" else akamai
+        if (
+            prefix.length <= 23
+            and rng.random() < config.unit_split_probability
+        ):
+            # Split into two half-sized units: exercises ECS scopes more
+            # specific than the covering BGP prefix.
+            return [
+                AssignmentChunk(sub, sub.length, operator, country)
+                for sub in prefix.subnets(prefix.length + 1)
+            ]
+        return [AssignmentChunk(prefix, prefix.length, operator, country)]
+    # "Both" AS: eight units, k of them Apple-served, averaging the
+    # configured 76 % Apple subnet share.
+    unit_len = min(24, prefix.length + 3)
+    units = list(prefix.subnets(unit_len))
+    target = config.both_apple_share * len(units)
+    k = int(target)
+    if rng.random() < (target - k):
+        k += 1
+    k = max(1, min(len(units) - 1, k))
+    rng.shuffle(units)
+    return [
+        AssignmentChunk(unit, unit.length, apple if idx < k else akamai, country)
+        for idx, unit in enumerate(units)
+    ]
+
+
+def _add_resolver_site_chunks(
+    chunks: list[AssignmentChunk], sites: dict[tuple[str, str], IPAddress]
+) -> None:
+    """Map each resolver site's /24 to its region (for non-ECS resolvers)."""
+    akamai = int(WellKnownAS.AKAMAI_PR)
+    for (provider, region), address in sites.items():
+        site_prefix = address.to_prefix(24)
+        # Country code is synthetic: the pod binder only uses the region,
+        # which it derives from the chunk's country; encode the region by
+        # picking any country of that region later — here we tag with a
+        # sentinel the deployment layer resolves.
+        chunks.append(
+            AssignmentChunk(site_prefix, 24, akamai, f"@{region}")
+        )

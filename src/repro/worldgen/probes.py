@@ -1,0 +1,172 @@
+"""Atlas probe population generation.
+
+Places probes in client ASes with the documented RIPE Atlas properties:
+~10k+ probes across ~3.3k ASes and 168 countries with a strong NA/EU
+bias, over half behind the big four public resolvers, ~10 % timing out,
+a few percent behind relay-blocking resolvers (with the paper's rcode
+mix), and exactly one behind a hijacking filter service.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probe import Probe
+from repro.dns.message import Rcode
+from repro.dns.resolver import (
+    BlockingResolver,
+    HijackingResolver,
+    PublicResolver,
+    RecursiveResolver,
+    Resolver,
+    TimeoutResolver,
+)
+from repro.dns.server import NameServerRegistry
+from repro.netmodel.addr import IPAddress
+from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+from repro.simtime import SimClock
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.internet import HIJACK_BLOCK, InternetGround
+
+_BLOCK_RCODES = {
+    "NXDOMAIN": Rcode.NXDOMAIN,
+    "NOERROR": Rcode.NOERROR,
+    "REFUSED": Rcode.REFUSED,
+    "SERVFAIL": Rcode.SERVFAIL,
+    "FORMERR": Rcode.FORMERR,
+}
+
+_RELAY_DOMAINS = [RELAY_DOMAIN_QUIC, RELAY_DOMAIN_FALLBACK]
+
+#: Documentation prefix used for probe IPv6 connectivity flags.
+_PROBE_V6_BASE = 0x20010DB8 << 96
+
+
+def build_probes(
+    config: WorldConfig,
+    ground: InternetGround,
+    registry: NameServerRegistry,
+    clock: SimClock,
+    probe_countries: list[str],
+) -> AtlasPlatform:
+    """Build the probe platform for a world."""
+    rng = random.Random(config.seed ^ 0xA71A5)
+    platform = AtlasPlatform(registry, clock)
+    probe_count = config.s(config.atlas_probe_count, 40)
+
+    # --- probe-AS pool: ~3.3k client ASes, weighted by population -----
+    by_country: dict[str, list] = {}
+    for client in ground.client_ases:
+        by_country.setdefault(client.country, []).append(client)
+    pool_target = min(config.s(config.atlas_as_count, 20), len(ground.client_ases))
+    weighted = sorted(ground.client_ases, key=lambda c: -c.population)
+    pool = weighted[:pool_target]
+    pool_by_country: dict[str, list] = {}
+    for client in pool:
+        pool_by_country.setdefault(client.country, []).append(client)
+
+    # --- per-region country lists among the covered 168 ----------------
+    gaz = ground.gazetteer
+    region_countries: dict[str, list[str]] = {}
+    for code in probe_countries:
+        if code in pool_by_country:
+            region_countries.setdefault(gaz.region_of(code), []).append(code)
+
+    regions = list(config.atlas_region_shares)
+    region_weights = [config.atlas_region_shares[r] for r in regions]
+
+    # --- shared public resolver instances per (provider, region) ------
+    public_instances: dict[tuple[str, str], PublicResolver] = {}
+    for (provider, region), address in ground.resolver_sites.items():
+        public_instances[(provider, region)] = PublicResolver(
+            registry,
+            address,
+            provider,
+            clock=clock,
+            send_ecs=(provider != "Cloudflare"),
+        )
+
+    # --- behaviour quotas ----------------------------------------------
+    n_timeout = round(probe_count * config.atlas_timeout_fraction)
+    n_block = round(probe_count * config.atlas_block_fraction)
+    block_plan: list[Rcode] = []
+    for name, share in config.atlas_block_rcode_shares.items():
+        block_plan.extend([_BLOCK_RCODES[name]] * round(n_block * share))
+    while len(block_plan) < n_block:
+        block_plan.append(Rcode.NXDOMAIN)
+    block_plan = block_plan[:n_block]
+    n_hijack = min(config.atlas_hijack_probes, probe_count)
+    provider_plan: list[str] = []
+    for provider, share in config.atlas_public_resolver_shares.items():
+        provider_plan.extend([provider] * round(probe_count * share))
+
+    per_as_counter: dict[int, int] = {}
+    hijack_target = IPAddress.parse(HIJACK_BLOCK.split("/")[0]).value + 1
+
+    for probe_id in range(probe_count):
+        region = rng.choices(regions, weights=region_weights, k=1)[0]
+        countries = region_countries.get(region)
+        if not countries:
+            # Fallback: any region with covered countries.
+            countries = next(
+                codes for codes in region_countries.values() if codes
+            )
+            region = gaz.region_of(countries[0])
+        weights = [1.0 / (gaz.country_codes.index(c) + 3.0) for c in countries]
+        country = rng.choices(countries, weights=weights, k=1)[0]
+        client = rng.choice(pool_by_country[country])
+        prefix = client.asys.prefixes[0]
+        counter = per_as_counter.get(client.asys.number, 0)
+        per_as_counter[client.asys.number] = counter + 1
+        # Spread probes across the AS's /24s (a Knuth-hash stride), so
+        # probe subnets sample the AS's assignment units uniformly.
+        slash24s = prefix.num_addresses() // 256
+        block = (counter * 2654435761 + client.asys.number) % slash24s
+        address = prefix.address_at(block * 256 + 7)
+
+        local = RecursiveResolver(
+            registry,
+            IPAddress(4, address.value ^ 1),
+            clock=clock,
+            send_ecs=False,
+            name=f"local-{probe_id}",
+        )
+        resolver: Resolver = local
+        provider: str | None = None
+        if probe_id < n_timeout:
+            resolver = TimeoutResolver(local.address)
+        elif probe_id < n_timeout + len(block_plan):
+            resolver = BlockingResolver(
+                local, _RELAY_DOMAINS, block_plan[probe_id - n_timeout]
+            )
+        elif probe_id < n_timeout + len(block_plan) + n_hijack:
+            resolver = HijackingResolver(
+                local, _RELAY_DOMAINS, IPAddress(4, hijack_target)
+            )
+        elif provider_plan:
+            provider = provider_plan.pop()
+            site = public_instances.get((provider, region))
+            if site is None:
+                site = next(
+                    inst for (p, _r), inst in public_instances.items() if p == provider
+                )
+            resolver = site
+
+        address_v6 = None
+        if rng.random() < config.atlas_ipv6_fraction:
+            address_v6 = IPAddress(6, _PROBE_V6_BASE + (probe_id << 16) + 1)
+
+        platform.add_probe(
+            Probe(
+                probe_id=probe_id,
+                asn=client.asys.number,
+                country=country,
+                region=region,
+                address=address,
+                resolver=resolver,
+                address_v6=address_v6,
+                resolver_provider=provider,
+            )
+        )
+    return platform

@@ -1,0 +1,182 @@
+"""Tests for the Table 3/4 and figure analyses."""
+
+import pytest
+
+from repro.analysis.egress_report import (
+    build_egress_facts,
+    build_geo_scatter,
+    build_location_cdfs,
+    build_table3,
+    build_table4,
+)
+from repro.netmodel.asn import WellKnownAS
+
+APPLE = int(WellKnownAS.APPLE)
+AKAMAI_PR = int(WellKnownAS.AKAMAI_PR)
+AKAMAI_EG = int(WellKnownAS.AKAMAI_EG)
+CLOUDFLARE = int(WellKnownAS.CLOUDFLARE)
+FASTLY = int(WellKnownAS.FASTLY)
+
+
+@pytest.fixture(scope="module")
+def table3(small_world):
+    return build_table3(small_world.egress_list_may, small_world.routing)
+
+
+@pytest.fixture(scope="module")
+def table4(small_world):
+    return build_table4(small_world.egress_list_may, small_world.routing)
+
+
+@pytest.fixture(scope="module")
+def facts(small_world):
+    return build_egress_facts(
+        small_world.egress_list_may,
+        small_world.routing,
+        small_world.egress_list_jan,
+        small_world.geodb,
+    )
+
+
+class TestTable3:
+    def test_four_operator_rows(self, table3):
+        assert {row.asn for row in table3.rows} == {
+            AKAMAI_PR, AKAMAI_EG, CLOUDFLARE, FASTLY,
+        }
+
+    def test_subnet_counts_match_config(self, small_world, table3):
+        config = small_world.config
+        assert table3.row(AKAMAI_PR).v4_subnets == config.s(
+            config.egress_v4_akamai_pr[0], 8
+        )
+        assert table3.row(CLOUDFLARE).v4_subnets == config.s(
+            config.egress_v4_cloudflare[0], 8
+        )
+
+    def test_cloudflare_all_slash32(self, table3):
+        row = table3.row(CLOUDFLARE)
+        assert row.v4_addresses == row.v4_subnets
+
+    def test_fastly_all_slash31(self, table3):
+        row = table3.row(FASTLY)
+        assert row.v4_addresses == 2 * row.v4_subnets
+
+    def test_akamai_pr_most_addresses_per_subnet(self, table3):
+        pr = table3.row(AKAMAI_PR)
+        cf = table3.row(CLOUDFLARE)
+        assert pr.v4_addresses / pr.v4_subnets > cf.v4_addresses / cf.v4_subnets
+
+    def test_akamai_eg_single_bgp_prefix(self, table3):
+        row = table3.row(AKAMAI_EG)
+        assert row.v4_bgp_prefixes == 1
+        assert row.v6_bgp_prefixes == 1
+
+    def test_bgp_prefix_counts_scale(self, small_world, table3):
+        config = small_world.config
+        assert table3.row(AKAMAI_PR).v4_bgp_prefixes == config.s(
+            config.egress_v4_akamai_pr[2]
+        )
+
+    def test_akamai_pr_most_v6_subnets(self, table3):
+        pr = table3.row(AKAMAI_PR).v6_subnets
+        assert pr == max(row.v6_subnets for row in table3.rows)
+
+    def test_render(self, table3):
+        assert "Akamai_EG" in table3.render()
+
+
+class TestTable4:
+    def test_city_counts_ordering(self, table4):
+        # IPv6 covers at least as many cities as IPv4 for Akamai and CF
+        # (the paper's "manifold" observation); Fastly is flat.
+        pr = table4.row(AKAMAI_PR)
+        assert pr.cities_v6 > pr.cities_v4
+        cf = table4.row(CLOUDFLARE)
+        assert cf.cities_v6 >= cf.cities_v4
+        fastly = table4.row(FASTLY)
+        assert abs(fastly.cities_v6 - fastly.cities_v4) <= 0.2 * max(
+            fastly.cities_v4, 1
+        )
+
+    def test_union_at_least_max(self, table4):
+        for row in table4.rows:
+            assert row.cities_all >= max(row.cities_v4, row.cities_v6)
+
+    def test_render(self, table4):
+        assert "Covered Cities" in table4.render()
+
+
+class TestGeoScatter:
+    def test_series_per_operator(self, small_world):
+        scatter = build_geo_scatter(
+            small_world.egress_list_may, small_world.routing, small_world.gazetteer
+        )
+        assert set(scatter) == {AKAMAI_PR, AKAMAI_EG, CLOUDFLARE, FASTLY}
+        for points in scatter.values():
+            for lat, lon in points[:50]:
+                assert -90 <= lat <= 90 and -180 <= lon <= 180
+
+    def test_version_filter(self, small_world):
+        scatter_v4 = build_geo_scatter(
+            small_world.egress_list_may, small_world.routing, small_world.gazetteer, 4
+        )
+        scatter_all = build_geo_scatter(
+            small_world.egress_list_may, small_world.routing, small_world.gazetteer
+        )
+        assert len(scatter_v4[AKAMAI_PR]) < len(scatter_all[AKAMAI_PR])
+
+
+class TestLocationCdfs:
+    def test_panels_present(self, small_world):
+        cdfs = build_location_cdfs(small_world.egress_list_may, small_world.routing)
+        keys = {(c.asn, c.version, c.granularity) for c in cdfs}
+        assert (AKAMAI_PR, 4, "city") in keys
+        assert (AKAMAI_PR, 6, "country") in keys
+        assert (CLOUDFLARE, 4, "country") in keys
+
+    def test_cdf_properties(self, small_world):
+        for cdf in build_location_cdfs(small_world.egress_list_may, small_world.routing):
+            series = cdf.series()
+            assert series[-1][1] == pytest.approx(1.0)
+            fractions = [y for _x, y in series]
+            assert fractions == sorted(fractions)
+            assert cdf.counts == sorted(cdf.counts, reverse=True)
+            assert cdf.location_count() == len(series)
+
+
+class TestEgressFacts:
+    def test_us_dominates(self, facts):
+        assert facts.us_share > 0.35
+        assert facts.us_share > 3 * facts.second_cc_share
+
+    def test_long_tail(self, facts):
+        assert facts.ccs_below_50 > 50
+
+    def test_cloudflare_widest_coverage(self, facts):
+        assert facts.cc_coverage[CLOUDFLARE] >= facts.cc_coverage[AKAMAI_PR]
+        assert facts.cc_coverage[AKAMAI_PR] > facts.cc_coverage[AKAMAI_EG]
+
+    def test_unique_coverage_mostly_cloudflare(self, facts):
+        unique = dict(facts.uniquely_covered)
+        cf_unique = unique.pop(CLOUDFLARE, 0)
+        assert cf_unique >= 1
+        assert all(v <= cf_unique for v in unique.values())
+
+    def test_akamai_pr_superset_of_eg(self, small_world, facts):
+        extra = facts.akamai_pr_extra_over_eg
+        assert extra == facts.cc_coverage[AKAMAI_PR] - facts.cc_coverage[AKAMAI_EG]
+
+    def test_growth_about_15_percent(self, facts):
+        assert 0.05 < facts.growth_since_jan < 0.3
+
+    def test_blank_city_fraction(self, facts):
+        assert 0.005 < facts.missing_city_fraction < 0.05
+
+    def test_geodb_adoption_high(self, facts):
+        assert facts.geodb_adoption is not None
+        assert facts.geodb_adoption > 0.85
+
+    def test_render(self, facts):
+        rendered = facts.render()
+        assert "US share" in rendered
+        assert "geo-DB" in rendered

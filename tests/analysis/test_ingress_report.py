@@ -1,0 +1,121 @@
+"""Tests for Table 1 / Table 2 analyses against the small world."""
+
+import pytest
+
+from repro.analysis.ingress_report import build_table1, build_table2
+from repro.analysis.tables import TextTable, pct
+
+
+class TestTextTable:
+    def test_render_aligns(self):
+        table = TextTable(["A", "Value"], title="t")
+        table.add_row("x", 1)
+        table.add_row("longer", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "t"
+        assert "longer" in rendered
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_row_arity_checked(self):
+        table = TextTable(["A"])
+        with pytest.raises(ValueError):
+            table.add_row("x", "y")
+
+    def test_pct(self):
+        assert pct(0.306) == "30.6%"
+
+
+@pytest.fixture(scope="module")
+def table1(small_world_scans):
+    return build_table1(small_world_scans)
+
+
+@pytest.fixture(scope="module")
+def table2(small_world, small_world_scans):
+    april = small_world_scans[-1][2]
+    return build_table2(april, small_world.routing, small_world.population)
+
+
+class TestTable1:
+    def test_four_rows(self, table1):
+        assert [row.month for row in table1.rows] == [
+            "2022-01", "2022-02", "2022-03", "2022-04",
+        ]
+
+    def test_counts_match_deployment(self, small_world, table1):
+        config = small_world.config
+        for row, month in zip(table1.rows, config.ingress_months):
+            assert row.default_apple == config.s(month.quic_apple, 4)
+            assert row.default_akamai == config.s(month.quic_akamai, 8)
+
+    def test_fallback_absent_in_january(self, table1):
+        assert table1.rows[0].fallback_apple is None
+        assert table1.rows[1].fallback_apple is not None
+
+    def test_february_fallback_all_apple(self, table1):
+        row = table1.rows[1]
+        assert row.fallback_akamai == 0
+        assert row.fallback_apple == row.fallback_total
+
+    def test_quic_growth_positive(self, table1):
+        # The paper reports +34 % QUIC relays January through April.
+        assert 0.2 < table1.quic_growth() < 0.6
+
+    def test_fallback_growth_large(self, table1):
+        # The paper reports +293 % for the fallback fleet.
+        assert table1.fallback_growth() > 1.5
+
+    def test_akamai_majority_grows(self, table1):
+        first = table1.rows[0]
+        last = table1.rows[-1]
+        share_first = first.default_akamai / first.default_total
+        share_last = last.default_akamai / last.default_total
+        assert 0.6 < share_first < share_last < 0.85
+
+    def test_render(self, table1):
+        rendered = table1.render()
+        assert "2022-04" in rendered
+        assert "Table 1" in rendered
+
+
+class TestTable2:
+    def test_as_counts_match_ground_truth(self, small_world, table2):
+        config = small_world.config
+        assert table2.apple_only_ases == config.s(config.apple_only_as_count, 4)
+        assert table2.akamai_only_ases == config.s(config.akamai_only_as_count, 4)
+        assert table2.both_ases == config.s(config.both_as_count, 4)
+
+    def test_subnet_counts_close(self, small_world, table2):
+        config = small_world.config
+        assert (
+            abs(table2.apple_only_slash24s - config.s(config.apple_only_slash24s, 8))
+            / config.s(config.apple_only_slash24s, 8)
+            < 0.1
+        )
+        assert (
+            abs(table2.both_slash24s - config.s(config.both_slash24s, 32))
+            / config.s(config.both_slash24s, 32)
+            < 0.1
+        )
+
+    def test_apple_share_of_both(self, table2):
+        # Paper: Apple's subnet share within "Both" ASes is 76 %.
+        assert 0.70 < table2.apple_share_of_both < 0.82
+
+    def test_apple_share_of_all(self, table2):
+        # Paper: Apple serves 69 % of all subnets from 25 % of addresses.
+        assert 0.64 < table2.apple_share_of_all_subnets < 0.74
+
+    def test_population_attribution(self, small_world, table2):
+        config = small_world.config
+        target = config.s(config.both_population)
+        assert abs(table2.both_population - target) / target < 0.1
+        # "Both" ASes hold the largest user share, as in the paper.
+        assert table2.both_population > table2.akamai_only_population
+        assert table2.akamai_only_population > table2.apple_only_population
+
+    def test_render(self, table2):
+        rendered = table2.render()
+        assert "Akamai_PR" in rendered
+        assert "Both" in rendered

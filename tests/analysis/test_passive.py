@@ -1,0 +1,144 @@
+"""Tests for the passive-observer analyses (ISP monitor, server IDS)."""
+
+import pytest
+
+from repro.analysis.passive import (
+    IspMonitor,
+    PassiveFlow,
+    ServerSideIds,
+)
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.relay.egress_list import EgressEntry, EgressList
+
+
+def addr(text: str) -> IPAddress:
+    return IPAddress.parse(text)
+
+
+INGRESS = {addr("172.224.0.1"), addr("172.224.0.2"), addr("17.0.0.1")}
+SERVICES = {
+    addr("203.0.113.80"): "video",
+    addr("203.0.113.81"): "social",
+}
+
+
+def flow(dst: str, true_service: str = "", t: float = 0.0, size: int = 1000) -> PassiveFlow:
+    return PassiveFlow(t, addr("131.159.0.17"), addr(dst), size, true_service)
+
+
+class TestIspMonitor:
+    def test_relay_flows_detected(self):
+        monitor = IspMonitor(INGRESS, SERVICES)
+        flows = [
+            flow("172.224.0.1", "video"),
+            flow("203.0.113.80", "video"),
+        ]
+        report = monitor.analyze(flows)
+        assert report.relay_flows == 1
+        assert report.relay_share == 0.5
+        assert report.attributed == {"video": 1}
+
+    def test_relay_flows_unattributable(self):
+        monitor = IspMonitor(INGRESS, SERVICES)
+        flows = [flow("172.224.0.1", "video", size=5000)]
+        report = monitor.analyze(flows)
+        assert report.unattributable_bytes == 5000
+        assert not report.attributed
+
+    def test_ingress_becomes_top_destination(self):
+        monitor = IspMonitor(INGRESS, SERVICES)
+        flows = [flow("172.224.0.1", t=i, size=10_000) for i in range(20)]
+        flows += [flow("203.0.113.80", size=100)]
+        report = monitor.analyze(flows)
+        assert report.top_destinations[0][0] == addr("172.224.0.1")
+
+    def test_attribution_error_grows_with_relay_adoption(self):
+        monitor = IspMonitor(INGRESS, SERVICES)
+        direct = [flow("203.0.113.80", "video") for _ in range(10)]
+        relayed = [flow("172.224.0.1", "video") for _ in range(10)]
+        assert monitor.attribution_error(direct) == 0.0
+        assert monitor.attribution_error(direct + relayed) == 0.5
+        assert monitor.attribution_error([]) == 0.0
+
+    def test_world_ingress_dataset_feeds_monitor(self, small_world_scans):
+        """The ECS dataset is exactly what the paper says ISPs should use."""
+        april = small_world_scans[-1][2]
+        monitor = IspMonitor(april.addresses())
+        ingress = sorted(april.addresses())[0]
+        report = monitor.analyze([flow(str(ingress))])
+        assert report.relay_flows == 1
+
+
+def make_egress_list() -> EgressList:
+    return EgressList(
+        [
+            EgressEntry(Prefix.parse("172.232.0.0/28"), "DE", "DE-EU", "DE-City-000"),
+        ]
+    )
+
+
+class TestServerSideIds:
+    def test_rotating_addresses_alert_without_mitigation(self):
+        ids = ServerSideIds(window_seconds=300.0, churn_threshold=5)
+        requests = [
+            (i * 30.0, IPAddress(4, (172 << 24) | (232 << 16) | (i % 12)))
+            for i in range(40)
+        ]
+        report = ids.analyze(requests)
+        assert report.alerts
+        assert report.relay_addresses_recognised == 0
+
+    def test_egress_list_mitigation_suppresses_alerts(self):
+        ids = ServerSideIds(
+            window_seconds=300.0, churn_threshold=5, egress_list=make_egress_list()
+        )
+        requests = [
+            (i * 30.0, IPAddress(4, (172 << 24) | (232 << 16) | (i % 12)))
+            for i in range(40)
+        ]
+        report = ids.analyze(requests)
+        assert not report.alerts
+        assert report.relay_addresses_recognised == 40
+
+    def test_stable_client_never_alerts(self):
+        ids = ServerSideIds(window_seconds=300.0, churn_threshold=5)
+        requests = [(i * 30.0, addr("198.51.100.7")) for i in range(40)]
+        report = ids.analyze(requests)
+        assert not report.alerts
+        assert report.windows_evaluated >= 4
+
+    def test_quiet_windows_counted(self):
+        ids = ServerSideIds(window_seconds=100.0, churn_threshold=2)
+        requests = [(0.0, addr("198.51.100.7")), (950.0, addr("198.51.100.8"))]
+        report = ids.analyze(requests)
+        assert report.windows_evaluated == 10
+
+    def test_empty_input(self):
+        report = ServerSideIds().analyze([])
+        assert report.windows_evaluated == 0
+        assert report.alert_rate == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ServerSideIds(window_seconds=0.0)
+
+    def test_relay_scan_triggers_then_mitigated(self, tiny_world):
+        """An actual relay scan's access log trips the naive IDS."""
+        from repro.scan import RelayScanConfig, RelayScanner
+
+        world = tiny_world
+        world.web_server.clear()
+        client = world.make_vantage_client()
+        RelayScanner(client, world.web_server, world.echo_server, world.clock).run(
+            RelayScanConfig(30.0, 3600.0), "ids-probe"
+        )
+        requests = [
+            (entry.timestamp, entry.requester) for entry in world.web_server.log
+        ]
+        naive = ServerSideIds(window_seconds=300.0, churn_threshold=3).analyze(requests)
+        mitigated = ServerSideIds(
+            window_seconds=300.0, churn_threshold=3,
+            egress_list=world.egress_list_may,
+        ).analyze(requests)
+        assert naive.alerts
+        assert not mitigated.alerts

@@ -1,0 +1,97 @@
+"""Tests for the QoE path comparison extension."""
+
+import pytest
+
+from repro.analysis.qoe import compare_paths, one_way_latency_ms
+from repro.errors import TopologyError
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.topology import Router, Topology
+
+
+@pytest.fixture()
+def topology():
+    """vantage -- transit -- {target-edge, akamai-edge}."""
+    topo = Topology()
+    for name, asn, ip in (
+        ("vantage", 64496, "192.0.2.1"),
+        ("transit", 3356, "192.0.2.2"),
+        ("target-edge", 65001, "192.0.2.3"),
+        ("akamai-edge", 36183, "192.0.2.4"),
+    ):
+        topo.add_router(Router(name, asn, IPAddress.parse(ip)))
+    topo.add_link("vantage", "transit", 5.0)
+    topo.add_link("transit", "target-edge", 20.0)
+    topo.add_link("transit", "akamai-edge", 10.0)
+    topo.attach_host(IPAddress.parse("203.0.113.80"), "target-edge")
+    topo.attach_host(IPAddress.parse("172.224.0.1"), "akamai-edge")
+    topo.attach_host(IPAddress.parse("172.232.0.1"), "akamai-edge")
+    return topo
+
+
+class TestQoe:
+    def test_one_way_latency(self, topology):
+        assert one_way_latency_ms(
+            topology, "vantage", IPAddress.parse("203.0.113.80")
+        ) == 25.0
+
+    def test_direct_vs_relayed(self, topology):
+        comparison = compare_paths(
+            topology,
+            "vantage",
+            IPAddress.parse("172.224.0.1"),
+            IPAddress.parse("172.232.0.1"),
+            IPAddress.parse("203.0.113.80"),
+            backbone_factor=1.0,
+        )
+        assert comparison.direct_rtt_ms == 50.0
+        # vantage->ingress 15 + ingress->egress 0 (same router) +
+        # egress->target 30 => 45 one-way, 90 RTT.
+        assert comparison.relayed_rtt_ms == 90.0
+        assert comparison.overhead_ms == 40.0
+        assert comparison.overhead_ratio == pytest.approx(0.8)
+
+    def test_backbone_discount_reduces_overhead(self, topology):
+        # Separate the relay hops so the backbone segment is non-trivial.
+        topology.add_router(
+            Router("akamai-far", 36183, IPAddress.parse("192.0.2.5"))
+        )
+        topology.add_link("transit", "akamai-far", 30.0)
+        egress = IPAddress.parse("172.232.9.1")
+        topology.attach_host(egress, "akamai-far")
+        slow = compare_paths(
+            topology, "vantage",
+            IPAddress.parse("172.224.0.1"), egress,
+            IPAddress.parse("203.0.113.80"), backbone_factor=1.0,
+        )
+        fast = compare_paths(
+            topology, "vantage",
+            IPAddress.parse("172.224.0.1"), egress,
+            IPAddress.parse("203.0.113.80"), backbone_factor=0.5,
+        )
+        assert fast.relayed_rtt_ms < slow.relayed_rtt_ms
+        assert fast.direct_rtt_ms == slow.direct_rtt_ms
+
+    def test_backbone_factor_validated(self, topology):
+        with pytest.raises(TopologyError):
+            compare_paths(
+                topology, "vantage",
+                IPAddress.parse("172.224.0.1"),
+                IPAddress.parse("172.232.0.1"),
+                IPAddress.parse("203.0.113.80"),
+                backbone_factor=0.0,
+            )
+
+    def test_world_relayed_path(self, tiny_world):
+        """On a generated world, relaying costs bounded overhead."""
+        world = tiny_world
+        client = world.make_vantage_client()
+        observation = client.request(world.web_server)
+        comparison = compare_paths(
+            world.topology,
+            world.vantage_router_id,
+            observation.ingress_address,
+            observation.egress_address,
+            world.web_server.address,
+        )
+        assert comparison.relayed_rtt_ms > 0
+        assert comparison.direct_rtt_ms >= 0

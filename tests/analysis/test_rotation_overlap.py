@@ -1,0 +1,140 @@
+"""Tests for the rotation report and the Section 6 overlap analysis."""
+
+import pytest
+
+from repro.analysis.overlap import build_overlap_report
+from repro.analysis.rotation_report import build_rotation_report
+from repro.dns.rr import RRType
+from repro.relay.client import DnsConfig
+from repro.relay.ingress import RelayProtocol
+from repro.scan.relay_scanner import RelayScanConfig, RelayScanner
+
+AKAMAI_PR = 36183
+
+
+@pytest.fixture(scope="module")
+def scan_pair(tiny_world):
+    """An open scan and a fixed-DNS scan on the tiny world."""
+    world = tiny_world
+    open_client = world.make_vantage_client()
+    open_series = RelayScanner(
+        open_client, world.web_server, world.echo_server, world.clock
+    ).run(RelayScanConfig(30.0, 86400.0), "open")
+    ingress = sorted(
+        world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+    )[0]
+    fixed_client = world.make_vantage_client(
+        DnsConfig.fixed({("mask.icloud.com", RRType.A): [ingress]})
+    )
+    fixed_series = RelayScanner(
+        fixed_client, world.web_server, world.echo_server, world.clock
+    ).run(RelayScanConfig(30.0, 86400.0), "fixed")
+    return open_series, fixed_series
+
+
+class TestRotationReport:
+    def test_figure3_series(self, tiny_world, scan_pair):
+        open_series, fixed_series = scan_pair
+        report = build_rotation_report(open_series, fixed_series)
+        figure = report.figure3_series()
+        assert set(figure) == {"open", "fixed"}
+        assert len(figure["open"]) == len(open_series)
+
+    def test_operator_change_counts(self, scan_pair):
+        report = build_rotation_report(*scan_pair)
+        counts = report.operator_change_counts()
+        assert set(counts) == {"open", "fixed"}
+        assert all(count < 60 for count in counts.values())
+
+    def test_operators_seen_names(self, scan_pair):
+        report = build_rotation_report(*scan_pair)
+        assert report.operators_seen() <= {"Cloudflare", "Akamai_PR"}
+
+    def test_rotation_statistics(self, tiny_world, scan_pair):
+        report = build_rotation_report(
+            scan_pair[0], scan_pair[1], tiny_world.egress_list_may
+        )
+        assert report.address_change_rate() > 0.6
+        assert report.distinct_address_count() >= 2
+        assert report.distinct_subnet_count() >= 1
+        assert report.parallel_divergence_rate() > 0.3
+
+    def test_forced_ingress_no_behaviour_change(self, scan_pair):
+        report = build_rotation_report(*scan_pair)
+        assert not report.forced_ingress_changes_behaviour()
+
+    def test_render(self, tiny_world, scan_pair):
+        report = build_rotation_report(
+            scan_pair[0], scan_pair[1], tiny_world.egress_list_may
+        )
+        rendered = report.render()
+        assert "address change rate" in rendered
+        assert "forced ingress" in rendered
+
+
+@pytest.fixture(scope="module")
+def overlap(tiny_world, scan_pair):
+    world = tiny_world
+    open_series, _ = scan_pair
+    ingress_v4 = {
+        r.address
+        for r in world.ingress_v4.relays
+        if r.is_active(world.clock.now)
+    }
+    ingress_v6 = {
+        r.address
+        for r in world.ingress_v6.relays
+        if r.is_active(world.clock.now)
+    }
+    akamai_ingress = sorted(
+        a for a in open_series.ingress_addresses()
+        if world.routing.origin_of(a) == AKAMAI_PR
+    )
+    akamai_egress = sorted(
+        r.curl.egress_address
+        for r in open_series.rounds
+        if r.curl.egress_asn == AKAMAI_PR
+    )
+    return build_overlap_report(
+        world.routing,
+        world.history,
+        ingress_v4,
+        ingress_v6,
+        world.egress_list_may,
+        world.topology,
+        world.vantage_router_id,
+        akamai_ingress[0] if akamai_ingress else None,
+        akamai_egress[0] if akamai_egress else None,
+    )
+
+
+class TestOverlapReport:
+    def test_akamai_pr_hosts_both_layers(self, overlap):
+        assert overlap.overlap_asns == {AKAMAI_PR}
+
+    def test_prefixes_never_shared(self, overlap):
+        assert overlap.shared_prefixes == 0
+
+    def test_used_fraction_high(self, overlap):
+        # Paper: 92.2 % of announced AS36183 prefixes carry relay traffic.
+        assert 0.75 < overlap.used_fraction <= 1.0
+
+    def test_prefix_counts_consistent(self, overlap):
+        assert overlap.used_prefixes <= overlap.announced_total
+        assert overlap.ingress_prefixes > 0
+        assert overlap.egress_prefixes > 0
+
+    def test_first_seen_matches_launch(self, overlap):
+        assert overlap.first_seen == (2021, 6)
+        assert overlap.months_examined == 77
+
+    def test_shared_last_hop(self, overlap):
+        assert overlap.shared_last_hop
+        assert overlap.ingress_trace is not None
+        assert overlap.egress_trace is not None
+        assert overlap.ingress_trace.last_hop.asn == AKAMAI_PR
+
+    def test_render(self, overlap):
+        rendered = overlap.render()
+        assert "last hop" in rendered
+        assert "92" in rendered or "used fraction" in rendered

@@ -1,0 +1,68 @@
+"""Tests for the AS-level routing analysis (future work item i)."""
+
+import pytest
+
+from repro.analysis.routing_report import (
+    build_routing_report,
+    egress_paths_to_destination,
+)
+from repro.worldgen.asgraph import TIER1_ASNS, regional_transit_asns
+
+
+@pytest.fixture(scope="module")
+def report(tiny_world):
+    clients = [c.asys.number for c in tiny_world.ground.client_ases[:80]]
+    return build_routing_report(tiny_world.as_graph, clients)
+
+
+class TestRoutingReport:
+    def test_paths_computed_for_both_operators(self, report):
+        assert set(report.per_operator) == {714, 36183}
+        for load in report.per_operator.values():
+            assert load.paths
+
+    def test_no_unreachable_clients(self, report):
+        assert report.unreachable_clients == 0
+
+    def test_bottleneck_is_a_transit(self, report, tiny_world):
+        transits = set(TIER1_ASNS)
+        for region in ("NA", "EU", "AS", "SA", "AF", "OC"):
+            transits.update(regional_transit_asns(region))
+        for operator, bottleneck in report.bottlenecks().items():
+            assert bottleneck is not None
+            asn, share = bottleneck
+            assert asn in transits
+            assert 0 < share <= 1.0
+
+    def test_hop_counts_plausible(self, report):
+        for operator, hops in report.average_hops().items():
+            # client -> regional -> tier-1 -> operator is the typical shape.
+            assert 2.0 <= hops <= 4.5
+
+    def test_single_peer_relay_as(self, report):
+        assert report.single_peer_relay_as()
+
+    def test_render(self, report):
+        rendered = report.render()
+        assert "towards Apple" in rendered
+        assert "bottleneck" in rendered
+        assert "AS20940" in rendered
+
+
+class TestEgressPaths:
+    def test_paths_from_egress_operators(self, tiny_world):
+        from repro.worldgen.internet import DNS_SERVICE_ASN
+
+        paths = egress_paths_to_destination(
+            tiny_world.as_graph, [36183, 13335, 54113], DNS_SERVICE_ASN
+        )
+        for asn, path in paths.items():
+            assert path is not None
+            assert path.asns[0] == asn
+            assert path.asns[-1] == DNS_SERVICE_ASN
+
+    def test_akamai_pr_uses_peering_to_akamai_eg(self, tiny_world):
+        path = tiny_world.as_graph.best_path(36183, 20940)
+        assert path is not None
+        # The direct peering link is the shortest route.
+        assert path.hops == 1

@@ -1,0 +1,197 @@
+"""Tests for the Atlas-style measurement platform."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.atlas.measurement import (
+    DnsMeasurementResult,
+    DnsMeasurementSpec,
+    MeasurementTarget,
+    ProbeDnsResult,
+)
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probe import Probe
+from repro.dns.message import Rcode
+from repro.dns.name import DnsName
+from repro.dns.resolver import RecursiveResolver, TimeoutResolver
+from repro.dns.rr import RRType, a_record
+from repro.dns.server import AuthoritativeServer, NameServerRegistry
+from repro.dns.zone import Zone
+from repro.netmodel.addr import IPAddress
+from repro.simtime import SimClock
+
+DOMAIN = "service.example."
+
+
+@pytest.fixture()
+def setup():
+    clock = SimClock()
+    registry = NameServerRegistry()
+    server = AuthoritativeServer(IPAddress.parse("205.251.192.1"))
+    zone = Zone(DOMAIN)
+    zone.add_record(
+        a_record(DnsName.parse(DOMAIN), IPAddress.parse("192.0.2.80"))
+    )
+    server.add_zone(zone)
+    registry.register(server)
+    platform = AtlasPlatform(registry, clock)
+    return platform, registry, clock
+
+
+def make_probe(probe_id: int, registry, clock, resolver=None, country="DE", v6=False) -> Probe:
+    address = IPAddress(4, (100 << 24) + probe_id * 256 + 7)
+    if resolver is None:
+        resolver = RecursiveResolver(registry, IPAddress(4, address.value ^ 1), clock=clock)
+    return Probe(
+        probe_id=probe_id,
+        asn=100000 + probe_id,
+        country=country,
+        region="EU",
+        address=address,
+        resolver=resolver,
+        address_v6=IPAddress.parse(f"2001:db8::{probe_id + 1}") if v6 else None,
+    )
+
+
+class TestProbe:
+    def test_requires_v4_primary(self, setup):
+        platform, registry, clock = setup
+        with pytest.raises(ValueError):
+            Probe(1, 1, "DE", "EU", IPAddress.parse("::1"),
+                  TimeoutResolver(IPAddress.parse("::1")))
+
+    def test_v6_flag(self, setup):
+        _platform, registry, clock = setup
+        assert make_probe(1, registry, clock, v6=True).has_ipv6
+        assert not make_probe(2, registry, clock).has_ipv6
+
+
+class TestPlatform:
+    def test_add_probe_and_duplicates(self, setup):
+        platform, registry, clock = setup
+        platform.add_probe(make_probe(1, registry, clock))
+        with pytest.raises(MeasurementError):
+            platform.add_probe(make_probe(1, registry, clock))
+        assert len(platform) == 1
+        assert platform.probe(1).probe_id == 1
+        with pytest.raises(MeasurementError):
+            platform.probe(99)
+
+    def test_inventory_stats(self, setup):
+        platform, registry, clock = setup
+        platform.add_probe(make_probe(1, registry, clock, country="DE"))
+        platform.add_probe(make_probe(2, registry, clock, country="US"))
+        assert platform.distinct_countries() == {"DE", "US"}
+        assert len(platform.distinct_asns()) == 2
+        assert platform.probes_by_region() == {"EU": 2}
+
+    def test_local_resolver_measurement(self, setup):
+        platform, registry, clock = setup
+        for i in range(3):
+            platform.add_probe(make_probe(i, registry, clock))
+        result = platform.run_dns(DnsMeasurementSpec(DOMAIN, RRType.A))
+        assert len(result) == 3
+        assert all(r.succeeded for r in result.results)
+        assert result.distinct_addresses() == {IPAddress.parse("192.0.2.80")}
+
+    def test_timeout_probe(self, setup):
+        platform, registry, clock = setup
+        probe = make_probe(
+            1, registry, clock,
+            resolver=TimeoutResolver(IPAddress.parse("100.0.0.1")),
+        )
+        platform.add_probe(probe)
+        result = platform.run_dns(DnsMeasurementSpec(DOMAIN, RRType.A))
+        assert result.results[0].timed_out
+        assert len(result.timeouts()) == 1
+
+    def test_authoritative_target(self, setup):
+        platform, registry, clock = setup
+        platform.add_probe(make_probe(1, registry, clock))
+        result = platform.run_dns(
+            DnsMeasurementSpec(DOMAIN, RRType.A, MeasurementTarget.AUTHORITATIVE)
+        )
+        assert result.results[0].succeeded
+
+    def test_authoritative_unknown_domain_times_out(self, setup):
+        platform, registry, clock = setup
+        platform.add_probe(make_probe(1, registry, clock))
+        result = platform.run_dns(
+            DnsMeasurementSpec("nowhere.test.", RRType.A, MeasurementTarget.AUTHORITATIVE)
+        )
+        assert result.results[0].timed_out
+
+    def test_aaaa_authoritative_needs_v6(self, setup):
+        platform, registry, clock = setup
+        platform.add_probe(make_probe(1, registry, clock, v6=False))
+        platform.add_probe(make_probe(2, registry, clock, v6=True))
+        result = platform.run_dns(
+            DnsMeasurementSpec(DOMAIN, RRType.AAAA, MeasurementTarget.AUTHORITATIVE)
+        )
+        by_id = {r.probe_id: r for r in result.results}
+        assert by_id[1].timed_out
+        assert not by_id[2].timed_out
+
+    def test_probe_selection(self, setup):
+        platform, registry, clock = setup
+        for i in range(4):
+            platform.add_probe(make_probe(i, registry, clock))
+        result = platform.run_dns(
+            DnsMeasurementSpec(DOMAIN, RRType.A, probe_ids=(1, 3))
+        )
+        assert {r.probe_id for r in result.results} == {1, 3}
+
+    def test_clock_advances_per_measurement(self, setup):
+        platform, registry, clock = setup
+        platform.add_probe(make_probe(1, registry, clock))
+        before = clock.now
+        platform.run_dns(DnsMeasurementSpec(DOMAIN, RRType.A))
+        assert clock.now == before + platform.measurement_duration
+
+    def test_resolver_provider_shares(self, setup):
+        platform, registry, clock = setup
+        google = make_probe(1, registry, clock)
+        google.resolver_provider = "Google"
+        platform.add_probe(google)
+        platform.add_probe(make_probe(2, registry, clock))
+        shares = platform.resolver_provider_shares()
+        assert shares == {"Google": 0.5, "local": 0.5}
+
+
+class TestMeasurementResult:
+    def _result(self, rcode, addresses=(), timed_out=False):
+        return ProbeDnsResult(1, 100, "DE", rcode, tuple(addresses), timed_out)
+
+    def test_succeeded(self):
+        ok = self._result(Rcode.NOERROR, [IPAddress.parse("1.1.1.1")])
+        assert ok.succeeded and not ok.failed_with_response
+
+    def test_nodata_is_failure_with_response(self):
+        nodata = self._result(Rcode.NOERROR)
+        assert not nodata.succeeded
+        assert nodata.failed_with_response
+
+    def test_timeout_is_not_failure_with_response(self):
+        timeout = self._result(None, timed_out=True)
+        assert not timeout.failed_with_response
+
+    def test_rcode_breakdown(self):
+        result = DnsMeasurementResult(
+            spec=DnsMeasurementSpec(DOMAIN, RRType.A), started_at=0.0
+        )
+        result.results.extend(
+            [
+                self._result(Rcode.NXDOMAIN),
+                self._result(Rcode.NXDOMAIN),
+                self._result(Rcode.REFUSED),
+                self._result(Rcode.NOERROR),  # nodata
+                self._result(Rcode.NOERROR, [IPAddress.parse("1.1.1.1")]),
+            ]
+        )
+        assert result.rcode_breakdown() == {
+            "NXDOMAIN": 2,
+            "REFUSED": 1,
+            "NOERROR": 1,
+        }
+        assert len(result.successes()) == 1
+        assert len(result.failures_with_response()) == 4

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+World generation is the expensive part, so worlds are session-scoped:
+``tiny_world`` for cheap structural checks and ``small_world`` for
+integration tests that run the measurement pipeline.  Tests must not
+mutate world state destructively; tests that advance the shared clock
+should only ever advance it (the clock is monotonic anyway).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.worldgen import WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A scale-0.004 world (sub-second build)."""
+    return build_world(WorldConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A scale-0.02 world for pipeline integration tests."""
+    return build_world(WorldConfig.small())
+
+
+@pytest.fixture(scope="session")
+def small_world_scans(small_world):
+    """The four monthly ECS scans (default + fallback) on small_world."""
+    from repro.scan import EcsScanner
+    from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+
+    world = small_world
+    scanner = EcsScanner(world.route53, world.routing, world.clock)
+    monthly = []
+    for year, month in world.scan_months():
+        world.clock.advance_to(world.scan_start(year, month))
+        default = scanner.scan(RELAY_DOMAIN_QUIC)
+        fallback = (
+            scanner.scan(RELAY_DOMAIN_FALLBACK) if (year, month) != (2022, 1) else None
+        )
+        monthly.append((year, month, default, fallback))
+    return monthly

@@ -1,0 +1,113 @@
+"""Tests for repro.dns.edns (RFC 7871 Client Subnet)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DnsWireError
+from repro.dns.edns import (
+    FAMILY_IPV4,
+    FAMILY_IPV6,
+    ClientSubnetOption,
+    EdnsOptions,
+)
+from repro.netmodel.addr import IPAddress, Prefix
+
+
+class TestClientSubnetOption:
+    def test_family(self):
+        assert ClientSubnetOption(Prefix.parse("1.2.3.0/24")).family == FAMILY_IPV4
+        assert ClientSubnetOption(Prefix.parse("2001:db8::/56")).family == FAMILY_IPV6
+
+    def test_scope_bounds(self):
+        with pytest.raises(DnsWireError):
+            ClientSubnetOption(Prefix.parse("1.2.3.0/24"), scope_prefix_length=33)
+        ClientSubnetOption(Prefix.parse("2001:db8::/56"), scope_prefix_length=128)
+
+    def test_with_scope(self):
+        option = ClientSubnetOption(Prefix.parse("1.2.3.0/24"))
+        assert option.with_scope(16).scope_prefix_length == 16
+
+    def test_scope_prefix_widens(self):
+        option = ClientSubnetOption(Prefix.parse("1.2.3.0/24"), 16)
+        assert option.scope_prefix() == Prefix.parse("1.2.0.0/16")
+
+    def test_scope_prefix_never_narrows(self):
+        option = ClientSubnetOption(Prefix.parse("1.2.3.0/24"), 28)
+        assert option.scope_prefix() == Prefix.parse("1.2.3.0/24")
+
+    def test_scope_zero_means_everything(self):
+        option = ClientSubnetOption(Prefix.parse("2001:db8::/56"), 0)
+        assert option.scope_prefix() == Prefix.parse("::/0")
+
+    def test_wire_roundtrip_v4(self):
+        option = ClientSubnetOption(Prefix.parse("203.0.113.0/24"), 21)
+        assert ClientSubnetOption.from_wire(option.to_wire()) == option
+
+    def test_wire_roundtrip_v6(self):
+        option = ClientSubnetOption(Prefix.parse("2001:db8:42::/48"), 0)
+        assert ClientSubnetOption.from_wire(option.to_wire()) == option
+
+    def test_wire_truncates_address(self):
+        # A /20 source needs ceil(20/8) = 3 address bytes.
+        option = ClientSubnetOption(Prefix.parse("10.16.0.0/20"))
+        wire = option.to_wire()
+        assert len(wire) == 4 + 3
+
+    def test_from_wire_rejects_short(self):
+        with pytest.raises(DnsWireError):
+            ClientSubnetOption.from_wire(b"\x00\x01")
+
+    def test_from_wire_rejects_bad_family(self):
+        with pytest.raises(DnsWireError):
+            ClientSubnetOption.from_wire(b"\x00\x09\x18\x00\x01\x02\x03")
+
+    def test_from_wire_rejects_wrong_address_length(self):
+        # Family v4, source /24 but 2 address bytes.
+        with pytest.raises(DnsWireError):
+            ClientSubnetOption.from_wire(b"\x00\x01\x18\x00\x01\x02")
+
+    def test_from_wire_rejects_nonzero_host_bits(self):
+        # /20 with low nibble of third byte set.
+        with pytest.raises(DnsWireError):
+            ClientSubnetOption.from_wire(b"\x00\x01\x14\x00\x0a\x10\x0f")
+
+
+class TestEdnsOptions:
+    def test_defaults(self):
+        opts = EdnsOptions()
+        assert opts.udp_payload_size == 1232
+        assert opts.client_subnet is None
+
+    def test_payload_bounds(self):
+        with pytest.raises(DnsWireError):
+            EdnsOptions(udp_payload_size=100)
+
+    def test_version_zero_only(self):
+        with pytest.raises(DnsWireError):
+            EdnsOptions(version=1)
+
+    def test_options_wire_roundtrip(self):
+        subnet = ClientSubnetOption(Prefix.parse("198.51.100.0/24"), 24)
+        opts = EdnsOptions(client_subnet=subnet, raw_options=((65001, b"xyz"),))
+        decoded = EdnsOptions.from_options_wire(opts.options_wire())
+        assert decoded.client_subnet == subnet
+        assert decoded.raw_options == ((65001, b"xyz"),)
+
+    def test_from_options_wire_truncated(self):
+        with pytest.raises(DnsWireError):
+            EdnsOptions.from_options_wire(b"\x00\x08\x00\x10\x00")
+
+    def test_empty_options(self):
+        assert EdnsOptions.from_options_wire(b"").client_subnet is None
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=32),
+)
+def test_ecs_wire_roundtrip_property(value, source_len, scope_len):
+    prefix = Prefix.from_address(IPAddress(4, value), source_len)
+    option = ClientSubnetOption(prefix, scope_len)
+    assert ClientSubnetOption.from_wire(option.to_wire()) == option

@@ -1,0 +1,91 @@
+"""Tests for repro.dns.name."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DnsNameError
+from repro.dns.name import DnsName
+
+
+class TestDnsName:
+    def test_parse_simple(self):
+        name = DnsName.parse("mask.icloud.com")
+        assert name.labels == ("mask", "icloud", "com")
+
+    def test_parse_trailing_dot(self):
+        assert DnsName.parse("mask.icloud.com.") == DnsName.parse("mask.icloud.com")
+
+    def test_parse_case_folds(self):
+        assert DnsName.parse("MASK.iCloud.COM") == DnsName.parse("mask.icloud.com")
+
+    def test_root(self):
+        root = DnsName.parse(".")
+        assert root.is_root
+        assert str(root) == "."
+
+    def test_str_fqdn(self):
+        assert str(DnsName.parse("example.org")) == "example.org."
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(DnsNameError):
+            DnsName.parse("a..b")
+
+    def test_long_label_rejected(self):
+        with pytest.raises(DnsNameError):
+            DnsName.parse("a" * 64 + ".com")
+
+    def test_max_label_accepted(self):
+        DnsName.parse("a" * 63 + ".com")
+
+    def test_long_name_rejected(self):
+        labels = ".".join(["a" * 60] * 5)
+        with pytest.raises(DnsNameError):
+            DnsName.parse(labels)
+
+    def test_uppercase_constructor_rejected(self):
+        with pytest.raises(DnsNameError):
+            DnsName(("MASK",))
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(DnsNameError):
+            DnsName(("münchen",))
+
+    def test_parent(self):
+        name = DnsName.parse("mask.icloud.com")
+        assert name.parent() == DnsName.parse("icloud.com")
+
+    def test_root_parent_fails(self):
+        with pytest.raises(DnsNameError):
+            DnsName(()).parent()
+
+    def test_subdomain(self):
+        apex = DnsName.parse("icloud.com")
+        assert DnsName.parse("mask.icloud.com").is_subdomain_of(apex)
+        assert apex.is_subdomain_of(apex)
+        assert not DnsName.parse("icloud.org").is_subdomain_of(apex)
+        assert not apex.is_subdomain_of(DnsName.parse("mask.icloud.com"))
+
+    def test_everything_is_subdomain_of_root(self):
+        assert DnsName.parse("a.b.c").is_subdomain_of(DnsName(()))
+
+    def test_child(self):
+        assert DnsName.parse("icloud.com").child("MASK") == DnsName.parse(
+            "mask.icloud.com"
+        )
+
+    def test_hashable(self):
+        assert len({DnsName.parse("a.b"), DnsName.parse("A.B")}) == 1
+
+
+label_strategy = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(st.lists(label_strategy, min_size=1, max_size=5))
+def test_parse_str_roundtrip(labels):
+    name = DnsName(tuple(labels))
+    assert DnsName.parse(str(name)) == name

@@ -1,0 +1,119 @@
+"""Tests for the MASQUE proxy layer."""
+
+import pytest
+
+from repro.errors import MasqueError
+from repro.masque.http import (
+    ConnectMethod,
+    ConnectRequest,
+    ConnectResponse,
+    HttpVersion,
+)
+from repro.masque.proxy import MasqueTunnel, TunnelLeg, establish_tunnel
+from repro.netmodel.addr import IPAddress
+
+
+def addr(text: str) -> IPAddress:
+    return IPAddress.parse(text)
+
+
+class TestConnectRequest:
+    def test_target(self):
+        request = ConnectRequest("example.org", 443)
+        assert request.target == "example.org:443"
+
+    def test_empty_authority_rejected(self):
+        with pytest.raises(MasqueError):
+            ConnectRequest("", 80)
+
+    def test_port_bounds(self):
+        with pytest.raises(MasqueError):
+            ConnectRequest("example.org", 0)
+        with pytest.raises(MasqueError):
+            ConnectRequest("example.org", 70000)
+
+    def test_connect_udp_requires_h3(self):
+        with pytest.raises(MasqueError):
+            ConnectRequest(
+                "example.org", 443,
+                method=ConnectMethod.CONNECT_UDP,
+                http_version=HttpVersion.H2,
+            )
+
+    def test_responses(self):
+        assert ConnectResponse.established().ok
+        assert not ConnectResponse.rejected("nope").ok
+
+
+def build_tunnel(**overrides):
+    kwargs = dict(
+        client_address=addr("131.159.0.17"),
+        client_asn=64496,
+        ingress_address=addr("172.224.0.5"),
+        ingress_asn=36183,
+        egress_service_address=addr("172.232.0.8"),
+        egress_service_asn=36183,
+        egress_address=addr("172.232.0.8"),
+        egress_asn=36183,
+        request=ConnectRequest("example.org", 80),
+    )
+    kwargs.update(overrides)
+    return establish_tunnel(**kwargs)
+
+
+class TestTunnel:
+    def test_establish(self):
+        tunnel, response = build_tunnel()
+        assert response.ok
+        assert tunnel is not None
+        assert tunnel.client_address == addr("131.159.0.17")
+        assert tunnel.destination_authority == "example.org"
+
+    def test_udp_rejected(self):
+        tunnel, response = build_tunnel(
+            request=ConnectRequest(
+                "example.org", 443, method=ConnectMethod.CONNECT_UDP
+            )
+        )
+        assert tunnel is None
+        assert response.status == 403
+
+    def test_legs_must_join(self):
+        leg_a = TunnelLeg(addr("1.1.1.1"), addr("2.2.2.2"), 1, 2)
+        leg_b = TunnelLeg(addr("3.3.3.3"), addr("4.4.4.4"), 3, 4)
+        with pytest.raises(MasqueError):
+            MasqueTunnel(
+                ingress_leg=leg_a,
+                egress_leg=leg_b,
+                destination_authority="x",
+                destination_port=80,
+                egress_address=addr("4.4.4.4"),
+                egress_asn=4,
+            )
+
+    def test_visibility_split(self):
+        tunnel, _ = build_tunnel(
+            ingress_address=addr("17.0.0.5"),
+            ingress_asn=714,
+            egress_service_address=addr("104.16.0.1"),
+            egress_service_asn=13335,
+            egress_address=addr("104.16.0.1"),
+            egress_asn=13335,
+        )
+        assert tunnel.asns_seeing_client() == {64496, 714}
+        assert tunnel.asns_seeing_destination() == {13335}
+        # Disjoint operators: nobody correlates.
+        assert tunnel.correlating_asns() == set()
+
+    def test_correlation_when_same_as_hosts_both(self):
+        # Akamai-PR ingress AND egress: the Section 6 finding.
+        tunnel, _ = build_tunnel()
+        assert tunnel.correlating_asns() == {36183}
+
+    def test_egress_leg_never_carries_client(self):
+        tunnel, _ = build_tunnel()
+        assert tunnel.client_address not in tunnel.egress_leg.endpoints()
+
+    def test_ingress_leg_never_carries_destination_address(self):
+        tunnel, _ = build_tunnel()
+        assert tunnel.egress_address not in tunnel.ingress_leg.endpoints()

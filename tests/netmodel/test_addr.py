@@ -1,0 +1,234 @@
+"""Tests for repro.netmodel.addr."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.netmodel.addr import IPAddress, Prefix, summarize_covered_slash24s
+
+
+class TestIPAddress:
+    def test_parse_v4(self):
+        addr = IPAddress.parse("203.0.113.7")
+        assert addr.version == 4
+        assert addr.value == (203 << 24) | (0 << 16) | (113 << 8) | 7
+
+    def test_parse_v6(self):
+        addr = IPAddress.parse("2001:db8::1")
+        assert addr.version == 6
+        assert addr.value == (0x20010DB8 << 96) | 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(AddressError):
+            IPAddress.parse("not-an-ip")
+
+    def test_parse_rejects_overflow_octet(self):
+        with pytest.raises(AddressError):
+            IPAddress.parse("256.1.1.1")
+
+    def test_str_roundtrip_v4(self):
+        assert str(IPAddress.parse("192.0.2.1")) == "192.0.2.1"
+
+    def test_str_roundtrip_v6(self):
+        assert str(IPAddress.parse("2001:db8::1")) == "2001:db8::1"
+
+    def test_value_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPAddress(4, 1 << 32)
+
+    def test_negative_value(self):
+        with pytest.raises(AddressError):
+            IPAddress(4, -1)
+
+    def test_bad_version(self):
+        with pytest.raises(AddressError):
+            IPAddress(5, 1)
+
+    def test_bits(self):
+        assert IPAddress.parse("1.2.3.4").bits == 32
+        assert IPAddress.parse("::1").bits == 128
+
+    def test_packed_roundtrip_v4(self):
+        addr = IPAddress.parse("10.20.30.40")
+        assert IPAddress.from_packed(addr.packed()) == addr
+        assert len(addr.packed()) == 4
+
+    def test_packed_roundtrip_v6(self):
+        addr = IPAddress.parse("2001:db8::42")
+        assert IPAddress.from_packed(addr.packed()) == addr
+        assert len(addr.packed()) == 16
+
+    def test_from_packed_bad_length(self):
+        with pytest.raises(AddressError):
+            IPAddress.from_packed(b"\x01\x02\x03")
+
+    def test_ordering(self):
+        a = IPAddress.parse("1.0.0.1")
+        b = IPAddress.parse("1.0.0.2")
+        assert a < b
+
+    def test_to_prefix_host(self):
+        assert IPAddress.parse("1.2.3.4").to_prefix() == Prefix.parse("1.2.3.4/32")
+
+    def test_to_prefix_truncates(self):
+        assert IPAddress.parse("1.2.3.4").to_prefix(24) == Prefix.parse("1.2.3.0/24")
+
+
+class TestPrefix:
+    def test_parse(self):
+        prefix = Prefix.parse("198.51.100.0/24")
+        assert prefix.length == 24
+        assert str(prefix) == "198.51.100.0/24"
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("198.51.100.1/24")
+
+    def test_constructor_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix(4, 1, 24)
+
+    def test_length_out_of_range(self):
+        with pytest.raises(AddressError):
+            Prefix(4, 0, 33)
+
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/24").num_addresses() == 256
+        assert Prefix.parse("10.0.0.0/31").num_addresses() == 2
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains_address(IPAddress.parse("10.255.0.1"))
+        assert not prefix.contains_address(IPAddress.parse("11.0.0.1"))
+
+    def test_contains_address_version_mismatch(self):
+        assert not Prefix.parse("10.0.0.0/8").contains_address(
+            IPAddress.parse("::1")
+        )
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_truncate(self):
+        assert Prefix.parse("10.1.2.0/24").truncate(16) == Prefix.parse("10.1.0.0/16")
+
+    def test_truncate_longer_fails(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/16").truncate(24)
+
+    def test_subnets(self):
+        subs = list(Prefix.parse("10.0.0.0/22").subnets(24))
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/24")
+        assert subs[-1] == Prefix.parse("10.0.3.0/24")
+
+    def test_subnets_shorter_fails(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+
+    def test_count_subnets(self):
+        assert Prefix.parse("10.0.0.0/16").count_subnets(24) == 256
+
+    def test_address_at(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.address_at(0) == IPAddress.parse("192.0.2.0")
+        assert prefix.address_at(255) == IPAddress.parse("192.0.2.255")
+
+    def test_address_at_out_of_range(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("192.0.2.0/24").address_at(256)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.5.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_broadcast_value(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert prefix.broadcast_value == prefix.value + 255
+
+    def test_v6_subnet_mask(self):
+        prefix = Prefix.parse("2001:db8::/64")
+        assert prefix.num_addresses() == 1 << 64
+
+    def test_ipv6_zero_length(self):
+        prefix = Prefix.parse("::/0")
+        assert prefix.num_addresses() == 1 << 128
+
+
+class TestSlash24Summary:
+    def test_counts_disjoint(self):
+        prefixes = [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.1.0/24")]
+        assert summarize_covered_slash24s(prefixes) == 2
+
+    def test_longer_than_24_counts_one(self):
+        prefixes = [Prefix.parse("10.0.0.0/30"), Prefix.parse("10.0.0.128/25")]
+        assert summarize_covered_slash24s(prefixes) == 1
+
+    def test_overlap_not_double_counted(self):
+        prefixes = [Prefix.parse("10.0.0.0/16"), Prefix.parse("10.0.5.0/24")]
+        assert summarize_covered_slash24s(prefixes) == 256
+
+    def test_large_span_merging(self):
+        prefixes = [Prefix.parse("10.0.0.0/8"), Prefix.parse("11.0.0.0/8")]
+        assert summarize_covered_slash24s(prefixes) == 2 * 65536
+
+    def test_small_inside_large_span(self):
+        prefixes = [Prefix.parse("10.0.0.0/8"), Prefix.parse("10.1.2.0/24")]
+        assert summarize_covered_slash24s(prefixes) == 65536
+
+    def test_rejects_v6(self):
+        with pytest.raises(AddressError):
+            summarize_covered_slash24s([Prefix.parse("2001:db8::/64")])
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+
+v4_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+v6_values = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+@given(v4_values)
+def test_v4_text_roundtrip(value):
+    addr = IPAddress(4, value)
+    assert IPAddress.parse(str(addr)) == addr
+
+
+@given(v6_values)
+def test_v6_packed_roundtrip(value):
+    addr = IPAddress(6, value)
+    assert IPAddress.from_packed(addr.packed()) == addr
+
+
+@given(v4_values, st.integers(min_value=0, max_value=32))
+def test_prefix_contains_its_addresses(value, length):
+    prefix = Prefix.from_address(IPAddress(4, value), length)
+    assert prefix.contains_value(prefix.value)
+    assert prefix.contains_value(prefix.broadcast_value)
+    assert prefix.contains_address(IPAddress(4, value))
+
+
+@given(v4_values, st.integers(min_value=8, max_value=32))
+def test_truncate_is_monotone(value, length):
+    prefix = Prefix.from_address(IPAddress(4, value), length)
+    shorter = prefix.truncate(length - 8)
+    assert shorter.contains_prefix(prefix)
+
+
+@given(v4_values, st.integers(min_value=16, max_value=24))
+def test_subnet_count_matches_iteration(value, length):
+    prefix = Prefix.from_address(IPAddress(4, value), length)
+    subs = list(prefix.subnets(24))
+    assert len(subs) == prefix.count_subnets(24)
+    assert all(prefix.contains_prefix(s) for s in subs)
+    assert len({s.value for s in subs}) == len(subs)

@@ -1,0 +1,172 @@
+"""Tests for the AS-relationship graph and valley-free routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.netmodel.aspath import ASGraph, AsPath, PathLoad
+
+
+def simple_hierarchy() -> ASGraph:
+    """Two tier-1 peers, two regionals, four stubs.
+
+        T1 ──── T2        (peer)
+        /\\       /\\
+      R1  \\    R2 \\
+      /\\   \\   /\\  \\
+     A  B    C D  E  F   (customers)
+    """
+    graph = ASGraph()
+    graph.add_peer(101, 102)
+    graph.add_customer(101, 201)  # R1
+    graph.add_customer(102, 202)  # R2
+    graph.add_customer(201, 1)    # A
+    graph.add_customer(201, 2)    # B
+    graph.add_customer(101, 3)    # C directly on T1
+    graph.add_customer(202, 4)    # D
+    graph.add_customer(102, 5)    # E directly on T2
+    graph.add_customer(102, 6)    # F
+    return graph
+
+
+class TestASGraphStructure:
+    def test_relationship_bookkeeping(self):
+        graph = simple_hierarchy()
+        assert graph.providers_of(1) == {201}
+        assert graph.customers_of(201) == {1, 2}
+        assert graph.peers_of(101) == {102}
+        assert graph.degree(101) == 3  # one peer + two customers
+
+    def test_self_relationships_rejected(self):
+        graph = ASGraph()
+        with pytest.raises(RoutingError):
+            graph.add_customer(1, 1)
+        with pytest.raises(RoutingError):
+            graph.add_peer(2, 2)
+
+    def test_mutual_provider_rejected(self):
+        graph = ASGraph()
+        graph.add_customer(1, 2)
+        with pytest.raises(RoutingError):
+            graph.add_customer(2, 1)
+
+    def test_contains_and_len(self):
+        graph = simple_hierarchy()
+        assert 201 in graph
+        assert 999 not in graph
+        assert len(graph) == 10
+
+
+class TestValleyFreePaths:
+    def test_same_as(self):
+        graph = simple_hierarchy()
+        assert graph.best_path(1, 1) == AsPath((1,))
+
+    def test_sibling_via_shared_provider(self):
+        graph = simple_hierarchy()
+        assert graph.best_path(1, 2) == AsPath((1, 201, 2))
+
+    def test_cross_hierarchy_via_peering(self):
+        graph = simple_hierarchy()
+        path = graph.best_path(1, 4)
+        assert path == AsPath((1, 201, 101, 102, 202, 4))
+
+    def test_unknown_as_rejected(self):
+        graph = simple_hierarchy()
+        with pytest.raises(RoutingError):
+            graph.best_path(1, 999)
+
+    def test_valley_forbidden(self):
+        # A provider cannot reach one customer's sibling via another
+        # customer's provider chain that would create a valley: build a
+        # topology where the only physical connection is a valley.
+        graph = ASGraph()
+        graph.add_customer(10, 1)  # 1 is customer of 10
+        graph.add_customer(20, 1)  # 1 is also customer of 20
+        # 10 -> 1 -> 20 would be customer->up? From 10, step to customer 1
+        # (down phase); from 1 up to 20 is forbidden after going down.
+        assert graph.best_path(10, 20) is None
+
+    def test_peer_then_peer_forbidden(self):
+        graph = ASGraph()
+        graph.add_peer(1, 2)
+        graph.add_peer(2, 3)
+        # Crossing two peer links violates valley-freeness.
+        assert graph.best_path(1, 3) is None
+
+    def test_up_peer_down_allowed(self):
+        graph = ASGraph()
+        graph.add_customer(10, 1)
+        graph.add_peer(10, 20)
+        graph.add_customer(20, 2)
+        assert graph.best_path(1, 2) == AsPath((1, 10, 20, 2))
+
+    def test_shortest_wins(self):
+        graph = simple_hierarchy()
+        # C sits directly on T1: its path to A goes down through R1.
+        assert graph.best_path(3, 1) == AsPath((3, 101, 201, 1))
+
+    def test_deterministic_tiebreak(self):
+        graph = ASGraph()
+        graph.add_customer(50, 1)
+        graph.add_customer(40, 1)
+        graph.add_customer(50, 2)
+        graph.add_customer(40, 2)
+        # Both 40 and 50 give 3-AS paths; the smaller sequence wins.
+        assert graph.best_path(1, 2) == AsPath((1, 40, 2))
+
+    def test_reachable(self):
+        graph = simple_hierarchy()
+        assert graph.reachable(1, 6)
+        graph2 = ASGraph()
+        graph2.add_peer(1, 2)
+        graph2.add_peer(3, 4)
+        assert not graph2.reachable(1, 3)
+
+
+class TestPathLoad:
+    def test_transit_shares_and_bottleneck(self):
+        load = PathLoad()
+        load.add(AsPath((1, 201, 101, 714)))
+        load.add(AsPath((2, 201, 101, 714)))
+        load.add(AsPath((3, 202, 102, 714)))
+        shares = load.transit_shares()
+        assert shares[201] == pytest.approx(2 / 3)
+        assert shares[101] == pytest.approx(2 / 3)
+        bottleneck = load.bottleneck()
+        assert bottleneck is not None
+        assert bottleneck[1] == pytest.approx(2 / 3)
+
+    def test_average_hops(self):
+        load = PathLoad()
+        load.add(AsPath((1, 2)))
+        load.add(AsPath((1, 2, 3, 4)))
+        assert load.average_hops() == 2.0
+
+    def test_empty(self):
+        load = PathLoad()
+        assert load.transit_shares() == {}
+        assert load.bottleneck() is None
+        assert load.average_hops() == 0.0
+
+
+class TestWorldAsGraph:
+    def test_relay_as_single_peer(self, tiny_world):
+        # The paper: AS36183 has one publicly visible peering link, to
+        # Akamai's AS20940.
+        assert tiny_world.as_graph.peers_of(36183) == {20940}
+
+    def test_clients_reach_both_ingress_operators(self, tiny_world):
+        graph = tiny_world.as_graph
+        for client in tiny_world.ground.client_ases[:40]:
+            assert graph.reachable(client.asys.number, 714)
+            assert graph.reachable(client.asys.number, 36183)
+
+    def test_vantage_reaches_relay(self, tiny_world):
+        path = tiny_world.as_graph.best_path(64496, 36183)
+        assert path is not None
+        assert path.hops >= 2  # through regional transit and a tier-1
+
+    def test_operators_multihomed(self, tiny_world):
+        graph = tiny_world.as_graph
+        for asn in (714, 36183, 13335, 54113):
+            assert len(graph.providers_of(asn)) == 3

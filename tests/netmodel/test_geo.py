@@ -1,0 +1,160 @@
+"""Tests for repro.netmodel.geo, geodb, and population."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError, WorldGenError
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.geo import REGIONS, Gazetteer, GeoPoint
+from repro.netmodel.geodb import GeoDatabase, GeoRecord
+from repro.netmodel.population import ASPopulationDataset
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        point = GeoPoint(48.15, 11.57)
+        assert point.lat == 48.15
+
+    def test_latitude_bounds(self):
+        with pytest.raises(WorldGenError):
+            GeoPoint(91.0, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(WorldGenError):
+            GeoPoint(0.0, -181.0)
+
+    def test_distance_zero(self):
+        point = GeoPoint(10.0, 10.0)
+        assert point.distance_km(point) == 0.0
+
+    def test_distance_known(self):
+        munich = GeoPoint(48.137, 11.575)
+        berlin = GeoPoint(52.52, 13.405)
+        distance = munich.distance_km(berlin)
+        assert 480 < distance < 520  # ~504 km
+
+    def test_distance_symmetric(self):
+        a = GeoPoint(10.0, 20.0)
+        b = GeoPoint(-30.0, 100.0)
+        assert math.isclose(a.distance_km(b), b.distance_km(a))
+
+
+class TestGazetteer:
+    @pytest.fixture(scope="class")
+    def gaz(self):
+        return Gazetteer(seed=7, num_countries=60, cities_per_country=(2, 50))
+
+    def test_country_count(self, gaz):
+        assert len(gaz.country_codes) == 60
+
+    def test_us_first(self, gaz):
+        assert gaz.country_codes[0] == "US"
+
+    def test_codes_unique(self, gaz):
+        assert len(set(gaz.country_codes)) == 60
+
+    def test_regions_valid(self, gaz):
+        for code in gaz.country_codes:
+            assert gaz.region_of(code) in REGIONS
+
+    def test_de_is_eu(self, gaz):
+        assert gaz.region_of("DE") == "EU"
+
+    def test_unknown_country(self, gaz):
+        with pytest.raises(WorldGenError):
+            gaz.region_of("!!")
+
+    def test_cities_decay_with_rank(self, gaz):
+        first = len(gaz.cities_in(gaz.country_codes[0]))
+        last = len(gaz.cities_in(gaz.country_codes[-1]))
+        assert first > last
+
+    def test_city_lookup(self, gaz):
+        city = gaz.cities_in("US")[0]
+        assert gaz.city("US", city.name) is city
+        assert gaz.city("US", "no-such-city") is None
+
+    def test_city_country_matches(self, gaz):
+        for city in gaz.cities_in("DE"):
+            assert city.country == "DE"
+
+    def test_deterministic(self):
+        a = Gazetteer(seed=3, num_countries=55)
+        b = Gazetteer(seed=3, num_countries=55)
+        assert a.country_codes == b.country_codes
+
+    def test_too_few_countries(self):
+        with pytest.raises(WorldGenError):
+            Gazetteer(seed=1, num_countries=3)
+
+    def test_all_cities(self, gaz):
+        total = sum(len(gaz.cities_in(c)) for c in gaz.country_codes)
+        assert len(gaz.all_cities()) == total
+
+
+class TestGeoDatabase:
+    def test_lookup(self):
+        db = GeoDatabase()
+        record = GeoRecord("US", "US-City-000", None, "egress-list")
+        db.add(Prefix.parse("172.224.0.0/16"), record)
+        assert db.lookup(IPAddress.parse("172.224.1.1")) is record
+        assert db.lookup(IPAddress.parse("10.0.0.1")) is None
+
+    def test_lookup_prefix_covering(self):
+        db = GeoDatabase()
+        record = GeoRecord("DE", None, None)
+        db.add(Prefix.parse("172.224.0.0/16"), record)
+        assert db.lookup_prefix(Prefix.parse("172.224.5.0/24")) is record
+        assert db.lookup_prefix(Prefix.parse("172.0.0.0/8")) is None
+
+    def test_adoption_rate(self):
+        db = GeoDatabase()
+        db.add(Prefix.parse("10.0.0.0/24"), GeoRecord("US", None, None, "egress-list"))
+        db.add(Prefix.parse("10.0.1.0/24"), GeoRecord("US", None, None, "vendor"))
+        assert db.adoption_rate() == 0.5
+
+    def test_adoption_rate_empty(self):
+        assert GeoDatabase().adoption_rate() == 0.0
+
+
+class TestPopulation:
+    def test_set_and_get(self):
+        ds = ASPopulationDataset()
+        ds.set_population(714, 1000)
+        assert ds.population(714) == 1000
+        assert ds.population(1) == 0
+        assert 714 in ds and 1 not in ds
+
+    def test_negative_rejected(self):
+        with pytest.raises(MeasurementError):
+            ASPopulationDataset().set_population(1, -5)
+
+    def test_total_deduplicates(self):
+        ds = ASPopulationDataset()
+        ds.set_population(1, 10)
+        ds.set_population(2, 20)
+        assert ds.total_population([1, 2, 1]) == 30
+
+    def test_format_users(self):
+        fmt = ASPopulationDataset.format_users
+        assert fmt(994_000_000) == "994M"
+        assert fmt(2_373_000_000) == "2.4B"
+        assert fmt(105_000_000) == "105M"
+        assert fmt(4_200) == "4.2k"
+        assert fmt(12) == "12"
+
+
+@given(
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+)
+def test_distance_triangle_bounds(lat1, lon1, lat2, lon2):
+    a = GeoPoint(lat1, lon1)
+    b = GeoPoint(lat2, lon2)
+    distance = a.distance_km(b)
+    assert 0.0 <= distance <= 20016.0  # half the Earth's circumference

@@ -1,0 +1,150 @@
+"""Tests for repro.netmodel.topology and traceroute."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.topology import Router, Topology
+from repro.netmodel.traceroute import traceroute
+
+
+def build_line_topology() -> Topology:
+    """vantage -- t1 -- t2 -- edge, host behind edge."""
+    topo = Topology()
+    for name, asn, ip in (
+        ("vantage", 64496, "192.0.2.1"),
+        ("t1", 3356, "192.0.2.2"),
+        ("t2", 3356, "192.0.2.3"),
+        ("edge", 36183, "192.0.2.4"),
+    ):
+        topo.add_router(Router(name, asn, IPAddress.parse(ip)))
+    topo.add_link("vantage", "t1", 2.0)
+    topo.add_link("t1", "t2", 5.0)
+    topo.add_link("t2", "edge", 1.0)
+    topo.attach_host(IPAddress.parse("172.224.0.1"), "edge")
+    return topo
+
+
+class TestTopology:
+    def test_duplicate_router_rejected(self):
+        topo = Topology()
+        topo.add_router(Router("r", 1, IPAddress.parse("10.0.0.1")))
+        with pytest.raises(TopologyError):
+            topo.add_router(Router("r", 2, IPAddress.parse("10.0.0.2")))
+
+    def test_unknown_router(self):
+        with pytest.raises(TopologyError):
+            Topology().router("nope")
+
+    def test_link_requires_routers(self):
+        topo = Topology()
+        topo.add_router(Router("a", 1, IPAddress.parse("10.0.0.1")))
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "b")
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_router(Router("a", 1, IPAddress.parse("10.0.0.1")))
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "a")
+
+    def test_nonpositive_latency_rejected(self):
+        topo = Topology()
+        topo.add_router(Router("a", 1, IPAddress.parse("10.0.0.1")))
+        topo.add_router(Router("b", 1, IPAddress.parse("10.0.0.2")))
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "b", 0.0)
+
+    def test_host_attachment(self):
+        topo = build_line_topology()
+        host = IPAddress.parse("172.224.0.1")
+        assert topo.has_host(host)
+        assert topo.host_router(host).router_id == "edge"
+
+    def test_detach_host(self):
+        topo = build_line_topology()
+        host = IPAddress.parse("172.224.0.1")
+        topo.detach_host(host)
+        assert not topo.has_host(host)
+        with pytest.raises(TopologyError):
+            topo.host_router(host)
+
+    def test_router_path(self):
+        topo = build_line_topology()
+        path = topo.router_path("vantage", "edge")
+        assert [r.router_id for r in path] == ["vantage", "t1", "t2", "edge"]
+
+    def test_path_latency(self):
+        topo = build_line_topology()
+        path = topo.router_path("vantage", "edge")
+        assert topo.path_latency_ms(path) == 8.0
+
+    def test_no_path(self):
+        topo = build_line_topology()
+        topo.add_router(Router("island", 9, IPAddress.parse("10.9.9.9")))
+        with pytest.raises(TopologyError):
+            topo.router_path("vantage", "island")
+
+    def test_shortest_path_by_latency(self):
+        topo = build_line_topology()
+        # Add a shortcut with lower total latency.
+        topo.add_router(Router("fast", 3356, IPAddress.parse("192.0.2.9")))
+        topo.add_link("vantage", "fast", 1.0)
+        topo.add_link("fast", "edge", 1.0)
+        path = topo.router_path("vantage", "edge")
+        assert [r.router_id for r in path] == ["vantage", "fast", "edge"]
+
+
+class TestTraceroute:
+    def test_hops_exclude_vantage(self):
+        topo = build_line_topology()
+        result = traceroute(topo, "vantage", IPAddress.parse("172.224.0.1"))
+        assert [h.address for h in result.hops] == [
+            IPAddress.parse("192.0.2.2"),
+            IPAddress.parse("192.0.2.3"),
+            IPAddress.parse("192.0.2.4"),
+        ]
+        assert result.last_hop.asn == 36183
+
+    def test_ttl_sequence(self):
+        topo = build_line_topology()
+        result = traceroute(topo, "vantage", IPAddress.parse("172.224.0.1"))
+        assert [h.ttl for h in result.hops] == [1, 2, 3]
+
+    def test_rtt_monotonic(self):
+        topo = build_line_topology()
+        result = traceroute(topo, "vantage", IPAddress.parse("172.224.0.1"))
+        rtts = [h.rtt_ms for h in result.hops]
+        assert rtts == sorted(rtts)
+        assert rtts[-1] == 16.0  # 2 * (2 + 5 + 1)
+
+    def test_shared_last_hop_detection(self):
+        topo = build_line_topology()
+        second = IPAddress.parse("172.232.0.1")
+        topo.attach_host(second, "edge")
+        a = traceroute(topo, "vantage", IPAddress.parse("172.224.0.1"))
+        b = traceroute(topo, "vantage", second)
+        assert a.shares_last_hop_with(b)
+
+    def test_distinct_last_hops(self):
+        topo = build_line_topology()
+        topo.add_router(Router("other", 13335, IPAddress.parse("192.0.2.8")))
+        topo.add_link("t2", "other", 1.0)
+        second = IPAddress.parse("104.16.0.1")
+        topo.attach_host(second, "other")
+        a = traceroute(topo, "vantage", IPAddress.parse("172.224.0.1"))
+        b = traceroute(topo, "vantage", second)
+        assert not a.shares_last_hop_with(b)
+
+    def test_host_behind_vantage(self):
+        topo = build_line_topology()
+        local = IPAddress.parse("192.0.2.200")
+        topo.attach_host(local, "vantage")
+        result = traceroute(topo, "vantage", local)
+        assert len(result.hops) == 1
+        assert result.last_hop.address == IPAddress.parse("192.0.2.1")
+
+    def test_unattached_destination(self):
+        topo = build_line_topology()
+        with pytest.raises(TopologyError):
+            traceroute(topo, "vantage", IPAddress.parse("8.8.8.8"))

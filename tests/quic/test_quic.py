@@ -1,0 +1,147 @@
+"""Tests for the QUIC packet codec and the ingress endpoint behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QuicError
+from repro.quic.endpoint import RELAY_ACCESS_TOKEN, RelayQuicEndpoint
+from repro.quic.packet import (
+    InitialPacket,
+    VersionNegotiationPacket,
+    decode_packet,
+)
+from repro.quic.versions import (
+    DRAFT_27,
+    DRAFT_28,
+    DRAFT_29,
+    QUIC_V1,
+    RELAY_SUPPORTED_VERSIONS,
+    is_forcing_version_negotiation,
+    version_name,
+)
+
+
+class TestVersions:
+    def test_names(self):
+        assert version_name(QUIC_V1) == "QUICv1"
+        assert version_name(DRAFT_29) == "draft-29"
+        assert version_name(DRAFT_28) == "draft-28"
+        assert version_name(DRAFT_27) == "draft-27"
+        assert version_name(0xDEADBEEF) == "0xdeadbeef"
+
+    def test_supported_order_matches_paper(self):
+        assert RELAY_SUPPORTED_VERSIONS == (QUIC_V1, DRAFT_29, DRAFT_28, DRAFT_27)
+
+    def test_grease_detection(self):
+        assert is_forcing_version_negotiation(0x1A2A3A4A)
+        assert not is_forcing_version_negotiation(QUIC_V1)
+
+
+class TestPacketCodec:
+    def test_initial_roundtrip(self):
+        packet = InitialPacket(
+            version=QUIC_V1,
+            destination_cid=b"\x01" * 8,
+            source_cid=b"\x02" * 5,
+            token=b"tok",
+            payload=b"hello",
+        )
+        decoded = decode_packet(packet.to_wire())
+        assert decoded == packet
+
+    def test_initial_empty_fields(self):
+        packet = InitialPacket(QUIC_V1, b"", b"")
+        assert decode_packet(packet.to_wire()) == packet
+
+    def test_vn_roundtrip(self):
+        packet = VersionNegotiationPacket(
+            destination_cid=b"\x0a" * 4,
+            source_cid=b"\x0b" * 4,
+            supported_versions=RELAY_SUPPORTED_VERSIONS,
+        )
+        decoded = decode_packet(packet.to_wire())
+        assert isinstance(decoded, VersionNegotiationPacket)
+        assert decoded.supported_versions == RELAY_SUPPORTED_VERSIONS
+
+    def test_vn_requires_versions(self):
+        with pytest.raises(QuicError):
+            VersionNegotiationPacket(b"", b"", ())
+
+    def test_cid_length_limit(self):
+        with pytest.raises(QuicError):
+            InitialPacket(QUIC_V1, b"\x00" * 21, b"")
+
+    def test_decode_empty(self):
+        with pytest.raises(QuicError):
+            decode_packet(b"")
+
+    def test_decode_short_header_rejected(self):
+        with pytest.raises(QuicError):
+            decode_packet(b"\x40\x01\x02")
+
+    def test_decode_truncated(self):
+        packet = InitialPacket(QUIC_V1, b"\x01" * 8, b"\x02" * 8, payload=b"x" * 20)
+        with pytest.raises(QuicError):
+            decode_packet(packet.to_wire()[:10])
+
+    def test_long_token(self):
+        packet = InitialPacket(QUIC_V1, b"\x01", b"\x02", token=b"t" * 300)
+        assert decode_packet(packet.to_wire()).token == b"t" * 300
+
+
+class TestRelayEndpoint:
+    def test_foreign_handshake_is_dropped(self):
+        endpoint = RelayQuicEndpoint()
+        packet = InitialPacket(QUIC_V1, b"\x01" * 8, b"\x02" * 8, payload=b"ch")
+        assert endpoint.handle_datagram(packet.to_wire()) is None
+        assert endpoint.stats.dropped == 1
+
+    def test_unknown_version_triggers_vn(self):
+        endpoint = RelayQuicEndpoint()
+        packet = InitialPacket(0x1A2A3A4A, b"\x01" * 8, b"\x02" * 8)
+        wire = endpoint.handle_datagram(packet.to_wire())
+        assert wire is not None
+        response = decode_packet(wire)
+        assert isinstance(response, VersionNegotiationPacket)
+        assert response.supported_versions == RELAY_SUPPORTED_VERSIONS
+        # Connection ids swapped per RFC 8999.
+        assert response.destination_cid == b"\x02" * 8
+        assert response.source_cid == b"\x01" * 8
+
+    def test_draft_versions_accepted_as_known(self):
+        endpoint = RelayQuicEndpoint()
+        for version in (DRAFT_27, DRAFT_28, DRAFT_29):
+            packet = InitialPacket(version, b"\x01", b"\x02")
+            assert endpoint.handle_datagram(packet.to_wire()) is None
+
+    def test_relay_token_accepted(self):
+        endpoint = RelayQuicEndpoint()
+        packet = InitialPacket(
+            QUIC_V1, b"\x01" * 8, b"\x02" * 8, token=RELAY_ACCESS_TOKEN
+        )
+        assert endpoint.handle_datagram(packet.to_wire()) is not None
+        assert endpoint.stats.accepted == 1
+        assert endpoint.accepts(packet)
+
+    def test_malformed_datagram_counted(self):
+        endpoint = RelayQuicEndpoint()
+        assert endpoint.handle_datagram(b"\xff") is None
+        assert endpoint.stats.malformed == 1
+
+    def test_vn_from_client_dropped(self):
+        endpoint = RelayQuicEndpoint()
+        vn = VersionNegotiationPacket(b"\x01", b"\x02", (QUIC_V1,))
+        assert endpoint.handle_datagram(vn.to_wire()) is None
+
+
+@given(
+    st.integers(min_value=1, max_value=0xFFFFFFFF),
+    st.binary(max_size=20),
+    st.binary(max_size=20),
+    st.binary(max_size=64),
+    st.binary(max_size=200),
+)
+def test_initial_roundtrip_property(version, dcid, scid, token, payload):
+    packet = InitialPacket(version, dcid, scid, token, payload)
+    assert decode_packet(packet.to_wire()) == packet

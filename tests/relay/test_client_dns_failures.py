@@ -1,0 +1,88 @@
+"""Client behaviour under DNS failure: the blocking user experience.
+
+The whitepaper's stated blocking mechanism is "not resolving DNS
+requests for the service's domain names" — these tests pin down what a
+client actually experiences behind each resolver behaviour.
+"""
+
+import pytest
+
+from repro.errors import RelayUnavailable, ResolutionTimeout
+from repro.dns.message import Rcode
+from repro.dns.resolver import (
+    BlockingResolver,
+    HijackingResolver,
+    RecursiveResolver,
+    TimeoutResolver,
+)
+from repro.netmodel.addr import IPAddress
+from repro.relay.client import DnsConfig
+from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+
+
+def vantage_resolver(world, **kwargs) -> RecursiveResolver:
+    return RecursiveResolver(
+        world.ns_registry,
+        world.ground.vantage_prefix.address_at(99),
+        clock=world.clock,
+        send_ecs=False,
+        **kwargs,
+    )
+
+
+class TestClientBehindBlockingResolvers:
+    def test_nxdomain_blocking_makes_relay_unavailable(self, tiny_world):
+        world = tiny_world
+        resolver = BlockingResolver(
+            vantage_resolver(world),
+            [RELAY_DOMAIN_QUIC, RELAY_DOMAIN_FALLBACK],
+            Rcode.NXDOMAIN,
+        )
+        client = world.make_vantage_client(DnsConfig.open(resolver))
+        with pytest.raises(RelayUnavailable):
+            client.request(world.web_server)
+
+    def test_quic_only_blocking_falls_back_to_tcp(self, tiny_world):
+        world = tiny_world
+        resolver = BlockingResolver(
+            vantage_resolver(world), [RELAY_DOMAIN_QUIC], Rcode.NXDOMAIN
+        )
+        client = world.make_vantage_client(DnsConfig.open(resolver))
+        observation = client.request(world.web_server)
+        from repro.relay.ingress import RelayProtocol
+
+        assert observation.protocol == RelayProtocol.TCP_FALLBACK
+
+    def test_timeout_resolver_propagates(self, tiny_world):
+        world = tiny_world
+        resolver = TimeoutResolver(world.ground.vantage_prefix.address_at(98))
+        client = world.make_vantage_client(DnsConfig.open(resolver))
+        with pytest.raises(ResolutionTimeout):
+            client.request(world.web_server)
+
+    def test_hijacked_client_cannot_connect(self, tiny_world):
+        world = tiny_world
+        resolver = HijackingResolver(
+            vantage_resolver(world),
+            [RELAY_DOMAIN_QUIC, RELAY_DOMAIN_FALLBACK],
+            IPAddress.parse("45.90.28.1"),
+        )
+        client = world.make_vantage_client(DnsConfig.open(resolver))
+        # The hijack target is not an active relay: the connection attempt
+        # fails at the service rather than silently proxying elsewhere.
+        from repro.errors import RelayError
+
+        with pytest.raises(RelayError):
+            client.request(world.web_server)
+
+    def test_blocked_client_still_resolves_other_domains(self, tiny_world):
+        world = tiny_world
+        from repro.dns.rr import RRType
+        from repro.worldgen.world import CONTROL_DOMAIN
+
+        resolver = BlockingResolver(
+            vantage_resolver(world),
+            [RELAY_DOMAIN_QUIC, RELAY_DOMAIN_FALLBACK],
+            Rcode.REFUSED,
+        )
+        assert resolver.resolve_addresses(CONTROL_DOMAIN, RRType.A)

@@ -1,0 +1,143 @@
+"""Tests for repro.relay.egress_list."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EgressListError
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.relay.egress_list import EgressEntry, EgressList
+
+
+def entry(prefix: str, cc: str = "US", region: str = "US-NA", city: str = "US-City-000") -> EgressEntry:
+    return EgressEntry(Prefix.parse(prefix), cc, region, city)
+
+
+class TestEgressEntry:
+    def test_valid(self):
+        e = entry("172.224.224.0/31")
+        assert e.has_city
+
+    def test_blank_city(self):
+        e = entry("172.224.224.0/31", city="")
+        assert not e.has_city
+
+    def test_country_code_validated(self):
+        with pytest.raises(EgressListError):
+            entry("10.0.0.0/29", cc="usa")
+        with pytest.raises(EgressListError):
+            entry("10.0.0.0/29", cc="us")
+
+    def test_v6_must_be_slash64(self):
+        with pytest.raises(EgressListError):
+            EgressEntry(Prefix.parse("2001:db8::/48"), "US", "US-NA", "X")
+        EgressEntry(Prefix.parse("2001:db8::/64"), "US", "US-NA", "X")
+
+
+class TestEgressList:
+    def test_add_and_len(self):
+        lst = EgressList([entry("10.0.0.0/29"), entry("10.0.0.8/29", cc="DE")])
+        assert len(lst) == 2
+
+    def test_duplicate_rejected(self):
+        lst = EgressList([entry("10.0.0.0/29")])
+        with pytest.raises(EgressListError):
+            lst.add(entry("10.0.0.0/29"))
+
+    def test_entries_by_version(self):
+        lst = EgressList(
+            [entry("10.0.0.0/29"), EgressEntry(Prefix.parse("2001:db8::/64"), "US", "R", "C")]
+        )
+        assert len(lst.entries(4)) == 1
+        assert len(lst.entries(6)) == 1
+        assert len(lst.entries()) == 2
+
+    def test_lookup_covering(self):
+        lst = EgressList([entry("10.0.0.0/29")])
+        assert lst.lookup(Prefix.parse("10.0.0.0/30")) is not None
+        assert lst.lookup(Prefix.parse("10.0.1.0/30")) is None
+
+    def test_contains_address(self):
+        lst = EgressList([entry("10.0.0.0/29")])
+        assert lst.contains_address(IPAddress.parse("10.0.0.5"))
+        assert not lst.contains_address(IPAddress.parse("10.0.0.9"))
+
+    def test_entry_for_address(self):
+        e = entry("10.0.0.0/29")
+        lst = EgressList([e])
+        assert lst.entry_for_address(IPAddress.parse("10.0.0.1")) is e
+
+    def test_country_codes(self):
+        lst = EgressList([entry("10.0.0.0/29"), entry("10.0.0.8/29", cc="DE")])
+        assert lst.country_codes() == {"US", "DE"}
+
+    def test_cities_excludes_blank(self):
+        lst = EgressList([entry("10.0.0.0/29"), entry("10.0.0.8/29", city="")])
+        assert lst.cities() == {("US", "US-City-000")}
+
+    def test_subnets_per_country(self):
+        lst = EgressList(
+            [entry("10.0.0.0/29"), entry("10.0.0.8/29"), entry("10.0.0.16/29", cc="DE")]
+        )
+        assert lst.subnets_per_country() == {"US": 2, "DE": 1}
+
+    def test_missing_city_fraction(self):
+        lst = EgressList([entry("10.0.0.0/29"), entry("10.0.0.8/29", city="")])
+        assert lst.missing_city_fraction() == 0.5
+        assert EgressList().missing_city_fraction() == 0.0
+
+    def test_total_ipv4_addresses(self):
+        lst = EgressList([entry("10.0.0.0/29"), entry("10.0.0.8/30")])
+        assert lst.total_ipv4_addresses() == 12
+
+    def test_churn(self):
+        old = EgressList([entry("10.0.0.0/29"), entry("10.0.0.8/29")])
+        new = EgressList([entry("10.0.0.0/29"), entry("10.0.0.16/29")])
+        kept, added, removed = new.churn_against(old)
+        assert (kept, added, removed) == (1, 1, 1)
+
+    def test_csv_roundtrip(self):
+        lst = EgressList(
+            [
+                entry("172.224.224.0/31", "US", "US-CA", "LOSANGELES"),
+                entry("172.224.224.2/31", "DE", "DE-BY", ""),
+                EgressEntry(Prefix.parse("2a02:26f7::/64"), "FR", "FR-75", "PARIS"),
+            ]
+        )
+        parsed = EgressList.from_csv(lst.to_csv())
+        assert [e.prefix for e in parsed] == [e.prefix for e in lst]
+        assert [e.city for e in parsed] == ["LOSANGELES", "", "PARIS"]
+
+    def test_csv_skips_blank_lines(self):
+        parsed = EgressList.from_csv("\n10.0.0.0/29,US,US-NA,CITY\n\n")
+        assert len(parsed) == 1
+
+    def test_csv_bad_columns(self):
+        with pytest.raises(EgressListError):
+            EgressList.from_csv("10.0.0.0/29,US,US-NA\n")
+
+    def test_csv_bad_prefix(self):
+        with pytest.raises(EgressListError):
+            EgressList.from_csv("10.0.0.1/29,US,US-NA,CITY\n")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 24) - 1),
+            st.sampled_from(["US", "DE", "GB", "FR"]),
+        ),
+        min_size=1,
+        max_size=30,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_csv_roundtrip_property(items):
+    entries = [
+        EgressEntry(Prefix(4, value << 8, 29), cc, f"{cc}-R", f"{cc}-City-000")
+        for value, cc in items
+    ]
+    lst = EgressList(entries)
+    parsed = EgressList.from_csv(lst.to_csv())
+    assert len(parsed) == len(lst)
+    assert parsed.subnets_per_country() == lst.subnets_per_country()

@@ -1,0 +1,94 @@
+"""Tests for the Appendix B oblivious-DoH path."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.dns.rr import RRType
+from repro.netmodel.addr import IPAddress
+from repro.netmodel.geo import GeoPoint
+from repro.relay.ingress import RelayProtocol
+from repro.relay.odoh import ObliviousDnsPath, oblivious_path_for_session
+from repro.worldgen.world import CONTROL_DOMAIN
+
+
+@pytest.fixture()
+def session(tiny_world):
+    world = tiny_world
+    vantage = world.ground.vantage_prefix
+    ingress = sorted(
+        world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+    )[0]
+    return world.service.connect(
+        client_address=vantage.address_at(90),
+        client_asn=64496,
+        client_country="DE",
+        client_location=GeoPoint(48.1, 11.5),
+        ingress_address=ingress,
+        target_authority="observer.vantage.example",
+    )
+
+
+@pytest.fixture()
+def doh_resolver(tiny_world):
+    from repro.dns.resolver import PublicResolver
+
+    return PublicResolver(
+        tiny_world.ns_registry,
+        IPAddress.parse("1.1.1.1"),
+        "Cloudflare",
+        clock=tiny_world.clock,
+        send_ecs=True,  # ECS here carries the *egress* hint, not the client
+    )
+
+
+class TestObliviousPath:
+    def test_resolves_through_doh(self, session, doh_resolver):
+        path = oblivious_path_for_session(session, doh_resolver)
+        addresses = path.resolve_addresses(CONTROL_DOMAIN, RRType.A)
+        assert addresses
+        assert path.provider == "Cloudflare"
+
+    def test_resolver_never_sees_client(self, session, doh_resolver):
+        path = oblivious_path_for_session(session, doh_resolver)
+        path.resolve(CONTROL_DOMAIN, RRType.A)
+        record = path.log[-1]
+        assert record.resolver_saw == session.ingress_address
+        assert not record.ingress_read_question
+
+    def test_ecs_optimised_for_egress(self, session, doh_resolver):
+        path = oblivious_path_for_session(session, doh_resolver)
+        path.resolve("mask.icloud.com", RRType.A, optimise_for_egress=True)
+        record = path.log[-1]
+        assert record.ecs_source is not None
+        # The ECS subnet derives from the egress address, not the client.
+        assert record.ecs_source.contains_address(session.egress_address)
+        assert not record.ecs_source.contains_address(
+            session.tunnel.client_address
+        )
+
+    def test_no_optimisation_without_flag(self, tiny_world, session):
+        from repro.dns.resolver import PublicResolver
+
+        no_ecs = PublicResolver(
+            tiny_world.ns_registry,
+            IPAddress.parse("1.1.1.1"),
+            "Cloudflare",
+            clock=tiny_world.clock,
+            send_ecs=False,
+        )
+        path = oblivious_path_for_session(session, no_ecs)
+        path.resolve("mask.icloud.com", RRType.A, optimise_for_egress=False)
+        assert path.log[-1].ecs_source is None
+
+    def test_requires_session(self, doh_resolver):
+        with pytest.raises(RelayError):
+            oblivious_path_for_session(None, doh_resolver)
+
+    def test_direct_construction(self, doh_resolver):
+        path = ObliviousDnsPath(
+            doh_resolver=doh_resolver,
+            ingress_address=IPAddress.parse("172.224.0.1"),
+            egress_address=IPAddress.parse("172.232.0.1"),
+        )
+        path.resolve(CONTROL_DOMAIN, RRType.A)
+        assert len(path.log) == 1

@@ -1,0 +1,76 @@
+"""Tests for the access-token fraud-prevention subsystem."""
+
+import pytest
+
+from repro.errors import RelayError
+from repro.relay.tokens import AccessToken, TokenIssuer
+from repro.simtime import SECONDS_PER_DAY, SimClock
+
+
+@pytest.fixture()
+def issuer():
+    return TokenIssuer(SimClock(), daily_budget=3)
+
+
+class TestTokenIssuer:
+    def test_issue_and_consume(self, issuer):
+        token = issuer.issue("account-1")
+        assert issuer.validate_and_consume(token)
+
+    def test_single_use(self, issuer):
+        token = issuer.issue("account-1")
+        assert issuer.validate_and_consume(token)
+        assert not issuer.validate_and_consume(token)
+        assert issuer.rejected_validation == 1
+
+    def test_forged_token_rejected(self, issuer):
+        forged = AccessToken("0" * 64, 0.0)
+        assert not issuer.validate_and_consume(forged)
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(RelayError):
+            AccessToken("short", 0.0)
+
+    def test_daily_budget_enforced(self, issuer):
+        for _ in range(3):
+            issuer.issue("account-1")
+        with pytest.raises(RelayError):
+            issuer.issue("account-1")
+        assert issuer.rejected_issuance == 1
+        assert issuer.remaining_budget("account-1") == 0
+
+    def test_budget_is_per_account(self, issuer):
+        for _ in range(3):
+            issuer.issue("account-1")
+        issuer.issue("account-2")
+        assert issuer.remaining_budget("account-2") == 2
+
+    def test_budget_resets_daily(self):
+        clock = SimClock()
+        issuer = TokenIssuer(clock, daily_budget=1)
+        issuer.issue("account-1")
+        with pytest.raises(RelayError):
+            issuer.issue("account-1")
+        clock.advance(SECONDS_PER_DAY)
+        issuer.issue("account-1")  # new day, fresh budget
+
+    def test_tokens_unique(self, issuer):
+        tokens = {issuer.issue("account-1").token_id for _ in range(3)}
+        assert len(tokens) == 3
+
+    def test_unlinkability_invariant(self, issuer):
+        token = issuer.issue("account-1")
+        assert not issuer.can_link_token_to_account(token)
+        # The validation-side state must not mention the account id.
+        assert "account-1" not in repr(issuer._valid_tokens)
+
+    def test_invalid_budget(self):
+        with pytest.raises(RelayError):
+            TokenIssuer(SimClock(), daily_budget=0)
+
+    def test_old_token_valid_across_days_until_consumed(self):
+        clock = SimClock()
+        issuer = TokenIssuer(clock, daily_budget=2)
+        token = issuer.issue("account-1")
+        clock.advance(2 * SECONDS_PER_DAY)
+        assert issuer.validate_and_consume(token)

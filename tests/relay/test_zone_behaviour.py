@@ -1,0 +1,179 @@
+"""Deep behaviour tests of the relay DNS zone across the deployment
+timeline — the mechanisms behind Table 1's emergent properties."""
+
+import pytest
+
+from repro.dns.message import DnsMessage
+from repro.dns.rr import RRType
+from repro.netmodel.addr import Prefix
+from repro.relay.ingress import RelayProtocol
+from repro.relay.service import (
+    MAX_RECORDS_PER_RESPONSE,
+    RELAY_DOMAIN_FALLBACK,
+    RELAY_DOMAIN_QUIC,
+)
+from repro.worldgen.deployment import scan_time
+
+
+def client_subnet(world, index: int = 0) -> Prefix:
+    prefix = world.ground.client_ases[index].asys.prefixes[0]
+    return Prefix.from_address(prefix.network_address, 24)
+
+
+@pytest.fixture(scope="module")
+def timeline_world():
+    """A dedicated world whose clock we steer across months."""
+    from repro.worldgen import WorldConfig, build_world
+
+    return build_world(WorldConfig.tiny(seed=31))
+
+
+class TestZoneTimeline:
+    def test_fallback_served_by_apple_before_march(self, timeline_world):
+        world = timeline_world
+        world.clock.advance_to(scan_time(2022, 2))
+        # Query a subnet assigned to the AKAMAI operator: with no Akamai
+        # fallback relays deployed yet, Apple serves (the paper's
+        # "fallback relays were initially served by Apple").
+        akamai_unit = next(
+            u for u in world.assignment.units() if u.operator_asn == 36183
+        )
+        subnet = Prefix.from_address(akamai_unit.prefix.network_address, 24)
+        response = world.route53.handle(
+            DnsMessage.query(RELAY_DOMAIN_FALLBACK, RRType.A, ecs=subnet)
+        )
+        asns = {world.routing.origin_of(a) for a in response.answer_addresses()}
+        assert asns == {714}
+
+    def test_fallback_served_by_akamai_in_april(self, timeline_world):
+        world = timeline_world
+        world.clock.advance_to(scan_time(2022, 4))
+        akamai_unit = next(
+            u for u in world.assignment.units() if u.operator_asn == 36183
+        )
+        subnet = Prefix.from_address(akamai_unit.prefix.network_address, 24)
+        response = world.route53.handle(
+            DnsMessage.query(RELAY_DOMAIN_FALLBACK, RRType.A, ecs=subnet)
+        )
+        asns = {world.routing.origin_of(a) for a in response.answer_addresses()}
+        assert asns == {36183}
+
+    def test_record_cap(self, timeline_world):
+        world = timeline_world
+        for _ in range(30):
+            response = world.route53.handle(
+                DnsMessage.query(
+                    RELAY_DOMAIN_QUIC, RRType.A, ecs=client_subnet(world)
+                )
+            )
+            assert 1 <= len(response.answers) <= MAX_RECORDS_PER_RESPONSE
+
+    def test_rotation_covers_pod(self, timeline_world):
+        """Repeated queries for one subnet cycle through the pod."""
+        world = timeline_world
+        subnet = client_subnet(world)
+        unit = world.assignment.lookup(subnet)
+        pod_size = len(
+            [
+                r
+                for r in world.ingress_v4.pod_relays(
+                    unit.pod, RelayProtocol.QUIC, world.clock.now
+                )
+                if r.asn == unit.operator_asn
+            ]
+        ) or len(
+            world.ingress_v4.active_cached(
+                world.clock.now, RelayProtocol.QUIC, unit.operator_asn
+            )
+        )
+        seen = set()
+        for _ in range(pod_size + MAX_RECORDS_PER_RESPONSE):
+            response = world.route53.handle(
+                DnsMessage.query(RELAY_DOMAIN_QUIC, RRType.A, ecs=subnet)
+            )
+            seen.update(response.answer_addresses())
+        assert len(seen) == pod_size
+
+    def test_answers_single_as_always(self, timeline_world):
+        world = timeline_world
+        for index in range(0, 40, 4):
+            response = world.route53.handle(
+                DnsMessage.query(
+                    RELAY_DOMAIN_QUIC, RRType.A, ecs=client_subnet(world, index)
+                )
+            )
+            asns = {
+                world.routing.origin_of(a) for a in response.answer_addresses()
+            }
+            assert len(asns) == 1
+
+    def test_scope_matches_assignment_unit(self, timeline_world):
+        world = timeline_world
+        subnet = client_subnet(world)
+        unit = world.assignment.lookup(subnet)
+        response = world.route53.handle(
+            DnsMessage.query(RELAY_DOMAIN_QUIC, RRType.A, ecs=subnet)
+        )
+        assert response.client_subnet.scope_prefix_length == unit.scope_len
+
+    def test_aaaa_answers_follow_same_assignment(self, timeline_world):
+        world = timeline_world
+        akamai_unit = next(
+            u for u in world.assignment.units() if u.operator_asn == 36183
+        )
+        subnet = Prefix.from_address(akamai_unit.prefix.network_address, 24)
+        response = world.route53.handle(
+            DnsMessage.query(RELAY_DOMAIN_QUIC, RRType.AAAA, ecs=subnet)
+        )
+        addresses = response.answer_addresses()
+        assert addresses
+        assert {world.routing.origin_of(a) for a in addresses} == {36183}
+
+
+class TestSessionDataPlane:
+    def test_fetch_accounts_bytes(self, timeline_world):
+        world = timeline_world
+        client = world.make_vantage_client()
+        # Issue the request via a session to inspect the data plane.
+        from repro.relay.ingress import RelayProtocol as RP
+
+        ingress = sorted(
+            world.ingress_v4.active_addresses(world.clock.now, RP.QUIC)
+        )[0]
+        session = world.service.connect(
+            client_address=client.address,
+            client_asn=client.asn,
+            client_country=client.country,
+            client_location=client.location,
+            ingress_address=ingress,
+            target_authority=world.web_server.hostname,
+        )
+        session.fetch(world.web_server)
+        plane = session.data_plane
+        assert plane.application_bytes() > 0
+        assert plane.observable_bytes() >= plane.application_bytes()
+        # The configured 512-byte padding quantises observable sizes.
+        for stream in plane.streams.values():
+            assert stream.wire_bytes_up % 512 == 0
+            assert stream.wire_bytes_down % 512 == 0
+
+    def test_parallel_fetches_use_distinct_streams(self, timeline_world):
+        world = timeline_world
+        client = world.make_vantage_client()
+        from repro.relay.ingress import RelayProtocol as RP
+
+        ingress = sorted(
+            world.ingress_v4.active_addresses(world.clock.now, RP.QUIC)
+        )[0]
+        session = world.service.connect(
+            client_address=client.address,
+            client_asn=client.asn,
+            client_country=client.country,
+            client_location=client.location,
+            ingress_address=ingress,
+            target_authority=world.web_server.hostname,
+        )
+        session.fetch(world.web_server)
+        session.fetch(world.web_server, path="/second")
+        assert len(session.data_plane.streams) == 2
+        assert session.data_plane.open_stream_count() == 0  # both closed

@@ -1,0 +1,147 @@
+"""Tests for the campaign orchestrator, ZMap sweep, and traceroute campaign."""
+
+import pytest
+
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.relay.ingress import RelayProtocol
+from repro.scan.campaign import ScanCampaign
+from repro.scan.traceroute_campaign import (
+    LabelledTarget,
+    run_traceroute_campaign,
+)
+from repro.scan.zmap import ZmapQuicSweep
+from repro.worldgen import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def campaign_world():
+    """A dedicated world: the campaign advances the shared clock a lot."""
+    return build_world(WorldConfig.tiny(seed=77))
+
+
+@pytest.fixture(scope="module")
+def campaign(campaign_world):
+    world = campaign_world
+    runner = ScanCampaign(world.route53, world.routing, world.clock)
+    runner.run(world.scan_months())
+    return runner
+
+
+class TestScanCampaign:
+    def test_four_months(self, campaign):
+        assert len(campaign.months) == 4
+        assert campaign.months[0].fallback is None  # January gap
+        assert campaign.months[1].fallback is not None
+
+    def test_table1_input_shape(self, campaign):
+        from repro.analysis import build_table1
+
+        table1 = build_table1(campaign.table1_input())
+        assert len(table1.rows) == 4
+        # At the tiny scale, deployment counts floor at their minimums,
+        # so growth can flatten to zero — never negative.
+        assert table1.quic_growth() >= 0
+
+    def test_archives_accumulate(self, campaign, campaign_world):
+        world = campaign_world
+        april_active = world.ingress_v4.active_addresses(
+            world.deployment.april_scan_start, RelayProtocol.QUIC
+        )
+        # The archive holds every address April had, plus churned ones.
+        archive_addresses = {s.address for s in campaign.default_archive.sightings()}
+        assert april_active <= archive_addresses
+        assert campaign.default_archive.scan_count() == 4
+        assert campaign.fallback_archive.scan_count() == 3
+
+    def test_ingress_asns(self, campaign):
+        assert campaign.ingress_asns() == {714, 36183}
+
+    def test_latest_default(self, campaign):
+        assert campaign.latest_default() is campaign.months[-1].default
+
+    def test_latest_before_run_fails(self, campaign_world):
+        runner = ScanCampaign(
+            campaign_world.route53, campaign_world.routing, campaign_world.clock
+        )
+        with pytest.raises(ValueError):
+            runner.latest_default()
+
+
+class TestZmapSweep:
+    def test_sweep_addresses(self, campaign_world, campaign):
+        world = campaign_world
+        addresses = sorted(campaign.latest_default().addresses())
+        sweep = ZmapQuicSweep(world.service, world.clock)
+        result = sweep.sweep_addresses(addresses)
+        assert result.probes_sent == len(addresses)
+        assert result.responsive_addresses() == set(addresses)
+        profile = result.version_profile()
+        assert list(profile) == [("QUICv1", "draft-29", "draft-28", "draft-27")]
+
+    def test_sweep_prefix_finds_only_relays(self, campaign_world, campaign):
+        world = campaign_world
+        # Sweep the /24 of one ingress relay: only deployed addresses
+        # respond, the rest of the prefix is silent.
+        address = sorted(campaign.latest_default().addresses())[0]
+        prefix = Prefix.from_address(address, 24)
+        sweep = ZmapQuicSweep(world.service, world.clock)
+        result = sweep.sweep_prefixes([prefix])
+        assert result.probes_sent == 256
+        assert address in result.responsive_addresses()
+        assert result.silent == 256 - len(result.responsive)
+
+    def test_rate_limit_advances_clock(self, campaign_world):
+        world = campaign_world
+        sweep = ZmapQuicSweep(world.service, world.clock, rate=100.0, burst=1.0)
+        before = world.clock.now
+        sweep.sweep_addresses([IPAddress.parse("192.0.2.1")] * 50)
+        assert world.clock.now - before == pytest.approx(49 / 100.0)
+
+
+class TestTracerouteCampaign:
+    def test_mixed_cluster_detected(self, campaign_world):
+        world = campaign_world
+        # An Akamai-PR ingress relay at a European pod (the vantage's
+        # region) plus the Akamai egress pool for the vantage country:
+        # they share a regional site, hence a last hop.
+        ingress = next(
+            r.address
+            for r in world.ingress_v4.relays
+            if r.asn == 36183 and r.pod.startswith("EU-")
+            and r.is_active(world.clock.now)
+        )
+        targets = [LabelledTarget(ingress, "ingress", 36183)]
+        pool = world.egress_fleet.pool_for(36183, world.config.vantage_country)
+        for address in pool.addresses:
+            targets.append(LabelledTarget(address, "egress", 36183))
+        result = run_traceroute_campaign(
+            world.topology, world.vantage_router_id, targets
+        )
+        assert result.shared_last_hop_found()
+        assert 36183 in result.asns_with_mixed_sites()
+        assert not result.unreachable
+        assert len(result.traces) == len(targets)
+
+    def test_disjoint_operators_never_mix(self, campaign_world):
+        world = campaign_world
+        pool_cf = world.egress_fleet.pool_for(13335, world.config.vantage_country)
+        apple_ingress = [
+            r.address
+            for r in world.ingress_v4.relays
+            if r.asn == 714 and r.is_active(world.clock.now)
+        ]
+        targets = [LabelledTarget(apple_ingress[0], "ingress", 714)]
+        targets += [LabelledTarget(a, "egress", 13335) for a in pool_cf.addresses]
+        result = run_traceroute_campaign(
+            world.topology, world.vantage_router_id, targets
+        )
+        assert not result.shared_last_hop_found()
+
+    def test_unreachable_targets_reported(self, campaign_world):
+        world = campaign_world
+        targets = [LabelledTarget(IPAddress.parse("198.18.0.1"), "ingress")]
+        result = run_traceroute_campaign(
+            world.topology, world.vantage_router_id, targets
+        )
+        assert result.unreachable == targets
+        assert not result.clusters

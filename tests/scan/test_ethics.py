@@ -1,0 +1,72 @@
+"""Tests of the Section 7 ethics measures as implemented."""
+
+import pytest
+
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan.ecs_scanner import EcsScanner, EcsScanSettings
+
+
+@pytest.fixture(scope="module")
+def ethics_world():
+    from repro.worldgen import WorldConfig, build_world
+
+    world = build_world(WorldConfig.tiny(seed=55))
+    world.clock.advance_to(world.scan_start(2022, 4))
+    return world
+
+
+class TestEthicsMeasures:
+    def test_rate_limit_is_strict(self, ethics_world):
+        """At the configured 2.2 q/s, the scan stretches over hours."""
+        world = ethics_world
+        world.route53.stats.reset()
+        scanner = EcsScanner(
+            world.route53, world.routing, world.clock,
+            EcsScanSettings(rate=2.2, burst=10.0),
+        )
+        result = scanner.scan(RELAY_DOMAIN_QUIC)
+        elapsed = result.finished_at - result.started_at
+        assert result.queries_sent / elapsed <= 2.2 * 1.01
+
+    def test_server_query_accounting_matches(self, ethics_world):
+        """Every query the scanner sends is visible in the server stats —
+        the accounting an abuse investigation would rely on."""
+        world = ethics_world
+        world.route53.stats.reset()
+        scanner = EcsScanner(
+            world.route53, world.routing, world.clock,
+            EcsScanSettings(rate=1e9),
+        )
+        result = scanner.scan(RELAY_DOMAIN_QUIC)
+        assert world.route53.stats.queries == result.queries_sent
+        assert world.route53.stats.ecs_queries == result.queries_sent
+
+    def test_unrouted_space_only_sparsely_scanned(self, ethics_world):
+        """Non-routable space receives a tiny, bounded query share."""
+        world = ethics_world
+        scanner = EcsScanner(
+            world.route53, world.routing, world.clock,
+            EcsScanSettings(rate=1e9, sparse_stride=4096),
+        )
+        result = scanner.scan(RELAY_DOMAIN_QUIC)
+        unrouted_slash24s = (1 << 24) - sum(
+            p.count_subnets(24) if p.length <= 24 else 1
+            for p in world.routing.routed_v4_prefixes()
+        )
+        assert result.sparse_queries <= unrouted_slash24s / 4096 + 16
+
+    def test_scope_respect_reduces_load(self, ethics_world):
+        """Honouring ECS scopes reduces server load substantially."""
+        world = ethics_world
+        world.route53.stats.reset()
+        pruned = EcsScanner(
+            world.route53, world.routing, world.clock,
+            EcsScanSettings(rate=1e9, respect_scope=True),
+        ).scan(RELAY_DOMAIN_QUIC)
+        pruned_queries = world.route53.stats.queries
+        routed_24s = sum(
+            p.count_subnets(24) if p.length <= 24 else 1
+            for p in world.routing.routed_v4_prefixes()
+        )
+        assert pruned_queries < routed_24s / 3
+        assert pruned.addresses()

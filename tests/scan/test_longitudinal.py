@@ -1,0 +1,109 @@
+"""Tests for the longitudinal ingress archive."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.scan.ecs_scanner import EcsResponse, EcsScanResult
+from repro.scan.longitudinal import IngressArchive
+
+DOMAIN = "mask.icloud.com."
+
+
+def make_scan(started_at: float, addresses: list[str], asn: int = 36183) -> EcsScanResult:
+    scan = EcsScanResult(domain=DOMAIN, started_at=started_at, finished_at=started_at + 10)
+    scan.responses.append(
+        EcsResponse(
+            Prefix.parse("203.0.113.0/24"),
+            24,
+            tuple(IPAddress.parse(a) for a in addresses),
+            asn,
+        )
+    )
+    return scan
+
+
+class TestIngressArchive:
+    def test_record_accumulates(self):
+        archive = IngressArchive(DOMAIN)
+        assert archive.record(make_scan(0.0, ["172.224.0.1", "172.224.0.2"])) == 2
+        assert archive.record(make_scan(100.0, ["172.224.0.2", "172.224.0.3"])) == 1
+        assert len(archive) == 3
+        assert archive.scan_count() == 2
+
+    def test_domain_mismatch_rejected(self):
+        archive = IngressArchive("mask-h2.icloud.com.")
+        with pytest.raises(MeasurementError):
+            archive.record(make_scan(0.0, ["172.224.0.1"]))
+
+    def test_chronological_order_enforced(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(100.0, ["172.224.0.1"]))
+        with pytest.raises(MeasurementError):
+            archive.record(make_scan(50.0, ["172.224.0.1"]))
+
+    def test_sighting_windows(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(0.0, ["172.224.0.1"]))
+        archive.record(make_scan(100.0, ["172.224.0.1"]))
+        sighting = archive.sightings()[0]
+        assert sighting.first_seen == 0.0
+        assert sighting.last_seen == 100.0
+        assert sighting.seen_in_window(50.0, 150.0)
+        assert not sighting.seen_in_window(101.0, 200.0)
+
+    def test_growth_series(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(0.0, ["172.224.0.1"]))
+        archive.record(make_scan(100.0, ["172.224.0.1", "172.224.0.2"]))
+        assert archive.growth_series() == [(0.0, 1), (100.0, 2)]
+
+    def test_churned_addresses(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(0.0, ["172.224.0.1", "172.224.0.2"]))
+        archive.record(make_scan(100.0, ["172.224.0.2"]))
+        churned = archive.churned_addresses(as_of=100.0)
+        assert churned == {IPAddress.parse("172.224.0.1")}
+
+    def test_stable_addresses(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(0.0, ["172.224.0.1", "172.224.0.2"]))
+        archive.record(make_scan(100.0, ["172.224.0.2", "172.224.0.3"]))
+        assert archive.stable_addresses() == {IPAddress.parse("172.224.0.2")}
+
+    def test_csv_roundtrip(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(0.0, ["172.224.0.1", "172.224.0.2"]))
+        archive.record(make_scan(100.0, ["172.224.0.2"]))
+        parsed = IngressArchive.from_csv(DOMAIN, archive.to_csv())
+        assert len(parsed) == len(archive)
+        original = {s.address: (s.first_seen, s.last_seen) for s in archive.sightings()}
+        restored = {s.address: (s.first_seen, s.last_seen) for s in parsed.sightings()}
+        assert original == restored
+
+    def test_csv_bad_header(self):
+        with pytest.raises(MeasurementError):
+            IngressArchive.from_csv(DOMAIN, "a,b,c\n")
+
+    def test_csv_bad_window(self):
+        text = "address,asn,first_seen,last_seen\n172.224.0.1,36183,100,50\n"
+        with pytest.raises(MeasurementError):
+            IngressArchive.from_csv(DOMAIN, text)
+
+    def test_campaign_archive_over_world(self, small_world_scans):
+        """The four monthly scans build a consistent archive."""
+        archive = IngressArchive(DOMAIN)
+        new_per_scan = []
+        for _y, _m, default, _fallback in small_world_scans:
+            new_per_scan.append(archive.record(default))
+        # The first scan contributes everything it saw; later scans add
+        # only the newly deployed relays.
+        assert new_per_scan[0] > 0
+        assert sum(new_per_scan) == len(archive)
+        assert new_per_scan[-1] > 0  # April's Akamai expansion
+        # Addresses retired during the campaign show up as churn.
+        last_time = small_world_scans[-1][2].started_at
+        churned = archive.churned_addresses(as_of=last_time)
+        stable = archive.stable_addresses()
+        assert stable
+        assert len(stable) + len(churned) <= len(archive)

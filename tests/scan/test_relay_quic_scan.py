@@ -1,0 +1,114 @@
+"""Tests for the relay scanner and the QUIC scanner."""
+
+import pytest
+
+from repro.dns.rr import RRType
+from repro.netmodel.addr import IPAddress
+from repro.relay.client import DnsConfig
+from repro.relay.ingress import RelayProtocol
+from repro.scan.quic_scanner import QuicScanner
+from repro.scan.relay_scanner import RelayScanConfig, RelayScanner
+
+
+@pytest.fixture(scope="module")
+def day_series(tiny_world):
+    world = tiny_world
+    client = world.make_vantage_client()
+    scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
+    return scanner.run(RelayScanConfig(300.0, 86400.0), "open")
+
+
+class TestRelayScanner:
+    def test_round_count(self, day_series):
+        assert len(day_series) == 288  # 86400 / 300
+        assert day_series.failures == 0
+
+    def test_operator_series_relative_time(self, day_series):
+        series = day_series.operator_series()
+        assert series[0][0] == 0.0
+        assert series[-1][0] == pytest.approx(86100.0)
+
+    def test_operators_at_vantage(self, day_series):
+        # Only Cloudflare and Akamai-PR serve the vantage; Fastly absent.
+        assert day_series.operators_seen() <= {13335, 36183}
+        assert 54113 not in day_series.operators_seen()
+
+    def test_operator_changes_are_a_handful(self, day_series):
+        changes = day_series.operator_changes()
+        assert 0 <= len(changes) < 25
+        for _t, old, new in changes:
+            assert old != new
+
+    def test_address_rotation_above_paper_threshold(self, tiny_world):
+        world = tiny_world
+        client = world.make_vantage_client()
+        scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
+        series = scanner.run(RelayScanConfig(30.0, 86400.0), "fine")
+        assert series.address_change_rate() > 0.6
+
+    def test_distinct_addresses_small(self, tiny_world, day_series):
+        world = tiny_world
+        distinct = day_series.distinct_addresses()
+        assert 2 <= len(distinct) <= 2 * world.config.egress_pool_addresses
+
+    def test_distinct_subnets(self, tiny_world, day_series):
+        count = day_series.distinct_subnets(tiny_world.egress_list_may)
+        assert 1 <= count <= len(day_series.distinct_addresses())
+
+    def test_parallel_divergence(self, day_series):
+        assert day_series.parallel_divergence_rate() > 0.3
+
+    def test_fixed_dns_scan_same_behaviour(self, tiny_world):
+        world = tiny_world
+        ingress = sorted(
+            world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+        )[0]
+        client = world.make_vantage_client(
+            DnsConfig.fixed({("mask.icloud.com", RRType.A): [ingress]})
+        )
+        scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
+        series = scanner.run(RelayScanConfig(30.0, 43200.0), "fixed")
+        assert series.ingress_addresses() == {ingress}
+        assert series.address_change_rate() > 0.6
+
+    def test_blocked_client_records_failures(self, tiny_world):
+        world = tiny_world
+        client = world.make_vantage_client(DnsConfig.fixed({}))
+        scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
+        series = scanner.run(RelayScanConfig(300.0, 3600.0), "blocked")
+        assert len(series) == 0
+        assert series.failures == 12
+
+    def test_ingress_addresses_observed(self, day_series, tiny_world):
+        for address in day_series.ingress_addresses():
+            assert tiny_world.routing.origin_of(address) in (714, 36183)
+
+
+class TestQuicScanner:
+    def test_handshakes_time_out_versions_negotiated(self, tiny_world):
+        world = tiny_world
+        addresses = sorted(
+            world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+        )
+        report = QuicScanner(world.service).scan(list(addresses))
+        assert report.probed == len(addresses)
+        assert report.all_handshakes_timed_out
+        assert report.version_negotiations == len(addresses)
+        assert report.dominant_versions() == (
+            "QUICv1", "draft-29", "draft-28", "draft-27",
+        )
+
+    def test_fallback_relays_unreachable_over_quic(self, tiny_world):
+        world = tiny_world
+        fallback = sorted(
+            world.ingress_v4.active_addresses(
+                world.clock.now, RelayProtocol.TCP_FALLBACK
+            )
+        )
+        report = QuicScanner(world.service).scan(fallback[:3])
+        assert report.unreachable == min(3, len(fallback))
+
+    def test_random_address_unreachable(self, tiny_world):
+        report = QuicScanner(tiny_world.service).scan([IPAddress.parse("192.0.2.99")])
+        assert report.unreachable == 1
+        assert report.version_negotiations == 0

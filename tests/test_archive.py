@@ -1,0 +1,89 @@
+"""Tests for the research-data archive bundle."""
+
+import json
+
+import pytest
+
+from repro.archive import read_archive, write_archive
+from repro.errors import MeasurementError
+from repro.scan.campaign import ScanCampaign
+
+
+@pytest.fixture(scope="module")
+def archived(tmp_path_factory):
+    """Run a tiny campaign and write its archive once."""
+    from repro.worldgen import WorldConfig, build_world
+
+    world = build_world(WorldConfig.tiny(seed=123))
+    campaign = ScanCampaign(world.route53, world.routing, world.clock)
+    campaign.run(world.scan_months())
+    directory = tmp_path_factory.mktemp("archive")
+    write_archive(
+        directory,
+        campaign,
+        world.egress_list_may,
+        world.egress_list_jan,
+        world.history,
+        metadata={"seed": 123, "scale": world.config.scale},
+    )
+    return world, campaign, directory
+
+
+class TestWriteArchive:
+    def test_files_present(self, archived):
+        _world, _campaign, directory = archived
+        for name in (
+            "MANIFEST.json",
+            "ingress-default.csv",
+            "ingress-fallback.csv",
+            "egress-ip-ranges.csv",
+            "egress-ip-ranges-jan.csv",
+            "bgp-origins.csv",
+        ):
+            assert (directory / name).exists(), name
+
+    def test_manifest_contents(self, archived):
+        _world, campaign, directory = archived
+        manifest = json.loads((directory / "MANIFEST.json").read_text())
+        assert manifest["format"] == "relay-networks-archive/1"
+        assert len(manifest["scans"]) == 4
+        assert manifest["scans"][0]["fallback_addresses"] is None
+        assert manifest["metadata"]["seed"] == 123
+
+    def test_bgp_csv_shape(self, archived):
+        _world, _campaign, directory = archived
+        lines = (directory / "bgp-origins.csv").read_text().splitlines()
+        assert lines[0] == "month,relay_as_visible"
+        assert len(lines) == 78  # header + 77 months
+
+
+class TestReadArchive:
+    def test_roundtrip(self, archived):
+        world, campaign, directory = archived
+        bundle = read_archive(directory)
+        assert len(bundle.ingress_default) == len(campaign.default_archive)
+        assert len(bundle.egress_may) == len(world.egress_list_may)
+        assert len(bundle.egress_jan) == len(world.egress_list_jan)
+
+    def test_relay_visibility(self, archived):
+        _world, _campaign, directory = archived
+        bundle = read_archive(directory)
+        assert bundle.first_relay_visibility() == "2021-06"
+
+    def test_downstream_analysis_from_files(self, archived):
+        """Tables 3/4 rebuild from the archived CSVs alone."""
+        world, _campaign, directory = archived
+        from repro.analysis import build_table3
+
+        bundle = read_archive(directory)
+        table3 = build_table3(bundle.egress_may, world.routing)
+        assert {row.asn for row in table3.rows} == {36183, 20940, 13335, 54113}
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(MeasurementError):
+            read_archive(tmp_path)
+
+    def test_bad_format(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text('{"format": "other/9"}')
+        with pytest.raises(MeasurementError):
+            read_archive(tmp_path)

@@ -1,0 +1,75 @@
+"""Tests for the repro-relay CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "0.004"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["world-info"])
+        assert args.scale == 0.02
+        assert args.seed == 2022
+
+
+class TestCommands:
+    def test_world_info(self, capsys):
+        assert main(["world-info", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "client ASes" in out
+        assert "atlas probes" in out
+
+    def test_ecs_scan(self, capsys):
+        assert main(["ecs-scan", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "AS714" in out
+        assert "AS36183" in out
+
+    def test_ecs_scan_fallback(self, capsys):
+        assert main(["ecs-scan", *SCALE, "--fallback"]) == 0
+        assert "mask-h2" in capsys.readouterr().out
+
+    def test_ecs_scan_archive(self, tmp_path, capsys):
+        archive = tmp_path / "ingress.csv"
+        assert main(["ecs-scan", *SCALE, "--archive", str(archive)]) == 0
+        text = archive.read_text()
+        assert text.startswith("address,asn,first_seen,last_seen")
+        assert "36183" in text
+
+    def test_egress_report(self, capsys):
+        assert main(["egress-report", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "US share" in out
+
+    def test_relay_scan(self, capsys):
+        assert main(
+            ["relay-scan", *SCALE, "--interval", "300", "--duration", "7200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rounds: 24" in out
+        assert "address change rate" in out
+
+    def test_archive(self, tmp_path, capsys):
+        directory = tmp_path / "bundle"
+        assert main(["archive", *SCALE, str(directory)]) == 0
+        assert (directory / "MANIFEST.json").exists()
+        assert (directory / "ingress-default.csv").exists()
+        out = capsys.readouterr().out
+        assert "wrote archive" in out
+
+    def test_blocking(self, capsys):
+        assert main(["blocking", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked:" in out
+        assert "NXDOMAIN" in out

@@ -1,0 +1,167 @@
+"""End-to-end integration: the paper's pipeline on one world.
+
+Each test asserts one of the paper's headline findings as it emerges
+from running the actual measurement code — no ground-truth shortcuts.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import (
+    build_overlap_report,
+    build_rotation_report,
+    build_table1,
+    build_table2,
+    build_table3,
+)
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan import (
+    AtlasIngressScanner,
+    EcsScanner,
+    QuicScanner,
+    RelayScanConfig,
+    RelayScanner,
+    classify_blocking,
+)
+from repro.worldgen.world import CONTROL_DOMAIN
+
+INGRESS_ASNS = {714, 36183}
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        import inspect
+
+        import repro.errors as errors
+
+        for _name, cls in inspect.getmembers(errors, inspect.isclass):
+            if cls.__module__ == "repro.errors" and cls is not errors.ReproError:
+                assert issubclass(cls, ReproError)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, small_world, small_world_scans):
+        """Run the whole measurement pipeline once."""
+        world = small_world
+        monthly = small_world_scans
+        april = monthly[-1][2]
+        atlas_time = world.deployment.april_scan_start + 40 * 3600.0
+        if world.clock.now < atlas_time:
+            world.clock.advance_to(atlas_time)
+        atlas_scanner = AtlasIngressScanner(world.atlas, world.routing, INGRESS_ASNS)
+        validation = atlas_scanner.validate_against_ecs(
+            RELAY_DOMAIN_QUIC, april.addresses()
+        )
+        v6_report = None
+        for _ in range(4):
+            v6_report = atlas_scanner.measure_ingress_v6(RELAY_DOMAIN_QUIC, v6_report)
+        blocking = classify_blocking(
+            world.atlas, world.routing, RELAY_DOMAIN_QUIC, CONTROL_DOMAIN, INGRESS_ASNS
+        )
+        client = world.make_vantage_client()
+        relay_scan = RelayScanner(
+            client, world.web_server, world.echo_server, world.clock
+        ).run(RelayScanConfig(30.0, 86400.0), "open")
+        return {
+            "world": world,
+            "monthly": monthly,
+            "april": april,
+            "validation": validation,
+            "v6": v6_report,
+            "blocking": blocking,
+            "relay_scan": relay_scan,
+        }
+
+    def test_contribution_i_ingress_enumeration(self, pipeline):
+        """ECS scans collect the ingress fleet in Apple + Akamai-PR ASes."""
+        april = pipeline["april"]
+        by_asn = april.addresses_by_asn()
+        assert set(by_asn) == INGRESS_ASNS
+        table1 = build_table1(pipeline["monthly"])
+        assert table1.final_total() == len(april.addresses())
+
+    def test_contribution_i_growth(self, pipeline):
+        table1 = build_table1(pipeline["monthly"])
+        assert table1.quic_growth() > 0.2
+        assert table1.fallback_growth() > 1.5
+
+    def test_contribution_i_split_world(self, pipeline):
+        world = pipeline["world"]
+        table2 = build_table2(pipeline["april"], world.routing, world.population)
+        assert 0.6 < table2.apple_share_of_all_subnets < 0.8
+
+    def test_ecs_beats_atlas(self, pipeline):
+        validation = pipeline["validation"]
+        assert validation.ecs_advantage > 0
+        assert len(validation.atlas_only) <= 1
+
+    def test_ipv6_same_two_ases(self, pipeline):
+        world = pipeline["world"]
+        by_asn = pipeline["v6"].by_asn(world.routing)
+        assert set(by_asn) == INGRESS_ASNS
+        assert by_asn[36183] > by_asn[714]
+
+    def test_blocking_about_five_percent(self, pipeline):
+        blocking = pipeline["blocking"]
+        assert 0.03 < blocking.blocked_share < 0.08
+        assert blocking.rcode_share_of_failures("NXDOMAIN") > 0.5
+
+    def test_contribution_ii_egress_bias(self, pipeline):
+        world = pipeline["world"]
+        table3 = build_table3(world.egress_list_may, world.routing)
+        counts = world.egress_list_may.subnets_per_country()
+        assert max(counts, key=counts.get) == "US"
+        assert set(row.asn for row in table3.rows) == {36183, 20940, 13335, 54113}
+
+    def test_contribution_iii_rotation(self, pipeline):
+        world = pipeline["world"]
+        report = build_rotation_report(
+            pipeline["relay_scan"], egress_list=world.egress_list_may
+        )
+        assert report.address_change_rate() > 0.6
+        assert report.parallel_divergence_rate() > 0.3
+        assert report.operators_seen() <= {"Cloudflare", "Akamai_PR"}
+
+    def test_contribution_iii_correlation_surface(self, pipeline):
+        world = pipeline["world"]
+        scan = pipeline["relay_scan"]
+        akamai_ingress = sorted(
+            a for a in scan.ingress_addresses()
+            if world.routing.origin_of(a) == 36183
+        )
+        akamai_egress = sorted(
+            r.curl.egress_address
+            for r in scan.rounds
+            if r.curl.egress_asn == 36183
+        )
+        report = build_overlap_report(
+            world.routing,
+            world.history,
+            pipeline["april"].addresses(),
+            pipeline["v6"].addresses,
+            world.egress_list_may,
+            world.topology,
+            world.vantage_router_id,
+            akamai_ingress[0] if akamai_ingress else None,
+            akamai_egress[0] if akamai_egress else None,
+        )
+        assert report.overlap_asns == {36183}
+        assert report.shared_last_hop
+        assert report.shared_prefixes == 0
+        assert report.used_fraction > 0.8
+        assert report.first_seen == (2021, 6)
+
+    def test_quic_probing_findings(self, pipeline):
+        world = pipeline["world"]
+        addresses = sorted(pipeline["april"].addresses())[:10]
+        report = QuicScanner(world.service).scan(list(addresses))
+        assert report.all_handshakes_timed_out
+        assert report.dominant_versions() == (
+            "QUICv1", "draft-29", "draft-28", "draft-27",
+        )
+
+    def test_scan_duration_realistic(self, pipeline):
+        # Rate limiting stretches a scan over (simulated) wall time: at
+        # full scale ~25 hours; at the test scale still a sizable slice.
+        assert pipeline["april"].duration_hours() > 0.5

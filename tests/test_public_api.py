@@ -1,0 +1,82 @@
+"""Public-API surface guards.
+
+Catches packaging regressions: every subpackage export must resolve,
+every public module and exported symbol carries a docstring, and the
+top-level convenience imports stay intact.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.netmodel",
+    "repro.dns",
+    "repro.quic",
+    "repro.masque",
+    "repro.relay",
+    "repro.atlas",
+    "repro.scan",
+    "repro.analysis",
+    "repro.worldgen",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_every_module_has_docstring(self):
+        for module in iter_modules():
+            assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+    def test_exported_callables_documented(self):
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                obj = getattr(package, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+    def test_top_level_convenience(self):
+        assert callable(repro.build_world)
+        assert callable(repro.read_archive)
+        assert repro.__version__
+
+    def test_public_methods_documented(self):
+        """Public methods of exported classes carry docstrings."""
+        undocumented = []
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                obj = getattr(package, name)
+                if not inspect.isclass(obj):
+                    continue
+                for method_name, method in inspect.getmembers(
+                    obj, inspect.isfunction
+                ):
+                    if method_name.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    if not method.__doc__:
+                        undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, f"undocumented public methods: {undocumented}"

@@ -1,0 +1,241 @@
+"""Robustness and failure-injection tests.
+
+Decoders must fail with the library's typed errors on arbitrary input
+(never ``IndexError``/``struct.error`` leaking out); scanners must
+degrade gracefully when infrastructure misbehaves; resource accounting
+must obey conservation laws.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DnsWireError, QuicError, ReproError
+from repro.dns.message import DnsMessage, Rcode
+from repro.dns.ratelimit import TokenBucket
+from repro.dns.rr import RRType
+from repro.dns.server import AuthoritativeServer, EcsPolicy
+from repro.dns.wire import decode_message, encode_message
+from repro.dns.zone import Zone
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.quic.packet import decode_packet
+from repro.scan.ecs_scanner import EcsScanner, EcsScanSettings
+from repro.simtime import SimClock
+from repro.worldgen.internet import SpaceAllocator
+
+
+# ----------------------------------------------------------------------
+# Decoder fuzzing
+# ----------------------------------------------------------------------
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300)
+def test_dns_decode_never_crashes(data):
+    try:
+        message = decode_message(data)
+    except DnsWireError:
+        return
+    # Anything that decodes must re-encode without crashing.
+    encode_message(message)
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=300)
+def test_quic_decode_never_crashes(data):
+    try:
+        decode_packet(data)
+    except QuicError:
+        pass
+
+
+@given(st.binary(min_size=12, max_size=60))
+@settings(max_examples=200)
+def test_dns_decode_bitflips(data):
+    """Flipping bits of a valid query never raises a foreign error."""
+    base = encode_message(
+        DnsMessage.query("mask.icloud.com", RRType.A, message_id=7)
+    )
+    mutated = bytes(a ^ b for a, b in zip(base, data.ljust(len(base), b"\0")))
+    try:
+        decode_message(mutated)
+    except DnsWireError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Rate limiter conservation
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.5, max_value=100.0),
+    st.floats(min_value=1.0, max_value=50.0),
+    st.integers(min_value=1, max_value=200),
+)
+def test_token_bucket_conservation(rate, burst, takes):
+    """Tokens granted never exceed burst + rate x elapsed-time."""
+    clock = SimClock()
+    bucket = TokenBucket(rate, burst, clock)
+    start = clock.now
+    for _ in range(takes):
+        bucket.take()
+    elapsed = clock.now - start
+    assert takes <= burst + rate * elapsed + 1e-6
+
+
+@given(st.integers(min_value=2, max_value=100))
+def test_token_bucket_steady_state_rate(takes):
+    """Long-run take() throughput converges to the configured rate."""
+    clock = SimClock()
+    bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+    bucket.take()
+    start = clock.now
+    for _ in range(takes):
+        bucket.take()
+    assert clock.now - start == pytest.approx(takes / 4.0)
+
+
+# ----------------------------------------------------------------------
+# Allocation invariants
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=12, max_value=24), min_size=1, max_size=60))
+def test_space_allocator_never_overlaps(lengths):
+    allocator = SpaceAllocator([Prefix.parse("10.0.0.0/8")], start="1.0.0.0")
+    allocated = [allocator.allocate(length) for length in sorted(lengths)]
+    spans = sorted((p.value, p.broadcast_value) for p in allocated)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 < s2
+    reserved = Prefix.parse("10.0.0.0/8")
+    for prefix in allocated:
+        assert not reserved.overlaps(prefix)
+
+
+# ----------------------------------------------------------------------
+# Scanner failure injection
+# ----------------------------------------------------------------------
+
+
+class _RefusingServer(AuthoritativeServer):
+    """A server that refuses every query."""
+
+    def handle(self, query, source_address=None):
+        self.stats.queries += 1
+        return query.reply(rcode=Rcode.REFUSED, recursion_available=False)
+
+
+class _NoScopeServer(AuthoritativeServer):
+    """A server whose responses never carry an ECS option."""
+
+    def __init__(self, address, inner):
+        super().__init__(address, EcsPolicy(enabled=False))
+        self._inner = inner
+
+    def handle(self, query, source_address=None):
+        response = self._inner.handle(query, source_address)
+        return DnsMessage(
+            message_id=response.message_id,
+            is_response=True,
+            rcode=response.rcode,
+            question=response.question,
+            answers=response.answers,
+        )
+
+
+class _SingleRoute:
+    def __init__(self, prefix, world):
+        self._prefix = prefix
+        self._world = world
+
+    def routed_v4_prefixes(self):
+        return [self._prefix]
+
+    def origin_of(self, address):
+        return self._world.routing.origin_of(address)
+
+
+class TestScannerFailureInjection:
+    def test_all_refused_yields_empty_result(self, tiny_world):
+        world = tiny_world
+        server = _RefusingServer(IPAddress.parse("205.251.192.7"))
+        prefix = world.ground.client_ases[0].asys.prefixes[0]
+        scanner = EcsScanner(
+            server, _SingleRoute(prefix, world), world.clock,
+            EcsScanSettings(rate=1e9),
+        )
+        result = scanner.scan("mask.icloud.com")
+        assert result.addresses() == set()
+        assert result.queries_sent > 0
+        assert server.stats.queries == result.queries_sent
+
+    def test_missing_ecs_option_falls_back_to_slash24_walk(self, tiny_world):
+        world = tiny_world
+        wrapped = _NoScopeServer(IPAddress.parse("205.251.192.8"), world.route53)
+        prefixes = [
+            p for p in world.routing.routed_v4_prefixes()
+            if (world.routing.origin_of(p.network_address) or 0) >= 100_000
+            and 20 <= p.length <= 22
+        ]
+        prefix = prefixes[0]
+        scanner = EcsScanner(
+            wrapped, _SingleRoute(prefix, world), world.clock,
+            EcsScanSettings(rate=1e9),
+        )
+        result = scanner.scan("mask.icloud.com")
+        # Without scope information the scanner queries every /24.
+        assert result.queries_sent >= prefix.count_subnets(24)
+        assert result.addresses()
+
+    def test_zone_with_empty_answer_records_no_response(self, tiny_world):
+        world = tiny_world
+        server = AuthoritativeServer(IPAddress.parse("205.251.192.9"))
+        zone = Zone("empty.example.")
+        zone.add_dynamic("relay.empty.example.", RRType.A, lambda n, s: ([], 16))
+        server.add_zone(zone)
+        prefix = world.ground.client_ases[0].asys.prefixes[0]
+        scanner = EcsScanner(
+            server, _SingleRoute(prefix, world), world.clock,
+            EcsScanSettings(rate=1e9),
+        )
+        result = scanner.scan("relay.empty.example.")
+        assert result.addresses() == set()
+
+
+class TestServiceFailureModes:
+    def test_unserved_country_raises_typed_error(self, tiny_world):
+        world = tiny_world
+        from repro.relay.ingress import RelayProtocol
+
+        ingress = sorted(
+            world.ingress_v4.active_addresses(world.clock.now, RelayProtocol.QUIC)
+        )[0]
+        # A country with no egress pools at all.
+        with pytest.raises(ReproError):
+            world.service.connect(
+                client_address=world.ground.vantage_prefix.address_at(77),
+                client_asn=64496,
+                client_country="ZZ",
+                client_location=None,
+                ingress_address=ingress,
+                target_authority="example.org",
+            )
+
+    def test_udp_proxying_rejected(self):
+        from repro.masque.http import ConnectMethod, ConnectRequest
+        from repro.masque.proxy import establish_tunnel
+
+        tunnel, response = establish_tunnel(
+            client_address=IPAddress.parse("131.159.0.17"),
+            client_asn=64496,
+            ingress_address=IPAddress.parse("172.224.0.5"),
+            ingress_asn=36183,
+            egress_service_address=IPAddress.parse("172.232.0.8"),
+            egress_service_asn=36183,
+            egress_address=IPAddress.parse("172.232.0.8"),
+            egress_asn=36183,
+            request=ConnectRequest("dns.example", 443, method=ConnectMethod.CONNECT_UDP),
+        )
+        assert tunnel is None
+        assert not response.ok

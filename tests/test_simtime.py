@@ -1,0 +1,84 @@
+"""Tests for repro.simtime."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simtime import (
+    SECONDS_PER_MONTH,
+    SimClock,
+    format_month,
+    month_index,
+    month_to_seconds,
+    seconds_to_month,
+)
+
+
+class TestCalendar:
+    def test_epoch(self):
+        assert month_index(2016, 1) == 0
+        assert month_to_seconds(2016, 1) == 0.0
+
+    def test_known_months(self):
+        assert month_index(2021, 6) == 65
+        assert month_index(2022, 4) == 75
+
+    def test_invalid_month(self):
+        with pytest.raises(ValueError):
+            month_index(2020, 13)
+        with pytest.raises(ValueError):
+            month_index(2020, 0)
+
+    def test_seconds_to_month(self):
+        assert seconds_to_month(0.0) == (2016, 1)
+        assert seconds_to_month(SECONDS_PER_MONTH) == (2016, 2)
+        assert seconds_to_month(month_to_seconds(2022, 4) + 1) == (2022, 4)
+
+    def test_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            seconds_to_month(-1.0)
+
+    def test_format(self):
+        assert format_month(2022, 4) == "2022-04"
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+        clock.advance_to(10.0)  # no-op
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_to_month(self):
+        clock = SimClock()
+        clock.advance_to_month(2022, 1)
+        assert clock.calendar_month == (2022, 1)
+
+    def test_observers(self):
+        clock = SimClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert seen == [1.0, 3.0]
+
+
+@given(st.integers(min_value=2016, max_value=2100), st.integers(min_value=1, max_value=12))
+def test_month_roundtrip(year, month):
+    assert seconds_to_month(month_to_seconds(year, month)) == (year, month)
+    assert seconds_to_month(month_to_seconds(year, month) + SECONDS_PER_MONTH - 1) == (
+        year,
+        month,
+    )

@@ -1,0 +1,81 @@
+"""Statistical sanity tests of the stochastic components (scipy-based).
+
+These check that the seeded random processes actually follow their
+configured distributions, rather than accidentally degenerate ones —
+the kind of bug a plain unit test cannot see.
+"""
+
+import random
+
+import pytest
+from scipy import stats
+
+from repro.netmodel.addr import IPAddress
+from repro.relay.egress import EgressFleet, EgressPool
+
+
+class TestOperatorSelectionDistribution:
+    def test_weighted_choice_matches_presence(self):
+        fleet = EgressFleet()
+        fleet.set_presence("DE", {13335: 0.55, 36183: 0.45})
+        rng = random.Random(9)
+        draws = [fleet.choose_operator("DE", rng) for _ in range(4000)]
+        observed = [draws.count(13335), draws.count(36183)]
+        expected = [4000 * 0.55, 4000 * 0.45]
+        _stat, p_value = stats.chisquare(observed, expected)
+        assert p_value > 0.001  # not significantly off the configured weights
+
+
+class TestRotationUniformity:
+    def test_unsticky_selection_is_uniform(self):
+        addresses = [IPAddress(4, (10 << 24) + i) for i in range(6)]
+        pool = EgressPool(36183, "DE", addresses, stickiness=0.0)
+        rng = random.Random(5)
+        draws = [pool.select("c", rng) for _ in range(6000)]
+        counts = [draws.count(a) for a in addresses]
+        _stat, p_value = stats.chisquare(counts)
+        assert p_value > 0.001
+
+    def test_stickiness_biases_toward_repeats(self):
+        addresses = [IPAddress(4, (10 << 24) + i) for i in range(6)]
+        sticky = EgressPool(36183, "DE", addresses, stickiness=0.5)
+        rng = random.Random(5)
+        draws = [sticky.select("c", rng) for _ in range(4000)]
+        repeats = sum(1 for a, b in zip(draws, draws[1:]) if a == b)
+        repeat_rate = repeats / (len(draws) - 1)
+        # Expected: 0.5 + 0.5/6 ~ 0.583; binomial CI is tight at n=4000.
+        assert 0.55 < repeat_rate < 0.62
+
+
+class TestWorldgenDistributions:
+    def test_population_power_law_is_heavy_tailed(self, tiny_world):
+        populations = sorted(
+            (
+                tiny_world.population.population(c.asys.number)
+                for c in tiny_world.ground.client_ases
+            ),
+            reverse=True,
+        )
+        total = sum(populations)
+        top_decile = populations[: max(1, len(populations) // 10)]
+        # A heavy-tailed distribution: the top 10 % of ASes hold well
+        # over a proportional share of users.
+        assert sum(top_decile) / total > 0.3
+
+    def test_probe_regions_match_configured_shares(self, small_world):
+        shares = small_world.config.atlas_region_shares
+        by_region = small_world.atlas.probes_by_region()
+        total = sum(by_region.values())
+        observed = []
+        expected = []
+        for region, share in shares.items():
+            observed.append(by_region.get(region, 0))
+            expected.append(total * share)
+        _stat, p_value = stats.chisquare(observed, f_exp=expected)
+        assert p_value > 1e-4
+
+    def test_egress_country_counts_are_us_heavy(self, small_world):
+        counts = small_world.egress_list_may.subnets_per_country()
+        ranked = sorted(counts.values(), reverse=True)
+        # Strict dominance of the head over the median country.
+        assert ranked[0] > 10 * ranked[len(ranked) // 2]

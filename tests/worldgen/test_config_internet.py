@@ -1,0 +1,188 @@
+"""Tests for worldgen configuration and the base-Internet builder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorldGenError
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.netmodel.asn import WellKnownAS
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.internet import (
+    SpaceAllocator,
+    _power_law_counts,
+    _round_to_power_of_two,
+    build_internet,
+    reserved_prefixes,
+)
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_scale_bounds(self):
+        with pytest.raises(WorldGenError):
+            WorldConfig(scale=0.0)
+        with pytest.raises(WorldGenError):
+            WorldConfig(scale=1.5)
+
+    def test_share_validation(self):
+        with pytest.raises(WorldGenError):
+            WorldConfig(both_apple_share=1.0)
+        with pytest.raises(WorldGenError):
+            WorldConfig(atlas_region_shares={"EU": 0.5})
+
+    def test_scaled_accessor(self):
+        config = WorldConfig(scale=0.5)
+        assert config.s(100) == 50
+        assert config.s(1, minimum=1) == 1
+        assert config.s(0, minimum=0) == 0
+
+    def test_presets(self):
+        assert WorldConfig.tiny().scale < WorldConfig.small().scale <= 1.0
+
+
+class TestSpaceAllocator:
+    def test_allocates_aligned(self):
+        allocator = SpaceAllocator([], start="1.0.0.0")
+        a = allocator.allocate(24)
+        b = allocator.allocate(24)
+        assert a == Prefix.parse("1.0.0.0/24")
+        assert b == Prefix.parse("1.0.1.0/24")
+
+    def test_skips_reserved(self):
+        reserved = [Prefix.parse("1.0.0.0/16")]
+        allocator = SpaceAllocator(reserved, start="1.0.0.0")
+        assert allocator.allocate(24) == Prefix.parse("1.1.0.0/24")
+
+    def test_big_first_no_waste(self):
+        allocator = SpaceAllocator([], start="1.0.0.0")
+        allocator.allocate(16)
+        allocator.allocate(20)
+        allocator.allocate(24)
+        assert allocator.wasted == 0
+
+    def test_reserved_inside_span(self):
+        reserved = [Prefix.parse("1.0.128.0/24")]
+        allocator = SpaceAllocator(reserved, start="1.0.0.0")
+        # A /16 cannot fit at 1.0.0.0 (overlaps the reserved /24).
+        assert allocator.allocate(16) == Prefix.parse("1.1.0.0/16")
+
+
+class TestDistributionHelpers:
+    def test_power_law_total(self):
+        counts = _power_law_counts(1000, 10, 0.5, 1)
+        assert sum(counts) == 1000
+        assert counts[0] >= counts[-1]
+        assert min(counts) >= 1
+
+    def test_power_law_minimum_enforced(self):
+        counts = _power_law_counts(100, 40, 0.3, 2)
+        assert min(counts) >= 2
+
+    def test_round_to_power_of_two(self):
+        counts = _round_to_power_of_two([3, 5, 9, 100], 1)
+        for count in counts:
+            assert count & (count - 1) == 0  # power of two
+
+    def test_round_drift_bounded(self):
+        original = [10] * 100
+        rounded = _round_to_power_of_two(original, 1)
+        assert abs(sum(rounded) - sum(original)) <= max(rounded)
+
+
+@given(st.integers(min_value=10, max_value=10000), st.integers(min_value=1, max_value=50))
+def test_power_law_counts_property(total, n):
+    if total < n:
+        total = n
+    counts = _power_law_counts(total, n, 0.4, 1)
+    assert len(counts) == n
+    assert sum(counts) >= total  # exact unless minimums force overshoot
+    assert all(c >= 1 for c in counts)
+
+
+class TestBuildInternet:
+    @pytest.fixture(scope="class")
+    def ground(self):
+        return build_internet(WorldConfig.tiny())
+
+    def test_operator_ases_registered(self, ground):
+        for asn in WellKnownAS:
+            assert int(asn) in ground.registry
+
+    def test_client_categories(self, ground):
+        config = ground.config
+        categories = {}
+        for client in ground.client_ases:
+            categories[client.category] = categories.get(client.category, 0) + 1
+        assert categories["apple"] == config.s(config.apple_only_as_count, 4)
+        assert categories["akamai"] == config.s(config.akamai_only_as_count, 4)
+        assert categories["both"] == config.s(config.both_as_count, 4)
+
+    def test_client_prefixes_routed(self, ground):
+        for client in ground.client_ases[:50]:
+            prefix = client.asys.prefixes[0]
+            ann = ground.routing.covering_route(prefix)
+            assert ann is not None and ann.origin_asn == client.asys.number
+
+    def test_client_space_avoids_reserved(self, ground):
+        reserved = reserved_prefixes()
+        for client in ground.client_ases[:200]:
+            prefix = client.asys.prefixes[0]
+            assert not any(r.overlaps(prefix) for r in reserved)
+
+    def test_slash24_totals_close_to_config(self, ground):
+        config = ground.config
+        total = ground.client_slash24_total()
+        target = (
+            config.s(config.apple_only_slash24s, 8)
+            + config.s(config.akamai_only_slash24s, 16)
+            + config.s(config.both_slash24s, 32)
+        )
+        assert abs(total - target) / target < 0.25
+
+    def test_both_as_chunks_have_both_operators(self, ground):
+        apple, akamai = int(WellKnownAS.APPLE), int(WellKnownAS.AKAMAI_PR)
+        both_clients = [c for c in ground.client_ases if c.category == "both"]
+        chunk_ops: dict[int, set[int]] = {}
+        for chunk in ground.chunks:
+            ann = ground.routing.covering_route(chunk.prefix)
+            if ann is not None:
+                chunk_ops.setdefault(ann.origin_asn, set()).add(chunk.operator_asn)
+        for client in both_clients[:50]:
+            assert chunk_ops[client.asys.number] == {apple, akamai}
+
+    def test_single_operator_categories(self, ground):
+        apple = int(WellKnownAS.APPLE)
+        by_asn = {c.asys.number: c for c in ground.client_ases}
+        for chunk in ground.chunks:
+            if chunk.country.startswith("@"):
+                continue
+            ann = ground.routing.covering_route(chunk.prefix)
+            if ann is None or ann.origin_asn not in by_asn:
+                continue
+            category = by_asn[ann.origin_asn].category
+            if category == "apple":
+                assert chunk.operator_asn == apple
+
+    def test_population_totals(self, ground):
+        config = ground.config
+        total = sum(
+            ground.population.population(c.asys.number) for c in ground.client_ases
+        )
+        target = (
+            config.s(config.apple_only_population)
+            + config.s(config.akamai_only_population)
+            + config.s(config.both_population)
+        )
+        assert abs(total - target) / target < 0.05
+
+    def test_resolver_sites_routed(self, ground):
+        for (provider, _region), address in ground.resolver_sites.items():
+            asn = ground.routing.origin_of(address)
+            assert asn is not None
+
+    def test_chunk_scopes_at_least_prefix(self, ground):
+        for chunk in ground.chunks[:500]:
+            assert chunk.scope_len >= chunk.prefix.length

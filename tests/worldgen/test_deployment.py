@@ -1,0 +1,176 @@
+"""Tests for the deployment builder (via tiny_world ground truth)."""
+
+import pytest
+
+from repro.errors import WorldGenError
+from repro.netmodel.asn import WellKnownAS
+from repro.relay.ingress import RelayProtocol
+from repro.simtime import month_to_seconds
+from repro.worldgen.deployment import compose_subnet_lengths, scan_time
+
+APPLE = int(WellKnownAS.APPLE)
+AKAMAI_PR = int(WellKnownAS.AKAMAI_PR)
+
+
+class TestComposeSubnetLengths:
+    def test_all_slash32(self):
+        assert compose_subnet_lengths(10, 10) == [32] * 10
+
+    def test_all_slash31(self):
+        assert compose_subnet_lengths(10, 20) == [31] * 10
+
+    def test_all_slash29(self):
+        assert compose_subnet_lengths(4, 32) == [29] * 4
+
+    def test_mixed_exact(self):
+        lengths = compose_subnet_lengths(1602, 5100)
+        total = sum(1 << (32 - l) for l in lengths)
+        assert total == 5100
+        assert set(lengths) <= {30, 31}
+
+    def test_akamai_pr_shape(self):
+        lengths = compose_subnet_lengths(9890, 57589)
+        total = sum(1 << (32 - l) for l in lengths)
+        assert abs(total - 57589) < 8
+        assert set(lengths) <= {29, 30}
+
+    def test_infeasible(self):
+        with pytest.raises(WorldGenError):
+            compose_subnet_lengths(2, 17)
+        with pytest.raises(WorldGenError):
+            compose_subnet_lengths(2, 1)
+
+
+class TestScanTime:
+    def test_one_day_into_month(self):
+        assert scan_time(2022, 4) == month_to_seconds(2022, 4) + 86400.0
+
+
+class TestIngressDeployment:
+    def test_monthly_counts_match_config(self, tiny_world):
+        world = tiny_world
+        config = world.config
+        for month in config.ingress_months:
+            at = scan_time(month.year, month.month)
+            quic = world.ingress_v4.counts_by_asn(at, RelayProtocol.QUIC)
+            assert quic.get(APPLE, 0) == config.s(month.quic_apple, 4)
+            assert quic.get(AKAMAI_PR, 0) == config.s(month.quic_akamai, 8)
+            fallback = world.ingress_v4.counts_by_asn(at, RelayProtocol.TCP_FALLBACK)
+            assert fallback.get(APPLE, 0) == config.s(month.fallback_apple, 4)
+
+    def test_late_relay_activates_after_april_scan(self, tiny_world):
+        world = tiny_world
+        april = world.deployment.april_scan_start
+        before = world.ingress_v4.active_addresses(april, RelayProtocol.QUIC)
+        after = world.ingress_v4.active_addresses(
+            april + 40 * 3600.0, RelayProtocol.QUIC
+        )
+        assert len(after) == len(before) + 1
+
+    def test_ingress_addresses_in_two_ases(self, tiny_world):
+        world = tiny_world
+        at = world.deployment.april_scan_start
+        asns = {
+            world.routing.origin_of(r.address)
+            for r in world.ingress_v4.relays
+            if r.is_active(at)
+        }
+        assert asns == {APPLE, AKAMAI_PR}
+
+    def test_v6_fleet_counts(self, tiny_world):
+        world = tiny_world
+        config = world.config
+        counts = world.ingress_v6.counts_by_asn(
+            world.deployment.april_scan_start, RelayProtocol.QUIC
+        )
+        assert counts[APPLE] == config.s(config.ingress_v6_apple, 4)
+        assert counts[AKAMAI_PR] == config.s(config.ingress_v6_akamai, 4)
+
+    def test_hidden_relays_in_tail_pods(self, tiny_world):
+        world = tiny_world
+        tail_pods = {
+            r.pod for r in world.ingress_v4.relays if r.pod.startswith("CC:")
+        }
+        for pod in tail_pods:
+            assert pod[3:] in set(world.deployment.tail_countries)
+
+
+class TestEgressDeployment:
+    def test_total_growth_since_january(self, tiny_world):
+        world = tiny_world
+        growth = len(world.egress_list_may) / len(world.egress_list_jan) - 1.0
+        assert 0.05 < growth < 0.30
+
+    def test_churn_is_small(self, tiny_world):
+        world = tiny_world
+        kept, added, removed = world.egress_list_may.churn_against(
+            world.egress_list_jan
+        )
+        assert removed < 0.05 * len(world.egress_list_jan)
+        assert kept > 0.8 * len(world.egress_list_jan)
+
+    def test_v6_entries_are_slash64(self, tiny_world):
+        for entry in tiny_world.egress_list_may.entries(6):
+            assert entry.prefix.length == 64
+
+    def test_missing_city_fraction(self, tiny_world):
+        fraction = tiny_world.egress_list_may.missing_city_fraction()
+        assert 0.0 < fraction < 0.06
+
+    def test_egress_prefixes_routed_by_operator(self, tiny_world):
+        world = tiny_world
+        operators = {APPLE, AKAMAI_PR, int(WellKnownAS.AKAMAI_EG),
+                     int(WellKnownAS.CLOUDFLARE), int(WellKnownAS.FASTLY)}
+        for entry in world.egress_list_may.entries()[:500]:
+            asn = world.routing.origin_of(entry.prefix.network_address)
+            assert asn in operators and asn != APPLE
+
+    def test_ingress_egress_prefixes_disjoint(self, tiny_world):
+        world = tiny_world
+        egress_prefixes = set()
+        for entry in world.egress_list_may:
+            prefix = world.routing.routed_prefix_of(entry.prefix.network_address)
+            if prefix is not None:
+                egress_prefixes.add(prefix)
+        for relay in world.ingress_v4.relays + world.ingress_v6.relays:
+            prefix = world.routing.routed_prefix_of(relay.address)
+            assert prefix not in egress_prefixes
+
+    def test_pools_cover_vantage_country(self, tiny_world):
+        world = tiny_world
+        weights = world.egress_fleet.operators_for(world.config.vantage_country)
+        assert set(weights) == {int(WellKnownAS.CLOUDFLARE), AKAMAI_PR}
+
+    def test_pool_addresses_inside_egress_list(self, tiny_world):
+        world = tiny_world
+        pool = world.egress_fleet.pool_for(AKAMAI_PR, "DE")
+        for address in pool.addresses:
+            assert world.egress_list_may.contains_address(address)
+
+
+class TestHistoryAndTopology:
+    def test_akamai_pr_first_seen(self, tiny_world):
+        world = tiny_world
+        assert world.history.first_occurrence(AKAMAI_PR) == (2021, 6)
+
+    def test_other_operators_visible_from_start(self, tiny_world):
+        world = tiny_world
+        start = world.history.months()[0]
+        visible = world.history.visible_in(*start)
+        assert APPLE in visible
+        assert int(WellKnownAS.CLOUDFLARE) in visible
+        assert AKAMAI_PR not in visible
+
+    def test_history_span(self, tiny_world):
+        months = tiny_world.history.months()
+        assert months[0] == (2016, 1)
+        assert months[-1] == (2022, 5)
+        assert len(months) == 77
+
+    def test_ingress_hosts_attached(self, tiny_world):
+        world = tiny_world
+        for relay in world.ingress_v4.relays[:20]:
+            assert world.topology.has_host(relay.address)
+
+    def test_geodb_mostly_adopts_egress_mapping(self, tiny_world):
+        assert tiny_world.geodb.adoption_rate() > 0.85

@@ -1,0 +1,101 @@
+"""Tests for the probe population and the world facade."""
+
+import pytest
+
+from repro.dns.resolver import (
+    BlockingResolver,
+    HijackingResolver,
+    PublicResolver,
+    TimeoutResolver,
+)
+from repro.worldgen import WorldConfig, build_world
+
+
+class TestProbePopulation:
+    def test_probe_count_scales(self, small_world):
+        config = small_world.config
+        assert len(small_world.atlas) == config.s(config.atlas_probe_count, 40)
+
+    def test_region_bias(self, small_world):
+        by_region = small_world.atlas.probes_by_region()
+        total = sum(by_region.values())
+        na_eu = by_region.get("EU", 0) + by_region.get("NA", 0)
+        assert na_eu / total > 0.6  # the documented NA/EU bias
+
+    def test_probes_in_covered_countries_only(self, small_world):
+        covered = set(small_world.deployment.probe_countries)
+        for probe in small_world.atlas.probes.values():
+            assert probe.country in covered
+
+    def test_resolver_behaviour_quotas(self, small_world):
+        config = small_world.config
+        probes = list(small_world.atlas.probes.values())
+        timeouts = sum(1 for p in probes if isinstance(p.resolver, TimeoutResolver))
+        blocked = sum(1 for p in probes if isinstance(p.resolver, BlockingResolver))
+        hijacked = sum(1 for p in probes if isinstance(p.resolver, HijackingResolver))
+        public = sum(1 for p in probes if isinstance(p.resolver, PublicResolver))
+        total = len(probes)
+        assert abs(timeouts / total - config.atlas_timeout_fraction) < 0.02
+        assert abs(blocked / total - config.atlas_block_fraction) < 0.02
+        assert hijacked == config.atlas_hijack_probes
+        expected_public = sum(config.atlas_public_resolver_shares.values())
+        assert abs(public / total - expected_public) < 0.05
+
+    def test_public_resolver_share_over_half(self, small_world):
+        shares = small_world.atlas.resolver_provider_shares()
+        public = sum(v for k, v in shares.items() if k != "local")
+        assert public > 0.4
+
+    def test_probe_addresses_routed_to_probe_as(self, small_world):
+        for probe in list(small_world.atlas.probes.values())[:100]:
+            assert small_world.routing.origin_of(probe.address) == probe.asn
+
+    def test_many_distinct_ases(self, small_world):
+        config = small_world.config
+        target = config.s(config.atlas_as_count, 20)
+        assert len(small_world.atlas.distinct_asns()) > 0.3 * target
+
+
+class TestWorldFacade:
+    def test_scan_months(self, tiny_world):
+        assert tiny_world.scan_months() == [(2022, 1), (2022, 2), (2022, 3), (2022, 4)]
+
+    def test_registry_routes_relay_domain(self, tiny_world):
+        from repro.dns.name import DnsName
+
+        server = tiny_world.ns_registry.authoritative_for(
+            DnsName.parse("mask.icloud.com")
+        )
+        assert server is tiny_world.route53
+
+    def test_control_domain_resolvable(self, tiny_world):
+        from repro.dns.message import DnsMessage
+        from repro.dns.rr import RRType
+        from repro.worldgen.world import CONTROL_DOMAIN
+
+        response = tiny_world.control_server.handle(
+            DnsMessage.query(CONTROL_DOMAIN, RRType.A)
+        )
+        assert response.answer_addresses()
+
+    def test_vantage_clients_get_distinct_addresses(self, tiny_world):
+        a = tiny_world.make_vantage_client()
+        b = tiny_world.make_vantage_client()
+        assert a.address != b.address
+        assert a.country == tiny_world.config.vantage_country
+
+    def test_deterministic_generation(self):
+        a = build_world(WorldConfig.tiny())
+        b = build_world(WorldConfig.tiny())
+        assert [r.address for r in a.ingress_v4.relays] == [
+            r.address for r in b.ingress_v4.relays
+        ]
+        assert a.egress_list_may.to_csv() == b.egress_list_may.to_csv()
+
+    def test_different_seeds_differ(self):
+        a = build_world(WorldConfig.tiny(seed=1))
+        b = build_world(WorldConfig.tiny(seed=2))
+        assert a.egress_list_may.to_csv() != b.egress_list_may.to_csv()
+
+    def test_web_server_attached_to_topology(self, tiny_world):
+        assert tiny_world.topology.has_host(tiny_world.web_server.address)
