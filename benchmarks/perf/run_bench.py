@@ -1,0 +1,182 @@
+"""Scan-engine performance harness.
+
+Times the three stages the fast path covers — world generation, one ECS
+scan, and the full monthly campaign — at a pinned seed and scale, writes
+the numbers to ``BENCH_scan.json``, and (by default) fails when the
+campaign regresses more than the tolerance against the checked-in
+``baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # check
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --no-check # measure
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --update-baseline
+
+Environment:
+
+``REPRO_BENCH_SCALE``
+    World scale (default 0.2, the acceptance scale).  CI smoke runs use
+    0.05.
+``REPRO_BENCH_SEED``
+    World seed (default 2022).
+
+Baseline refresh: run with ``--update-baseline`` on a quiet machine and
+commit the new ``baseline.json`` together with the change that moved the
+numbers.  The baseline records the *same scale* the check runs at; a
+check against a baseline from a different scale is refused.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "baseline.json"
+OUTPUT_PATH = Path("BENCH_scan.json")
+
+
+def current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def run_bench(scale: float, seed: int) -> dict:
+    from repro.scan.campaign import ScanCampaign
+    from repro.scan.ecs_scanner import EcsScanner, EcsScanSettings
+    from repro.relay.service import RELAY_DOMAIN_QUIC
+    from repro.worldgen import WorldConfig, build_world
+
+    t0 = time.perf_counter()
+    world = build_world(WorldConfig(seed=seed, scale=scale))
+    worldgen_s = time.perf_counter() - t0
+
+    # One QUIC scan at the April vantage, on its own world so the
+    # campaign below starts from a cold server.
+    scan_world = build_world(WorldConfig(seed=seed, scale=scale))
+    scan_world.clock.advance_to(scan_world.deployment.april_scan_start)
+    scanner = EcsScanner(
+        scan_world.route53, scan_world.routing, scan_world.clock
+    )
+    t0 = time.perf_counter()
+    scan = scanner.scan(RELAY_DOMAIN_QUIC)
+    scan_s = time.perf_counter() - t0
+
+    campaign = ScanCampaign(
+        server=world.route53,
+        routing=world.routing,
+        clock=world.clock,
+        settings=EcsScanSettings(),
+    )
+    t0 = time.perf_counter()
+    months = campaign.run(world.scan_months())
+    campaign_s = time.perf_counter() - t0
+
+    campaign_queries = sum(
+        scan_result.queries_sent
+        for month in months
+        for scan_result in (month.default, month.fallback)
+        if scan_result is not None
+    )
+    return {
+        "commit": current_commit(),
+        "scale": scale,
+        "seed": seed,
+        "worldgen_s": round(worldgen_s, 3),
+        "scan_s": round(scan_s, 3),
+        "campaign_s": round(campaign_s, 3),
+        "queries_per_s": round(campaign_queries / campaign_s, 1),
+    }
+
+
+def check_regression(result: dict, tolerance: float) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run --update-baseline first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if baseline["scale"] != result["scale"]:
+        print(
+            f"baseline scale {baseline['scale']} != run scale {result['scale']}; "
+            "refusing to compare (set REPRO_BENCH_SCALE or refresh the baseline)"
+        )
+        return 1
+    limit = baseline["campaign_s"] * (1.0 + tolerance)
+    print(
+        f"campaign: {result['campaign_s']:.2f}s "
+        f"(baseline {baseline['campaign_s']:.2f}s, limit {limit:.2f}s)"
+    )
+    if result["campaign_s"] > limit:
+        print(
+            f"FAIL: campaign regressed >{tolerance:.0%} vs baseline "
+            f"commit {baseline.get('commit', '?')}"
+        )
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        dest="check",
+        action="store_true",
+        default=True,
+        help="fail on regression vs baseline.json (default)",
+    )
+    parser.add_argument(
+        "--no-check",
+        dest="check",
+        action="store_false",
+        help="measure and write BENCH_scan.json only",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run's numbers to baseline.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional campaign_s regression (default 0.2)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT_PATH,
+        help=f"result path (default {OUTPUT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "2022"))
+    print(f"benchmarking at scale={scale} seed={seed} ...")
+    result = run_bench(scale, seed)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if args.check:
+        return check_regression(result, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""The scope-block answer cache — the server half of the scan fast path.
+
+The ECS scanner sends millions of queries whose answers the server
+itself declares valid for whole scope blocks ("scope /16" means every
+/24 inside the /16 gets this answer).  This cache exploits exactly that
+declaration: the first query of a block runs the zone's *planner*, which
+performs the expensive pure derivation once (assignment lookup, relay
+filtering, record-object construction) and hands back an
+:class:`~repro.dns.zone.AnswerPlan`; the plan is stored keyed by
+``(qname, rtype, scope-block)`` and every query — first or repeat —
+calls ``plan.produce()``, which replays the per-query tail (the relay
+service's answer rotation) exactly as the uncached handler would.  The
+fast path is therefore *bit-identical* with the cache on or off, by
+construction rather than by luck.
+
+Staleness is impossible by keying on the zone's epoch token
+(:meth:`~repro.dns.zone.Zone.epoch_token`): zone content version plus
+registered epoch sources such as relay-fleet deployment epochs, which in
+turn advance with the shared :class:`~repro.simtime.SimClock`.  Any
+token change — a relay activating or retiring mid-scan, a record added
+between monthly scans — drops every cached plan.
+
+Server query accounting is unaffected: the cache sits below the
+:class:`~repro.dns.server.AuthoritativeServer` stats counters, which
+increment once per query whether or not a plan was reused.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.dns.name import DnsName
+from repro.dns.rr import RRType
+from repro.dns.zone import ANY_SUBNET, UNCACHED, LookupResult, Zone
+from repro.netmodel.addr import Prefix
+from repro.perfstats import CacheStats
+
+class _NameEntry:
+    """Cached plans for one (qname, rtype): per-block plus sentinels.
+
+    Blocks are kept as disjoint integer intervals in start order per IP
+    version, so the per-query probe is one bisect.  Should a planner ever
+    store overlapping blocks (no current planner does — assignment units
+    are disjoint and fallback blocks are checked against them), the entry
+    migrates to a per-length dict layout that preserves most-specific-
+    block-wins semantics.
+    """
+
+    __slots__ = ("any_plan", "no_subnet_plan", "starts", "ends", "plans", "by_length")
+
+    def __init__(self) -> None:
+        self.any_plan = None
+        self.no_subnet_plan = None
+        #: Per IP version: block starts / inclusive ends / plans, three
+        #: parallel lists sorted by start.
+        self.starts: dict[int, list[int]] = {4: [], 6: []}
+        self.ends: dict[int, list[int]] = {4: [], 6: []}
+        self.plans: dict[int, list[object]] = {4: [], 6: []}
+        #: The overlap fallback: per IP version, [(block length, {masked
+        #: value: plan})] most specific first.  None until first overlap.
+        self.by_length: dict[int, list[tuple[int, dict[int, object]]]] | None = None
+
+
+class ScopeAnswerCache:
+    """Caches answer plans per (qname, rtype, scope-block, epoch)."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.stats = CacheStats()
+        self._token: tuple | None = None
+        self._entries: dict[tuple[DnsName, RRType], _NameEntry] = {}
+
+    def lookup(
+        self,
+        zone: Zone,
+        name: DnsName,
+        rtype: RRType,
+        subnet: Prefix | None,
+    ) -> LookupResult:
+        """Resolve via cached plan, planning on miss.
+
+        Falls back to ``zone.lookup`` (uncached, exact) when the zone
+        declines to plan the answer.
+        """
+        token = zone.epoch_token()
+        if token != self._token:
+            if self._entries:
+                self._entries.clear()
+                self.stats.invalidations += 1
+            self._token = token
+        entry = self._entries.get((name, rtype))
+        if entry is not None:
+            plan = self._probe(entry, subnet)
+            if plan is not None:
+                self.stats.hits += 1
+                return plan.produce()
+        self.stats.misses += 1
+        planned = zone.lookup_plan(name, rtype, subnet)
+        if planned is None:
+            return zone.lookup(name, rtype, subnet)
+        block, plan = planned
+        if block is not UNCACHED:
+            self._store(name, rtype, block, plan)
+        return plan.produce()
+
+    def _probe(self, entry: _NameEntry, subnet: Prefix | None):
+        if entry.any_plan is not None:
+            return entry.any_plan
+        if subnet is None:
+            return entry.no_subnet_plan
+        if entry.by_length is not None:
+            return self._probe_mixed(entry, subnet)
+        version = subnet.version
+        starts = entry.starts[version]
+        if not starts:
+            return None
+        value = subnet.value
+        pos = bisect_right(starts, value) - 1
+        if pos < 0:
+            return None
+        # The block must contain the whole subnet, not just its start
+        # (a stored block more specific than the query does not apply).
+        subnet_end = value + (1 << (subnet.bits - subnet.length)) - 1
+        if entry.ends[version][pos] >= subnet_end:
+            return entry.plans[version][pos]
+        return None
+
+    def _probe_mixed(self, entry: _NameEntry, subnet: Prefix):
+        pairs = entry.by_length[subnet.version]
+        value, bits, max_length = subnet.value, subnet.bits, subnet.length
+        for length, blocks in pairs:
+            if length > max_length:
+                continue
+            plan = blocks.get(value >> (bits - length) << (bits - length))
+            if plan is not None:
+                return plan
+        return None
+
+    def _store(self, name, rtype, block, plan) -> None:
+        entry = self._entries.get((name, rtype))
+        if entry is None:
+            entry = self._entries[(name, rtype)] = _NameEntry()
+        if block is ANY_SUBNET:
+            entry.any_plan = plan
+        elif block is None:
+            entry.no_subnet_plan = plan
+        else:
+            assert isinstance(block, Prefix)
+            if entry.by_length is not None:
+                self._store_mixed(entry, block, plan)
+                return
+            version = block.version
+            starts = entry.starts[version]
+            start = block.value
+            end = start + (1 << (block.bits - block.length)) - 1
+            pos = bisect_right(starts, start)
+            if (pos > 0 and entry.ends[version][pos - 1] >= start) or (
+                pos < len(starts) and starts[pos] <= end
+            ):
+                self._migrate_to_mixed(entry)
+                self._store_mixed(entry, block, plan)
+                return
+            starts.insert(pos, start)
+            entry.ends[version].insert(pos, end)
+            entry.plans[version].insert(pos, plan)
+
+    def _migrate_to_mixed(self, entry: _NameEntry) -> None:
+        entry.by_length = {4: [], 6: []}
+        for version, bits in ((4, 32), (6, 128)):
+            starts = entry.starts[version]
+            ends = entry.ends[version]
+            plans = entry.plans[version]
+            for start, end, plan in zip(starts, ends, plans):
+                length = bits - (end - start + 1).bit_length() + 1
+                self._store_mixed_one(entry, version, length, start, plan)
+            starts.clear()
+            ends.clear()
+            plans.clear()
+
+    def _store_mixed(self, entry: _NameEntry, block: Prefix, plan) -> None:
+        self._store_mixed_one(entry, block.version, block.length, block.value, plan)
+
+    def _store_mixed_one(self, entry, version, length, value, plan) -> None:
+        pairs = entry.by_length[version]
+        for pair_length, blocks in pairs:
+            if pair_length == length:
+                blocks[value] = plan
+                break
+        else:
+            pairs.append((length, {value: plan}))
+            pairs.sort(key=lambda pair: pair[0], reverse=True)
+
+    def clear(self) -> None:
+        """Drop every cached plan (counts as an invalidation)."""
+        if self._entries:
+            self._entries.clear()
+            self.stats.invalidations += 1
+        self._token = None

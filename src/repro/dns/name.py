@@ -8,21 +8,44 @@ zone lookup and resolver caches need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.errors import DnsNameError
+from repro.perfstats import CacheStats
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255
 
+#: Intern table for parsed names.  The scan hot loop parses the same two
+#: relay domains millions of times; interning turns each parse into one
+#: dict probe and lets equal names share a single immutable instance.
+#: Keyed by the raw input text, so differently-written spellings of the
+#: same name ("A.b." vs "a.b") occupy separate slots but still map to
+#: equal values.  Only successful parses are cached.
+_INTERN: dict[str, "DnsName"] = {}
 
-@dataclass(frozen=True, slots=True)
+#: Hit/miss counters for the intern table (fast-path observability).
+intern_stats = CacheStats()
+
+
+def clear_intern_cache() -> None:
+    """Drop all interned names (counts as one invalidation)."""
+    _INTERN.clear()
+    intern_stats.invalidations += 1
+
+
 class DnsName:
-    """A fully-qualified domain name as a label tuple (root = empty tuple)."""
+    """A fully-qualified domain name as a label tuple (root = empty tuple).
 
-    labels: tuple[str, ...]
+    Immutable by convention (attributes are set once in ``__init__``).
+    The hash is computed at construction: names key every hot dict in the
+    scan path (zone entries, answer-cache entries, delegation caches), so
+    re-hashing the label tuple per probe would dominate those lookups.
+    """
 
-    def __post_init__(self) -> None:
+    __slots__ = ("labels", "_hash")
+
+    def __init__(self, labels: tuple[str, ...]) -> None:
+        self.labels = tuple(labels)
+        self._hash = hash(self.labels)
         total = 1  # terminating root length byte
         for label in self.labels:
             if not label:
@@ -41,18 +64,42 @@ class DnsName:
         if total > MAX_NAME_LENGTH:
             raise DnsNameError(f"name exceeds {MAX_NAME_LENGTH} bytes")
 
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DnsName):
+            return self.labels == other.labels
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"DnsName(labels={self.labels!r})"
+
     @classmethod
     def parse(cls, text: str) -> "DnsName":
-        """Parse dotted text; a single trailing dot is accepted."""
+        """Parse dotted text; a single trailing dot is accepted.
+
+        Parses are interned: repeated parses of the same text return the
+        same (immutable) instance without re-validating.
+        """
+        cached = _INTERN.get(text)
+        if cached is not None:
+            intern_stats.hits += 1
+            return cached
+        intern_stats.misses += 1
+        raw = text
         text = text.strip()
         if text in ("", "."):
-            return cls(())
-        if text.endswith("."):
-            text = text[:-1]
-        labels = tuple(label.lower() for label in text.split("."))
-        if any(not label for label in labels):
-            raise DnsNameError(f"empty label in {text!r}")
-        return cls(labels)
+            name = cls(())
+        else:
+            if text.endswith("."):
+                text = text[:-1]
+            labels = tuple(label.lower() for label in text.split("."))
+            if any(not label for label in labels):
+                raise DnsNameError(f"empty label in {text!r}")
+            name = cls(labels)
+        _INTERN[raw] = name
+        return name
 
     @property
     def is_root(self) -> bool:

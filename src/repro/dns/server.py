@@ -21,10 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.dns.answer_cache import ScopeAnswerCache
 from repro.dns.message import DnsMessage, Opcode, Rcode
 from repro.dns.name import DnsName
 from repro.dns.zone import Zone
 from repro.netmodel.addr import IPAddress, Prefix
+from repro.perfstats import CacheStats
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,11 +88,20 @@ class AuthoritativeServer:
         self.name = name or f"auth@{address}"
         self.ecs_policy = ecs_policy or EcsPolicy()
         self.stats = ServerStats()
+        #: Scope-block answer-plan cache (the scan fast path).  Always
+        #: wired; scanners may flip ``enabled`` off to exercise the
+        #: reference path (results are identical either way).
+        self.answer_cache = ScopeAnswerCache()
         self._zones: list[Zone] = []
+        self._zone_for: dict[DnsName, Zone | None] = {}
+        self.zone_for_stats = CacheStats()
 
     def add_zone(self, zone: Zone) -> Zone:
         """Attach a zone to this server."""
         self._zones.append(zone)
+        if self._zone_for:
+            self._zone_for.clear()
+            self.zone_for_stats.invalidations += 1
         return zone
 
     def zones(self) -> list[Zone]:
@@ -98,12 +109,23 @@ class AuthoritativeServer:
         return list(self._zones)
 
     def zone_for(self, name: DnsName) -> Zone | None:
-        """The most specific attached zone containing ``name``."""
+        """The most specific attached zone containing ``name`` (memoised).
+
+        The linear apex scan only runs once per distinct name; every
+        query of a hot loop afterwards is a dict probe.  Invalidated on
+        :meth:`add_zone`.
+        """
+        cache = self._zone_for
+        if name in cache:
+            self.zone_for_stats.hits += 1
+            return cache[name]
+        self.zone_for_stats.misses += 1
         best: Zone | None = None
         for zone in self._zones:
             if name.is_subdomain_of(zone.apex):
                 if best is None or len(zone.apex.labels) > len(best.apex.labels):
                     best = zone
+        cache[name] = best
         return best
 
     def handle(
@@ -127,21 +149,38 @@ class AuthoritativeServer:
             self.stats.refused += 1
             return query.reply(rcode=Rcode.REFUSED, recursion_available=False)
         subnet = None
-        ecs_option = query.client_subnet
+        policy = self.ecs_policy
+        edns = query.edns
+        ecs_option = edns.client_subnet if edns is not None else None
         if ecs_option is not None:
             self.stats.ecs_queries += 1
-            subnet = self.ecs_policy.effective_subnet(ecs_option.source)
+            # policy.effective_subnet() inlined — this runs per scan query.
+            if policy.enabled:
+                subnet = ecs_option.source
+                if subnet.version == 4 and subnet.length > policy.max_source_v4:
+                    subnet = subnet.truncate(policy.max_source_v4)
         elif source_address is not None:
-            length = (
-                self.ecs_policy.max_source_v4 if source_address.version == 4 else 56
-            )
+            length = policy.max_source_v4 if source_address.version == 4 else 56
             subnet = source_address.to_prefix(length)
-        result = zone.lookup(question.name, question.rtype, subnet)
+        if self.answer_cache.enabled:
+            result = self.answer_cache.lookup(
+                zone, question.name, question.rtype, subnet
+            )
+        else:
+            result = zone.lookup(question.name, question.rtype, subnet)
         scope = None
         if ecs_option is not None:
-            scope = self.ecs_policy.response_scope(
-                ecs_option.source, result.scope_override
-            )
+            # policy.response_scope() inlined, same reason.
+            source = ecs_option.source
+            if source.version == 6 and policy.ipv6_scope_zero:
+                scope = 0
+            elif result.scope_override is not None:
+                scope = result.scope_override
+            else:
+                scope = min(
+                    source.length,
+                    policy.max_source_v4 if source.version == 4 else 56,
+                )
         if not result.exists:
             self.stats.nxdomain += 1
             return query.reply(
@@ -181,10 +220,15 @@ class NameServerRegistry:
 
     def __init__(self) -> None:
         self._servers: list[AuthoritativeServer] = []
+        self._delegation: dict[DnsName, AuthoritativeServer | None] = {}
+        self.delegation_stats = CacheStats()
 
     def register(self, server: AuthoritativeServer) -> AuthoritativeServer:
         """Add a server to the registry."""
         self._servers.append(server)
+        if self._delegation:
+            self._delegation.clear()
+            self.delegation_stats.invalidations += 1
         return server
 
     def servers(self) -> list[AuthoritativeServer]:
@@ -192,7 +236,20 @@ class NameServerRegistry:
         return list(self._servers)
 
     def authoritative_for(self, name: DnsName) -> AuthoritativeServer | None:
-        """The server with the most specific zone for ``name``, or None."""
+        """The server with the most specific zone for ``name`` (memoised).
+
+        Resolvers call this per query; the per-server zone scan only runs
+        once per distinct name.  Invalidated on :meth:`register` — note a
+        zone added to an already-registered server after a name was first
+        resolved is not picked up for that name (servers are fully
+        populated before registration throughout the pipeline).
+        """
+        cache = self._delegation
+        cached = cache.get(name)
+        if cached is not None:
+            self.delegation_stats.hits += 1
+            return cached
+        self.delegation_stats.misses += 1
         best: AuthoritativeServer | None = None
         best_depth = -1
         for server in self._servers:
@@ -200,4 +257,8 @@ class NameServerRegistry:
             if zone is not None and len(zone.apex.labels) > best_depth:
                 best = server
                 best_depth = len(zone.apex.labels)
+        if best is not None:
+            # Unresolvable names stay uncached: a zone covering them may
+            # yet be added to an already-registered server.
+            cache[name] = best
         return best

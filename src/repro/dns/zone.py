@@ -11,12 +11,24 @@ registered for an (owner, rtype) pair computes the record set per query,
 optionally as a function of the ECS client subnet.  The relay service
 registers its ingress assignment logic this way, mirroring how Route 53
 serves subnet-dependent answers for ``mask.icloud.com``.
+
+For the scan fast path, a dynamic name may additionally register a
+*planner*: given the effective client subnet it derives the scope block
+the answer is valid for and returns an :class:`AnswerPlan` whose
+``produce()`` emits one query's records.  The server's scope-block cache
+(:mod:`repro.dns.answer_cache`) stores plans per block and replays
+``produce()`` per query, so per-query side effects (the relay service's
+record rotation) advance exactly as they would without the cache and the
+fast path stays bit-identical.  Cache freshness hangs off
+:meth:`Zone.epoch_token`: the zone's content version plus any registered
+epoch sources (the relay service contributes its fleets' deployment
+epochs, driven by the shared SimClock).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.errors import ZoneError
 from repro.dns.name import DnsName
@@ -32,7 +44,55 @@ DynamicHandler = Callable[
 ]
 
 
-@dataclass
+class AnswerPlan(Protocol):
+    """One scope block's answer supply.
+
+    ``produce()`` returns one query's :class:`LookupResult`, performing
+    any per-query side effects (e.g. rotation bookkeeping) exactly as the
+    plain dynamic handler would.
+    """
+
+    def produce(self) -> "LookupResult": ...
+
+
+class _AnySubnet:
+    """Sentinel block: the plan is valid regardless of client subnet."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ANY_SUBNET"
+
+
+#: Block value declaring a plan valid for every query of its (name, rtype),
+#: with or without a client subnet (static zone content).
+ANY_SUBNET = _AnySubnet()
+
+
+class _Uncached:
+    """Sentinel block: use the plan for this query only, do not store it."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNCACHED"
+
+
+#: Block value declaring a single-use plan.  The planner already did the
+#: derivation work, so the cache consumes the plan once instead of falling
+#: back to the handler (which would derive a second time).
+UNCACHED = _Uncached()
+
+#: A dynamic name planner: receives the queried name and the effective
+#: client subnet and returns (block, plan), where ``block`` is the scope
+#: block the plan is valid for within the current epoch — a
+#: :class:`~repro.netmodel.addr.Prefix`, None (valid only for queries with
+#: no effective subnet), or :data:`ANY_SUBNET`.  Returning None instead of
+#: the tuple means the answer cannot safely be reused for a whole block
+#: (the cache then falls back to the plain handler, uncached).
+DynamicPlanner = Callable[
+    [DnsName, Optional[Prefix]],
+    Optional[tuple[object, AnswerPlan]],
+]
+
+
+@dataclass(slots=True)
 class LookupResult:
     """Outcome of a zone lookup."""
 
@@ -44,6 +104,24 @@ class LookupResult:
     def is_nodata(self) -> bool:
         """Name exists but has no records of the queried type."""
         return self.exists and not self.records
+
+
+class _ConstantPlan:
+    """An :class:`AnswerPlan` for subnet-independent (static) results."""
+
+    __slots__ = ("_exists", "_records", "_scope")
+
+    def __init__(self, result: LookupResult) -> None:
+        self._exists = result.exists
+        self._records = result.records
+        self._scope = result.scope_override
+
+    def produce(self) -> LookupResult:
+        return LookupResult(
+            exists=self._exists,
+            records=list(self._records),
+            scope_override=self._scope,
+        )
 
 
 class Zone:
@@ -60,8 +138,15 @@ class Zone:
                 serial=1,
             )
         self.soa = soa
+        #: Content version: bumped on every record/handler registration so
+        #: answer caches keyed on :meth:`epoch_token` can never serve data
+        #: from before a zone edit.
+        self.version = 0
         self._static: dict[DnsName, dict[RRType, list[ResourceRecord]]] = {}
         self._dynamic: dict[tuple[DnsName, RRType], DynamicHandler] = {}
+        self._planners: dict[tuple[DnsName, RRType], DynamicPlanner] = {}
+        self._dynamic_names: set[DnsName] = set()
+        self._epoch_sources: list[Callable[[], object]] = []
 
     def _check_in_zone(self, name: DnsName) -> None:
         if not name.is_subdomain_of(self.apex):
@@ -72,9 +157,16 @@ class Zone:
         self._check_in_zone(record.name)
         by_type = self._static.setdefault(record.name, {})
         by_type.setdefault(record.rtype, []).append(record)
+        self.version += 1
 
-    def add_dynamic(self, name: DnsName | str, rtype: RRType, handler: DynamicHandler) -> None:
-        """Register a per-query handler for (name, rtype)."""
+    def add_dynamic(
+        self,
+        name: DnsName | str,
+        rtype: RRType,
+        handler: DynamicHandler,
+        planner: DynamicPlanner | None = None,
+    ) -> None:
+        """Register a per-query handler (and optional planner) for (name, rtype)."""
         if isinstance(name, str):
             name = DnsName.parse(name)
         self._check_in_zone(name)
@@ -82,10 +174,35 @@ class Zone:
         if key in self._dynamic:
             raise ZoneError(f"dynamic handler already registered for {name} {rtype.name}")
         self._dynamic[key] = handler
+        if planner is not None:
+            self._planners[key] = planner
+        self._dynamic_names.add(name)
+        self.version += 1
+
+    def add_epoch_source(self, source: Callable[[], object]) -> None:
+        """Register a callable whose value participates in :meth:`epoch_token`.
+
+        Dynamic-handler owners whose answers depend on external state
+        (e.g. relay fleet deployment) register a source returning that
+        state's epoch; answer caches are invalidated whenever any source's
+        value changes.
+        """
+        self._epoch_sources.append(source)
+
+    def epoch_token(self) -> tuple:
+        """The zone's current freshness token (content version + sources)."""
+        sources = self._epoch_sources
+        if not sources:
+            return (self.version,)
+        if len(sources) == 1:
+            # One source is the common case (the relay zone) and this
+            # runs per query on the fast path; skip the list build.
+            return (self.version, sources[0]())
+        return (self.version, *[source() for source in sources])
 
     def names(self) -> set[DnsName]:
         """All names with static records or dynamic handlers."""
-        return set(self._static) | {name for name, _ in self._dynamic}
+        return set(self._static) | set(self._dynamic_names)
 
     def lookup(
         self, name: DnsName, rtype: RRType, client_subnet: Prefix | None = None
@@ -101,8 +218,7 @@ class Zone:
             records, scope = handler(name, client_subnet)
             return LookupResult(exists=True, records=list(records), scope_override=scope)
         by_type = self._static.get(name)
-        name_has_dynamic = any(dyn_name == name for dyn_name, _ in self._dynamic)
-        if by_type is None and not name_has_dynamic:
+        if by_type is None and name not in self._dynamic_names:
             return LookupResult(exists=False)
         records = list(by_type.get(rtype, [])) if by_type else []
         # Chase CNAMEs one step within the zone (enough for our zones).
@@ -114,6 +230,36 @@ class Zone:
                 target = self.lookup(cname.rdata, rtype, client_subnet)
                 records.extend(target.records)
         return LookupResult(exists=True, records=records)
+
+    def lookup_plan(
+        self, name: DnsName, rtype: RRType, client_subnet: Prefix | None = None
+    ) -> tuple[object, AnswerPlan] | None:
+        """A cacheable answer plan for (name, type, subnet), or None.
+
+        None means the answer must not be reused across queries (dynamic
+        handler without a planner, or a planner declining the block); the
+        caller falls back to :meth:`lookup` per query.
+
+        Unlike :meth:`lookup` this does not re-verify the name lies in
+        the zone — the caller (the server's answer cache) only reaches a
+        zone through :meth:`AuthoritativeServer.zone_for`, and this runs
+        once per query on the fast path.
+        """
+        key = (name, rtype)
+        planner = self._planners.get(key)
+        if planner is not None:
+            return planner(name, client_subnet)
+        if key in self._dynamic:
+            return None
+        by_type = self._static.get(name)
+        if by_type is None and name not in self._dynamic_names:
+            return ANY_SUBNET, _ConstantPlan(LookupResult(exists=False))
+        records = list(by_type.get(rtype, [])) if by_type else []
+        if not records and by_type and RRType.CNAME in by_type:
+            # CNAME chases may land on a dynamic (subnet-dependent) target;
+            # leave them uncached rather than reason about the chain.
+            return None
+        return ANY_SUBNET, _ConstantPlan(LookupResult(exists=True, records=records))
 
     def soa_record(self) -> ResourceRecord:
         """The zone's SOA as a resource record (for negative responses)."""

@@ -21,6 +21,7 @@ from typing import Iterator
 from repro.errors import RoutingError
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.netmodel.prefix_trie import DualStackTrie
+from repro.perfstats import CacheStats
 from repro.simtime import format_month, month_index
 
 
@@ -45,9 +46,20 @@ class RoutingTable:
     def __init__(self) -> None:
         self._trie: DualStackTrie[Announcement] = DualStackTrie()
         self._by_origin: dict[int, list[Announcement]] = {}
+        # Per-address route memo: the ECS scanner attributes every answer
+        # through origin_of(), and answers repeat the same few hundred
+        # relay addresses millions of times.  Invalidated wholesale on any
+        # announce/withdraw.
+        self._route_memo: dict[tuple[int, int], Announcement | None] = {}
+        self.origin_stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._trie)
+
+    def _invalidate_memo(self) -> None:
+        if self._route_memo:
+            self._route_memo.clear()
+            self.origin_stats.invalidations += 1
 
     def announce(self, prefix: Prefix, origin_asn: int) -> Announcement:
         """Add an origination to the table."""
@@ -62,6 +74,7 @@ class RoutingTable:
         ann = Announcement(prefix, origin_asn)
         self._trie.insert(prefix, ann)
         self._by_origin.setdefault(origin_asn, []).append(ann)
+        self._invalidate_memo()
         return ann
 
     def withdraw(self, prefix: Prefix) -> bool:
@@ -71,12 +84,21 @@ class RoutingTable:
             return False
         self._trie.remove(prefix)
         self._by_origin[ann.origin_asn].remove(ann)
+        self._invalidate_memo()
         return True
 
     def lookup(self, address: IPAddress) -> Announcement | None:
-        """Longest-prefix-match route for an address, or None."""
+        """Longest-prefix-match route for an address, or None (memoised)."""
+        key = (address.version, address.value)
+        memo = self._route_memo
+        if key in memo:
+            self.origin_stats.hits += 1
+            return memo[key]
+        self.origin_stats.misses += 1
         hit = self._trie.lookup(address)
-        return hit[1] if hit else None
+        ann = hit[1] if hit else None
+        memo[key] = ann
+        return ann
 
     def origin_of(self, address: IPAddress) -> int | None:
         """Origin AS number for an address, or None if unrouted."""

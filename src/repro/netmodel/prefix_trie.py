@@ -4,11 +4,13 @@ Used for BGP routing-table lookups, geolocation-database lookups, and
 egress-list membership tests.  One trie instance handles a single IP
 version; :class:`DualStackTrie` bundles one of each.
 
-The implementation is a binary path trie: each node consumes one bit of
-the key.  Inserts are O(prefix length); lookups walk at most 32/128 nodes
-and remember the last node carrying a value.  This is ample for the
-routing tables generated by :mod:`repro.worldgen` (hundreds of thousands
-of prefixes) while staying simple and allocation-friendly.
+The implementation is a binary path trie: each level consumes one bit of
+the key.  Nodes live in an array-backed pool (parallel lists of child
+indices and values) instead of one heap object per node — worldgen
+inserts hundreds of thousands of prefixes, and the pool keeps inserts
+allocation-free and walks cache-friendly, while the ECS scan's per-query
+lookups stay pure list indexing.  Inserts are O(prefix length); lookups
+walk at most 32/128 levels and remember the last level carrying a value.
 """
 
 from __future__ import annotations
@@ -20,15 +22,8 @@ from repro.netmodel.addr import IPAddress, Prefix
 
 V = TypeVar("V")
 
-
-class _Node(Generic[V]):
-    __slots__ = ("zero", "one", "value", "has_value")
-
-    def __init__(self) -> None:
-        self.zero: "_Node[V] | None" = None
-        self.one: "_Node[V] | None" = None
-        self.value: V | None = None
-        self.has_value = False
+#: Child-pointer sentinel for "no node".
+_NIL = -1
 
 
 class PrefixTrie(Generic[V]):
@@ -39,7 +34,13 @@ class PrefixTrie(Generic[V]):
             raise AddressError(f"IP version must be 4 or 6, got {version}")
         self.version = version
         self._bits = 32 if version == 4 else 128
-        self._root: _Node[V] = _Node()
+        # Node pool: node i's children are _zero[i]/_one[i] (_NIL = absent),
+        # its payload _value[i] (meaningful only when _has[i]).  Node 0 is
+        # the root.  Nodes are never freed; remove() only clears _has.
+        self._zero: list[int] = [_NIL]
+        self._one: list[int] = [_NIL]
+        self._value: list[V | None] = [None]
+        self._has: list[bool] = [False]
         self._size = 0
 
     def __len__(self) -> int:
@@ -51,39 +52,54 @@ class PrefixTrie(Generic[V]):
                 f"IPv{prefix.version} prefix in IPv{self.version} trie"
             )
 
+    def _new_node(self) -> int:
+        self._zero.append(_NIL)
+        self._one.append(_NIL)
+        self._value.append(None)
+        self._has.append(False)
+        return len(self._has) - 1
+
     def insert(self, prefix: Prefix, value: V) -> None:
         """Insert or replace the value stored at ``prefix``."""
         self._check(prefix)
-        node = self._root
+        zero, one = self._zero, self._one
+        node = 0
         top = self._bits - 1
         for i in range(prefix.length):
-            bit = (prefix.value >> (top - i)) & 1
-            if bit:
-                if node.one is None:
-                    node.one = _Node()
-                node = node.one
+            if (prefix.value >> (top - i)) & 1:
+                child = one[node]
+                if child == _NIL:
+                    child = self._new_node()
+                    one[node] = child
             else:
-                if node.zero is None:
-                    node.zero = _Node()
-                node = node.zero
-        if not node.has_value:
+                child = zero[node]
+                if child == _NIL:
+                    child = self._new_node()
+                    zero[node] = child
+            node = child
+        if not self._has[node]:
             self._size += 1
-        node.value = value
-        node.has_value = True
+        self._value[node] = value
+        self._has[node] = True
+
+    def _find(self, prefix: Prefix) -> int:
+        """Index of the node at ``prefix``, or _NIL."""
+        zero, one = self._zero, self._one
+        node = 0
+        top = self._bits - 1
+        for i in range(prefix.length):
+            node = (one if (prefix.value >> (top - i)) & 1 else zero)[node]
+            if node == _NIL:
+                return _NIL
+        return node
 
     def remove(self, prefix: Prefix) -> bool:
         """Remove the exact prefix; returns whether it was present."""
         self._check(prefix)
-        node = self._root
-        top = self._bits - 1
-        for i in range(prefix.length):
-            bit = (prefix.value >> (top - i)) & 1
-            node = node.one if bit else node.zero
-            if node is None:
-                return False
-        if node.has_value:
-            node.has_value = False
-            node.value = None
+        node = self._find(prefix)
+        if node != _NIL and self._has[node]:
+            self._has[node] = False
+            self._value[node] = None
             self._size -= 1
             return True
         return False
@@ -91,29 +107,30 @@ class PrefixTrie(Generic[V]):
     def exact(self, prefix: Prefix) -> V | None:
         """The value stored exactly at ``prefix``, or None."""
         self._check(prefix)
-        node = self._root
+        node = self._find(prefix)
+        if node != _NIL and self._has[node]:
+            return self._value[node]
+        return None
+
+    def _best_match(self, key: int, max_length: int) -> tuple[int, V] | None:
+        """Longest stored (length, value) along ``key``'s first ``max_length`` bits."""
+        zero, one, has, value = self._zero, self._one, self._has, self._value
+        best: tuple[int, V] | None = None
+        if has[0]:
+            best = (0, value[0])  # type: ignore[assignment]
+        node = 0
         top = self._bits - 1
-        for i in range(prefix.length):
-            bit = (prefix.value >> (top - i)) & 1
-            node = node.one if bit else node.zero
-            if node is None:
-                return None
-        return node.value if node.has_value else None
+        for i in range(max_length):
+            node = (one if (key >> (top - i)) & 1 else zero)[node]
+            if node == _NIL:
+                break
+            if has[node]:
+                best = (i + 1, value[node])  # type: ignore[assignment]
+        return best
 
     def lookup_value(self, address_value: int) -> tuple[Prefix, V] | None:
         """Longest-prefix match for an integer address value."""
-        node = self._root
-        top = self._bits - 1
-        best: tuple[int, V] | None = None
-        if node.has_value:
-            best = (0, node.value)  # type: ignore[assignment]
-        for i in range(self._bits):
-            bit = (address_value >> (top - i)) & 1
-            node = node.one if bit else node.zero
-            if node is None:
-                break
-            if node.has_value:
-                best = (i + 1, node.value)  # type: ignore[assignment]
+        best = self._best_match(address_value, self._bits)
         if best is None:
             return None
         length, value = best
@@ -135,18 +152,7 @@ class PrefixTrie(Generic[V]):
         route that would carry traffic for the whole block.
         """
         self._check(prefix)
-        node = self._root
-        top = self._bits - 1
-        best: tuple[int, V] | None = None
-        if node.has_value:
-            best = (0, node.value)  # type: ignore[assignment]
-        for i in range(prefix.length):
-            bit = (prefix.value >> (top - i)) & 1
-            node = node.one if bit else node.zero
-            if node is None:
-                break
-            if node.has_value:
-                best = (i + 1, node.value)  # type: ignore[assignment]
+        best = self._best_match(prefix.value, prefix.length)
         if best is None:
             return None
         length, value = best
@@ -154,19 +160,20 @@ class PrefixTrie(Generic[V]):
 
     def items(self) -> Iterator[tuple[Prefix, V]]:
         """Iterate all (prefix, value) pairs in preorder."""
-        stack: list[tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        stack: list[tuple[int, int, int]] = [(0, 0, 0)]
         top = self._bits
+        zero, one, has = self._zero, self._one, self._has
         while stack:
             node, value, length = stack.pop()
-            if node.has_value:
+            if has[node]:
                 yield (
                     Prefix(self.version, value << (top - length), length),
-                    node.value,  # type: ignore[misc]
+                    self._value[node],  # type: ignore[misc]
                 )
-            if node.one is not None:
-                stack.append((node.one, (value << 1) | 1, length + 1))
-            if node.zero is not None:
-                stack.append((node.zero, value << 1, length + 1))
+            if one[node] != _NIL:
+                stack.append((one[node], (value << 1) | 1, length + 1))
+            if zero[node] != _NIL:
+                stack.append((zero[node], value << 1, length + 1))
 
 
 class DualStackTrie(Generic[V]):

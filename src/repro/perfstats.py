@@ -1,0 +1,47 @@
+"""Hit/miss counters for the fast-path caches.
+
+Every cache added by the scan fast path (name interning, scope-block
+answer plans, zone routing, origin memoisation, assignment memoisation)
+exposes one of these so the perf harness — and, later, a metrics
+exporter — can observe cache effectiveness without poking at cache
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Counts cache hits and misses (and explicit invalidations)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> dict[str, int | float]:
+        """A JSON-friendly view (for the perf harness / observability)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }

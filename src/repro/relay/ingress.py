@@ -65,9 +65,14 @@ class IngressFleet:
         default_factory=dict, repr=False
     )
     _boundaries: list[float] | None = field(default=None, repr=False)
+    _epoch_window: tuple[float, float, int] | None = field(default=None, repr=False)
     _active_cache: dict[tuple[int, RelayProtocol, int | None], list[IngressRelay]] = field(
         default_factory=dict, repr=False
     )
+    _pod_cache: dict[tuple[int, str, RelayProtocol], list[IngressRelay]] = field(
+        default_factory=dict, repr=False
+    )
+    _pods_sorted: list[str] | None = field(default=None, repr=False)
 
     def add(self, relay: IngressRelay) -> IngressRelay:
         """Register a relay (address family must match the fleet)."""
@@ -78,7 +83,10 @@ class IngressFleet:
         self.relays.append(relay)
         self._by_pod.setdefault((relay.pod, relay.protocol), []).append(relay)
         self._boundaries = None
+        self._epoch_window = None
         self._active_cache.clear()
+        self._pod_cache.clear()
+        self._pods_sorted = None
         return relay
 
     def deployment_epoch(self, at_time: float) -> int:
@@ -87,14 +95,26 @@ class IngressFleet:
         The fleet's composition only changes at relay activation and
         retirement timestamps; between two consecutive boundaries the set
         of active relays is constant, which callers exploit for caching.
+
+        Queries cluster heavily in time (the clock advances in sub-second
+        rate-limit steps), so the last boundary window is memoised and
+        repeat calls inside it skip the bisect.
         """
-        if self._boundaries is None:
+        window = self._epoch_window
+        if window is not None and window[0] <= at_time < window[1]:
+            return window[2]
+        boundaries = self._boundaries
+        if boundaries is None:
             points = {r.active_from for r in self.relays}
             points.update(
                 r.active_until for r in self.relays if r.active_until is not None
             )
-            self._boundaries = sorted(points)
-        return bisect.bisect_right(self._boundaries, at_time)
+            boundaries = self._boundaries = sorted(points)
+        epoch = bisect.bisect_right(boundaries, at_time)
+        lo = boundaries[epoch - 1] if epoch > 0 else float("-inf")
+        hi = boundaries[epoch] if epoch < len(boundaries) else float("inf")
+        self._epoch_window = (lo, hi, epoch)
+        return epoch
 
     def active_cached(
         self,
@@ -142,6 +162,12 @@ class IngressFleet:
         """All pod labels present in the fleet."""
         return {pod for pod, _protocol in self._by_pod}
 
+    def pods_sorted(self) -> list[str]:
+        """All pod labels, sorted (cached; invalidated on :meth:`add`)."""
+        if self._pods_sorted is None:
+            self._pods_sorted = sorted(self.pods())
+        return self._pods_sorted
+
     def pod_relays(
         self, pod: str, protocol: RelayProtocol, at_time: float
     ) -> list[IngressRelay]:
@@ -151,6 +177,17 @@ class IngressFleet:
             for r in self._by_pod.get((pod, protocol), [])
             if r.is_active(at_time)
         ]
+
+    def pod_relays_cached(
+        self, pod: str, protocol: RelayProtocol, at_time: float
+    ) -> list[IngressRelay]:
+        """Like :meth:`pod_relays`, memoised per deployment epoch."""
+        key = (self.deployment_epoch(at_time), pod, protocol)
+        cached = self._pod_cache.get(key)
+        if cached is None:
+            cached = self.pod_relays(pod, protocol, at_time)
+            self._pod_cache[key] = cached
+        return cached
 
     def asns(self, at_time: float) -> set[int]:
         """ASes with at least one active relay."""

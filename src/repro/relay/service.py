@@ -18,13 +18,14 @@
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 
 from repro.errors import RelayError, RelayUnavailable
 from repro.dns.name import DnsName
 from repro.dns.rr import RRType, ResourceRecord, a_record, aaaa_record
-from repro.dns.zone import Zone
+from repro.dns.zone import UNCACHED, LookupResult, Zone
 from repro.masque.http import ConnectRequest, HttpVersion
 from repro.masque.proxy import MasqueTunnel, establish_tunnel
 from repro.masque.streams import Direction, PaddingPolicy, TunnelDataPlane
@@ -75,11 +76,35 @@ class AssignmentMap:
     def __init__(self) -> None:
         self._trie: DualStackTrie[AssignmentUnit] = DualStackTrie()
         self._units: list[AssignmentUnit] = []
+        # Units per address family in start-value order (parallel lists),
+        # for the bisect fast path and the planner's overlap probes.
+        self._starts: dict[int, list[int]] = {4: [], 6: []}
+        self._ends: dict[int, list[int]] = {4: [], 6: []}
+        self._sorted_units: dict[int, list[AssignmentUnit]] = {4: [], 6: []}
+        self._nested = False
+        #: Bumped on every :meth:`add`; participates in the relay zone's
+        #: epoch token so cached answer plans never survive a map edit.
+        self.version = 0
 
     def add(self, unit: AssignmentUnit) -> AssignmentUnit:
         """Register a unit."""
-        self._trie.insert(unit.prefix, unit)
+        prefix = unit.prefix
+        # Detect units nesting inside or overlapping existing ones.  The
+        # planner only hands out block-cacheable answers when units are
+        # disjoint — with nesting, one block could span several units —
+        # and :meth:`lookup` falls back from bisect to the trie.
+        if self._trie.covering(prefix) is not None:
+            self._nested = True
+        starts = self._starts[prefix.version]
+        pos = bisect.bisect_left(starts, prefix.value)
+        if pos < len(starts) and starts[pos] <= prefix.broadcast_value:
+            self._nested = True
+        starts.insert(pos, prefix.value)
+        self._ends[prefix.version].insert(pos, prefix.broadcast_value)
+        self._sorted_units[prefix.version].insert(pos, unit)
+        self._trie.insert(prefix, unit)
         self._units.append(unit)
+        self.version += 1
         return unit
 
     def __len__(self) -> int:
@@ -89,14 +114,39 @@ class AssignmentMap:
         """All registered units."""
         return list(self._units)
 
+    @property
+    def has_nested_units(self) -> bool:
+        """Whether any two registered units overlap or nest."""
+        return self._nested
+
+    def overlaps_block(self, block: Prefix) -> bool:
+        """Whether any unit intersects ``block`` (covers it or starts in it)."""
+        if self._trie.covering(block) is not None:
+            return True
+        starts = self._starts[block.version]
+        pos = bisect.bisect_left(starts, block.value)
+        return pos < len(starts) and starts[pos] <= block.broadcast_value
+
     def lookup(self, subnet: Prefix) -> AssignmentUnit | None:
-        """The unit serving a client subnet, or None if unserved."""
-        hit = self._trie.covering(subnet)
-        if hit is not None:
-            return hit[1]
-        # A subnet wider than the unit still matches by its first address.
-        hit2 = self._trie.lookup(subnet.network_address)
-        return hit2[1] if hit2 else None
+        """The unit serving a client subnet, or None if unserved.
+
+        A covering unit wins; a subnet wider than its unit still matches
+        by its first address.  With disjoint units both cases reduce to
+        "the unit containing the subnet's first address", found by one
+        bisect; nested units take the (slower, longest-match) trie path.
+        """
+        if self._nested:
+            hit = self._trie.covering(subnet)
+            if hit is not None:
+                return hit[1]
+            hit2 = self._trie.lookup(subnet.network_address)
+            return hit2[1] if hit2 else None
+        version = subnet.version
+        starts = self._starts[version]
+        pos = bisect.bisect_right(starts, subnet.value) - 1
+        if pos >= 0 and self._ends[version][pos] >= subnet.value:
+            return self._sorted_units[version][pos]
+        return None
 
 
 @dataclass
@@ -152,6 +202,93 @@ class _ClientEgressState:
     chosen_at: float
 
 
+class _PodSupplier:
+    """The epoch-stable relay roster for one (name, pod, operator) target.
+
+    Every assignment unit pointing at the same pod serves the same relay
+    list, rotation counter, and record objects — only the declared scope
+    differs per unit.  Suppliers are memoised per deployment epoch on the
+    service, so record construction happens once per rotation offset per
+    epoch instead of once per query.  Rotations are stored as tuples: the
+    server's ``tuple(result.records)`` then costs nothing.
+    """
+
+    __slots__ = ("relays", "counter_key", "_name", "_version", "_rotations")
+
+    def __init__(
+        self,
+        name: DnsName,
+        pod: str | None,
+        protocol: RelayProtocol,
+        version: int,
+        relays: list,
+    ) -> None:
+        self.relays = relays
+        self.counter_key = (pod, protocol, version)
+        self._name = name
+        self._version = version
+        self._rotations: dict[int, tuple[ResourceRecord, ...]] = {}
+
+    def rotation(self, start: int) -> tuple[ResourceRecord, ...]:
+        """The ≤8-record answer window beginning at relay index ``start``."""
+        out = self._rotations.get(start)
+        if out is None:
+            relays = self.relays
+            total = len(relays)
+            count = (
+                MAX_RECORDS_PER_RESPONSE
+                if total > MAX_RECORDS_PER_RESPONSE
+                else total
+            )
+            make = a_record if self._version == 4 else aaaa_record
+            name = self._name
+            out = tuple(
+                make(name, relays[(start + i) % total].address)
+                for i in range(count)
+            )
+            self._rotations[start] = out
+        return out
+
+
+class _BlockAnswer:
+    """One client block's relay answer, replayed per query.
+
+    Pairs a shared :class:`_PodSupplier` with the block's unit and
+    declared scope.  The impure tail (the pod's rotation counter) runs in
+    :meth:`produce` on every query, cached or not, so the answer sequence
+    is bit-identical to the plain handler's.
+    """
+
+    __slots__ = ("_counters", "_supplier", "unit", "scope")
+
+    def __init__(
+        self,
+        counters: dict,
+        supplier: _PodSupplier,
+        unit: AssignmentUnit | None,
+        scope: int | None,
+    ) -> None:
+        self._counters = counters
+        self._supplier = supplier
+        self.unit = unit
+        self.scope = scope
+
+    def produce(self) -> LookupResult:
+        supplier = self._supplier
+        relays = supplier.relays
+        if not relays:
+            return LookupResult(exists=True, records=(), scope_override=self.scope)
+        counters = self._counters
+        key = supplier.counter_key
+        offset = counters.get(key, 0)
+        counters[key] = offset + 1
+        start = offset % len(relays)
+        records = supplier._rotations.get(start)
+        if records is None:
+            records = supplier.rotation(start)
+        return LookupResult(exists=True, records=records, scope_override=self.scope)
+
+
 @dataclass
 class PrivateRelayService:
     """The relay network's control and data plane."""
@@ -182,75 +319,148 @@ class PrivateRelayService:
     # ------------------------------------------------------------------
 
     def build_zone(self) -> Zone:
-        """The ``icloud.com`` zone with dynamic relay-domain handlers."""
+        """The ``icloud.com`` zone with dynamic relay-domain handlers.
+
+        Each relay name registers both a per-query handler (the reference
+        path) and a planner (the answer-cache fast path); the zone's
+        epoch token is extended with the fleets' deployment epochs so
+        cached plans never outlive a relay activation or retirement.
+        """
         zone = Zone(RELAY_ZONE_APEX)
         for domain, protocol in (
             (RELAY_DOMAIN_QUIC, RelayProtocol.QUIC),
             (RELAY_DOMAIN_FALLBACK, RelayProtocol.TCP_FALLBACK),
         ):
             name = DnsName.parse(domain)
-            zone.add_dynamic(
-                name, RRType.A, self._make_handler(protocol, version=4)
-            )
-            zone.add_dynamic(
-                name, RRType.AAAA, self._make_handler(protocol, version=6)
-            )
+            for rtype, version in ((RRType.A, 4), (RRType.AAAA, 6)):
+                derive = self._make_deriver(protocol, version)
+                zone.add_dynamic(
+                    name,
+                    rtype,
+                    self._make_handler(derive),
+                    planner=self._make_planner(derive),
+                )
+        zone.add_epoch_source(self._deployment_epoch_token)
         return zone
 
-    def _make_handler(self, protocol: RelayProtocol, version: int):
-        fleet = self.ingress_v4 if version == 4 else self.ingress_v6
+    def _deployment_epoch_token(self) -> tuple[int, int, int]:
+        """Fleet deployment epochs (current simulated time) + map version."""
+        now = self.clock.now
+        return (
+            self.ingress_v4.deployment_epoch(now),
+            self.ingress_v6.deployment_epoch(now),
+            self.assignment.version,
+        )
 
-        def handler(
-            name: DnsName, client_subnet: Prefix | None
-        ) -> tuple[list[ResourceRecord], int | None]:
-            unit = None
-            if client_subnet is not None:
-                unit = self.assignment.lookup(client_subnet)
+    def _make_deriver(self, protocol: RelayProtocol, version: int):
+        """The epoch-stable answer derivation shared by handler and planner.
+
+        Returns a closure with everything the per-query path needs bound
+        locally — the fleet, the assignment map's lookup, the shared pod
+        counters — plus a supplier memo keyed only ``(pod, operator,
+        deployment epoch)``: one deriver serves exactly one registered
+        (name, rtype), so name/protocol/version need not be in the key.
+        """
+        fleet = self.ingress_v4 if version == 4 else self.ingress_v6
+        lookup_unit = self.assignment.lookup
+        counters = self._pod_counters
+        clock = self.clock
+        fallback_asn = int(WellKnownAS.AKAMAI_PR)
+        memo: dict[tuple[str, int, int], _PodSupplier] = {}
+
+        def derive(name: DnsName, client_subnet: Prefix | None) -> _BlockAnswer:
+            unit = lookup_unit(client_subnet) if client_subnet is not None else None
             if unit is None:
                 # Unserved space still resolves: the control plane falls
                 # back to the dominant operator's default pod.  Responses
                 # stay single-AS ("all response records are in the same
                 # AS", as the paper observed).
-                pods = sorted(p for p in fleet.pods() if not p.startswith("CC:"))
+                pods = [p for p in fleet.pods_sorted() if not p.startswith("CC:")]
                 if not pods:
-                    return [], None
+                    supplier = _PodSupplier(name, None, protocol, version, [])
+                    return _BlockAnswer(counters, supplier, None, None)
                 # Unassigned space is served uniformly, and the answer is
                 # declared valid for a wide (/16) scope.
-                unit_pod, operator_asn, scope = (
-                    pods[0],
-                    int(WellKnownAS.AKAMAI_PR),
-                    16 if client_subnet is not None and client_subnet.version == 4 else None,
+                unit_pod = pods[0]
+                operator_asn = fallback_asn
+                scope = (
+                    16
+                    if client_subnet is not None and client_subnet.version == 4
+                    else None
                 )
             else:
-                unit_pod, operator_asn, scope = (
-                    unit.pod,
-                    unit.operator_asn,
-                    unit.scope_len,
-                )
-            relays = fleet.pod_relays(unit_pod, protocol, self.clock.now)
-            if operator_asn is not None:
-                relays = [r for r in relays if r.asn == operator_asn]
-            if not relays:
-                # The pod has no relay of the assigned operator (yet):
-                # spill over to that operator's fleet-wide relays.  If the
-                # operator has none at all for this protocol — as for the
-                # Akamai TCP-fallback fleet before March 2022 — any active
-                # relay of the protocol serves, which is exactly how the
-                # fallback layer was "initially served by Apple".
-                relays = fleet.active_cached(
-                    self.clock.now, protocol, asn=operator_asn
-                ) or fleet.active_cached(self.clock.now, protocol)
-            if not relays:
-                return [], scope
-            counter_key = (unit_pod, protocol, version)
-            offset = self._pod_counters.get(counter_key, 0)
-            self._pod_counters[counter_key] = offset + 1
-            count = min(MAX_RECORDS_PER_RESPONSE, len(relays))
-            chosen = [relays[(offset + i) % len(relays)] for i in range(count)]
-            make = a_record if version == 4 else aaaa_record
-            return [make(name, relay.address) for relay in chosen], scope
+                unit_pod = unit.pod
+                operator_asn = unit.operator_asn
+                scope = unit.scope_len
+            now = clock.now
+            memo_key = (unit_pod, operator_asn, fleet.deployment_epoch(now))
+            supplier = memo.get(memo_key)
+            if supplier is None:
+                relays = fleet.pod_relays_cached(unit_pod, protocol, now)
+                if operator_asn is not None:
+                    relays = [r for r in relays if r.asn == operator_asn]
+                if not relays:
+                    # The pod has no relay of the assigned operator (yet):
+                    # spill over to that operator's fleet-wide relays.  If
+                    # the operator has none at all for this protocol — as
+                    # for the Akamai TCP-fallback fleet before March 2022 —
+                    # any active relay of the protocol serves, which is
+                    # exactly how the fallback layer was "initially served
+                    # by Apple".
+                    relays = fleet.active_cached(
+                        now, protocol, asn=operator_asn
+                    ) or fleet.active_cached(now, protocol)
+                supplier = _PodSupplier(name, unit_pod, protocol, version, relays)
+                memo[memo_key] = supplier
+            return _BlockAnswer(counters, supplier, unit, scope)
+
+        return derive
+
+    def _make_handler(self, derive):
+        def handler(
+            name: DnsName, client_subnet: Prefix | None
+        ) -> tuple[tuple[ResourceRecord, ...], int | None]:
+            result = derive(name, client_subnet).produce()
+            return result.records, result.scope_override
 
         return handler
+
+    def _make_planner(self, derive):
+        assignment = self.assignment
+
+        def planner(name: DnsName, client_subnet: Prefix | None):
+            answer = derive(name, client_subnet)
+            if client_subnet is None:
+                # Every subnet-less query derives identically.
+                return None, answer
+            unit = answer.unit
+            if unit is not None:
+                # Every subnet inside the unit's prefix derives the same
+                # answer, so the plan's validity region is the whole unit
+                # — typically wider than the declared ECS scope, which is
+                # what turns a scope-pruned scan (one query per declared
+                # block) into cache hits.  With nested units a block
+                # could straddle assignments, so don't store then.
+                if assignment.has_nested_units:
+                    return UNCACHED, answer
+                return unit.prefix, answer
+            scope = answer.scope
+            if scope is None or scope > client_subnet.length:
+                # No declared validity block, or one narrower than the
+                # query's own granularity: single-use only.
+                return UNCACHED, answer
+            if scope == client_subnet.length:
+                # The subnet's value is already network-masked.
+                block = client_subnet
+            else:
+                block = client_subnet.truncate(scope)
+            if assignment.overlaps_block(block):
+                # Fallback answer, but part of the declared /16 is
+                # assigned: subnets inside the block differ.
+                return UNCACHED, answer
+            return block, answer
+
+        return planner
 
     # ------------------------------------------------------------------
     # QUIC listener surface

@@ -20,13 +20,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dns.message import DnsMessage, Rcode
+from repro.dns.edns import ClientSubnetOption, EdnsOptions
+from repro.dns.message import DnsMessage, Question, Rcode
+from repro.dns.name import DnsName
 from repro.dns.ratelimit import TokenBucket
 from repro.dns.rr import RRType
 from repro.dns.server import AuthoritativeServer
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.netmodel.bgp import RoutingTable
 from repro.simtime import SimClock
+
+#: Record types whose rdata is an address (hot-loop constant).
+_ADDRESS_RTYPES = (RRType.A, RRType.AAAA)
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +65,9 @@ class EcsScanSettings:
     #: once every ``sparse_stride`` /24 blocks.
     prune_unrouted: bool = True
     sparse_stride: int = 4096
+    #: Use the server's scope-block answer cache (results are identical
+    #: either way; off exercises the reference path).
+    fast_path: bool = True
 
 
 @dataclass
@@ -72,6 +80,11 @@ class EcsScanResult:
     queries_sent: int = 0
     responses: list[EcsResponse] = field(default_factory=list)
     sparse_queries: int = 0
+    #: Sparse probes of unrouted space that came back answered.  Kept
+    #: separate from ``responses`` (the routed-scan answer list feeding
+    #: the tables) so unrouted hits are visible instead of discarded.
+    sparse_answered: int = 0
+    sparse_responses: list[EcsResponse] = field(default_factory=list)
 
     def addresses(self) -> set[IPAddress]:
         """All distinct ingress addresses uncovered."""
@@ -116,13 +129,55 @@ class EcsScanner:
         self.routing = routing
         self.clock = clock
         self.settings = settings or EcsScanSettings()
+        # Query-subnet intern table: a campaign walks the same routed /24
+        # blocks once per scan, so later scans reuse the (immutable)
+        # Prefix objects of the first instead of re-validating millions.
+        # Keyed by network value; dropped if the source length changes.
+        self._subnet_cache: dict[int, Prefix] = {}
+        self._subnet_cache_len = self.settings.source_prefix_len
 
     def scan(self, domain: str, rtype: RRType = RRType.A) -> EcsScanResult:
-        """Run a full scan for one relay domain."""
+        """Run a full scan for one relay domain.
+
+        The question and query template are built once; each iteration
+        only constructs the subnet prefix and the message around it.  The
+        server's answer cache is switched to ``settings.fast_path`` for
+        the scan's duration (and restored afterwards).
+        """
         settings = self.settings
         bucket = TokenBucket(settings.rate, settings.burst, self.clock)
         result = EcsScanResult(domain=domain, started_at=self.clock.now)
+        question = Question(DnsName.parse(domain), rtype)
         message_id = 0
+        source_len = settings.source_prefix_len
+        step = 1 << (32 - source_len)
+        source_mask = ((1 << source_len) - 1) << (32 - source_len)
+        if settings.fast_path:
+            # Reusable query-message template: one validated message whose
+            # subnet and transaction id are swapped in place per query.
+            # The server never retains the query, and the response embeds
+            # a fresh ECS option, so nothing aliases the mutated fields.
+            template_cso = ClientSubnetOption(Prefix(4, 0, source_len))
+            template = DnsMessage(
+                question=question,
+                edns=EdnsOptions(client_subnet=template_cso),
+            )
+            mutate = object.__setattr__
+
+            def make_query(subnet: Prefix, message_id: int) -> DnsMessage:
+                mutate(template_cso, "source", subnet)
+                mutate(template, "message_id", message_id)
+                return template
+
+        else:
+
+            def make_query(subnet: Prefix, message_id: int) -> DnsMessage:
+                return DnsMessage(
+                    message_id=message_id,
+                    question=question,
+                    edns=EdnsOptions(client_subnet=ClientSubnetOption(subnet)),
+                )
+
         prefixes = sorted(
             self.routing.routed_v4_prefixes(), key=lambda p: p.value
         )
@@ -130,49 +185,91 @@ class EcsScanner:
             spans = _merge_spans(prefixes)
         else:
             spans = [(0, (1 << 32) - 1)]
-        previous_end = 0
-        for span_start, span_end in spans:
-            if settings.prune_unrouted and span_start > previous_end:
-                self._sparse_scan(
-                    previous_end, span_start - 1, domain, rtype, bucket, result
-                )
-            previous_end = span_end + 1
-            cursor = span_start
-            while cursor <= span_end:
-                subnet = Prefix.from_address(
-                    IPAddress(4, cursor), settings.source_prefix_len
-                )
-                message_id = (message_id + 1) & 0xFFFF
-                response = self._query(domain, rtype, subnet, message_id, bucket, result)
-                step = 1 << (32 - settings.source_prefix_len)
-                if response is not None:
-                    result.responses.append(response)
-                    if settings.respect_scope and response.scope < settings.source_prefix_len:
-                        block = subnet.truncate(response.scope)
-                        cursor = block.broadcast_value + 1
-                        continue
-                cursor = subnet.value + step
+        cache = self.server.answer_cache
+        was_enabled = cache.enabled
+        cache.enabled = settings.fast_path
+        try:
+            previous_end = 0
+            # The routed-space loop below is _query() inlined (identical
+            # logic; the sparse path still calls the method), with the
+            # per-query attribute lookups hoisted out.
+            append_response = result.responses.append
+            take = bucket.take
+            handle = self.server.handle
+            origin_of = self.routing.origin_of
+            respect_scope = settings.respect_scope
+            noerror = Rcode.NOERROR
+            sent = 0
+            if self._subnet_cache_len != source_len:
+                self._subnet_cache = {}
+                self._subnet_cache_len = source_len
+            subnet_cache = self._subnet_cache
+            for span_start, span_end in spans:
+                if settings.prune_unrouted and span_start > previous_end:
+                    message_id = self._sparse_scan(
+                        previous_end, span_start - 1, make_query, bucket, result, message_id
+                    )
+                previous_end = span_end + 1
+                cursor = span_start
+                while cursor <= span_end:
+                    value = cursor & source_mask
+                    subnet = subnet_cache.get(value)
+                    if subnet is None:
+                        subnet = Prefix(4, value, source_len)
+                        subnet_cache[value] = subnet
+                    message_id = (message_id + 1) & 0xFFFF
+                    take()
+                    sent += 1
+                    response = handle(make_query(subnet, message_id))
+                    answers = response.answers
+                    if response.rcode == noerror and answers:
+                        edns = response.edns
+                        ecs = edns.client_subnet if edns is not None else None
+                        scope = (
+                            ecs.scope_prefix_length if ecs is not None else source_len
+                        )
+                        addresses = tuple(
+                            rr.rdata for rr in answers if rr.rtype in _ADDRESS_RTYPES
+                        )
+                        answer_asn = origin_of(addresses[0]) if addresses else None
+                        append_response(
+                            EcsResponse(subnet, scope, addresses, answer_asn)
+                        )
+                        if respect_scope and scope < source_len:
+                            # Skip to the end of the declared scope block
+                            # (subnet.truncate(scope).broadcast_value + 1).
+                            cursor = (
+                                subnet.value | ((1 << (32 - scope)) - 1)
+                            ) + 1
+                            continue
+                    cursor = subnet.value + step
+            result.queries_sent += sent
+        finally:
+            cache.enabled = was_enabled
         result.finished_at = self.clock.now
         return result
 
     def _query(
         self,
-        domain: str,
-        rtype: RRType,
         subnet: Prefix,
         message_id: int,
+        make_query,
         bucket: TokenBucket,
         result: EcsScanResult,
     ) -> EcsResponse | None:
         bucket.take()
         result.queries_sent += 1
-        query = DnsMessage.query(domain, rtype, message_id=message_id, ecs=subnet)
-        response = self.server.handle(query)
-        if response.rcode != Rcode.NOERROR or not response.answers:
+        response = self.server.handle(make_query(subnet, message_id))
+        answers = response.answers
+        if response.rcode != Rcode.NOERROR or not answers:
             return None
         ecs = response.client_subnet
         scope = ecs.scope_prefix_length if ecs is not None else subnet.length
-        addresses = tuple(response.answer_addresses())
+        # Inlined response.answer_addresses(): rdata of an A/AAAA record
+        # is its address, and this runs once per answered query.
+        addresses = tuple(
+            rr.rdata for rr in answers if rr.rtype in _ADDRESS_RTYPES
+        )
         answer_asn = self.routing.origin_of(addresses[0]) if addresses else None
         return EcsResponse(subnet, scope, addresses, answer_asn)
 
@@ -180,24 +277,30 @@ class EcsScanner:
         self,
         start: int,
         end: int,
-        domain: str,
-        rtype: RRType,
+        make_query,
         bucket: TokenBucket,
         result: EcsScanResult,
-    ) -> None:
-        """Sample unrouted space once per ``sparse_stride`` /24 blocks."""
+        message_id: int,
+    ) -> int:
+        """Sample unrouted space once per ``sparse_stride`` /24 blocks.
+
+        Shares the scan's transaction-id counter (ids stay unique across
+        routed and sparse probes) and records any answered probe in
+        ``result.sparse_responses`` instead of discarding it.  Returns
+        the advanced message id.
+        """
         stride = self.settings.sparse_stride << 8
-        message_id = 0
         cursor = (start + stride - 1) // stride * stride
         while cursor + 255 <= end:
-            subnet = Prefix.from_address(IPAddress(4, cursor), 24)
+            subnet = Prefix(4, cursor, 24)
             message_id = (message_id + 1) & 0xFFFF
-            bucket.take()
-            result.queries_sent += 1
             result.sparse_queries += 1
-            query = DnsMessage.query(domain, rtype, message_id=message_id, ecs=subnet)
-            self.server.handle(query)
+            response = self._query(subnet, message_id, make_query, bucket, result)
+            if response is not None:
+                result.sparse_answered += 1
+                result.sparse_responses.append(response)
             cursor += stride
+        return message_id
 
 
 def _merge_spans(prefixes: list[Prefix]) -> list[tuple[int, int]]:

@@ -1,0 +1,242 @@
+"""Tests for the scope-block answer cache (the scan fast path)."""
+
+import pytest
+
+from repro.dns.message import DnsMessage, Rcode
+from repro.dns.name import DnsName
+from repro.dns.rr import RRType, a_record
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import ANY_SUBNET, UNCACHED, LookupResult, Zone
+from repro.netmodel.addr import IPAddress, Prefix
+
+
+APEX = "example.com."
+NAME = "relay.example.com."
+
+
+def make_server(zone: Zone) -> AuthoritativeServer:
+    server = AuthoritativeServer(IPAddress.parse("192.0.2.53"))
+    server.add_zone(zone)
+    return server
+
+
+def query(server: AuthoritativeServer, name: str, subnet: str | None = None,
+          rtype: RRType = RRType.A) -> DnsMessage:
+    ecs = Prefix.parse(subnet) if subnet is not None else None
+    return server.handle(DnsMessage.query(name, rtype, ecs=ecs))
+
+
+class _CountingPlan:
+    """An AnswerPlan that counts produce() calls (the per-query tail)."""
+
+    def __init__(self, records, scope):
+        self.records = tuple(records)
+        self.scope = scope
+        self.produced = 0
+
+    def produce(self) -> LookupResult:
+        self.produced += 1
+        return LookupResult(
+            exists=True, records=self.records, scope_override=self.scope
+        )
+
+
+def make_planned_zone(block_len: int = 16, block_value=None, plans=None):
+    """A zone whose dynamic name plans per /``block_len`` subnet block."""
+    zone = Zone(APEX)
+    name = DnsName.parse(NAME)
+    answer = IPAddress.parse("198.51.100.7")
+
+    def handler(qname, subnet):
+        return [a_record(qname, answer)], block_len
+
+    def planner(qname, subnet):
+        if subnet is None:
+            return None, _CountingPlan([a_record(qname, answer)], None)
+        block = subnet.truncate(block_len) if block_value is None else block_value
+        plan = _CountingPlan([a_record(qname, answer)], block_len)
+        if plans is not None:
+            plans.append((block, plan))
+        return block, plan
+
+    zone.add_dynamic(name, RRType.A, handler, planner=planner)
+    return zone
+
+
+class TestBlockCaching:
+    def test_hit_within_block_miss_outside(self):
+        server = make_server(make_planned_zone(block_len=16))
+        stats = server.answer_cache.stats
+        query(server, NAME, "10.1.0.0/24")
+        assert (stats.hits, stats.misses) == (0, 1)
+        query(server, NAME, "10.1.200.0/24")  # same /16 block
+        assert (stats.hits, stats.misses) == (1, 1)
+        query(server, NAME, "10.2.0.0/24")  # different block
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_produce_runs_on_every_query(self):
+        plans = []
+        server = make_server(make_planned_zone(block_len=16, plans=plans))
+        for _ in range(3):
+            query(server, NAME, "10.1.0.0/24")
+        # One plan stored, produced once per query (side effects replay).
+        assert len(plans) == 1
+        assert plans[0][1].produced == 3
+
+    def test_answers_identical_with_cache_off(self):
+        on = make_server(make_planned_zone(block_len=16))
+        off = make_server(make_planned_zone(block_len=16))
+        off.answer_cache.enabled = False
+        for subnet in ("10.1.0.0/24", "10.1.9.0/24", "172.16.0.0/24"):
+            a = query(on, NAME, subnet)
+            b = query(off, NAME, subnet)
+            assert a.answers == b.answers
+            assert a.client_subnet == b.client_subnet
+        assert on.stats == off.stats
+        assert off.answer_cache.stats.hits == 0
+        assert off.answer_cache.stats.misses == 0
+
+    def test_uncached_sentinel_consumes_plan_without_storing(self):
+        plans = []
+        zone = make_planned_zone(block_len=16, block_value=UNCACHED, plans=plans)
+        server = make_server(zone)
+        query(server, NAME, "10.1.0.0/24")
+        query(server, NAME, "10.1.0.0/24")
+        stats = server.answer_cache.stats
+        # Same subnet twice: never stored, so never hit — but each query
+        # used its planner's plan directly (one produce per plan).
+        assert (stats.hits, stats.misses) == (0, 2)
+        assert [p.produced for _, p in plans] == [1, 1]
+
+    def test_planner_less_dynamic_name_falls_back_to_lookup(self):
+        zone = Zone(APEX)
+        calls = []
+
+        def handler(qname, subnet):
+            calls.append(subnet)
+            return [a_record(qname, IPAddress.parse("198.51.100.8"))], 24
+
+        zone.add_dynamic(DnsName.parse(NAME), RRType.A, handler)
+        server = make_server(zone)
+        query(server, NAME, "10.1.0.0/24")
+        query(server, NAME, "10.1.0.0/24")
+        assert len(calls) == 2  # uncached, handler per query
+        assert server.answer_cache.stats.hits == 0
+
+
+class TestStaticAndNegativeCaching:
+    def test_static_record_cached_any_subnet(self):
+        zone = Zone(APEX)
+        name = DnsName.parse("static.example.com.")
+        zone.add_record(a_record(name, IPAddress.parse("203.0.113.5")))
+        server = make_server(zone)
+        first = query(server, "static.example.com.", "10.0.0.0/24")
+        second = query(server, "static.example.com.", "172.16.99.0/24")
+        third = query(server, "static.example.com.")  # no ECS at all
+        assert first.answers == second.answers == third.answers
+        stats = server.answer_cache.stats
+        assert (stats.hits, stats.misses) == (2, 1)
+
+    def test_nxdomain_cached(self):
+        zone = Zone(APEX)
+        zone.add_record(
+            a_record(DnsName.parse(NAME), IPAddress.parse("203.0.113.5"))
+        )
+        server = make_server(zone)
+        for _ in range(2):
+            response = query(server, "missing.example.com.", "10.0.0.0/24")
+            assert response.rcode == Rcode.NXDOMAIN
+        assert server.answer_cache.stats.hits == 1
+        assert server.stats.nxdomain == 2
+
+
+class TestEpochInvalidation:
+    def test_zone_edit_invalidates(self):
+        zone = Zone(APEX)
+        name = DnsName.parse(NAME)
+        zone.add_record(a_record(name, IPAddress.parse("203.0.113.5")))
+        server = make_server(zone)
+        first = query(server, NAME, "10.0.0.0/24")
+        zone.add_record(a_record(name, IPAddress.parse("203.0.113.6")))
+        second = query(server, NAME, "10.0.0.0/24")
+        assert len(second.answers) == len(first.answers) + 1
+        assert server.answer_cache.stats.invalidations == 1
+        assert server.answer_cache.stats.hits == 0
+
+    def test_epoch_source_change_invalidates(self):
+        epoch = [0]
+        zone = make_planned_zone(block_len=16)
+        zone.add_epoch_source(lambda: epoch[0])
+        server = make_server(zone)
+        query(server, NAME, "10.1.0.0/24")
+        query(server, NAME, "10.1.1.0/24")
+        assert server.answer_cache.stats.hits == 1
+        epoch[0] = 1  # e.g. a relay activated mid-scan
+        query(server, NAME, "10.1.2.0/24")
+        stats = server.answer_cache.stats
+        assert stats.invalidations == 1
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_clear_counts_invalidation(self):
+        server = make_server(make_planned_zone())
+        query(server, NAME, "10.1.0.0/24")
+        server.answer_cache.clear()
+        assert server.answer_cache.stats.invalidations == 1
+        query(server, NAME, "10.1.0.0/24")
+        assert server.answer_cache.stats.hits == 0
+
+
+class TestOverlappingBlocks:
+    def test_most_specific_block_wins_after_overlap(self):
+        """Overlapping stored blocks migrate to the per-length layout."""
+        zone = Zone(APEX)
+        name = DnsName.parse(NAME)
+        wide = IPAddress.parse("198.51.100.1")
+        narrow = IPAddress.parse("198.51.100.2")
+
+        def handler(qname, subnet):
+            chosen = narrow if subnet and subnet.length >= 24 else wide
+            return [a_record(qname, chosen)], None
+
+        def planner(qname, subnet):
+            if subnet is None:
+                return None, _CountingPlan([a_record(qname, wide)], None)
+            if subnet.length >= 24:
+                return subnet, _CountingPlan([a_record(qname, narrow)], None)
+            return (
+                subnet.truncate(8),
+                _CountingPlan([a_record(qname, wide)], None),
+            )
+
+        zone.add_dynamic(name, RRType.A, handler, planner=planner)
+        server = make_server(zone)
+        # Store the /24 block first, then a /8 overlapping it.
+        query(server, NAME, "10.0.0.0/24")
+        server.ecs_policy = server.ecs_policy.__class__(max_source_v4=16)
+        query(server, NAME, "10.99.0.0/16")
+        # A /24 query inside both blocks must get the /24 (more specific)
+        # plan, exactly as the pre-migration probe would.
+        server.ecs_policy = server.ecs_policy.__class__(max_source_v4=24)
+        response = query(server, NAME, "10.0.0.0/24")
+        assert response.answers[0].rdata == narrow
+        assert server.answer_cache.stats.hits == 1
+
+    def test_any_subnet_block_constant(self):
+        zone = Zone(APEX)
+        name = DnsName.parse(NAME)
+        plan = _CountingPlan(
+            [a_record(name, IPAddress.parse("198.51.100.9"))], None
+        )
+        zone.add_dynamic(
+            name,
+            RRType.A,
+            lambda qname, subnet: (list(plan.records), None),
+            planner=lambda qname, subnet: (ANY_SUBNET, plan),
+        )
+        server = make_server(zone)
+        query(server, NAME, "10.0.0.0/24")
+        query(server, NAME, "172.16.0.0/24")
+        query(server, NAME)
+        stats = server.answer_cache.stats
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert plan.produced == 3

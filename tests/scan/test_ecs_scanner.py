@@ -40,6 +40,117 @@ class TestMergeSpans:
         assert spans == [(Prefix.parse("10.0.0.0/16").value,
                           Prefix.parse("10.0.0.0/16").broadcast_value)]
 
+    def test_empty_input(self):
+        assert _merge_spans([]) == []
+
+    def test_overlapping_same_start(self):
+        spans = _merge_spans(
+            [Prefix.parse("10.0.0.0/16"), Prefix.parse("10.0.0.0/24")]
+        )
+        assert spans == [(Prefix.parse("10.0.0.0/16").value,
+                          Prefix.parse("10.0.0.0/16").broadcast_value)]
+
+    def test_partial_overlap_extends_span(self):
+        # A span is extended, not duplicated, when the next prefix overlaps
+        # its tail.
+        spans = _merge_spans(
+            [Prefix.parse("10.0.0.0/23"), Prefix.parse("10.0.1.0/24"),
+             Prefix.parse("10.0.2.0/24")]
+        )
+        assert spans == [(Prefix.parse("10.0.0.0/23").value,
+                          Prefix.parse("10.0.2.0/24").broadcast_value)]
+
+
+class _FixedScopeSetup:
+    """A one-zone server whose dynamic name answers with a fixed scope."""
+
+    def __init__(self, scope: int | None):
+        from repro.dns.name import DnsName
+        from repro.dns.rr import a_record
+        from repro.dns.server import AuthoritativeServer
+        from repro.dns.zone import Zone
+        from repro.netmodel.addr import IPAddress
+        from repro.simtime import SimClock
+
+        self.clock = SimClock()
+        self.server = AuthoritativeServer(IPAddress.parse("192.0.2.53"))
+        zone = Zone("example.com.")
+        name = DnsName.parse("relay.example.com.")
+        answer = IPAddress.parse("198.51.100.7")
+        self.queried: list[Prefix] = []
+
+        def handler(qname, subnet):
+            self.queried.append(subnet)
+            return [a_record(qname, answer)], scope
+
+        zone.add_dynamic(name, RRType.A, handler)
+        self.server.add_zone(zone)
+
+    # Routing-table stand-in: one routed /22 starting at 0.0.0.0, so the
+    # pruned scan has no unrouted gap (and thus no sparse probes) and the
+    # routed walk is exactly four /24 blocks.
+    def routed_v4_prefixes(self):
+        return [Prefix.parse("0.0.0.0/22")]
+
+    def origin_of(self, address):
+        return 64500
+
+    def scan(self, **settings):
+        scanner = EcsScanner(
+            self.server,
+            self,
+            self.clock,
+            EcsScanSettings(rate=1e9, **settings),
+        )
+        return scanner.scan("relay.example.com.")
+
+
+class TestScopeCursorAdvancement:
+    """The cursor after each answer honours the declared scope exactly."""
+
+    def test_scope_equal_to_source_steps_one_block(self):
+        setup = _FixedScopeSetup(scope=24)
+        result = setup.scan()
+        # /22 of routed space at /24 granularity: all four blocks queried.
+        assert result.queries_sent == 4
+        assert [s.value for s in setup.queried] == [
+            Prefix.parse(f"0.0.{i}.0/24").value for i in range(4)
+        ]
+        assert all(r.scope == 24 for r in result.responses)
+
+    def test_scope_wider_than_source_skips_block(self):
+        setup = _FixedScopeSetup(scope=23)
+        result = setup.scan()
+        # Each /23-scoped answer skips the block's second /24.
+        assert result.queries_sent == 2
+        assert [s.value for s in setup.queried] == [
+            Prefix.parse("0.0.0.0/24").value,
+            Prefix.parse("0.0.2.0/24").value,
+        ]
+        assert sum(r.covered_slash24s() for r in result.responses) == 4
+
+    def test_scope_narrower_than_source_does_not_skip(self):
+        setup = _FixedScopeSetup(scope=25)
+        result = setup.scan()
+        # A narrower-than-source scope never widens the cursor step.
+        assert result.queries_sent == 4
+        assert all(r.scope == 25 for r in result.responses)
+        assert all(r.covered_slash24s() == 1 for r in result.responses)
+
+    def test_scope_ignored_when_not_respected(self):
+        setup = _FixedScopeSetup(scope=16)
+        result = setup.scan(respect_scope=False)
+        assert result.queries_sent == 4
+
+    def test_fast_and_reference_paths_advance_identically(self):
+        fast = _FixedScopeSetup(scope=23)
+        slow = _FixedScopeSetup(scope=23)
+        fast_result = fast.scan(fast_path=True)
+        slow_result = slow.scan(fast_path=False)
+        assert fast.queried == slow.queried
+        assert fast_result.queries_sent == slow_result.queries_sent
+        assert fast_result.responses == slow_result.responses
+
 
 class TestEcsScan:
     def test_uncovers_all_active_quic_relays(self, tiny_world, april_scan):
