@@ -1,10 +1,17 @@
 """Scan-engine performance harness.
 
-Times the three stages the fast path covers — world generation, one ECS
-scan, and the full monthly campaign — at a pinned seed and scale, writes
+Times every measurement stage of the pipeline — world generation, one
+ECS scan, the full monthly campaign (sequential and, with ``--workers``
+> 1, sharded), an Atlas measurement round, a relay egress-rotation scan
+day, and the traceroute campaign — at a pinned seed and scale, writes
 the numbers to ``BENCH_scan.json``, and (by default) fails when the
 campaign regresses more than the tolerance against the checked-in
 ``baseline.json``.
+
+The sharded campaign runs on a fresh same-seed world and is *verified*
+against the sequential run before its timing is recorded: any
+divergence in query counts, ingress sets, per-AS attribution, or server
+stats fails the harness with exit 1.
 
 Usage::
 
@@ -19,6 +26,9 @@ Environment:
     0.05.
 ``REPRO_BENCH_SEED``
     World seed (default 2022).
+``REPRO_BENCH_WORKERS``
+    Shard worker count for the sharded campaign leg (default 4; set to
+    1 to skip the sharded leg, e.g. in the CI workers=1 matrix cell).
 
 Baseline refresh: run with ``--update-baseline`` on a quiet machine and
 commit the new ``baseline.json`` together with the change that moved the
@@ -53,9 +63,45 @@ def current_commit() -> str:
         return "unknown"
 
 
-def run_bench(scale: float, seed: int) -> dict:
+def _campaign_scans(months):
+    for month in months:
+        yield month.default
+        if month.fallback is not None:
+            yield month.fallback
+
+
+def _verify_sharded(sequential_months, sharded_months) -> list[str]:
+    """Divergences between a sequential and a sharded campaign run."""
+    problems = []
+    seq = list(_campaign_scans(sequential_months))
+    sharded = list(_campaign_scans(sharded_months))
+    if len(seq) != len(sharded):
+        return [f"scan count differs: {len(seq)} vs {len(sharded)}"]
+    for a, b in zip(seq, sharded):
+        tag = f"{a.domain} @{a.started_at:.0f}"
+        if a.queries_sent != b.queries_sent:
+            problems.append(f"{tag}: queries {a.queries_sent} vs {b.queries_sent}")
+        if a.finished_at != b.finished_at:
+            problems.append(f"{tag}: finish {a.finished_at} vs {b.finished_at}")
+        if a.addresses() != b.addresses():
+            problems.append(f"{tag}: ingress sets differ")
+        if a.addresses_by_asn() != b.addresses_by_asn():
+            problems.append(f"{tag}: per-AS attribution differs")
+        if a.slash24s_by_asn() != b.slash24s_by_asn():
+            problems.append(f"{tag}: per-AS subnet counts differ")
+    return problems
+
+
+def run_bench(scale: float, seed: int, workers: int) -> dict:
     from repro.scan.campaign import ScanCampaign
     from repro.scan.ecs_scanner import EcsScanner, EcsScanSettings
+    from repro.scan.sharding import ShardedCampaignExecutor
+    from repro.scan.atlas_scanner import AtlasIngressScanner
+    from repro.scan.relay_scanner import RelayScanConfig, RelayScanner
+    from repro.scan.traceroute_campaign import (
+        LabelledTarget,
+        run_traceroute_campaign,
+    )
     from repro.relay.service import RELAY_DOMAIN_QUIC
     from repro.worldgen import WorldConfig, build_world
 
@@ -74,6 +120,57 @@ def run_bench(scale: float, seed: int) -> dict:
     scan = scanner.scan(RELAY_DOMAIN_QUIC)
     scan_s = time.perf_counter() - t0
 
+    # The other measurement legs, on the April-vantage world.
+    atlas = AtlasIngressScanner(
+        scan_world.atlas, scan_world.routing, {714, 36183}
+    )
+    t0 = time.perf_counter()
+    atlas.measure_ingress_v4(RELAY_DOMAIN_QUIC)
+    atlas_s = time.perf_counter() - t0
+
+    client = scan_world.make_vantage_client()
+    relay_scanner = RelayScanner(
+        client, scan_world.web_server, scan_world.echo_server, scan_world.clock
+    )
+    t0 = time.perf_counter()
+    relay_scanner.run(RelayScanConfig(300.0, 21_600.0), "bench")
+    relay_scan_s = time.perf_counter() - t0
+
+    targets = [
+        LabelledTarget(address, "ingress", asn)
+        for asn, addresses in sorted(scan.addresses_by_asn().items())
+        for address in sorted(addresses)
+    ]
+    t0 = time.perf_counter()
+    run_traceroute_campaign(
+        scan_world.topology, scan_world.vantage_router_id, targets
+    )
+    traceroute_s = time.perf_counter() - t0
+
+    traceroute_targets = len(targets)
+    # Drop the scan world before the campaign legs: the sharded leg
+    # forks the interpreter, and every live world in the parent inflates
+    # the copy-on-write cost of the workers.
+    del scan_world, scanner, scan, atlas, client, relay_scanner, targets
+
+    # Sharded leg first, while the parent heap holds only the two
+    # campaign worlds (its fork cost depends on live parent state; the
+    # sequential leg's timing does not).
+    sharded_s = None
+    sharded_months = None
+    if workers > 1 and ShardedCampaignExecutor.supported():
+        sharded_world = build_world(WorldConfig(seed=seed, scale=scale))
+        with ScanCampaign(
+            server=sharded_world.route53,
+            routing=sharded_world.routing,
+            clock=sharded_world.clock,
+            settings=EcsScanSettings(workers=workers, campaign_seed=seed),
+        ) as sharded_campaign:
+            t0 = time.perf_counter()
+            sharded_months = sharded_campaign.run(sharded_world.scan_months())
+            sharded_s = time.perf_counter() - t0
+        del sharded_world, sharded_campaign
+
     campaign = ScanCampaign(
         server=world.route53,
         routing=world.routing,
@@ -85,20 +182,38 @@ def run_bench(scale: float, seed: int) -> dict:
     campaign_s = time.perf_counter() - t0
 
     campaign_queries = sum(
-        scan_result.queries_sent
-        for month in months
-        for scan_result in (month.default, month.fallback)
-        if scan_result is not None
+        scan_result.queries_sent for scan_result in _campaign_scans(months)
     )
-    return {
+    result = {
         "commit": current_commit(),
         "scale": scale,
         "seed": seed,
+        "workers": workers,
         "worldgen_s": round(worldgen_s, 3),
         "scan_s": round(scan_s, 3),
+        "atlas_s": round(atlas_s, 3),
+        "relay_scan_s": round(relay_scan_s, 3),
+        "traceroute_s": round(traceroute_s, 3),
+        "traceroute_targets": traceroute_targets,
         "campaign_s": round(campaign_s, 3),
         "queries_per_s": round(campaign_queries / campaign_s, 1),
     }
+
+    if sharded_months is not None:
+        problems = _verify_sharded(months, sharded_months)
+        if problems:
+            raise ShardDivergence(problems)
+        result["campaign_sharded_s"] = round(sharded_s, 3)
+        result["sharded_speedup"] = round(campaign_s / sharded_s, 2)
+    return result
+
+
+class ShardDivergence(Exception):
+    """The sharded campaign did not reproduce the sequential outputs."""
+
+    def __init__(self, problems: list[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
 
 
 def check_regression(result: dict, tolerance: float) -> int:
@@ -159,12 +274,27 @@ def main(argv: list[str] | None = None) -> int:
         default=OUTPUT_PATH,
         help=f"result path (default {OUTPUT_PATH})",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_WORKERS", "4")),
+        help="worker count for the sharded campaign leg; 1 skips it "
+        "(default $REPRO_BENCH_WORKERS or 4)",
+    )
     args = parser.parse_args(argv)
 
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "2022"))
-    print(f"benchmarking at scale={scale} seed={seed} ...")
-    result = run_bench(scale, seed)
+    print(
+        f"benchmarking at scale={scale} seed={seed} workers={args.workers} ..."
+    )
+    try:
+        result = run_bench(scale, seed, args.workers)
+    except ShardDivergence as divergence:
+        print("FAIL: sharded campaign diverged from sequential:")
+        for problem in divergence.problems:
+            print(f"  {problem}")
+        return 1
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(f"wrote {args.output}")

@@ -66,11 +66,18 @@ def cmd_world_info(args) -> int:
 
 
 def cmd_ecs_scan(args) -> int:
+    from repro.scan import EcsScanSettings, ShardedCampaignExecutor
+
     world = _world(args)
     world.clock.advance_to(world.scan_start(args.year, args.month))
     domain = RELAY_DOMAIN_FALLBACK if args.fallback else RELAY_DOMAIN_QUIC
-    scanner = EcsScanner(world.route53, world.routing, world.clock)
-    result = scanner.scan(domain)
+    settings = EcsScanSettings(workers=args.workers, campaign_seed=args.seed)
+    scanner = EcsScanner(world.route53, world.routing, world.clock, settings)
+    if args.workers > 1 and ShardedCampaignExecutor.supported():
+        with ShardedCampaignExecutor(scanner, args.workers) as executor:
+            result = executor.scan(domain)
+    else:
+        result = scanner.scan(domain)
     print(f"domain:    {domain}")
     print(f"queries:   {result.queries_sent} "
           f"({result.sparse_queries} sparse, "
@@ -135,9 +142,14 @@ def cmd_archive(args) -> int:
     from repro.archive import write_archive
     from repro.scan import ScanCampaign
 
+    from repro.scan import EcsScanSettings
+
     world = _world(args)
-    campaign = ScanCampaign(world.route53, world.routing, world.clock)
-    campaign.run(world.scan_months())
+    settings = EcsScanSettings(workers=args.workers, campaign_seed=args.seed)
+    with ScanCampaign(
+        world.route53, world.routing, world.clock, settings
+    ) as campaign:
+        campaign.run(world.scan_months())
     path = write_archive(
         args.directory,
         campaign,
@@ -192,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scan mask-h2.icloud.com instead")
     p.add_argument("--archive", type=str, default=None,
                    help="write the longitudinal dataset CSV here")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the scan across N worker processes "
+                        "(results are identical at any worker count)")
     p.set_defaults(func=cmd_ecs_scan)
 
     p = sub.add_parser("egress-report", help="Tables 3/4 and egress facts")
@@ -211,6 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("archive", help="write the research-data archive")
     _add_world_args(p)
     p.add_argument("directory", help="output directory for the bundle")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard campaign scans across N worker processes")
     p.set_defaults(func=cmd_archive)
 
     p = sub.add_parser("reproduce", help="full paper-vs-measured report")

@@ -79,6 +79,26 @@ class ServerStats:
         self.answered = 0
         self.refused = 0
 
+    def merge(self, other: "ServerStats") -> None:
+        """Accumulate another counter set (shard-result aggregation)."""
+        self.queries += other.queries
+        self.ecs_queries += other.ecs_queries
+        self.nxdomain += other.nxdomain
+        self.nodata += other.nodata
+        self.answered += other.answered
+        self.refused += other.refused
+
+    def copy(self) -> "ServerStats":
+        """An independent snapshot (shipped back from shard workers)."""
+        return ServerStats(
+            queries=self.queries,
+            ecs_queries=self.ecs_queries,
+            nxdomain=self.nxdomain,
+            nodata=self.nodata,
+            answered=self.answered,
+            refused=self.refused,
+        )
+
 
 class AuthoritativeServer:
     """Serves one or more zones, honouring ECS per its policy."""

@@ -147,6 +147,7 @@ class Zone:
         self._planners: dict[tuple[DnsName, RRType], DynamicPlanner] = {}
         self._dynamic_names: set[DnsName] = set()
         self._epoch_sources: list[Callable[[], object]] = []
+        self._shard_hooks: list[object] = []
 
     def _check_in_zone(self, name: DnsName) -> None:
         if not name.is_subdomain_of(self.apex):
@@ -188,6 +189,24 @@ class Zone:
         value changes.
         """
         self._epoch_sources.append(source)
+
+    def add_shard_hook(self, hook: object) -> None:
+        """Register per-query mutable state for sharded scan execution.
+
+        A *shard hook* owns answer state that advances per query (the
+        relay service registers its rotation counters).  The sharded
+        campaign executor drives hooks in registration order:
+        ``hook.reseed(base)`` in a worker before each shard task,
+        ``hook.delta_snapshot()`` after it, and ``hook.apply_deltas(...)``
+        on the parent's hooks when merging shard results — so the parent
+        ends each scan in the same aggregate state a sequential scan
+        would have produced.
+        """
+        self._shard_hooks.append(hook)
+
+    def shard_hooks(self) -> list[object]:
+        """Registered shard hooks, in registration order."""
+        return list(self._shard_hooks)
 
     def epoch_token(self) -> tuple:
         """The zone's current freshness token (content version + sources)."""

@@ -23,6 +23,13 @@ IPV4_BITS = 32
 IPV6_BITS = 128
 _MAX = {4: (1 << IPV4_BITS) - 1, 6: (1 << IPV6_BITS) - 1}
 _BITS = {4: IPV4_BITS, 6: IPV6_BITS}
+# Host-bit masks indexed by [version][prefix length].  Worldgen and the
+# scanner compute these hundreds of thousands of times; a table lookup
+# beats re-deriving the shift each call.
+_HOST_MASKS = {
+    4: tuple((1 << (IPV4_BITS - length)) - 1 for length in range(IPV4_BITS + 1)),
+    6: tuple((1 << (IPV6_BITS - length)) - 1 for length in range(IPV6_BITS + 1)),
+}
 
 
 def _check_version(version: int) -> None:
@@ -133,7 +140,7 @@ class Prefix:
 
     def host_mask(self) -> int:
         """Integer mask covering the host bits of this prefix."""
-        return (1 << (self.bits - self.length)) - 1
+        return _HOST_MASKS[self.version][self.length]
 
     def network_mask(self) -> int:
         """Integer mask covering the network bits of this prefix."""

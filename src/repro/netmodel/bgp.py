@@ -52,6 +52,9 @@ class RoutingTable:
         # announce/withdraw.
         self._route_memo: dict[tuple[int, int], Announcement | None] = {}
         self.origin_stats = CacheStats()
+        #: Bumped on every announce/withdraw; consumers (the scanner's
+        #: routed-span cache) key derived data on it.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._trie)
@@ -75,6 +78,7 @@ class RoutingTable:
         self._trie.insert(prefix, ann)
         self._by_origin.setdefault(origin_asn, []).append(ann)
         self._invalidate_memo()
+        self.version += 1
         return ann
 
     def withdraw(self, prefix: Prefix) -> bool:
@@ -85,6 +89,7 @@ class RoutingTable:
         self._trie.remove(prefix)
         self._by_origin[ann.origin_asn].remove(ann)
         self._invalidate_memo()
+        self.version += 1
         return True
 
     def lookup(self, address: IPAddress) -> Announcement | None:

@@ -31,31 +31,51 @@ class GeoRecord:
 
 
 class GeoDatabase:
-    """Longest-prefix-match geolocation lookups over both IP versions."""
+    """Longest-prefix-match geolocation lookups over both IP versions.
+
+    Inserts are buffered and the trie is built on first lookup: worldgen
+    seeds tens of thousands of records that analysis code may never
+    query, and buffered inserts replay in ``add`` order so later records
+    replace earlier ones exactly as direct inserts would.
+    """
 
     def __init__(self) -> None:
-        self._trie: DualStackTrie[GeoRecord] = DualStackTrie()
+        self._pending: list[tuple[Prefix, GeoRecord]] = []
+        self._trie: DualStackTrie[GeoRecord] | None = None
+
+    def _index(self) -> DualStackTrie[GeoRecord]:
+        trie = self._trie
+        if trie is None:
+            trie = DualStackTrie()
+            for prefix, record in self._pending:
+                trie.insert(prefix, record)
+            self._trie = trie
+            self._pending.clear()
+        return trie
 
     def __len__(self) -> int:
-        return len(self._trie)
+        return len(self._index())
 
     def add(self, prefix: Prefix, record: GeoRecord) -> None:
         """Insert or replace the record for a prefix."""
-        self._trie.insert(prefix, record)
+        if self._trie is None:
+            self._pending.append((prefix, record))
+        else:
+            self._trie.insert(prefix, record)
 
     def lookup(self, address: IPAddress) -> GeoRecord | None:
         """The most specific record covering ``address``, or None."""
-        hit = self._trie.lookup(address)
+        hit = self._index().lookup(address)
         return hit[1] if hit else None
 
     def lookup_prefix(self, prefix: Prefix) -> GeoRecord | None:
         """The record covering the whole prefix, or None."""
-        hit = self._trie.covering(prefix)
+        hit = self._index().covering(prefix)
         return hit[1] if hit else None
 
     def records(self) -> list[tuple[Prefix, GeoRecord]]:
         """All stored (prefix, record) pairs."""
-        return list(self._trie.items())
+        return list(self._index().items())
 
     def adoption_rate(self) -> float:
         """Fraction of records sourced from the published egress list.

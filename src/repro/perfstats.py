@@ -37,6 +37,12 @@ class CacheStats:
         self.misses = 0
         self.invalidations = 0
 
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another counter set (shard-result aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+
     def snapshot(self) -> dict[str, int | float]:
         """A JSON-friendly view (for the perf harness / observability)."""
         return {

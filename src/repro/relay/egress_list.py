@@ -57,20 +57,41 @@ class EgressEntry:
 
 
 class EgressList:
-    """The parsed egress range list with indexed queries."""
+    """The parsed egress range list with indexed queries.
+
+    The prefix trie behind the point queries is built lazily on first
+    use: worldgen constructs lists of ~100 k entries (twice — the May
+    and January snapshots) and many consumers only ever iterate or
+    aggregate them, so paying ~30 bit-levels of trie insert per entry
+    up front would dominate world build time.  Duplicate detection uses
+    a plain prefix set so ``add`` stays O(1).
+    """
 
     def __init__(self, entries: Iterable[EgressEntry] = ()) -> None:
         self._entries: list[EgressEntry] = []
-        self._trie: DualStackTrie[EgressEntry] = DualStackTrie()
+        self._prefixes: set[Prefix] = set()
+        self._trie: DualStackTrie[EgressEntry] | None = None
         for entry in entries:
             self.add(entry)
 
     def add(self, entry: EgressEntry) -> None:
         """Append an entry; duplicate prefixes are an error."""
-        if self._trie.exact(entry.prefix) is not None:
+        if entry.prefix in self._prefixes:
             raise EgressListError(f"duplicate egress prefix {entry.prefix}")
         self._entries.append(entry)
-        self._trie.insert(entry.prefix, entry)
+        self._prefixes.add(entry.prefix)
+        if self._trie is not None:
+            self._trie.insert(entry.prefix, entry)
+
+    def _index(self) -> DualStackTrie[EgressEntry]:
+        """The lookup trie, built on first touch."""
+        trie = self._trie
+        if trie is None:
+            trie = DualStackTrie()
+            for entry in self._entries:
+                trie.insert(entry.prefix, entry)
+            self._trie = trie
+        return trie
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -86,16 +107,16 @@ class EgressList:
 
     def lookup(self, prefix: Prefix) -> EgressEntry | None:
         """The entry covering ``prefix`` exactly or as a supernet."""
-        hit = self._trie.covering(prefix)
+        hit = self._index().covering(prefix)
         return hit[1] if hit else None
 
     def contains_address(self, address) -> bool:
         """Whether an address falls in any listed egress subnet."""
-        return self._trie.lookup(address) is not None
+        return self._index().lookup(address) is not None
 
     def entry_for_address(self, address) -> EgressEntry | None:
         """The entry covering an address, or None."""
-        hit = self._trie.lookup(address)
+        hit = self._index().lookup(address)
         return hit[1] if hit else None
 
     # ------------------------------------------------------------------

@@ -73,6 +73,9 @@ class IngressFleet:
         default_factory=dict, repr=False
     )
     _pods_sorted: list[str] | None = field(default=None, repr=False)
+    #: Bumped on every composition change; epoch-derived caches held by
+    #: *other* objects (the relay service's epoch-token window) key on it.
+    epoch_generation: int = 0
 
     def add(self, relay: IngressRelay) -> IngressRelay:
         """Register a relay (address family must match the fleet)."""
@@ -87,7 +90,17 @@ class IngressFleet:
         self._active_cache.clear()
         self._pod_cache.clear()
         self._pods_sorted = None
+        self.epoch_generation += 1
         return relay
+
+    def deployment_epoch_window(self, at_time: float) -> tuple[float, float, int]:
+        """``(lo, hi, epoch)``: the epoch containing ``at_time`` and its
+        validity bounds — callers may reuse ``epoch`` for any time in
+        ``[lo, hi)`` at the current :attr:`epoch_generation`."""
+        epoch = self.deployment_epoch(at_time)
+        window = self._epoch_window
+        assert window is not None and window[2] == epoch
+        return window
 
     def deployment_epoch(self, at_time: float) -> int:
         """Index of the deployment state containing ``at_time``.

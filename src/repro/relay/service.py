@@ -49,6 +49,53 @@ RELAY_ZONE_APEX = "icloud.com."
 MAX_RECORDS_PER_RESPONSE = 8
 
 
+class RotationCounters(dict):
+    """Per-pod answer-rotation counters with a configurable stream base.
+
+    Behaves as a plain ``dict`` keyed ``(pod, protocol, version)`` except
+    that a missing key reads as :attr:`base` instead of raising — with
+    the default ``base=0`` the rotation sequence is bit-identical to the
+    previous ``dict.get(key, 0)`` behaviour.
+
+    The base is what makes sharded scans deterministic: the rotation
+    offset a query observes is the one order-dependent piece of an ECS
+    answer, so each shard worker reseeds its replica's counters from
+    (campaign seed, shard index) before a task.  Shard results then
+    depend only on the shard's own query order, never on which worker
+    ran which shard first.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: int = 0) -> None:
+        super().__init__()
+        self.base = base
+
+    def __missing__(self, key) -> int:
+        return self.base
+
+    def reseed(self, base: int) -> None:
+        """Drop all counters and restart every stream at ``base``."""
+        self.clear()
+        self.base = base
+
+    def delta_snapshot(self) -> dict:
+        """Per-key query counts accumulated since the last reseed."""
+        base = self.base
+        return {key: value - base for key, value in self.items()}
+
+    def apply_deltas(self, deltas: dict) -> None:
+        """Advance streams by merged per-key counts (parent-side merge).
+
+        Every key's counter only ever increments by one per query, so the
+        merged end state equals the sequential end state whenever the
+        per-key query counts match — which the shard partition guarantees
+        (same query set, split across shards).
+        """
+        for key, delta in deltas.items():
+            self[key] = self[key] + delta
+
+
 @dataclass(frozen=True, slots=True)
 class AssignmentUnit:
     """One block of client space and how it is served.
@@ -74,7 +121,7 @@ class AssignmentMap:
     """Client subnet → assignment unit, with longest-prefix semantics."""
 
     def __init__(self) -> None:
-        self._trie: DualStackTrie[AssignmentUnit] = DualStackTrie()
+        self._trie: DualStackTrie[AssignmentUnit] | None = None
         self._units: list[AssignmentUnit] = []
         # Units per address family in start-value order (parallel lists),
         # for the bisect fast path and the planner's overlap probes.
@@ -89,23 +136,40 @@ class AssignmentMap:
     def add(self, unit: AssignmentUnit) -> AssignmentUnit:
         """Register a unit."""
         prefix = unit.prefix
-        # Detect units nesting inside or overlapping existing ones.  The
+        # Detect units nesting inside or covering existing ones.  The
         # planner only hands out block-cacheable answers when units are
         # disjoint — with nesting, one block could span several units —
-        # and :meth:`lookup` falls back from bisect to the trie.
-        if self._trie.covering(prefix) is not None:
-            self._nested = True
+        # and :meth:`lookup` falls back from bisect to the trie.  Two
+        # prefixes either nest or are disjoint (aligned power-of-two
+        # ranges cannot partially overlap), so both directions reduce to
+        # bisect probes of the sorted starts/ends — the trie itself is
+        # only materialised if nesting ever appears (worldgen's ~40 k
+        # disjoint units never pay for its node objects).
         starts = self._starts[prefix.version]
+        ends = self._ends[prefix.version]
         pos = bisect.bisect_left(starts, prefix.value)
         if pos < len(starts) and starts[pos] <= prefix.broadcast_value:
             self._nested = True
+        elif pos > 0 and ends[pos - 1] >= prefix.value:
+            self._nested = True
         starts.insert(pos, prefix.value)
-        self._ends[prefix.version].insert(pos, prefix.broadcast_value)
+        ends.insert(pos, prefix.broadcast_value)
         self._sorted_units[prefix.version].insert(pos, unit)
-        self._trie.insert(prefix, unit)
+        if self._trie is not None:
+            self._trie.insert(prefix, unit)
         self._units.append(unit)
         self.version += 1
         return unit
+
+    def _built_trie(self) -> DualStackTrie:
+        """The longest-match trie, built on first (nested-path) touch."""
+        trie = self._trie
+        if trie is None:
+            trie = DualStackTrie()
+            for unit in self._units:
+                trie.insert(unit.prefix, unit)
+            self._trie = trie
+        return trie
 
     def __len__(self) -> int:
         return len(self._units)
@@ -121,11 +185,13 @@ class AssignmentMap:
 
     def overlaps_block(self, block: Prefix) -> bool:
         """Whether any unit intersects ``block`` (covers it or starts in it)."""
-        if self._trie.covering(block) is not None:
-            return True
         starts = self._starts[block.version]
         pos = bisect.bisect_left(starts, block.value)
-        return pos < len(starts) and starts[pos] <= block.broadcast_value
+        if pos < len(starts) and starts[pos] <= block.broadcast_value:
+            return True
+        # A preceding unit whose range reaches the block's start covers
+        # the whole block (prefix ranges nest or are disjoint).
+        return pos > 0 and self._ends[block.version][pos - 1] >= block.value
 
     def lookup(self, subnet: Prefix) -> AssignmentUnit | None:
         """The unit serving a client subnet, or None if unserved.
@@ -136,10 +202,11 @@ class AssignmentMap:
         bisect; nested units take the (slower, longest-match) trie path.
         """
         if self._nested:
-            hit = self._trie.covering(subnet)
+            trie = self._built_trie()
+            hit = trie.covering(subnet)
             if hit is not None:
                 return hit[1]
-            hit2 = self._trie.lookup(subnet.network_address)
+            hit2 = trie.lookup(subnet.network_address)
             return hit2[1] if hit2 else None
         version = subnet.version
         starts = self._starts[version]
@@ -280,7 +347,9 @@ class _BlockAnswer:
             return LookupResult(exists=True, records=(), scope_override=self.scope)
         counters = self._counters
         key = supplier.counter_key
-        offset = counters.get(key, 0)
+        # A missing key reads as the counters' stream base (0 outside
+        # sharded execution), via RotationCounters.__missing__.
+        offset = counters[key]
         counters[key] = offset + 1
         start = offset % len(relays)
         records = supplier._rotations.get(start)
@@ -310,9 +379,13 @@ class PrivateRelayService:
     padding: PaddingPolicy = field(default_factory=lambda: PaddingPolicy(512))
     _operator_state: dict[str, _ClientEgressState] = field(default_factory=dict)
     _quic_endpoints: dict[IPAddress, RelayQuicEndpoint] = field(default_factory=dict)
-    _pod_counters: dict[tuple[str, RelayProtocol, int], int] = field(
-        default_factory=dict
-    )
+    _pod_counters: RotationCounters = field(default_factory=RotationCounters)
+    #: Window cache for :meth:`_deployment_epoch_token` — the token is
+    #: constant between deployment boundaries, but the clock advances on
+    #: every rate-limited scan query, so the token would otherwise be
+    #: recomputed per query.  Layout: (valid_from, valid_until, v4
+    #: generation, v6 generation, assignment version, token).
+    _epoch_token_window: tuple | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # DNS: the authoritative zone for the relay domains
@@ -341,16 +414,41 @@ class PrivateRelayService:
                     planner=self._make_planner(derive),
                 )
         zone.add_epoch_source(self._deployment_epoch_token)
+        zone.add_shard_hook(self._pod_counters)
         return zone
 
     def _deployment_epoch_token(self) -> tuple[int, int, int]:
-        """Fleet deployment epochs (current simulated time) + map version."""
+        """Fleet deployment epochs (current simulated time) + map version.
+
+        The token only changes at deployment boundaries, fleet
+        composition edits, or assignment-map edits; inside a validity
+        window the cached token object is returned as-is (this runs once
+        per query on the scan fast path).
+        """
         now = self.clock.now
-        return (
-            self.ingress_v4.deployment_epoch(now),
-            self.ingress_v6.deployment_epoch(now),
+        v4 = self.ingress_v4
+        v6 = self.ingress_v6
+        window = self._epoch_token_window
+        if (
+            window is not None
+            and window[0] <= now < window[1]
+            and window[2] == v4.epoch_generation
+            and window[3] == v6.epoch_generation
+            and window[4] == self.assignment.version
+        ):
+            return window[5]
+        lo4, hi4, e4 = v4.deployment_epoch_window(now)
+        lo6, hi6, e6 = v6.deployment_epoch_window(now)
+        token = (e4, e6, self.assignment.version)
+        self._epoch_token_window = (
+            max(lo4, lo6),
+            min(hi4, hi6),
+            v4.epoch_generation,
+            v6.epoch_generation,
             self.assignment.version,
+            token,
         )
+        return token
 
     def _make_deriver(self, protocol: RelayProtocol, version: int):
         """The epoch-stable answer derivation shared by handler and planner.
@@ -365,11 +463,31 @@ class PrivateRelayService:
         lookup_unit = self.assignment.lookup
         counters = self._pod_counters
         clock = self.clock
+        deployment_epoch = fleet.deployment_epoch
         fallback_asn = int(WellKnownAS.AKAMAI_PR)
         memo: dict[tuple[str, int, int], _PodSupplier] = {}
+        # Everything in a _BlockAnswer is epoch-stable (the impure tail
+        # lives in the *shared* counters, consulted inside produce()), so
+        # one answer object serves every query of a unit within an epoch.
+        # Keyed by the unit's identity — units are retained by both the
+        # assignment map and the memoised answer, so ids cannot be
+        # reissued.  Unassigned space collapses to two keys: fallback
+        # answers declare a /16 scope for v4 subnets and none otherwise.
+        answer_memo: dict[tuple[int, int], _BlockAnswer] = {}
 
         def derive(name: DnsName, client_subnet: Prefix | None) -> _BlockAnswer:
             unit = lookup_unit(client_subnet) if client_subnet is not None else None
+            epoch = deployment_epoch(clock.now)
+            generation = fleet.epoch_generation
+            if unit is not None:
+                answer_key = (id(unit), epoch, generation)
+            elif client_subnet is not None and client_subnet.version == 4:
+                answer_key = (1, epoch, generation)
+            else:
+                answer_key = (0, epoch, generation)
+            answer = answer_memo.get(answer_key)
+            if answer is not None:
+                return answer
             if unit is None:
                 # Unserved space still resolves: the control plane falls
                 # back to the dominant operator's default pod.  Responses
@@ -378,7 +496,9 @@ class PrivateRelayService:
                 pods = [p for p in fleet.pods_sorted() if not p.startswith("CC:")]
                 if not pods:
                     supplier = _PodSupplier(name, None, protocol, version, [])
-                    return _BlockAnswer(counters, supplier, None, None)
+                    answer = _BlockAnswer(counters, supplier, None, None)
+                    answer_memo[answer_key] = answer
+                    return answer
                 # Unassigned space is served uniformly, and the answer is
                 # declared valid for a wide (/16) scope.
                 unit_pod = pods[0]
@@ -393,7 +513,7 @@ class PrivateRelayService:
                 operator_asn = unit.operator_asn
                 scope = unit.scope_len
             now = clock.now
-            memo_key = (unit_pod, operator_asn, fleet.deployment_epoch(now))
+            memo_key = (unit_pod, operator_asn, epoch)
             supplier = memo.get(memo_key)
             if supplier is None:
                 relays = fleet.pod_relays_cached(unit_pod, protocol, now)
@@ -412,7 +532,9 @@ class PrivateRelayService:
                     ) or fleet.active_cached(now, protocol)
                 supplier = _PodSupplier(name, unit_pod, protocol, version, relays)
                 memo[memo_key] = supplier
-            return _BlockAnswer(counters, supplier, unit, scope)
+            answer = _BlockAnswer(counters, supplier, unit, scope)
+            answer_memo[answer_key] = answer
+            return answer
 
         return derive
 

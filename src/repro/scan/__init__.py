@@ -21,6 +21,13 @@ from repro.scan.campaign import MonthlyScan, ScanCampaign
 from repro.scan.ecs_scanner import EcsScanner, EcsScanResult, EcsScanSettings
 from repro.scan.longitudinal import AddressSighting, IngressArchive
 from repro.scan.quic_scanner import QuicProbeReport, QuicScanner
+from repro.scan.sharding import (
+    ShardedCampaignExecutor,
+    ShardPlan,
+    plan_shards,
+    rotation_base,
+    shard_alignment,
+)
 from repro.scan.relay_scanner import (
     RelayScanConfig,
     RelayScanRound,
@@ -50,6 +57,11 @@ __all__ = [
     "EcsScanner",
     "EcsScanResult",
     "EcsScanSettings",
+    "ShardedCampaignExecutor",
+    "ShardPlan",
+    "plan_shards",
+    "rotation_base",
+    "shard_alignment",
     "AddressSighting",
     "IngressArchive",
     "QuicProbeReport",

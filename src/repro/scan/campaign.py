@@ -52,12 +52,51 @@ class ScanCampaign:
         default_factory=lambda: IngressArchive(RELAY_DOMAIN_FALLBACK)
     )
 
+    def _scanner(self) -> EcsScanner:
+        """The campaign's scanner, built once and reused across months.
+
+        Reuse keeps the scanner's subnet-intern and routed-span caches
+        warm from month to month (the BGP feed is static between scans).
+        """
+        scanner = self.__dict__.get("_scanner_instance")
+        if scanner is None:
+            scanner = EcsScanner(self.server, self.routing, self.clock, self.settings)
+            self.__dict__["_scanner_instance"] = scanner
+        return scanner
+
+    def _executor(self):
+        """The campaign's scan front-end: the scanner itself with
+        ``workers=1``, a (lazily built, month-to-month reused) sharded
+        executor wrapping it otherwise.  Both expose the same ``scan()``.
+        """
+        from repro.scan.sharding import ShardedCampaignExecutor
+
+        if self.settings.workers <= 1 or not ShardedCampaignExecutor.supported():
+            return self._scanner()
+        executor = self.__dict__.get("_executor_instance")
+        if executor is None:
+            executor = ShardedCampaignExecutor(self._scanner(), self.settings.workers)
+            self.__dict__["_executor_instance"] = executor
+        return executor
+
+    def close(self) -> None:
+        """Release campaign resources (the shard worker pool, if any)."""
+        executor = self.__dict__.pop("_executor_instance", None)
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "ScanCampaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def run_month(self, year: int, month: int) -> MonthlyScan:
         """Run one month's scans (advancing the clock to the scan slot)."""
         target = scan_time(year, month)
         if self.clock.now < target:
             self.clock.advance_to(target)
-        scanner = EcsScanner(self.server, self.routing, self.clock, self.settings)
+        scanner = self._executor()
         default = scanner.scan(RELAY_DOMAIN_QUIC)
         self.default_archive.record(default)
         fallback = None

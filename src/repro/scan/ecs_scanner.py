@@ -18,7 +18,9 @@ Both prunings can be disabled for the ablation benchmarks.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.dns.edns import ClientSubnetOption, EdnsOptions
 from repro.dns.message import DnsMessage, Question, Rcode
@@ -34,9 +36,14 @@ from repro.simtime import SimClock
 _ADDRESS_RTYPES = (RRType.A, RRType.AAAA)
 
 
-@dataclass(frozen=True, slots=True)
-class EcsResponse:
-    """One answered ECS query."""
+class EcsResponse(NamedTuple):
+    """One answered ECS query.
+
+    A NamedTuple rather than a dataclass: scans append hundreds of
+    thousands of these and shard workers ship them across process
+    boundaries, and tuple construction/pickling is several times cheaper
+    than frozen-dataclass ``__init__``.  Field semantics are unchanged.
+    """
 
     subnet: Prefix
     scope: int
@@ -68,6 +75,13 @@ class EcsScanSettings:
     #: Use the server's scope-block answer cache (results are identical
     #: either way; off exercises the reference path).
     fast_path: bool = True
+    #: Shard worker processes for campaign scans.  ``1`` runs the
+    #: in-process fast path; ``>1`` partitions the routed space into
+    #: contiguous shards executed by :mod:`repro.scan.sharding` workers.
+    workers: int = 1
+    #: Campaign seed: each shard's rotation streams are reseeded from
+    #: (campaign seed, shard index), making shard results deterministic.
+    campaign_seed: int = 0
 
 
 @dataclass
@@ -87,16 +101,43 @@ class EcsScanResult:
     sparse_responses: list[EcsResponse] = field(default_factory=list)
 
     def addresses(self) -> set[IPAddress]:
-        """All distinct ingress addresses uncovered."""
-        return {a for r in self.responses for a in r.addresses}
+        """All distinct ingress addresses uncovered.
+
+        The relay service memoises rotation windows, so answered queries
+        share a small population of address tuples; deduplicating tuples
+        by identity first skips most of the per-address set hashing.
+        (Unshared tuples still produce the same set, just slower.)
+        """
+        out: set[IPAddress] = set()
+        seen: set[int] = set()
+        seen_add = seen.add
+        update = out.update
+        for response in self.responses:
+            addresses = response.addresses
+            key = id(addresses)
+            if key not in seen:
+                seen_add(key)
+                update(addresses)
+        return out
 
     def addresses_by_asn(self) -> dict[int, set[IPAddress]]:
         """Distinct addresses per answer AS (Table 1 cells)."""
         out: dict[int, set[IPAddress]] = {}
+        seen: set[tuple[int, int]] = set()
+        seen_add = seen.add
         for response in self.responses:
-            if response.answer_asn is None:
+            asn = response.answer_asn
+            if asn is None:
                 continue
-            out.setdefault(response.answer_asn, set()).update(response.addresses)
+            addresses = response.addresses
+            key = (asn, id(addresses))
+            if key in seen:
+                continue
+            seen_add(key)
+            bucket = out.get(asn)
+            if bucket is None:
+                bucket = out[asn] = set()
+            bucket.update(addresses)
         return out
 
     def slash24s_by_asn(self) -> dict[int, int]:
@@ -135,105 +176,260 @@ class EcsScanner:
         # Keyed by network value; dropped if the source length changes.
         self._subnet_cache: dict[int, Prefix] = {}
         self._subnet_cache_len = self.settings.source_prefix_len
+        # Routed span/gap cache: a campaign reuses one scanner across
+        # monthly scans and the BGP feed is static between them, so the
+        # prefix sort + span merge runs once.  Only engaged when the
+        # routing table exposes a mutation ``version`` (test doubles
+        # without one rebuild every scan, as before).
+        self._span_cache: tuple[object, list, list] | None = None
 
     def scan(self, domain: str, rtype: RRType = RRType.A) -> EcsScanResult:
         """Run a full scan for one relay domain.
 
-        The question and query template are built once; each iteration
-        only constructs the subnet prefix and the message around it.  The
-        server's answer cache is switched to ``settings.fast_path`` for
-        the scan's duration (and restored afterwards).
+        Derives the routed spans and the unrouted gaps between them from
+        the BGP feed and delegates to :meth:`scan_ranges` — the range-based
+        core that shard workers invoke directly with clipped pieces.
+        """
+        settings = self.settings
+        if not settings.prune_unrouted:
+            return self.scan_ranges(domain, [(0, (1 << 32) - 1)], [], rtype)
+        spans, gaps = self.routed_ranges()
+        return self.scan_ranges(domain, spans, gaps, rtype)
+
+    def routed_ranges(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """The routed spans and the unrouted gaps between them (cached)."""
+        version = getattr(self.routing, "version", None)
+        cached = self._span_cache
+        if cached is not None and version is not None and cached[0] == version:
+            return cached[1], cached[2]
+        prefixes = sorted(
+            self.routing.routed_v4_prefixes(), key=lambda p: p.value
+        )
+        spans = _merge_spans(prefixes)
+        gaps = _span_gaps(spans)
+        if version is not None:
+            self._span_cache = (version, spans, gaps)
+        return spans, gaps
+
+    def scan_ranges(
+        self,
+        domain: str,
+        spans: list[tuple[int, int]],
+        gaps: list[tuple[int, int]],
+        rtype: RRType = RRType.A,
+    ) -> EcsScanResult:
+        """Scan explicit routed ``spans`` and sparse-probe ``gaps``.
+
+        Both lists hold inclusive ``(start, end)`` integer ranges; they
+        are walked interleaved in address order (each gap precedes the
+        span that follows it), which for the full-space lists built by
+        :meth:`scan` reproduces the sequential scan order exactly.  Shard
+        workers call this with the ranges clipped to their shard.
+
+        The server's answer cache is switched to ``settings.fast_path``
+        for the scan's duration (and restored afterwards).
         """
         settings = self.settings
         bucket = TokenBucket(settings.rate, settings.burst, self.clock)
         result = EcsScanResult(domain=domain, started_at=self.clock.now)
-        question = Question(DnsName.parse(domain), rtype)
-        message_id = 0
+        server = self.server
+        cache = server.answer_cache
+        was_enabled = cache.enabled
+        cache.enabled = settings.fast_path
+        # The kernel replays AuthoritativeServer.handle()'s logic inline,
+        # so it is only valid when the server actually runs that logic —
+        # a subclass or instance overriding handle() (the tests' failure
+        # injection point) must be driven through real messages.
+        stock_handle = (
+            getattr(server.handle, "__func__", None) is AuthoritativeServer.handle
+        )
+        # Suspend cyclic GC for the scan: the hot loop allocates millions
+        # of acyclic objects (responses, lookup results, record tuples)
+        # that refcounting reclaims on its own, while every generational
+        # collection re-traverses the large world graph.  Restored (and
+        # any cycles collected then) in the finally.
+        was_gc = gc.isenabled()
+        if was_gc:
+            gc.disable()
+        try:
+            if settings.fast_path and stock_handle:
+                self._run_fast(result, domain, rtype, spans, gaps, bucket)
+            else:
+                self._run_slow(result, domain, rtype, spans, gaps, bucket)
+        finally:
+            cache.enabled = was_enabled
+            if was_gc:
+                gc.enable()
+        result.finished_at = self.clock.now
+        return result
+
+    def _run_fast(
+        self,
+        result: EcsScanResult,
+        domain: str,
+        rtype: RRType,
+        spans: list[tuple[int, int]],
+        gaps: list[tuple[int, int]],
+        bucket: TokenBucket,
+    ) -> None:
+        """The scan kernel: drive the server's internals per query.
+
+        Resolves the zone once, then per query replays exactly what
+        :meth:`AuthoritativeServer.handle` would do for a v4 ECS query —
+        rate-limit take, stats accounting, effective-subnet policy,
+        ``answer_cache.lookup``, scope computation — without building a
+        ``DnsMessage`` in either direction.  Transaction ids are not
+        modelled here: they are unobservable in :class:`EcsScanResult`
+        (the slow reference path still assigns them).
+
+        Per-query side effects (rotation bookkeeping, cache stores and
+        epoch invalidations) run through the very same code as the
+        message path, so the fast/slow equivalence suite keeps holding
+        bit-for-bit.
+        """
+        settings = self.settings
+        server = self.server
+        qname = DnsName.parse(domain)
+        zone = server.zone_for(qname)
+        zone_missing = zone is None
+        stats = server.stats
+        policy = server.ecs_policy
+        lookup = server.answer_cache.lookup
+        origin_of = self.routing.origin_of
+        take = bucket.take
+        append_response = result.responses.append
+        append_sparse = result.sparse_responses.append
+        respect_scope = settings.respect_scope
         source_len = settings.source_prefix_len
         step = 1 << (32 - source_len)
         source_mask = ((1 << source_len) - 1) << (32 - source_len)
-        if settings.fast_path:
-            # Reusable query-message template: one validated message whose
-            # subnet and transaction id are swapped in place per query.
-            # The server never retains the query, and the response embeds
-            # a fresh ECS option, so nothing aliases the mutated fields.
-            template_cso = ClientSubnetOption(Prefix(4, 0, source_len))
-            template = DnsMessage(
-                question=question,
-                edns=EdnsOptions(client_subnet=template_cso),
-            )
-            mutate = object.__setattr__
-
-            def make_query(subnet: Prefix, message_id: int) -> DnsMessage:
-                mutate(template_cso, "source", subnet)
-                mutate(template, "message_id", message_id)
-                return template
-
-        else:
-
-            def make_query(subnet: Prefix, message_id: int) -> DnsMessage:
-                return DnsMessage(
-                    message_id=message_id,
-                    question=question,
-                    edns=EdnsOptions(client_subnet=ClientSubnetOption(subnet)),
-                )
-
-        prefixes = sorted(
-            self.routing.routed_v4_prefixes(), key=lambda p: p.value
-        )
-        if settings.prune_unrouted:
-            spans = _merge_spans(prefixes)
-        else:
-            spans = [(0, (1 << 32) - 1)]
-        cache = self.server.answer_cache
-        was_enabled = cache.enabled
-        cache.enabled = settings.fast_path
-        try:
-            previous_end = 0
-            # The routed-space loop below is _query() inlined (identical
-            # logic; the sparse path still calls the method), with the
-            # per-query attribute lookups hoisted out.
-            append_response = result.responses.append
-            take = bucket.take
-            handle = self.server.handle
-            origin_of = self.routing.origin_of
-            respect_scope = settings.respect_scope
-            noerror = Rcode.NOERROR
-            sent = 0
-            if self._subnet_cache_len != source_len:
-                self._subnet_cache = {}
-                self._subnet_cache_len = source_len
-            subnet_cache = self._subnet_cache
-            for span_start, span_end in spans:
-                if settings.prune_unrouted and span_start > previous_end:
-                    message_id = self._sparse_scan(
-                        previous_end, span_start - 1, make_query, bucket, result, message_id
-                    )
-                previous_end = span_end + 1
-                cursor = span_start
-                while cursor <= span_end:
-                    value = cursor & source_mask
-                    subnet = subnet_cache.get(value)
-                    if subnet is None:
-                        subnet = Prefix(4, value, source_len)
-                        subnet_cache[value] = subnet
-                    message_id = (message_id + 1) & 0xFFFF
+        sparse_stride = settings.sparse_stride << 8
+        policy_enabled = policy.enabled
+        max_source = policy.max_source_v4
+        truncate_routed = policy_enabled and source_len > max_source
+        # handle()'s response scope for answers without an override:
+        # min(source length, policy cap).  Sources here are always v4
+        # (/source_len routed, /24 sparse), so the v6 branches are moot.
+        routed_scope = source_len if source_len < max_source else max_source
+        sparse_scope = 24 if 24 < max_source else max_source
+        if self._subnet_cache_len != source_len:
+            self._subnet_cache = {}
+            self._subnet_cache_len = source_len
+        subnet_cache = self._subnet_cache
+        # Answer memo: answered queries receive the relay service's
+        # memoised rotation-window tuples, so the same records *object*
+        # recurs throughout a scan.  Keyed by that identity, the memo
+        # skips re-extracting addresses and re-deriving the answer AS —
+        # and hands every recurrence the *same* address tuple, which is
+        # what makes the identity-based deduplication in
+        # EcsScanResult.addresses() effective.  Each value retains its
+        # records object, so every id used as a live key refers to a
+        # still-alive object and can never be reissued to a fresh one
+        # (zones that build a new record list per query just miss — and
+        # insert — once per answer, same as before the memo).
+        answer_memo: dict[int, tuple] = {}
+        # Server counters, hoisted to locals for the loop and written
+        # back once at the end (nothing else touches them mid-scan).
+        n_queries = 0
+        n_ecs = 0
+        n_answered = 0
+        n_nodata = 0
+        n_nxdomain = 0
+        n_refused = 0
+        sent = 0
+        sparse_sent = 0
+        sparse_answered = 0
+        for start, end, is_gap in _interleave(spans, gaps):
+            if is_gap:
+                cursor = (start + sparse_stride - 1) // sparse_stride * sparse_stride
+                while cursor + 255 <= end:
+                    subnet = Prefix(4, cursor, 24)
                     take()
                     sent += 1
-                    response = handle(make_query(subnet, message_id))
-                    answers = response.answers
-                    if response.rcode == noerror and answers:
-                        edns = response.edns
-                        ecs = edns.client_subnet if edns is not None else None
-                        scope = (
-                            ecs.scope_prefix_length if ecs is not None else source_len
-                        )
-                        addresses = tuple(
-                            rr.rdata for rr in answers if rr.rtype in _ADDRESS_RTYPES
-                        )
-                        answer_asn = origin_of(addresses[0]) if addresses else None
+                    sparse_sent += 1
+                    n_queries += 1
+                    if zone_missing:
+                        n_refused += 1
+                        cursor += sparse_stride
+                        continue
+                    n_ecs += 1
+                    res = lookup(zone, qname, rtype, subnet if policy_enabled else None)
+                    if res.exists:
+                        records = res.records
+                        if records:
+                            n_answered += 1
+                            scope = res.scope_override
+                            if scope is None:
+                                scope = sparse_scope
+                            key = id(records)
+                            memo = answer_memo.get(key)
+                            if memo is None:
+                                addresses = tuple(
+                                    rr.rdata
+                                    for rr in records
+                                    if rr.rtype in _ADDRESS_RTYPES
+                                )
+                                memo = (
+                                    addresses,
+                                    origin_of(addresses[0]) if addresses else None,
+                                    records,
+                                )
+                                answer_memo[key] = memo
+                            sparse_answered += 1
+                            append_sparse(
+                                EcsResponse(subnet, scope, memo[0], memo[1])
+                            )
+                        else:
+                            n_nodata += 1
+                    else:
+                        n_nxdomain += 1
+                    cursor += sparse_stride
+                continue
+            cursor = start
+            while cursor <= end:
+                value = cursor & source_mask
+                subnet = subnet_cache.get(value)
+                if subnet is None:
+                    subnet = Prefix(4, value, source_len)
+                    subnet_cache[value] = subnet
+                take()
+                sent += 1
+                n_queries += 1
+                if zone_missing:
+                    n_refused += 1
+                    cursor = value + step
+                    continue
+                n_ecs += 1
+                if truncate_routed:
+                    eff = subnet.truncate(max_source)
+                elif policy_enabled:
+                    eff = subnet
+                else:
+                    eff = None
+                res = lookup(zone, qname, rtype, eff)
+                if res.exists:
+                    records = res.records
+                    if records:
+                        n_answered += 1
+                        scope = res.scope_override
+                        if scope is None:
+                            scope = routed_scope
+                        key = id(records)
+                        memo = answer_memo.get(key)
+                        if memo is None:
+                            addresses = tuple(
+                                rr.rdata
+                                for rr in records
+                                if rr.rtype in _ADDRESS_RTYPES
+                            )
+                            memo = (
+                                addresses,
+                                origin_of(addresses[0]) if addresses else None,
+                                records,
+                            )
+                            answer_memo[key] = memo
                         append_response(
-                            EcsResponse(subnet, scope, addresses, answer_asn)
+                            EcsResponse(subnet, scope, memo[0], memo[1])
                         )
                         if respect_scope and scope < source_len:
                             # Skip to the end of the declared scope block
@@ -242,12 +438,104 @@ class EcsScanner:
                                 subnet.value | ((1 << (32 - scope)) - 1)
                             ) + 1
                             continue
-                    cursor = subnet.value + step
-            result.queries_sent += sent
-        finally:
-            cache.enabled = was_enabled
-        result.finished_at = self.clock.now
-        return result
+                    else:
+                        n_nodata += 1
+                else:
+                    n_nxdomain += 1
+                cursor = value + step
+        stats.queries += n_queries
+        stats.ecs_queries += n_ecs
+        stats.answered += n_answered
+        stats.nodata += n_nodata
+        stats.nxdomain += n_nxdomain
+        stats.refused += n_refused
+        result.queries_sent += sent
+        result.sparse_queries += sparse_sent
+        result.sparse_answered += sparse_answered
+
+    def _run_slow(
+        self,
+        result: EcsScanResult,
+        domain: str,
+        rtype: RRType,
+        spans: list[tuple[int, int]],
+        gaps: list[tuple[int, int]],
+        bucket: TokenBucket,
+    ) -> None:
+        """The reference path: one fresh ``DnsMessage`` through
+        :meth:`AuthoritativeServer.handle` per query.
+
+        Kept message-based on purpose — the fast/slow equivalence suite
+        diffs the kernel against this end-to-end path.
+        """
+        settings = self.settings
+        question = Question(DnsName.parse(domain), rtype)
+
+        def make_query(subnet: Prefix, message_id: int) -> DnsMessage:
+            return DnsMessage(
+                message_id=message_id,
+                question=question,
+                edns=EdnsOptions(client_subnet=ClientSubnetOption(subnet)),
+            )
+
+        message_id = 0
+        source_len = settings.source_prefix_len
+        step = 1 << (32 - source_len)
+        source_mask = ((1 << source_len) - 1) << (32 - source_len)
+        # The routed-space loop below is _query() inlined (identical
+        # logic; the sparse path still calls the method), with the
+        # per-query attribute lookups hoisted out.
+        append_response = result.responses.append
+        take = bucket.take
+        handle = self.server.handle
+        origin_of = self.routing.origin_of
+        respect_scope = settings.respect_scope
+        noerror = Rcode.NOERROR
+        sent = 0
+        if self._subnet_cache_len != source_len:
+            self._subnet_cache = {}
+            self._subnet_cache_len = source_len
+        subnet_cache = self._subnet_cache
+        for start, end, is_gap in _interleave(spans, gaps):
+            if is_gap:
+                message_id = self._sparse_scan(
+                    start, end, make_query, bucket, result, message_id
+                )
+                continue
+            cursor = start
+            while cursor <= end:
+                value = cursor & source_mask
+                subnet = subnet_cache.get(value)
+                if subnet is None:
+                    subnet = Prefix(4, value, source_len)
+                    subnet_cache[value] = subnet
+                message_id = (message_id + 1) & 0xFFFF
+                take()
+                sent += 1
+                response = handle(make_query(subnet, message_id))
+                answers = response.answers
+                if response.rcode == noerror and answers:
+                    edns = response.edns
+                    ecs = edns.client_subnet if edns is not None else None
+                    scope = (
+                        ecs.scope_prefix_length if ecs is not None else source_len
+                    )
+                    addresses = tuple(
+                        rr.rdata for rr in answers if rr.rtype in _ADDRESS_RTYPES
+                    )
+                    answer_asn = origin_of(addresses[0]) if addresses else None
+                    append_response(
+                        EcsResponse(subnet, scope, addresses, answer_asn)
+                    )
+                    if respect_scope and scope < source_len:
+                        # Skip to the end of the declared scope block
+                        # (subnet.truncate(scope).broadcast_value + 1).
+                        cursor = (
+                            subnet.value | ((1 << (32 - scope)) - 1)
+                        ) + 1
+                        continue
+                cursor = value + step
+        result.queries_sent += sent
 
     def _query(
         self,
@@ -313,3 +601,34 @@ def _merge_spans(prefixes: list[Prefix]) -> list[tuple[int, int]]:
         else:
             spans.append((start, end))
     return spans
+
+
+def _span_gaps(spans: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """The unrouted gaps *between* merged spans (sparse-probe targets).
+
+    Mirrors the sequential scan semantics: space before the first span
+    counts as a gap, the trailing space after the last span does not (it
+    was never sparse-scanned, and stays that way).
+    """
+    gaps: list[tuple[int, int]] = []
+    previous_end = 0
+    for start, end in spans:
+        if start > previous_end:
+            gaps.append((previous_end, start - 1))
+        previous_end = end + 1
+    return gaps
+
+
+def _interleave(
+    spans: list[tuple[int, int]], gaps: list[tuple[int, int]]
+) -> list[tuple[int, int, bool]]:
+    """Merge spans and gaps into one address-ordered work list.
+
+    Spans and gaps are each sorted and mutually disjoint, so sorting the
+    union by start address puts every gap right before the span that
+    follows it — the sequential scan order.
+    """
+    pieces = [(start, end, False) for start, end in spans]
+    pieces += [(start, end, True) for start, end in gaps]
+    pieces.sort()
+    return pieces

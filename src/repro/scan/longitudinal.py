@@ -58,10 +58,11 @@ class IngressArchive:
             raise MeasurementError("scans must be recorded chronologically")
         new = 0
         by_asn: dict[IPAddress, int | None] = {}
-        for asn, addresses in scan.addresses_by_asn().items():
-            for address in addresses:
+        for asn, asn_addresses in scan.addresses_by_asn().items():
+            for address in asn_addresses:
                 by_asn[address] = asn
-        for address in scan.addresses():
+        addresses = scan.addresses()
+        for address in addresses:
             sighting = self._sightings.get(address)
             if sighting is None:
                 self._sightings[address] = AddressSighting(
@@ -70,7 +71,7 @@ class IngressArchive:
                 new += 1
             else:
                 sighting.last_seen = scan.started_at
-        self._scans.append((scan.started_at, len(scan.addresses())))
+        self._scans.append((scan.started_at, len(addresses)))
         return new
 
     def __len__(self) -> int:

@@ -1,0 +1,558 @@
+"""Sharded parallel execution of ECS scan campaigns.
+
+A full routed-space ECS scan is embarrassingly parallel in address
+space: the paper's scanner walks /24 client subnets in order, and no
+query's *content* depends on any earlier query — only two pieces of
+shared state evolve along the walk:
+
+* the rate limiter (which advances the simulated clock), and
+* the relay service's per-pod rotation counters (which select the
+  8-record window each answer starts at).
+
+This module exploits that: it partitions the routed spans (and the
+sparse-probed gaps between them) into contiguous **shards**, runs each
+shard's scan in a forked worker process against a copy-on-write replica
+of the authoritative world, and deterministically merges the shard
+results into one :class:`~repro.scan.ecs_scanner.EcsScanResult` that is
+equivalent to the sequential scan:
+
+* the merged query set — and with it every query-accounting counter —
+  is *identical* (shard boundaries are alignment-snapped so scope-skip
+  blocks and sparse-probe strides never straddle a boundary);
+* the merged response list carries the same subnets and scopes in the
+  same address order;
+* each worker reseeds its replica's rotation counters from (campaign
+  seed, shard index) before a task, so shard results depend only on the
+  shard's own query order — never on which worker ran which shard
+  first, and never on the number of workers;
+* the parent clock is advanced by replaying the merged query count
+  through a fresh token bucket
+  (:meth:`~repro.dns.ratelimit.TokenBucket.take_many`), which is
+  bit-identical to the sequential scan's rate-limit timeline.
+
+Workers ship results back as **columnar integer arrays** (subnet
+values, scopes, indices into a distinct-address-tuple table), not as
+response objects: the relay service's rotation memoisation means a scan
+of hundreds of thousands of answers shares a few thousand distinct
+address tuples, and encoding by tuple identity keeps the IPC payload —
+and the parent's re-materialisation work — proportional to the distinct
+answers, not the query count.
+
+Sharding requires the ``fork`` start method (the world is shared with
+workers by copy-on-write inheritance, never pickled); where fork is
+unavailable the executor transparently falls back to the sequential
+in-process scan.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import multiprocessing
+import os
+from array import array
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.dns.name import DnsName
+from repro.dns.ratelimit import TokenBucket
+from repro.dns.rr import RRType
+from repro.dns.server import ServerStats
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.perfstats import CacheStats
+from repro.scan.ecs_scanner import EcsResponse, EcsScanResult, EcsScanner
+
+_SPACE_END = 1 << 32
+
+#: Per-shard rotation stream derivation (splitmix-style multipliers):
+#: distinct shards start their rotation rings at well-separated offsets,
+#: so the union of shard windows covers the relay pools at least as
+#: thoroughly as the sequential walk does.
+_ROTATION_MULT = 0x9E3779B1
+_ROTATION_STEP = 0x85EBCA6B
+_ROTATION_MASK = 0x3FFFFFFF
+
+
+def rotation_base(campaign_seed: int, shard_index: int) -> int:
+    """The deterministic rotation-stream base for one shard."""
+    return (
+        campaign_seed * _ROTATION_MULT + shard_index * _ROTATION_STEP
+    ) & _ROTATION_MASK
+
+
+def shard_alignment(
+    prefix_lengths: list[int], source_prefix_len: int, sparse_stride: int
+) -> int:
+    """The boundary alignment that makes shard splits query-invisible.
+
+    A shard boundary is safe exactly when no scan-order jump can cross
+    it, which requires the boundary to be a multiple of
+
+    * the routed-walk step (``2**(32 - source_prefix_len)``),
+    * the sparse-probe stride in addresses (``sparse_stride * 256``),
+    * every scope-skip block size the zone can declare.  Scope blocks
+      are power-of-two aligned ranges no larger than the widest routed
+      prefix (assignment units live inside routed client prefixes) or
+      the fallback /16 — whichever is larger.
+
+    All of these are powers of two in practice, so the lcm degenerates
+    to the max; ``math.lcm`` keeps odd ``sparse_stride`` settings safe.
+    """
+    widest_routed = 1 << 16
+    for length in prefix_lengths:
+        size = 1 << (32 - length)
+        if size > widest_routed:
+            widest_routed = size
+    step = 1 << (32 - source_prefix_len)
+    stride = sparse_stride << 8
+    return math.lcm(widest_routed, step, stride)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """One shard's slice of the scan: a contiguous address region."""
+
+    index: int
+    start: int
+    end: int  # inclusive
+    spans: tuple[tuple[int, int], ...]
+    gaps: tuple[tuple[int, int], ...]
+
+    def routed_addresses(self) -> int:
+        """Routed address volume in this shard (balance diagnostics)."""
+        return sum(end - start + 1 for start, end in self.spans)
+
+
+def plan_shards(
+    spans: list[tuple[int, int]],
+    gaps: list[tuple[int, int]],
+    workers: int,
+    alignment: int,
+) -> list[ShardPlan]:
+    """Partition spans and gaps into at most ``workers`` contiguous shards.
+
+    Boundaries are chosen by routed-address volume (the /24 walk
+    dominates query counts; sparse probes are three orders of magnitude
+    rarer) and snapped to the nearest ``alignment`` multiple, so the
+    per-shard walks reproduce exactly the sequential queries of their
+    region.  Shards that end up with no work are dropped; the returned
+    plans cover the space in ascending, disjoint order.
+    """
+    total = sum(end - start + 1 for start, end in spans)
+    cuts: set[int] = set()
+    if workers > 1 and total > 0:
+        for k in range(1, workers):
+            target = total * k // workers
+            cum = 0
+            pos = _SPACE_END
+            for start, end in spans:
+                size = end - start + 1
+                if cum + size >= target:
+                    pos = start + (target - cum)
+                    break
+                cum += size
+            snapped = (pos + alignment // 2) // alignment * alignment
+            if 0 < snapped < _SPACE_END:
+                cuts.add(snapped)
+    edges = [0, *sorted(cuts), _SPACE_END]
+    plans: list[ShardPlan] = []
+    for lo, hi_edge in zip(edges, edges[1:]):
+        hi = hi_edge - 1
+        shard_spans = _clip(spans, lo, hi)
+        shard_gaps = _clip(gaps, lo, hi)
+        if not shard_spans and not shard_gaps:
+            continue
+        plans.append(
+            ShardPlan(len(plans), lo, hi, tuple(shard_spans), tuple(shard_gaps))
+        )
+    return plans
+
+
+def _clip(
+    ranges: list[tuple[int, int]], lo: int, hi: int
+) -> list[tuple[int, int]]:
+    """The pieces of inclusive ``ranges`` that fall inside [lo, hi]."""
+    out = []
+    for start, end in ranges:
+        if end < lo or start > hi:
+            continue
+        out.append((start if start > lo else lo, end if end < hi else hi))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: The scanner (and through it the whole world) inherited by forked
+#: workers.  Set by the executor before its pool forks; one process
+#: drives one executor's pool at a time (campaign scans are strictly
+#: sequential from the orchestrator's point of view).
+_WORKER_SCANNER: EcsScanner | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """Everything a worker needs to run one shard of one scan."""
+
+    index: int
+    domain: str
+    rtype: RRType
+    start_time: float
+    rotation_base: int
+    spans: tuple[tuple[int, int], ...]
+    gaps: tuple[tuple[int, int], ...]
+
+
+#: Columnar response encoding: (subnet values, scopes, answer refs — as
+#: packed ``array`` bytes — and the answer table).  The table holds one
+#: ``(address pairs, asn)`` entry per *distinct* address tuple —
+#: distinct by identity, which the scan kernel's answer memo makes
+#: equivalent to distinct by value.  Packed bytes cross the process
+#: boundary as a single buffer copy instead of per-element pickling.
+_Columnar = tuple[bytes, bytes, bytes, list[tuple]]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardOutcome:
+    """One shard's results, in picklable columnar form."""
+
+    index: int
+    queries_sent: int
+    sparse_queries: int
+    sparse_answered: int
+    responses: _Columnar
+    sparse_responses: _Columnar
+    server_stats: ServerStats
+    cache_stats: CacheStats
+    #: Per shard hook (in ``zone.shard_hooks()`` order): the per-key
+    #: rotation advances accumulated by this shard's queries.
+    rotation_deltas: tuple[dict, ...]
+
+
+def _encode_columnar(responses: list[EcsResponse]) -> _Columnar:
+    """Strip responses down to integer columns plus a distinct-answer table.
+
+    Address tuples are deduplicated by identity: the fast-path kernel
+    hands every recurrence of an answer the same tuple object, so the
+    table stays small (slow-path responses, which do not share tuples,
+    still encode correctly — one table entry each).  The responses list
+    keeps every tuple alive for the duration, so ids are never reused.
+    """
+    table_index: dict[int, int] = {}
+    table: list[tuple] = []
+    refs: list[int] = []
+    append_ref = refs.append
+    index_get = table_index.get
+    for response in responses:
+        addresses = response[2]
+        key = id(addresses)
+        ref = index_get(key)
+        if ref is None:
+            ref = len(table)
+            table_index[key] = ref
+            table.append(
+                (
+                    tuple((a.version, a.value) for a in addresses),
+                    response[3],
+                )
+            )
+        append_ref(ref)
+    values = array("I", [response[0].value for response in responses])
+    scopes = array("B", [response[1] for response in responses])
+    return (values.tobytes(), scopes.tobytes(), array("I", refs).tobytes(), table)
+
+
+def _run_shard(task: ShardTask) -> ShardOutcome:
+    """Worker entry point: run one shard against the forked replica.
+
+    The replica's mutable scan state is reset to the task's starting
+    conditions first — the worker may have run an earlier shard (of this
+    or a previous scan) that left its copy's clock, stats, caches and
+    rotation counters elsewhere:
+
+    * the replica clock rewinds to the scan's start slot,
+    * server query stats restart from zero (the shard's contribution is
+      shipped back and merged),
+    * the answer cache is emptied with zeroed stats (each worker starts
+      a task cold; epoch invalidation behaviour within the task is then
+      identical to a sequential scan's),
+    * every rotation hook of the scanned zone is reseeded from
+      (campaign seed, shard index).
+    """
+    scanner = _WORKER_SCANNER
+    assert scanner is not None, "worker forked without a scanner context"
+    # Shard workers only ever run scans: their allocations (responses,
+    # columnar encodings) are acyclic and freed per task by refcounting,
+    # while every cyclic-GC generation collection would re-traverse the
+    # forked world copy.  Keep the collector off for the process's
+    # lifetime, not just inside scan_ranges.
+    gc.disable()
+    server = scanner.server
+    scanner.clock.reset_to(task.start_time)
+    server.stats.reset()
+    cache = server.answer_cache
+    cache.clear()
+    cache.stats.reset()
+    zone = server.zone_for(DnsName.parse(task.domain))
+    hooks = zone.shard_hooks() if zone is not None else []
+    for hook in hooks:
+        hook.reseed(task.rotation_base)
+    result = scanner.scan_ranges(
+        task.domain, list(task.spans), list(task.gaps), task.rtype
+    )
+    return ShardOutcome(
+        index=task.index,
+        queries_sent=result.queries_sent,
+        sparse_queries=result.sparse_queries,
+        sparse_answered=result.sparse_answered,
+        responses=_encode_columnar(result.responses),
+        sparse_responses=_encode_columnar(result.sparse_responses),
+        server_stats=server.stats.copy(),
+        cache_stats=CacheStats(
+            hits=cache.stats.hits,
+            misses=cache.stats.misses,
+            invalidations=cache.stats.invalidations,
+        ),
+        rotation_deltas=tuple(hook.delta_snapshot() for hook in hooks),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class ShardedCampaignExecutor:
+    """Runs one scanner's scans sharded across forked worker processes.
+
+    Wraps an :class:`EcsScanner` with a ``scan()`` of the same shape, so
+    the campaign orchestrator can swap it in transparently when
+    ``settings.workers > 1``.  The pool is created lazily on the first
+    sharded scan and reused for the whole campaign; :meth:`close` (or
+    use as a context manager) shuts it down.
+    """
+
+    def __init__(self, scanner: EcsScanner, workers: int) -> None:
+        self.scanner = scanner
+        self.workers = max(1, int(workers))
+        self._pool: ProcessPoolExecutor | None = None
+        self._alignment_cache: tuple[object, int] | None = None
+        # Parent-side interning for re-materialised shard responses:
+        # shards and monthly scans rediscover the same subnets and
+        # address tuples, so the merged results share objects the same
+        # way sequential results do (which keeps the identity-based
+        # deduplication in EcsScanResult.addresses() effective).
+        self._prefixes: dict[int, dict[int, Prefix]] = {}
+        self._addresses: dict[tuple[int, int], IPAddress] = {}
+        self._tuples: dict[tuple, tuple[IPAddress, ...]] = {}
+
+    @staticmethod
+    def supported() -> bool:
+        """Whether this platform can fork shard workers."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        global _WORKER_SCANNER
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if _WORKER_SCANNER is self.scanner:
+            _WORKER_SCANNER = None
+
+    def __enter__(self) -> "ShardedCampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        global _WORKER_SCANNER
+        # (Re)publish the world for workers the pool has yet to fork.
+        # Late spawns only read this global at fork time, so it must
+        # point at *this* executor's scanner whenever work is submitted.
+        _WORKER_SCANNER = self.scanner
+        if self._pool is None:
+            # Shard results are deterministic per shard index — never per
+            # worker process — so the process count is an implementation
+            # detail: capped at the machine's cores, because extra
+            # CPU-bound processes on an oversubscribed box only add
+            # copy-on-write duplication and scheduler churn, without
+            # changing a single output bit.
+            processes = min(self.workers, os.cpu_count() or 1)
+            self._pool = ProcessPoolExecutor(
+                max_workers=processes,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool
+
+    # -- scanning -------------------------------------------------------
+
+    def scan(self, domain: str, rtype: RRType = RRType.A) -> EcsScanResult:
+        """Run one sharded scan; falls back to sequential when sharding
+        cannot help (one worker, no fork, or a single-shard plan)."""
+        scanner = self.scanner
+        if self.workers <= 1 or not self.supported():
+            return scanner.scan(domain, rtype)
+        settings = scanner.settings
+        if settings.prune_unrouted:
+            spans, gaps = scanner.routed_ranges()
+        else:
+            spans, gaps = [(0, _SPACE_END - 1)], []
+        plans = plan_shards(spans, gaps, self.workers, self._alignment())
+        if len(plans) <= 1:
+            return scanner.scan_ranges(domain, spans, gaps, rtype)
+        start_time = scanner.clock.now
+        seed = settings.campaign_seed
+        pool = self._ensure_pool()
+        # Same GC suspension as scan_ranges, for the whole sharded scan:
+        # the executor's result thread unpickles large shard outcomes
+        # while we wait, and a generational collection triggered by those
+        # allocations re-traverses every live world in the parent.
+        was_gc = gc.isenabled()
+        if was_gc:
+            gc.disable()
+        try:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    ShardTask(
+                        index=plan.index,
+                        domain=domain,
+                        rtype=rtype,
+                        start_time=start_time,
+                        rotation_base=rotation_base(seed, plan.index),
+                        spans=plan.spans,
+                        gaps=plan.gaps,
+                    ),
+                )
+                for plan in plans
+            ]
+            outcomes = [future.result() for future in futures]
+            return self._merge(domain, rtype, start_time, outcomes)
+        finally:
+            if was_gc:
+                gc.enable()
+
+    def _alignment(self) -> int:
+        """Shard boundary alignment, cached on the routing-table version."""
+        routing = self.scanner.routing
+        version = getattr(routing, "version", None)
+        cached = self._alignment_cache
+        if cached is not None and version is not None and cached[0] == version:
+            return cached[1]
+        settings = self.scanner.settings
+        alignment = shard_alignment(
+            [p.length for p in routing.routed_v4_prefixes()],
+            settings.source_prefix_len,
+            settings.sparse_stride,
+        )
+        if version is not None:
+            self._alignment_cache = (version, alignment)
+        return alignment
+
+    def _merge(
+        self,
+        domain: str,
+        rtype: RRType,
+        start_time: float,
+        outcomes: list[ShardOutcome],
+    ) -> EcsScanResult:
+        """Fold shard outcomes into one sequential-equivalent result.
+
+        Outcomes arrive in shard-index order, i.e. ascending address
+        order, so plain concatenation reproduces the sequential response
+        order.  Server and cache statistics are merged into the
+        authoritative objects; the zone's rotation hooks advance by the
+        summed per-key deltas (each key's counter increments by exactly
+        one per query, so summed counts reproduce the sequential end
+        state); and the clock replays the merged query count through a
+        fresh token bucket — the same float operations in the same order
+        as the sequential scan's per-query takes.
+        """
+        scanner = self.scanner
+        server = scanner.server
+        settings = scanner.settings
+        result = EcsScanResult(domain=domain, started_at=start_time)
+        merged_deltas: list[dict] = []
+        # GC is already suspended by scan() across the gather and merge.
+        self._merge_outcomes(result, outcomes, merged_deltas)
+        zone = server.zone_for(DnsName.parse(domain))
+        if zone is not None:
+            for hook, deltas in zip(zone.shard_hooks(), merged_deltas):
+                hook.apply_deltas(deltas)
+        bucket = TokenBucket(settings.rate, settings.burst, scanner.clock)
+        bucket.take_many(result.queries_sent)
+        result.finished_at = scanner.clock.now
+        return result
+
+    def _merge_outcomes(
+        self,
+        result: EcsScanResult,
+        outcomes: list[ShardOutcome],
+        merged_deltas: list[dict],
+    ) -> None:
+        scanner = self.scanner
+        server = scanner.server
+        settings = scanner.settings
+        for outcome in outcomes:
+            result.queries_sent += outcome.queries_sent
+            result.sparse_queries += outcome.sparse_queries
+            result.sparse_answered += outcome.sparse_answered
+            self._decode_into(
+                result.responses,
+                outcome.responses,
+                settings.source_prefix_len,
+            )
+            self._decode_into(result.sparse_responses, outcome.sparse_responses, 24)
+            server.stats.merge(outcome.server_stats)
+            server.answer_cache.stats.merge(outcome.cache_stats)
+            for position, deltas in enumerate(outcome.rotation_deltas):
+                if position == len(merged_deltas):
+                    merged_deltas.append({})
+                merged = merged_deltas[position]
+                for key, delta in deltas.items():
+                    merged[key] = merged.get(key, 0) + delta
+
+    def _decode_into(
+        self,
+        out: list[EcsResponse],
+        columnar: _Columnar,
+        subnet_len: int,
+    ) -> None:
+        """Re-materialise one shard's columnar responses, interning as we go."""
+        packed_values, packed_scopes, packed_refs, table = columnar
+        values = array("I")
+        values.frombytes(packed_values)
+        scopes = array("B")
+        scopes.frombytes(packed_scopes)
+        refs = array("I")
+        refs.frombytes(packed_refs)
+        prefixes = self._prefixes.setdefault(subnet_len, {})
+        tuples = self._tuples
+        answers: list[tuple] = []
+        for pairs, asn in table:
+            addresses = tuples.get(pairs)
+            if addresses is None:
+                addresses = tuple(self._address(v, value) for v, value in pairs)
+                tuples[pairs] = addresses
+            answers.append((addresses, asn))
+        prefix_get = prefixes.get
+        for value in values:
+            if prefix_get(value) is None:
+                prefixes[value] = Prefix(4, value, subnet_len)
+        out.extend(
+            EcsResponse(prefixes[value], scope, *answers[ref])
+            for value, scope, ref in zip(values, scopes, refs)
+        )
+
+    def _address(self, version: int, value: int) -> IPAddress:
+        key = (version, value)
+        address = self._addresses.get(key)
+        if address is None:
+            address = IPAddress(version, value)
+            self._addresses[key] = address
+        return address

@@ -87,6 +87,22 @@ class SimClock:
             )
         return self.advance(timestamp - self.now)
 
+    def reset_to(self, timestamp: float) -> float:
+        """Set the clock to ``timestamp``, even backwards.
+
+        Only for *replica* clocks: a shard worker process owns a forked
+        copy of the world and rewinds its private clock to a scan's start
+        slot before each task (its previous task may have left the copy
+        ahead of the slot).  The authoritative campaign clock must never
+        be rewound — use :meth:`advance_to` there.
+        """
+        if timestamp < 0:
+            raise ValueError(f"cannot reset clock to negative time {timestamp}")
+        self.now = timestamp
+        for observer in self._observers:
+            observer(self.now)
+        return self.now
+
     def advance_to_month(self, year: int, month: int) -> float:
         """Move the clock to the start of a calendar month."""
         return self.advance_to(month_to_seconds(year, month))

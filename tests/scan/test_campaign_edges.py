@@ -1,0 +1,99 @@
+"""Edge behaviour of the campaign orchestrator's month loop.
+
+The happy path (run the calendar in order) is covered by the analysis
+and equivalence suites; these tests pin down the clock and calendar
+edge cases: re-running a month, custom fallback-skip sets, and starting
+a month after its scan slot has already passed.
+"""
+
+import pytest
+
+from repro.scan.campaign import ScanCampaign
+from repro.scan.ecs_scanner import EcsScanSettings
+from repro.worldgen import WorldConfig, build_world
+from repro.worldgen.deployment import scan_time
+
+
+@pytest.fixture()
+def world():
+    return build_world(WorldConfig.tiny(seed=2022))
+
+
+def _campaign(world, **kwargs):
+    return ScanCampaign(
+        server=world.route53,
+        routing=world.routing,
+        clock=world.clock,
+        settings=EcsScanSettings(),
+        **kwargs,
+    )
+
+
+class TestRepeatedMonths:
+    def test_rerunning_a_month_appends_a_second_entry(self, world):
+        campaign = _campaign(world)
+        first = campaign.run_month(2022, 1)
+        second = campaign.run_month(2022, 1)
+        assert len(campaign.months) == 2
+        assert campaign.latest_default() is second.default
+        # The clock is already past the slot, so the rerun starts where
+        # the first scan finished instead of rewinding.
+        assert second.default.started_at == first.default.finished_at
+
+    def test_rerun_keeps_archive_chronological(self, world):
+        campaign = _campaign(world)
+        campaign.run_month(2022, 1)
+        campaign.run_month(2022, 1)
+        assert campaign.default_archive.scan_count() == 2
+        times = [t for t, _ in campaign.default_archive.growth_series()]
+        assert times == sorted(times)
+
+
+class TestSkipFallbackMonths:
+    def test_default_skips_january(self, world):
+        campaign = _campaign(world)
+        month = campaign.run_month(2022, 1)
+        assert month.fallback is None
+        assert campaign.fallback_archive.scan_count() == 0
+
+    def test_non_skipped_month_scans_fallback(self, world):
+        campaign = _campaign(world)
+        month = campaign.run_month(2022, 2)
+        assert month.fallback is not None
+        assert campaign.fallback_archive.scan_count() == 1
+
+    def test_empty_skip_set_scans_fallback_everywhere(self, world):
+        campaign = _campaign(world, skip_fallback_months=frozenset())
+        month = campaign.run_month(2022, 1)
+        assert month.fallback is not None
+        assert month.fallback.domain != month.default.domain
+
+    def test_custom_skip_set_is_honoured(self, world):
+        campaign = _campaign(
+            world, skip_fallback_months=frozenset({(2022, 1), (2022, 2)})
+        )
+        assert campaign.run_month(2022, 1).fallback is None
+        assert campaign.run_month(2022, 2).fallback is None
+        assert campaign.run_month(2022, 3).fallback is not None
+
+
+class TestClockAlreadyPastSlot:
+    def test_scan_starts_at_slot_when_clock_is_behind(self, world):
+        campaign = _campaign(world)
+        assert world.clock.now < scan_time(2022, 1)
+        month = campaign.run_month(2022, 1)
+        assert month.default.started_at == scan_time(2022, 1)
+
+    def test_scan_starts_immediately_when_clock_is_past(self, world):
+        late = scan_time(2022, 1) + 7_200.0
+        world.clock.advance_to(late)
+        campaign = _campaign(world)
+        month = campaign.run_month(2022, 1)
+        assert month.default.started_at == late
+
+    def test_out_of_order_calendar_does_not_rewind(self, world):
+        campaign = _campaign(world)
+        february = campaign.run_month(2022, 2)
+        january = campaign.run_month(2022, 1)
+        # January's slot is in the past; the scan runs at the current time.
+        assert january.default.started_at >= february.default.finished_at

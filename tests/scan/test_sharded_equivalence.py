@@ -1,0 +1,198 @@
+"""Sharded-execution equivalence: worker count must be invisible.
+
+Runs the monthly campaign on same-seed worlds with ``workers`` 1, 2 and
+4 and requires the sharded runs to reproduce the sequential run's
+observable outputs: the query stream (subnets and scopes, in order),
+the query accounting and rate-limit timeline, the discovered ingress
+sets and their per-AS attribution, the Table 1/2 analysis outputs, and
+the server's own stats.  Two campaign seeds guard against a lucky
+rotation alignment.
+
+What is *not* asserted: per-response address windows.  Each shard's
+rotation streams start at a seeded offset rather than wherever the
+sequential walk happened to leave them, so an individual answer may
+show a different 8-record window of the same pod pool — the paper's
+analyses only consume the per-scan address sets, which must (and do)
+come out identical.
+"""
+
+import pytest
+
+from repro.analysis.ingress_report import build_table1, build_table2
+from repro.scan.campaign import ScanCampaign
+from repro.scan.ecs_scanner import EcsScanSettings
+from repro.scan.sharding import (
+    ShardedCampaignExecutor,
+    plan_shards,
+    rotation_base,
+    shard_alignment,
+)
+from repro.worldgen import WorldConfig, build_world
+
+pytestmark = pytest.mark.skipif(
+    not ShardedCampaignExecutor.supported(),
+    reason="sharded execution requires the fork start method",
+)
+
+SEEDS = (2022, 7)
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def campaign_matrix():
+    """(seed, workers) -> (world, monthly scans) for the whole matrix."""
+    matrix = {}
+    for seed in SEEDS:
+        for workers in WORKER_COUNTS:
+            world = build_world(WorldConfig.tiny(seed=seed))
+            with ScanCampaign(
+                server=world.route53,
+                routing=world.routing,
+                clock=world.clock,
+                settings=EcsScanSettings(workers=workers, campaign_seed=seed),
+            ) as campaign:
+                campaign.run(world.scan_months())
+            matrix[(seed, workers)] = (world, campaign)
+    return matrix
+
+
+def _scans(campaign):
+    for month in campaign.months:
+        yield month.default
+        if month.fallback is not None:
+            yield month.fallback
+
+
+def _pairs(matrix):
+    for seed in SEEDS:
+        sequential = matrix[(seed, 1)]
+        for workers in WORKER_COUNTS[1:]:
+            yield seed, workers, sequential, matrix[(seed, workers)]
+
+
+class TestShardedEquivalence:
+    def test_query_streams_identical(self, campaign_matrix):
+        for seed, workers, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            for a, b in zip(_scans(seq), _scans(sharded), strict=True):
+                assert a.domain == b.domain
+                assert [(r.subnet, r.scope) for r in a.responses] == [
+                    (r.subnet, r.scope) for r in b.responses
+                ], f"seed={seed} workers={workers} {a.domain}"
+                assert [(r.subnet, r.scope) for r in a.sparse_responses] == [
+                    (r.subnet, r.scope) for r in b.sparse_responses
+                ]
+
+    def test_query_accounting_identical(self, campaign_matrix):
+        for seed, workers, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            for a, b in zip(_scans(seq), _scans(sharded), strict=True):
+                assert a.queries_sent == b.queries_sent
+                assert a.sparse_queries == b.sparse_queries
+                assert a.sparse_answered == b.sparse_answered
+
+    def test_rate_limit_timeline_identical(self, campaign_matrix):
+        """The merged clock replay is bit-identical to sequential."""
+        for seed, workers, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            for a, b in zip(_scans(seq), _scans(sharded), strict=True):
+                assert a.started_at == b.started_at
+                assert a.finished_at == b.finished_at
+
+    def test_ingress_sets_identical(self, campaign_matrix):
+        for seed, workers, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            for a, b in zip(_scans(seq), _scans(sharded), strict=True):
+                assert a.addresses() == b.addresses(), (
+                    f"seed={seed} workers={workers} {a.domain}"
+                )
+
+    def test_per_as_attribution_identical(self, campaign_matrix):
+        for seed, workers, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            for a, b in zip(_scans(seq), _scans(sharded), strict=True):
+                assert a.addresses_by_asn() == b.addresses_by_asn()
+                assert a.slash24s_by_asn() == b.slash24s_by_asn()
+
+    def test_server_stats_identical(self, campaign_matrix):
+        for _, _, (seq_world, _), (sharded_world, _) in _pairs(campaign_matrix):
+            assert seq_world.route53.stats == sharded_world.route53.stats
+
+    def test_archives_identical(self, campaign_matrix):
+        for _, _, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            assert seq.default_archive.to_csv() == sharded.default_archive.to_csv()
+            assert (
+                seq.fallback_archive.to_csv() == sharded.fallback_archive.to_csv()
+            )
+
+    def test_table1_identical(self, campaign_matrix):
+        for _, _, (_, seq), (_, sharded) in _pairs(campaign_matrix):
+            a = build_table1(seq.table1_input())
+            b = build_table1(sharded.table1_input())
+            assert a.render() == b.render()
+            assert a.final_total() == b.final_total()
+
+    def test_table2_identical(self, campaign_matrix):
+        for _, _, (seq_world, seq), (sh_world, sharded) in _pairs(campaign_matrix):
+            a = build_table2(
+                seq.latest_default(), seq_world.routing, seq_world.population
+            )
+            b = build_table2(
+                sharded.latest_default(), sh_world.routing, sh_world.population
+            )
+            assert a.render() == b.render()
+
+
+class TestShardPlanning:
+    SPANS = [(0, 0x0FFF_FFFF), (0x2000_0000, 0x5FFF_FFFF), (0xA000_0000, 0xAFFF_FFFF)]
+    GAPS = [(0x1000_0000, 0x1FFF_FFFF), (0x6000_0000, 0x9FFF_FFFF)]
+
+    def test_plans_cover_spans_and_gaps_exactly(self):
+        plans = plan_shards(self.SPANS, self.GAPS, 4, 1 << 20)
+        assert 1 < len(plans) <= 4
+        assert [p.index for p in plans] == list(range(len(plans)))
+        # Disjoint ascending regions.
+        for before, after in zip(plans, plans[1:]):
+            assert before.end < after.start
+        # The union of clipped pieces reproduces the inputs exactly.
+        merged_spans = _merge([s for p in plans for s in p.spans])
+        merged_gaps = _merge([g for p in plans for g in p.gaps])
+        assert merged_spans == self.SPANS
+        assert merged_gaps == self.GAPS
+
+    def test_boundaries_are_aligned(self):
+        alignment = 1 << 22
+        plans = plan_shards(self.SPANS, self.GAPS, 8, alignment)
+        for plan in plans[1:]:
+            assert plan.start % alignment == 0
+
+    def test_single_worker_yields_single_plan(self):
+        plans = plan_shards(self.SPANS, self.GAPS, 1, 1 << 20)
+        assert len(plans) == 1
+        assert plans[0].spans == tuple(self.SPANS)
+        assert plans[0].gaps == tuple(self.GAPS)
+
+    def test_volume_balance(self):
+        plans = plan_shards(self.SPANS, self.GAPS, 4, 1 << 16)
+        total = sum(p.routed_addresses() for p in plans)
+        assert total == sum(end - start + 1 for start, end in self.SPANS)
+        share = total / len(plans)
+        for plan in plans:
+            assert plan.routed_addresses() <= share * 2
+
+    def test_alignment_covers_every_jump_size(self):
+        alignment = shard_alignment([8, 16, 24], 24, 4096)
+        assert alignment % (1 << 24) == 0  # widest routed prefix (/8)
+        assert alignment % (1 << 8) == 0  # the /24 walk step
+        assert alignment % (4096 << 8) == 0  # the sparse-probe stride
+
+    def test_rotation_base_is_deterministic_and_spread(self):
+        assert rotation_base(2022, 3) == rotation_base(2022, 3)
+        bases = {rotation_base(2022, index) for index in range(16)}
+        assert len(bases) == 16
+        assert rotation_base(2022, 0) != rotation_base(7, 0)
+
+
+def _merge(ranges):
+    out = []
+    for start, end in sorted(ranges):
+        if out and start <= out[-1][1] + 1:
+            out[-1] = (out[-1][0], max(out[-1][1], end))
+        else:
+            out.append((start, end))
+    return out
