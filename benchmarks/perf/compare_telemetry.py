@@ -1,0 +1,53 @@
+"""Compare the deterministic totals of two telemetry snapshots.
+
+CI runs the perf smoke matrix at workers=1 and workers=4 and each leg
+saves a telemetry snapshot (``run_bench.py --telemetry-out``).  Sharded
+scans must reproduce the sequential scan's externally visible results,
+so the merged counters in both snapshots must agree exactly on the
+:func:`repro.telemetry.deterministic_totals` subset.  This script exits
+1 and prints the differing keys when they don't.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/compare_telemetry.py A.json B.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry import deterministic_totals
+
+
+def compare(path_a: Path, path_b: Path) -> list[str]:
+    """Human-readable differences between two snapshots' totals."""
+    totals_a = deterministic_totals(json.loads(path_a.read_text()))
+    totals_b = deterministic_totals(json.loads(path_b.read_text()))
+    return [
+        f"{key}: {path_a.name}={totals_a.get(key)} {path_b.name}={totals_b.get(key)}"
+        for key in sorted(set(totals_a) | set(totals_b))
+        if totals_a.get(key) != totals_b.get(key)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot_a", type=Path)
+    parser.add_argument("snapshot_b", type=Path)
+    args = parser.parse_args(argv)
+    diffs = compare(args.snapshot_a, args.snapshot_b)
+    if diffs:
+        print(f"FAIL: {len(diffs)} deterministic totals differ:")
+        for diff in diffs:
+            print(f"  {diff}")
+        return 1
+    totals = deterministic_totals(json.loads(args.snapshot_a.read_text()))
+    print(f"OK: {len(totals)} deterministic totals identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

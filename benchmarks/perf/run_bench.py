@@ -13,6 +13,16 @@ against the sequential run before its timing is recorded: any
 divergence in query counts, ingress sets, per-AS attribution, or server
 stats fails the harness with exit 1.
 
+Telemetry legs: the sharded campaign and one extra sequential campaign
+run with live telemetry.  The harness gates (always, even with
+``--no-check``) on ``deterministic_totals`` matching between the two —
+the same invariant the sharded-telemetry tests and the CI cross-leg
+comparison enforce — and on the telemetry-on sequential campaign
+staying within 3 % (plus a 0.1 s noise floor) of the telemetry-off one
+(check mode only).  ``--telemetry-out PATH`` saves a snapshot: the
+sharded campaign's when that leg ran, else the sequential one's (so the
+CI workers=1 and workers=4 artifacts compare across worker counts).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py            # check
@@ -103,6 +113,7 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         run_traceroute_campaign,
     )
     from repro.relay.service import RELAY_DOMAIN_QUIC
+    from repro.telemetry import Telemetry, deterministic_totals
     from repro.worldgen import WorldConfig, build_world
 
     t0 = time.perf_counter()
@@ -158,18 +169,24 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
     # sequential leg's timing does not).
     sharded_s = None
     sharded_months = None
+    sharded_snapshot = None
     if workers > 1 and ShardedCampaignExecutor.supported():
-        sharded_world = build_world(WorldConfig(seed=seed, scale=scale))
+        sharded_telemetry = Telemetry()
+        sharded_world = build_world(
+            WorldConfig(seed=seed, scale=scale), telemetry=sharded_telemetry
+        )
         with ScanCampaign(
             server=sharded_world.route53,
             routing=sharded_world.routing,
             clock=sharded_world.clock,
             settings=EcsScanSettings(workers=workers, campaign_seed=seed),
+            telemetry=sharded_telemetry,
         ) as sharded_campaign:
             t0 = time.perf_counter()
             sharded_months = sharded_campaign.run(sharded_world.scan_months())
             sharded_s = time.perf_counter() - t0
-        del sharded_world, sharded_campaign
+        sharded_snapshot = sharded_telemetry.snapshot()
+        del sharded_world, sharded_campaign, sharded_telemetry
 
     campaign = ScanCampaign(
         server=world.route53,
@@ -184,6 +201,32 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
     campaign_queries = sum(
         scan_result.queries_sent for scan_result in _campaign_scans(months)
     )
+
+    # Telemetry-on sequential leg, on a fresh same-seed world: the
+    # overhead measurement (vs the telemetry-off run above) and the
+    # reference totals the sharded snapshot must reproduce.
+    seq_telemetry = Telemetry()
+    seq_world = build_world(
+        WorldConfig(seed=seed, scale=scale), telemetry=seq_telemetry
+    )
+    seq_campaign = ScanCampaign(
+        server=seq_world.route53,
+        routing=seq_world.routing,
+        clock=seq_world.clock,
+        settings=EcsScanSettings(),
+        telemetry=seq_telemetry,
+    )
+    t0 = time.perf_counter()
+    telemetry_months = seq_campaign.run(seq_world.scan_months())
+    campaign_telemetry_s = time.perf_counter() - t0
+    seq_snapshot = seq_telemetry.snapshot()
+
+    problems = _verify_sharded(months, telemetry_months)
+    if problems:
+        raise ShardDivergence(
+            [f"telemetry-on sequential: {p}" for p in problems]
+        )
+    del seq_world, seq_campaign, seq_telemetry
     result = {
         "commit": current_commit(),
         "scale": scale,
@@ -197,7 +240,11 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         "traceroute_targets": traceroute_targets,
         "campaign_s": round(campaign_s, 3),
         "queries_per_s": round(campaign_queries / campaign_s, 1),
+        "campaign_telemetry_s": round(campaign_telemetry_s, 3),
+        "telemetry_overhead": round(campaign_telemetry_s / campaign_s - 1.0, 4),
+        "telemetry": {"metrics": seq_snapshot["metrics"]},
     }
+    snapshot_out = seq_snapshot
 
     if sharded_months is not None:
         problems = _verify_sharded(months, sharded_months)
@@ -205,7 +252,22 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
             raise ShardDivergence(problems)
         result["campaign_sharded_s"] = round(sharded_s, 3)
         result["sharded_speedup"] = round(campaign_s / sharded_s, 2)
-    return result
+        # The merged shard totals must be bit-identical to the
+        # sequential run's — the same invariant the CI cross-leg
+        # comparison checks between the workers=1 and workers=4 jobs.
+        seq_totals = deterministic_totals(seq_snapshot)
+        sharded_totals = deterministic_totals(sharded_snapshot)
+        diffs = [
+            f"{key}: sequential {seq_totals.get(key)} vs "
+            f"sharded {sharded_totals.get(key)}"
+            for key in sorted(set(seq_totals) | set(sharded_totals))
+            if seq_totals.get(key) != sharded_totals.get(key)
+        ]
+        if diffs:
+            raise ShardDivergence([f"telemetry totals: {d}" for d in diffs])
+        result["telemetry_deterministic_keys"] = len(seq_totals)
+        snapshot_out = sharded_snapshot
+    return result, snapshot_out
 
 
 class ShardDivergence(Exception):
@@ -214,6 +276,30 @@ class ShardDivergence(Exception):
     def __init__(self, problems: list[str]) -> None:
         super().__init__("; ".join(problems))
         self.problems = problems
+
+
+#: Telemetry-on vs telemetry-off campaign budget: 3 % of the campaign,
+#: with an absolute noise floor for very fast (smoke-scale) runs.
+TELEMETRY_OVERHEAD_FRACTION = 0.03
+TELEMETRY_OVERHEAD_FLOOR_S = 0.1
+
+
+def check_telemetry_overhead(result: dict) -> int:
+    off = result["campaign_s"]
+    on = result["campaign_telemetry_s"]
+    budget = max(TELEMETRY_OVERHEAD_FRACTION * off, TELEMETRY_OVERHEAD_FLOOR_S)
+    print(
+        f"telemetry overhead: {on - off:+.3f}s "
+        f"({result['telemetry_overhead']:+.2%}, budget {budget:.3f}s)"
+    )
+    if on - off > budget:
+        print(
+            f"FAIL: telemetry-on campaign exceeded the "
+            f"{TELEMETRY_OVERHEAD_FRACTION:.0%} overhead budget"
+        )
+        return 1
+    print("OK: telemetry overhead within budget")
+    return 0
 
 
 def check_regression(result: dict, tolerance: float) -> int:
@@ -281,6 +367,14 @@ def main(argv: list[str] | None = None) -> int:
         help="worker count for the sharded campaign leg; 1 skips it "
         "(default $REPRO_BENCH_WORKERS or 4)",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the campaign telemetry snapshot here (the sharded "
+        "campaign's when that leg ran, else the sequential one's)",
+    )
     args = parser.parse_args(argv)
 
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
@@ -289,22 +383,29 @@ def main(argv: list[str] | None = None) -> int:
         f"benchmarking at scale={scale} seed={seed} workers={args.workers} ..."
     )
     try:
-        result = run_bench(scale, seed, args.workers)
+        result, snapshot = run_bench(scale, seed, args.workers)
     except ShardDivergence as divergence:
         print("FAIL: sharded campaign diverged from sequential:")
         for problem in divergence.problems:
             print(f"  {problem}")
         return 1
     args.output.write_text(json.dumps(result, indent=2) + "\n")
-    print(json.dumps(result, indent=2))
+    summary = {k: v for k, v in result.items() if k != "telemetry"}
+    print(json.dumps(summary, indent=2))
     print(f"wrote {args.output}")
+    if args.telemetry_out is not None:
+        args.telemetry_out.write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.telemetry_out}")
 
     if args.update_baseline:
-        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        # The baseline pins timings, not the (bulky) metric values.
+        baseline = {k: v for k, v in result.items() if k != "telemetry"}
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"wrote {BASELINE_PATH}")
         return 0
     if args.check:
-        return check_regression(result, args.tolerance)
+        status = check_regression(result, args.tolerance)
+        return status or check_telemetry_overhead(result)
     return 0
 
 

@@ -9,9 +9,12 @@
 * ``relay-scan`` — a scan day through the relay with rotation stats;
 * ``blocking`` — the Atlas blocking study;
 * ``reproduce`` — the full paper-vs-measured report (see
-  ``examples/reproduce_paper.py`` for the stand-alone version).
+  ``examples/reproduce_paper.py`` for the stand-alone version);
+* ``telemetry`` — render a saved telemetry snapshot as a table.
 
-All subcommands take ``--scale`` and ``--seed``.
+All world-building subcommands take ``--scale``, ``--seed`` and
+``--telemetry-out PATH`` (save a metrics + span snapshot; ``.prom``
+suffix selects Prometheus text format instead of JSON).
 """
 
 from __future__ import annotations
@@ -43,14 +46,35 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.02,
                         help="world scale (1.0 = paper scale)")
     parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--telemetry-out", type=str, default=None, metavar="PATH",
+                        help="write a telemetry snapshot (metrics + spans) here; "
+                             "a .prom suffix selects Prometheus text format")
 
 
-def _world(args):
-    return build_world(WorldConfig(seed=args.seed, scale=args.scale))
+def _make_telemetry(args):
+    """A live Telemetry when ``--telemetry-out`` was given, else the null one."""
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+    if getattr(args, "telemetry_out", None):
+        return Telemetry()
+    return NULL_TELEMETRY
+
+
+def _write_telemetry(args, telemetry) -> None:
+    if getattr(args, "telemetry_out", None) and telemetry.enabled:
+        telemetry.write(args.telemetry_out)
+        print(f"wrote telemetry to {args.telemetry_out}")
+
+
+def _world(args, telemetry=None):
+    return build_world(
+        WorldConfig(seed=args.seed, scale=args.scale), telemetry=telemetry
+    )
 
 
 def cmd_world_info(args) -> int:
-    world = _world(args)
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
     config = world.config
     print(f"seed={config.seed} scale={config.scale}")
     print(f"client ASes:        {len(world.ground.client_ases)}")
@@ -62,17 +86,21 @@ def cmd_world_info(args) -> int:
     print(f"atlas probes:       {len(world.atlas)} in "
           f"{len(world.atlas.distinct_asns())} ASes, "
           f"{len(world.atlas.distinct_countries())} countries")
+    _write_telemetry(args, telemetry)
     return 0
 
 
 def cmd_ecs_scan(args) -> int:
     from repro.scan import EcsScanSettings, ShardedCampaignExecutor
 
-    world = _world(args)
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
     world.clock.advance_to(world.scan_start(args.year, args.month))
     domain = RELAY_DOMAIN_FALLBACK if args.fallback else RELAY_DOMAIN_QUIC
     settings = EcsScanSettings(workers=args.workers, campaign_seed=args.seed)
-    scanner = EcsScanner(world.route53, world.routing, world.clock, settings)
+    scanner = EcsScanner(
+        world.route53, world.routing, world.clock, settings, telemetry=telemetry
+    )
     if args.workers > 1 and ShardedCampaignExecutor.supported():
         with ShardedCampaignExecutor(scanner, args.workers) as executor:
             result = executor.scan(domain)
@@ -91,11 +119,13 @@ def cmd_ecs_scan(args) -> int:
         with open(args.archive, "w") as handle:
             handle.write(archive.to_csv())
         print(f"wrote {args.archive}")
+    _write_telemetry(args, telemetry)
     return 0
 
 
 def cmd_egress_report(args) -> int:
-    world = _world(args)
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
     print(build_table3(world.egress_list_may, world.routing).render())
     print()
     print(build_table4(world.egress_list_may, world.routing).render())
@@ -104,11 +134,13 @@ def cmd_egress_report(args) -> int:
         world.egress_list_may, world.routing, world.egress_list_jan, world.geodb
     )
     print(facts.render())
+    _write_telemetry(args, telemetry)
     return 0
 
 
 def cmd_relay_scan(args) -> int:
-    world = _world(args)
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
     world.clock.advance_to(world.scan_start(2022, 4))
     client = world.make_vantage_client()
     scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
@@ -118,11 +150,13 @@ def cmd_relay_scan(args) -> int:
     report = build_rotation_report(series, egress_list=world.egress_list_may)
     print(f"rounds: {len(series)} (failures: {series.failures})")
     print(report.render())
+    _write_telemetry(args, telemetry)
     return 0
 
 
 def cmd_blocking(args) -> int:
-    world = _world(args)
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
     world.clock.advance_to(world.scan_start(2022, 4))
     report = classify_blocking(
         world.atlas, world.routing, RELAY_DOMAIN_QUIC, CONTROL_DOMAIN, INGRESS_ASNS
@@ -134,6 +168,7 @@ def cmd_blocking(args) -> int:
         print(f"  {rcode}: {count}")
     print(f"hijacks:  {report.hijacked_probes}")
     print(f"blocked:  {report.blocked_probes} ({report.blocked_share:.1%})")
+    _write_telemetry(args, telemetry)
     return 0
 
 
@@ -144,10 +179,11 @@ def cmd_archive(args) -> int:
 
     from repro.scan import EcsScanSettings
 
-    world = _world(args)
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
     settings = EcsScanSettings(workers=args.workers, campaign_seed=args.seed)
     with ScanCampaign(
-        world.route53, world.routing, world.clock, settings
+        world.route53, world.routing, world.clock, settings, telemetry
     ) as campaign:
         campaign.run(world.scan_months())
     path = write_archive(
@@ -162,6 +198,7 @@ def cmd_archive(args) -> int:
     print(f"  ingress (default):  {len(campaign.default_archive)} addresses")
     print(f"  ingress (fallback): {len(campaign.fallback_archive)} addresses")
     print(f"  egress subnets:     {len(world.egress_list_may)}")
+    _write_telemetry(args, telemetry)
     return 0
 
 
@@ -170,6 +207,10 @@ def cmd_reproduce(args) -> int:
     import runpy
     import pathlib
 
+    if getattr(args, "telemetry_out", None):
+        print("note: --telemetry-out is not supported by the reproduce "
+              "subcommand (it delegates to examples/reproduce_paper.py)",
+              file=sys.stderr)
     script = (
         pathlib.Path(__file__).resolve().parents[2] / "examples" / "reproduce_paper.py"
     )
@@ -182,6 +223,18 @@ def cmd_reproduce(args) -> int:
         runpy.run_path(str(script), run_name="__main__")
     finally:
         sys.argv = old_argv
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    """Render a saved telemetry JSON snapshot as a human-readable table."""
+    import json
+
+    from repro.telemetry import render_snapshot
+
+    with open(args.snapshot) as handle:
+        snapshot = json.load(handle)
+    print(render_snapshot(snapshot, top=args.top))
     return 0
 
 
@@ -234,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(p)
     p.add_argument("--output", type=str, default=None)
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("telemetry",
+                       help="render a saved telemetry snapshot")
+    p.add_argument("snapshot", help="path to a --telemetry-out JSON file")
+    p.add_argument("--top", type=int, default=20,
+                   help="show the N largest counters (default 20)")
+    p.set_defaults(func=cmd_telemetry)
     return parser
 
 

@@ -67,6 +67,12 @@ class ScopeAnswerCache:
     def __init__(self) -> None:
         self.enabled = True
         self.stats = CacheStats()
+        # Hoisted counter objects: stats fields are properties now, and
+        # this lookup runs per query.  reset() mutates these in place,
+        # so the references stay live.
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._invalidations = self.stats.counter("invalidations")
         self._token: tuple | None = None
         self._entries: dict[tuple[DnsName, RRType], _NameEntry] = {}
 
@@ -86,15 +92,15 @@ class ScopeAnswerCache:
         if token != self._token:
             if self._entries:
                 self._entries.clear()
-                self.stats.invalidations += 1
+                self._invalidations.value += 1
             self._token = token
         entry = self._entries.get((name, rtype))
         if entry is not None:
             plan = self._probe(entry, subnet)
             if plan is not None:
-                self.stats.hits += 1
+                self._hits.value += 1
                 return plan.produce()
-        self.stats.misses += 1
+        self._misses.value += 1
         planned = zone.lookup_plan(name, rtype, subnet)
         if planned is None:
             return zone.lookup(name, rtype, subnet)
@@ -194,5 +200,5 @@ class ScopeAnswerCache:
         """Drop every cached plan (counts as an invalidation)."""
         if self._entries:
             self._entries.clear()
-            self.stats.invalidations += 1
+            self._invalidations.value += 1
         self._token = None

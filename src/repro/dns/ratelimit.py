@@ -28,6 +28,9 @@ class TokenBucket:
         self._tokens = burst
         self._last = clock.now
         self.total_waited = 0.0
+        #: Non-blocking takes that found the bucket empty — the model's
+        #: "rate-limit drop" signal, exported as ``ratelimit.denied``.
+        self.denied = 0
 
     def _refill(self) -> None:
         now = self.clock.now
@@ -51,6 +54,7 @@ class TokenBucket:
         if self._tokens >= count:
             self._tokens -= count
             return True
+        self.denied += 1
         return False
 
     def take(self, count: float = 1.0) -> float:

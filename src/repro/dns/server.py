@@ -27,6 +27,7 @@ from repro.dns.name import DnsName
 from repro.dns.zone import Zone
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.perfstats import CacheStats
+from repro.telemetry.registry import Counter
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,34 +60,106 @@ class EcsPolicy:
         return min(subnet.length, self.max_source_v4 if subnet.version == 4 else 56)
 
 
-@dataclass
 class ServerStats:
-    """Query accounting, used by the ethics/ablation analyses."""
+    """Query accounting, used by the ethics/ablation analyses.
 
-    queries: int = 0
-    ecs_queries: int = 0
-    nxdomain: int = 0
-    nodata: int = 0
-    answered: int = 0
-    refused: int = 0
+    Like :class:`~repro.perfstats.CacheStats`, this is an adapter over
+    telemetry :class:`~repro.telemetry.registry.Counter` objects: the
+    attribute API is unchanged (``stats.queries += 1``), but each field's
+    counter can be adopted by a metrics registry, and resets/setters
+    mutate counter values in place so adopted references stay live.
+    """
+
+    __slots__ = ("_queries", "_ecs_queries", "_nxdomain", "_nodata", "_answered", "_refused")
+
+    #: Field names, in declaration order (drives merge/reset/copy).
+    _FIELDS = ("queries", "ecs_queries", "nxdomain", "nodata", "answered", "refused")
+
+    def __init__(
+        self,
+        queries: int = 0,
+        ecs_queries: int = 0,
+        nxdomain: int = 0,
+        nodata: int = 0,
+        answered: int = 0,
+        refused: int = 0,
+    ) -> None:
+        self._queries = Counter(queries)
+        self._ecs_queries = Counter(ecs_queries)
+        self._nxdomain = Counter(nxdomain)
+        self._nodata = Counter(nodata)
+        self._answered = Counter(answered)
+        self._refused = Counter(refused)
+
+    @property
+    def queries(self) -> int:
+        """Total queries received."""
+        return self._queries.value
+
+    @queries.setter
+    def queries(self, value: int) -> None:
+        self._queries.value = value
+
+    @property
+    def ecs_queries(self) -> int:
+        """Queries carrying an ECS option."""
+        return self._ecs_queries.value
+
+    @ecs_queries.setter
+    def ecs_queries(self, value: int) -> None:
+        self._ecs_queries.value = value
+
+    @property
+    def nxdomain(self) -> int:
+        """Queries answered NXDOMAIN."""
+        return self._nxdomain.value
+
+    @nxdomain.setter
+    def nxdomain(self, value: int) -> None:
+        self._nxdomain.value = value
+
+    @property
+    def nodata(self) -> int:
+        """Queries answered NOERROR with no records."""
+        return self._nodata.value
+
+    @nodata.setter
+    def nodata(self, value: int) -> None:
+        self._nodata.value = value
+
+    @property
+    def answered(self) -> int:
+        """Queries answered with records."""
+        return self._answered.value
+
+    @answered.setter
+    def answered(self, value: int) -> None:
+        self._answered.value = value
+
+    @property
+    def refused(self) -> int:
+        """Queries refused (malformed or no matching zone)."""
+        return self._refused.value
+
+    @refused.setter
+    def refused(self, value: int) -> None:
+        self._refused.value = value
+
+    def counter(self, field: str) -> Counter:
+        """The live Counter behind ``field`` (for registry adoption)."""
+        if field not in self._FIELDS:
+            raise KeyError(f"no such ServerStats field: {field!r}")
+        return getattr(self, "_" + field)
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.queries = 0
-        self.ecs_queries = 0
-        self.nxdomain = 0
-        self.nodata = 0
-        self.answered = 0
-        self.refused = 0
+        """Zero all counters (in place — adopted references stay live)."""
+        for field in self._FIELDS:
+            getattr(self, "_" + field).value = 0
 
     def merge(self, other: "ServerStats") -> None:
         """Accumulate another counter set (shard-result aggregation)."""
-        self.queries += other.queries
-        self.ecs_queries += other.ecs_queries
-        self.nxdomain += other.nxdomain
-        self.nodata += other.nodata
-        self.answered += other.answered
-        self.refused += other.refused
+        for field in self._FIELDS:
+            getattr(self, "_" + field).value += getattr(other, field)
 
     def copy(self) -> "ServerStats":
         """An independent snapshot (shipped back from shard workers)."""
@@ -99,6 +172,17 @@ class ServerStats:
             refused=self.refused,
         )
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServerStats):
+            return NotImplemented
+        return all(
+            getattr(self, field) == getattr(other, field) for field in self._FIELDS
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{field}={getattr(self, field)}" for field in self._FIELDS)
+        return f"ServerStats({body})"
+
 
 class AuthoritativeServer:
     """Serves one or more zones, honouring ECS per its policy."""
@@ -108,6 +192,15 @@ class AuthoritativeServer:
         self.name = name or f"auth@{address}"
         self.ecs_policy = ecs_policy or EcsPolicy()
         self.stats = ServerStats()
+        # Hoisted counters for handle(): the stats fields are properties
+        # now, and handle() runs per query.  ServerStats.reset() mutates
+        # these in place, so the references stay live.
+        self._n_queries = self.stats.counter("queries")
+        self._n_ecs_queries = self.stats.counter("ecs_queries")
+        self._n_nxdomain = self.stats.counter("nxdomain")
+        self._n_nodata = self.stats.counter("nodata")
+        self._n_answered = self.stats.counter("answered")
+        self._n_refused = self.stats.counter("refused")
         #: Scope-block answer-plan cache (the scan fast path).  Always
         #: wired; scanners may flip ``enabled`` off to exercise the
         #: reference path (results are identical either way).
@@ -159,21 +252,21 @@ class AuthoritativeServer:
         Route 53 geolocates queries from non-ECS resolvers such as
         Cloudflare's 1.1.1.1).
         """
-        self.stats.queries += 1
+        self._n_queries.value += 1
         if query.is_response or query.opcode != Opcode.QUERY or query.question is None:
-            self.stats.refused += 1
+            self._n_refused.value += 1
             return query.reply(rcode=Rcode.FORMERR, recursion_available=False)
         question = query.question
         zone = self.zone_for(question.name)
         if zone is None:
-            self.stats.refused += 1
+            self._n_refused.value += 1
             return query.reply(rcode=Rcode.REFUSED, recursion_available=False)
         subnet = None
         policy = self.ecs_policy
         edns = query.edns
         ecs_option = edns.client_subnet if edns is not None else None
         if ecs_option is not None:
-            self.stats.ecs_queries += 1
+            self._n_ecs_queries.value += 1
             # policy.effective_subnet() inlined — this runs per scan query.
             if policy.enabled:
                 subnet = ecs_option.source
@@ -202,7 +295,7 @@ class AuthoritativeServer:
                     policy.max_source_v4 if source.version == 4 else 56,
                 )
         if not result.exists:
-            self.stats.nxdomain += 1
+            self._n_nxdomain.value += 1
             return query.reply(
                 rcode=Rcode.NXDOMAIN,
                 authoritative=True,
@@ -210,14 +303,14 @@ class AuthoritativeServer:
                 ecs_scope=scope,
             )
         if result.is_nodata:
-            self.stats.nodata += 1
+            self._n_nodata.value += 1
             return query.reply(
                 rcode=Rcode.NOERROR,
                 authoritative=True,
                 recursion_available=False,
                 ecs_scope=scope,
             )
-        self.stats.answered += 1
+        self._n_answered.value += 1
         return query.reply(
             rcode=Rcode.NOERROR,
             answers=tuple(result.records),

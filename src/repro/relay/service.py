@@ -39,6 +39,7 @@ from repro.relay.egress import EgressFleet
 from repro.relay.geohash import geohash_encode
 from repro.relay.ingress import IngressFleet, RelayProtocol
 from repro.simtime import SimClock
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 RELAY_DOMAIN_QUIC = "mask.icloud.com."
 RELAY_DOMAIN_FALLBACK = "mask-h2.icloud.com."
@@ -377,6 +378,11 @@ class PrivateRelayService:
     unavailable_countries: frozenset[str] = frozenset({"CN", "BY", "SA"})
     #: Observable-size quantisation of tunnel traffic (0 = no padding).
     padding: PaddingPolicy = field(default_factory=lambda: PaddingPolicy(512))
+    #: Observability sink for connection-plane counters (ingress
+    #: selections, sticky/switch egress-operator draws, refusals).  The
+    #: DNS answer path is *not* instrumented here — it is per-query hot
+    #: and accounted by the server/cache counters instead.
+    telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
     _operator_state: dict[str, _ClientEgressState] = field(default_factory=dict)
     _quic_endpoints: dict[IPAddress, RelayQuicEndpoint] = field(default_factory=dict)
     _pod_counters: RotationCounters = field(default_factory=RotationCounters)
@@ -627,7 +633,9 @@ class PrivateRelayService:
         the client's country, and :class:`RelayError` when the ingress
         address is not an active relay of the requested protocol.
         """
+        registry = self.telemetry.registry
         if client_country in self.unavailable_countries:
+            registry.counter("relay.connect_refused", reason="country_unavailable").inc()
             raise RelayUnavailable(
                 f"iCloud Private Relay is not offered in {client_country}"
             )
@@ -636,18 +644,22 @@ class PrivateRelayService:
         )
         active = fleet.active_addresses(self.clock.now, protocol)
         if ingress_address not in active:
+            registry.counter("relay.connect_refused", reason="inactive_ingress").inc()
             raise RelayError(
                 f"{ingress_address} is not an active {protocol.value} ingress relay"
             )
         ingress_asn = self.routing.origin_of(ingress_address)
         if ingress_asn is None:
+            registry.counter("relay.connect_refused", reason="unrouted_ingress").inc()
             raise RelayError(f"ingress address {ingress_address} is unrouted")
         key = client_key or str(client_address)
         operator_asn = self._select_operator(key, client_country)
         pool = self.egress_fleet.pool_for(operator_asn, client_country)
         egress_address = pool.select(key, self.rng)
+        registry.counter("relay.egress_selections").inc()
         egress_asn = self.routing.origin_of(egress_address)
         if egress_asn is None:
+            registry.counter("relay.connect_refused", reason="unrouted_egress").inc()
             raise RelayError(f"egress address {egress_address} is unrouted")
         request = ConnectRequest(
             authority=target_authority,
@@ -669,7 +681,9 @@ class PrivateRelayService:
             established_at=self.clock.now,
         )
         if tunnel is None:
+            registry.counter("relay.connect_refused", reason="proxy_rejected").inc()
             raise RelayUnavailable(f"proxy rejected connection: {response.reason}")
+        registry.counter("relay.connects", protocol=protocol.value).inc()
         geohash = None
         if preserve_location and client_location is not None:
             geohash = geohash_encode(client_location)
@@ -687,16 +701,21 @@ class PrivateRelayService:
         )
 
     def _select_operator(self, client_key: str, client_country: str) -> int:
+        registry = self.telemetry.registry
         state = self._operator_state.get(client_key)
         weights = self.egress_fleet.operators_for(client_country)
         if not weights:
+            registry.counter("relay.connect_refused", reason="no_operator").inc()
             raise RelayUnavailable(
                 f"no egress operator present for {client_country}"
             )
         if state is not None and state.operator_asn in weights:
             if self.rng.random() >= self.operator_switch_probability:
+                registry.counter("relay.operator_sticky").inc()
                 return state.operator_asn
         operator_asn = self.egress_fleet.choose_operator(client_country, self.rng)
+        if state is not None:
+            registry.counter("relay.operator_switches").inc()
         self._operator_state[client_key] = _ClientEgressState(
             operator_asn, self.clock.now
         )

@@ -17,6 +17,7 @@ from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
 from repro.scan.ecs_scanner import EcsScanResult, EcsScanner, EcsScanSettings
 from repro.scan.longitudinal import IngressArchive
 from repro.simtime import SimClock
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.worldgen.deployment import scan_time
 
 
@@ -42,6 +43,9 @@ class ScanCampaign:
     routing: RoutingTable
     clock: SimClock
     settings: EcsScanSettings = field(default_factory=EcsScanSettings)
+    #: Observability sink, threaded into the scanner (and through it the
+    #: sharded executor).  Null by default: recording costs nothing.
+    telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
     #: Months without a fallback-domain scan (the paper's January gap).
     skip_fallback_months: frozenset[tuple[int, int]] = frozenset({(2022, 1)})
     months: list[MonthlyScan] = field(default_factory=list)
@@ -60,7 +64,13 @@ class ScanCampaign:
         """
         scanner = self.__dict__.get("_scanner_instance")
         if scanner is None:
-            scanner = EcsScanner(self.server, self.routing, self.clock, self.settings)
+            scanner = EcsScanner(
+                self.server,
+                self.routing,
+                self.clock,
+                self.settings,
+                telemetry=self.telemetry,
+            )
             self.__dict__["_scanner_instance"] = scanner
         return scanner
 
@@ -97,12 +107,13 @@ class ScanCampaign:
         if self.clock.now < target:
             self.clock.advance_to(target)
         scanner = self._executor()
-        default = scanner.scan(RELAY_DOMAIN_QUIC)
-        self.default_archive.record(default)
-        fallback = None
-        if (year, month) not in self.skip_fallback_months:
-            fallback = scanner.scan(RELAY_DOMAIN_FALLBACK)
-            self.fallback_archive.record(fallback)
+        with self.telemetry.tracer.span("campaign.month", year=year, month=month):
+            default = scanner.scan(RELAY_DOMAIN_QUIC)
+            self.default_archive.record(default)
+            fallback = None
+            if (year, month) not in self.skip_fallback_months:
+                fallback = scanner.scan(RELAY_DOMAIN_FALLBACK)
+                self.fallback_archive.record(fallback)
         result = MonthlyScan(year, month, default, fallback)
         self.months.append(result)
         return result

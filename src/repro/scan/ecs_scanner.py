@@ -19,6 +19,8 @@ Both prunings can be disabled for the ablation benchmarks.
 from __future__ import annotations
 
 import gc
+import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
@@ -31,6 +33,8 @@ from repro.dns.server import AuthoritativeServer
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.netmodel.bgp import RoutingTable
 from repro.simtime import SimClock
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.registry import DURATION_BUCKETS, SCOPE_BUCKETS
 
 #: Record types whose rdata is an address (hot-loop constant).
 _ADDRESS_RTYPES = (RRType.A, RRType.AAAA)
@@ -165,11 +169,17 @@ class EcsScanner:
         routing: RoutingTable,
         clock: SimClock,
         settings: EcsScanSettings | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.server = server
         self.routing = routing
         self.clock = clock
         self.settings = settings or EcsScanSettings()
+        #: Observability sink: scan-accounting counters, the scope
+        #: histogram, and per-scan spans.  The default null telemetry
+        #: records nothing — the hot loop is never touched either way
+        #: (metrics are computed once at scan end).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # Query-subnet intern table: a campaign walks the same routed /24
         # blocks once per scan, so later scans reuse the (immutable)
         # Prefix objects of the first instead of re-validating millions.
@@ -251,17 +261,73 @@ class EcsScanner:
         was_gc = gc.isenabled()
         if was_gc:
             gc.disable()
-        try:
-            if settings.fast_path and stock_handle:
-                self._run_fast(result, domain, rtype, spans, gaps, bucket)
-            else:
-                self._run_slow(result, domain, rtype, spans, gaps, bucket)
-        finally:
-            cache.enabled = was_enabled
-            if was_gc:
-                gc.enable()
+        wall_start = time.perf_counter()
+        with self.telemetry.tracer.span("ecs.scan", domain=domain):
+            try:
+                if settings.fast_path and stock_handle:
+                    self._run_fast(result, domain, rtype, spans, gaps, bucket)
+                else:
+                    self._run_slow(result, domain, rtype, spans, gaps, bucket)
+            finally:
+                cache.enabled = was_enabled
+                if was_gc:
+                    gc.enable()
         result.finished_at = self.clock.now
+        self._record_scan(result, bucket, time.perf_counter() - wall_start)
         return result
+
+    def _record_scan(
+        self, result: EcsScanResult, bucket: TokenBucket, wall_seconds: float
+    ) -> None:
+        """Record one scan's accounting metrics (end-of-scan batch).
+
+        Runs once per :meth:`scan_ranges` call — never per query — and
+        only when telemetry is enabled.  Per-response work is one
+        C-speed ``Counter`` tally over the scope values (a scan holds
+        hundreds of thousands of responses but only ~30 distinct
+        scopes), so recording stays well inside the overhead budget the
+        perf harness enforces.  Every counter recorded here is
+        *deterministic across worker counts*: shard workers each record
+        their piece and the parent sums the pieces (``ratelimit.*``
+        excepted — each shard's bucket starts with a full burst, see
+        ``deterministic_totals``).
+        """
+        registry = self.telemetry.registry
+        if not registry.enabled:
+            return
+        domain = result.domain
+        registry.counter("ecs.probes_sent", domain=domain).inc(result.queries_sent)
+        registry.counter("ecs.answers", domain=domain).inc(len(result.responses))
+        registry.counter("ecs.sparse_probes", domain=domain).inc(
+            result.sparse_queries
+        )
+        registry.counter("ecs.sparse_answered", domain=domain).inc(
+            result.sparse_answered
+        )
+        scope_hist = registry.histogram("ecs.scope", SCOPE_BUCKETS, domain=domain)
+        tally = Counter(response.scope for response in result.responses)
+        skipped = 0
+        if self.settings.respect_scope:
+            # covered_slash24s() is a pure function of the scope, so the
+            # tally stands in for the per-response sum.
+            skipped = sum(
+                n * ((1 << (24 - scope)) - 1)
+                for scope, n in tally.items()
+                if scope < 24
+            )
+        for scope, n in sorted(tally.items()):
+            scope_hist.observe_many(scope, n)
+        sparse_tally = Counter(
+            response.scope for response in result.sparse_responses
+        )
+        for scope, n in sorted(sparse_tally.items()):
+            scope_hist.observe_many(scope, n)
+        registry.counter("ecs.scope_skipped_slash24s", domain=domain).inc(skipped)
+        registry.counter("ratelimit.waited_seconds").inc(bucket.total_waited)
+        registry.counter("ratelimit.denied").inc(bucket.denied)
+        registry.histogram(
+            "ecs.scan_wall_seconds", DURATION_BUCKETS, domain=domain
+        ).observe(wall_seconds)
 
     def _run_fast(
         self,

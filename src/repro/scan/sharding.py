@@ -50,6 +50,7 @@ import gc
 import math
 import multiprocessing
 import os
+import time
 from array import array
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -61,6 +62,7 @@ from repro.dns.server import ServerStats
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.perfstats import CacheStats
 from repro.scan.ecs_scanner import EcsResponse, EcsScanResult, EcsScanner
+from repro.telemetry.registry import DURATION_BUCKETS
 
 _SPACE_END = 1 << 32
 
@@ -228,6 +230,16 @@ class ShardOutcome:
     #: Per shard hook (in ``zone.shard_hooks()`` order): the per-key
     #: rotation advances accumulated by this shard's queries.
     rotation_deltas: tuple[dict, ...]
+    #: Wall-clock seconds this shard's scan took in its worker (feeds
+    #: the parent's ``ecs.shard_wall_seconds`` balance histogram).
+    wall_seconds: float
+    #: The worker registry's *owned* metrics for this task — the shard's
+    #: ``ecs.*`` / ``ratelimit.*`` deltas, absorbed (summed) by the
+    #: parent.  Adopted instruments (ServerStats / CacheStats counters)
+    #: are deliberately excluded: they travel via the two fields above
+    #: and absorbing them too would double count.  Empty when telemetry
+    #: is off.
+    metrics: dict
 
 
 def _encode_columnar(responses: list[EcsResponse]) -> _Columnar:
@@ -298,9 +310,16 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     hooks = zone.shard_hooks() if zone is not None else []
     for hook in hooks:
         hook.reseed(task.rotation_base)
+    # The forked registry may hold owned counters inherited from the
+    # parent (or from this worker's previous task); zero them so the
+    # shipped snapshot is exactly this task's contribution.
+    registry = scanner.telemetry.registry
+    registry.reset_owned()
+    wall_start = time.perf_counter()
     result = scanner.scan_ranges(
         task.domain, list(task.spans), list(task.gaps), task.rtype
     )
+    wall_seconds = time.perf_counter() - wall_start
     return ShardOutcome(
         index=task.index,
         queries_sent=result.queries_sent,
@@ -315,6 +334,8 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
             invalidations=cache.stats.invalidations,
         ),
         rotation_deltas=tuple(hook.delta_snapshot() for hook in hooks),
+        wall_seconds=wall_seconds,
+        metrics=registry.owned_snapshot(),
     )
 
 
@@ -416,23 +437,26 @@ class ShardedCampaignExecutor:
         if was_gc:
             gc.disable()
         try:
-            futures = [
-                pool.submit(
-                    _run_shard,
-                    ShardTask(
-                        index=plan.index,
-                        domain=domain,
-                        rtype=rtype,
-                        start_time=start_time,
-                        rotation_base=rotation_base(seed, plan.index),
-                        spans=plan.spans,
-                        gaps=plan.gaps,
-                    ),
-                )
-                for plan in plans
-            ]
-            outcomes = [future.result() for future in futures]
-            return self._merge(domain, rtype, start_time, outcomes)
+            with scanner.telemetry.tracer.span(
+                "ecs.scan.sharded", domain=domain, shards=len(plans)
+            ):
+                futures = [
+                    pool.submit(
+                        _run_shard,
+                        ShardTask(
+                            index=plan.index,
+                            domain=domain,
+                            rtype=rtype,
+                            start_time=start_time,
+                            rotation_base=rotation_base(seed, plan.index),
+                            spans=plan.spans,
+                            gaps=plan.gaps,
+                        ),
+                    )
+                    for plan in plans
+                ]
+                outcomes = [future.result() for future in futures]
+                return self._merge(domain, rtype, start_time, outcomes)
         finally:
             if was_gc:
                 gc.enable()
@@ -498,6 +522,13 @@ class ShardedCampaignExecutor:
         scanner = self.scanner
         server = scanner.server
         settings = scanner.settings
+        registry = scanner.telemetry.registry
+        telemetry_on = registry.enabled
+        if telemetry_on:
+            shard_wall = registry.histogram(
+                "ecs.shard_wall_seconds", DURATION_BUCKETS, domain=result.domain
+            )
+            registry.counter("ecs.shards", domain=result.domain).inc(len(outcomes))
         for outcome in outcomes:
             result.queries_sent += outcome.queries_sent
             result.sparse_queries += outcome.sparse_queries
@@ -510,6 +541,9 @@ class ShardedCampaignExecutor:
             self._decode_into(result.sparse_responses, outcome.sparse_responses, 24)
             server.stats.merge(outcome.server_stats)
             server.answer_cache.stats.merge(outcome.cache_stats)
+            if telemetry_on:
+                registry.absorb(outcome.metrics)
+                shard_wall.observe(outcome.wall_seconds)
             for position, deltas in enumerate(outcome.rotation_deltas):
                 if position == len(merged_deltas):
                     merged_deltas.append({})

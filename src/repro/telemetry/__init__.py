@@ -1,0 +1,105 @@
+"""Zero-dependency observability: metrics, sim-time spans, exporters.
+
+The telemetry layer has three parts, all importable from this package:
+
+* :mod:`repro.telemetry.registry` — named counters / gauges /
+  fixed-bucket histograms with frozen-tuple labels, O(1) hot-path
+  increments, deterministic shard merging, and a no-op null registry;
+* :mod:`repro.telemetry.spans` — span tracing that records both
+  :class:`~repro.simtime.SimClock` virtual time and wall time, nests,
+  and exports a Chrome-trace-compatible timeline;
+* :mod:`repro.telemetry.export` — JSON / Prometheus-text / table
+  renderers plus the cross-worker determinism invariant.
+
+:class:`Telemetry` bundles one registry with one tracer and is the
+object threaded through the pipeline (``build_world(...,
+telemetry=...)``, ``EcsScanner(..., telemetry=...)``).  The module-level
+:data:`NULL_TELEMETRY` is the default everywhere: instrumented code
+holds real (but inert) instruments, so telemetry-off costs nothing and
+no call site needs an ``if telemetry:`` guard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.export import (
+    deterministic_totals,
+    prometheus_text,
+    render_snapshot,
+)
+from repro.telemetry.registry import (
+    DURATION_BUCKETS,
+    SCOPE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.spans import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullRegistry",
+    "NullTracer",
+    "SCOPE_BUCKETS",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "deterministic_totals",
+    "prometheus_text",
+    "render_snapshot",
+]
+
+
+class Telemetry:
+    """One registry + one tracer: the handle the pipeline threads around."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this telemetry actually records anything."""
+        return self.registry.enabled
+
+    def snapshot(self) -> dict:
+        """Metrics + span tree + Chrome trace, as one JSON-friendly dict."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.tree(),
+            "trace": self.tracer.chrome_trace(),
+        }
+
+    def write(self, path: str | Path) -> dict:
+        """Write the snapshot to ``path`` and return it.
+
+        A ``.prom`` suffix selects the Prometheus text exposition format
+        (metrics only); anything else gets the full JSON snapshot.
+        """
+        path = Path(path)
+        snapshot = self.snapshot()
+        if path.suffix == ".prom":
+            path.write_text(prometheus_text(snapshot["metrics"]))
+        else:
+            path.write_text(json.dumps(snapshot, indent=2) + "\n")
+        return snapshot
+
+
+#: The default telemetry: records nothing, costs nothing.  Shared — all
+#: instruments it hands out are inert singletons.
+NULL_TELEMETRY = Telemetry(NullRegistry(), NullTracer())

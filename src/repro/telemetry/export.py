@@ -1,0 +1,179 @@
+"""Exporters and snapshot analysis helpers.
+
+Three consumers of a telemetry snapshot live here:
+
+* :func:`prometheus_text` — the Prometheus text exposition format, for
+  scraping a saved snapshot into real monitoring.
+* :func:`render_snapshot` — the human-readable table behind the
+  ``telemetry`` CLI subcommand (top counters, gauges, histograms, and
+  the span tree with sim-time vs wall-time durations side by side).
+* :func:`deterministic_totals` — the subset of metrics that must be
+  bit-identical across worker counts; shared by the sharded-telemetry
+  tests, the bench harness's in-run gate, and the CI cross-leg
+  comparison so all three enforce exactly the same invariant.
+"""
+
+from __future__ import annotations
+
+
+def _prom_name(name: str) -> str:
+    """A metric name in Prometheus charset (dots/dashes to underscores)."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format."""
+    metrics = snapshot.get("metrics", snapshot)
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in metrics.get("counters", ()):
+        name = _prom_name(entry["name"]) + "_total"
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in metrics.get("gauges", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in metrics.get("histograms", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            labels = _prom_labels(entry["labels"], {"le": repr(float(bound))})
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        labels = _prom_labels(entry["labels"], {"le": "+Inf"})
+        lines.append(f"{name}_bucket{labels} {entry['count']}")
+        lines.append(f"{name}_sum{_prom_labels(entry['labels'])} {entry['total']}")
+        lines.append(f"{name}_count{_prom_labels(entry['labels'])} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _label_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _span_lines(span: dict, depth: int, lines: list[str]) -> None:
+    attrs = _label_text(span.get("attrs", {}))
+    lines.append(
+        f"  {'  ' * depth}{span['name']}{attrs}  "
+        f"wall={span['wall_seconds']:.4f}s  sim={span['sim_seconds']:.1f}s"
+    )
+    for child in span.get("children", ()):
+        _span_lines(child, depth + 1, lines)
+
+
+def render_snapshot(snapshot: dict, top: int = 20) -> str:
+    """A human-readable summary of a telemetry snapshot.
+
+    Shows the ``top`` largest counters, all gauges, histogram summaries
+    (count / mean), and the span tree with wall-clock and sim-clock
+    durations side by side.
+    """
+    metrics = snapshot.get("metrics", snapshot)
+    lines: list[str] = []
+
+    counters = sorted(
+        metrics.get("counters", ()), key=lambda e: e["value"], reverse=True
+    )
+    if counters:
+        lines.append(f"top counters (of {len(counters)}):")
+        for entry in counters[:top]:
+            label = entry["name"] + _label_text(entry["labels"])
+            lines.append(f"  {label:<56} {entry['value']:>14,}")
+
+    gauges = metrics.get("gauges", ())
+    if gauges:
+        lines.append("gauges:")
+        for entry in gauges:
+            label = entry["name"] + _label_text(entry["labels"])
+            value = entry["value"]
+            rendered = f"{value:,}" if isinstance(value, int) else f"{value:,.3f}"
+            lines.append(f"  {label:<56} {rendered:>14}")
+
+    histograms = metrics.get("histograms", ())
+    if histograms:
+        lines.append("histograms:")
+        for entry in histograms:
+            label = entry["name"] + _label_text(entry["labels"])
+            count = entry["count"]
+            mean = entry["total"] / count if count else 0.0
+            lines.append(
+                f"  {label:<56} count={count:<10,} mean={mean:.4f}"
+            )
+
+    spans = snapshot.get("spans", ())
+    if spans:
+        lines.append("spans (wall vs sim):")
+        for root in spans:
+            _span_lines(root, 0, lines)
+
+    if not lines:
+        return "empty telemetry snapshot\n"
+    return "\n".join(lines) + "\n"
+
+
+def deterministic_totals(snapshot: dict) -> dict[str, int]:
+    """The counters that must match exactly across worker counts.
+
+    Sharded scans reproduce the sequential scan's externally visible
+    results (DESIGN.md §5), so the scan-accounting counters must merge
+    to identical totals for any worker count:
+
+    * every ``ecs.*`` counter except ``ecs.shards`` (the shard count is
+      the execution plan, not a scan result);
+    * every ``dns.server.*`` counter (merged via ``ServerStats.merge``);
+    * answer-plan cache **lookups** (= hits + misses: per query exactly
+      one lookup happens, while the hit/miss split depends on each
+      worker's cold cache — documented in DESIGN.md §5);
+    * the ``ecs.scope`` histogram's per-bucket counts (one observation
+      per answered probe).
+
+    Deliberately excluded: cache hit/miss splits and invalidations,
+    name-intern / zone-routing / origin-memo stats (process-local),
+    ``ratelimit.waited_seconds`` (each shard's bucket starts with a full
+    burst), and all wall-time histograms.
+    """
+    metrics = snapshot.get("metrics", snapshot)
+    totals: dict[str, int] = {}
+    cache_lookups: dict[str, int] = {}
+    for entry in metrics.get("counters", ()):
+        name = entry["name"]
+        labels = entry["labels"]
+        if name.startswith("ecs.") and name != "ecs.shards":
+            totals[name + _label_text(labels)] = entry["value"]
+        elif name.startswith("dns.server."):
+            totals[name + _label_text(labels)] = entry["value"]
+        elif labels.get("cache") == "answer_plan" and name in (
+            "cache.hits",
+            "cache.misses",
+        ):
+            key = "cache.lookups" + _label_text(labels)
+            cache_lookups[key] = cache_lookups.get(key, 0) + entry["value"]
+    totals.update(cache_lookups)
+    for entry in metrics.get("histograms", ()):
+        if entry["name"] == "ecs.scope":
+            key = entry["name"] + _label_text(entry["labels"])
+            for bound, count in zip(entry["bounds"], entry["counts"]):
+                totals[f"{key}[le={bound}]"] = count
+            totals[f"{key}[le=+Inf]"] = entry["counts"][-1]
+            totals[f"{key}[count]"] = entry["count"]
+    return totals

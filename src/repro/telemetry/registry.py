@@ -1,0 +1,356 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Design constraints, in order:
+
+* **Hot-path increments are O(1) and allocation-free.**  Instruments are
+  plain objects with one mutable slot; instrumented code fetches the
+  instrument once (a dict probe) and bumps ``.value`` / calls ``inc``
+  in its loop.  Nothing is computed until :meth:`MetricsRegistry.snapshot`.
+* **Telemetry off costs nothing.**  :class:`NullRegistry` hands out
+  shared no-op instruments and ignores collectors, so code instrumented
+  against the null registry performs no accounting at all.  Hot loops
+  additionally gate their (already cheap) recording on
+  ``registry.enabled``.
+* **Labels are frozen tuples.**  An instrument is keyed by
+  ``(name, (("k", "v"), ...))`` with label pairs sorted by key, so the
+  same kwargs in any order reach the same instrument and keys are
+  hashable and picklable.
+* **Merging is deterministic.**  :meth:`MetricsRegistry.absorb` folds a
+  snapshot into the registry by pure sums (counters, histogram buckets)
+  and max (gauges) — commutative and associative, so shard outcomes
+  merge to the same totals regardless of worker count or completion
+  order.
+
+Two instrument populations live in a registry:
+
+* **owned** instruments, created by :meth:`counter` / :meth:`gauge` /
+  :meth:`histogram`.  These are the registry's own state; shard workers
+  ship exactly these (``owned_snapshot``) and the parent sums them in.
+* **adopted** instruments, registered by :meth:`adopt`.  These belong to
+  some other structure — e.g. the :class:`~repro.perfstats.CacheStats`
+  counters backing the answer cache — that already has its own
+  shard-merge path.  They appear in full snapshots but never in
+  ``owned_snapshot``, which is what prevents double counting when both
+  the structure and the registry cross the worker boundary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Duration histogram bounds (seconds) shared by the scan / shard /
+#: worldgen wall-time histograms.  The open overflow bucket catches
+#: anything slower than a minute.
+DURATION_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0)
+
+#: ECS scope histogram bounds: the prefix lengths the relay zone
+#: declares (assignment scopes cluster at /16–/24; /32 is the overflow
+#: guard for pathological zones).
+SCOPE_BUCKETS = (0, 8, 12, 16, 20, 24, 32)
+
+
+class Counter:
+    """A monotonically growing count (int or float).
+
+    The mutable slot is public on purpose: hot loops may do
+    ``counter.value += 1`` directly, which costs exactly one attribute
+    store — the same as the pre-telemetry ad-hoc counters.
+    """
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, value: int | float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value!r})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self, value: int | float = 0) -> None:
+        self.value = value
+
+    def set(self, value: int | float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value!r})"
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative-``le`` semantics).
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets in
+    increasing order; one implicit overflow bucket catches everything
+    beyond the last bound.  Observation is one bisect plus two adds.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must strictly increase: {bounds}")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def observe_many(self, value: float, n: int) -> None:
+        """Record ``n`` observations of the same ``value`` in one call.
+
+        Pre-tallied recording for end-of-scan batches: hundreds of
+        thousands of responses collapse to a few dozen distinct values,
+        so one bisect per distinct value replaces one per response.
+        """
+        self.counts[bisect_left(self.bounds, value)] += n
+        self.total += value * n
+        self.count += n
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, total={self.total!r})"
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Normalise label kwargs to the frozen, sorted tuple keying metrics."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Named, labelled instruments plus snapshot-time collectors."""
+
+    #: Instrumented code gates optional per-item work (e.g. building a
+    #: scope distribution) on this; the null registry sets it False.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._owned: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._adopted: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._collectors: list = []
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter registered under ``name`` + labels (created once)."""
+        key = (name, _label_key(labels))
+        instrument = self._owned.get(key)
+        if instrument is None:
+            instrument = self._owned[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge registered under ``name`` + labels (created once)."""
+        key = (name, _label_key(labels))
+        instrument = self._owned.get(key)
+        if instrument is None:
+            instrument = self._owned[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, bounds: tuple[float, ...], **labels) -> Histogram:
+        """The histogram under ``name`` + labels (created once).
+
+        ``bounds`` only matters at creation; later calls must agree (a
+        mismatch raises, catching accidental bucket drift between call
+        sites).
+        """
+        key = (name, _label_key(labels))
+        instrument = self._owned.get(key)
+        if instrument is None:
+            instrument = self._owned[key] = Histogram(bounds)
+        elif instrument.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, got {tuple(bounds)}"
+            )
+        return instrument
+
+    def adopt(self, name: str, instrument, **labels) -> None:
+        """Expose an externally owned instrument in snapshots.
+
+        Adopted instruments (e.g. the counters inside a
+        :class:`~repro.perfstats.CacheStats`) appear in :meth:`snapshot`
+        but never in :meth:`owned_snapshot` — their owners carry their
+        own cross-process merge paths, and shipping them twice would
+        double count.
+        """
+        self._adopted[(name, _label_key(labels))] = instrument
+
+    def add_collector(self, collector) -> None:
+        """Register ``collector(registry)`` to run before every snapshot.
+
+        Collectors derive gauges from live structures (rotation counter
+        sums, world sizes).  They must be idempotent: use ``set``-style
+        instruments, never increments.
+        """
+        self._collectors.append(collector)
+
+    # -- snapshots ------------------------------------------------------
+
+    def reset_owned(self) -> None:
+        """Zero every owned instrument in place (shard task deltas).
+
+        Shard workers call this before a task so that the following
+        ``owned_snapshot`` holds exactly the task's contribution even
+        when the pool reuses the process across tasks.
+        """
+        for instrument in self._owned.values():
+            if isinstance(instrument, Histogram):
+                instrument.counts = [0] * len(instrument.counts)
+                instrument.total = 0.0
+                instrument.count = 0
+            else:
+                instrument.value = 0
+
+    def collect(self) -> None:
+        """Run the registered collectors."""
+        for collector in self._collectors:
+            collector(self)
+
+    def owned_snapshot(self) -> dict:
+        """A JSON-friendly snapshot of owned instruments only."""
+        return self._snapshot(self._owned.items())
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly snapshot of everything (collectors run first)."""
+        self.collect()
+        merged = dict(self._owned)
+        merged.update(self._adopted)
+        return self._snapshot(merged.items())
+
+    @staticmethod
+    def _snapshot(items) -> dict:
+        counters, gauges, histograms = [], [], []
+        for (name, labels), instrument in sorted(items, key=lambda kv: kv[0]):
+            label_dict = dict(labels)
+            if instrument.kind == "counter":
+                counters.append(
+                    {"name": name, "labels": label_dict, "value": instrument.value}
+                )
+            elif instrument.kind == "gauge":
+                gauges.append(
+                    {"name": name, "labels": label_dict, "value": instrument.value}
+                )
+            else:
+                histograms.append(
+                    {
+                        "name": name,
+                        "labels": label_dict,
+                        "bounds": list(instrument.bounds),
+                        "counts": list(instrument.counts),
+                        "total": instrument.total,
+                        "count": instrument.count,
+                    }
+                )
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    # -- merging --------------------------------------------------------
+
+    def absorb(self, snapshot: dict | None) -> None:
+        """Fold a snapshot (shard worker contribution) into this registry.
+
+        Counters and histogram buckets add; gauges keep the maximum.
+        All three rules are commutative and associative, so the merged
+        totals depend only on the multiset of absorbed snapshots — never
+        on worker count or arrival order.
+        """
+        if not snapshot:
+            return
+        for entry in snapshot.get("counters", ()):
+            self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            gauge = self.gauge(entry["name"], **entry["labels"])
+            if entry["value"] > gauge.value:
+                gauge.value = entry["value"]
+        for entry in snapshot.get("histograms", ()):
+            histogram = self.histogram(
+                entry["name"], tuple(entry["bounds"]), **entry["labels"]
+            )
+            for position, count in enumerate(entry["counts"]):
+                histogram.counts[position] += count
+            histogram.total += entry["total"]
+            histogram.count += entry["count"]
+
+
+class _NullCounter(Counter):
+    """A counter that ignores increments (telemetry off)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge(Gauge):
+    """A gauge that ignores sets (telemetry off)."""
+
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram(Histogram):
+    """A histogram that ignores observations (telemetry off)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    def observe_many(self, value: float, n: int) -> None:
+        """Discard the observations."""
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram((1.0,))
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op registry: shared inert instruments, empty snapshots.
+
+    Instrumented code does not need to special-case telemetry-off — it
+    receives an instrument whose mutators do nothing.  (Hot loops that
+    would do per-item work to *compute* an observation should still gate
+    on :attr:`enabled`.)
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds: tuple[float, ...], **labels) -> Histogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def adopt(self, name: str, instrument, **labels) -> None:
+        """Ignore the adoption."""
+
+    def add_collector(self, collector) -> None:
+        """Ignore the collector."""
+
+    def absorb(self, snapshot: dict | None) -> None:
+        """Ignore the snapshot."""

@@ -1,0 +1,213 @@
+"""Sim-time-aware span tracing.
+
+A span brackets a unit of work (a worldgen phase, a monthly scan) and
+records *two* clocks: wall time (``time.perf_counter``) and the
+simulation's :class:`~repro.simtime.SimClock` virtual time.  The pair is
+what makes the timeline useful here — a scan that takes 40 simulated
+hours under rate limiting completes in wall milliseconds, and the
+interesting regressions show up in whichever clock the other tools
+don't watch.
+
+Spans nest: entering a span inside another parents it, so
+``campaign.month`` contains ``ecs.scan`` contains nothing hot (the
+per-query loop is never span-wrapped; spans cost two clock reads plus
+an object, fine at phase granularity, wrong at query granularity).
+
+:meth:`Tracer.chrome_trace` emits the Chrome trace-event format
+(``chrome://tracing`` / Perfetto): complete events (``"ph": "X"``) with
+microsecond wall timestamps, sim-clock times in ``args``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.simtime import SimClock
+
+
+class Span:
+    """One traced interval: name, attributes, wall and sim clocks."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "wall_start",
+        "wall_end",
+        "sim_start",
+        "sim_end",
+        "children",
+    )
+
+    def __init__(self, name: str, attrs: dict, sim_now: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.wall_start = time.perf_counter()
+        self.wall_end: float | None = None
+        self.sim_start = sim_now
+        self.sim_end: float | None = None
+        self.children: list[Span] = []
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (0.0 while the span is still open)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_seconds(self) -> float:
+        """Simulated-clock duration (0.0 while the span is still open)."""
+        if self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly view of this span and its children."""
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall={self.wall_seconds:.4f}s, "
+            f"sim={self.sim_seconds:.1f}s, children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Builds the span tree; context-manager entry points.
+
+    The tracer may be created before the world (and its clock) exists;
+    :meth:`bind_clock` attaches the :class:`SimClock` as soon as worldgen
+    creates it.  Unbound, sim times record as 0.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self._clock = clock
+        self._stack: list[Span] = []
+        self.roots: list[Span] = []
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Attach the simulation clock whose time spans should record."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock.now if self._clock is not None else 0.0
+
+    def span(self, name: str, **attrs) -> "_SpanContext":
+        """Open a span as a context manager; nests under any open span."""
+        return _SpanContext(self, name, attrs)
+
+    def _enter(self, name: str, attrs: dict) -> Span:
+        span = Span(name, attrs, self._now())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _exit(self, span: Span) -> None:
+        span.wall_end = time.perf_counter()
+        span.sim_end = self._now()
+        # Tolerate exception-driven unwinding that skips inner exits.
+        while self._stack and self._stack.pop() is not span:
+            pass
+
+    def tree(self) -> list[dict]:
+        """The recorded span forest as JSON-friendly dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def chrome_trace(self) -> dict:
+        """The span forest as a Chrome trace-event (Perfetto) document.
+
+        Wall timestamps are microseconds relative to the earliest
+        recorded span so the timeline starts at 0; sim-clock start/end
+        land in each event's ``args``.
+        """
+        events: list[dict] = []
+        closed = [span for span in self.roots if span.wall_end is not None]
+        if not closed:
+            return {"traceEvents": []}
+        origin = min(span.wall_start for span in closed)
+
+        def emit(span: Span) -> None:
+            if span.wall_end is None:
+                return
+            args = dict(span.attrs)
+            args["sim_start_s"] = span.sim_start
+            args["sim_end_s"] = span.sim_end
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": (span.wall_start - origin) * 1e6,
+                    "dur": (span.wall_end - span.wall_start) * 1e6,
+                    "args": args,
+                }
+            )
+            for child in span.children:
+                emit(child)
+
+        for root in self.roots:
+            emit(root)
+        return {"traceEvents": events}
+
+
+class _SpanContext:
+    """Context manager yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._enter(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._exit(self._span)
+
+
+class _NullSpan:
+    """The shared inert span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    wall_seconds = 0.0
+    sim_seconds = 0.0
+    children: list = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (telemetry off)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Ignore the clock."""
+
+    def span(self, name: str, **attrs) -> "_NullSpan":
+        """The shared no-op span context."""
+        return _NULL_SPAN

@@ -36,6 +36,7 @@ from repro.relay.ingress import IngressFleet
 from repro.relay.observer import EchoService, ObservationServer
 from repro.relay.service import AssignmentMap, PrivateRelayService
 from repro.simtime import SimClock, month_to_seconds
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.worldgen.config import WorldConfig
 from repro.worldgen.deployment import (
     DeploymentGround,
@@ -186,13 +187,25 @@ class World:
         )
 
 
-def build_world(config: WorldConfig | None = None) -> World:
-    """Generate a complete world from a configuration."""
+def build_world(
+    config: WorldConfig | None = None, telemetry: Telemetry | None = None
+) -> World:
+    """Generate a complete world from a configuration.
+
+    With a non-null ``telemetry``, worldgen phases record spans, the
+    relay service reports connection-plane counters, and the world's
+    existing stats counters are adopted into the metrics registry
+    (:func:`~repro.telemetry.instrument.instrument_world`).
+    """
     config = config or WorldConfig()
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    tracer = telemetry.tracer
     clock = SimClock()
+    tracer.bind_clock(clock)
     clock.advance_to(month_to_seconds(2021, 7))
 
-    ground = build_internet(config)
+    with tracer.span("worldgen.internet"):
+        ground = build_internet(config)
     rng = random.Random(config.seed ^ 0xD3B)
 
     codes = ground.gazetteer.country_codes
@@ -200,17 +213,24 @@ def build_world(config: WorldConfig | None = None) -> World:
     probe_countries = codes[:covered]
     tail_countries = [c for c in codes[covered:]]
 
-    egress_may, egress_jan, egress_prefixes = build_egress(config, ground, rng)
-    ingress_v4, ingress_v6, ingress_prefixes, unused = build_ingress(
-        config, ground, rng, tail_countries
-    )
-    assignment = build_assignment(config, ground, set(tail_countries))
-    egress_fleet = build_pools(config, egress_may, rng, ground.gazetteer)
-    geodb = build_geodb(config, egress_may, ground.gazetteer, rng)
-    history = build_history(config, ground.routing)
-    topology, vantage_router_id = build_topology(
-        config, ground, ingress_v4, egress_fleet
-    )
+    with tracer.span("worldgen.egress"):
+        egress_may, egress_jan, egress_prefixes = build_egress(config, ground, rng)
+    with tracer.span("worldgen.ingress"):
+        ingress_v4, ingress_v6, ingress_prefixes, unused = build_ingress(
+            config, ground, rng, tail_countries
+        )
+    with tracer.span("worldgen.assignment"):
+        assignment = build_assignment(config, ground, set(tail_countries))
+    with tracer.span("worldgen.pools"):
+        egress_fleet = build_pools(config, egress_may, rng, ground.gazetteer)
+    with tracer.span("worldgen.geodb"):
+        geodb = build_geodb(config, egress_may, ground.gazetteer, rng)
+    with tracer.span("worldgen.history"):
+        history = build_history(config, ground.routing)
+    with tracer.span("worldgen.topology"):
+        topology, vantage_router_id = build_topology(
+            config, ground, ingress_v4, egress_fleet
+        )
 
     service = PrivateRelayService(
         clock=clock,
@@ -220,29 +240,32 @@ def build_world(config: WorldConfig | None = None) -> World:
         assignment=assignment,
         routing=ground.routing,
         rng=random.Random(config.seed ^ 0x5E55),
+        telemetry=telemetry,
     )
 
     # DNS infrastructure.
-    dns_block = Prefix.parse(DNS_SERVICE_BLOCK)
-    route53 = AuthoritativeServer(
-        dns_block.address_at(1), EcsPolicy(max_source_v4=24), name="route53"
-    )
-    route53.add_zone(service.build_zone())
-    control_server = AuthoritativeServer(
-        dns_block.address_at(2), EcsPolicy(enabled=False), name="generic-auth"
-    )
-    control_zone = Zone(CONTROL_DOMAIN)
-    control_zone.add_record(
-        a_record(DnsName.parse(CONTROL_DOMAIN), IPAddress.parse(CONTROL_ADDRESS))
-    )
-    control_server.add_zone(control_zone)
-    whoami = WhoamiServer(dns_block.address_at(3))
-    ns_registry = NameServerRegistry()
-    ns_registry.register(route53)
-    ns_registry.register(control_server)
-    ns_registry.register(whoami)
+    with tracer.span("worldgen.dns"):
+        dns_block = Prefix.parse(DNS_SERVICE_BLOCK)
+        route53 = AuthoritativeServer(
+            dns_block.address_at(1), EcsPolicy(max_source_v4=24), name="route53"
+        )
+        route53.add_zone(service.build_zone())
+        control_server = AuthoritativeServer(
+            dns_block.address_at(2), EcsPolicy(enabled=False), name="generic-auth"
+        )
+        control_zone = Zone(CONTROL_DOMAIN)
+        control_zone.add_record(
+            a_record(DnsName.parse(CONTROL_DOMAIN), IPAddress.parse(CONTROL_ADDRESS))
+        )
+        control_server.add_zone(control_zone)
+        whoami = WhoamiServer(dns_block.address_at(3))
+        ns_registry = NameServerRegistry()
+        ns_registry.register(route53)
+        ns_registry.register(control_server)
+        ns_registry.register(whoami)
 
-    atlas = build_probes(config, ground, ns_registry, clock, probe_countries)
+    with tracer.span("worldgen.probes"):
+        atlas = build_probes(config, ground, ns_registry, clock, probe_countries)
 
     vantage = ground.vantage_prefix
     web_server = ObservationServer(
@@ -283,7 +306,7 @@ def build_world(config: WorldConfig | None = None) -> World:
         probe_countries=probe_countries,
         april_scan_start=scan_time(2022, 4),
     )
-    return World(
+    world = World(
         config=config,
         clock=clock,
         ground=ground,
@@ -298,3 +321,8 @@ def build_world(config: WorldConfig | None = None) -> World:
         echo_server=echo_server,
         as_graph=build_as_graph(config, ground),
     )
+    # Local import: instrument depends on worldgen types only at runtime.
+    from repro.telemetry.instrument import instrument_world
+
+    instrument_world(telemetry, world)
+    return world

@@ -1,0 +1,158 @@
+"""Registry semantics: labels, histograms, merging, the null registry."""
+
+import pickle
+
+import pytest
+
+from repro.perfstats import CacheStats
+from repro.telemetry import (
+    DURATION_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_inc_and_direct_value(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        counter.value += 2
+        assert counter.value == 7
+
+    def test_histogram_le_semantics(self):
+        histogram = Histogram((1.0, 5.0))
+        histogram.observe(1.0)  # le=1.0 is inclusive
+        histogram.observe(1.1)
+        histogram.observe(100.0)  # overflow bucket
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(102.1)
+
+    def test_histogram_observe_many_matches_observe(self):
+        one_at_a_time = Histogram(DURATION_BUCKETS)
+        batched = Histogram(DURATION_BUCKETS)
+        for _ in range(1000):
+            one_at_a_time.observe(0.42)
+        batched.observe_many(0.42, 1000)
+        assert batched.counts == one_at_a_time.counts
+        assert batched.count == one_at_a_time.count
+        assert batched.total == pytest.approx(one_at_a_time.total)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+
+    def test_counter_pickles(self):
+        counter = Counter(41)
+        assert pickle.loads(pickle.dumps(counter)).value == 41
+
+
+class TestRegistry:
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", foo="1", bar="2")
+        b = registry.counter("x", bar="2", foo="1")
+        assert a is b
+        assert registry.counter("x", foo="1", bar="3") is not a
+
+    def test_histogram_bounds_must_agree(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_snapshot_shape_and_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second").inc(2)
+        registry.counter("a.first", k="v").inc(1)
+        registry.gauge("g").set(9)
+        snapshot = registry.snapshot()
+        assert [e["name"] for e in snapshot["counters"]] == ["a.first", "b.second"]
+        assert snapshot["counters"][0]["labels"] == {"k": "v"}
+        assert snapshot["gauges"] == [{"name": "g", "labels": {}, "value": 9}]
+        assert snapshot["histograms"] == []
+
+    def test_adopted_visible_but_not_owned(self):
+        registry = MetricsRegistry()
+        stats = CacheStats(hits=5)
+        registry.adopt("cache.hits", stats.counter("hits"), cache="test")
+        assert registry.owned_snapshot()["counters"] == []
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == [
+            {"name": "cache.hits", "labels": {"cache": "test"}, "value": 5}
+        ]
+
+    def test_collectors_run_at_snapshot(self):
+        registry = MetricsRegistry()
+        registry.add_collector(lambda r: r.gauge("live").set(3))
+        assert registry.snapshot()["gauges"][0]["value"] == 3
+
+    def test_reset_owned_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(7)
+        histogram = registry.histogram("h", (1.0,))
+        histogram.observe(0.5)
+        registry.reset_owned()
+        assert counter.value == 0
+        assert histogram.count == 0 and histogram.counts == [0, 0]
+        assert registry.counter("c") is counter  # same object survives
+
+    def test_absorb_is_order_independent(self):
+        """Counters sum, gauges max, buckets add — any merge order."""
+        shards = []
+        for value in (3, 10, 4):
+            shard = MetricsRegistry()
+            shard.counter("n", d="x").inc(value)
+            shard.gauge("peak").set(value)
+            shard.histogram("h", (5.0,)).observe(value)
+            shards.append(shard.owned_snapshot())
+
+        merged = []
+        for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            parent = MetricsRegistry()
+            for index in order:
+                parent.absorb(shards[index])
+            merged.append(parent.snapshot())
+        assert merged[0] == merged[1] == merged[2]
+        assert merged[0]["counters"][0]["value"] == 17
+        assert merged[0]["gauges"][0]["value"] == 10
+        assert merged[0]["histograms"][0]["counts"] == [2, 1]
+
+    def test_absorb_none_is_noop(self):
+        registry = MetricsRegistry()
+        registry.absorb(None)
+        registry.absorb({})
+        assert registry.snapshot()["counters"] == []
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        registry = NullRegistry()
+        assert registry.enabled is False
+        counter = registry.counter("anything", k="v")
+        counter.inc(100)
+        registry.gauge("g").set(5)
+        registry.histogram("h", (1.0,)).observe(3.0)
+        registry.histogram("h", (1.0,)).observe_many(3.0, 10)
+        assert counter.value == 0
+        assert registry.snapshot() == {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+
+    def test_shares_singletons(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b", k="v")
+
+    def test_adopt_and_collectors_ignored(self):
+        registry = NullRegistry()
+        registry.adopt("c", Counter(9))
+        registry.add_collector(lambda r: (_ for _ in ()).throw(AssertionError))
+        assert registry.snapshot()["counters"] == []

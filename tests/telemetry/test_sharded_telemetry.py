@@ -1,0 +1,115 @@
+"""Telemetry determinism across worker counts.
+
+The merged shard snapshot must agree with the sequential run on every
+counter in :func:`repro.telemetry.deterministic_totals` — the same
+invariant the bench harness gates in-run and CI checks across the
+perf-smoke matrix legs — and the probe accounting must close exactly:
+every probe the scanner sent is answered or classified by the server.
+"""
+
+import pytest
+
+from repro.scan.campaign import ScanCampaign
+from repro.scan.ecs_scanner import EcsScanSettings
+from repro.scan.sharding import ShardedCampaignExecutor
+from repro.telemetry import Telemetry, deterministic_totals
+from repro.worldgen import WorldConfig, build_world
+
+pytestmark = pytest.mark.skipif(
+    not ShardedCampaignExecutor.supported(),
+    reason="sharded execution requires the fork start method",
+)
+
+WORKER_COUNTS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    """workers -> full telemetry snapshot of a same-seed tiny campaign."""
+    result = {}
+    for workers in WORKER_COUNTS:
+        telemetry = Telemetry()
+        world = build_world(WorldConfig.tiny(seed=2022), telemetry=telemetry)
+        with ScanCampaign(
+            server=world.route53,
+            routing=world.routing,
+            clock=world.clock,
+            settings=EcsScanSettings(workers=workers, campaign_seed=2022),
+            telemetry=telemetry,
+        ) as campaign:
+            campaign.run(world.scan_months())
+        result[workers] = telemetry.snapshot()
+    return result
+
+
+def _counters(snapshot):
+    return {
+        (entry["name"], tuple(sorted(entry["labels"].items()))): entry["value"]
+        for entry in snapshot["metrics"]["counters"]
+    }
+
+
+class TestShardedTelemetry:
+    def test_deterministic_totals_identical(self, snapshots):
+        sequential = deterministic_totals(snapshots[1])
+        sharded = deterministic_totals(snapshots[4])
+        assert sequential == sharded
+        assert len(sequential) > 20  # the invariant covers real breadth
+
+    def test_probe_accounting_closes(self, snapshots):
+        """sent == answered + nodata + nxdomain + refused, per run."""
+        for workers, snapshot in snapshots.items():
+            counters = _counters(snapshot)
+            sent = sum(
+                value
+                for (name, _), value in counters.items()
+                if name == "ecs.probes_sent"
+            )
+            server = {
+                name.removeprefix("dns.server."): value
+                for (name, labels), value in counters.items()
+                if name.startswith("dns.server.")
+                and dict(labels).get("server") == "route53"
+            }
+            assert sent > 0
+            accounted = (
+                server["answered"]
+                + server["nodata"]
+                + server["nxdomain"]
+                + server["refused"]
+            )
+            assert sent == accounted, f"workers={workers}"
+            assert server["queries"] == sent
+
+    def test_answers_match_scope_observations(self, snapshots):
+        """Every answered probe contributes one ecs.scope observation."""
+        for snapshot in snapshots.values():
+            counters = _counters(snapshot)
+            answered = sum(
+                value
+                for (name, _), value in counters.items()
+                if name in ("ecs.answers", "ecs.sparse_answered")
+            )
+            observed = sum(
+                entry["count"]
+                for entry in snapshot["metrics"]["histograms"]
+                if entry["name"] == "ecs.scope"
+            )
+            assert answered == observed > 0
+
+    def test_shard_bookkeeping_present_only_when_sharded(self, snapshots):
+        sequential = _counters(snapshots[1])
+        sharded = _counters(snapshots[4])
+        assert not any(name == "ecs.shards" for name, _ in sequential)
+        shard_counts = [
+            value for (name, _), value in sharded.items() if name == "ecs.shards"
+        ]
+        assert shard_counts and all(count > 0 for count in shard_counts)
+
+    def test_worldgen_spans_recorded(self, snapshots):
+        for snapshot in snapshots.values():
+            names = {span["name"] for span in snapshot["spans"]}
+            assert "worldgen.internet" in names
+            assert any(
+                span["name"] == "campaign.month" for span in snapshot["spans"]
+            )

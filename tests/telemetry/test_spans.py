@@ -1,0 +1,115 @@
+"""Span tracing: nesting, sim vs wall clocks, Chrome trace export."""
+
+from repro.simtime import SimClock
+from repro.telemetry import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_sim_time_tracks_clock_advance(self):
+        clock = SimClock()
+        tracer = Tracer()
+        tracer.bind_clock(clock)
+        clock.advance_to(100.0)
+        with tracer.span("scan"):
+            clock.advance(3600.0)
+        (root,) = tracer.roots
+        assert root.sim_start == 100.0
+        assert root.sim_end == 3700.0
+        assert root.sim_seconds == 3600.0
+        assert root.wall_seconds > 0.0
+
+    def test_unbound_clock_records_zero_sim_time(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.roots[0].sim_seconds == 0.0
+
+    def test_nesting(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("outer"):
+            with tracer.span("inner", month=1):
+                pass
+            with tracer.span("inner", month=2):
+                pass
+        with tracer.span("second-root"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "second-root"]
+        outer = tracer.roots[0]
+        assert [c.attrs["month"] for c in outer.children] == [1, 2]
+        assert outer.children[0].children == []
+
+    def test_open_span_reports_zero_duration(self):
+        tracer = Tracer()
+        context = tracer.span("open")
+        span = context.__enter__()
+        assert span.wall_seconds == 0.0
+        assert span.sim_seconds == 0.0
+        context.__exit__(None, None, None)
+        assert span.wall_seconds > 0.0
+
+    def test_exception_unwinding_closes_the_stack(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                tracer.span("leaked").__enter__()  # never exited
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        # The stack fully unwound: a new span is a root, not a child.
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+
+    def test_tree_is_json_friendly(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("parent", phase="x"):
+            clock.advance(5.0)
+            with tracer.span("child"):
+                pass
+        (tree,) = tracer.tree()
+        assert tree["name"] == "parent"
+        assert tree["attrs"] == {"phase": "x"}
+        assert tree["sim_seconds"] == 5.0
+        assert tree["children"][0]["name"] == "child"
+
+
+class TestChromeTrace:
+    def test_events_are_relative_microseconds(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("a"):
+            clock.advance(10.0)
+            with tracer.span("b"):
+                pass
+        trace = tracer.chrome_trace()
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == ["a", "b"]
+        first = events[0]
+        assert first["ph"] == "X"
+        assert first["ts"] == 0.0  # relative to the earliest span
+        assert first["dur"] > 0.0
+        assert first["args"]["sim_start_s"] == 0.0
+        assert first["args"]["sim_end_s"] == 10.0
+        assert events[1]["ts"] >= 0.0
+
+    def test_empty_and_open_spans(self):
+        tracer = Tracer()
+        assert tracer.chrome_trace() == {"traceEvents": []}
+        tracer.span("open").__enter__()
+        assert tracer.chrome_trace() == {"traceEvents": []}
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        tracer.bind_clock(SimClock())
+        with tracer.span("x", k="v") as span:
+            assert span.wall_seconds == 0.0
+        assert tracer.roots == []
+        assert tracer.tree() == []
+        assert tracer.chrome_trace() == {"traceEvents": []}
+
+    def test_shares_span_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")

@@ -73,3 +73,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "blocked:" in out
         assert "NXDOMAIN" in out
+
+
+class TestTelemetry:
+    def test_ecs_scan_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        assert main(["ecs-scan", *SCALE, "--telemetry-out", str(path)]) == 0
+        assert "wrote telemetry" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        names = {entry["name"] for entry in snapshot["metrics"]["counters"]}
+        assert "ecs.probes_sent" in names
+        assert "dns.server.answered" in names
+        assert any(span["name"] == "ecs.scan" for span in snapshot["spans"])
+        assert snapshot["trace"]["traceEvents"]
+
+    def test_prometheus_format_by_suffix(self, tmp_path):
+        path = tmp_path / "telemetry.prom"
+        assert main(["ecs-scan", *SCALE, "--telemetry-out", str(path)]) == 0
+        text = path.read_text()
+        assert "# TYPE ecs_probes_sent_total counter" in text
+        assert "ecs_scope_bucket" in text
+
+    def test_telemetry_subcommand_renders_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.json"
+        assert main(["ecs-scan", *SCALE, "--telemetry-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top counters" in out
+        assert out.index("top counters") < out.index("spans (wall vs sim)")
+        assert "ecs.scan" in out
+        # --top limits the counter table to the 5 largest.
+        counter_lines = out.split("top counters")[1].split("gauges:")[0]
+        assert len(counter_lines.strip().splitlines()) == 6  # header + 5
+
+    def test_no_flag_no_snapshot(self, capsys):
+        assert main(["world-info", *SCALE]) == 0
+        assert "telemetry" not in capsys.readouterr().out

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.scan",
     "repro.analysis",
     "repro.worldgen",
+    "repro.telemetry",
 ]
 
 
