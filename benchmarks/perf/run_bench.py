@@ -19,7 +19,11 @@ run with live telemetry.  The harness gates (always, even with
 the same invariant the sharded-telemetry tests and the CI cross-leg
 comparison enforce — and on the telemetry-on sequential campaign
 staying within 3 % (plus a 0.1 s noise floor) of the telemetry-off one
-(check mode only).  ``--telemetry-out PATH`` saves a snapshot: the
+(check mode only).  A faults-off leg runs the sequential campaign with
+the ``none`` fault profile attached: it must reproduce the plain
+campaign exactly, and (check mode) stay within 2 % — the robustness
+hooks may not tax the fault-free path.  ``--telemetry-out PATH`` saves
+a snapshot: the
 sharded campaign's when that leg ran, else the sequential one's (so the
 CI workers=1 and workers=4 artifacts compare across worker counts).
 
@@ -227,6 +231,56 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
             [f"telemetry-on sequential: {p}" for p in problems]
         )
     del seq_world, seq_campaign, seq_telemetry
+
+    # Faults-off leg: an attached "none" profile exercises every fault
+    # hook (gate checks in the scan kernels, the retry plumbing) without
+    # injecting anything.  It must reproduce the plain campaign exactly,
+    # and its overhead is gated like telemetry's — robustness hooks may
+    # not tax the fault-free path.
+    from repro.faults import FaultPlan
+
+    # The overhead is measured as best-of-two hooked vs best-of-two
+    # plain (the main campaign_s plus one interleaved re-run): single
+    # campaign wall times on shared machines jitter by far more than
+    # the 2 % budget, and taking minima on both sides cancels the noise
+    # while still catching a systematic slowdown.
+    campaign_faults_off_s = None
+    campaign_faults_base_s = campaign_s
+    for attempt in range(2):
+        faults_world = build_world(WorldConfig(seed=seed, scale=scale))
+        faults_campaign = ScanCampaign(
+            server=faults_world.route53,
+            routing=faults_world.routing,
+            clock=faults_world.clock,
+            settings=EcsScanSettings(fault_plan=FaultPlan("none", seed=seed)),
+        )
+        t0 = time.perf_counter()
+        faults_months = faults_campaign.run(faults_world.scan_months())
+        elapsed = time.perf_counter() - t0
+        if campaign_faults_off_s is None or elapsed < campaign_faults_off_s:
+            campaign_faults_off_s = elapsed
+        if attempt == 0:
+            problems = _verify_sharded(months, faults_months)
+            if problems:
+                raise ShardDivergence(
+                    [f"faults-off (none profile): {p}" for p in problems]
+                )
+        del faults_world, faults_campaign, faults_months
+        if attempt == 0:
+            plain_world = build_world(WorldConfig(seed=seed, scale=scale))
+            plain_campaign = ScanCampaign(
+                server=plain_world.route53,
+                routing=plain_world.routing,
+                clock=plain_world.clock,
+                settings=EcsScanSettings(),
+            )
+            t0 = time.perf_counter()
+            plain_campaign.run(plain_world.scan_months())
+            elapsed = time.perf_counter() - t0
+            if elapsed < campaign_faults_base_s:
+                campaign_faults_base_s = elapsed
+            del plain_world, plain_campaign
+
     result = {
         "commit": current_commit(),
         "scale": scale,
@@ -242,6 +296,11 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         "queries_per_s": round(campaign_queries / campaign_s, 1),
         "campaign_telemetry_s": round(campaign_telemetry_s, 3),
         "telemetry_overhead": round(campaign_telemetry_s / campaign_s - 1.0, 4),
+        "campaign_faults_off_s": round(campaign_faults_off_s, 3),
+        "campaign_faults_base_s": round(campaign_faults_base_s, 3),
+        "fault_hook_overhead": round(
+            campaign_faults_off_s / campaign_faults_base_s - 1.0, 4
+        ),
         "telemetry": {"metrics": seq_snapshot["metrics"]},
     }
     snapshot_out = seq_snapshot
@@ -282,6 +341,29 @@ class ShardDivergence(Exception):
 #: with an absolute noise floor for very fast (smoke-scale) runs.
 TELEMETRY_OVERHEAD_FRACTION = 0.03
 TELEMETRY_OVERHEAD_FLOOR_S = 0.1
+
+#: Attached-but-inactive fault plan ("none" profile) budget: 2 % of the
+#: campaign, same absolute noise floor.
+FAULT_HOOK_OVERHEAD_FRACTION = 0.02
+FAULT_HOOK_OVERHEAD_FLOOR_S = 0.1
+
+
+def check_fault_hook_overhead(result: dict) -> int:
+    off = result["campaign_faults_base_s"]
+    hooked = result["campaign_faults_off_s"]
+    budget = max(FAULT_HOOK_OVERHEAD_FRACTION * off, FAULT_HOOK_OVERHEAD_FLOOR_S)
+    print(
+        f"fault-hook overhead: {hooked - off:+.3f}s "
+        f"({result['fault_hook_overhead']:+.2%}, budget {budget:.3f}s)"
+    )
+    if hooked - off > budget:
+        print(
+            f"FAIL: faults-off campaign exceeded the "
+            f"{FAULT_HOOK_OVERHEAD_FRACTION:.0%} fault-hook overhead budget"
+        )
+        return 1
+    print("OK: fault-hook overhead within budget")
+    return 0
 
 
 def check_telemetry_overhead(result: dict) -> int:
@@ -405,7 +487,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.check:
         status = check_regression(result, args.tolerance)
-        return status or check_telemetry_overhead(result)
+        return (
+            status
+            or check_telemetry_overhead(result)
+            or check_fault_hook_overhead(result)
+        )
     return 0
 
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+import math
+
 from repro import WorldConfig, build_world
 from repro.analysis import (
     build_egress_facts,
@@ -29,6 +31,8 @@ from repro.analysis import (
     build_table3,
     build_table4,
 )
+from repro.errors import ReproError
+from repro.faults import PROFILES, FaultPlan
 from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
 from repro.scan import (
     EcsScanner,
@@ -42,13 +46,50 @@ from repro.worldgen.world import CONTROL_DOMAIN
 INGRESS_ASNS = {714, 36183}
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float > 0 (``--scale``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (``--workers``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
 def _add_world_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", type=float, default=0.02,
+    parser.add_argument("--scale", type=_positive_float, default=0.02,
                         help="world scale (1.0 = paper scale)")
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--telemetry-out", type=str, default=None, metavar="PATH",
                         help="write a telemetry snapshot (metrics + spans) here; "
                              "a .prom suffix selects Prometheus text format")
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-profile", choices=sorted(PROFILES),
+                        default="none",
+                        help="inject deterministic faults (seeded from --seed; "
+                             "results are reproducible per profile)")
+
+
+def _fault_plan(args) -> FaultPlan | None:
+    """The seeded plan for ``--fault-profile``, or None for 'none'."""
+    name = getattr(args, "fault_profile", "none")
+    if name == "none":
+        return None
+    return FaultPlan(PROFILES[name], seed=args.seed)
 
 
 def _make_telemetry(args):
@@ -97,7 +138,11 @@ def cmd_ecs_scan(args) -> int:
     world = _world(args, telemetry)
     world.clock.advance_to(world.scan_start(args.year, args.month))
     domain = RELAY_DOMAIN_FALLBACK if args.fallback else RELAY_DOMAIN_QUIC
-    settings = EcsScanSettings(workers=args.workers, campaign_seed=args.seed)
+    settings = EcsScanSettings(
+        workers=args.workers,
+        campaign_seed=args.seed,
+        fault_plan=_fault_plan(args),
+    )
     scanner = EcsScanner(
         world.route53, world.routing, world.clock, settings, telemetry=telemetry
     )
@@ -110,6 +155,9 @@ def cmd_ecs_scan(args) -> int:
     print(f"queries:   {result.queries_sent} "
           f"({result.sparse_queries} sparse, "
           f"{result.duration_hours():.1f} simulated hours)")
+    if result.retries or result.gave_up:
+        print(f"faults:    {result.retries} retries, "
+              f"{len(result.gave_up)} abandoned blocks")
     print(f"addresses: {len(result.addresses())}")
     for asn, addresses in sorted(result.addresses_by_asn().items()):
         print(f"  AS{asn}: {len(addresses)}")
@@ -142,6 +190,9 @@ def cmd_relay_scan(args) -> int:
     telemetry = _make_telemetry(args)
     world = _world(args, telemetry)
     world.clock.advance_to(world.scan_start(2022, 4))
+    plan = _fault_plan(args)
+    if plan is not None:
+        world.service.fault_plan = plan
     client = world.make_vantage_client()
     scanner = RelayScanner(client, world.web_server, world.echo_server, world.clock)
     series = scanner.run(
@@ -179,11 +230,23 @@ def cmd_archive(args) -> int:
 
     from repro.scan import EcsScanSettings
 
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     telemetry = _make_telemetry(args)
     world = _world(args, telemetry)
-    settings = EcsScanSettings(workers=args.workers, campaign_seed=args.seed)
+    settings = EcsScanSettings(
+        workers=args.workers,
+        campaign_seed=args.seed,
+        fault_plan=_fault_plan(args),
+    )
     with ScanCampaign(
-        world.route53, world.routing, world.clock, settings, telemetry
+        world.route53, world.routing, world.clock, settings, telemetry,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        # The campaign never sees the world parameters; fold them into
+        # the fingerprint so checkpoints refuse to splice across worlds.
+        checkpoint_meta={"world_seed": args.seed, "world_scale": args.scale},
     ) as campaign:
         campaign.run(world.scan_months())
     path = write_archive(
@@ -257,9 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scan mask-h2.icloud.com instead")
     p.add_argument("--archive", type=str, default=None,
                    help="write the longitudinal dataset CSV here")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="shard the scan across N worker processes "
                         "(results are identical at any worker count)")
+    _add_fault_args(p)
     p.set_defaults(func=cmd_ecs_scan)
 
     p = sub.add_parser("egress-report", help="Tables 3/4 and egress facts")
@@ -270,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(p)
     p.add_argument("--interval", type=float, default=300.0)
     p.add_argument("--duration", type=float, default=86400.0)
+    _add_fault_args(p)
     p.set_defaults(func=cmd_relay_scan)
 
     p = sub.add_parser("blocking", help="the Atlas blocking study")
@@ -279,8 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("archive", help="write the research-data archive")
     _add_world_args(p)
     p.add_argument("directory", help="output directory for the bundle")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="shard campaign scans across N worker processes")
+    p.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                   help="write an atomic checkpoint after each campaign month")
+    p.add_argument("--resume", action="store_true",
+                   help="restore already-checkpointed months instead of "
+                        "re-scanning them (requires --checkpoint-dir)")
+    _add_fault_args(p)
     p.set_defaults(func=cmd_archive)
 
     p = sub.add_parser("reproduce", help="full paper-vs-measured report")
@@ -298,10 +369,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Argument errors (argparse) and library failures (:class:`ReproError`,
+    file-system problems) exit with code 2 and a one-line message — no
+    traceback reaches the user for anticipated failure modes.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

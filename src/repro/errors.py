@@ -72,6 +72,18 @@ class MeasurementError(ReproError):
     """A measurement platform operation failed (unknown probe, bad spec)."""
 
 
+class FaultConfigError(ReproError, ValueError):
+    """A fault profile is malformed (bad probability, unknown name)."""
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint cannot be used (settings fingerprint mismatch)."""
+
+
+class WorkerCrashed(ReproError):
+    """Shard worker processes kept dying beyond the recovery budget."""
+
+
 class WorldGenError(ReproError):
     """World generation parameters are inconsistent or infeasible."""
 

@@ -1,0 +1,34 @@
+"""Seeded, deterministic fault injection.
+
+The fault plane sits between the measurement code and the simulated
+infrastructure: a :class:`FaultPlan` (derived from a named
+:class:`FaultProfile` plus a seed) decides per *event content* whether a
+DNS query is dropped / SERVFAILs / is refused / truncated / delayed,
+whether a relay connection attempt fails transiently, whether an Atlas
+probe goes dark, and which shard workers crash.  Off by default — a
+``None`` plan injects nothing and costs nothing.
+
+See DESIGN.md §7 for the determinism argument and the recovery layer
+built on top (scanner retry/backoff, campaign checkpoint/resume, shard
+crash recovery).
+"""
+
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    WAIT_QUANTUM,
+    fault_key,
+    quantize_wait,
+)
+from repro.faults.profiles import PROFILES, FaultProfile, profile_named
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultProfile",
+    "PROFILES",
+    "WAIT_QUANTUM",
+    "fault_key",
+    "profile_named",
+    "quantize_wait",
+]

@@ -1,0 +1,237 @@
+"""The deterministic fault plan: content-keyed failure decisions.
+
+A :class:`FaultPlan` is a pure function family derived from
+``(fault profile, seed)``.  Every decision — does this query get
+dropped?  how long is this latency spike?  how much jitter on this
+backoff? — is computed by mixing the *content* of the event (domain,
+subnet value, attempt number, probe id...) with the seed through a
+splitmix64-style integer hash.  Three properties fall out of that, and
+the whole robustness layer leans on them:
+
+* **Order independence.**  A decision never depends on when the query
+  is sent, which worker sends it, or what was sent before it.  Shard
+  workers and the sequential scanner therefore inject *exactly* the
+  same faults for the same query set, which is what keeps the
+  workers-1/2/4 merge bit-identical under any profile.
+* **Process independence.**  The hash uses ``zlib.crc32`` for strings —
+  never Python's randomized ``hash()`` — so a killed-and-resumed
+  campaign (a fresh interpreter) replays the same faults.
+* **Retryability.**  The attempt number is part of the key, so a
+  retried query gets a fresh draw: transient faults are transient.
+
+All injected waits (backoff delays, latency spikes) are quantized to
+multiples of 2\\ :sup:`-10` seconds.  Dyadic rationals of that size sum
+*exactly* in double precision, making the addition associative — shard
+workers can each sum their own waits and the parent can sum the partial
+sums, landing on the very float the sequential scan computes.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.faults.profiles import FaultProfile, PROFILES, profile_named
+
+_M64 = (1 << 64) - 1
+_SCALE = 1 << 64
+
+#: Channel salts: independent decision streams derived from one seed.
+_SALT_QUERY = 0x51A7E6A1D5B6A4F1
+_SALT_JITTER = 0x9B97A3D36E2F7C2B
+_SALT_LATENCY = 0x3C6EF372FE94F82B
+_SALT_CONNECT = 0xB7E151628AED2A6B
+_SALT_PROBE = 0x607C8D61F2D1E3A9
+
+#: Distinct odd multipliers decorrelate the key components.
+_MULT_A = 0xD1342543DE82EF95
+_MULT_B = 0xDB4F0B9175AE2165
+_MULT_C = 0x2545F4914F6CDD1D
+
+#: Injected waits are multiples of this (2**-10 s): dyadic, so sums are
+#: exact and associative across shard partitions.
+WAIT_QUANTUM = 0.0009765625
+
+
+class FaultKind:
+    """Integer codes for DNS-boundary fault outcomes (0 = no fault).
+
+    Plain ints, not an enum: the scan kernel compares these per query.
+    ``LATENCY`` is special — the response still arrives (after a spike),
+    every other kind loses the attempt and triggers a retry.
+    """
+
+    OK = 0
+    DROP = 1
+    SERVFAIL = 2
+    REFUSED = 3
+    TRUNCATED = 4
+    LATENCY = 5
+
+    NAMES = ("ok", "drop", "servfail", "refused", "truncated", "latency")
+
+
+def _mix(x: int) -> int:
+    """splitmix64 finalizer: avalanche one 64-bit value."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return (x ^ (x >> 31)) & _M64
+
+
+def fault_key(text: str) -> int:
+    """A process-stable integer key for a string (domain, client key).
+
+    crc32, not ``hash()``: Python string hashing is randomized per
+    process, and fault decisions must survive kill-and-resume.
+    """
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def quantize_wait(seconds: float) -> float:
+    """Round a wait down to the nearest dyadic quantum (2**-10 s)."""
+    if seconds <= 0.0:
+        return 0.0
+    return int(seconds * 1024.0) * WAIT_QUANTUM
+
+
+class FaultPlan:
+    """Seeded, deterministic fault decisions for one world.
+
+    Construct one per campaign from ``(profile, seed)`` — typically the
+    world seed, so re-running the same world replays the same faults —
+    and share it between the scanner settings and the relay service.
+    The plan is immutable and safe to consult from forked workers.
+    """
+
+    def __init__(self, profile: FaultProfile | str, seed: int = 0) -> None:
+        if isinstance(profile, str):
+            profile = profile_named(profile)
+        self.profile = profile
+        self.seed = int(seed)
+        cumulative = 0.0
+        thresholds = []
+        for rate in profile.dns_rates():
+            cumulative += rate
+            thresholds.append(min(_SCALE, int(cumulative * _SCALE)))
+        #: Cumulative u64 thresholds in FaultKind order (DROP..LATENCY).
+        self._thresholds = tuple(thresholds)
+        #: Channel bases: the seed folded with each channel's salt once.
+        self._query_base = _mix(self.seed ^ _SALT_QUERY)
+        self._jitter_base = _mix(self.seed ^ _SALT_JITTER)
+        self._latency_base = _mix(self.seed ^ _SALT_LATENCY)
+        self._connect_base = _mix(self.seed ^ _SALT_CONNECT)
+        self._probe_base = _mix(self.seed ^ _SALT_PROBE)
+        self._connect_threshold = int(profile.connect_failure * _SCALE)
+        self._probe_threshold = int(profile.probe_loss * _SCALE)
+        #: Fast activity gates: hot paths skip the fault machinery
+        #: entirely (one attribute read) when a boundary injects nothing.
+        self.dns_active = thresholds[-1] > 0
+        self.connect_active = self._connect_threshold > 0
+        self.probe_active = self._probe_threshold > 0
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(profile={self.profile.name!r}, seed={self.seed})"
+
+    # -- DNS boundary ---------------------------------------------------
+
+    def query_outcome(self, domain_key: int, value: int, attempt: int) -> int:
+        """The :class:`FaultKind` for one query attempt (0 = delivered).
+
+        Keyed purely by content — (domain, subnet value, attempt) — so
+        the decision is identical in the sequential scanner, any shard
+        worker, and a resumed campaign.
+        """
+        h = _mix(
+            self._query_base
+            + domain_key * _MULT_A
+            + value * _MULT_B
+            + attempt * _MULT_C
+        )
+        t = self._thresholds
+        if h >= t[4]:
+            return 0
+        if h < t[0]:
+            return 1
+        if h < t[1]:
+            return 2
+        if h < t[2]:
+            return 3
+        if h < t[3]:
+            return 4
+        return 5
+
+    def latency_wait(self, domain_key: int, value: int, attempt: int) -> float:
+        """The (quantized) size of an injected latency spike, seconds."""
+        unit = self._unit(self._latency_base, domain_key, value, attempt)
+        return quantize_wait(self.profile.latency_seconds * (0.5 + unit))
+
+    def backoff_wait(
+        self,
+        base: float,
+        factor: float,
+        jitter: float,
+        domain_key: int,
+        value: int,
+        attempt: int,
+    ) -> float:
+        """The (quantized) delay before retry number ``attempt``.
+
+        Exponential in the attempt number, multiplied by a deterministic
+        jitter factor in ``[1 - jitter, 1 + jitter)``.
+        """
+        delay = base * factor ** (attempt - 1)
+        if jitter:
+            unit = self._unit(self._jitter_base, domain_key, value, attempt)
+            delay *= (1.0 - jitter) + 2.0 * jitter * unit
+        return quantize_wait(delay)
+
+    # -- relay / atlas boundaries --------------------------------------
+
+    def connect_fails(self, client_key: int, sequence: int) -> bool:
+        """Whether one relay connection attempt fails transiently.
+
+        ``sequence`` is the client's per-key attempt ordinal, so retries
+        re-draw and a persistent client eventually connects.
+        """
+        h = _mix(self._connect_base + client_key * _MULT_A + sequence * _MULT_C)
+        return h < self._connect_threshold
+
+    def probe_lost(self, measurement_key: int, probe_id: int, attempt: int) -> bool:
+        """Whether one Atlas probe's attempt at a measurement is lost."""
+        h = _mix(
+            self._probe_base
+            + measurement_key * _MULT_A
+            + probe_id * _MULT_B
+            + attempt * _MULT_C
+        )
+        return h < self._probe_threshold
+
+    # -- shard crash drill ---------------------------------------------
+
+    def crash_shard(self, shard_index: int, run_attempt: int) -> bool:
+        """Whether the worker running this shard should die (drill).
+
+        Only fires while ``run_attempt`` is below the profile's
+        ``crash_attempts``, so pool recovery always terminates.
+        """
+        profile = self.profile
+        return (
+            run_attempt < profile.crash_attempts
+            and shard_index in profile.crash_shards
+        )
+
+    # -- helpers --------------------------------------------------------
+
+    def _unit(self, base: int, a: int, b: int, c: int) -> float:
+        """A deterministic uniform draw in [0, 1)."""
+        return _mix(base + a * _MULT_A + b * _MULT_B + c * _MULT_C) / _SCALE
+
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "PROFILES",
+    "WAIT_QUANTUM",
+    "fault_key",
+    "quantize_wait",
+]

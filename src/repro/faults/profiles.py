@@ -1,0 +1,128 @@
+"""Named fault profiles: how unreliable the simulated network is.
+
+A :class:`FaultProfile` is pure configuration — per-event probabilities
+plus a couple of shape parameters — with no randomness of its own.  All
+draws happen in :class:`~repro.faults.plan.FaultPlan`, keyed by query
+content, so the same (profile, seed) pair always injects exactly the
+same faults no matter how the scan is executed.
+
+Three profiles ship with the library:
+
+* ``none`` — every probability zero.  Attaching it exercises the fault
+  hooks (the bench harness gates their overhead) without injecting
+  anything.
+* ``lossy`` — mild packet loss and resolver flakiness: the weather on a
+  normal measurement day.
+* ``hostile`` — heavy loss, refusals and latency spikes, plus a shard
+  worker that crashes on its first attempt, so every recovery path runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultConfigError
+
+#: The per-query probability fields, in the order the cumulative
+#: thresholds are laid out (must match the FaultKind numbering).
+_DNS_FIELDS = ("drop", "servfail", "refused", "truncated", "latency")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Per-boundary fault rates for one named reliability regime."""
+
+    name: str
+    #: DNS-boundary probabilities (independent per query attempt; at most
+    #: one fault kind fires per attempt — they partition the unit range).
+    drop: float = 0.0
+    servfail: float = 0.0
+    refused: float = 0.0
+    truncated: float = 0.0
+    latency: float = 0.0
+    #: Mean-ish size of an injected latency spike (the plan draws a
+    #: deterministic value in [0.5, 1.5) times this).
+    latency_seconds: float = 2.0
+    #: Probability that one relay connection attempt fails transiently.
+    connect_failure: float = 0.0
+    #: Probability that one Atlas probe's measurement attempt is lost.
+    probe_loss: float = 0.0
+    #: Shard indices whose worker process dies mid-task (crash-recovery
+    #: drill).  Crashes stop once a shard has been re-run
+    #: ``crash_attempts`` times, so recovery terminates by construction.
+    crash_shards: tuple[int, ...] = ()
+    crash_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (*_DNS_FIELDS, "connect_failure", "probe_loss"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultConfigError(
+                    f"{self.name}: {name} must be a probability, got {value}"
+                )
+        if sum(getattr(self, name) for name in _DNS_FIELDS) > 1.0:
+            raise FaultConfigError(
+                f"{self.name}: DNS fault probabilities must sum to <= 1"
+            )
+        if self.latency_seconds < 0:
+            raise FaultConfigError(
+                f"{self.name}: latency_seconds must be >= 0"
+            )
+        if self.crash_attempts < 0:
+            raise FaultConfigError(
+                f"{self.name}: crash_attempts must be >= 0"
+            )
+
+    def dns_rates(self) -> tuple[float, ...]:
+        """The DNS-boundary probabilities in FaultKind order."""
+        return tuple(getattr(self, name) for name in _DNS_FIELDS)
+
+    @property
+    def injects_anything(self) -> bool:
+        """Whether any probability (or crash drill) is non-zero."""
+        return bool(
+            any(self.dns_rates())
+            or self.connect_failure
+            or self.probe_loss
+            or self.crash_shards
+        )
+
+
+#: The library's named reliability regimes.
+PROFILES: dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (
+        FaultProfile(name="none"),
+        FaultProfile(
+            name="lossy",
+            drop=0.05,
+            servfail=0.02,
+            latency=0.05,
+            latency_seconds=2.0,
+            connect_failure=0.05,
+            probe_loss=0.05,
+        ),
+        FaultProfile(
+            name="hostile",
+            drop=0.15,
+            servfail=0.06,
+            refused=0.04,
+            truncated=0.03,
+            latency=0.08,
+            latency_seconds=5.0,
+            connect_failure=0.2,
+            probe_loss=0.15,
+            crash_shards=(1,),
+        ),
+    )
+}
+
+
+def profile_named(name: str) -> FaultProfile:
+    """Look a profile up by name, with a typed error for unknown names."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise FaultConfigError(
+            f"unknown fault profile {name!r} (known: {', '.join(sorted(PROFILES))})"
+        ) from None

@@ -19,8 +19,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import RelayUnavailable, ResolutionTimeout
+from repro.errors import ConnectionFailed, RelayUnavailable, ResolutionTimeout
 from repro.dns.name import DnsName
+from repro.faults.plan import fault_key
 from repro.dns.resolver import Resolver
 from repro.dns.rr import RRType
 from repro.netmodel.addr import IPAddress
@@ -113,6 +114,11 @@ class RelayClient:
     location: GeoPoint | None
     dns: DnsConfig
     preserve_location: bool = True
+    #: Connection attempts per protocol before a transient
+    #: (fault-injected) failure is given up on.  Real device behaviour:
+    #: a handshake timeout is retried a couple of times with backoff
+    #: before Safari surfaces an error.
+    max_connect_attempts: int = 3
 
     def resolve_ingress(
         self, protocol: RelayProtocol = RelayProtocol.QUIC, version: int = 4
@@ -146,21 +152,57 @@ class RelayClient:
             # Clients use the first returned record; the dynamic zone
             # rotates record order, spreading clients across the pod.
             ingress = addresses[0]
-            return self.service.connect(
-                client_address=self.address,
-                client_asn=self.asn,
-                client_country=self.country,
-                client_location=self.location,
-                ingress_address=ingress,
-                target_authority=target_authority,
-                target_port=target_port,
-                preserve_location=self.preserve_location,
-                client_key=str(self.address),
-                protocol=protocol,
+            return self._connect_with_retry(
+                ingress, target_authority, target_port, protocol
             )
         raise last_error if last_error is not None else RelayUnavailable(
             "relay connection failed"
         )
+
+    def _connect_with_retry(
+        self,
+        ingress: IPAddress,
+        target_authority: str,
+        target_port: int,
+        protocol: RelayProtocol,
+    ) -> RelaySession:
+        """Connect, retrying transient failures with deterministic backoff.
+
+        Only :class:`ConnectionFailed` (the fault plane's transient
+        handshake failure) is retried; hard refusals — country blocks,
+        inactive relays — propagate immediately.  Exhausting the attempt
+        budget re-raises the last transient failure.
+        """
+        attempts = max(1, self.max_connect_attempts)
+        registry = self.service.telemetry.registry
+        plan = self.service.fault_plan
+        key = fault_key(str(self.address))
+        for attempt in range(1, attempts + 1):
+            try:
+                return self.service.connect(
+                    client_address=self.address,
+                    client_asn=self.asn,
+                    client_country=self.country,
+                    client_location=self.location,
+                    ingress_address=ingress,
+                    target_authority=target_authority,
+                    target_port=target_port,
+                    preserve_location=self.preserve_location,
+                    client_key=str(self.address),
+                    protocol=protocol,
+                )
+            except ConnectionFailed:
+                if attempt >= attempts:
+                    raise
+                if registry.enabled:
+                    registry.counter(
+                        "relay.connect_retries", protocol=protocol.value
+                    ).inc()
+                if plan is not None:
+                    self.service.clock.advance(
+                        plan.backoff_wait(1.0, 2.0, 0.5, key, 0, attempt)
+                    )
+        raise RelayUnavailable("relay connection failed")  # pragma: no cover
 
     def request(
         self,

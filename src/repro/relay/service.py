@@ -22,7 +22,8 @@ import bisect
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import RelayError, RelayUnavailable
+from repro.errors import ConnectionFailed, RelayError, RelayUnavailable
+from repro.faults.plan import FaultPlan, fault_key
 from repro.dns.name import DnsName
 from repro.dns.rr import RRType, ResourceRecord, a_record, aaaa_record
 from repro.dns.zone import UNCACHED, LookupResult, Zone
@@ -95,6 +96,32 @@ class RotationCounters(dict):
         """
         for key, delta in deltas.items():
             self[key] = self[key] + delta
+
+    def state_snapshot(self) -> dict:
+        """A JSON-safe snapshot of the full rotation state.
+
+        Campaign checkpoints persist this so a resumed run's rotation
+        streams continue exactly where the killed run's left off — the
+        one piece of scan-visible state that lives outside the results.
+        """
+        return {
+            "base": self.base,
+            "counters": sorted(
+                (
+                    [pod, protocol.value, version, count]
+                    for (pod, protocol, version), count in self.items()
+                ),
+                # Unassigned-space streams use a None pod.
+                key=lambda row: (row[0] or "", row[1], row[2]),
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset to a :meth:`state_snapshot` (checkpoint resume)."""
+        self.clear()
+        self.base = state["base"]
+        for pod, protocol, version, count in state["counters"]:
+            self[(pod, RelayProtocol(protocol), version)] = count
 
 
 @dataclass(frozen=True, slots=True)
@@ -383,7 +410,13 @@ class PrivateRelayService:
     #: DNS answer path is *not* instrumented here — it is per-query hot
     #: and accounted by the server/cache counters instead.
     telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
+    #: Deterministic fault plan for the connection plane (None = no
+    #: injection).  Transient connect failures are keyed by (client key,
+    #: per-client attempt ordinal), so a retrying client re-draws and a
+    #: persistent one eventually connects.
+    fault_plan: "FaultPlan | None" = field(default=None, repr=False)
     _operator_state: dict[str, _ClientEgressState] = field(default_factory=dict)
+    _connect_attempts: dict[str, int] = field(default_factory=dict, repr=False)
     _quic_endpoints: dict[IPAddress, RelayQuicEndpoint] = field(default_factory=dict)
     _pod_counters: RotationCounters = field(default_factory=RotationCounters)
     #: Window cache for :meth:`_deployment_epoch_token` — the token is
@@ -653,6 +686,21 @@ class PrivateRelayService:
             registry.counter("relay.connect_refused", reason="unrouted_ingress").inc()
             raise RelayError(f"ingress address {ingress_address} is unrouted")
         key = client_key or str(client_address)
+        plan = self.fault_plan
+        if plan is not None and plan.connect_active:
+            # Injected before operator selection: a failed handshake never
+            # consumes an egress draw, so sticky-operator state is
+            # unaffected by how many retries a client needed.
+            sequence = self._connect_attempts.get(key, 0)
+            self._connect_attempts[key] = sequence + 1
+            if plan.connect_fails(fault_key(key), sequence):
+                registry.counter(
+                    "relay.connect_refused", reason="fault_injected"
+                ).inc()
+                registry.counter("faults.injected", kind="connect").inc()
+                raise ConnectionFailed(
+                    f"transient connection failure to {ingress_address} (injected)"
+                )
         operator_asn = self._select_operator(key, client_country)
         pool = self.egress_fleet.pool_for(operator_asn, client_country)
         egress_address = pool.select(key, self.rng)

@@ -18,6 +18,11 @@ from repro.scan.atlas_scanner import (
 )
 from repro.scan.blocking import BlockingReport, classify_blocking
 from repro.scan.campaign import MonthlyScan, ScanCampaign
+from repro.scan.checkpoint import (
+    CampaignCheckpointer,
+    decode_result,
+    encode_result,
+)
 from repro.scan.ecs_scanner import EcsScanner, EcsScanResult, EcsScanSettings
 from repro.scan.longitudinal import AddressSighting, IngressArchive
 from repro.scan.quic_scanner import QuicProbeReport, QuicScanner
@@ -49,6 +54,9 @@ __all__ = [
     "classify_blocking",
     "MonthlyScan",
     "ScanCampaign",
+    "CampaignCheckpointer",
+    "decode_result",
+    "encode_result",
     "LabelledTarget",
     "TracerouteCampaignResult",
     "run_traceroute_campaign",

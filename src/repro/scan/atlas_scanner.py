@@ -14,12 +14,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.atlas.measurement import DnsMeasurementSpec, MeasurementTarget
+from repro.atlas.measurement import (
+    DnsMeasurementResult,
+    DnsMeasurementSpec,
+    MeasurementTarget,
+    ProbeDnsResult,
+)
 from repro.atlas.platform import AtlasPlatform
 from repro.dns.rr import RRType
 from repro.dns.whoami import WHOAMI_DOMAIN
+from repro.faults.plan import FaultPlan, fault_key
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.netmodel.bgp import RoutingTable
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -78,6 +85,9 @@ class AtlasIngressScanner:
         platform: AtlasPlatform,
         routing: RoutingTable,
         ingress_asns: set[int] | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_attempts: int = 3,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.platform = platform
         self.routing = routing
@@ -85,6 +95,81 @@ class AtlasIngressScanner:
         #: (learnt from the ECS scans); hijacked or forged answers fall
         #: outside and are dropped from address counts.
         self.ingress_asns = ingress_asns
+        #: Deterministic fault plan: individual probes can go dark for a
+        #: measurement attempt.  Lost probes are re-measured (a follow-up
+        #: measurement pinned to just those probe ids) up to
+        #: ``max_attempts`` times; probes dark on every attempt surface
+        #: as explicit timeouts — never silently missing from results.
+        self.fault_plan = fault_plan
+        self.max_attempts = max(1, max_attempts)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    def _run_dns(self, spec: DnsMeasurementSpec) -> DnsMeasurementResult:
+        """Run one measurement through the probe-loss fault boundary.
+
+        Without an active plan this is ``platform.run_dns`` verbatim.
+        With one, each probe's result is kept or lost by a content-keyed
+        draw over (measurement, probe id, attempt); lost probes are
+        retried as a pinned follow-up measurement, and still-dark probes
+        after the attempt budget are reported as timed out.  The final
+        result preserves the original probe order, so downstream
+        consumers see the same shape as a clean measurement.
+        """
+        result = self.platform.run_dns(spec)
+        plan = self.fault_plan
+        if plan is None or not plan.probe_active:
+            return result
+        mkey = fault_key(f"{spec.domain}|{spec.target.name}|{spec.rtype.name}")
+        lost_fn = plan.probe_lost
+        order = [r.probe_id for r in result.results]
+        kept: dict[int, ProbeDnsResult] = {}
+        lost: list[ProbeDnsResult] = []
+        for probe_result in result.results:
+            if lost_fn(mkey, probe_result.probe_id, 0):
+                lost.append(probe_result)
+            else:
+                kept[probe_result.probe_id] = probe_result
+        registry = self.telemetry.registry
+        losses = len(lost)
+        retried = 0
+        attempt = 1
+        while lost and attempt < self.max_attempts:
+            retry_spec = DnsMeasurementSpec(
+                spec.domain,
+                spec.rtype,
+                spec.target,
+                probe_ids=tuple(r.probe_id for r in lost),
+                description=spec.description,
+            )
+            retried += len(lost)
+            retry = self.platform.run_dns(retry_spec)
+            lost = []
+            for probe_result in retry.results:
+                if lost_fn(mkey, probe_result.probe_id, attempt):
+                    lost.append(probe_result)
+                else:
+                    kept[probe_result.probe_id] = probe_result
+            losses += len(lost)
+            attempt += 1
+        # Give-up accounting: probes dark on every attempt are explicit
+        # timeouts, so result consumers can see exactly what is missing.
+        for probe_result in lost:
+            kept[probe_result.probe_id] = ProbeDnsResult(
+                probe_id=probe_result.probe_id,
+                asn=probe_result.asn,
+                country=probe_result.country,
+                rcode=None,
+                timed_out=True,
+            )
+        if registry.enabled:
+            registry.counter("faults.injected", kind="probe_loss").inc(losses)
+            registry.counter("scan.retries", scanner="atlas").inc(retried)
+            registry.counter("scan.gaveup", scanner="atlas").inc(len(lost))
+        return DnsMeasurementResult(
+            spec=spec,
+            started_at=result.started_at,
+            results=[kept[probe_id] for probe_id in order],
+        )
 
     def _filter(self, addresses: set[IPAddress]) -> set[IPAddress]:
         if self.ingress_asns is None:
@@ -95,7 +180,7 @@ class AtlasIngressScanner:
 
     def measure_ingress_v4(self, domain: str) -> set[IPAddress]:
         """One A measurement over all probes via their local resolvers."""
-        result = self.platform.run_dns(
+        result = self._run_dns(
             DnsMeasurementSpec(domain, RRType.A, MeasurementTarget.LOCAL_RESOLVER)
         )
         return self._filter(result.distinct_addresses())
@@ -118,7 +203,7 @@ class AtlasIngressScanner:
             MeasurementTarget.LOCAL_RESOLVER,
             MeasurementTarget.AUTHORITATIVE,
         ):
-            result = self.platform.run_dns(
+            result = self._run_dns(
                 DnsMeasurementSpec(domain, RRType.AAAA, target)
             )
             addresses = {
@@ -136,7 +221,7 @@ class AtlasIngressScanner:
         ``resolver_blocks`` maps provider names to their anycast blocks;
         resolver addresses outside every block count as "local".
         """
-        result = self.platform.run_dns(
+        result = self._run_dns(
             DnsMeasurementSpec(
                 WHOAMI_DOMAIN, RRType.A, MeasurementTarget.LOCAL_RESOLVER
             )

@@ -10,10 +10,13 @@ expect.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.dns.server import AuthoritativeServer
+from repro.dns.name import DnsName
+from repro.dns.server import AuthoritativeServer, ServerStats
 from repro.netmodel.bgp import RoutingTable
 from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+from repro.scan.checkpoint import CampaignCheckpointer, decode_result, encode_result
 from repro.scan.ecs_scanner import EcsScanResult, EcsScanner, EcsScanSettings
 from repro.scan.longitudinal import IngressArchive
 from repro.simtime import SimClock
@@ -55,6 +58,14 @@ class ScanCampaign:
     fallback_archive: IngressArchive = field(
         default_factory=lambda: IngressArchive(RELAY_DOMAIN_FALLBACK)
     )
+    #: Where to write per-month checkpoints (None disables them).
+    checkpoint_dir: str | Path | None = None
+    #: Restore already-checkpointed months instead of re-scanning them.
+    resume: bool = False
+    #: Extra fingerprint material from the caller (e.g. the CLI folds in
+    #: the world scale and seed), so checkpoints refuse to splice across
+    #: different worlds even though the campaign itself never sees them.
+    checkpoint_meta: dict | None = None
 
     def _scanner(self) -> EcsScanner:
         """The campaign's scanner, built once and reused across months.
@@ -101,8 +112,114 @@ class ScanCampaign:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- checkpoint/resume ----------------------------------------------
+
+    def _checkpointer(self) -> CampaignCheckpointer | None:
+        if self.checkpoint_dir is None:
+            return None
+        checkpointer = self.__dict__.get("_checkpointer_instance")
+        if checkpointer is None:
+            checkpointer = CampaignCheckpointer(
+                self.checkpoint_dir, self._fingerprint()
+            )
+            self.__dict__["_checkpointer_instance"] = checkpointer
+        return checkpointer
+
+    def _fingerprint(self) -> dict:
+        """Every setting that can change results, and nothing else.
+
+        Worker count and the fast-path switch are excluded on purpose —
+        both are verified result-invariant by the equivalence suites, so
+        a campaign may be killed under one and resumed under the other.
+        """
+        settings = self.settings
+        plan = settings.fault_plan
+        fingerprint = {
+            "rate": settings.rate,
+            "burst": settings.burst,
+            "source_prefix_len": settings.source_prefix_len,
+            "respect_scope": settings.respect_scope,
+            "prune_unrouted": settings.prune_unrouted,
+            "sparse_stride": settings.sparse_stride,
+            "campaign_seed": settings.campaign_seed,
+            "max_attempts": settings.max_attempts,
+            "backoff": [
+                settings.backoff_base,
+                settings.backoff_factor,
+                settings.backoff_jitter,
+            ],
+            "fault_plan": (
+                None if plan is None else [plan.profile.name, plan.seed]
+            ),
+            "skip_fallback": sorted(map(list, self.skip_fallback_months)),
+        }
+        if self.checkpoint_meta:
+            fingerprint.update(self.checkpoint_meta)
+        return fingerprint
+
+    def _rotation_hooks(self) -> list:
+        """The scanned zones' rotation hooks, deduplicated by identity
+        (both relay domains live in one zone sharing one counter set)."""
+        hooks: list = []
+        seen: set[int] = set()
+        for domain in (RELAY_DOMAIN_QUIC, RELAY_DOMAIN_FALLBACK):
+            zone = self.server.zone_for(DnsName.parse(domain))
+            if zone is None:
+                continue
+            for hook in zone.shard_hooks():
+                if id(hook) not in seen:
+                    seen.add(id(hook))
+                    hooks.append(hook)
+        return hooks
+
+    def _month_payload(self, result: MonthlyScan) -> dict:
+        return {
+            "clock_now": self.clock.now,
+            "default": encode_result(result.default),
+            "fallback": (
+                None if result.fallback is None else encode_result(result.fallback)
+            ),
+            "server_stats": {
+                name: getattr(self.server.stats, name)
+                for name in ServerStats._FIELDS
+            },
+            "rotation": [hook.state_snapshot() for hook in self._rotation_hooks()],
+        }
+
+    def _restore_month(self, year: int, month: int, data: dict) -> MonthlyScan:
+        """Splice one checkpointed month in as if it had just been scanned."""
+        default = decode_result(data["default"])
+        self.default_archive.record(default)
+        fallback = None
+        if data["fallback"] is not None:
+            fallback = decode_result(data["fallback"])
+            self.fallback_archive.record(fallback)
+        stats = self.server.stats
+        for name, value in data["server_stats"].items():
+            setattr(stats, name, value)
+        for hook, state in zip(self._rotation_hooks(), data["rotation"]):
+            hook.restore_state(state)
+        if self.clock.now < data["clock_now"]:
+            self.clock.advance_to(data["clock_now"])
+        registry = self.telemetry.registry
+        if registry.enabled:
+            registry.counter("campaign.months_restored").inc()
+        result = MonthlyScan(year, month, default, fallback)
+        self.months.append(result)
+        return result
+
     def run_month(self, year: int, month: int) -> MonthlyScan:
-        """Run one month's scans (advancing the clock to the scan slot)."""
+        """Run one month's scans (advancing the clock to the scan slot).
+
+        With a checkpoint directory configured, a completed month is
+        persisted atomically afterwards; with ``resume`` set, a month
+        whose checkpoint already exists is restored instead of scanned.
+        """
+        checkpointer = self._checkpointer()
+        if checkpointer is not None and self.resume:
+            data = checkpointer.load(year, month)
+            if data is not None:
+                return self._restore_month(year, month, data)
         target = scan_time(year, month)
         if self.clock.now < target:
             self.clock.advance_to(target)
@@ -116,6 +233,8 @@ class ScanCampaign:
                 self.fallback_archive.record(fallback)
         result = MonthlyScan(year, month, default, fallback)
         self.months.append(result)
+        if checkpointer is not None:
+            checkpointer.save(year, month, self._month_payload(result))
         return result
 
     def run(self, calendar: list[tuple[int, int]]) -> list[MonthlyScan]:

@@ -1,0 +1,179 @@
+"""Campaign checkpoint/resume: atomic per-month result persistence.
+
+After each completed month, :class:`~repro.scan.campaign.ScanCampaign`
+can write one JSON checkpoint file capturing everything a fresh process
+needs to continue the campaign as if it had never died:
+
+* both scan results of the month (responses in the same columnar spirit
+  as the shard IPC encoding: rows of integers plus a distinct-answer
+  table, so checkpoints stay proportional to distinct answers);
+* the simulated clock position after the month;
+* the authoritative server's cumulative query statistics;
+* the zone's rotation-counter state — the one scan-visible piece of
+  world state that is not derivable from the results.
+
+Writes are atomic (temp file + ``os.replace``), so a kill mid-write
+leaves either the previous checkpoint or none — never a torn file.  A
+checkpoint embeds a **settings fingerprint**; resuming against different
+scan settings raises :class:`~repro.errors.CheckpointError` instead of
+silently splicing incompatible months together.  Settings that cannot
+change results (worker count, fast path) are deliberately excluded from
+the fingerprint: a campaign killed under ``--workers 4`` may be resumed
+under ``--workers 1`` and still produce bit-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.scan.ecs_scanner import EcsResponse, EcsScanResult
+
+#: Bump when the checkpoint layout changes; mismatched files are treated
+#: as absent (the month is simply re-scanned), not as errors.
+CHECKPOINT_VERSION = 1
+
+
+def _encode_responses(responses: list[EcsResponse]) -> dict:
+    """Rows of integers plus a distinct-answer table (identity-deduped).
+
+    The scan kernels hand recurring answers the same tuple object, so
+    deduplicating by ``id`` keeps the table proportional to distinct
+    answers (unshared tuples still encode correctly, once each).
+    """
+    table_index: dict[int, int] = {}
+    table: list = []
+    rows: list = []
+    for response in responses:
+        addresses = response.addresses
+        key = id(addresses)
+        ref = table_index.get(key)
+        if ref is None:
+            ref = len(table)
+            table_index[key] = ref
+            table.append(
+                [
+                    [[a.version, a.value] for a in addresses],
+                    response.answer_asn,
+                ]
+            )
+        rows.append([response.subnet.value, response.subnet.length, response.scope, ref])
+    return {"rows": rows, "table": table}
+
+
+def _decode_responses(data: dict) -> list[EcsResponse]:
+    """Re-materialise responses, sharing tuples per table entry so the
+    identity-based deduplication in ``EcsScanResult.addresses()`` keeps
+    working on restored results."""
+    answers = [
+        (
+            tuple(IPAddress(version, value) for version, value in pairs),
+            asn,
+        )
+        for pairs, asn in data["table"]
+    ]
+    prefixes: dict[tuple[int, int], Prefix] = {}
+    out: list[EcsResponse] = []
+    append = out.append
+    for value, length, scope, ref in data["rows"]:
+        key = (value, length)
+        subnet = prefixes.get(key)
+        if subnet is None:
+            subnet = prefixes[key] = Prefix(4, value, length)
+        append(EcsResponse(subnet, scope, *answers[ref]))
+    return out
+
+
+def encode_result(result: EcsScanResult) -> dict:
+    """One scan result as a JSON-safe dict."""
+    return {
+        "domain": result.domain,
+        "started_at": result.started_at,
+        "finished_at": result.finished_at,
+        "queries_sent": result.queries_sent,
+        "sparse_queries": result.sparse_queries,
+        "sparse_answered": result.sparse_answered,
+        "retries": result.retries,
+        "fault_wait_seconds": result.fault_wait_seconds,
+        "fault_injected": dict(result.fault_injected),
+        "gave_up": [[p.value, p.length] for p in result.gave_up],
+        "responses": _encode_responses(result.responses),
+        "sparse_responses": _encode_responses(result.sparse_responses),
+    }
+
+
+def decode_result(data: dict) -> EcsScanResult:
+    """Rebuild a scan result from :func:`encode_result` output."""
+    result = EcsScanResult(
+        domain=data["domain"],
+        started_at=data["started_at"],
+        finished_at=data["finished_at"],
+        queries_sent=data["queries_sent"],
+        sparse_queries=data["sparse_queries"],
+        sparse_answered=data["sparse_answered"],
+        retries=data["retries"],
+        fault_wait_seconds=data["fault_wait_seconds"],
+        fault_injected=dict(data["fault_injected"]),
+    )
+    result.gave_up = [Prefix(4, value, length) for value, length in data["gave_up"]]
+    result.responses = _decode_responses(data["responses"])
+    result.sparse_responses = _decode_responses(data["sparse_responses"])
+    return result
+
+
+class CampaignCheckpointer:
+    """Reads and writes one campaign's per-month checkpoint files."""
+
+    def __init__(self, directory: str | Path, fingerprint: dict) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    def path_for(self, year: int, month: int) -> Path:
+        """Where one month's checkpoint lives."""
+        return self.directory / f"month-{year:04d}-{month:02d}.json"
+
+    def save(self, year: int, month: int, payload: dict) -> Path:
+        """Atomically persist one month's checkpoint."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(year, month)
+        document = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "year": year,
+            "month": month,
+            **payload,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        return path
+
+    def load(self, year: int, month: int) -> dict | None:
+        """One month's checkpoint, or None when it must be re-scanned.
+
+        Missing, torn, or layout-versioned-away files all read as None
+        — the campaign just runs the month.  A *fingerprint* mismatch is
+        different: the checkpoint is intact but belongs to a campaign
+        with different result-affecting settings, and splicing it in
+        would corrupt the output — :class:`CheckpointError`.
+        """
+        path = self.path_for(year, month)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("version") != CHECKPOINT_VERSION:
+            return None
+        if document.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {path} was written by a campaign with different "
+                "result-affecting settings; refusing to resume from it"
+            )
+        return document

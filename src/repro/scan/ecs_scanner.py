@@ -28,6 +28,7 @@ from repro.dns.edns import ClientSubnetOption, EdnsOptions
 from repro.dns.message import DnsMessage, Question, Rcode
 from repro.dns.name import DnsName
 from repro.dns.ratelimit import TokenBucket
+from repro.faults.plan import FaultKind, FaultPlan, fault_key
 from repro.dns.rr import RRType
 from repro.dns.server import AuthoritativeServer
 from repro.netmodel.addr import IPAddress, Prefix
@@ -86,6 +87,23 @@ class EcsScanSettings:
     #: Campaign seed: each shard's rotation streams are reseeded from
     #: (campaign seed, shard index), making shard results deterministic.
     campaign_seed: int = 0
+    #: Deterministic fault plan (None = a perfectly reliable network).
+    #: Decisions are keyed by query content, so any worker count and any
+    #: kill-and-resume split replays exactly the same faults.
+    fault_plan: FaultPlan | None = None
+    #: Query attempts before the scanner gives the block up (the block
+    #: is then recorded in ``EcsScanResult.gave_up``, never silently
+    #: missing).
+    max_attempts: int = 3
+    #: Exponential backoff between retries: ``backoff_base *
+    #: backoff_factor**(retry-1)`` seconds, jittered by a deterministic
+    #: factor in ``[1 - backoff_jitter, 1 + backoff_jitter)``.  The
+    #: waits accumulate into ``fault_wait_seconds`` and advance the sim
+    #: clock once at scan end (mid-scan advancement would change the
+    #: token-bucket refill timeline and break the sharded replay).
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
 
 
 @dataclass
@@ -103,6 +121,17 @@ class EcsScanResult:
     #: the tables) so unrouted hits are visible instead of discarded.
     sparse_answered: int = 0
     sparse_responses: list[EcsResponse] = field(default_factory=list)
+    #: Retried query attempts (faulted attempts that were re-sent).
+    retries: int = 0
+    #: Query subnets abandoned after ``max_attempts`` faulted attempts,
+    #: in scan (address) order — the per-scope give-up accounting.
+    gave_up: list[Prefix] = field(default_factory=list)
+    #: Injected fault counts by kind name (``drop``, ``servfail``, ...).
+    fault_injected: dict[str, int] = field(default_factory=dict)
+    #: Simulated seconds spent in injected latency spikes and retry
+    #: backoff.  Quantized to dyadic values, so shard partial sums are
+    #: exact and the merged total is bit-identical to the sequential one.
+    fault_wait_seconds: float = 0.0
 
     def addresses(self) -> set[IPAddress]:
         """All distinct ingress addresses uncovered.
@@ -158,6 +187,107 @@ class EcsScanResult:
     def duration_hours(self) -> float:
         """Simulated scan duration."""
         return (self.finished_at - self.started_at) / 3600.0
+
+
+class _FaultGate:
+    """Per-scan fault/retry state machine, shared by both kernels.
+
+    One :meth:`send` call models one logical query — the first attempt
+    plus any retries — performing every token take itself and accounting
+    faults, backoff waits, and give-ups.  Both the fast kernel and the
+    slow reference path route queries through the *same* gate methods,
+    so fault semantics cannot diverge between them.
+
+    Injected waits are accumulated here and applied to the clock once at
+    scan end: advancing mid-scan would change the token bucket's refill
+    interleaving and break the sharded campaign's bit-identical
+    ``take_many`` replay.
+    """
+
+    __slots__ = (
+        "_inject",
+        "_dkey",
+        "_max_attempts",
+        "_base",
+        "_factor",
+        "_jitter",
+        "_backoff",
+        "_latency",
+        "_take",
+        "retries",
+        "wait_seconds",
+        "counts",
+        "gave_up",
+    )
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        domain: str,
+        settings: EcsScanSettings,
+        bucket: TokenBucket,
+        gave_up: list[Prefix],
+    ) -> None:
+        self._inject = plan.query_outcome
+        self._dkey = fault_key(domain)
+        self._max_attempts = max(1, settings.max_attempts)
+        self._base = settings.backoff_base
+        self._factor = settings.backoff_factor
+        self._jitter = settings.backoff_jitter
+        self._backoff = plan.backoff_wait
+        self._latency = plan.latency_wait
+        self._take = bucket.take
+        self.retries = 0
+        self.wait_seconds = 0.0
+        self.counts: dict[int, int] = {}
+        self.gave_up = gave_up
+
+    def send(self, value: int, subnet: Prefix) -> tuple[bool, int]:
+        """Send one query with retries: ``(delivered, attempts taken)``.
+
+        ``delivered`` False means every attempt faulted and ``subnet``
+        was appended to the give-up list; the caller skips the query's
+        server-side processing and advances its cursor by one step.
+        """
+        take = self._take
+        take()
+        inject = self._inject
+        dkey = self._dkey
+        outcome = inject(dkey, value, 0)
+        if not outcome:
+            return True, 1
+        counts = self.counts
+        takes = 1
+        attempt = 0
+        while True:
+            if outcome == FaultKind.LATENCY:
+                counts[outcome] = counts.get(outcome, 0) + 1
+                self.wait_seconds += self._latency(dkey, value, attempt)
+                return True, takes
+            counts[outcome] = counts.get(outcome, 0) + 1
+            attempt += 1
+            if attempt >= self._max_attempts:
+                self.gave_up.append(subnet)
+                return False, takes
+            self.retries += 1
+            self.wait_seconds += self._backoff(
+                self._base, self._factor, self._jitter, dkey, value, attempt
+            )
+            take()
+            takes += 1
+            outcome = inject(dkey, value, attempt)
+            if not outcome:
+                return True, takes
+
+    def finish(self, result: EcsScanResult) -> None:
+        """Fold the gate's accounting into the scan result."""
+        result.retries += self.retries
+        result.fault_wait_seconds += self.wait_seconds
+        injected = result.fault_injected
+        names = FaultKind.NAMES
+        for kind, count in sorted(self.counts.items()):
+            name = names[kind]
+            injected[name] = injected.get(name, 0) + count
 
 
 class EcsScanner:
@@ -261,17 +391,28 @@ class EcsScanner:
         was_gc = gc.isenabled()
         if was_gc:
             gc.disable()
+        plan = settings.fault_plan
+        gate = None
+        if plan is not None and plan.dns_active:
+            gate = _FaultGate(plan, domain, settings, bucket, result.gave_up)
         wall_start = time.perf_counter()
         with self.telemetry.tracer.span("ecs.scan", domain=domain):
             try:
                 if settings.fast_path and stock_handle:
-                    self._run_fast(result, domain, rtype, spans, gaps, bucket)
+                    self._run_fast(result, domain, rtype, spans, gaps, bucket, gate)
                 else:
-                    self._run_slow(result, domain, rtype, spans, gaps, bucket)
+                    self._run_slow(result, domain, rtype, spans, gaps, bucket, gate)
             finally:
                 cache.enabled = was_enabled
                 if was_gc:
                     gc.enable()
+        if gate is not None:
+            gate.finish(result)
+        # Injected waits advance the clock once, here: a shard worker's
+        # scan therefore leaves the token bucket exactly where the
+        # parent's take_many() replay expects it.
+        if result.fault_wait_seconds:
+            self.clock.advance(result.fault_wait_seconds)
         result.finished_at = self.clock.now
         self._record_scan(result, bucket, time.perf_counter() - wall_start)
         return result
@@ -328,6 +469,16 @@ class EcsScanner:
         registry.histogram(
             "ecs.scan_wall_seconds", DURATION_BUCKETS, domain=domain
         ).observe(wall_seconds)
+        if self.settings.fault_plan is not None:
+            registry.counter("scan.retries", domain=domain).inc(result.retries)
+            registry.counter("scan.gaveup", domain=domain).inc(len(result.gave_up))
+            registry.counter("faults.wait_seconds", domain=domain).inc(
+                result.fault_wait_seconds
+            )
+            for kind, count in sorted(result.fault_injected.items()):
+                registry.counter("faults.injected", domain=domain, kind=kind).inc(
+                    count
+                )
 
     def _run_fast(
         self,
@@ -337,6 +488,7 @@ class EcsScanner:
         spans: list[tuple[int, int]],
         gaps: list[tuple[int, int]],
         bucket: TokenBucket,
+        gate: _FaultGate | None = None,
     ) -> None:
         """The scan kernel: drive the server's internals per query.
 
@@ -410,9 +562,17 @@ class EcsScanner:
                 cursor = (start + sparse_stride - 1) // sparse_stride * sparse_stride
                 while cursor + 255 <= end:
                     subnet = Prefix(4, cursor, 24)
-                    take()
-                    sent += 1
-                    sparse_sent += 1
+                    if gate is None:
+                        take()
+                        sent += 1
+                        sparse_sent += 1
+                    else:
+                        delivered, takes = gate.send(cursor, subnet)
+                        sent += takes
+                        sparse_sent += takes
+                        if not delivered:
+                            cursor += sparse_stride
+                            continue
                     n_queries += 1
                     if zone_missing:
                         n_refused += 1
@@ -458,8 +618,17 @@ class EcsScanner:
                 if subnet is None:
                     subnet = Prefix(4, value, source_len)
                     subnet_cache[value] = subnet
-                take()
-                sent += 1
+                if gate is None:
+                    take()
+                    sent += 1
+                else:
+                    # Fault check precedes the server: a dropped query
+                    # never reaches the zone, so no refused/nx counting.
+                    delivered, takes = gate.send(value, subnet)
+                    sent += takes
+                    if not delivered:
+                        cursor = value + step
+                        continue
                 n_queries += 1
                 if zone_missing:
                     n_refused += 1
@@ -527,6 +696,7 @@ class EcsScanner:
         spans: list[tuple[int, int]],
         gaps: list[tuple[int, int]],
         bucket: TokenBucket,
+        gate: _FaultGate | None = None,
     ) -> None:
         """The reference path: one fresh ``DnsMessage`` through
         :meth:`AuthoritativeServer.handle` per query.
@@ -562,11 +732,47 @@ class EcsScanner:
             self._subnet_cache = {}
             self._subnet_cache_len = source_len
         subnet_cache = self._subnet_cache
+        append_sparse = result.sparse_responses.append
+        stride = settings.sparse_stride << 8
+        sparse_sent = 0
+        sparse_answered = 0
         for start, end, is_gap in _interleave(spans, gaps):
             if is_gap:
-                message_id = self._sparse_scan(
-                    start, end, make_query, bucket, result, message_id
-                )
+                if gate is None:
+                    message_id = self._sparse_scan(
+                        start, end, make_query, bucket, result, message_id
+                    )
+                    continue
+                # Fault-aware sparse probing: the same gate calls (and
+                # hence the same fault draws) as the fast kernel's gap
+                # loop, driven through real messages.
+                cursor = (start + stride - 1) // stride * stride
+                while cursor + 255 <= end:
+                    subnet = Prefix(4, cursor, 24)
+                    message_id = (message_id + 1) & 0xFFFF
+                    delivered, takes = gate.send(cursor, subnet)
+                    sparse_sent += takes
+                    if delivered:
+                        response = handle(make_query(subnet, message_id))
+                        answers = response.answers
+                        if response.rcode == noerror and answers:
+                            ecs = response.client_subnet
+                            scope = (
+                                ecs.scope_prefix_length if ecs is not None else 24
+                            )
+                            addresses = tuple(
+                                rr.rdata
+                                for rr in answers
+                                if rr.rtype in _ADDRESS_RTYPES
+                            )
+                            answer_asn = (
+                                origin_of(addresses[0]) if addresses else None
+                            )
+                            sparse_answered += 1
+                            append_sparse(
+                                EcsResponse(subnet, scope, addresses, answer_asn)
+                            )
+                    cursor += stride
                 continue
             cursor = start
             while cursor <= end:
@@ -576,8 +782,15 @@ class EcsScanner:
                     subnet = Prefix(4, value, source_len)
                     subnet_cache[value] = subnet
                 message_id = (message_id + 1) & 0xFFFF
-                take()
-                sent += 1
+                if gate is None:
+                    take()
+                    sent += 1
+                else:
+                    delivered, takes = gate.send(value, subnet)
+                    sent += takes
+                    if not delivered:
+                        cursor = value + step
+                        continue
                 response = handle(make_query(subnet, message_id))
                 answers = response.answers
                 if response.rcode == noerror and answers:
@@ -601,7 +814,9 @@ class EcsScanner:
                         ) + 1
                         continue
                 cursor = value + step
-        result.queries_sent += sent
+        result.queries_sent += sent + sparse_sent
+        result.sparse_queries += sparse_sent
+        result.sparse_answered += sparse_answered
 
     def _query(
         self,

@@ -52,10 +52,11 @@ import multiprocessing
 import os
 import time
 from array import array
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.dns.name import DnsName
+from repro.errors import WorkerCrashed
 from repro.dns.ratelimit import TokenBucket
 from repro.dns.rr import RRType
 from repro.dns.server import ServerStats
@@ -204,6 +205,10 @@ class ShardTask:
     rotation_base: int
     spans: tuple[tuple[int, int], ...]
     gaps: tuple[tuple[int, int], ...]
+    #: How many times this shard has been handed out before (pool
+    #: recovery re-runs).  Only the fault plan's crash drill reads it —
+    #: shard *results* must never depend on it (rotation_base doesn't).
+    run_attempt: int = 0
 
 
 #: Columnar response encoding: (subnet values, scopes, answer refs — as
@@ -230,6 +235,14 @@ class ShardOutcome:
     #: Per shard hook (in ``zone.shard_hooks()`` order): the per-key
     #: rotation advances accumulated by this shard's queries.
     rotation_deltas: tuple[dict, ...]
+    #: Fault/retry accounting: retried attempts, abandoned subnets as
+    #: picklable ``(value, length)`` pairs in scan order, injected-fault
+    #: counts by kind name, and the shard's accumulated injected waits
+    #: (dyadic, so the parent's sum is bit-identical to sequential).
+    retries: int
+    gave_up: tuple[tuple[int, int], ...]
+    fault_injected: dict
+    fault_wait_seconds: float
     #: Wall-clock seconds this shard's scan took in its worker (feeds
     #: the parent's ``ecs.shard_wall_seconds`` balance histogram).
     wall_seconds: float
@@ -294,6 +307,13 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     """
     scanner = _WORKER_SCANNER
     assert scanner is not None, "worker forked without a scanner context"
+    # Crash drill: profiles can nominate shard indices whose worker dies
+    # mid-task.  os._exit (not an exception) models a real process death
+    # — the pool breaks and the parent must respawn and re-run.  The
+    # drill keys on the task's run_attempt, so re-runs succeed.
+    plan = scanner.settings.fault_plan
+    if plan is not None and plan.crash_shard(task.index, task.run_attempt):
+        os._exit(70)
     # Shard workers only ever run scans: their allocations (responses,
     # columnar encodings) are acyclic and freed per task by refcounting,
     # while every cyclic-GC generation collection would re-traverse the
@@ -327,6 +347,10 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
         sparse_answered=result.sparse_answered,
         responses=_encode_columnar(result.responses),
         sparse_responses=_encode_columnar(result.sparse_responses),
+        retries=result.retries,
+        gave_up=tuple((p.value, p.length) for p in result.gave_up),
+        fault_injected=dict(result.fault_injected),
+        fault_wait_seconds=result.fault_wait_seconds,
         server_stats=server.stats.copy(),
         cache_stats=CacheStats(
             hits=cache.stats.hits,
@@ -375,11 +399,20 @@ class ShardedCampaignExecutor:
 
     # -- lifecycle ------------------------------------------------------
 
+    #: How many times scan() will rebuild a broken pool before giving
+    #: up with :class:`~repro.errors.WorkerCrashed`.
+    MAX_POOL_RESPAWNS = 3
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        Always terminates the workers — ``cancel_futures`` keeps a close
+        during an in-flight scan (error unwind, ``__exit__``) from
+        blocking on queued shards nobody will collect.
+        """
         global _WORKER_SCANNER
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         if _WORKER_SCANNER is self.scanner:
             _WORKER_SCANNER = None
@@ -428,7 +461,6 @@ class ShardedCampaignExecutor:
             return scanner.scan_ranges(domain, spans, gaps, rtype)
         start_time = scanner.clock.now
         seed = settings.campaign_seed
-        pool = self._ensure_pool()
         # Same GC suspension as scan_ranges, for the whole sharded scan:
         # the executor's result thread unpickles large shard outcomes
         # while we wait, and a generational collection triggered by those
@@ -440,7 +472,41 @@ class ShardedCampaignExecutor:
             with scanner.telemetry.tracer.span(
                 "ecs.scan.sharded", domain=domain, shards=len(plans)
             ):
-                futures = [
+                outcomes = self._gather(domain, rtype, start_time, seed, plans)
+                return self._merge(domain, rtype, start_time, outcomes)
+        finally:
+            if was_gc:
+                gc.enable()
+
+    def _gather(
+        self,
+        domain: str,
+        rtype: RRType,
+        start_time: float,
+        seed: int,
+        plans: list[ShardPlan],
+    ) -> list[ShardOutcome]:
+        """Run every shard to completion, recovering from worker crashes.
+
+        A dead worker breaks the whole fork pool: its own shard and any
+        shard still queued behind it surface as ``BrokenExecutor`` from
+        ``future.result()``.  Those shards — and only those — are re-run
+        against a fresh pool (bounded by :attr:`MAX_POOL_RESPAWNS`, then
+        :class:`~repro.errors.WorkerCrashed`).  Shard results depend only
+        on the shard index, never on which pool incarnation ran them, so
+        recovery cannot change the merged output.  A worker raising an
+        ordinary *exception* is a bug, not a crash: it propagates
+        immediately, after the pool is torn down so no workers leak.
+        """
+        outcomes: dict[int, ShardOutcome] = {}
+        pending = list(plans)
+        registry = self.scanner.telemetry.registry
+        attempt = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = [
+                (
+                    plan,
                     pool.submit(
                         _run_shard,
                         ShardTask(
@@ -451,15 +517,50 @@ class ShardedCampaignExecutor:
                             rotation_base=rotation_base(seed, plan.index),
                             spans=plan.spans,
                             gaps=plan.gaps,
+                            run_attempt=attempt,
                         ),
+                    ),
+                )
+                for plan in pending
+            ]
+            crashed: list[ShardPlan] = []
+            failure: BaseException | None = None
+            for plan, future in futures:
+                if failure is not None:
+                    future.cancel()
+                    continue
+                try:
+                    outcomes[plan.index] = future.result()
+                except BrokenExecutor:
+                    crashed.append(plan)
+                except BaseException as exc:
+                    failure = exc
+            if failure is not None:
+                self.close()
+                raise failure
+            pending = crashed
+            if pending:
+                attempt += 1
+                if attempt > self.MAX_POOL_RESPAWNS:
+                    indices = [plan.index for plan in pending]
+                    self.close()
+                    raise WorkerCrashed(
+                        f"shards {indices} of {domain} kept crashing after "
+                        f"{self.MAX_POOL_RESPAWNS} pool respawns"
                     )
-                    for plan in plans
-                ]
-                outcomes = [future.result() for future in futures]
-                return self._merge(domain, rtype, start_time, outcomes)
-        finally:
-            if was_gc:
-                gc.enable()
+                if registry.enabled:
+                    registry.counter("shards.rerun", domain=domain).inc(
+                        len(pending)
+                    )
+                self._respawn_pool()
+        return [outcomes[plan.index] for plan in plans]
+
+    def _respawn_pool(self) -> None:
+        """Drop a broken pool so the next :meth:`_ensure_pool` forks anew."""
+        if self._pool is not None:
+            # The pool is already broken; don't wait on its corpse.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def _alignment(self) -> int:
         """Shard boundary alignment, cached on the routing-table version."""
@@ -510,6 +611,11 @@ class ShardedCampaignExecutor:
                 hook.apply_deltas(deltas)
         bucket = TokenBucket(settings.rate, settings.burst, scanner.clock)
         bucket.take_many(result.queries_sent)
+        # Injected waits advance the clock after the replay, mirroring
+        # scan_ranges (takes first, one advance at the end); the shard
+        # partial sums are dyadic so their sum is the sequential float.
+        if result.fault_wait_seconds:
+            scanner.clock.advance(result.fault_wait_seconds)
         result.finished_at = scanner.clock.now
         return result
 
@@ -533,6 +639,13 @@ class ShardedCampaignExecutor:
             result.queries_sent += outcome.queries_sent
             result.sparse_queries += outcome.sparse_queries
             result.sparse_answered += outcome.sparse_answered
+            result.retries += outcome.retries
+            result.fault_wait_seconds += outcome.fault_wait_seconds
+            for value, length in outcome.gave_up:
+                result.gave_up.append(self._prefix(value, length))
+            injected = result.fault_injected
+            for kind, count in outcome.fault_injected.items():
+                injected[kind] = injected.get(kind, 0) + count
             self._decode_into(
                 result.responses,
                 outcome.responses,
@@ -582,6 +695,14 @@ class ShardedCampaignExecutor:
             EcsResponse(prefixes[value], scope, *answers[ref])
             for value, scope, ref in zip(values, scopes, refs)
         )
+
+    def _prefix(self, value: int, length: int) -> Prefix:
+        """Re-materialise one shipped subnet, interned like responses."""
+        prefixes = self._prefixes.setdefault(length, {})
+        prefix = prefixes.get(value)
+        if prefix is None:
+            prefix = prefixes[value] = Prefix(4, value, length)
+        return prefix
 
     def _address(self, version: int, value: int) -> IPAddress:
         key = (version, value)

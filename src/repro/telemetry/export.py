@@ -150,7 +150,11 @@ def deterministic_totals(snapshot: dict) -> dict[str, int]:
     Deliberately excluded: cache hit/miss splits and invalidations,
     name-intern / zone-routing / origin-memo stats (process-local),
     ``ratelimit.waited_seconds`` (each shard's bucket starts with a full
-    burst), and all wall-time histograms.
+    burst), ``shards.rerun`` (crash-recovery re-runs depend on the
+    worker count), and all wall-time histograms.  ``scan.*`` and
+    ``faults.*`` (retries, give-ups, injected-fault counts) ARE included
+    — the fault plane's decisions are content-keyed, so they must match
+    across worker counts and resumes.
     """
     metrics = snapshot.get("metrics", snapshot)
     totals: dict[str, int] = {}
@@ -158,7 +162,10 @@ def deterministic_totals(snapshot: dict) -> dict[str, int]:
     for entry in metrics.get("counters", ()):
         name = entry["name"]
         labels = entry["labels"]
-        if name.startswith("ecs.") and name != "ecs.shards":
+        if (
+            name.startswith(("ecs.", "scan.", "faults."))
+            and name != "ecs.shards"
+        ):
             totals[name + _label_text(labels)] = entry["value"]
         elif name.startswith("dns.server."):
             totals[name + _label_text(labels)] = entry["value"]

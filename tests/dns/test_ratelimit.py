@@ -1,0 +1,104 @@
+"""TokenBucket refill boundaries, denial accounting and error paths."""
+
+import pytest
+
+from repro.dns.ratelimit import TokenBucket
+from repro.errors import RateLimitExceeded
+from repro.simtime import SimClock
+
+
+def _bucket(rate=2.0, burst=4.0):
+    clock = SimClock()
+    return TokenBucket(rate, burst, clock), clock
+
+
+class TestConstruction:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 4.0, SimClock())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0, 4.0, SimClock())
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(2.0, 0.0, SimClock())
+
+    def test_starts_full(self):
+        bucket, _ = _bucket()
+        assert bucket.tokens == 4.0
+
+
+class TestRefillBoundaries:
+    def test_exact_refill_instant(self):
+        """Advancing by exactly count/rate seconds re-arms the bucket."""
+        bucket, clock = _bucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.try_take()
+        assert not bucket.try_take()
+        clock.advance(0.5)  # exactly one token at 2 tokens/s
+        assert bucket.tokens == 1.0
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        bucket, clock = _bucket(rate=2.0, burst=4.0)
+        clock.advance(1000.0)
+        assert bucket.tokens == 4.0
+
+    def test_take_waits_exactly_the_deficit(self):
+        bucket, clock = _bucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.take() == 0.0
+        before = clock.now
+        waited = bucket.take()
+        assert waited == 0.5  # (1 - 0) / rate
+        assert clock.now == before + waited
+        assert bucket.total_waited == 0.5
+
+    def test_take_many_replays_individual_takes(self):
+        many, many_clock = _bucket(rate=2.2, burst=10.0)
+        single, single_clock = _bucket(rate=2.2, burst=10.0)
+        total = many.take_many(500)
+        waited = sum(single.take() for _ in range(500))
+        assert total == waited
+        assert many_clock.now == single_clock.now
+        assert many.total_waited == single.total_waited
+        assert many.tokens == single.tokens
+
+
+class TestDenialAccounting:
+    def test_denied_counts_only_failed_try_takes(self):
+        bucket, clock = _bucket(rate=1.0, burst=2.0)
+        assert bucket.denied == 0
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+        assert not bucket.try_take()
+        assert bucket.denied == 2
+        clock.advance(1.0)
+        assert bucket.try_take()
+        assert bucket.denied == 2  # successes never touch the counter
+
+    def test_blocking_take_never_counts_as_denial(self):
+        bucket, _ = _bucket(rate=1.0, burst=1.0)
+        for _ in range(5):
+            bucket.take()
+        assert bucket.denied == 0
+
+
+class TestErrors:
+    def test_take_beyond_burst_raises(self):
+        bucket, _ = _bucket(rate=2.0, burst=4.0)
+        with pytest.raises(RateLimitExceeded):
+            bucket.take(5.0)
+        with pytest.raises(RateLimitExceeded):
+            bucket.try_take(5.0)
+
+    def test_oversized_request_leaves_state_untouched(self):
+        bucket, _ = _bucket(rate=2.0, burst=4.0)
+        with pytest.raises(RateLimitExceeded):
+            bucket.take(100.0)
+        assert bucket.tokens == 4.0
+        assert bucket.denied == 0
+        assert bucket.total_waited == 0.0

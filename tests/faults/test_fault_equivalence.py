@@ -1,0 +1,117 @@
+"""Worker count must stay invisible under every fault profile.
+
+Same contract as ``tests/scan/test_sharded_equivalence.py`` — query
+streams, accounting, rate-limit timeline, address sets, per-AS
+attribution, server stats — extended with the fault plane's own
+accounting (retries, abandoned subnets, injected-fault counts, injected
+waits) and the deterministic telemetry totals.  The ``hostile`` profile
+additionally crashes shard 1's worker on its first attempt, so the
+multi-worker legs only pass if pool recovery reproduces the sequential
+results.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan.ecs_scanner import EcsScanner, EcsScanSettings
+from repro.scan.sharding import ShardedCampaignExecutor
+from repro.telemetry import Telemetry, deterministic_totals
+from repro.worldgen import WorldConfig, build_world
+
+pytestmark = pytest.mark.skipif(
+    not ShardedCampaignExecutor.supported(),
+    reason="sharded execution requires the fork start method",
+)
+
+SEED = 2022
+PROFILES = ("lossy", "hostile")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _run(profile, workers, telemetry=None):
+    world = build_world(WorldConfig.tiny(seed=SEED))
+    settings = EcsScanSettings(
+        workers=workers,
+        campaign_seed=SEED,
+        fault_plan=FaultPlan(profile, seed=SEED),
+    )
+    scanner = EcsScanner(
+        world.route53, world.routing, world.clock, settings, telemetry=telemetry
+    )
+    with ShardedCampaignExecutor(scanner, workers) as executor:
+        result = executor.scan(RELAY_DOMAIN_QUIC)
+    return world, result
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {
+        (profile, workers): _run(profile, workers)
+        for profile in PROFILES
+        for workers in WORKER_COUNTS
+    }
+
+
+def _pairs(matrix):
+    for profile in PROFILES:
+        _, sequential = matrix[(profile, 1)]
+        for workers in WORKER_COUNTS[1:]:
+            yield profile, workers, sequential, matrix[(profile, workers)][1]
+
+
+class TestFaultedShardEquivalence:
+    def test_query_streams_identical(self, matrix):
+        for profile, workers, seq, sharded in _pairs(matrix):
+            assert [(r.subnet, r.scope) for r in seq.responses] == [
+                (r.subnet, r.scope) for r in sharded.responses
+            ], f"profile={profile} workers={workers}"
+            assert [(r.subnet, r.scope) for r in seq.sparse_responses] == [
+                (r.subnet, r.scope) for r in sharded.sparse_responses
+            ]
+
+    def test_fault_accounting_identical(self, matrix):
+        for profile, workers, seq, sharded in _pairs(matrix):
+            context = f"profile={profile} workers={workers}"
+            assert seq.retries == sharded.retries, context
+            assert seq.gave_up == sharded.gave_up, context
+            assert seq.fault_injected == sharded.fault_injected, context
+            assert seq.fault_wait_seconds == sharded.fault_wait_seconds, context
+
+    def test_query_accounting_identical(self, matrix):
+        for _, _, seq, sharded in _pairs(matrix):
+            assert seq.queries_sent == sharded.queries_sent
+            assert seq.sparse_queries == sharded.sparse_queries
+            assert seq.sparse_answered == sharded.sparse_answered
+
+    def test_rate_limit_timeline_identical(self, matrix):
+        for profile, workers, seq, sharded in _pairs(matrix):
+            assert seq.started_at == sharded.started_at
+            assert seq.finished_at == sharded.finished_at, (
+                f"profile={profile} workers={workers}"
+            )
+
+    def test_ingress_sets_identical(self, matrix):
+        for _, _, seq, sharded in _pairs(matrix):
+            assert seq.addresses() == sharded.addresses()
+            assert seq.addresses_by_asn() == sharded.addresses_by_asn()
+
+    def test_server_stats_identical(self, matrix):
+        for profile in PROFILES:
+            seq_world, _ = matrix[(profile, 1)]
+            for workers in WORKER_COUNTS[1:]:
+                sharded_world, _ = matrix[(profile, workers)]
+                assert seq_world.route53.stats == sharded_world.route53.stats
+
+
+class TestTelemetryEquivalence:
+    def test_deterministic_totals_match_across_workers(self):
+        totals = {}
+        for workers in (1, 4):
+            telemetry = Telemetry()
+            _run("lossy", workers, telemetry=telemetry)
+            totals[workers] = deterministic_totals(telemetry.snapshot())
+        assert totals[1]
+        assert any(key.startswith("faults.injected") for key in totals[1])
+        assert any(key.startswith("scan.retries") for key in totals[1])
+        assert totals[1] == totals[4]

@@ -1,0 +1,162 @@
+"""Unit tests for the deterministic fault plan and its profiles."""
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults import (
+    PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    WAIT_QUANTUM,
+    fault_key,
+    profile_named,
+    quantize_wait,
+)
+
+DOMAIN_KEY = fault_key("mask.icloud.com.")
+
+
+class TestProfiles:
+    def test_shipped_profiles(self):
+        assert set(PROFILES) == {"none", "lossy", "hostile"}
+        assert not PROFILES["none"].injects_anything
+        assert PROFILES["lossy"].injects_anything
+        assert PROFILES["hostile"].crash_shards == (1,)
+
+    def test_profile_named_unknown(self):
+        with pytest.raises(FaultConfigError):
+            profile_named("flaky")
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultConfigError):
+            FaultProfile(name="bad", drop=1.5)
+        with pytest.raises(FaultConfigError):
+            FaultProfile(name="bad", probe_loss=-0.1)
+
+    def test_dns_rates_must_sum_to_one_or_less(self):
+        with pytest.raises(FaultConfigError):
+            FaultProfile(name="bad", drop=0.5, servfail=0.3, latency=0.3)
+
+    def test_shape_parameters_validated(self):
+        with pytest.raises(FaultConfigError):
+            FaultProfile(name="bad", latency_seconds=-1.0)
+        with pytest.raises(FaultConfigError):
+            FaultProfile(name="bad", crash_attempts=-1)
+
+    def test_dns_rates_order_matches_fault_kinds(self):
+        profile = FaultProfile(
+            name="ordered",
+            drop=0.01,
+            servfail=0.02,
+            refused=0.03,
+            truncated=0.04,
+            latency=0.05,
+        )
+        assert profile.dns_rates() == (0.01, 0.02, 0.03, 0.04, 0.05)
+        assert FaultKind.NAMES[FaultKind.DROP] == "drop"
+        assert FaultKind.NAMES[FaultKind.LATENCY] == "latency"
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan("hostile", seed=2022)
+        b = FaultPlan(PROFILES["hostile"], seed=2022)
+        for value in range(0, 1 << 16, 97):
+            for attempt in (0, 1, 2):
+                assert a.query_outcome(DOMAIN_KEY, value, attempt) == (
+                    b.query_outcome(DOMAIN_KEY, value, attempt)
+                )
+        assert a.latency_wait(DOMAIN_KEY, 42, 0) == b.latency_wait(DOMAIN_KEY, 42, 0)
+        assert a.backoff_wait(1.0, 2.0, 0.5, DOMAIN_KEY, 42, 2) == (
+            b.backoff_wait(1.0, 2.0, 0.5, DOMAIN_KEY, 42, 2)
+        )
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan("hostile", seed=1)
+        b = FaultPlan("hostile", seed=2)
+        outcomes_a = [a.query_outcome(DOMAIN_KEY, v, 0) for v in range(4096)]
+        outcomes_b = [b.query_outcome(DOMAIN_KEY, v, 0) for v in range(4096)]
+        assert outcomes_a != outcomes_b
+
+    def test_attempt_is_part_of_the_key(self):
+        plan = FaultPlan("hostile", seed=7)
+        faulted = [
+            v
+            for v in range(1 << 14)
+            if plan.query_outcome(DOMAIN_KEY, v, 0) not in (0, FaultKind.LATENCY)
+        ]
+        assert faulted  # hostile injects plenty
+        # Retries get fresh draws, so most faulted queries recover.
+        recovered = sum(
+            1 for v in faulted if plan.query_outcome(DOMAIN_KEY, v, 1) == 0
+        )
+        assert recovered > len(faulted) // 2
+
+    def test_fault_key_is_process_stable(self):
+        # crc32 of a literal — a constant across interpreters, unlike hash().
+        assert fault_key("mask.icloud.com.") == 1053677852
+        assert fault_key("") == 0
+
+    def test_rates_are_roughly_honoured(self):
+        plan = FaultPlan("hostile", seed=3)
+        n = 1 << 15
+        outcomes = [plan.query_outcome(DOMAIN_KEY, v, 0) for v in range(n)]
+        drop_rate = outcomes.count(FaultKind.DROP) / n
+        ok_rate = outcomes.count(FaultKind.OK) / n
+        assert abs(drop_rate - 0.15) < 0.02
+        assert abs(ok_rate - 0.64) < 0.02
+
+
+class TestWaits:
+    def test_quantize_is_dyadic(self):
+        for raw in (0.0, 1e-9, 0.5, 1.0, 3.14159, 4177.734):
+            w = quantize_wait(raw)
+            assert w == round(w / WAIT_QUANTUM) * WAIT_QUANTUM
+            assert w <= raw
+
+    def test_quantized_sums_are_associative(self):
+        plan = FaultPlan("hostile", seed=2022)
+        waits = [plan.latency_wait(DOMAIN_KEY, v, 0) for v in range(2048)]
+        left = 0.0
+        for w in waits:
+            left += w
+        half = len(waits) // 2
+        a = sum(waits[:half])
+        b = sum(waits[half:])
+        assert left == a + b  # exact float equality: the sharded merge relies on it
+
+    def test_backoff_grows_and_respects_jitter_bounds(self):
+        plan = FaultPlan("lossy", seed=5)
+        for attempt in (1, 2, 3):
+            nominal = 1.0 * 2.0 ** (attempt - 1)
+            wait = plan.backoff_wait(1.0, 2.0, 0.5, DOMAIN_KEY, 9, attempt)
+            assert 0.5 * nominal - WAIT_QUANTUM <= wait < 1.5 * nominal
+
+    def test_latency_wait_bounds(self):
+        plan = FaultPlan("hostile", seed=5)
+        for value in range(512):
+            wait = plan.latency_wait(DOMAIN_KEY, value, 0)
+            assert 2.5 - WAIT_QUANTUM <= wait < 7.5  # 5s profile, [0.5, 1.5) factor
+
+
+class TestGates:
+    def test_none_profile_disables_every_boundary(self):
+        plan = FaultPlan("none", seed=2022)
+        assert not plan.dns_active
+        assert not plan.connect_active
+        assert not plan.probe_active
+
+    def test_crash_drill_terminates(self):
+        plan = FaultPlan("hostile", seed=2022)
+        assert plan.crash_shard(1, 0)
+        assert not plan.crash_shard(1, 1)  # one re-run and the drill is over
+        assert not plan.crash_shard(0, 0)
+
+    def test_connect_and_probe_draws_redraw_per_attempt(self):
+        plan = FaultPlan("hostile", seed=2022)
+        key = fault_key("client-1")
+        draws = [plan.connect_fails(key, sequence) for sequence in range(64)]
+        assert any(draws) and not all(draws)
+        probe_draws = [plan.probe_lost(key, 7, attempt) for attempt in range(64)]
+        assert any(probe_draws) and not all(probe_draws)

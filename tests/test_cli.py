@@ -75,6 +75,70 @@ class TestCommands:
         assert "NXDOMAIN" in out
 
 
+class TestErrorHandling:
+    def _rejects(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+        return err
+
+    def test_non_numeric_scale(self, capsys):
+        err = self._rejects(["world-info", "--scale", "abc"], capsys)
+        assert "not a number" in err
+
+    def test_negative_scale(self, capsys):
+        err = self._rejects(["world-info", "--scale", "-1"], capsys)
+        assert "positive" in err
+
+    def test_zero_scale(self, capsys):
+        self._rejects(["world-info", "--scale", "0"], capsys)
+
+    def test_zero_workers(self, capsys):
+        err = self._rejects(["ecs-scan", *SCALE, "--workers", "0"], capsys)
+        assert ">= 1" in err
+
+    def test_non_integer_workers(self, capsys):
+        err = self._rejects(["ecs-scan", *SCALE, "--workers", "two"], capsys)
+        assert "not an integer" in err
+
+    def test_unknown_subcommand(self, capsys):
+        self._rejects(["frobnicate"], capsys)
+
+    def test_unknown_fault_profile(self, capsys):
+        self._rejects(["ecs-scan", *SCALE, "--fault-profile", "bogus"], capsys)
+
+    def test_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        code = main(["archive", *SCALE, str(tmp_path / "bundle"), "--resume"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.strip() == "error: --resume requires --checkpoint-dir"
+
+
+class TestFaults:
+    def test_ecs_scan_with_fault_profile(self, capsys):
+        assert main(
+            ["ecs-scan", *SCALE, "--fault-profile", "lossy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "retries" in out
+
+    def test_archive_checkpoint_and_resume(self, tmp_path, capsys):
+        checkpoints = tmp_path / "ckpt"
+        straight = tmp_path / "straight"
+        resumed = tmp_path / "resumed"
+        base = ["archive", *SCALE, "--fault-profile", "lossy",
+                "--checkpoint-dir", str(checkpoints)]
+        assert main([*base, str(straight)]) == 0
+        assert list(checkpoints.glob("month-*.json"))
+        assert main([*base, str(resumed), "--resume"]) == 0
+        for name in ("ingress-default.csv", "ingress-fallback.csv"):
+            assert (straight / name).read_bytes() == (resumed / name).read_bytes()
+
+
 class TestTelemetry:
     def test_ecs_scan_writes_snapshot(self, tmp_path, capsys):
         import json

@@ -1,0 +1,71 @@
+"""The exception hierarchy: one root, typed branches, no bare ValueErrors."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    CheckpointError,
+    ConnectionFailed,
+    DnsError,
+    FaultConfigError,
+    RateLimitExceeded,
+    RelayError,
+    ReproError,
+    WorkerCrashed,
+)
+from repro.faults import FaultProfile, profile_named
+from repro.scan.checkpoint import CampaignCheckpointer
+
+
+def _error_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for cls in _error_classes():
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_every_error_is_documented(self):
+        for cls in _error_classes():
+            assert cls.__doc__, cls.__name__
+
+    def test_catching_the_root_catches_everything(self):
+        for cls in _error_classes():
+            if cls is ReproError:
+                continue
+            with pytest.raises(ReproError):
+                raise cls("boom")
+
+    def test_branch_parentage(self):
+        assert issubclass(ConnectionFailed, RelayError)
+        assert issubclass(CheckpointError, ReproError)
+        assert issubclass(WorkerCrashed, ReproError)
+        assert issubclass(RateLimitExceeded, ReproError)
+        assert not issubclass(DnsError, RelayError)
+
+    def test_fault_config_error_is_also_a_value_error(self):
+        # Callers validating configuration can catch plain ValueError.
+        assert issubclass(FaultConfigError, ValueError)
+        assert issubclass(FaultConfigError, ReproError)
+
+
+class TestRaisedTypes:
+    def test_unknown_profile_raises_fault_config_error(self):
+        with pytest.raises(FaultConfigError):
+            profile_named("no-such-profile")
+
+    def test_invalid_profile_raises_fault_config_error(self):
+        with pytest.raises(FaultConfigError):
+            FaultProfile(name="bad", drop=2.0)
+
+    def test_checkpoint_fingerprint_mismatch_raises(self, tmp_path):
+        CampaignCheckpointer(tmp_path, {"seed": 1}).save(2022, 1, {})
+        with pytest.raises(CheckpointError):
+            CampaignCheckpointer(tmp_path, {"seed": 2}).load(2022, 1)
