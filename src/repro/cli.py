@@ -289,6 +289,13 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static determinism & concurrency analysis (see DESIGN.md §9)."""
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_telemetry(args) -> int:
     """Render a saved telemetry JSON snapshot as a human-readable table."""
     import json
@@ -358,6 +365,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(p)
     p.add_argument("--output", type=str, default=None)
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism & concurrency analysis over the source tree",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the installed "
+                        "repro package source)")
+    p.add_argument("--baseline", type=str, default=None, metavar="PATH",
+                   help="committed baseline of grandfathered findings; only "
+                        "non-baselined findings fail the run")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline from the current findings "
+                        "(dropping stale entries) instead of gating")
+    p.add_argument("--root", type=str, default=None, metavar="DIR",
+                   help="directory finding paths are reported relative to "
+                        "(default: the current directory)")
+    p.add_argument("--rules", type=lambda t: t.split(","), default=None,
+                   metavar="ID[,ID...]", help="run only these rule ids")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="stdout format (default text)")
+    p.add_argument("--json", dest="json_out", type=str, default=None,
+                   metavar="PATH", help="additionally write the JSON report "
+                                        "to this file")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("--telemetry-out", type=str, default=None, metavar="PATH",
+                   help="write lint.findings{rule=...} counters here")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("telemetry",
                        help="render a saved telemetry snapshot")

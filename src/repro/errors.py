@@ -84,6 +84,10 @@ class WorkerCrashed(ReproError):
     """Shard worker processes kept dying beyond the recovery budget."""
 
 
+class LintError(ReproError):
+    """A lint run cannot proceed (unparseable file, malformed baseline)."""
+
+
 class WorldGenError(ReproError):
     """World generation parameters are inconsistent or infeasible."""
 

@@ -1,0 +1,47 @@
+"""Static determinism & concurrency analysis (``repro lint``).
+
+Zero-dependency AST linting that proves, at review time, what the
+equivalence test matrices check dynamically: no wall-clock or entropy
+reads outside sanctioned boundaries, no hash-ordered iteration leaking
+into results, no fork-shared mutable module state, no exception
+swallowing in recovery paths.  See DESIGN.md §9 for the rule catalogue
+and the suppression/baseline workflow.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import FileContext, LintEngine, LintReport
+from repro.lint.findings import (
+    ERROR,
+    STATUS_BASELINED,
+    STATUS_NEW,
+    STATUS_SUPPRESSED,
+    WARNING,
+    Finding,
+)
+from repro.lint.rules import CHECKERS, RULES, Rule
+
+__all__ = [
+    "BaselineEntry",
+    "CHECKERS",
+    "ERROR",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "STATUS_BASELINED",
+    "STATUS_NEW",
+    "STATUS_SUPPRESSED",
+    "WARNING",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

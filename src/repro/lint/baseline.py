@@ -1,0 +1,117 @@
+"""Committed-baseline support: grandfathered findings.
+
+The baseline file records findings that existed when the linter was
+adopted (or that a reviewer judged acceptable) so the gate only fails
+on *new* findings.  Entries match on ``(rule, path, content)`` with a
+count — never on line numbers — so edits elsewhere in a file do not
+invalidate them.  Entries that no longer match anything in the tree are
+*stale*: the CLI reports them and ``--update-baseline`` drops them,
+keeping the baseline shrinking toward the justified allowlist.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.findings import STATUS_BASELINED, STATUS_NEW, Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered fingerprint with its occurrence count."""
+
+    rule: str
+    path: str
+    content: str
+    count: int = 1
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "content": self.content,
+            "count": self.count,
+        }
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Parse a baseline file, validating version and entry shape."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise LintError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else data!r}"
+        )
+    entries = []
+    for raw in data.get("entries", []):
+        try:
+            entries.append(BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                content=raw["content"],
+                count=int(raw.get("count", 1)),
+            ))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(f"baseline {path}: malformed entry {raw!r}") from exc
+    return entries
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> list[BaselineEntry]:
+    """Write the current (non-suppressed) findings as the new baseline."""
+    counts = Counter(f.fingerprint for f in findings)
+    entries = [
+        BaselineEntry(rule=rule, path=fpath, content=content, count=n)
+        for (rule, fpath, content), n in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_json() for entry in entries],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> list[BaselineEntry]:
+    """Mark baselined findings in place; return the stale entries.
+
+    For each baseline fingerprint, up to ``count`` matching findings are
+    marked :data:`STATUS_BASELINED`; matches beyond the count stay new
+    (a regression that *added* an occurrence still fails).  Entries with
+    unused budget — the tree now has fewer matches than the baseline
+    recorded — are returned as stale so the baseline can shrink.
+    """
+    budget: Counter = Counter()
+    for entry in entries:
+        budget[(entry.rule, entry.path, entry.content)] += entry.count
+    for finding in findings:
+        if finding.status != STATUS_NEW:
+            continue
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            finding.status = STATUS_BASELINED
+    stale = []
+    for entry in entries:
+        unused = budget.get((entry.rule, entry.path, entry.content), 0)
+        if unused > 0:
+            stale.append(BaselineEntry(
+                rule=entry.rule, path=entry.path,
+                content=entry.content, count=unused,
+            ))
+            budget[(entry.rule, entry.path, entry.content)] = 0
+    return stale

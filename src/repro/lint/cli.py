@@ -1,0 +1,125 @@
+"""``repro-relay lint`` implementation (kept out of the main CLI module).
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 new
+findings, 2 usage or environment errors (via the main CLI's ReproError
+handling).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import LintEngine, LintReport
+from repro.lint.findings import STATUS_NEW, STATUS_SUPPRESSED
+from repro.lint.rules import RULES
+
+
+def default_lint_paths() -> list[str]:
+    """The tree to lint when no paths are given: the repro package."""
+    here = Path(__file__).resolve().parent.parent  # .../src/repro
+    return [str(here)]
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` documentation output."""
+    out = ["Rules (suppress inline with `# repro: allow[RULE-ID] <reason>`,"]
+    out.append("grandfather with `--baseline FILE --update-baseline`):")
+    out.append("")
+    for rule in sorted(RULES.values(), key=lambda r: r.id):
+        out.append(f"{rule.id}  {rule.severity:7s} {rule.name}")
+        out.append(f"    {rule.summary}")
+        out.extend(textwrap.wrap(
+            rule.rationale, width=74,
+            initial_indent="      ", subsequent_indent="      ",
+        ))
+        if rule.boundary:
+            out.append(f"      boundary (rule not applied): "
+                       f"{', '.join(rule.boundary)}")
+        out.append("")
+    return "\n".join(out)
+
+
+def render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.new_findings]
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} "
+        f"file(s): {len(report.new_findings)} new, "
+        f"{report.count('baselined')} baselined, "
+        f"{report.count('suppressed')} suppressed"
+    )
+    lines.append(summary)
+    for entry in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry ({entry.count} unmatched): "
+            f"{entry.rule} {entry.path} :: {entry.content!r} "
+            "(run --update-baseline to drop)"
+        )
+    return "\n".join(lines)
+
+
+def _emit_telemetry(args, report: LintReport) -> None:
+    if not getattr(args, "telemetry_out", None):
+        return
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    registry = telemetry.registry
+    registry.counter("lint.files_scanned").inc(report.files_scanned)
+    # One counter per rule, zeros included, over live (new + baselined)
+    # findings: CI artifacts then graph per-rule debt over time.
+    live: dict[str, int] = {rule_id: 0 for rule_id in RULES}
+    for finding in report.findings:
+        if finding.status != STATUS_SUPPRESSED:
+            live[finding.rule] = live.get(finding.rule, 0) + 1
+    for rule_id, count in sorted(live.items()):
+        registry.counter("lint.findings", rule=rule_id).inc(count)
+    registry.counter("lint.new").inc(len(report.new_findings))
+    for status in ("baselined", "suppressed"):
+        registry.counter(f"lint.{status}").inc(report.count(status))
+    if report.stale_baseline:
+        registry.counter("lint.stale_baseline_entries").inc(
+            sum(e.count for e in report.stale_baseline)
+        )
+    telemetry.write(args.telemetry_out)
+    print(f"wrote telemetry to {args.telemetry_out}")
+
+
+def run_lint(args) -> int:
+    """Back the ``lint`` subcommand of the main CLI."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(rules=args.rules or None)
+    paths = args.paths or default_lint_paths()
+    baseline = None
+    if args.baseline and not args.update_baseline:
+        baseline = load_baseline(args.baseline)
+    report = engine.run(paths, root=args.root, baseline=baseline)
+
+    if args.update_baseline:
+        live = [f for f in report.findings if f.status == STATUS_NEW]
+        entries = write_baseline(args.baseline, live)
+        print(f"wrote {len(entries)} baseline entr"
+              f"{'y' if len(entries) == 1 else 'ies'} to {args.baseline}")
+        _emit_telemetry(args, report)
+        return 0
+
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_text(report))
+    _emit_telemetry(args, report)
+    return 0 if report.ok else 1

@@ -1,0 +1,257 @@
+"""The lint engine: file walking, parsing, suppression, baseline, report.
+
+Pipeline per file: parse → run every applicable rule (skipping rules
+whose ``boundary`` patterns match the file) → apply inline
+``# repro: allow[RULE-ID] <reason>`` suppressions.  Across files, the
+engine applies the committed baseline and folds everything into a
+:class:`LintReport` whose ``new_findings`` are the gate: any of them
+means the run fails.
+
+Suppression syntax (same line, or a comment-only line directly above)::
+
+    value = time.time()  # repro: allow[DET001] wall-time display only
+    # repro: allow[CONC001] content-keyed cache; per-process fork copy
+    _CACHE[key] = value
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from fnmatch import fnmatch
+
+from repro.errors import LintError
+from repro.lint.baseline import BaselineEntry, apply_baseline
+from repro.lint.findings import (
+    STATUS_BASELINED,
+    STATUS_NEW,
+    STATUS_SUPPRESSED,
+    Finding,
+)
+from repro.lint.rules import CHECKERS, RULES, Rule
+
+REPORT_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z]+\d+)\]\s*(.*?)\s*$"
+)
+
+
+class FileContext:
+    """One parsed source file plus the lookups checkers need."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._parents: dict[int, ast.AST] | None = None
+
+    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        content = ""
+        if 1 <= line <= len(self.lines):
+            content = self.lines[line - 1].strip()
+        return Finding(
+            rule=rule.id, path=self.path, line=line, col=col,
+            severity=rule.severity, message=message, content=content,
+        )
+
+    def _parent_map(self) -> dict[int, ast.AST]:
+        if self._parents is None:
+            parents: dict[int, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def has_sorted_ancestor(self, node: ast.AST) -> bool:
+        """Whether the node sits (anywhere) inside a ``sorted(...)`` call."""
+        parents = self._parent_map()
+        current: ast.AST | None = parents.get(id(node))
+        while current is not None:
+            if (
+                isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id == "sorted"
+            ):
+                return True
+            current = parents.get(id(current))
+        return False
+
+    def suppressions(self) -> dict[int, list[tuple[str, str]]]:
+        """Line number → [(rule-id, reason)] from allow comments."""
+        table: dict[int, list[tuple[str, str]]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                table.setdefault(lineno, []).append(
+                    (match.group(1), match.group(2))
+                )
+        return table
+
+
+@dataclass
+class LintReport:
+    """Everything one run produced, ready for text/JSON rendering."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == STATUS_NEW]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def count(self, status: str) -> int:
+        return sum(1 for f in self.findings if f.status == status)
+
+    def by_rule(self) -> dict[str, int]:
+        """New-finding counts per rule (only rules with findings)."""
+        counts: dict[str, int] = {}
+        for finding in self.new_findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "rules": [
+                {
+                    "id": rule.id,
+                    "name": rule.name,
+                    "severity": rule.severity,
+                    "summary": rule.summary,
+                }
+                for rule in sorted(RULES.values(), key=lambda r: r.id)
+            ],
+            "findings": [f.to_json() for f in self.findings],
+            "stale_baseline": [e.to_json() for e in self.stale_baseline],
+            "summary": {
+                "total": len(self.findings),
+                "new": self.count(STATUS_NEW),
+                "baselined": self.count(STATUS_BASELINED),
+                "suppressed": self.count(STATUS_SUPPRESSED),
+                "stale_baseline_entries": len(self.stale_baseline),
+                "by_rule": self.by_rule(),
+            },
+        }
+
+
+def _rule_applies(rule: Rule, path: str) -> bool:
+    for pattern in rule.boundary:
+        if fnmatch(path, pattern):
+            return False
+        stripped = pattern[2:] if pattern.startswith("*/") else pattern
+        if fnmatch(path, stripped):
+            return False
+    return True
+
+
+def _python_files(path: Path):
+    """All .py files under a path, in sorted (deterministic) order."""
+    if path.is_file():
+        yield path
+        return
+    for child in sorted(path.iterdir()):
+        if child.name == "__pycache__":
+            continue
+        if child.is_dir():
+            yield from _python_files(child)
+        elif child.suffix == ".py":
+            yield child
+
+
+class LintEngine:
+    """Run the rule pack over files or in-memory source."""
+
+    def __init__(self, rules: list[str] | None = None) -> None:
+        if rules is None:
+            self.rule_ids = sorted(RULES)
+        else:
+            unknown = sorted(set(rules) - set(RULES))
+            if unknown:
+                raise LintError(f"unknown rule id(s): {', '.join(unknown)}")
+            self.rule_ids = sorted(rules)
+
+    # -- per-file ----------------------------------------------------------
+
+    def lint_source(self, source: str, path: str = "<memory>") -> list[Finding]:
+        """Lint one source string; suppressions applied, no baseline."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise LintError(
+                f"{path}:{exc.lineno}: cannot parse: {exc.msg}"
+            ) from exc
+        ctx = FileContext(path, source, tree)
+        findings: list[Finding] = []
+        for rule_id in self.rule_ids:
+            if not _rule_applies(RULES[rule_id], path):
+                continue
+            findings.extend(CHECKERS[rule_id](ctx).run())
+        self._apply_suppressions(ctx, findings)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    @staticmethod
+    def _apply_suppressions(ctx: FileContext, findings: list[Finding]) -> None:
+        table = ctx.suppressions()
+        if not table:
+            return
+        for finding in findings:
+            for lineno in (finding.line, finding.line - 1):
+                if lineno == finding.line - 1:
+                    # Comment-above style: only a comment-only line may
+                    # carry the suppression for the statement below it.
+                    if not (1 <= lineno <= len(ctx.lines)
+                            and ctx.lines[lineno - 1].lstrip().startswith("#")):
+                        continue
+                for rule_id, reason in table.get(lineno, ()):
+                    if rule_id == finding.rule:
+                        finding.status = STATUS_SUPPRESSED
+                        finding.suppress_reason = reason
+                        break
+                if finding.status == STATUS_SUPPRESSED:
+                    break
+
+    # -- tree --------------------------------------------------------------
+
+    def run(
+        self,
+        paths: list[str | Path],
+        root: str | Path | None = None,
+        baseline: list[BaselineEntry] | None = None,
+    ) -> LintReport:
+        """Lint files/directories; apply the baseline; build the report."""
+        root_path = Path(root) if root is not None else Path.cwd()
+        report = LintReport(root=str(root_path))
+        for start in paths:
+            start_path = Path(start)
+            if not start_path.exists():
+                raise LintError(f"no such file or directory: {start}")
+            for file_path in _python_files(start_path):
+                try:
+                    rel = file_path.resolve().relative_to(root_path.resolve())
+                    rel_text = str(PurePosixPath(rel))
+                except ValueError:
+                    rel_text = str(PurePosixPath(file_path))
+                source = file_path.read_text()
+                report.findings.extend(self.lint_source(source, rel_text))
+                report.files_scanned += 1
+        report.findings.sort(key=Finding.sort_key)
+        if baseline is not None:
+            live = [f for f in report.findings if f.status == STATUS_NEW]
+            report.stale_baseline = apply_baseline(live, baseline)
+        return report

@@ -1,0 +1,68 @@
+"""Lint findings: the unit of output shared by every rule.
+
+A :class:`Finding` pins a rule violation to a file/line/column and
+carries the *stripped source line* as its content fingerprint.  The
+baseline matches on ``(rule, path, content)`` rather than line numbers,
+so unrelated edits that shift a grandfathered finding up or down do not
+churn the baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severity levels.  Both gate the exit code identically; severity is a
+#: triage hint (errors are determinism hazards, warnings are hygiene).
+ERROR = "error"
+WARNING = "warning"
+
+#: Lifecycle states assigned by the engine after suppression/baseline
+#: processing.  Only ``new`` findings fail a lint run.
+STATUS_NEW = "new"
+STATUS_SUPPRESSED = "suppressed"
+STATUS_BASELINED = "baselined"
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix path relative to the scan root
+    line: int
+    col: int
+    severity: str
+    message: str
+    content: str  # stripped source line (the baseline fingerprint)
+    status: str = STATUS_NEW
+    suppress_reason: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.content)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_json(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "content": self.content,
+            "status": self.status,
+        }
+        if self.suppress_reason:
+            data["suppress_reason"] = self.suppress_reason
+        return data
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col RULE sev: msg``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col} "
+            f"{self.rule} {self.severity}: {self.message}"
+        )

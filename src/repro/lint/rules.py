@@ -1,0 +1,549 @@
+"""The rule pack: determinism (DET), concurrency (CONC), hygiene (HYG).
+
+Every checker is an :class:`ast.NodeVisitor` over one parsed file.  The
+rules are deliberately *syntactic and conservative*: they flag the
+patterns this codebase has promised never to rely on (wall-clock reads,
+unseeded entropy, hash-ordered iteration, fork-shared mutable globals),
+and the escape hatches — per-rule ``boundary`` module patterns, inline
+``# repro: allow[RULE]`` suppressions, and the committed baseline — are
+where human judgement records the exceptions.
+
+Known, documented limitations (all err toward silence, not noise):
+
+* DET002 only recognises *textually evident* set expressions
+  (``set(..)``, ``frozenset(..)``, set literals, set comprehensions);
+  a function returning a set is invisible to it.
+* CONC001 is per-module: a mutable global mutated from *another*
+  module's function is not seen.
+* DET001 flags ``from time import time``-style imports at the import
+  line, because the bare call sites are indistinguishable afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.findings import ERROR, WARNING, Finding
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    id: str
+    name: str
+    severity: str
+    summary: str
+    rationale: str
+    #: fnmatch patterns (posix, relative to the scan root) where the
+    #: rule does not apply — the sanctioned boundary modules.
+    boundary: tuple[str, ...] = ()
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _has_suffix(dotted: str, banned: str) -> bool:
+    """Segment-aware suffix match (``x.time.time`` matches ``time.time``
+    but ``mytime.time`` does not match it)."""
+    dp = dotted.split(".")
+    bp = banned.split(".")
+    return len(dp) >= len(bp) and dp[-len(bp):] == bp
+
+
+class Checker(ast.NodeVisitor):
+    """Base class: one rule, one file, collected findings."""
+
+    rule: Rule
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(self.rule, node, message))
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall-clock / entropy reads
+
+
+_WALL_CLOCK = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+_ENTROPY = (
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom",
+)
+_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "seed", "getrandbits", "gauss",
+    "normalvariate", "lognormvariate", "expovariate", "betavariate",
+    "gammavariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate",
+})
+_FROM_IMPORT_BANS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns"},
+    "uuid": {"uuid1", "uuid4"},
+    "os": {"urandom", "getrandom"},
+    "random": _RANDOM_FUNCS | {"SystemRandom"},
+}
+
+
+class WallClockEntropy(Checker):
+    rule = Rule(
+        id="DET001",
+        name="wall-clock-entropy",
+        severity=ERROR,
+        summary="wall-clock or OS-entropy read outside a sanctioned boundary",
+        rationale=(
+            "Scan results must be a pure function of (seed, scale, settings). "
+            "time.time/datetime.now/uuid4/os.urandom/module-level random.* "
+            "smuggle the host's clock or entropy pool into outputs; use the "
+            "SimClock for time and an explicitly seeded random.Random(seed) "
+            "for randomness.  Wall-time observability lives behind the "
+            "telemetry span boundary."
+        ),
+        boundary=("*/simtime.py", "*/telemetry/spans.py", "*/faults/*"),
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted:
+            parts = dotted.split(".")
+            if parts[0] == "secrets":
+                self.emit(node, f"{dotted}() draws OS entropy (secrets module)")
+            elif any(_has_suffix(dotted, b) for b in _WALL_CLOCK):
+                self.emit(node, f"{dotted}() reads the wall clock; "
+                                "use the SimClock")
+            elif any(_has_suffix(dotted, b) for b in _ENTROPY):
+                self.emit(node, f"{dotted}() draws OS entropy; derive values "
+                                "from the campaign seed")
+            elif _has_suffix(dotted, "random.SystemRandom"):
+                self.emit(node, "random.SystemRandom draws OS entropy")
+            elif len(parts) >= 2 and parts[-2] == "random" \
+                    and parts[-1] in _RANDOM_FUNCS:
+                self.emit(node, f"{dotted}() uses the shared module-level "
+                                "generator; use a seeded random.Random(seed)")
+        if self._is_unseeded_random(node, dotted):
+            self.emit(node, "Random() without a seed argument is "
+                            "entropy-seeded; pass an explicit seed")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_unseeded_random(node: ast.Call, dotted: str | None) -> bool:
+        if node.args or node.keywords:
+            return False
+        if dotted is not None and _has_suffix(dotted, "random.Random"):
+            return True
+        return isinstance(node.func, ast.Name) and node.func.id == "Random"
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module == "secrets":
+            self.emit(node, "importing from secrets (OS entropy)")
+        banned = _FROM_IMPORT_BANS.get(module, ())
+        for alias in node.names:
+            if alias.name in banned:
+                self.emit(node, f"'from {module} import {alias.name}' hides a "
+                                "wall-clock/entropy call behind a bare name")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET002 — hash-ordered iteration
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+        )
+
+
+_SET_ORDER_MSG = (
+    "iteration order of a set is hash-dependent (PYTHONHASHSEED); "
+    "wrap in sorted(...) before the order can reach results"
+)
+
+
+class UnorderedIteration(Checker):
+    rule = Rule(
+        id="DET002",
+        name="unordered-iteration",
+        severity=ERROR,
+        summary="iterating a set/frozenset without sorted(...)",
+        rationale=(
+            "Set iteration order depends on insertion history and, for "
+            "strings, on per-process hash randomisation.  Any loop, "
+            "comprehension, or list()/tuple()/join() over a set can leak "
+            "that order into yielded values, accumulated floats, or dict "
+            "insertion order that later rounds of the pipeline observe.  "
+            "Order-insensitive reductions over *sets being built* "
+            "(set comprehensions) are exempt; everything else must sort."
+        ),
+    )
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.emit(node.iter, _SET_ORDER_MSG)
+        self.generic_visit(node)
+
+    def _check_generators(self, node) -> None:
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self.emit(gen.iter, _SET_ORDER_MSG)
+        self.generic_visit(node)
+
+    # Set comprehensions are deliberately absent: a set built from a set
+    # is order-insensitive by construction.
+    visit_GeneratorExp = _check_generators
+    visit_ListComp = _check_generators
+    visit_DictComp = _check_generators
+
+    def visit_Call(self, node: ast.Call) -> None:
+        materialises = (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate", "iter")
+        ) or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        )
+        if materialises and node.args and _is_set_expr(node.args[0]):
+            self.emit(node.args[0], _SET_ORDER_MSG)
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET003 — environment / filesystem-order reads
+
+
+_FS_CALLS = ("os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob")
+_FS_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+class EnvFilesystemOrder(Checker):
+    rule = Rule(
+        id="DET003",
+        name="env-fs-order",
+        severity=ERROR,
+        summary="os.environ read or unsorted directory listing",
+        rationale=(
+            "os.listdir/glob/Path.iterdir return entries in filesystem "
+            "order, which differs across machines and runs — wrap the "
+            "listing in sorted(...).  os.environ/os.getenv make behaviour "
+            "depend on invisible host state; configuration must arrive "
+            "through explicit settings objects or CLI flags."
+        ),
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted and _has_suffix(dotted, "os.getenv"):
+            self.emit(node, "os.getenv() reads hidden host state; take "
+                            "configuration explicitly")
+        elif dotted and any(_has_suffix(dotted, b) for b in _FS_CALLS):
+            if not self.ctx.has_sorted_ancestor(node):
+                self.emit(node, f"{dotted}() yields filesystem order; "
+                                "wrap in sorted(...)")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_METHODS
+            and not self.ctx.has_sorted_ancestor(node)
+        ):
+            self.emit(node, f".{node.func.attr}() yields filesystem order; "
+                            "wrap in sorted(...)")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted(node)
+        if dotted and _has_suffix(dotted, "os.environ"):
+            self.emit(node, "os.environ reads hidden host state; take "
+                            "configuration explicitly")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — fork-shared module-level mutable state
+
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "remove",
+    "discard", "pop", "popitem", "setdefault", "sort", "reverse",
+})
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    return isinstance(node, (
+        ast.List, ast.Dict, ast.Set,
+        ast.ListComp, ast.DictComp, ast.SetComp,
+        ast.Call,
+    ))
+
+
+class ModuleStateMutation(Checker):
+    rule = Rule(
+        id="CONC001",
+        name="module-state-mutation",
+        severity=ERROR,
+        summary="module-level mutable object mutated from function scope",
+        rationale=(
+            "Shard workers inherit module globals by fork; a dict/list/"
+            "set/instance at module scope that functions mutate diverges "
+            "silently between the parent and each worker, so results come "
+            "to depend on which process ran what.  State must be passed "
+            "explicitly and worker contributions shipped back as explicit "
+            "deltas (the telemetry owned-snapshot pattern)."
+        ),
+    )
+
+    def run(self) -> list[Finding]:
+        candidates: dict[str, int] = {}
+        for stmt in self.ctx.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if not _is_mutable_value(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    candidates[target.id] = stmt.lineno
+        if candidates:
+            for func in self._functions(self.ctx.tree):
+                self._scan_function(func, candidates)
+        return self.findings
+
+    @staticmethod
+    def _functions(tree: ast.AST):
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _scan_function(self, func, candidates: dict[str, int]) -> None:
+        args = func.args
+        local = {a.arg for a in (
+            args.posonlyargs + args.args + args.kwonlyargs
+        )}
+        if args.vararg:
+            local.add(args.vararg.arg)
+        if args.kwarg:
+            local.add(args.kwarg.arg)
+        declared_global: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                local.add(node.id)
+        local -= declared_global
+
+        def is_target(name: str) -> bool:
+            return name in candidates and name not in local
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    if name in candidates:
+                        self.emit(node, f"'global {name}' rebinds module-"
+                                        "level mutable state from a function")
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in _MUTATOR_METHODS
+                    and isinstance(f.value, ast.Name)
+                    and is_target(f.value.id)
+                ):
+                    self.emit(node, f"mutates module-level '{f.value.id}' "
+                                    f"via .{f.attr}() (fork-shared state)")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    base = None
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = target.value
+                    if isinstance(base, ast.Name) and is_target(base.id):
+                        self.emit(node, "mutates module-level "
+                                        f"'{base.id}' in place "
+                                        "(fork-shared state)")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and is_target(target.value.id)
+                    ):
+                        self.emit(node, "deletes from module-level "
+                                        f"'{target.value.id}' "
+                                        "(fork-shared state)")
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — process-control calls outside the fault plane
+
+
+_PROCESS_CALLS = (
+    "os._exit", "os.fork", "os.forkpty", "os.abort", "os.kill",
+    "os.execv", "os.execve", "os.execvp", "os.execvpe",
+    "signal.signal", "signal.raise_signal",
+)
+
+
+class ProcessControl(Checker):
+    rule = Rule(
+        id="CONC002",
+        name="process-control",
+        severity=ERROR,
+        summary="os._exit/fork/kill-style call outside faults/",
+        rationale=(
+            "Raw process control bypasses every cleanup path: os._exit "
+            "skips atexit/finally (checkpoints never flush), bare fork "
+            "duplicates locks and buffers mid-state.  Only the fault-"
+            "injection plane may model process death, and only behind a "
+            "FaultPlan decision."
+        ),
+        boundary=("*/faults/*",),
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted:
+            for banned in _PROCESS_CALLS:
+                if _has_suffix(dotted, banned):
+                    self.emit(node, f"{dotted}() is fork/exit-unsafe outside "
+                                    "the fault plane")
+                    break
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# HYG001 — mutable default arguments
+
+
+_MUTABLE_FACTORY_NAMES = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque",
+})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORY_NAMES
+    )
+
+
+class MutableDefaultArg(Checker):
+    rule = Rule(
+        id="HYG001",
+        name="mutable-default-arg",
+        severity=WARNING,
+        summary="mutable default argument",
+        rationale=(
+            "Default values are evaluated once at def time; a [] or {} "
+            "default is shared by every call and across every scan in the "
+            "process, turning call history into hidden state.  Use None "
+            "plus an in-body default, or dataclasses.field(default_factory)."
+        ),
+    )
+
+    def _check(self, node) -> None:
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.emit(default, "mutable default is evaluated once and "
+                                   "shared across calls; use None")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+    visit_Lambda = _check
+
+
+# ---------------------------------------------------------------------------
+# HYG002 — exception hygiene
+
+
+def _handler_names(node: ast.ExceptHandler) -> list[str]:
+    if isinstance(node.type, ast.Name):
+        return [node.type.id]
+    if isinstance(node.type, ast.Tuple):
+        return [e.id for e in node.type.elts if isinstance(e, ast.Name)]
+    return []
+
+
+class ExceptHygiene(Checker):
+    rule = Rule(
+        id="HYG002",
+        name="except-hygiene",
+        severity=WARNING,
+        summary="bare except / overbroad except Exception",
+        rationale=(
+            "A bare `except:` or `except Exception` in scan, merge, or "
+            "recovery paths can swallow WorkerCrashed and CheckpointError "
+            "and convert a crash into silently wrong results.  Catch the "
+            "specific errors.py hierarchy type (ReproError subclasses), "
+            "or re-raise with a bare `raise`."
+        ),
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(node, "bare 'except:' catches SystemExit/"
+                            "KeyboardInterrupt too; name the errors.py type")
+        else:
+            names = _handler_names(node)
+            if "Exception" in names or "BaseException" in names:
+                reraises = any(
+                    isinstance(n, ast.Raise) and n.exc is None
+                    for n in ast.walk(node)
+                )
+                if not reraises:
+                    self.emit(node, "'except Exception' is overbroad; catch "
+                                    "the specific errors.py hierarchy type "
+                                    "or re-raise")
+        self.generic_visit(node)
+
+
+#: Checker classes in rule-id order; the registry is derived from this
+#: tuple at import time (no function-scope mutation of module state).
+_CHECKERS: tuple[type[Checker], ...] = (
+    WallClockEntropy,
+    UnorderedIteration,
+    EnvFilesystemOrder,
+    ModuleStateMutation,
+    ProcessControl,
+    MutableDefaultArg,
+    ExceptHygiene,
+)
+
+RULES: dict[str, Rule] = {c.rule.id: c.rule for c in _CHECKERS}
+CHECKERS: dict[str, type[Checker]] = {c.rule.id: c for c in _CHECKERS}

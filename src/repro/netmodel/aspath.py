@@ -209,7 +209,7 @@ class PathLoad:
             return {}
         counts: dict[int, int] = {}
         for path in self.paths:
-            for asn in set(path.transits()):
+            for asn in sorted(set(path.transits())):
                 counts[asn] = counts.get(asn, 0) + 1
         return {asn: count / len(self.paths) for asn, count in counts.items()}
 

@@ -33,7 +33,7 @@ class ASPopulationDataset:
 
     def total_population(self, asns) -> int:
         """Summed user estimate over a collection of AS numbers."""
-        return sum(self._pop.get(asn, 0) for asn in set(asns))
+        return sum(self._pop.get(asn, 0) for asn in sorted(set(asns)))
 
     def __len__(self) -> int:
         return len(self._pop)

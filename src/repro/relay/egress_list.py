@@ -22,7 +22,7 @@ import io
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.errors import EgressListError
+from repro.errors import AddressError, EgressListError
 from repro.netmodel.addr import Prefix
 from repro.netmodel.prefix_trie import DualStackTrie
 
@@ -185,7 +185,7 @@ class EgressList:
             prefix_text, country, region, city = (column.strip() for column in row)
             try:
                 prefix = Prefix.parse(prefix_text)
-            except Exception as exc:
+            except AddressError as exc:
                 raise EgressListError(f"line {lineno}: {exc}") from exc
             entries.append(EgressEntry(prefix, country, region, city))
         return cls(entries)

@@ -313,6 +313,7 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     # drill keys on the task's run_attempt, so re-runs succeed.
     plan = scanner.settings.fault_plan
     if plan is not None and plan.crash_shard(task.index, task.run_attempt):
+        # repro: allow[CONC002] fault-plan crash drill: models real worker death
         os._exit(70)
     # Shard workers only ever run scans: their allocations (responses,
     # columnar encodings) are acyclic and freed per task by refcounting,
@@ -335,10 +336,12 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     # shipped snapshot is exactly this task's contribution.
     registry = scanner.telemetry.registry
     registry.reset_owned()
+    # repro: allow[DET001] wall-time feeds the shard telemetry histogram only
     wall_start = time.perf_counter()
     result = scanner.scan_ranges(
         task.domain, list(task.spans), list(task.gaps), task.rtype
     )
+    # repro: allow[DET001] wall-time feeds the shard telemetry histogram only
     wall_seconds = time.perf_counter() - wall_start
     return ShardOutcome(
         index=task.index,
@@ -533,6 +536,7 @@ class ShardedCampaignExecutor:
                     outcomes[plan.index] = future.result()
                 except BrokenExecutor:
                     crashed.append(plan)
+                # repro: allow[HYG002] first failure re-raised after pool teardown
                 except BaseException as exc:
                     failure = exc
             if failure is not None:

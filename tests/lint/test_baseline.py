@@ -1,0 +1,117 @@
+"""Baseline add/match/expire behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    STATUS_BASELINED,
+    STATUS_NEW,
+    BaselineEntry,
+    LintEngine,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+DIRTY = "import time\nstamp = time.time()\n"
+
+
+def lint(source):
+    return LintEngine().lint_source(source, "mod.py")
+
+
+def test_baselined_finding_is_not_new():
+    findings = lint(DIRTY)
+    stale = apply_baseline(findings, [
+        BaselineEntry("DET001", "mod.py", "stamp = time.time()"),
+    ])
+    assert findings[0].status == STATUS_BASELINED
+    assert stale == []
+
+
+def test_extra_occurrence_beyond_count_stays_new():
+    source = "import time\na = time.time()\nb = time.time()\n"
+    findings = lint(source)
+    # Both lines share neither content nor count: baseline only one.
+    apply_baseline(findings, [
+        BaselineEntry("DET001", "mod.py", "a = time.time()"),
+    ])
+    statuses = sorted(f.status for f in findings)
+    assert statuses == [STATUS_BASELINED, STATUS_NEW]
+
+
+def test_count_matches_multiple_identical_lines():
+    source = "import time\nstamp = time.time()\nstamp = time.time()\n"
+    findings = lint(source)
+    apply_baseline(findings, [
+        BaselineEntry("DET001", "mod.py", "stamp = time.time()", count=2),
+    ])
+    assert all(f.status == STATUS_BASELINED for f in findings)
+
+
+def test_stale_entries_reported_when_finding_fixed():
+    findings = lint("value = 1\n")
+    stale = apply_baseline(findings, [
+        BaselineEntry("DET001", "mod.py", "stamp = time.time()"),
+    ])
+    assert len(stale) == 1
+    assert stale[0].rule == "DET001"
+    assert stale[0].count == 1
+
+
+def test_line_moves_do_not_invalidate_baseline():
+    moved = "import time\n\n\n# padding\nstamp = time.time()\n"
+    findings = lint(moved)
+    stale = apply_baseline(findings, [
+        BaselineEntry("DET001", "mod.py", "stamp = time.time()"),
+    ])
+    assert findings[-1].status == STATUS_BASELINED
+    assert stale == []
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = lint(DIRTY)
+    written = write_baseline(path, findings)
+    loaded = load_baseline(path)
+    assert loaded == written
+    assert loaded[0].rule == "DET001"
+    assert loaded[0].count == 1
+
+
+def test_write_aggregates_duplicate_fingerprints(tmp_path):
+    path = tmp_path / "baseline.json"
+    source = "import time\nstamp = time.time()\nstamp = time.time()\n"
+    entries = write_baseline(path, lint(source))
+    assert len(entries) == 1
+    assert entries[0].count == 2
+
+
+def test_missing_baseline_is_an_error(tmp_path):
+    with pytest.raises(LintError, match="not found"):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json")
+    with pytest.raises(LintError, match="not valid JSON"):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(LintError, match="unsupported version"):
+        load_baseline(path)
+    path.write_text(json.dumps({"version": 1, "entries": [{"rule": "X"}]}))
+    with pytest.raises(LintError, match="malformed entry"):
+        load_baseline(path)
+
+
+def test_engine_run_applies_baseline(tmp_path):
+    module = tmp_path / "mod.py"
+    module.write_text(DIRTY)
+    entries = [BaselineEntry("DET001", "mod.py", "stamp = time.time()")]
+    report = LintEngine().run([module], root=tmp_path, baseline=entries)
+    assert report.ok
+    assert report.count(STATUS_BASELINED) == 1
+    assert report.stale_baseline == []

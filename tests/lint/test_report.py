@@ -1,0 +1,173 @@
+"""JSON report schema and CLI behaviour (exit codes, flags, telemetry)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import RULES, LintEngine
+from repro.lint.baseline import BaselineEntry
+
+DIRTY = "import time\nstamp = time.time()\n"
+CLEAN = "value = 1\n"
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "mod.py").write_text(DIRTY)
+    return tmp_path
+
+
+# -- JSON schema -----------------------------------------------------------
+
+
+def test_json_report_schema(dirty_tree):
+    report = LintEngine().run([dirty_tree / "mod.py"], root=dirty_tree)
+    data = report.to_json()
+    assert data["version"] == 1
+    assert data["files_scanned"] == 1
+    assert {r["id"] for r in data["rules"]} == set(RULES)
+    for rule in data["rules"]:
+        assert set(rule) == {"id", "name", "severity", "summary"}
+    (finding,) = data["findings"]
+    assert set(finding) == {
+        "rule", "path", "line", "col", "severity", "message",
+        "content", "status",
+    }
+    assert finding["rule"] == "DET001"
+    assert finding["path"] == "mod.py"
+    assert finding["status"] == "new"
+    summary = data["summary"]
+    assert summary["total"] == 1
+    assert summary["new"] == 1
+    assert summary["baselined"] == 0
+    assert summary["suppressed"] == 0
+    assert summary["stale_baseline_entries"] == 0
+    assert summary["by_rule"] == {"DET001": 1}
+    assert data["stale_baseline"] == []
+
+
+def test_json_report_includes_suppress_reason(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "import time\nt = time.time()  # repro: allow[DET001] boundary\n"
+    )
+    report = LintEngine().run([tmp_path / "mod.py"], root=tmp_path)
+    (finding,) = report.to_json()["findings"]
+    assert finding["status"] == "suppressed"
+    assert finding["suppress_reason"] == "boundary"
+
+
+def test_json_report_stale_baseline_entries(tmp_path):
+    (tmp_path / "mod.py").write_text(CLEAN)
+    entries = [BaselineEntry("DET001", "mod.py", "stamp = time.time()")]
+    report = LintEngine().run([tmp_path / "mod.py"], root=tmp_path,
+                              baseline=entries)
+    data = report.to_json()
+    assert data["summary"]["stale_baseline_entries"] == 1
+    (stale,) = data["stale_baseline"]
+    assert stale == {
+        "rule": "DET001", "path": "mod.py",
+        "content": "stamp = time.time()", "count": 1,
+    }
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_exit_1_on_new_findings(dirty_tree, capsys):
+    code = main(["lint", str(dirty_tree), "--root", str(dirty_tree)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "1 new" in out
+
+
+def test_cli_exit_0_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(CLEAN)
+    code = main(["lint", str(tmp_path), "--root", str(tmp_path)])
+    assert code == 0
+    assert "0 new" in capsys.readouterr().out
+
+
+def test_cli_update_then_gate_round_trip(dirty_tree, capsys):
+    baseline = dirty_tree / "baseline.json"
+    assert main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+                 "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+                 "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_stale_baseline_warns_but_passes(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(CLEAN)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"version": 1, "entries": [{
+        "rule": "DET001", "path": "mod.py",
+        "content": "stamp = time.time()", "count": 1,
+    }]}))
+    code = main(["lint", str(tmp_path), "--root", str(tmp_path),
+                 "--baseline", str(baseline)])
+    assert code == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_update_baseline_requires_baseline(dirty_tree):
+    assert main(["lint", str(dirty_tree), "--update-baseline"]) == 2
+
+
+def test_cli_json_flag_writes_report(dirty_tree):
+    out = dirty_tree / "report.json"
+    main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+          "--json", str(out)])
+    data = json.loads(out.read_text())
+    assert data["summary"]["new"] == 1
+
+
+def test_cli_json_format_prints_report(dirty_tree, capsys):
+    main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+          "--format", "json"])
+    data = json.loads(capsys.readouterr().out)
+    assert data["summary"]["by_rule"] == {"DET001": 1}
+
+
+def test_cli_list_rules_documents_every_rule(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id, rule in RULES.items():
+        assert rule_id in out
+        assert rule.summary in out
+    assert "repro: allow[RULE-ID]" in out
+
+
+def test_cli_rules_filter(dirty_tree, capsys):
+    code = main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+                 "--rules", "HYG001,HYG002"])
+    assert code == 0  # DET001 not selected, so the dirty file passes
+
+
+def test_cli_bad_rule_id_exits_2(dirty_tree, capsys):
+    assert main(["lint", str(dirty_tree), "--rules", "NOPE1"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path_exits_2(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "absent")]) == 2
+
+
+def test_cli_telemetry_out_counters(dirty_tree):
+    tel_path = dirty_tree / "telemetry.json"
+    main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+          "--telemetry-out", str(tel_path)])
+    snapshot = json.loads(tel_path.read_text())
+    counters = {
+        (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+        for c in snapshot["metrics"]["counters"]
+    }
+    assert counters[("lint.findings", (("rule", "DET001"),))] == 1
+    # Every rule gets a counter, zeros included, so artifacts can trend.
+    for rule_id in RULES:
+        assert ("lint.findings", (("rule", rule_id),)) in counters
+    assert counters[("lint.files_scanned", ())] == 1
+    assert counters[("lint.new", ())] == 1

@@ -1,0 +1,251 @@
+"""Per-rule positive/negative fixtures, linted in memory.
+
+Each rule gets at least one snippet that must fire and one that must
+stay silent; the helper asserts on rule ids so a fixture firing the
+wrong rule fails loudly.
+"""
+
+import pytest
+
+from repro.lint import LintEngine
+
+
+def rule_ids(source, path="snippet.py"):
+    engine = LintEngine()
+    return [f.rule for f in engine.lint_source(source, path)]
+
+
+def findings(source, path="snippet.py"):
+    return LintEngine().lint_source(source, path)
+
+
+# -- DET001 ----------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "import time\nstamp = time.time()\n",
+    "import time\nstamp = time.perf_counter()\n",
+    "import datetime\nnow = datetime.datetime.now()\n",
+    "import uuid\ntoken = uuid.uuid4()\n",
+    "import os\nnoise = os.urandom(8)\n",
+    "import random\nvalue = random.random()\n",
+    "import random\nrandom.shuffle(items)\n",
+    "import random\nrng = random.Random()\n",
+    "import secrets\ntoken = secrets.token_hex()\n",
+    "from random import choice\n",
+    "from time import perf_counter\n",
+])
+def test_det001_positive(snippet):
+    assert "DET001" in rule_ids(snippet)
+
+
+@pytest.mark.parametrize("snippet", [
+    "import random\nrng = random.Random(2022)\n",
+    "value = self.clock.now\n" .replace("self.", "obj."),
+    "import random\nrng = random.Random(seed)\n",
+    "from random import Random\nrng = Random(7)\n",
+    "stamp = clock.time_of_day()\n",
+])
+def test_det001_negative(snippet):
+    assert "DET001" not in rule_ids(snippet)
+
+
+def test_det001_boundary_modules_exempt():
+    snippet = "import time\nstamp = time.perf_counter()\n"
+    assert rule_ids(snippet, path="src/repro/telemetry/spans.py") == []
+    assert rule_ids(snippet, path="src/repro/faults/plan.py") == []
+    assert "DET001" in rule_ids(snippet, path="src/repro/scan/kernel.py")
+
+
+# -- DET002 ----------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "for item in set(values):\n    emit(item)\n",
+    "for item in {1, 2, 3}:\n    emit(item)\n",
+    "out = [f(x) for x in frozenset(values)]\n",
+    "out = {k: 1 for k in set(values)}\n",
+    "total = sum(weight[x] for x in set(values))\n",
+    "out = list(set(values))\n",
+    "out = tuple(frozenset(values))\n",
+    "text = ', '.join({str(x) for x in values})\n",
+])
+def test_det002_positive(snippet):
+    assert "DET002" in rule_ids(snippet)
+
+
+@pytest.mark.parametrize("snippet", [
+    "for item in sorted(set(values)):\n    emit(item)\n",
+    "out = [f(x) for x in sorted(frozenset(values))]\n",
+    "for item in values:\n    emit(item)\n",
+    "for key in mapping:\n    emit(key)\n",
+    "unique = {f(x) for x in set(values)}\n",  # set-to-set is order-free
+    "out = list(sorted(set(values)))\n",
+])
+def test_det002_negative(snippet):
+    assert "DET002" not in rule_ids(snippet)
+
+
+# -- DET003 ----------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "import os\nnames = os.listdir(path)\n",
+    "import os\nfor _ in os.walk(path):\n    pass\n",
+    "import glob\nfiles = glob.glob(pattern)\n",
+    "files = list(path.iterdir())\n",
+    "files = list(path.rglob('*.py'))\n",
+    "import os\nhome = os.environ['HOME']\n",
+    "import os\nhome = os.environ.get('HOME')\n",
+    "import os\nscale = os.getenv('SCALE')\n",
+])
+def test_det003_positive(snippet):
+    assert "DET003" in rule_ids(snippet)
+
+
+@pytest.mark.parametrize("snippet", [
+    "import os\nnames = sorted(os.listdir(path))\n",
+    "files = sorted(path.iterdir())\n",
+    "files = sorted(p for p in path.glob('*.py'))\n",
+    "names = parse(environ)\n",
+])
+def test_det003_negative(snippet):
+    assert "DET003" not in rule_ids(snippet)
+
+
+# -- CONC001 ---------------------------------------------------------------
+
+def test_conc001_positive_mutation_sites():
+    source = (
+        "_CACHE = {}\n"
+        "_SEEN = set()\n"
+        "def remember(key, value):\n"
+        "    _CACHE[key] = value\n"
+        "    _SEEN.add(key)\n"
+        "def forget():\n"
+        "    _CACHE.clear()\n"
+    )
+    assert rule_ids(source).count("CONC001") == 3
+
+
+def test_conc001_positive_global_rebind_and_attr():
+    source = (
+        "stats = Stats()\n"
+        "def bump():\n"
+        "    stats.hits += 1\n"
+        "def reset():\n"
+        "    global stats\n"
+        "    stats = Stats()\n"
+    )
+    ids = rule_ids(source)
+    assert ids.count("CONC001") == 2
+
+
+@pytest.mark.parametrize("snippet", [
+    # Local shadowing: the mutated name is function-local.
+    "_CACHE = {}\ndef build():\n    _CACHE = {}\n    _CACHE['k'] = 1\n",
+    # Read-only access to a module global is fine.
+    "_TABLE = {1: 'a'}\ndef lookup(k):\n    return _TABLE.get(k)\n",
+    # Module-level construction (import time) is fine.
+    "_TABLE = {c: i for i, c in enumerate('abc')}\n",
+    # Mutating a parameter is the caller's business, not module state.
+    "def add(cache, k, v):\n    cache[k] = v\n",
+    # Immutable module global rebinding is outside this rule's scope.
+    "_WORKER = None\ndef init(w):\n    global _WORKER\n    _WORKER = w\n",
+])
+def test_conc001_negative(snippet):
+    assert "CONC001" not in rule_ids(snippet)
+
+
+# -- CONC002 ---------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "import os\nos._exit(70)\n",
+    "import os\npid = os.fork()\n",
+    "import os, signal\nos.kill(pid, signal.SIGKILL)\n",
+    "import signal\nsignal.signal(signal.SIGTERM, handler)\n",
+])
+def test_conc002_positive(snippet):
+    assert "CONC002" in rule_ids(snippet)
+
+
+def test_conc002_negative_and_boundary():
+    ok = "import sys\nraise SystemExit(2)\n"
+    assert "CONC002" not in rule_ids(ok)
+    drill = "import os\nos._exit(70)\n"
+    assert rule_ids(drill, path="src/repro/faults/drill.py") == []
+
+
+# -- HYG001 ----------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "def f(items=[]):\n    return items\n",
+    "def f(table={}):\n    return table\n",
+    "def f(seen=set()):\n    return seen\n",
+    "def f(*, extras=list()):\n    return extras\n",
+    "g = lambda acc=[]: acc\n",
+])
+def test_hyg001_positive(snippet):
+    assert "HYG001" in rule_ids(snippet)
+
+
+@pytest.mark.parametrize("snippet", [
+    "def f(items=None):\n    return items or []\n",
+    "def f(items=()):\n    return items\n",
+    "def f(count=0, name=''):\n    return name * count\n",
+])
+def test_hyg001_negative(snippet):
+    assert "HYG001" not in rule_ids(snippet)
+
+
+# -- HYG002 ----------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet", [
+    "try:\n    work()\nexcept:\n    pass\n",
+    "try:\n    work()\nexcept Exception:\n    pass\n",
+    "try:\n    work()\nexcept Exception as exc:\n    log(exc)\n",
+    "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n",
+    "try:\n    work()\nexcept BaseException:\n    cleanup()\n",
+])
+def test_hyg002_positive(snippet):
+    assert "HYG002" in rule_ids(snippet)
+
+
+@pytest.mark.parametrize("snippet", [
+    "try:\n    work()\nexcept ValueError:\n    pass\n",
+    "try:\n    work()\nexcept ReproError as exc:\n    handle(exc)\n",
+    # Bare re-raise makes a broad catch acceptable.
+    "try:\n    work()\nexcept Exception:\n    cleanup()\n    raise\n",
+])
+def test_hyg002_negative(snippet):
+    assert "HYG002" not in rule_ids(snippet)
+
+
+# -- engine behaviour shared by all rules ----------------------------------
+
+def test_findings_carry_location_severity_and_content():
+    source = "import time\nstamp = time.time()\n"
+    (finding,) = findings(source)
+    assert finding.rule == "DET001"
+    assert finding.path == "snippet.py"
+    assert finding.line == 2
+    assert finding.severity == "error"
+    assert finding.content == "stamp = time.time()"
+    assert "wall clock" in finding.message
+
+
+def test_unknown_rule_id_rejected():
+    from repro.errors import LintError
+
+    with pytest.raises(LintError):
+        LintEngine(rules=["DET999"])
+
+
+def test_rule_subset_only_runs_selected_rules():
+    source = "import time\nstamp = time.time()\ndef f(x=[]):\n    return x\n"
+    ids = [f.rule for f in LintEngine(rules=["HYG001"]).lint_source(source)]
+    assert ids == ["HYG001"]
+
+
+def test_syntax_error_raises_lint_error():
+    from repro.errors import LintError
+
+    with pytest.raises(LintError, match="cannot parse"):
+        LintEngine().lint_source("def broken(:\n", "bad.py")

@@ -1,0 +1,77 @@
+"""Inline ``# repro: allow[RULE-ID] <reason>`` suppression handling."""
+
+from repro.lint import STATUS_NEW, STATUS_SUPPRESSED, LintEngine
+
+
+def lint(source):
+    return LintEngine().lint_source(source, "snippet.py")
+
+
+def test_same_line_suppression():
+    source = (
+        "import time\n"
+        "t = time.time()  # repro: allow[DET001] wall display only\n"
+    )
+    (finding,) = lint(source)
+    assert finding.status == STATUS_SUPPRESSED
+    assert finding.suppress_reason == "wall display only"
+
+
+def test_comment_above_suppression():
+    source = (
+        "import time\n"
+        "# repro: allow[DET001] wall display only\n"
+        "t = time.time()\n"
+    )
+    (finding,) = lint(source)
+    assert finding.status == STATUS_SUPPRESSED
+
+
+def test_suppression_on_code_line_above_does_not_apply():
+    # The line above carries code, not a dedicated comment: a trailing
+    # allow there must only cover that line's own findings.
+    source = (
+        "import time\n"
+        "a = 1  # repro: allow[DET001] misplaced\n"
+        "t = time.time()\n"
+    )
+    (finding,) = lint(source)
+    assert finding.status == STATUS_NEW
+
+
+def test_wrong_rule_id_does_not_suppress():
+    source = (
+        "import time\n"
+        "t = time.time()  # repro: allow[HYG001] wrong rule\n"
+    )
+    (finding,) = lint(source)
+    assert finding.status == STATUS_NEW
+
+
+def test_suppression_covers_only_its_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # repro: allow[DET001] one-off\n"
+        "b = time.time()\n"
+    )
+    statuses = {f.line: f.status for f in lint(source)}
+    assert statuses[2] == STATUS_SUPPRESSED
+    assert statuses[3] == STATUS_NEW
+
+
+def test_reason_is_optional_but_captured():
+    source = "import time\nt = time.time()  # repro: allow[DET001]\n"
+    (finding,) = lint(source)
+    assert finding.status == STATUS_SUPPRESSED
+    assert finding.suppress_reason == ""
+
+
+def test_suppressed_findings_do_not_gate_reports(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "t = time.time()  # repro: allow[DET001] boundary\n"
+    )
+    report = LintEngine().run([target], root=tmp_path)
+    assert report.ok
+    assert report.count(STATUS_SUPPRESSED) == 1

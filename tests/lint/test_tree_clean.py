@@ -1,0 +1,57 @@
+"""Tier-1 gate: the source tree is lint-clean against the committed baseline.
+
+This is the static half of the determinism story: the equivalence
+matrices prove runs *are* bit-identical, this proves the tree contains
+no construct that could make them stop being so.  A new wall-clock
+read, unsorted set iteration, or fork-shared mutation fails this test
+until it is fixed, suppressed with a reasoned ``# repro: allow[...]``,
+or (exceptionally) added to lint_baseline.json.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintEngine, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SOURCE_TREE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint_baseline.json"
+
+
+def run_tree_lint():
+    engine = LintEngine()
+    return engine.run([SOURCE_TREE], root=REPO_ROOT,
+                      baseline=load_baseline(BASELINE))
+
+
+def test_tree_is_clean_against_baseline():
+    report = run_tree_lint()
+    new = report.new_findings
+    details = "\n".join(f.render() for f in new)
+    assert not new, (
+        f"{len(new)} new lint finding(s); fix them, or suppress with "
+        f"'# repro: allow[RULE] reason', or baseline them:\n{details}"
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    # Fixing a grandfathered finding must also shrink the baseline
+    # (repro lint --baseline lint_baseline.json --update-baseline),
+    # so the allowlist only ever shrinks toward zero.
+    report = run_tree_lint()
+    stale = "\n".join(
+        f"{e.rule} {e.path} :: {e.content!r}" for e in report.stale_baseline
+    )
+    assert not report.stale_baseline, (
+        f"stale baseline entries (fixed findings still grandfathered); "
+        f"run --update-baseline:\n{stale}"
+    )
+
+
+def test_baseline_is_small_and_justified():
+    # The baseline is a shrinking allowlist, not a dumping ground: keep
+    # it bounded so new findings get fixed or reason-suppressed instead.
+    entries = load_baseline(BASELINE)
+    assert len(entries) <= 8, (
+        "lint_baseline.json grew; fix findings or use a reasoned inline "
+        "suppression instead of grandfathering more debt"
+    )
