@@ -5,15 +5,16 @@ ECS scan, the full monthly campaign (sequential and, with ``--workers``
 > 1, sharded), an Atlas measurement round, a relay egress-rotation scan
 day, and the traceroute campaign — at a pinned seed and scale, writes
 the numbers to ``BENCH_scan.json``, and (by default) fails when the
-campaign regresses more than the tolerance against the checked-in
-``baseline.json``.
+campaign wall time regresses more than the tolerance — or the campaign
+throughput (``queries_per_s``) drops more than the tolerance below —
+the checked-in ``baseline.json``.
 
 The sharded campaign runs on a fresh same-seed world and is *verified*
 against the sequential run before its timing is recorded: any
 divergence in query counts, ingress sets, per-AS attribution, or server
 stats fails the harness with exit 1.
 
-Telemetry legs: the sharded campaign and one extra sequential campaign
+Telemetry legs: the sharded campaign and extra sequential campaigns
 run with live telemetry.  The harness gates (always, even with
 ``--no-check``) on ``deterministic_totals`` matching between the two —
 the same invariant the sharded-telemetry tests and the CI cross-leg
@@ -22,7 +23,15 @@ staying within 3 % (plus a 0.1 s noise floor) of the telemetry-off one
 (check mode only).  A faults-off leg runs the sequential campaign with
 the ``none`` fault profile attached: it must reproduce the plain
 campaign exactly, and (check mode) stay within 2 % — the robustness
-hooks may not tax the fault-free path.  ``--telemetry-out PATH`` saves
+hooks may not tax the fault-free path.  Both overhead legs run as
+back-to-back (hooked, plain) pairs in process-CPU seconds and gate on
+the best per-pair delta: wall-clock steal on shared machines dwarfs
+the single-digit budgets, and even CPU-time noise is time-correlated
+at minute scale, so only a paired delta reliably isolates what the
+hooks themselves add.  The reported ``campaign_s`` (and
+with it ``queries_per_s``) is the best-of-N plain wall time — every
+plain run is bit-identical work, so the minimum is the least-noisy
+measurement of the same computation.  ``--telemetry-out PATH`` saves
 a snapshot: the
 sharded campaign's when that leg ran, else the sequential one's (so the
 CI workers=1 and workers=4 artifacts compare across worker counts).
@@ -117,7 +126,7 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         run_traceroute_campaign,
     )
     from repro.relay.service import RELAY_DOMAIN_QUIC
-    from repro.telemetry import Telemetry, deterministic_totals
+    from repro.telemetry import NULL_TELEMETRY, Telemetry, deterministic_totals
     from repro.worldgen import WorldConfig, build_world
 
     t0 = time.perf_counter()
@@ -199,87 +208,111 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         settings=EcsScanSettings(),
     )
     t0 = time.perf_counter()
+    c0 = time.process_time()
     months = campaign.run(world.scan_months())
+    campaign_cpu_s = time.process_time() - c0
     campaign_s = time.perf_counter() - t0
 
     campaign_queries = sum(
         scan_result.queries_sent for scan_result in _campaign_scans(months)
     )
 
-    # Telemetry-on sequential leg, on a fresh same-seed world: the
-    # overhead measurement (vs the telemetry-off run above) and the
-    # reference totals the sharded snapshot must reproduce.
-    seq_telemetry = Telemetry()
-    seq_world = build_world(
-        WorldConfig(seed=seed, scale=scale), telemetry=seq_telemetry
-    )
-    seq_campaign = ScanCampaign(
-        server=seq_world.route53,
-        routing=seq_world.routing,
-        clock=seq_world.clock,
-        settings=EcsScanSettings(),
-        telemetry=seq_telemetry,
-    )
-    t0 = time.perf_counter()
-    telemetry_months = seq_campaign.run(seq_world.scan_months())
-    campaign_telemetry_s = time.perf_counter() - t0
-    seq_snapshot = seq_telemetry.snapshot()
+    # Overhead legs (telemetry-on, faults-off) are measured in
+    # **process-CPU seconds**: on shared machines, wall-clock steal
+    # dwarfs the 2-3 % budgets (identical campaigns have been observed
+    # to differ 3x run to run), while CPU time counts only the
+    # instructions this process executed — exactly what a hook's
+    # overhead adds.  Each hooked run is paired with an immediate plain
+    # re-run and the gate takes the best per-pair delta (see the pairing
+    # comment below).  The plain re-runs also tighten the shared
+    # campaign base seeded by the headline run above.
+    from repro.faults import FaultPlan
 
-    problems = _verify_sharded(months, telemetry_months)
-    if problems:
-        raise ShardDivergence(
-            [f"telemetry-on sequential: {p}" for p in problems]
+    def _campaign_leg(fault_plan=None, with_telemetry=False):
+        telemetry = Telemetry() if with_telemetry else None
+        leg_world = build_world(
+            WorldConfig(seed=seed, scale=scale), telemetry=telemetry
         )
-    del seq_world, seq_campaign, seq_telemetry
+        leg_campaign = ScanCampaign(
+            server=leg_world.route53,
+            routing=leg_world.routing,
+            clock=leg_world.clock,
+            settings=EcsScanSettings(fault_plan=fault_plan),
+            telemetry=telemetry if telemetry is not None else NULL_TELEMETRY,
+        )
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        leg_months = leg_campaign.run(leg_world.scan_months())
+        cpu = time.process_time() - c0
+        elapsed = time.perf_counter() - t0
+        snapshot = telemetry.snapshot() if telemetry is not None else None
+        return elapsed, cpu, leg_months, snapshot
+
+    OVERHEAD_RUNS = 3
+    campaign_base_s = campaign_s
+    campaign_base_cpu_s = campaign_cpu_s
+
+    # Overhead legs run as back-to-back (hooked, plain) *pairs* and gate
+    # on the minimum per-pair CPU delta.  CPU-time noise on shared boxes
+    # is time-correlated at minute scale (a slow window inflates every
+    # sample in it by 10-20 %), so comparing independent minima can
+    # fabricate large overheads when one side's runs all land in a slow
+    # window; members of one pair see the same window, so their delta
+    # cancels the drift.
+    campaign_telemetry_cpu_s = None
+    telemetry_delta_cpu_s = None
+    seq_snapshot = None
+    for attempt in range(OVERHEAD_RUNS):
+        _, cpu, leg_months, snapshot = _campaign_leg(with_telemetry=True)
+        if campaign_telemetry_cpu_s is None or cpu < campaign_telemetry_cpu_s:
+            campaign_telemetry_cpu_s = cpu
+        if attempt == 0:
+            problems = _verify_sharded(months, leg_months)
+            if problems:
+                raise ShardDivergence(
+                    [f"telemetry-on sequential: {p}" for p in problems]
+                )
+            seq_snapshot = snapshot
+        del leg_months
+        elapsed, plain_cpu, leg_months, _ = _campaign_leg()
+        delta = cpu - plain_cpu
+        if telemetry_delta_cpu_s is None or delta < telemetry_delta_cpu_s:
+            telemetry_delta_cpu_s = delta
+        if elapsed < campaign_base_s:
+            campaign_base_s = elapsed
+        if plain_cpu < campaign_base_cpu_s:
+            campaign_base_cpu_s = plain_cpu
+        del leg_months
 
     # Faults-off leg: an attached "none" profile exercises every fault
     # hook (gate checks in the scan kernels, the retry plumbing) without
     # injecting anything.  It must reproduce the plain campaign exactly,
     # and its overhead is gated like telemetry's — robustness hooks may
     # not tax the fault-free path.
-    from repro.faults import FaultPlan
-
-    # The overhead is measured as best-of-two hooked vs best-of-two
-    # plain (the main campaign_s plus one interleaved re-run): single
-    # campaign wall times on shared machines jitter by far more than
-    # the 2 % budget, and taking minima on both sides cancels the noise
-    # while still catching a systematic slowdown.
-    campaign_faults_off_s = None
-    campaign_faults_base_s = campaign_s
-    for attempt in range(2):
-        faults_world = build_world(WorldConfig(seed=seed, scale=scale))
-        faults_campaign = ScanCampaign(
-            server=faults_world.route53,
-            routing=faults_world.routing,
-            clock=faults_world.clock,
-            settings=EcsScanSettings(fault_plan=FaultPlan("none", seed=seed)),
+    campaign_faults_off_cpu_s = None
+    faults_off_delta_cpu_s = None
+    for attempt in range(OVERHEAD_RUNS):
+        _, cpu, leg_months, _ = _campaign_leg(
+            fault_plan=FaultPlan("none", seed=seed)
         )
-        t0 = time.perf_counter()
-        faults_months = faults_campaign.run(faults_world.scan_months())
-        elapsed = time.perf_counter() - t0
-        if campaign_faults_off_s is None or elapsed < campaign_faults_off_s:
-            campaign_faults_off_s = elapsed
+        if campaign_faults_off_cpu_s is None or cpu < campaign_faults_off_cpu_s:
+            campaign_faults_off_cpu_s = cpu
         if attempt == 0:
-            problems = _verify_sharded(months, faults_months)
+            problems = _verify_sharded(months, leg_months)
             if problems:
                 raise ShardDivergence(
                     [f"faults-off (none profile): {p}" for p in problems]
                 )
-        del faults_world, faults_campaign, faults_months
-        if attempt == 0:
-            plain_world = build_world(WorldConfig(seed=seed, scale=scale))
-            plain_campaign = ScanCampaign(
-                server=plain_world.route53,
-                routing=plain_world.routing,
-                clock=plain_world.clock,
-                settings=EcsScanSettings(),
-            )
-            t0 = time.perf_counter()
-            plain_campaign.run(plain_world.scan_months())
-            elapsed = time.perf_counter() - t0
-            if elapsed < campaign_faults_base_s:
-                campaign_faults_base_s = elapsed
-            del plain_world, plain_campaign
+        del leg_months
+        elapsed, plain_cpu, leg_months, _ = _campaign_leg()
+        delta = cpu - plain_cpu
+        if faults_off_delta_cpu_s is None or delta < faults_off_delta_cpu_s:
+            faults_off_delta_cpu_s = delta
+        if elapsed < campaign_base_s:
+            campaign_base_s = elapsed
+        if plain_cpu < campaign_base_cpu_s:
+            campaign_base_cpu_s = plain_cpu
+        del leg_months
 
     result = {
         "commit": current_commit(),
@@ -292,14 +325,18 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         "relay_scan_s": round(relay_scan_s, 3),
         "traceroute_s": round(traceroute_s, 3),
         "traceroute_targets": traceroute_targets,
-        "campaign_s": round(campaign_s, 3),
-        "queries_per_s": round(campaign_queries / campaign_s, 1),
-        "campaign_telemetry_s": round(campaign_telemetry_s, 3),
-        "telemetry_overhead": round(campaign_telemetry_s / campaign_s - 1.0, 4),
-        "campaign_faults_off_s": round(campaign_faults_off_s, 3),
-        "campaign_faults_base_s": round(campaign_faults_base_s, 3),
+        "campaign_s": round(campaign_base_s, 3),
+        "queries_per_s": round(campaign_queries / campaign_base_s, 1),
+        "campaign_cpu_s": round(campaign_base_cpu_s, 3),
+        "campaign_telemetry_cpu_s": round(campaign_telemetry_cpu_s, 3),
+        "telemetry_overhead_cpu_s": round(telemetry_delta_cpu_s, 3),
+        "telemetry_overhead": round(
+            telemetry_delta_cpu_s / campaign_base_cpu_s, 4
+        ),
+        "campaign_faults_off_cpu_s": round(campaign_faults_off_cpu_s, 3),
+        "fault_hook_overhead_cpu_s": round(faults_off_delta_cpu_s, 3),
         "fault_hook_overhead": round(
-            campaign_faults_off_s / campaign_faults_base_s - 1.0, 4
+            faults_off_delta_cpu_s / campaign_base_cpu_s, 4
         ),
         "telemetry": {"metrics": seq_snapshot["metrics"]},
     }
@@ -310,7 +347,7 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         if problems:
             raise ShardDivergence(problems)
         result["campaign_sharded_s"] = round(sharded_s, 3)
-        result["sharded_speedup"] = round(campaign_s / sharded_s, 2)
+        result["sharded_speedup"] = round(campaign_base_s / sharded_s, 2)
         # The merged shard totals must be bit-identical to the
         # sequential run's — the same invariant the CI cross-leg
         # comparison checks between the workers=1 and workers=4 jobs.
@@ -349,14 +386,14 @@ FAULT_HOOK_OVERHEAD_FLOOR_S = 0.1
 
 
 def check_fault_hook_overhead(result: dict) -> int:
-    off = result["campaign_faults_base_s"]
-    hooked = result["campaign_faults_off_s"]
+    off = result["campaign_cpu_s"]
+    delta = result["fault_hook_overhead_cpu_s"]
     budget = max(FAULT_HOOK_OVERHEAD_FRACTION * off, FAULT_HOOK_OVERHEAD_FLOOR_S)
     print(
-        f"fault-hook overhead: {hooked - off:+.3f}s "
-        f"({result['fault_hook_overhead']:+.2%}, budget {budget:.3f}s)"
+        f"fault-hook overhead: {delta:+.3f} CPU s (best pair, "
+        f"{result['fault_hook_overhead']:+.2%}, budget {budget:.3f}s)"
     )
-    if hooked - off > budget:
+    if delta > budget:
         print(
             f"FAIL: faults-off campaign exceeded the "
             f"{FAULT_HOOK_OVERHEAD_FRACTION:.0%} fault-hook overhead budget"
@@ -367,14 +404,14 @@ def check_fault_hook_overhead(result: dict) -> int:
 
 
 def check_telemetry_overhead(result: dict) -> int:
-    off = result["campaign_s"]
-    on = result["campaign_telemetry_s"]
+    off = result["campaign_cpu_s"]
+    delta = result["telemetry_overhead_cpu_s"]
     budget = max(TELEMETRY_OVERHEAD_FRACTION * off, TELEMETRY_OVERHEAD_FLOOR_S)
     print(
-        f"telemetry overhead: {on - off:+.3f}s "
-        f"({result['telemetry_overhead']:+.2%}, budget {budget:.3f}s)"
+        f"telemetry overhead: {delta:+.3f} CPU s (best pair, "
+        f"{result['telemetry_overhead']:+.2%}, budget {budget:.3f}s)"
     )
-    if on - off > budget:
+    if delta > budget:
         print(
             f"FAIL: telemetry-on campaign exceeded the "
             f"{TELEMETRY_OVERHEAD_FRACTION:.0%} overhead budget"
@@ -406,6 +443,19 @@ def check_regression(result: dict, tolerance: float) -> int:
             f"commit {baseline.get('commit', '?')}"
         )
         return 1
+    baseline_qps = baseline.get("queries_per_s")
+    if baseline_qps:
+        floor = baseline_qps * (1.0 - tolerance)
+        print(
+            f"throughput: {result['queries_per_s']:,.0f} queries/s "
+            f"(baseline {baseline_qps:,.0f}, floor {floor:,.0f})"
+        )
+        if result["queries_per_s"] < floor:
+            print(
+                f"FAIL: queries_per_s regressed >{tolerance:.0%} vs baseline "
+                f"commit {baseline.get('commit', '?')}"
+            )
+            return 1
     print("OK: within tolerance")
     return 0
 

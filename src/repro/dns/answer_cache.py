@@ -27,6 +27,7 @@ increment once per query whether or not a plan was reused.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 
 from repro.dns.name import DnsName
@@ -61,6 +62,59 @@ class _NameEntry:
         self.by_length: dict[int, list[tuple[int, dict[int, object]]]] | None = None
 
 
+class ReplayProgram:
+    """One compiled answer program for a (qname, rtype, range, epoch).
+
+    Flat columns over the range ``[lo, hi]``, covered contiguously in
+    ascending address order:
+
+    * ``row_starts`` / ``row_ends`` — ``array('I')`` span bounds
+      (inclusive) per row;
+    * ``row_answer`` — ``array('I')`` index into :attr:`answers` per row;
+    * ``row_scopes`` — ``array('B')`` declared scope per row (255 encodes
+      "no override": the server's default scope applies);
+    * ``answers`` — one ``replay_spec()`` tuple per *distinct* answer
+      (see :meth:`repro.relay.service._BlockAnswer.replay_spec`); the
+      enumerator deduplicates, so thousands of rows typically share a
+      few hundred specs.
+
+    The scan kernel links the answer specs against its settings once and
+    then replays the program with a monotone row pointer.  Programs are
+    epoch-scoped exactly like cached plans: any token change drops them.
+    """
+
+    __slots__ = ("lo", "hi", "row_starts", "row_ends", "row_answer", "row_scopes", "answers")
+
+    def __init__(self, lo: int, hi: int, rows: list, specs: list) -> None:
+        self.lo = lo
+        self.hi = hi
+        starts = [row[0] for row in rows]
+        ends = [row[1] for row in rows]
+        # Bulk validation: the per-row checks collapse to list-at-a-time
+        # passes (packing ran at ~2 µs/row as a scalar loop, and a
+        # program holds tens of thousands of rows).
+        if (
+            not rows
+            or starts[0] != lo
+            or ends[-1] != hi
+            or any(e < s for s, e in zip(starts, ends))
+            or any(s != e + 1 for s, e in zip(starts[1:], ends))
+        ):
+            raise ValueError(
+                f"replay rows must cover [{lo}, {hi}] contiguously"
+            )
+        indexes = [row[2] for row in rows]
+        scope_bytes = [255 if a[0] is None else a[0] for a in specs]
+        self.row_starts = array("I", starts)
+        self.row_ends = array("I", ends)
+        self.row_answer = array("I", indexes)
+        self.row_scopes = array("B", [scope_bytes[i] for i in indexes])
+        self.answers = specs
+
+    def __len__(self) -> int:
+        return len(self.row_ends)
+
+
 class ScopeAnswerCache:
     """Caches answer plans per (qname, rtype, scope-block, epoch)."""
 
@@ -75,6 +129,54 @@ class ScopeAnswerCache:
         self._invalidations = self.stats.counter("invalidations")
         self._token: tuple | None = None
         self._entries: dict[tuple[DnsName, RRType], _NameEntry] = {}
+        #: Compiled replay programs, keyed (qname, rtype, lo, hi); same
+        #: epoch scoping as the plan entries (any token change clears).
+        self._programs: dict[tuple[DnsName, RRType, int, int], ReplayProgram] = {}
+
+    def _invalidate(self) -> None:
+        """Drop plans and programs together (one invalidation count)."""
+        if self._entries or self._programs:
+            self._entries.clear()
+            self._programs.clear()
+            self._invalidations.value += 1
+
+    def replay_program(
+        self, zone: Zone, name: DnsName, rtype: RRType, lo: int, hi: int
+    ) -> ReplayProgram | None:
+        """The compiled program for a scan range, or None if unsupported.
+
+        Compiled from the zone's registered replay enumerator
+        (:meth:`~repro.dns.zone.Zone.replay_enumerator`) on first use per
+        epoch and cached under the same token discipline as answer
+        plans.  Compilation itself counts neither hits nor misses — per
+        partition-invariance, program-served queries are accounted as
+        cache hits by the kernel (:meth:`record_program_hits`), keeping
+        ``hits + misses`` equal to the query count for any worker split.
+        """
+        if not self.enabled:
+            return None
+        token = zone.epoch_token()
+        if token != self._token:
+            self._invalidate()
+            self._token = token
+        key = (name, rtype, lo, hi)
+        program = self._programs.get(key)
+        if program is not None:
+            return program
+        enumerator = zone.replay_enumerator(name, rtype)
+        if enumerator is None:
+            return None
+        enumerated = enumerator(lo, hi)
+        if enumerated is None:
+            return None
+        rows, specs = enumerated
+        program = ReplayProgram(lo, hi, rows, specs)
+        self._programs[key] = program
+        return program
+
+    def record_program_hits(self, count: int) -> None:
+        """Account ``count`` program-served queries as cache hits."""
+        self._hits.value += count
 
     def lookup(
         self,
@@ -90,9 +192,7 @@ class ScopeAnswerCache:
         """
         token = zone.epoch_token()
         if token != self._token:
-            if self._entries:
-                self._entries.clear()
-                self._invalidations.value += 1
+            self._invalidate()
             self._token = token
         entry = self._entries.get((name, rtype))
         if entry is not None:
@@ -197,8 +297,6 @@ class ScopeAnswerCache:
             pairs.sort(key=lambda pair: pair[0], reverse=True)
 
     def clear(self) -> None:
-        """Drop every cached plan (counts as an invalidation)."""
-        if self._entries:
-            self._entries.clear()
-            self._invalidations.value += 1
+        """Drop every cached plan and program (counts as an invalidation)."""
+        self._invalidate()
         self._token = None

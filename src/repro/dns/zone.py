@@ -27,6 +27,7 @@ epochs, driven by the shared SimClock).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
@@ -147,6 +148,8 @@ class Zone:
         self._planners: dict[tuple[DnsName, RRType], DynamicPlanner] = {}
         self._dynamic_names: set[DnsName] = set()
         self._epoch_sources: list[Callable[[], object]] = []
+        self._epoch_horizons: list[Callable[[], float] | None] = []
+        self._replay_enumerators: dict[tuple[DnsName, RRType], Callable] = {}
         self._shard_hooks: list[object] = []
 
     def _check_in_zone(self, name: DnsName) -> None:
@@ -180,15 +183,87 @@ class Zone:
         self._dynamic_names.add(name)
         self.version += 1
 
-    def add_epoch_source(self, source: Callable[[], object]) -> None:
+    def add_epoch_source(
+        self,
+        source: Callable[[], object],
+        horizon: Callable[[], float] | None = None,
+    ) -> None:
         """Register a callable whose value participates in :meth:`epoch_token`.
 
         Dynamic-handler owners whose answers depend on external state
         (e.g. relay fleet deployment) register a source returning that
         state's epoch; answer caches are invalidated whenever any source's
         value changes.
+
+        ``horizon``, when given, returns the earliest sim-clock time at
+        which the source's value may next change (see
+        :meth:`epoch_horizon`).  A source without a horizon makes the
+        zone's epochs unbounded-unknown, which disables the batch-replay
+        scan kernel (it would have no safe batch length).
         """
         self._epoch_sources.append(source)
+        self._epoch_horizons.append(horizon)
+
+    def epoch_horizon(self) -> float | None:
+        """Until when (sim time) the current :meth:`epoch_token` holds.
+
+        The minimum over the registered sources' horizons: the current
+        token is guaranteed stable for any ``clock.now`` strictly below
+        the returned time, so batch executors may replay cached answers
+        without re-checking the token until then.  ``math.inf`` when no
+        epoch sources are registered (only explicit zone edits change the
+        token, and those bump ``version`` between scans, not during one).
+        None when any source declared no horizon — the token may change
+        at any moment and per-query validation is required.
+        """
+        horizons = self._epoch_horizons
+        if not horizons:
+            return math.inf
+        earliest = math.inf
+        for horizon in horizons:
+            if horizon is None:
+                return None
+            when = horizon()
+            if when < earliest:
+                earliest = when
+        return earliest
+
+    def add_replay_enumerator(
+        self,
+        name: DnsName | str,
+        rtype: RRType,
+        enumerator: Callable[[int, int], tuple[list, list] | None],
+    ) -> None:
+        """Register a range enumerator for (name, rtype) answer plans.
+
+        ``enumerator(lo, hi)`` returns the answer structure of the whole
+        address range ``[lo, hi]`` for the *current* epoch as ``(rows,
+        specs)``: contiguous ``(start, end, spec index)`` rows in
+        ascending address order (inclusive bounds, every address covered
+        exactly once) over a parallel list of *distinct* replay spec
+        tuples (deduplicated — many rows may share one spec).
+        It may return None when the current state
+        cannot be enumerated safely (e.g. nested assignment units); the
+        scan then falls back to per-query lookups.  The answer cache
+        compiles these rows into replay programs
+        (:meth:`repro.dns.answer_cache.ScopeAnswerCache.replay_program`).
+        """
+        if isinstance(name, str):
+            name = DnsName.parse(name)
+        self._check_in_zone(name)
+        key = (name, rtype)
+        if key in self._replay_enumerators:
+            raise ZoneError(
+                f"replay enumerator already registered for {name} {rtype.name}"
+            )
+        self._replay_enumerators[key] = enumerator
+        self.version += 1
+
+    def replay_enumerator(
+        self, name: DnsName, rtype: RRType
+    ) -> Callable[[int, int], tuple[list, list] | None] | None:
+        """The registered range enumerator for (name, rtype), or None."""
+        return self._replay_enumerators.get((name, rtype))
 
     def add_shard_hook(self, hook: object) -> None:
         """Register per-query mutable state for sharded scan execution.

@@ -51,6 +51,16 @@ _MULT_C = 0x2545F4914F6CDD1D
 #: exact and associative across shard partitions.
 WAIT_QUANTUM = 0.0009765625
 
+#: Public aliases for the batch-replay scan kernel, which inlines the
+#: attempt-0 query draw (one splitmix64 finalize per probe) against the
+#: channel base from :meth:`FaultPlan.query_channel`.  Any change to the
+#: hash here must keep these — and the kernel's inline copy — in lockstep
+#: with :func:`_mix` / :meth:`FaultPlan.query_outcome`.
+MASK64 = _M64
+QUERY_VALUE_MULT = _MULT_B
+MIX_MULT_A = 0xBF58476D1CE4E5B9
+MIX_MULT_B = 0x94D049BB133111EB
+
 
 class FaultKind:
     """Integer codes for DNS-boundary fault outcomes (0 = no fault).
@@ -160,6 +170,18 @@ class FaultPlan:
             return 4
         return 5
 
+    def query_channel(self, domain_key: int) -> tuple[int, tuple[int, ...]]:
+        """The per-domain draw channel: ``(hash base, thresholds)``.
+
+        The batch-replay kernel folds the domain key in once and then
+        performs the attempt-0 draw per probe as
+        ``_mix(base + value * QUERY_VALUE_MULT)`` inline; a hash at or
+        above ``thresholds[-1]`` means delivered (the overwhelmingly
+        common case), anything below re-enters :meth:`query_outcome` for
+        the exact ladder decode.
+        """
+        return (self._query_base + domain_key * _MULT_A) & _M64, self._thresholds
+
     def latency_wait(self, domain_key: int, value: int, attempt: int) -> float:
         """The (quantized) size of an injected latency spike, seconds."""
         unit = self._unit(self._latency_base, domain_key, value, attempt)
@@ -230,7 +252,11 @@ class FaultPlan:
 __all__ = [
     "FaultKind",
     "FaultPlan",
+    "MASK64",
+    "MIX_MULT_A",
+    "MIX_MULT_B",
     "PROFILES",
+    "QUERY_VALUE_MULT",
     "WAIT_QUANTUM",
     "fault_key",
     "quantize_wait",

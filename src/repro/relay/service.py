@@ -221,6 +221,45 @@ class AssignmentMap:
         # the whole block (prefix ranges nest or are disjoint).
         return pos > 0 and self._ends[block.version][pos - 1] >= block.value
 
+    def units_in_range(
+        self, version: int, lo: int, hi: int
+    ) -> list[AssignmentUnit]:
+        """Units of one address family intersecting ``[lo, hi]``, in order.
+
+        Only meaningful for disjoint units (the replay-program compiler
+        checks :attr:`has_nested_units` first): includes a unit whose
+        range merely reaches into the window from below, then every unit
+        starting inside it.
+        """
+        starts = self._starts[version]
+        ends = self._ends[version]
+        pos = bisect.bisect_right(starts, lo) - 1
+        if pos < 0 or ends[pos] < lo:
+            pos += 1
+        # Units starting inside the window are exactly starts[pos:stop]
+        # (starts is sorted), so the walk collapses to one C-level slice.
+        stop = bisect.bisect_right(starts, hi)
+        return self._sorted_units[version][pos:stop]
+
+    def range_view(
+        self, version: int, lo: int, hi: int
+    ) -> tuple[list[int], list[int], list[AssignmentUnit], int, int]:
+        """The :meth:`units_in_range` window as parallel lists plus bounds.
+
+        Returns ``(starts, ends, units, pos, stop)`` — the full sorted
+        per-family lists and the ``[pos, stop)`` index window — so bulk
+        consumers (the replay-program compiler) can walk unit bounds as
+        plain ints without touching prefix objects.  Same intersection
+        semantics as :meth:`units_in_range`.
+        """
+        starts = self._starts[version]
+        ends = self._ends[version]
+        pos = bisect.bisect_right(starts, lo) - 1
+        if pos < 0 or ends[pos] < lo:
+            pos += 1
+        stop = bisect.bisect_right(starts, hi)
+        return starts, ends, self._sorted_units[version], pos, stop
+
     def lookup(self, subnet: Prefix) -> AssignmentUnit | None:
         """The unit serving a client subnet, or None if unserved.
 
@@ -308,7 +347,14 @@ class _PodSupplier:
     server's ``tuple(result.records)`` then costs nothing.
     """
 
-    __slots__ = ("relays", "counter_key", "_name", "_version", "_rotations")
+    __slots__ = (
+        "relays",
+        "counter_key",
+        "_name",
+        "_version",
+        "_rotations",
+        "_addr_rotations",
+    )
 
     def __init__(
         self,
@@ -323,6 +369,7 @@ class _PodSupplier:
         self._name = name
         self._version = version
         self._rotations: dict[int, tuple[ResourceRecord, ...]] = {}
+        self._addr_rotations: dict[int, tuple[IPAddress, ...]] = {}
 
     def rotation(self, start: int) -> tuple[ResourceRecord, ...]:
         """The ≤8-record answer window beginning at relay index ``start``."""
@@ -344,6 +391,29 @@ class _PodSupplier:
             self._rotations[start] = out
         return out
 
+    def rotation_addresses(self, start: int) -> tuple[IPAddress, ...]:
+        """The address tuple of the rotation window at ``start``.
+
+        The batch-replay kernel consumes addresses directly (it never
+        builds record objects), so the window is sliced straight from
+        the relay roster — the same ``relays[(start + i) % total]``
+        walk :meth:`rotation` wraps in records — without constructing
+        the records at all.  Both views hand out the *same* address
+        objects, so identity-based dedup works across paths.
+        """
+        out = self._addr_rotations.get(start)
+        if out is None:
+            relays = self.relays
+            total = len(relays)
+            count = (
+                MAX_RECORDS_PER_RESPONSE
+                if total > MAX_RECORDS_PER_RESPONSE
+                else total
+            )
+            out = tuple(relays[(start + i) % total].address for i in range(count))
+            self._addr_rotations[start] = out
+        return out
+
 
 class _BlockAnswer:
     """One client block's relay answer, replayed per query.
@@ -354,7 +424,7 @@ class _BlockAnswer:
     is bit-identical to the plain handler's.
     """
 
-    __slots__ = ("_counters", "_supplier", "unit", "scope")
+    __slots__ = ("_counters", "_supplier", "unit", "scope", "replay")
 
     def __init__(
         self,
@@ -367,6 +437,16 @@ class _BlockAnswer:
         self._supplier = supplier
         self.unit = unit
         self.scope = scope
+        #: The flat replay spec (see :meth:`replay_spec`), prebuilt:
+        #: answers are immutable and the program compiler reads one spec
+        #: per answer per epoch, so an attribute beats a method call.
+        self.replay = (
+            scope,
+            counters,
+            supplier.counter_key,
+            len(supplier.relays),
+            supplier,
+        )
 
     def produce(self) -> LookupResult:
         supplier = self._supplier
@@ -384,6 +464,18 @@ class _BlockAnswer:
         if records is None:
             records = supplier.rotation(start)
         return LookupResult(exists=True, records=records, scope_override=self.scope)
+
+    def replay_spec(self) -> tuple:
+        """The flat spec the batch-replay kernel links against.
+
+        ``(scope override, rotation counters, counter key, relay count,
+        supplier)`` — everything :meth:`produce` consults, exposed so the
+        kernel can advance the rotation stream with per-batch local
+        counts and fetch answer windows via
+        :meth:`_PodSupplier.rotation_addresses`, reproducing produce()'s
+        sequence exactly without per-query LookupResult objects.
+        """
+        return self.replay
 
 
 @dataclass
@@ -445,14 +537,21 @@ class PrivateRelayService:
         ):
             name = DnsName.parse(domain)
             for rtype, version in ((RRType.A, 4), (RRType.AAAA, 6)):
-                derive = self._make_deriver(protocol, version)
+                derive, make_enumerator = self._make_deriver(protocol, version)
                 zone.add_dynamic(
                     name,
                     rtype,
                     self._make_handler(derive),
                     planner=self._make_planner(derive),
                 )
-        zone.add_epoch_source(self._deployment_epoch_token)
+                if version == 4:
+                    # The batch-replay scan kernel covers the v4 ECS
+                    # enumeration (the paper's scan); v6 names keep the
+                    # per-query path.
+                    zone.add_replay_enumerator(name, rtype, make_enumerator(name))
+        zone.add_epoch_source(
+            self._deployment_epoch_token, horizon=self._deployment_epoch_horizon
+        )
         zone.add_shard_hook(self._pod_counters)
         return zone
 
@@ -489,17 +588,35 @@ class PrivateRelayService:
         )
         return token
 
+    def _deployment_epoch_horizon(self) -> float:
+        """Until when (sim time) the current deployment token holds.
+
+        The zone registers this next to the token source: batch scan
+        execution replays cached answers without re-validating the token
+        for any ``clock.now`` strictly below the horizon.  Fleet
+        composition and assignment-map edits bump generations/versions
+        between scans, never mid-scan, so the deployment window's end is
+        the only mid-scan boundary.
+        """
+        self._deployment_epoch_token()
+        return self._epoch_token_window[1]
+
     def _make_deriver(self, protocol: RelayProtocol, version: int):
         """The epoch-stable answer derivation shared by handler and planner.
 
-        Returns a closure with everything the per-query path needs bound
+        Returns ``(derive, make_enumerator)``.  ``derive`` is the
+        per-query closure with everything the hot path needs bound
         locally — the fleet, the assignment map's lookup, the shared pod
         counters — plus a supplier memo keyed only ``(pod, operator,
         deployment epoch)``: one deriver serves exactly one registered
         (name, rtype), so name/protocol/version need not be in the key.
+        ``make_enumerator(name)`` builds the zone's replay-range
+        enumerator over the same memos, so a compiled program's answer
+        objects are the very ones per-query lookups would hand out.
         """
         fleet = self.ingress_v4 if version == 4 else self.ingress_v6
-        lookup_unit = self.assignment.lookup
+        assignment = self.assignment
+        lookup_unit = assignment.lookup
         counters = self._pod_counters
         clock = self.clock
         deployment_epoch = fleet.deployment_epoch
@@ -514,13 +631,14 @@ class PrivateRelayService:
         # answers declare a /16 scope for v4 subnets and none otherwise.
         answer_memo: dict[tuple[int, int], _BlockAnswer] = {}
 
-        def derive(name: DnsName, client_subnet: Prefix | None) -> _BlockAnswer:
-            unit = lookup_unit(client_subnet) if client_subnet is not None else None
+        def answer_for(
+            name: DnsName, unit: AssignmentUnit | None, subnet_v4: bool
+        ) -> _BlockAnswer:
             epoch = deployment_epoch(clock.now)
             generation = fleet.epoch_generation
             if unit is not None:
                 answer_key = (id(unit), epoch, generation)
-            elif client_subnet is not None and client_subnet.version == 4:
+            elif subnet_v4:
                 answer_key = (1, epoch, generation)
             else:
                 answer_key = (0, epoch, generation)
@@ -542,11 +660,7 @@ class PrivateRelayService:
                 # declared valid for a wide (/16) scope.
                 unit_pod = pods[0]
                 operator_asn = fallback_asn
-                scope = (
-                    16
-                    if client_subnet is not None and client_subnet.version == 4
-                    else None
-                )
+                scope = 16 if subnet_v4 else None
             else:
                 unit_pod = unit.pod
                 operator_asn = unit.operator_asn
@@ -575,7 +689,90 @@ class PrivateRelayService:
             answer_memo[answer_key] = answer
             return answer
 
-        return derive
+        def derive(name: DnsName, client_subnet: Prefix | None) -> _BlockAnswer:
+            unit = lookup_unit(client_subnet) if client_subnet is not None else None
+            return answer_for(
+                name,
+                unit,
+                client_subnet is not None and client_subnet.version == 4,
+            )
+
+        # Spec-dedup keys per unit index (parallel to the assignment's
+        # sorted unit list), rebuilt when the map changes: a replay spec
+        # depends on its unit only through these three fields, so one
+        # spec serves every unit sharing them.
+        spec_keys: list[tuple] = []
+        spec_keys_version = -1
+
+        def make_enumerator(name: DnsName):
+            def enumerate_answers(lo: int, hi: int) -> tuple[list, list] | None:
+                """``(rows, specs)`` covering [lo, hi] contiguously.
+
+                ``rows`` holds ``(start, end, spec index)`` triples — one
+                per assignment unit intersecting the range, with fallback
+                rows filling unassigned space between and around them —
+                and ``specs`` the referenced replay tuples (see
+                :meth:`_BlockAnswer.replay_spec`): the exact per-subnet
+                partition ``derive`` induces for v4 ECS queries in the
+                current epoch.  A spec depends on its unit only through
+                (pod, operator AS, scope), so specs deduplicate on that
+                key — tens of thousands of units collapse to a few
+                hundred distinct answers, and the derivation (supplier
+                lookup, relay filtering) runs once per distinct key, not
+                once per unit.  Nested units make a flat partition
+                ambiguous; the compiler falls back to per-query lookups
+                then.
+                """
+                nonlocal spec_keys, spec_keys_version
+                if assignment.has_nested_units:
+                    return None
+                starts, ends, units, pos, stop = assignment.range_view(
+                    version, lo, hi
+                )
+                if spec_keys_version != assignment.version:
+                    spec_keys = [
+                        (u.pod, u.operator_asn, u.scope_len) for u in units
+                    ]
+                    spec_keys_version = assignment.version
+                rows: list = []
+                specs: list = []
+                append = rows.append
+                spec_map: dict = {}
+                spec_get = spec_map.get
+                cursor = lo
+                fallback_index = -1
+                for i in range(pos, stop):
+                    unit_start = starts[i]
+                    if unit_start > cursor:
+                        if fallback_index < 0:
+                            fallback_index = len(specs)
+                            specs.append(
+                                answer_for(name, None, True).replay_spec()
+                            )
+                        append((cursor, unit_start - 1, fallback_index))
+                        cursor = unit_start
+                    key = spec_keys[i]
+                    index = spec_get(key)
+                    if index is None:
+                        index = spec_map[key] = len(specs)
+                        specs.append(
+                            answer_for(name, units[i], True).replay_spec()
+                        )
+                    unit_end = ends[i]
+                    append((cursor, unit_end if unit_end < hi else hi, index))
+                    cursor = unit_end + 1
+                    if cursor > hi:
+                        break
+                if cursor <= hi:
+                    if fallback_index < 0:
+                        fallback_index = len(specs)
+                        specs.append(answer_for(name, None, True).replay_spec())
+                    append((cursor, hi, fallback_index))
+                return rows, specs
+
+            return enumerate_answers
+
+        return derive, make_enumerator
 
     def _make_handler(self, derive):
         def handler(

@@ -64,6 +64,40 @@ def _encode_responses(responses: list[EcsResponse]) -> dict:
     return {"rows": rows, "table": table}
 
 
+def _encode_columnar(view) -> dict:
+    """Encode a columnar result view without materialising responses.
+
+    Walks the packed chunks directly (the batch-replay kernel's output,
+    or the sharded merge's adopted shard columns) and produces output
+    byte-identical to :func:`_encode_responses` on the materialised
+    list: table refs are assigned in first-use row order, deduplicated
+    across chunks by address-tuple identity — the same identity the
+    interned chunk tables share.
+    """
+    length = view.subnet_len
+    table_index: dict[int, int] = {}
+    table: list = []
+    rows: list = []
+    append = rows.append
+    for values, scopes, refs, chunk_table in view.chunks:
+        remap = [-1] * len(chunk_table)
+        for value, scope, ref in zip(values, scopes, refs):
+            out_ref = remap[ref]
+            if out_ref < 0:
+                addresses, asn = chunk_table[ref]
+                key = id(addresses)
+                out_ref = table_index.get(key, -1)
+                if out_ref < 0:
+                    out_ref = len(table)
+                    table_index[key] = out_ref
+                    table.append(
+                        [[[a.version, a.value] for a in addresses], asn]
+                    )
+                remap[ref] = out_ref
+            append([value, length, scope, out_ref])
+    return {"rows": rows, "table": table}
+
+
 def _decode_responses(data: dict) -> list[EcsResponse]:
     """Re-materialise responses, sharing tuples per table entry so the
     identity-based deduplication in ``EcsScanResult.addresses()`` keeps
@@ -88,7 +122,17 @@ def _decode_responses(data: dict) -> list[EcsResponse]:
 
 
 def encode_result(result: EcsScanResult) -> dict:
-    """One scan result as a JSON-safe dict."""
+    """One scan result as a JSON-safe dict.
+
+    Columnar results are encoded straight off their chunks; the classic
+    response list never needs to be materialised just to checkpoint.
+    """
+    view = result.columnar_view()
+    responses = (
+        _encode_columnar(view)
+        if view is not None
+        else _encode_responses(result.responses)
+    )
     return {
         "domain": result.domain,
         "started_at": result.started_at,
@@ -100,7 +144,7 @@ def encode_result(result: EcsScanResult) -> dict:
         "fault_wait_seconds": result.fault_wait_seconds,
         "fault_injected": dict(result.fault_injected),
         "gave_up": [[p.value, p.length] for p in result.gave_up],
-        "responses": _encode_responses(result.responses),
+        "responses": responses,
         "sparse_responses": _encode_responses(result.sparse_responses),
     }
 

@@ -36,7 +36,18 @@ response objects: the relay service's rotation memoisation means a scan
 of hundreds of thousands of answers shares a few thousand distinct
 address tuples, and encoding by tuple identity keeps the IPC payload —
 and the parent's re-materialisation work — proportional to the distinct
-answers, not the query count.
+answers, not the query count.  The columns themselves travel through
+``multiprocessing.shared_memory`` segments: each worker writes its
+result columns into a parent-named segment in place, and the parent
+adopts them zero-copy (``memoryview`` casts over the mapping) during
+the deterministic merge.  Segment names are allocated — and tracked —
+by the parent *before* a shard is submitted, so cleanup is guaranteed
+whatever happens to the worker: adopted segments are unlinked at merge
+time, crashed shards' segments are unlinked during pool recovery, and
+``close()`` / the scan's unwind path sweep anything left.  Where shared
+memory is unavailable (or a segment cannot be created) the worker falls
+back to shipping pickled column bytes; the merge is identical either
+way.
 
 Sharding requires the ``fork`` start method (the world is shared with
 workers by copy-on-write inheritance, never pickled); where fork is
@@ -55,6 +66,12 @@ from array import array
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 
+try:  # shared-memory shard IPC (absent on exotic interpreter builds)
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platform without posix/winapi shm
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
 from repro.dns.name import DnsName
 from repro.errors import WorkerCrashed
 from repro.dns.ratelimit import TokenBucket
@@ -62,6 +79,7 @@ from repro.dns.rr import RRType
 from repro.dns.server import ServerStats
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.perfstats import CacheStats
+from repro.scan.columnar import ColumnarResponses
 from repro.scan.ecs_scanner import EcsResponse, EcsScanResult, EcsScanner
 from repro.telemetry.registry import DURATION_BUCKETS
 
@@ -209,27 +227,43 @@ class ShardTask:
     #: recovery re-runs).  Only the fault plan's crash drill reads it —
     #: shard *results* must never depend on it (rotation_base doesn't).
     run_attempt: int = 0
+    #: Parent-allocated shared-memory segment name for this task's result
+    #: columns (None disables the shm path).  The parent records the name
+    #: before submitting, so it can always clean the segment up — even
+    #: when the worker dies mid-write.
+    shm_name: str | None = None
 
 
-#: Columnar response encoding: (subnet values, scopes, answer refs — as
-#: packed ``array`` bytes — and the answer table).  The table holds one
-#: ``(address pairs, asn)`` entry per *distinct* address tuple —
-#: distinct by identity, which the scan kernel's answer memo makes
-#: equivalent to distinct by value.  Packed bytes cross the process
-#: boundary as a single buffer copy instead of per-element pickling.
+#: Pickled fallback for one response set's columns: (subnet values,
+#: scopes, answer refs — as packed ``array`` bytes — and the answer
+#: table).  The table holds one ``(address pairs, asn)`` entry per
+#: *distinct* address tuple — distinct by identity, which the scan
+#: kernel's answer interning makes equivalent to distinct by value.
+#: Used only when the shared-memory path is unavailable.
 _Columnar = tuple[bytes, bytes, bytes, list[tuple]]
+
+#: In-memory column set: (values, scopes, refs, encoded table) where the
+#: first three are any buffer-backed integer sequences.
+_Columns = tuple
 
 
 @dataclass(frozen=True, slots=True)
 class ShardOutcome:
-    """One shard's results, in picklable columnar form."""
+    """One shard's results, in picklable columnar form.
+
+    Response columns travel through the task's shared-memory segment
+    when possible: :attr:`shm_rows` gives the routed/sparse row counts
+    laid out in the segment (see :func:`_write_segment` for the layout)
+    and :attr:`shm_tables` the matching answer tables; the pickled
+    :attr:`responses` / :attr:`sparse_responses` fallback is None then.
+    """
 
     index: int
     queries_sent: int
     sparse_queries: int
     sparse_answered: int
-    responses: _Columnar
-    sparse_responses: _Columnar
+    responses: _Columnar | None
+    sparse_responses: _Columnar | None
     server_stats: ServerStats
     cache_stats: CacheStats
     #: Per shard hook (in ``zone.shard_hooks()`` order): the per-key
@@ -253,16 +287,32 @@ class ShardOutcome:
     #: and absorbing them too would double count.  Empty when telemetry
     #: is off.
     metrics: dict
+    #: Shared-memory shipment (all None/zero on the pickled fallback):
+    #: the task's segment name, the (routed, sparse) row counts laid out
+    #: in it, and the matching (routed, sparse) answer tables.
+    shm_name: str | None = None
+    shm_rows: tuple[int, int] = (0, 0)
+    shm_tables: tuple[list, list] | None = None
 
 
-def _encode_columnar(responses: list[EcsResponse]) -> _Columnar:
-    """Strip responses down to integer columns plus a distinct-answer table.
+def _encode_table(
+    table: list[tuple[tuple[IPAddress, ...], int | None]],
+) -> list[tuple]:
+    """Address tuples down to picklable ``(version, value)`` pairs."""
+    return [
+        (tuple((a.version, a.value) for a in addresses), asn)
+        for addresses, asn in table
+    ]
 
-    Address tuples are deduplicated by identity: the fast-path kernel
-    hands every recurrence of an answer the same tuple object, so the
-    table stays small (slow-path responses, which do not share tuples,
-    still encode correctly — one table entry each).  The responses list
-    keeps every tuple alive for the duration, so ids are never reused.
+
+def _encode_responses(responses: list[EcsResponse]) -> _Columns:
+    """Strip response objects down to columns plus a distinct-answer table.
+
+    Address tuples are deduplicated by identity: the scan kernels hand
+    every recurrence of an answer the same tuple object, so the table
+    stays small (slow-path responses, which do not share tuples, still
+    encode correctly — one table entry each).  The responses list keeps
+    every tuple alive for the duration, so ids are never reused.
     """
     table_index: dict[int, int] = {}
     table: list[tuple] = []
@@ -285,7 +335,72 @@ def _encode_columnar(responses: list[EcsResponse]) -> _Columnar:
         append_ref(ref)
     values = array("I", [response[0].value for response in responses])
     scopes = array("B", [response[1] for response in responses])
-    return (values.tobytes(), scopes.tobytes(), array("I", refs).tobytes(), table)
+    return (values, scopes, array("I", refs), table)
+
+
+def _result_columns(result: EcsScanResult) -> _Columns:
+    """The routed response columns of one shard result.
+
+    The batch-replay kernel already produced packed columns — reuse them
+    as-is (encoding just the answer table); only slow-path results pay
+    for a per-response encoding pass.
+    """
+    view = result.columnar_view()
+    if view is None:
+        return _encode_responses(result.responses)
+    values = array("I")
+    scopes = array("B")
+    refs = array("I")
+    table: list[tuple] = []
+    for chunk_values, chunk_scopes, chunk_refs, chunk_table in view.chunks:
+        if table:
+            base = len(table)
+            refs.extend(ref + base for ref in chunk_refs)
+        else:
+            refs.extend(chunk_refs)
+        values.extend(chunk_values)
+        scopes.extend(chunk_scopes)
+        table.extend(_encode_table(chunk_table))
+    return (values, scopes, refs, table)
+
+
+def _pack_columns(columns: _Columns) -> _Columnar:
+    """Columns into the pickled fallback form (packed bytes + table)."""
+    values, scopes, refs, table = columns
+    return (
+        memoryview(values).tobytes(),
+        memoryview(scopes).tobytes(),
+        memoryview(refs).tobytes(),
+        table,
+    )
+
+
+def _write_segment(name: str, routed: _Columns, sparse: _Columns):
+    """Create segment ``name`` and write both column sets into it.
+
+    Layout (row counts travel in the outcome): routed values (4 bytes
+    each), routed scopes (1), routed refs (4), then the sparse columns
+    in the same order — 9 bytes per row overall.  Returns the segment,
+    or None when shared memory is unusable (caller falls back to
+    pickling).  The worker closes its mapping right after writing; it
+    never unlinks — the name's lifetime belongs to the parent.
+    """
+    if shared_memory is None:
+        return None
+    size = 9 * (len(routed[0]) + len(sparse[0]))
+    if size == 0:
+        return None
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+    except OSError:
+        return None
+    buf = segment.buf
+    offset = 0
+    for column in (*routed[:3], *sparse[:3]):
+        raw = memoryview(column).cast("B")
+        buf[offset : offset + len(raw)] = raw
+        offset += len(raw)
+    return segment
 
 
 def _run_shard(task: ShardTask) -> ShardOutcome:
@@ -343,13 +458,35 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     )
     # repro: allow[DET001] wall-time feeds the shard telemetry histogram only
     wall_seconds = time.perf_counter() - wall_start
+    routed_columns = _result_columns(result)
+    sparse_columns = _encode_responses(result.sparse_responses)
+    segment = (
+        _write_segment(task.shm_name, routed_columns, sparse_columns)
+        if task.shm_name is not None
+        else None
+    )
+    if segment is not None:
+        segment.close()
+        responses = sparse_responses = None
+        shm_name = task.shm_name
+        shm_rows = (len(routed_columns[0]), len(sparse_columns[0]))
+        shm_tables = (routed_columns[3], sparse_columns[3])
+    else:
+        responses = _pack_columns(routed_columns)
+        sparse_responses = _pack_columns(sparse_columns)
+        shm_name = None
+        shm_rows = (0, 0)
+        shm_tables = None
     return ShardOutcome(
         index=task.index,
         queries_sent=result.queries_sent,
         sparse_queries=result.sparse_queries,
         sparse_answered=result.sparse_answered,
-        responses=_encode_columnar(result.responses),
-        sparse_responses=_encode_columnar(result.sparse_responses),
+        responses=responses,
+        sparse_responses=sparse_responses,
+        shm_name=shm_name,
+        shm_rows=shm_rows,
+        shm_tables=shm_tables,
         retries=result.retries,
         gave_up=tuple((p.value, p.length) for p in result.gave_up),
         fault_injected=dict(result.fault_injected),
@@ -394,6 +531,12 @@ class ShardedCampaignExecutor:
         self._prefixes: dict[int, dict[int, Prefix]] = {}
         self._addresses: dict[tuple[int, int], IPAddress] = {}
         self._tuples: dict[tuple, tuple[IPAddress, ...]] = {}
+        # Shared-memory segment bookkeeping: every name this executor
+        # has allocated and not yet unlinked (adoption, crash cleanup,
+        # or sweep removes entries), plus a sequence number that keeps
+        # names unique across scans and pool respawns.
+        self._live_segments: set[str] = set()
+        self._shm_seq = 0
 
     @staticmethod
     def supported() -> bool:
@@ -419,6 +562,9 @@ class ShardedCampaignExecutor:
             self._pool = None
         if _WORKER_SCANNER is self.scanner:
             _WORKER_SCANNER = None
+        # With the workers gone, any segment still tracked is orphaned
+        # (un-adopted results, crashes, cancelled shards) — unlink them.
+        self._sweep_segments()
 
     def __enter__(self) -> "ShardedCampaignExecutor":
         return self
@@ -433,6 +579,12 @@ class ShardedCampaignExecutor:
         # point at *this* executor's scanner whenever work is submitted.
         _WORKER_SCANNER = self.scanner
         if self._pool is None:
+            if resource_tracker is not None:
+                # Start the resource tracker in the parent before forking
+                # workers: children then inherit its pipe, so segments a
+                # crashed worker registered still get unlinked at parent
+                # exit should this executor's own cleanup ever be skipped.
+                resource_tracker.ensure_running()
             # Shard results are deterministic per shard index — never per
             # worker process — so the process count is an implementation
             # detail: capped at the machine's cores, because extra
@@ -480,6 +632,10 @@ class ShardedCampaignExecutor:
         finally:
             if was_gc:
                 gc.enable()
+            # Adoption and crash recovery unlink as they go; anything
+            # still tracked here (e.g. an error between gather and
+            # merge) is orphaned — unlink it now.  No-op on success.
+            self._sweep_segments()
 
     def _gather(
         self,
@@ -510,6 +666,7 @@ class ShardedCampaignExecutor:
             futures = [
                 (
                     plan,
+                    shm_name := self._allocate_segment_name(plan.index, attempt),
                     pool.submit(
                         _run_shard,
                         ShardTask(
@@ -521,6 +678,7 @@ class ShardedCampaignExecutor:
                             spans=plan.spans,
                             gaps=plan.gaps,
                             run_attempt=attempt,
+                            shm_name=shm_name,
                         ),
                     ),
                 )
@@ -528,17 +686,29 @@ class ShardedCampaignExecutor:
             ]
             crashed: list[ShardPlan] = []
             failure: BaseException | None = None
-            for plan, future in futures:
+            for plan, shm_name, future in futures:
                 if failure is not None:
                     future.cancel()
                     continue
                 try:
-                    outcomes[plan.index] = future.result()
+                    outcome = future.result()
                 except BrokenExecutor:
+                    # The worker may have died mid-write (or never run):
+                    # its segment — if it got as far as creating one — is
+                    # orphaned.  Unlink before the shard is re-run under
+                    # a fresh name.
+                    if shm_name is not None:
+                        self._cleanup_segment(shm_name)
                     crashed.append(plan)
                 # repro: allow[HYG002] first failure re-raised after pool teardown
                 except BaseException as exc:
                     failure = exc
+                else:
+                    outcomes[plan.index] = outcome
+                    if outcome.shm_name is None and shm_name is not None:
+                        # Worker fell back to pickling; the allocated
+                        # name was never (fully) used.
+                        self._cleanup_segment(shm_name)
             if failure is not None:
                 self.close()
                 raise failure
@@ -565,6 +735,43 @@ class ShardedCampaignExecutor:
             # The pool is already broken; don't wait on its corpse.
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    # -- shared-memory segment lifecycle --------------------------------
+
+    def _allocate_segment_name(self, shard_index: int, attempt: int) -> str | None:
+        """A fresh segment name, tracked *before* the task is submitted.
+
+        Tracking first is the whole cleanup guarantee: whatever the
+        worker does with the name — writes it, crashes halfway through,
+        never runs — the parent knows to unlink it.  Returns None when
+        shared memory is unavailable (tasks then use the pickled path).
+        """
+        if shared_memory is None:
+            return None
+        self._shm_seq += 1
+        name = f"repro-{os.getpid()}-{self._shm_seq}-{shard_index}-{attempt}"
+        self._live_segments.add(name)
+        return name
+
+    def _cleanup_segment(self, name: str) -> None:
+        """Unlink one tracked segment if the worker got as far as creating it."""
+        self._live_segments.discard(name)
+        if shared_memory is None:
+            return
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        segment.close()
+        # unlink() also drops the name from the resource tracker — which
+        # clears the worker-side registration from creation too, since
+        # forked workers share the parent's tracker process.
+        segment.unlink()
+
+    def _sweep_segments(self) -> None:
+        """Unlink every still-tracked segment (normal paths leave none)."""
+        for name in list(self._live_segments):
+            self._cleanup_segment(name)
 
     def _alignment(self) -> int:
         """Shard boundary alignment, cached on the routing-table version."""
@@ -639,6 +846,16 @@ class ShardedCampaignExecutor:
                 "ecs.shard_wall_seconds", DURATION_BUCKETS, domain=result.domain
             )
             registry.counter("ecs.shards", domain=result.domain).inc(len(outcomes))
+        # Routed responses stay columnar end to end: each shard's columns
+        # become one chunk of the merged view (zero-copy for shm
+        # outcomes), concatenated in shard-index — i.e. address — order.
+        # Sparse responses are three orders of magnitude rarer; decoding
+        # them eagerly keeps the list-based fault/retry accounting paths
+        # simple.
+        source_len = settings.source_prefix_len
+        merged_columns = ColumnarResponses(
+            source_len, prefixes=self._prefixes.setdefault(source_len, {})
+        )
         for outcome in outcomes:
             result.queries_sent += outcome.queries_sent
             result.sparse_queries += outcome.sparse_queries
@@ -650,12 +867,14 @@ class ShardedCampaignExecutor:
             injected = result.fault_injected
             for kind, count in outcome.fault_injected.items():
                 injected[kind] = injected.get(kind, 0) + count
-            self._decode_into(
-                result.responses,
-                outcome.responses,
-                settings.source_prefix_len,
-            )
-            self._decode_into(result.sparse_responses, outcome.sparse_responses, 24)
+            routed, sparse, segment = self._adopt_columns(outcome)
+            if len(routed[0]):
+                merged_columns.chunks.append(
+                    (routed[0], routed[1], routed[2], self._decode_table(routed[3]))
+                )
+            if segment is not None:
+                merged_columns.retain(segment)
+            self._decode_into(result.sparse_responses, sparse, 24)
             server.stats.merge(outcome.server_stats)
             server.answer_cache.stats.merge(outcome.cache_stats)
             if telemetry_on:
@@ -667,14 +886,64 @@ class ShardedCampaignExecutor:
                 merged = merged_deltas[position]
                 for key, delta in deltas.items():
                     merged[key] = merged.get(key, 0) + delta
+        result.attach_columnar(merged_columns)
 
-    def _decode_into(
-        self,
-        out: list[EcsResponse],
-        columnar: _Columnar,
-        subnet_len: int,
-    ) -> None:
-        """Re-materialise one shard's columnar responses, interning as we go."""
+    def _adopt_columns(
+        self, outcome: ShardOutcome
+    ) -> tuple[_Columns, _Columns, object | None]:
+        """One outcome's (routed, sparse) columns, plus the owning segment.
+
+        Shared-memory outcomes are adopted zero-copy: the columns are
+        ``memoryview`` casts straight over the segment mapping, and the
+        segment is unlinked (and dropped from the resource tracker)
+        immediately — the mapping itself stays valid until the last view
+        dies, which :meth:`ColumnarResponses.retain` ties to the merged
+        result.  Unlinking before use means the name cannot leak no
+        matter what happens downstream.  Pickled outcomes unpack into
+        plain arrays.
+        """
+        if outcome.shm_name is not None:
+            segment = shared_memory.SharedMemory(name=outcome.shm_name)
+            n, m = outcome.shm_rows
+            buf = segment.buf
+            routed_table, sparse_table = outcome.shm_tables
+            base = 9 * n
+            routed = (
+                buf[: 4 * n].cast("I"),
+                buf[4 * n : 5 * n],
+                buf[5 * n : base].cast("I"),
+                routed_table,
+            )
+            sparse = (
+                buf[base : base + 4 * m].cast("I"),
+                buf[base + 4 * m : base + 5 * m],
+                buf[base + 5 * m : base + 9 * m].cast("I"),
+                sparse_table,
+            )
+            # unlink() also drops the tracker registration (the worker's
+            # create and this attach share one tracker entry).
+            segment.unlink()
+            self._live_segments.discard(outcome.shm_name)
+            # Hand the mapping over to the views: strip the segment's own
+            # buffer references so closing it only closes the fd — its
+            # finalizer would otherwise try to close the mmap while the
+            # column views still point into it.  The views (and the
+            # retained mapping) keep the mmap object alive; the OS
+            # reclaims the unlinked memory when the last of them dies.
+            mapping = segment._mmap
+            segment._buf = None
+            segment._mmap = None
+            segment.close()
+            return routed, sparse, mapping
+        return (
+            self._unpack_columns(outcome.responses),
+            self._unpack_columns(outcome.sparse_responses),
+            None,
+        )
+
+    @staticmethod
+    def _unpack_columns(columnar: _Columnar) -> _Columns:
+        """Pickled column bytes back into arrays (fallback path)."""
         packed_values, packed_scopes, packed_refs, table = columnar
         values = array("I")
         values.frombytes(packed_values)
@@ -682,15 +951,32 @@ class ShardedCampaignExecutor:
         scopes.frombytes(packed_scopes)
         refs = array("I")
         refs.frombytes(packed_refs)
-        prefixes = self._prefixes.setdefault(subnet_len, {})
+        return (values, scopes, refs, table)
+
+    def _decode_table(self, table: list[tuple]) -> list[tuple]:
+        """Shipped ``(version, value)`` pairs back to interned address tuples."""
         tuples = self._tuples
-        answers: list[tuple] = []
+        out: list[tuple] = []
+        append = out.append
         for pairs, asn in table:
             addresses = tuples.get(pairs)
             if addresses is None:
-                addresses = tuple(self._address(v, value) for v, value in pairs)
-                tuples[pairs] = addresses
-            answers.append((addresses, asn))
+                addresses = tuples[pairs] = tuple(
+                    self._address(v, value) for v, value in pairs
+                )
+            append((addresses, asn))
+        return out
+
+    def _decode_into(
+        self,
+        out: list[EcsResponse],
+        columns: _Columns,
+        subnet_len: int,
+    ) -> None:
+        """Re-materialise one shard's columns as responses, interning as we go."""
+        values, scopes, refs, table = columns
+        answers = self._decode_table(table)
+        prefixes = self._prefixes.setdefault(subnet_len, {})
         prefix_get = prefixes.get
         for value in values:
             if prefix_get(value) is None:

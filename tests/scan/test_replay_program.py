@@ -1,0 +1,130 @@
+"""Replay-program properties: the compiled partition must be exact.
+
+The batch-replay kernel trusts a compiled
+:class:`~repro.dns.answer_cache.ReplayProgram` to answer every probe in
+a scan range exactly as the per-query plan path would.  These tests
+state that contract directly against the program, for every row the
+compiler emits (not just the addresses a particular scan happens to
+probe), at two world seeds so one lucky assignment layout cannot hide a
+partition bug:
+
+* the rows cover the compiled range contiguously, in ascending order;
+* at every probe subnet — each row's step-aligned boundaries plus a
+  deterministic sweep — the program's answer spec is the very spec the
+  per-query ``zone.lookup_plan`` path produces for that subnet;
+* the packed scope column agrees with the specs it indexes.
+
+Comparing replay *specs* (scope, rotation counters, counter key, relay
+count, supplier) rather than produced addresses keeps the check pure:
+``lookup_plan`` does not advance rotation state, so the whole range can
+be verified without replaying a scan.
+"""
+
+import pytest
+
+from repro.dns.name import DnsName
+from repro.dns.rr import RRType
+from repro.netmodel.addr import Prefix
+from repro.relay.service import RELAY_DOMAIN_QUIC
+from repro.scan.ecs_scanner import EcsScanner
+from repro.worldgen import WorldConfig, build_world
+
+SEEDS = (2022, 7)
+
+#: The kernel's probe step for the default /24 source prefix.
+SOURCE_LEN = 24
+STEP = 1 << (32 - SOURCE_LEN)
+SOURCE_MASK = ((1 << SOURCE_LEN) - 1) << (32 - SOURCE_LEN)
+
+#: Evenly spaced extra probes on top of the per-row boundary probes.
+SWEEP_PROBES = 4096
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def compiled(request):
+    """(zone, qname, program) for one seed, compiled over the scan range."""
+    world = build_world(WorldConfig.tiny(seed=request.param))
+    world.clock.advance_to(world.deployment.april_scan_start)
+    server = world.route53
+    qname = DnsName.parse(RELAY_DOMAIN_QUIC)
+    zone = server.zone_for(qname)
+    scanner = EcsScanner(server, world.routing, world.clock)
+    spans, gaps = scanner.routed_ranges()
+    # The same range the kernel compiles: from the first probed address
+    # (leading gap included), aligned to the probe grid.
+    lo = spans[0][0]
+    if gaps and gaps[0][0] < lo:
+        lo = gaps[0][0]
+    lo &= SOURCE_MASK
+    hi = spans[-1][1]
+    program = server.answer_cache.replay_program(zone, qname, RRType.A, lo, hi)
+    assert program is not None, "scan range must compile on the relay zone"
+    return server, zone, qname, program
+
+
+def _probe_values(program):
+    """Every row's step-aligned boundaries, plus an even sweep."""
+    values = set()
+    for start, end in zip(program.row_starts, program.row_ends):
+        first = (start + STEP - 1) & SOURCE_MASK
+        if first <= end:
+            values.add(first)
+        values.add(end & SOURCE_MASK)
+    span = program.hi - program.lo + 1
+    stride = max(STEP, (span // SWEEP_PROBES) & SOURCE_MASK or STEP)
+    values.update(range(program.lo, program.hi + 1, stride))
+    return sorted(values)
+
+
+class TestReplayProgramProperties:
+    def test_rows_cover_range_contiguously(self, compiled):
+        _, _, _, program = compiled
+        starts = program.row_starts
+        ends = program.row_ends
+        assert starts[0] == program.lo
+        assert ends[-1] == program.hi
+        assert all(s <= e for s, e in zip(starts, ends))
+        assert all(s == e + 1 for s, e in zip(starts[1:], ends))
+
+    def test_specs_match_per_query_plans(self, compiled):
+        _, zone, qname, program = compiled
+        row_ends = program.row_ends
+        row_answer = program.row_answer
+        answers = program.answers
+        from bisect import bisect_left
+
+        checked = 0
+        for value in _probe_values(program):
+            row = bisect_left(row_ends, value)
+            spec = answers[row_answer[row]]
+            planned = zone.lookup_plan(
+                qname, RRType.A, Prefix(4, value, SOURCE_LEN)
+            )
+            assert planned is not None, f"no plan at {value:#x}"
+            assert planned[1].replay == spec, (
+                f"program answer diverges from per-query plan at {value:#x}"
+            )
+            checked += 1
+        assert checked > len(program)  # every row contributed a probe
+
+    def test_scope_column_matches_specs(self, compiled):
+        _, _, _, program = compiled
+        for index, scope in zip(program.row_answer, program.row_scopes):
+            declared = program.answers[index][0]
+            assert scope == (255 if declared is None else declared)
+
+    def test_program_is_cached_within_epoch(self, compiled):
+        server, zone, qname, program = compiled
+        again = server.answer_cache.replay_program(
+            zone, qname, RRType.A, program.lo, program.hi
+        )
+        assert again is program
+
+    def test_recompilation_is_deterministic(self, compiled):
+        _, zone, qname, program = compiled
+        enumerator = zone.replay_enumerator(qname, RRType.A)
+        rows, specs = enumerator(program.lo, program.hi)
+        assert [row[0] for row in rows] == list(program.row_starts)
+        assert [row[1] for row in rows] == list(program.row_ends)
+        assert [row[2] for row in rows] == list(program.row_answer)
+        assert specs == program.answers
