@@ -8,6 +8,9 @@
 * ``egress-report`` — Tables 3/4 plus the Section 4.2 facts;
 * ``relay-scan`` — a scan day through the relay with rotation stats;
 * ``blocking`` — the Atlas blocking study;
+* ``campaign`` — the scan campaign: the paper's monthly full-rescan
+  calendar (``--mode full``) or continuous delta monitoring under a
+  query budget (``--mode delta``);
 * ``reproduce`` — the full paper-vs-measured report (see
   ``examples/reproduce_paper.py`` for the stand-alone version);
 * ``telemetry`` — render a saved telemetry snapshot as a table.
@@ -265,6 +268,78 @@ def cmd_archive(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run the scan campaign: monthly full rescans, or continuous delta."""
+    from repro.scan import EcsScanSettings, ScanCampaign
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.mode == "full":
+        for value, name in (
+            (args.snapshot_dir, "--snapshot-dir"),
+            (args.budget, "--budget"),
+            (args.refresh_rounds, "--refresh-rounds"),
+            (args.rounds, "--rounds"),
+        ):
+            if value is not None:
+                print(f"error: {name} requires --mode delta", file=sys.stderr)
+                return 2
+    else:
+        if args.snapshot_dir is None:
+            print("error: --mode delta requires --snapshot-dir",
+                  file=sys.stderr)
+            return 2
+        if args.checkpoint_dir or args.resume:
+            print("error: --checkpoint-dir/--resume apply to --mode full; "
+                  "delta state persists in --snapshot-dir", file=sys.stderr)
+            return 2
+    telemetry = _make_telemetry(args)
+    world = _world(args, telemetry)
+    settings = EcsScanSettings(
+        workers=args.workers,
+        campaign_seed=args.seed,
+        fault_plan=_fault_plan(args),
+    )
+    meta = {"world_seed": args.seed, "world_scale": args.scale}
+    if args.mode == "full":
+        with ScanCampaign(
+            world.route53, world.routing, world.clock, settings, telemetry,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_meta=meta,
+        ) as campaign:
+            for month in campaign.run(world.scan_months()):
+                fallback = ("no fallback scan" if month.fallback is None else
+                            f"fallback {month.fallback.queries_sent} queries")
+                print(f"{month.year}-{month.month:02d}: "
+                      f"default {month.default.queries_sent} queries, "
+                      f"{fallback}")
+            archives = (campaign.default_archive, campaign.fallback_archive)
+    else:
+        with ScanCampaign(
+            world.route53, world.routing, world.clock, settings, telemetry,
+            checkpoint_meta=meta,
+            mode="delta",
+            snapshot_dir=args.snapshot_dir,
+            budget=args.budget,
+            refresh_rounds=args.refresh_rounds or 3,
+        ) as campaign:
+            deltas = campaign.run_continuous(
+                args.year, args.month, args.rounds or 3
+            )
+            for delta in deltas:
+                print(f"round {delta.index}: {delta.queries_sent} queries "
+                      f"({delta.queries_frac:.1%} of a full rescan), "
+                      f"{len(delta.events)} change events, "
+                      f"{delta.budget_deferred} budget-deferred")
+            archives = (campaign.default_archive, campaign.fallback_archive)
+    print(f"ingress (default):  {len(archives[0])} addresses")
+    print(f"ingress (fallback): {len(archives[1])} addresses")
+    _write_telemetry(args, telemetry)
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     # Delegate to the example script's logic for the full report.
     import runpy
@@ -360,6 +435,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "re-scanning them (requires --checkpoint-dir)")
     _add_fault_args(p)
     p.set_defaults(func=cmd_archive)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run the scan campaign (monthly full rescans or continuous delta)",
+    )
+    _add_world_args(p)
+    p.add_argument("--mode", choices=("full", "delta"), default="full",
+                   help="'full': the paper's monthly rescan calendar; "
+                        "'delta': continuous monitoring rounds seeded from "
+                        "a persisted snapshot")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="shard campaign scans across N worker processes")
+    p.add_argument("--year", type=int, default=2022,
+                   help="delta mode: seed-scan year (default 2022)")
+    p.add_argument("--month", type=int, default=1,
+                   help="delta mode: seed-scan month (default 1)")
+    p.add_argument("--rounds", type=_positive_int, default=None,
+                   metavar="N", help="delta mode: monitoring rounds to run "
+                                     "(default 3)")
+    p.add_argument("--budget", type=_positive_int, default=None, metavar="N",
+                   help="delta mode: per-round query budget "
+                        "(default unbounded)")
+    p.add_argument("--refresh-rounds", type=_positive_int, default=None,
+                   metavar="K", help="delta mode: full re-coverage horizon "
+                                     "of the refresh wheel (default 3)")
+    p.add_argument("--snapshot-dir", type=str, default=None, metavar="DIR",
+                   help="delta mode: where snapshots persist between runs "
+                        "(required)")
+    p.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                   help="full mode: write an atomic checkpoint after each "
+                        "campaign month")
+    p.add_argument("--resume", action="store_true",
+                   help="full mode: restore already-checkpointed months "
+                        "(requires --checkpoint-dir)")
+    _add_fault_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("reproduce", help="full paper-vs-measured report")
     _add_world_args(p)

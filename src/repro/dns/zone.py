@@ -151,6 +151,7 @@ class Zone:
         self._epoch_horizons: list[Callable[[], float] | None] = []
         self._replay_enumerators: dict[tuple[DnsName, RRType], Callable] = {}
         self._shard_hooks: list[object] = []
+        self._mutation_sources: list[Callable[[], object]] = []
 
     def _check_in_zone(self, name: DnsName) -> None:
         if not name.is_subdomain_of(self.apex):
@@ -282,6 +283,23 @@ class Zone:
     def shard_hooks(self) -> list[object]:
         """Registered shard hooks, in registration order."""
         return list(self._shard_hooks)
+
+    def add_mutation_source(self, source: Callable[[], object]) -> None:
+        """Register backing state that can be *edited* between scans.
+
+        Unlike epoch sources, mutation sources must exclude anything
+        that is a pure function of simulated time: consumers compare
+        :meth:`mutation_token` across clock advances to decide whether
+        a forked replica of the served world has gone stale (the
+        sharded executor respawns its worker pool on a change), so a
+        time-derived term would force a pointless respawn every time
+        the clock crosses an epoch boundary.
+        """
+        self._mutation_sources.append(source)
+
+    def mutation_token(self) -> tuple:
+        """Zone content version plus all registered mutable backing state."""
+        return (self.version, *[source() for source in self._mutation_sources])
 
     def epoch_token(self) -> tuple:
         """The zone's current freshness token (content version + sources)."""

@@ -189,6 +189,34 @@ class AssignmentMap:
         self.version += 1
         return unit
 
+    def remove(self, prefix: Prefix) -> AssignmentUnit:
+        """Unregister the unit rooted exactly at ``prefix``.
+
+        Deployment churn (block withdrawals, unit replacements) edits a
+        live map; bumping :attr:`version` rides the zone's epoch token,
+        so every cached answer plan and replay program built against the
+        old partition is invalidated the moment the unit disappears.
+        The longest-match trie, if one was ever materialised, is dropped
+        and lazily rebuilt — removals are rare next to lookups.
+        """
+        starts = self._starts[prefix.version]
+        units = self._sorted_units[prefix.version]
+        pos = bisect.bisect_left(starts, prefix.value)
+        while pos < len(starts) and starts[pos] == prefix.value:
+            if units[pos].prefix == prefix:
+                break
+            pos += 1
+        else:
+            raise RelayError(f"no assignment unit rooted at {prefix}")
+        unit = units[pos]
+        del starts[pos]
+        del self._ends[prefix.version][pos]
+        del units[pos]
+        self._units.remove(unit)
+        self._trie = None
+        self.version += 1
+        return unit
+
     def _built_trie(self) -> DualStackTrie:
         """The longest-match trie, built on first (nested-path) touch."""
         trie = self._trie
@@ -552,8 +580,23 @@ class PrivateRelayService:
         zone.add_epoch_source(
             self._deployment_epoch_token, horizon=self._deployment_epoch_horizon
         )
+        zone.add_mutation_source(self._mutation_token)
         zone.add_shard_hook(self._pod_counters)
         return zone
+
+    def _mutation_token(self) -> tuple[int, int, int]:
+        """Assignment-map and fleet-composition versions — no time terms.
+
+        Everything here changes only when the served world is *edited*
+        (a deployment push, a fleet roster change), never from a clock
+        advance: forked world replicas stay valid across months but go
+        stale the moment any of these bump.
+        """
+        return (
+            self.assignment.version,
+            self.ingress_v4.epoch_generation,
+            self.ingress_v6.epoch_generation,
+        )
 
     def _deployment_epoch_token(self) -> tuple[int, int, int]:
         """Fleet deployment epochs (current simulated time) + map version.

@@ -8,7 +8,9 @@
 * :mod:`repro.scan.relay_scanner` — scans through the relay (egress
   operator and address rotation);
 * :mod:`repro.scan.quic_scanner` — QScanner/ZMap-style QUIC probing of
-  ingress nodes.
+  ingress nodes;
+* :mod:`repro.scan.incremental` — snapshot-seeded delta scanning for
+  continuous monitoring under a per-round query budget.
 """
 
 from repro.scan.atlas_scanner import (
@@ -24,6 +26,14 @@ from repro.scan.checkpoint import (
     encode_result,
 )
 from repro.scan.ecs_scanner import EcsScanner, EcsScanResult, EcsScanSettings
+from repro.scan.incremental import (
+    ChangeEvent,
+    DeltaRound,
+    DeltaScanEngine,
+    DomainSnapshot,
+    SnapshotStore,
+    result_digest,
+)
 from repro.scan.longitudinal import AddressSighting, IngressArchive
 from repro.scan.quic_scanner import QuicProbeReport, QuicScanner
 from repro.scan.sharding import (
@@ -65,6 +75,12 @@ __all__ = [
     "EcsScanner",
     "EcsScanResult",
     "EcsScanSettings",
+    "ChangeEvent",
+    "DeltaRound",
+    "DeltaScanEngine",
+    "DomainSnapshot",
+    "SnapshotStore",
+    "result_digest",
     "ShardedCampaignExecutor",
     "ShardPlan",
     "plan_shards",

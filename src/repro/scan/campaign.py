@@ -18,6 +18,7 @@ from repro.netmodel.bgp import RoutingTable
 from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
 from repro.scan.checkpoint import CampaignCheckpointer, decode_result, encode_result
 from repro.scan.ecs_scanner import EcsScanResult, EcsScanner, EcsScanSettings
+from repro.scan.incremental import DeltaRound, DeltaScanEngine, SnapshotStore
 from repro.scan.longitudinal import IngressArchive
 from repro.simtime import SimClock
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -66,6 +67,23 @@ class ScanCampaign:
     #: the world scale and seed), so checkpoints refuse to splice across
     #: different worlds even though the campaign itself never sees them.
     checkpoint_meta: dict | None = None
+    #: ``"full"`` — the paper's monthly full-rescan calendar;
+    #: ``"delta"`` — continuous monitoring via :meth:`run_continuous`.
+    #: The mode is part of the persistence fingerprint: full-campaign
+    #: checkpoints and delta snapshots can never splice into each other.
+    mode: str = "full"
+    #: Where delta snapshots persist (None keeps them in memory only).
+    snapshot_dir: str | Path | None = None
+    #: Per-round delta query budget (None = unbounded).
+    budget: int | None = None
+    #: Full re-coverage horizon of the delta refresh wheel, in rounds.
+    refresh_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("full", "delta"):
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; expected 'full' or 'delta'"
+            )
 
     def _scanner(self) -> EcsScanner:
         """The campaign's scanner, built once and reused across months.
@@ -152,6 +170,7 @@ class ScanCampaign:
                 None if plan is None else [plan.profile.name, plan.seed]
             ),
             "skip_fallback": sorted(map(list, self.skip_fallback_months)),
+            "mode": self.mode,
         }
         if self.checkpoint_meta:
             fingerprint.update(self.checkpoint_meta)
@@ -240,6 +259,75 @@ class ScanCampaign:
     def run(self, calendar: list[tuple[int, int]]) -> list[MonthlyScan]:
         """Run the whole calendar in order."""
         return [self.run_month(year, month) for year, month in calendar]
+
+    # -- continuous monitoring (mode="delta") ---------------------------
+
+    def _snapshot_store(self) -> SnapshotStore | None:
+        if self.snapshot_dir is None:
+            return None
+        store = self.__dict__.get("_snapshot_store_instance")
+        if store is None:
+            store = SnapshotStore(self.snapshot_dir, self._fingerprint())
+            self.__dict__["_snapshot_store_instance"] = store
+        return store
+
+    def delta_engine(self) -> DeltaScanEngine:
+        """The campaign's delta-scan engine (mode ``"delta"`` only)."""
+        if self.mode != "delta":
+            raise ValueError(
+                f"delta engine requires mode='delta' (campaign mode is {self.mode!r})"
+            )
+        engine = self.__dict__.get("_delta_engine_instance")
+        if engine is None:
+            engine = DeltaScanEngine(
+                self._executor(),
+                self._snapshot_store(),
+                budget=self.budget,
+                refresh_rounds=self.refresh_rounds,
+                telemetry=self.telemetry,
+            )
+            self.__dict__["_delta_engine_instance"] = engine
+        return engine
+
+    def _archive_for(self, domain: str) -> IngressArchive | None:
+        if domain == RELAY_DOMAIN_QUIC:
+            return self.default_archive
+        if domain == RELAY_DOMAIN_FALLBACK:
+            return self.fallback_archive
+        return None
+
+    def run_continuous(self, year: int, month: int, rounds: int) -> list[DeltaRound]:
+        """Continuous monitoring: seed (or restore) snapshots, then run
+        ``rounds`` delta rounds from the given month's scan slot.
+
+        Fresh seed scans and each round's accumulated state are recorded
+        into the longitudinal archives, so the continuous mode feeds the
+        same growth/churn analyses as the monthly calendar.
+        """
+        if self.mode != "delta":
+            raise ValueError(
+                f"run_continuous requires mode='delta' (campaign mode is {self.mode!r})"
+            )
+        target = scan_time(year, month)
+        if self.clock.now < target:
+            self.clock.advance_to(target)
+        engine = self.delta_engine()
+        with self.telemetry.tracer.span("campaign.delta_seed", year=year, month=month):
+            seeds = engine.ensure_seeded()
+        for domain, result in seeds.items():
+            archive = self._archive_for(domain)
+            if archive is not None and result is not None:
+                archive.record(result)
+        out: list[DeltaRound] = []
+        for _ in range(rounds):
+            with self.telemetry.tracer.span("campaign.delta_round"):
+                delta = engine.run_round()
+            for domain in engine.domains:
+                archive = self._archive_for(domain)
+                if archive is not None:
+                    archive.record(engine.accumulated(domain))
+            out.append(delta)
+        return out
 
     def table1_input(self) -> list[tuple[int, int, EcsScanResult, EcsScanResult | None]]:
         """All months in the shape ``build_table1`` expects."""

@@ -420,6 +420,26 @@ class EcsScanner:
         spans, gaps = self.routed_ranges()
         return self.scan_ranges(domain, spans, gaps, rtype)
 
+    def scan_regions(
+        self,
+        domain: str,
+        spans: list[tuple[int, int]],
+        gaps: list[tuple[int, int]] | tuple = (),
+        rtype: RRType = RRType.A,
+    ) -> EcsScanResult:
+        """Scan an explicit set of address regions (the delta-scan entry).
+
+        ``spans`` are inclusive routed ranges to walk and ``gaps``
+        inclusive unrouted ranges to sparse-probe, in any order and
+        possibly overlapping; they are sorted and contiguous pieces
+        merged before delegating to :meth:`scan_ranges`, so the walk
+        inside each region issues exactly the queries a full scan would
+        issue there — including the replay-program fast path.
+        """
+        return self.scan_ranges(
+            domain, merge_ranges(spans), merge_ranges(gaps), rtype
+        )
+
     def routed_ranges(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
         """The routed spans and the unrouted gaps between them (cached)."""
         version = getattr(self.routing, "version", None)
@@ -1415,6 +1435,28 @@ class EcsScanner:
                 result.sparse_responses.append(response)
             cursor += stride
         return message_id
+
+
+def merge_ranges(
+    ranges: list[tuple[int, int]] | tuple,
+) -> list[tuple[int, int]]:
+    """Sort inclusive ``(start, end)`` ranges and merge touching pieces.
+
+    The normalisation :meth:`EcsScanner.scan_regions` applies to caller
+    worklists: out-of-order, duplicate, or back-to-back block ranges
+    collapse into the disjoint ascending shape ``scan_ranges`` walks.
+    Merging adjacent ranges never changes the issued queries — a scope
+    skip lands on the next block's start either way — it only shortens
+    the span list the kernels and the shard planner iterate.
+    """
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(ranges):
+        if merged and start <= merged[-1][1] + 1:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
 
 
 def _merge_spans(prefixes: list[Prefix]) -> list[tuple[int, int]]:

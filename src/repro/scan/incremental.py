@@ -1,0 +1,1150 @@
+"""Incremental delta-scan engine: continuous monitoring under a budget.
+
+A full ECS scan re-enumerates every routed scope block every month, yet
+month over month the overwhelming majority of blocks answer identically
+— deployment churn is bursty and localized.  This module turns the scan
+layer into a monitoring loop that exploits that:
+
+* a durable :class:`SnapshotStore` (the ``checkpoint.py`` atomic-write
+  machinery, extended) persists the remembered scope blocks and answer
+  fingerprints of each domain between rounds and between processes;
+
+* each round, the :class:`DeltaScanEngine` probes **one canonical
+  subnet per remembered scope block** — the block's start, which is a
+  walk landing position in every full scan.  An unchanged block answers
+  with its remembered scope, the scope skip covers the whole block, and
+  one query has re-verified (and fully re-enumerated) it.  A changed
+  block answers differently, and because the probe *is* a scan of the
+  block's coverage range, the walk descends into the refined structure
+  automatically — re-enumeration and classification are the same
+  queries;
+
+* a deterministic round-robin **refresh wheel** guarantees every block
+  is re-probed within ``refresh_rounds`` rounds (content-keyed like
+  ``faults/plan.py``, so the schedule is process- and worker-
+  independent), while blocks whose answers changed recently carry a
+  churn weight that keeps them probed every round until they go quiet;
+
+* an explicit per-round **query budget** caps the probe volume; blocks
+  due but beyond the budget are deferred (and counted), and the wheel's
+  age rule pulls them back as overdue next round, preserving the
+  coverage bound.
+
+Change classification is rotation-robust: answers rotate through a
+pod's relay roster, so two probes of an unchanged block rarely return
+the same window.  The engine learns supplier rosters with a union-find
+over answer windows (consecutive windows of one pod overlap, chaining
+into one roster), and classifies a probed window against the block's
+remembered roster: a window drawn from the same roster is rotation, a
+disjoint window is a pod move.
+
+Budget arithmetic.  Both relay domains share one assignment partition,
+so their remembered block sets are identical.  The primary (QUIC)
+domain runs its wheel at ``refresh_rounds``; the fallback domain
+stretches its wheel by ``secondary_stretch`` and instead receives the
+primary's changed ranges *in the same round* (cross-domain hot
+propagation), keeping steady-state rounds well under the budget gate
+while still detecting assignment-level churn within ``refresh_rounds``
+on both domains.  (A change visible *only* on the secondary domain is
+detected within ``refresh_rounds * secondary_stretch``.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.faults.plan import MASK64, MIX_MULT_A, MIX_MULT_B, fault_key
+from repro.netmodel.addr import IPAddress, Prefix
+from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
+from repro.scan.ecs_scanner import EcsResponse, EcsScanResult, merge_ranges
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+#: Bump when the snapshot layout changes; mismatched files are treated
+#: as absent (the domain is simply re-seeded), not as errors.
+SNAPSHOT_VERSION = 1
+
+#: Detection-latency histogram bounds, in rounds.
+DETECTION_BOUNDS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def _mix64(x: int) -> int:
+    """The fault plane's splitmix64 finalizer (same published constants).
+
+    Spreads the crc32 content key over 64 bits so the wheel residue
+    ``key % period`` is uniform — rows sharing a residue class would
+    otherwise cluster by address locality.
+    """
+    x &= MASK64
+    x = ((x ^ (x >> 30)) * MIX_MULT_A) & MASK64
+    x = ((x ^ (x >> 27)) * MIX_MULT_B) & MASK64
+    return (x ^ (x >> 31)) & MASK64
+
+
+def _row_key(domain: str, value: int) -> int:
+    """Content-keyed wheel position of one remembered block.
+
+    Depends only on the domain and the block's address — never on
+    discovery order or worker count — so every process computes the
+    same refresh schedule.
+    """
+    return _mix64(fault_key(f"{domain}:{value}"))
+
+
+@dataclass(slots=True)
+class BlockRow:
+    """One remembered scope block: a walk landing and its last answer."""
+
+    value: int
+    scope: int
+    addresses: tuple[IPAddress, ...]
+    asn: int | None
+    #: Roster id (union-find leaf; resolve through ``DomainSnapshot.find``).
+    rid: int
+    #: Round the block was last probed (-1 = only the seeding full scan).
+    refreshed: int
+    #: Round the block's answer last changed (-1 = never since seed).
+    changed: int
+    #: Churn weight: probed every round while positive, decremented on
+    #: each quiet probe.
+    weight: int
+    #: Wheel position (content-keyed, recomputed on load, not persisted).
+    key: int
+
+
+@dataclass(slots=True)
+class SparseRow:
+    """One answered sparse probe of unrouted space."""
+
+    value: int
+    scope: int
+    addresses: tuple[IPAddress, ...]
+    asn: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """One detected answer change at a remembered block."""
+
+    domain: str
+    value: int
+    scope: int
+    #: ``structure`` (scope/AS/partition changed), ``answers`` (same
+    #: structure, answers from a different roster — a pod move), or
+    #: ``removed`` (the block boundary vanished).
+    kind: str
+    round: int
+    #: Rounds since the block was last verified — the detection latency.
+    latency: int
+
+
+@dataclass
+class DomainSnapshot:
+    """Everything the delta engine remembers about one domain.
+
+    ``rows`` tile the routed spans (every walk landing of the last full
+    enumeration), ``sparse_rows`` are the answered unrouted probes, and
+    ``rosters`` is the learned supplier-roster partition of all answer
+    addresses (union-find: ``parent`` over roster ids, ``addr_rid``
+    from address to leaf id).
+    """
+
+    domain: str
+    source_len: int
+    round: int
+    seeded_at: float
+    spans: list[tuple[int, int]]
+    gaps: list[tuple[int, int]]
+    rows: list[BlockRow] = field(default_factory=list)
+    sparse_rows: list[SparseRow] = field(default_factory=list)
+    rosters: list[set[IPAddress]] = field(default_factory=list)
+    parent: list[int] = field(default_factory=list)
+    addr_rid: dict[IPAddress, int] = field(default_factory=dict)
+    #: Sparse probe positions a full scan of the current gaps issues
+    #: (exact while every sparse probe answers, as in this world).
+    sparse_positions: int = 0
+    #: Largest answer window ever observed for this domain.  A row whose
+    #: window is *smaller* is served by a supplier whose whole roster
+    #: fits one window — its window set is rotation-invariant, giving an
+    #: exact per-row change fingerprint (see :meth:`classify`).
+    window_max: int = 0
+
+    # -- union-find over answer rosters ---------------------------------
+
+    def find(self, rid: int) -> int:
+        """Root roster id, with path compression."""
+        parent = self.parent
+        root = rid
+        while parent[root] != root:
+            root = parent[root]
+        while parent[rid] != root:
+            parent[rid], rid = root, parent[rid]
+        return root
+
+    def _union(self, a: int, b: int) -> int:
+        """Merge roster ``b`` into ``a`` (both roots); returns ``a``."""
+        self.parent[b] = a
+        self.rosters[a] |= self.rosters[b]
+        self.rosters[b] = set()
+        return a
+
+    def absorb(self, addresses: tuple[IPAddress, ...]) -> int:
+        """Fold one answer window into the rosters; returns its roster.
+
+        Windows of one supplier chain together: consecutive rotation
+        windows share all but one address, so any overlap unions their
+        rosters.  A window with no known address starts a new roster.
+        """
+        rid = -1
+        for address in addresses:
+            known = self.addr_rid.get(address)
+            if known is None:
+                continue
+            known = self.find(known)
+            if rid < 0:
+                rid = known
+            elif known != rid:
+                rid = self._union(rid, known)
+        if rid < 0:
+            rid = len(self.rosters)
+            self.rosters.append(set())
+            self.parent.append(rid)
+        roster = self.rosters[rid]
+        for address in addresses:
+            roster.add(address)
+            self.addr_rid[address] = rid
+        return rid
+
+    def classify(
+        self, row: BlockRow, addresses: tuple[IPAddress, ...]
+    ) -> str:
+        """A probed window against the block's remembered answers.
+
+        Saturated rings first: a window shorter than the domain's
+        maximum is its supplier's *entire* roster, so rotation can never
+        change it as a set — any set change is a supplier change
+        (``moved``).  This stays exact even where the roster partition
+        below has been chained together by spilled suppliers.
+
+        Otherwise, the learned roster partition: ``same`` — every
+        address known (pure rotation); ``grow`` — some known (rotation
+        exposing new roster members); ``moved`` — none known (answers
+        from a disjoint supplier: a pod move).
+        """
+        old = row.addresses
+        if len(old) < self.window_max or len(addresses) < self.window_max:
+            return "same" if set(addresses) == set(old) else "moved"
+        roster = self.rosters[self.find(row.rid)]
+        hits = sum(1 for address in addresses if address in roster)
+        if hits == len(addresses):
+            return "same"
+        if hits:
+            return "grow"
+        return "moved"
+
+
+# ----------------------------------------------------------------------
+# Snapshot persistence (the checkpoint codec, extended)
+# ----------------------------------------------------------------------
+
+
+def encode_snapshot(snapshot: DomainSnapshot) -> dict:
+    """One domain snapshot as a JSON-safe dict.
+
+    Answer windows are deduplicated into a table (rows of one supplier
+    share windows heavily); rosters are compacted to their union-find
+    roots in first-use order, so the encoding is independent of merge
+    history.
+    """
+    table_index: dict[tuple, int] = {}
+    table: list = []
+    roster_index: dict[int, int] = {}
+    rosters: list = []
+
+    def window_ref(addresses: tuple[IPAddress, ...]) -> int:
+        key = tuple((a.version, a.value) for a in addresses)
+        ref = table_index.get(key)
+        if ref is None:
+            ref = len(table)
+            table_index[key] = ref
+            table.append([list(pair) for pair in key])
+        return ref
+
+    rows: list = []
+    for row in snapshot.rows:
+        root = snapshot.find(row.rid)
+        rid = roster_index.get(root)
+        if rid is None:
+            rid = len(rosters)
+            roster_index[root] = rid
+            rosters.append(
+                sorted(
+                    [a.version, a.value] for a in snapshot.rosters[root]
+                )
+            )
+        rows.append(
+            [
+                row.value,
+                row.scope,
+                window_ref(row.addresses),
+                row.asn,
+                rid,
+                row.refreshed,
+                row.changed,
+                row.weight,
+            ]
+        )
+    sparse = [
+        [row.value, row.scope, window_ref(row.addresses), row.asn]
+        for row in snapshot.sparse_rows
+    ]
+    return {
+        "domain": snapshot.domain,
+        "source_len": snapshot.source_len,
+        "round": snapshot.round,
+        "seeded_at": snapshot.seeded_at,
+        "spans": [list(span) for span in snapshot.spans],
+        "gaps": [list(gap) for gap in snapshot.gaps],
+        "table": table,
+        "rows": rows,
+        "sparse": sparse,
+        "rosters": rosters,
+        "sparse_positions": snapshot.sparse_positions,
+        "window_max": snapshot.window_max,
+    }
+
+
+def decode_snapshot(data: dict) -> DomainSnapshot:
+    """Rebuild a :func:`encode_snapshot` snapshot (wheel keys recomputed)."""
+    domain = data["domain"]
+    snapshot = DomainSnapshot(
+        domain=domain,
+        source_len=data["source_len"],
+        round=data["round"],
+        seeded_at=data["seeded_at"],
+        spans=[tuple(span) for span in data["spans"]],
+        gaps=[tuple(gap) for gap in data["gaps"]],
+        sparse_positions=data["sparse_positions"],
+        window_max=data["window_max"],
+    )
+    windows = [
+        tuple(IPAddress(version, value) for version, value in pairs)
+        for pairs in data["table"]
+    ]
+    for pairs in data["rosters"]:
+        rid = len(snapshot.rosters)
+        roster = {IPAddress(version, value) for version, value in pairs}
+        snapshot.rosters.append(roster)
+        snapshot.parent.append(rid)
+        for address in roster:
+            snapshot.addr_rid[address] = rid
+    snapshot.rows = [
+        BlockRow(
+            value=value,
+            scope=scope,
+            addresses=windows[ref],
+            asn=asn,
+            rid=rid,
+            refreshed=refreshed,
+            changed=changed,
+            weight=weight,
+            key=_row_key(domain, value),
+        )
+        for value, scope, ref, asn, rid, refreshed, changed, weight in data["rows"]
+    ]
+    snapshot.sparse_rows = [
+        SparseRow(value=value, scope=scope, addresses=windows[ref], asn=asn)
+        for value, scope, ref, asn in data["sparse"]
+    ]
+    return snapshot
+
+
+class SnapshotStore:
+    """Durable per-domain snapshots (atomic writes, fingerprint-guarded).
+
+    Same contract as :class:`~repro.scan.checkpoint.CampaignCheckpointer`:
+    temp file + ``os.replace`` so a kill mid-write never leaves a torn
+    snapshot; missing/torn/version-mismatched files read as None (the
+    domain is re-seeded); a *fingerprint* mismatch raises
+    :class:`~repro.errors.CheckpointError` — resuming a delta loop
+    against different result-affecting settings (or a different campaign
+    mode) would silently corrupt the accumulated state.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: dict) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    def path_for(self, domain: str) -> Path:
+        """Where one domain's snapshot lives."""
+        return self.directory / f"snapshot-{domain.strip('.')}.json"
+
+    def save(self, snapshot: DomainSnapshot) -> Path:
+        """Atomically persist one domain snapshot."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(snapshot.domain)
+        document = {
+            "version": SNAPSHOT_VERSION,
+            "fingerprint": self.fingerprint,
+            **encode_snapshot(snapshot),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        return path
+
+    def load(self, domain: str) -> DomainSnapshot | None:
+        """One domain's snapshot, or None when it must be re-seeded."""
+        path = self.path_for(domain)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("version") != SNAPSHOT_VERSION:
+            return None
+        if document.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"snapshot {path} was written under different "
+                "result-affecting settings (or campaign mode); refusing "
+                "to resume from it"
+            )
+        return decode_snapshot(document)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DeltaRound:
+    """One monitoring round's outcome and accounting."""
+
+    index: int
+    started_at: float
+    finished_at: float = 0.0
+    #: Queries actually issued this round (routed probes + sparse).
+    queries_sent: int = 0
+    sparse_queries: int = 0
+    #: Due blocks pushed to the next round by the query budget.
+    budget_deferred: int = 0
+    #: What a full rescan of every domain would have cost.
+    full_cost: int = 0
+    #: Remembered blocks re-probed this round.
+    refreshed_blocks: int = 0
+    changed_blocks: int = 0
+    new_blocks: int = 0
+    removed_blocks: int = 0
+    events: list[ChangeEvent] = field(default_factory=list)
+    #: Accumulated per-domain state, as full-scan-shaped results.
+    results: dict[str, EcsScanResult] = field(default_factory=dict)
+
+    @property
+    def queries_frac(self) -> float:
+        """This round's cost as a fraction of a full rescan."""
+        if not self.full_cost:
+            return 0.0
+        return self.queries_sent / self.full_cost
+
+
+class DeltaScanEngine:
+    """Plans and executes delta-scan rounds over persisted snapshots.
+
+    ``executor`` is anything with the campaign scan front-end shape —
+    an :class:`~repro.scan.ecs_scanner.EcsScanner` or a
+    :class:`~repro.scan.sharding.ShardedCampaignExecutor` — exposing
+    ``scan()`` (seeding) and ``scan_regions()`` (rounds).
+    """
+
+    def __init__(
+        self,
+        executor,
+        store: SnapshotStore | None = None,
+        *,
+        domains: tuple[str, ...] = (RELAY_DOMAIN_QUIC, RELAY_DOMAIN_FALLBACK),
+        budget: int | None = None,
+        refresh_rounds: int = 3,
+        secondary_stretch: int = 2,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
+        scanner = getattr(executor, "scanner", executor)
+        if not scanner.settings.prune_unrouted:
+            raise ValueError(
+                "delta scanning requires prune_unrouted: remembered blocks "
+                "tile the routed spans"
+            )
+        if refresh_rounds < 1:
+            raise ValueError("refresh_rounds must be >= 1")
+        if secondary_stretch < 1:
+            raise ValueError("secondary_stretch must be >= 1")
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be positive (or None)")
+        self.executor = executor
+        self.scanner = scanner
+        self.store = store
+        self.domains = tuple(domains)
+        self.budget = budget
+        self.refresh_rounds = refresh_rounds
+        self.secondary_stretch = secondary_stretch
+        self.telemetry = telemetry
+        self.snapshots: dict[str, DomainSnapshot] = {}
+        self.rounds: list[DeltaRound] = []
+
+    def period(self, domain: str) -> int:
+        """The domain's refresh-wheel period, in rounds."""
+        if domain == self.domains[0]:
+            return self.refresh_rounds
+        return self.refresh_rounds * self.secondary_stretch
+
+    # -- seeding ---------------------------------------------------------
+
+    def seed(self, domain: str) -> EcsScanResult:
+        """Full scan of one domain, remembered as the baseline snapshot."""
+        result = self.executor.scan(domain)
+        spans, gaps = self.scanner.routed_ranges()
+        snapshot = DomainSnapshot(
+            domain=domain,
+            source_len=self.scanner.settings.source_prefix_len,
+            round=0,
+            seeded_at=result.started_at,
+            spans=[tuple(span) for span in spans],
+            gaps=[tuple(gap) for gap in gaps],
+            sparse_positions=result.sparse_queries,
+        )
+        rid_cache: dict[int, int] = {}
+        for response in result.responses:
+            addresses = response.addresses
+            if len(addresses) > snapshot.window_max:
+                snapshot.window_max = len(addresses)
+            rid = rid_cache.get(id(addresses))
+            if rid is None:
+                rid = snapshot.absorb(addresses)
+                rid_cache[id(addresses)] = rid
+            value = response.subnet.value
+            snapshot.rows.append(
+                BlockRow(
+                    value=value,
+                    scope=response.scope,
+                    addresses=addresses,
+                    asn=response.answer_asn,
+                    rid=rid,
+                    refreshed=-1,
+                    changed=-1,
+                    weight=0,
+                    key=_row_key(domain, value),
+                )
+            )
+        snapshot.rows.sort(key=lambda row: row.value)
+        snapshot.sparse_rows = [
+            SparseRow(
+                value=response.subnet.value,
+                scope=response.scope,
+                addresses=response.addresses,
+                asn=response.answer_asn,
+            )
+            for response in result.sparse_responses
+        ]
+        snapshot.sparse_rows.sort(key=lambda row: row.value)
+        for row in snapshot.sparse_rows:
+            if len(row.addresses) > snapshot.window_max:
+                snapshot.window_max = len(row.addresses)
+        self.snapshots[domain] = snapshot
+        if self.store is not None:
+            self.store.save(snapshot)
+        return result
+
+    def ensure_seeded(self) -> dict[str, EcsScanResult | None]:
+        """Load or seed every domain; fresh seed scans are returned.
+
+        A domain restored from the store maps to None (no scan ran);
+        callers that archive scan results record only the fresh ones.
+        """
+        seeds: dict[str, EcsScanResult | None] = {}
+        for domain in self.domains:
+            if domain in self.snapshots:
+                continue
+            snapshot = None
+            if self.store is not None:
+                snapshot = self.store.load(domain)
+            if snapshot is not None:
+                self.snapshots[domain] = snapshot
+                seeds[domain] = None
+            else:
+                seeds[domain] = self.seed(domain)
+        return seeds
+
+    # -- rounds ----------------------------------------------------------
+
+    def run_round(self) -> DeltaRound:
+        """One monitoring round across all domains under the budget."""
+        for domain in self.domains:
+            if domain not in self.snapshots:
+                raise ValueError(
+                    f"domain {domain!r} is not seeded; call ensure_seeded()"
+                )
+        index = self.snapshots[self.domains[0]].round
+        rnd = DeltaRound(index=index, started_at=self.scanner.clock.now)
+        spans, gaps = self.scanner.routed_ranges()
+        spans = [tuple(span) for span in spans]
+        gaps = [tuple(gap) for gap in gaps]
+        budget_state = {"left": self.budget}
+        hot_ranges: list[tuple[int, int]] = []
+        for domain in self.domains:
+            self._round_domain(domain, rnd, spans, gaps, hot_ranges, budget_state)
+        rnd.finished_at = self.scanner.clock.now
+        rnd.full_cost = sum(
+            len(snapshot.rows) + snapshot.sparse_positions
+            for snapshot in self.snapshots.values()
+        )
+        for domain in self.domains:
+            snapshot = self.snapshots[domain]
+            snapshot.round = index + 1
+            if self.store is not None:
+                self.store.save(snapshot)
+        registry = self.telemetry.registry
+        if registry.enabled:
+            registry.counter("delta.rounds").inc()
+            histogram = registry.histogram(
+                "delta.detection_rounds", DETECTION_BOUNDS
+            )
+            for event in rnd.events:
+                histogram.observe(float(event.latency))
+        self.rounds.append(rnd)
+        return rnd
+
+    def _round_domain(
+        self,
+        domain: str,
+        rnd: DeltaRound,
+        spans: list[tuple[int, int]],
+        gaps: list[tuple[int, int]],
+        hot_ranges: list[tuple[int, int]],
+        budget_state: dict,
+    ) -> None:
+        snapshot = self.snapshots[domain]
+        index = rnd.index
+        period = self.period(domain)
+        primary = domain == self.domains[0]
+
+        # Routing diff: spans/gaps not set-identical to the remembered
+        # ones are re-scanned wholesale (walks restart per span, so a
+        # merged or split span shifts landings near its boundaries —
+        # per-block surgery there is not worth the risk).
+        old_spans = set(snapshot.spans)
+        fresh_spans = [span for span in spans if span not in old_spans]
+        stable_spans = [span for span in spans if span in old_spans]
+        old_gaps = set(snapshot.gaps)
+        fresh_gaps = [gap for gap in gaps if gap not in old_gaps]
+        stable_gaps = [gap for gap in gaps if gap in old_gaps]
+
+        rows = self._rows_in_ranges(snapshot.rows, stable_spans)
+        removed_by_routing = len(snapshot.rows) - len(rows)
+        kept_sparse = self._sparse_in_ranges(snapshot.sparse_rows, stable_gaps)
+        dropped_sparse = len(snapshot.sparse_rows) - len(kept_sparse)
+
+        selected = self._select(
+            rows, index, period, primary, hot_ranges, budget_state, rnd
+        )
+
+        ranges = self._coverage_ranges(rows, sorted(selected), stable_spans)
+        ranges.extend(fresh_spans)
+        if not ranges and not fresh_gaps:
+            # Nothing due this round (budget exhausted or quiet wheel
+            # slot): the accumulated state simply carries over.
+            snapshot.rows = rows
+            snapshot.sparse_rows = kept_sparse
+            snapshot.spans = spans
+            snapshot.gaps = gaps
+            snapshot.sparse_positions -= dropped_sparse
+            rnd.removed_blocks += removed_by_routing
+            rnd.results[domain] = self._accumulated(snapshot, rnd.started_at)
+            self._record_domain(domain, 0, removed_by_routing, 0)
+            return
+
+        before = budget_state["left"]
+        result = self.executor.scan_regions(domain, ranges, fresh_gaps)
+        rnd.queries_sent += result.queries_sent
+        rnd.sparse_queries += result.sparse_queries
+        if before is not None:
+            # Replace the planned one-query-per-block charge with the
+            # actual cost (descent into changed blocks, sparse probes).
+            budget_state["left"] = before - result.queries_sent
+
+        out_rows, events, stats = self._fold(
+            snapshot, rows, merge_ranges(ranges), result.responses, index
+        )
+        snapshot.rows = out_rows
+        snapshot.spans = spans
+        snapshot.gaps = gaps
+        new_sparse = [
+            SparseRow(
+                value=response.subnet.value,
+                scope=response.scope,
+                addresses=response.addresses,
+                asn=response.answer_asn,
+            )
+            for response in result.sparse_responses
+        ]
+        snapshot.sparse_rows = sorted(
+            kept_sparse + new_sparse, key=lambda row: row.value
+        )
+        snapshot.sparse_positions += result.sparse_queries - dropped_sparse
+
+        rnd.events.extend(events)
+        rnd.refreshed_blocks += stats["refreshed"]
+        rnd.changed_blocks += stats["changed"]
+        rnd.new_blocks += stats["new"]
+        rnd.removed_blocks += stats["removed"] + removed_by_routing
+        if primary:
+            hot_ranges.extend(stats["hot_ranges"])
+        rnd.results[domain] = self._accumulated(snapshot, rnd.started_at)
+        self._record_domain(
+            domain,
+            stats["refreshed"],
+            stats["removed"] + removed_by_routing,
+            result.queries_sent,
+            stats,
+        )
+
+    # -- planning helpers ------------------------------------------------
+
+    @staticmethod
+    def _rows_in_ranges(
+        rows: list[BlockRow], ranges: list[tuple[int, int]]
+    ) -> list[BlockRow]:
+        """Rows whose block start lies inside one of the sorted ranges."""
+        out: list[BlockRow] = []
+        bounds = sorted(ranges)
+        position = 0
+        for row in rows:
+            while position < len(bounds) and bounds[position][1] < row.value:
+                position += 1
+            if position < len(bounds) and bounds[position][0] <= row.value:
+                out.append(row)
+        return out
+
+    @staticmethod
+    def _sparse_in_ranges(
+        rows: list[SparseRow], ranges: list[tuple[int, int]]
+    ) -> list[SparseRow]:
+        out: list[SparseRow] = []
+        bounds = sorted(ranges)
+        position = 0
+        for row in rows:
+            while position < len(bounds) and bounds[position][1] < row.value:
+                position += 1
+            if position < len(bounds) and bounds[position][0] <= row.value:
+                out.append(row)
+        return out
+
+    def _select(
+        self,
+        rows: list[BlockRow],
+        index: int,
+        period: int,
+        primary: bool,
+        hot_ranges: list[tuple[int, int]],
+        budget_state: dict,
+        rnd: DeltaRound,
+    ) -> set[int]:
+        """Row indices to probe this round, in budget priority order.
+
+        Mandatory work first (ranges the primary domain just flagged as
+        changed — never deferred, so cross-domain detection stays within
+        the round), then churn-weighted hot rows, then wheel-due rows by
+        descending age; the last two defer once the budget runs out.
+        The age rule (``index - refreshed >= period``) re-arms deferred
+        rows every following round until they are probed.
+        """
+        selected: set[int] = set()
+        if not primary and hot_ranges:
+            bounds = merge_ranges(hot_ranges)
+            position = 0
+            for i, row in enumerate(rows):
+                while position < len(bounds) and bounds[position][1] < row.value:
+                    position += 1
+                if position < len(bounds) and bounds[position][0] <= row.value:
+                    selected.add(i)
+                    if budget_state["left"] is not None:
+                        budget_state["left"] -= 1
+        hot = [
+            i
+            for i, row in enumerate(rows)
+            if i not in selected and row.weight > 0
+        ]
+        hot.sort(key=lambda i: (-rows[i].weight, rows[i].key))
+        due = [
+            i
+            for i, row in enumerate(rows)
+            if i not in selected
+            and row.weight <= 0
+            and (
+                rows[i].key % period == index % period
+                or index - rows[i].refreshed >= period
+            )
+        ]
+        due.sort(key=lambda i: (rows[i].refreshed, rows[i].key))
+        for i in hot + due:
+            if budget_state["left"] is not None and budget_state["left"] <= 0:
+                rnd.budget_deferred += 1
+                continue
+            selected.add(i)
+            if budget_state["left"] is not None:
+                budget_state["left"] -= 1
+        return selected
+
+    @staticmethod
+    def _coverage_ranges(
+        rows: list[BlockRow],
+        indices: list[int],
+        spans: list[tuple[int, int]],
+    ) -> list[tuple[int, int]]:
+        """The selected rows' remembered coverage ranges, in order.
+
+        Rows tile their span, so a row's coverage runs to the next
+        row's start (or the span end for the last row of a span).
+        """
+        out: list[tuple[int, int]] = []
+        bounds = sorted(spans)
+        position = 0
+        for i in indices:
+            row = rows[i]
+            while position < len(bounds) and bounds[position][1] < row.value:
+                position += 1
+            span_end = bounds[position][1]
+            if i + 1 < len(rows) and rows[i + 1].value <= span_end:
+                out.append((row.value, rows[i + 1].value - 1))
+            else:
+                out.append((row.value, span_end))
+        return out
+
+    # -- folding ---------------------------------------------------------
+
+    def _fold(
+        self,
+        snapshot: DomainSnapshot,
+        rows: list[BlockRow],
+        scanned: list[tuple[int, int]],
+        responses: list[EcsResponse],
+        index: int,
+    ) -> tuple[list[BlockRow], list[ChangeEvent], dict]:
+        """Merge one round's scanned ranges back into the remembered rows.
+
+        Walks remembered rows and scanned ranges in address order.  Rows
+        outside every scanned range carry over; rows inside are replaced
+        by the fresh answers and classified against their predecessors.
+        A fresh answer whose scope extends *past* its scanned range (a
+        withdrawn unit reverting to the coarse fallback answer) swallows
+        the remembered rows under the extension — and any later scanned
+        range that now lies inside a scope skip, whose answers a full
+        scan would never produce.  Scopes are >= /16 and blocks never
+        cross a /16 boundary in this world, so swallowed rows are always
+        swallowed whole.
+        """
+        domain = snapshot.domain
+        out: list[BlockRow] = []
+        events: list[ChangeEvent] = []
+        hot_local: list[tuple[int, int]] = []
+        stats: dict = {"refreshed": 0, "changed": 0, "new": 0, "removed": 0}
+        span_ends = {start: end for start, end in snapshot.spans}
+        span_bounds = sorted(snapshot.spans)
+        oi = 0
+        ri = 0
+        swallow_until = -1
+        for rs, re_ in scanned:
+            while oi < len(rows) and rows[oi].value < rs:
+                old = rows[oi]
+                oi += 1
+                if old.value <= swallow_until:
+                    stats["removed"] += 1
+                    events.append(
+                        ChangeEvent(
+                            domain,
+                            old.value,
+                            old.scope,
+                            "removed",
+                            index,
+                            index - old.refreshed,
+                        )
+                    )
+                    continue
+                out.append(old)
+            if rs <= swallow_until:
+                while ri < len(responses) and responses[ri].subnet.value <= re_:
+                    ri += 1
+                while oi < len(rows) and rows[oi].value <= re_:
+                    stats["removed"] += 1
+                    oi += 1
+                continue
+            range_new: list[EcsResponse] = []
+            while ri < len(responses) and responses[ri].subnet.value <= re_:
+                range_new.append(responses[ri])
+                ri += 1
+            range_old: list[BlockRow] = []
+            while oi < len(rows) and rows[oi].value <= re_:
+                range_old.append(rows[oi])
+                oi += 1
+            base_refreshed = min(
+                (old.refreshed for old in range_old), default=index
+            )
+            fresh_rows, range_events, range_hot = self._fold_range(
+                snapshot, range_old, range_new, index, base_refreshed, stats
+            )
+            out.extend(fresh_rows)
+            events.extend(range_events)
+            if range_hot and range_new:
+                hot_local.append((rs, re_))
+            if range_new:
+                last = range_new[-1]
+                ext = last.subnet.value
+                if last.scope < 32:
+                    ext |= (1 << (32 - last.scope)) - 1
+                span_end = self._span_end_at(span_bounds, span_ends, rs)
+                eff_end = min(ext, span_end)
+                if eff_end > re_:
+                    swallow_until = eff_end
+                    if range_hot:
+                        hot_local[-1] = (rs, eff_end)
+                    while oi < len(rows) and rows[oi].value <= eff_end:
+                        old = rows[oi]
+                        oi += 1
+                        stats["removed"] += 1
+                        events.append(
+                            ChangeEvent(
+                                domain,
+                                old.value,
+                                old.scope,
+                                "removed",
+                                index,
+                                index - old.refreshed,
+                            )
+                        )
+        while oi < len(rows):
+            old = rows[oi]
+            oi += 1
+            if old.value <= swallow_until:
+                stats["removed"] += 1
+                continue
+            out.append(old)
+        stats["hot_ranges"] = hot_local
+        return out, events, stats
+
+    def _fold_range(
+        self,
+        snapshot: DomainSnapshot,
+        range_old: list[BlockRow],
+        range_new: list[EcsResponse],
+        index: int,
+        base_refreshed: int,
+        stats: dict,
+    ) -> tuple[list[BlockRow], list[ChangeEvent], bool]:
+        """Classify one scanned range's fresh answers against its rows."""
+        domain = snapshot.domain
+        refresh = self.refresh_rounds
+        old_by_value = {old.value: old for old in range_old}
+        matched: set[int] = set()
+        fresh_rows: list[BlockRow] = []
+        events: list[ChangeEvent] = []
+        hot = False
+        for response in range_new:
+            value = response.subnet.value
+            addresses = response.addresses
+            if len(addresses) > snapshot.window_max:
+                snapshot.window_max = len(addresses)
+            old = old_by_value.get(value)
+            event_kind = None
+            if old is None:
+                event_kind = "structure"
+                latency = index - base_refreshed
+                stats["new"] += 1
+            else:
+                matched.add(value)
+                stats["refreshed"] += 1
+                latency = index - old.refreshed
+                if old.scope != response.scope or old.asn != response.answer_asn:
+                    event_kind = "structure"
+                else:
+                    verdict = snapshot.classify(old, addresses)
+                    if verdict == "moved":
+                        event_kind = "answers"
+                if event_kind is not None:
+                    stats["changed"] += 1
+            rid = snapshot.absorb(addresses)
+            if event_kind is not None:
+                events.append(
+                    ChangeEvent(
+                        domain,
+                        value,
+                        response.scope,
+                        event_kind,
+                        index,
+                        latency,
+                    )
+                )
+                hot = True
+            quiet = event_kind is None and old is not None
+            fresh_rows.append(
+                BlockRow(
+                    value=value,
+                    scope=response.scope,
+                    addresses=addresses,
+                    asn=response.answer_asn,
+                    rid=rid,
+                    refreshed=index,
+                    changed=old.changed if quiet else index,
+                    weight=max(old.weight - 1, 0) if quiet else refresh,
+                    key=_row_key(domain, value),
+                )
+            )
+        for old in range_old:
+            if old.value not in matched:
+                stats["removed"] += 1
+                events.append(
+                    ChangeEvent(
+                        domain,
+                        old.value,
+                        old.scope,
+                        "removed",
+                        index,
+                        index - old.refreshed,
+                    )
+                )
+                hot = True
+        return fresh_rows, events, hot
+
+    @staticmethod
+    def _span_end_at(
+        span_bounds: list[tuple[int, int]], span_ends: dict, value: int
+    ) -> int:
+        """End of the current routed span containing ``value``.
+
+        Scope skips clamp at span ends in a full scan (the walk restarts
+        per span), so an extension never swallows across a span gap.
+        """
+        end = span_ends.get(value)
+        if end is not None:
+            return end
+        for start, stop in span_bounds:
+            if start <= value <= stop:
+                return stop
+        return value
+
+    # -- accumulated state ----------------------------------------------
+
+    def _accumulated(
+        self, snapshot: DomainSnapshot, started_at: float
+    ) -> EcsScanResult:
+        """The remembered state as a full-scan-shaped result.
+
+        Row for row what a full scan of the current routed space would
+        return (windows are drawn from whichever round last refreshed
+        each block, but rotation saturates each supplier's roster, so
+        the aggregate address views match a fresh full scan — the
+        equivalence the delta suite asserts).
+        """
+        source_len = snapshot.source_len
+        prefixes: dict[int, Prefix] = {}
+
+        def subnet(value: int) -> Prefix:
+            prefix = prefixes.get(value)
+            if prefix is None:
+                prefix = prefixes[value] = Prefix(4, value, source_len)
+            return prefix
+
+        result = EcsScanResult(
+            domain=snapshot.domain, started_at=started_at
+        )
+        result.finished_at = self.scanner.clock.now
+        result.queries_sent = len(snapshot.rows) + snapshot.sparse_positions
+        result.sparse_queries = snapshot.sparse_positions
+        result.sparse_answered = len(snapshot.sparse_rows)
+        result.responses = [
+            EcsResponse(subnet(row.value), row.scope, row.addresses, row.asn)
+            for row in snapshot.rows
+        ]
+        result.sparse_responses = [
+            EcsResponse(subnet(row.value), row.scope, row.addresses, row.asn)
+            for row in snapshot.sparse_rows
+        ]
+        return result
+
+    def accumulated(self, domain: str) -> EcsScanResult:
+        """The current accumulated state of one domain."""
+        snapshot = self.snapshots[domain]
+        return self._accumulated(snapshot, self.scanner.clock.now)
+
+    # -- telemetry -------------------------------------------------------
+
+    def _record_domain(
+        self,
+        domain: str,
+        refreshed: int,
+        removed: int,
+        queries: int,
+        stats: dict | None = None,
+    ) -> None:
+        registry = self.telemetry.registry
+        if not registry.enabled:
+            return
+        snapshot = self.snapshots[domain]
+        full_cost = len(snapshot.rows) + snapshot.sparse_positions
+        registry.counter("delta.probes_sent", domain=domain).inc(queries)
+        registry.counter("delta.queries_saved", domain=domain).inc(
+            max(full_cost - queries, 0)
+        )
+        registry.counter(
+            "delta.blocks", domain=domain, kind="refreshed"
+        ).inc(refreshed)
+        registry.counter("delta.blocks", domain=domain, kind="removed").inc(
+            removed
+        )
+        if stats is not None:
+            registry.counter("delta.blocks", domain=domain, kind="new").inc(
+                stats["new"]
+            )
+            registry.counter(
+                "delta.blocks", domain=domain, kind="changed"
+            ).inc(stats["changed"])
+
+
+# ----------------------------------------------------------------------
+# Equivalence digests
+# ----------------------------------------------------------------------
+
+
+def result_digest(result: EcsScanResult) -> dict:
+    """A comparable fingerprint of one scan result's measured state.
+
+    Covers the row structure (subnet, scope, answer AS — rotation-
+    independent) and the aggregate address views (saturated unions, so
+    rotation-independent too); per-row answer windows are deliberately
+    excluded — they depend on rotation phase, which differs between any
+    two scans by design.
+    """
+    rows = sorted(
+        (r.subnet.value, r.subnet.length, r.scope, r.answer_asn or -1)
+        for r in result.responses
+    )
+    sparse = sorted(
+        (r.subnet.value, r.subnet.length, r.scope, r.answer_asn or -1)
+        for r in result.sparse_responses
+    )
+    addresses = sorted((a.version, a.value) for a in result.addresses())
+    by_asn = {
+        asn: sorted((a.version, a.value) for a in bucket)
+        for asn, bucket in result.addresses_by_asn().items()
+    }
+    return {
+        "rows": rows,
+        "sparse": sparse,
+        "addresses": addresses,
+        "by_asn": by_asn,
+        "slash24s": result.slash24s_by_asn(),
+    }

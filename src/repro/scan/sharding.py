@@ -80,7 +80,12 @@ from repro.dns.server import ServerStats
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.perfstats import CacheStats
 from repro.scan.columnar import ColumnarResponses
-from repro.scan.ecs_scanner import EcsResponse, EcsScanResult, EcsScanner
+from repro.scan.ecs_scanner import (
+    EcsResponse,
+    EcsScanResult,
+    EcsScanner,
+    merge_ranges,
+)
 from repro.telemetry.registry import DURATION_BUCKETS
 
 _SPACE_END = 1 << 32
@@ -537,6 +542,9 @@ class ShardedCampaignExecutor:
         # names unique across scans and pool respawns.
         self._live_segments: set[str] = set()
         self._shm_seq = 0
+        # Mutation tokens of the zones the pool's forked replicas were
+        # built from, keyed by zone apex (see _refresh_if_stale).
+        self._fork_tokens: dict[object, tuple] = {}
 
     @staticmethod
     def supported() -> bool:
@@ -598,6 +606,26 @@ class ShardedCampaignExecutor:
             )
         return self._pool
 
+    def _refresh_if_stale(self, domain: str) -> None:
+        """Respawn the pool when the served world changed since it forked.
+
+        Workers inherit the world by fork-time copy-on-write, so an
+        assignment-map or fleet-composition edit in the parent — e.g. a
+        deployment change injected between delta-scan rounds — never
+        reaches a live pool.  The zone's mutation token captures exactly
+        that editable state (time-driven changes are excluded), so a
+        token change here means the replicas are stale: shut the pool
+        down and let the next submission fork fresh ones.
+        """
+        zone = self.scanner.server.zone_for(DnsName.parse(domain))
+        if zone is None:
+            return
+        token = zone.mutation_token()
+        known = self._fork_tokens.get(zone.apex)
+        if known is not None and known != token and self._pool is not None:
+            self.close()
+        self._fork_tokens[zone.apex] = token
+
     # -- scanning -------------------------------------------------------
 
     def scan(self, domain: str, rtype: RRType = RRType.A) -> EcsScanResult:
@@ -606,6 +634,7 @@ class ShardedCampaignExecutor:
         scanner = self.scanner
         if self.workers <= 1 or not self.supported():
             return scanner.scan(domain, rtype)
+        self._refresh_if_stale(domain)
         settings = scanner.settings
         if settings.prune_unrouted:
             spans, gaps = scanner.routed_ranges()
@@ -635,6 +664,49 @@ class ShardedCampaignExecutor:
             # Adoption and crash recovery unlink as they go; anything
             # still tracked here (e.g. an error between gather and
             # merge) is orphaned — unlink it now.  No-op on success.
+            self._sweep_segments()
+
+    def scan_regions(
+        self,
+        domain: str,
+        spans: list[tuple[int, int]],
+        gaps: list[tuple[int, int]] | tuple = (),
+        rtype: RRType = RRType.A,
+    ) -> EcsScanResult:
+        """Shard an explicit region worklist (the delta-scan entry).
+
+        The delta-scan executor hands over the changed-region and
+        refresh-wheel ranges of one round; they are normalised exactly
+        like :meth:`EcsScanner.scan_regions` and split with the same
+        aligned volume-balanced planner as a full scan, so the merged
+        result is bit-identical to the sequential region scan (shard
+        cuts land on scope-block boundaries, rotation bases depend only
+        on the shard index).  Falls back to the sequential scanner when
+        sharding cannot help.
+        """
+        scanner = self.scanner
+        spans = merge_ranges(spans)
+        gaps = merge_ranges(gaps)
+        if self.workers <= 1 or not self.supported():
+            return scanner.scan_ranges(domain, spans, gaps, rtype)
+        self._refresh_if_stale(domain)
+        plans = plan_shards(spans, gaps, self.workers, self._alignment())
+        if len(plans) <= 1:
+            return scanner.scan_ranges(domain, spans, gaps, rtype)
+        start_time = scanner.clock.now
+        seed = scanner.settings.campaign_seed
+        was_gc = gc.isenabled()
+        if was_gc:
+            gc.disable()
+        try:
+            with scanner.telemetry.tracer.span(
+                "ecs.scan.sharded", domain=domain, shards=len(plans)
+            ):
+                outcomes = self._gather(domain, rtype, start_time, seed, plans)
+                return self._merge(domain, rtype, start_time, outcomes)
+        finally:
+            if was_gc:
+                gc.enable()
             self._sweep_segments()
 
     def _gather(

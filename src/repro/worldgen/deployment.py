@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import WorldGenError
+from repro.faults.plan import MASK64, MIX_MULT_A, MIX_MULT_B, fault_key
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.netmodel.asn import WellKnownAS
 from repro.netmodel.bgp import BgpHistory, RoutingTable
@@ -877,3 +878,305 @@ def build_history(config: WorldConfig, routing: RoutingTable) -> BgpHistory:
         month = (start_month - 1 + i) % 12 + 1
         history.record_origins(year, month, before if i < first_idx else all_origins)
     return history
+
+
+# ----------------------------------------------------------------------
+# Deployment churn (continuous-monitoring drills)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeRecord:
+    """One injected deployment change, with where a scan can see it.
+
+    ``block_value`` is the first address of the edited unit — a walk
+    landing position in every scan, so the incremental engine's
+    detection of the change must surface an event at this value.
+    """
+
+    kind: str
+    prefix: Prefix
+    block_value: int
+    detail: str
+
+
+def _churn_key(text: str) -> int:
+    """Content-keyed 64-bit pick for churn decisions (crc32 + splitmix).
+
+    Same construction as the fault plane: the chosen units depend only
+    on the seed and the map contents, never on process or iteration
+    order, so every worker count and every re-run drills the same
+    deployment changes.
+    """
+    x = fault_key(text)
+    x = ((x ^ (x >> 30)) * MIX_MULT_A) & MASK64
+    x = ((x ^ (x >> 27)) * MIX_MULT_B) & MASK64
+    return (x ^ (x >> 31)) & MASK64
+
+
+class DeploymentChurn:
+    """Deterministic deployment-change injector for a live assignment map.
+
+    Models the localized, bursty churn the Meta-CDN literature reports:
+    an operator hand-off on one block, a pod re-assignment, a block
+    split (half the unit moves to a new pod at finer granularity), and
+    a block withdrawal (the space reverts to the operator fallback).
+    Every edit goes through :meth:`AssignmentMap.remove`/``add``, so the
+    map version bump invalidates cached answer plans and replay
+    programs exactly like a real deployment push.
+    """
+
+    KINDS = ("operator-swap", "pod-reassign", "block-split", "block-remove")
+
+    #: DNS answer windows carry at most this many records (the service's
+    #: rotation window); a pod whose operator roster stays *below* it is
+    #: "saturated" — every answer exposes the whole roster, making pod
+    #: moves exactly classifiable from a single probe.
+    _SATURATED = 8
+
+    def __init__(
+        self,
+        assignment: AssignmentMap,
+        fleet: IngressFleet | None = None,
+        at_time: float = 0.0,
+    ) -> None:
+        self.assignment = assignment
+        self.fleet = fleet
+        self.at_time = at_time
+
+    def _pod_observable(self, pod: str, operator_asn: int) -> bool:
+        """Whether answers from ``pod`` are distinguishable in a scan.
+
+        A pod with no relay of the assigned operator spills over to the
+        operator's fleet-wide roster, so a move between two spilled pods
+        changes nothing any scanner can see.  Pod-move drills therefore
+        only involve pods hosting the operator's relays for the QUIC
+        protocol — the primary scan domain, which carries detection
+        (the TCP-fallback fleet is deliberately sparse early in the
+        observation window, so requiring both protocols would leave no
+        eligible pods at small scales).  Without a fleet reference every
+        pod is assumed observable (structural drills don't need one).
+        """
+        if self.fleet is None:
+            return True
+        relays = self.fleet.pod_relays(pod, RelayProtocol.QUIC, self.at_time)
+        return any(r.asn == operator_asn for r in relays)
+
+    def _pod_saturated(self, pod: str, operator_asn: int) -> bool:
+        """Whether ``pod``'s operator roster fits one answer window.
+
+        Pod-move drills are restricted to saturated *source* pods: a
+        saturated pod's answer window IS its roster, so the new pod's
+        window cannot equal it and a single delta probe proves the
+        move.  An unsaturated source rotates through a larger roster —
+        a real monitor would need several probes to tell rotation from
+        relocation, which is a calibration question, not a drill.
+        Without a fleet reference every pod is assumed saturated.
+        """
+        if self.fleet is None:
+            return True
+        relays = self.fleet.pod_relays(pod, RelayProtocol.QUIC, self.at_time)
+        count = sum(1 for r in relays if r.asn == operator_asn)
+        return 0 < count < self._SATURATED
+
+    # -- unit inventory -------------------------------------------------
+
+    def _v4_units(self) -> list[AssignmentUnit]:
+        """Editable v4 units in address order (tail-country pods excluded:
+        their hidden single-country placement is a calibration target,
+        not churn material)."""
+        units = [
+            unit
+            for unit in self.assignment.units()
+            if unit.prefix.version == 4 and not unit.pod.startswith("CC:")
+        ]
+        units.sort(key=lambda unit: unit.prefix.value)
+        return units
+
+    def _operators(self) -> list[int]:
+        return sorted({unit.operator_asn for unit in self._v4_units()})
+
+    def _pods_of(self, operator_asn: int) -> list[str]:
+        """Observable pods currently serving the operator, sorted."""
+        return sorted(
+            {
+                unit.pod
+                for unit in self._v4_units()
+                if unit.operator_asn == operator_asn
+                and self._pod_observable(unit.pod, operator_asn)
+            }
+        )
+
+    def _eligible(self, kind: str) -> list[AssignmentUnit]:
+        units = self._v4_units()
+        if kind == "operator-swap":
+            operators = self._operators()
+            return units if len(operators) > 1 else []
+        if kind in ("pod-reassign", "block-split"):
+            out = []
+            pods_memo: dict[int, list[str]] = {}
+            for unit in units:
+                if kind == "block-split" and (
+                    unit.prefix.length >= 24
+                    # A unit already scoped finer than its prefix walks as
+                    # several rows; halving it then changes no row's scope,
+                    # so the split would be invisible to structure probes.
+                    or unit.scope_len != unit.prefix.length
+                ):
+                    continue
+                if kind == "pod-reassign" and not self._pod_saturated(
+                    unit.pod, unit.operator_asn
+                ):
+                    continue
+                pods = pods_memo.get(unit.operator_asn)
+                if pods is None:
+                    pods = pods_memo[unit.operator_asn] = self._pods_of(
+                        unit.operator_asn
+                    )
+                # The move must be observable from both ends: the unit's
+                # current pod and at least one target pod answer from
+                # their own (disjoint) relay rosters.
+                if unit.pod in pods and len(pods) > 1:
+                    out.append(unit)
+            return out
+        if kind == "block-remove":
+            # A withdrawn /16-scoped Akamai unit reverts to the fallback
+            # answer — same AS, same scope — leaving only a roster shift a
+            # probe may not be able to attribute; require a visible scope
+            # or operator transition instead.
+            akamai = int(WellKnownAS.AKAMAI_PR)
+            return [
+                unit
+                for unit in units
+                if unit.scope_len != 16 or unit.operator_asn != akamai
+            ]
+        raise WorldGenError(f"unknown churn kind {kind!r}")
+
+    # -- the four change kinds ------------------------------------------
+
+    def swap_operator(self, unit: AssignmentUnit) -> ChangeRecord:
+        """Hand the unit to a different operator (answer AS changes)."""
+        choices = [a for a in self._operators() if a != unit.operator_asn]
+        if not choices:
+            raise WorldGenError("operator swap needs a second operator")
+        new_asn = choices[_churn_key(f"operator:{unit.prefix}") % len(choices)]
+        self.assignment.remove(unit.prefix)
+        self.assignment.add(
+            AssignmentUnit(unit.prefix, unit.scope_len, new_asn, unit.pod)
+        )
+        return ChangeRecord(
+            "operator-swap",
+            unit.prefix,
+            unit.prefix.value,
+            f"AS{unit.operator_asn} -> AS{new_asn}",
+        )
+
+    def reassign_pod(self, unit: AssignmentUnit) -> ChangeRecord:
+        """Serve the unit from a different pod (answer roster changes)."""
+        pods = [p for p in self._pods_of(unit.operator_asn) if p != unit.pod]
+        if not pods:
+            raise WorldGenError("pod re-assignment needs a second pod")
+        new_pod = pods[_churn_key(f"pod:{unit.prefix}") % len(pods)]
+        self.assignment.remove(unit.prefix)
+        self.assignment.add(
+            AssignmentUnit(unit.prefix, unit.scope_len, unit.operator_asn, new_pod)
+        )
+        return ChangeRecord(
+            "pod-reassign",
+            unit.prefix,
+            unit.prefix.value,
+            f"{unit.pod} -> {new_pod}",
+        )
+
+    def split_block(self, unit: AssignmentUnit) -> ChangeRecord:
+        """Split the unit in half; the lower half moves to a new pod.
+
+        The split halves stay walk-visible: both are rooted at scan
+        landing positions (the unit start and its midpoint), so a full
+        rescan and the incremental probe see the same refined partition
+        — nesting, which would defeat the replay program, never occurs.
+        """
+        length = unit.prefix.length
+        if length >= 24:
+            raise WorldGenError(f"unit {unit.prefix} too small to split")
+        pods = [p for p in self._pods_of(unit.operator_asn) if p != unit.pod]
+        if not pods:
+            raise WorldGenError("block split needs a second pod")
+        new_pod = pods[_churn_key(f"split:{unit.prefix}") % len(pods)]
+        half_len = length + 1
+        scope = max(unit.scope_len, half_len)
+        lower = Prefix(4, unit.prefix.value, half_len)
+        upper = Prefix(4, unit.prefix.value + (1 << (32 - half_len)), half_len)
+        self.assignment.remove(unit.prefix)
+        self.assignment.add(
+            AssignmentUnit(lower, scope, unit.operator_asn, new_pod)
+        )
+        self.assignment.add(
+            AssignmentUnit(upper, scope, unit.operator_asn, unit.pod)
+        )
+        return ChangeRecord(
+            "block-split",
+            unit.prefix,
+            unit.prefix.value,
+            f"/{length} -> 2x/{half_len}, lower half {unit.pod} -> {new_pod}",
+        )
+
+    def remove_block(self, unit: AssignmentUnit) -> ChangeRecord:
+        """Withdraw the unit; its space reverts to the /16 fallback answer."""
+        self.assignment.remove(unit.prefix)
+        return ChangeRecord(
+            "block-remove",
+            unit.prefix,
+            unit.prefix.value,
+            f"unit {unit.prefix} withdrawn (pod {unit.pod})",
+        )
+
+    # -- batch drills ---------------------------------------------------
+
+    def apply(self, kind: str, unit: AssignmentUnit) -> ChangeRecord:
+        """Apply one change kind to one unit."""
+        if kind == "operator-swap":
+            return self.swap_operator(unit)
+        if kind == "pod-reassign":
+            return self.reassign_pod(unit)
+        if kind == "block-split":
+            return self.split_block(unit)
+        if kind == "block-remove":
+            return self.remove_block(unit)
+        raise WorldGenError(f"unknown churn kind {kind!r}")
+
+    def inject_standard(self, seed: int) -> list[ChangeRecord]:
+        """One change of each kind, on units in pairwise-distinct /16s.
+
+        Distinct /16s keep the drills independently observable: a
+        withdrawn unit's fallback answer declares a /16 scope, and a
+        second change hiding inside that skip window would be invisible
+        to a full rescan too — a property under test, not a drill.
+        """
+        records: list[ChangeRecord] = []
+        taken: set[int] = set()
+        for kind in self.KINDS:
+            eligible = [
+                unit
+                for unit in self._eligible(kind)
+                if not any(
+                    block in taken
+                    for block in range(
+                        unit.prefix.value >> 16,
+                        (unit.prefix.broadcast_value >> 16) + 1,
+                    )
+                )
+            ]
+            if not eligible:
+                raise WorldGenError(f"no eligible unit left for {kind}")
+            unit = eligible[
+                _churn_key(f"churn:{kind}:{seed}") % len(eligible)
+            ]
+            taken.update(
+                range(
+                    unit.prefix.value >> 16,
+                    (unit.prefix.broadcast_value >> 16) + 1,
+                )
+            )
+            records.append(self.apply(kind, unit))
+        return records

@@ -90,6 +90,60 @@ class TestIngressArchive:
         with pytest.raises(MeasurementError):
             IngressArchive.from_csv(DOMAIN, text)
 
+    def test_record_deduplicates_within_one_scan(self):
+        """Repeated addresses in one scan count once in the return value."""
+        archive = IngressArchive(DOMAIN)
+        scan = make_scan(0.0, ["172.224.0.1", "172.224.0.2"])
+        scan.responses.append(
+            EcsResponse(
+                Prefix.parse("198.51.100.0/24"),
+                24,
+                (IPAddress.parse("172.224.0.1"),),
+                36183,
+            )
+        )
+        assert archive.record(scan) == 2
+        assert len(archive) == 2
+
+    def test_record_all_known_returns_zero(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(0.0, ["172.224.0.1"]))
+        assert archive.record(make_scan(100.0, ["172.224.0.1"])) == 0
+        assert archive.scan_count() == 2
+
+    def test_record_equal_timestamp_allowed(self):
+        """Continuous-monitoring rounds may share a start time; only a
+        strictly earlier scan is out of order."""
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(100.0, ["172.224.0.1"]))
+        assert archive.record(make_scan(100.0, ["172.224.0.2"])) == 1
+
+    def test_seen_in_window_boundaries_inclusive(self):
+        """Both window endpoints are inclusive on both sighting bounds."""
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(10.0, ["172.224.0.1"]))
+        archive.record(make_scan(100.0, ["172.224.0.1"]))
+        sighting = archive.sightings()[0]
+        # Window ending exactly at first_seen: still seen.
+        assert sighting.seen_in_window(0.0, 10.0)
+        # Window starting exactly at last_seen: still seen.
+        assert sighting.seen_in_window(100.0, 200.0)
+        # Degenerate instant windows at each bound.
+        assert sighting.seen_in_window(10.0, 10.0)
+        assert sighting.seen_in_window(100.0, 100.0)
+        # Just outside either bound: not seen.
+        assert not sighting.seen_in_window(0.0, 9.999)
+        assert not sighting.seen_in_window(100.001, 200.0)
+
+    def test_seen_in_window_single_sighting(self):
+        archive = IngressArchive(DOMAIN)
+        archive.record(make_scan(50.0, ["172.224.0.1"]))
+        sighting = archive.sightings()[0]
+        assert sighting.first_seen == sighting.last_seen == 50.0
+        assert sighting.seen_in_window(50.0, 50.0)
+        assert not sighting.seen_in_window(0.0, 49.999)
+        assert not sighting.seen_in_window(50.001, 100.0)
+
     def test_campaign_archive_over_world(self, small_world_scans):
         """The four monthly scans build a consistent archive."""
         archive = IngressArchive(DOMAIN)
