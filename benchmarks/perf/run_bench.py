@@ -23,7 +23,11 @@ staying within 3 % (plus a 0.1 s noise floor) of the telemetry-off one
 (check mode only).  A faults-off leg runs the sequential campaign with
 the ``none`` fault profile attached: it must reproduce the plain
 campaign exactly, and (check mode) stay within 2 % — the robustness
-hooks may not tax the fault-free path.  Both overhead legs run as
+hooks may not tax the fault-free path.  A monitoring leg attaches the
+live observability plane (StatusBoard + flushed EventLog + HTTP
+endpoint thread) the same way, gated at 2 %: monitoring may observe,
+never perturb — the monitored campaign must also reproduce the plain
+one exactly.  All overhead legs run as
 back-to-back (hooked, plain) pairs in process-CPU seconds and gate on
 the best per-pair delta: wall-clock steal on shared machines dwarfs
 the single-digit budgets, and even CPU-time noise is time-correlated
@@ -71,6 +75,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -315,23 +320,45 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
     # campaign base seeded by the headline run above.
     from repro.faults import FaultPlan
 
-    def _campaign_leg(fault_plan=None, with_telemetry=False):
+    def _campaign_leg(fault_plan=None, with_telemetry=False, with_monitor=False):
         telemetry = Telemetry() if with_telemetry else None
         leg_world = build_world(
             WorldConfig(seed=seed, scale=scale), telemetry=telemetry
         )
+        status = events = server = event_dir = None
+        if with_monitor:
+            from repro.monitor import EventLog, MonitorServer, StatusBoard
+
+            status = StatusBoard()
+            event_dir = tempfile.TemporaryDirectory(prefix="repro-monitor-")
+            events = EventLog(
+                Path(event_dir.name) / "events.jsonl", clock=leg_world.clock
+            )
+            server = MonitorServer(
+                status, telemetry if telemetry is not None else NULL_TELEMETRY
+            ).start()
         leg_campaign = ScanCampaign(
             server=leg_world.route53,
             routing=leg_world.routing,
             clock=leg_world.clock,
             settings=EcsScanSettings(fault_plan=fault_plan),
             telemetry=telemetry if telemetry is not None else NULL_TELEMETRY,
+            status=status,
+            events=events,
         )
-        t0 = time.perf_counter()
-        c0 = time.process_time()
-        leg_months = leg_campaign.run(leg_world.scan_months())
-        cpu = time.process_time() - c0
-        elapsed = time.perf_counter() - t0
+        try:
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            leg_months = leg_campaign.run(leg_world.scan_months())
+            cpu = time.process_time() - c0
+            elapsed = time.perf_counter() - t0
+        finally:
+            if server is not None:
+                server.stop()
+            if events is not None:
+                events.close()
+            if event_dir is not None:
+                event_dir.cleanup()
         snapshot = telemetry.snapshot() if telemetry is not None else None
         return elapsed, cpu, leg_months, snapshot
 
@@ -401,12 +428,42 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
             campaign_base_cpu_s = plain_cpu
         del leg_months
 
+    # Monitoring leg: the live plane (StatusBoard publishes, a flushed
+    # EventLog, and an idle HTTP endpoint on its own thread) attached to
+    # an otherwise plain campaign.  It must reproduce the plain campaign
+    # exactly — monitoring may observe, never perturb — and its overhead
+    # is gated at 2 % like the fault hooks': the board is only touched
+    # once per scan/month, so the budget is generous.
+    campaign_monitor_cpu_s = None
+    monitor_delta_cpu_s = None
+    for attempt in range(OVERHEAD_RUNS):
+        _, cpu, leg_months, _ = _campaign_leg(with_monitor=True)
+        if campaign_monitor_cpu_s is None or cpu < campaign_monitor_cpu_s:
+            campaign_monitor_cpu_s = cpu
+        if attempt == 0:
+            problems = _verify_sharded(months, leg_months)
+            if problems:
+                raise ShardDivergence(
+                    [f"monitoring-on sequential: {p}" for p in problems]
+                )
+        del leg_months
+        elapsed, plain_cpu, leg_months, _ = _campaign_leg()
+        delta = cpu - plain_cpu
+        if monitor_delta_cpu_s is None or delta < monitor_delta_cpu_s:
+            monitor_delta_cpu_s = delta
+        if elapsed < campaign_base_s:
+            campaign_base_s = elapsed
+        if plain_cpu < campaign_base_cpu_s:
+            campaign_base_cpu_s = plain_cpu
+        del leg_months
+
     # Even the best-of-pairs delta can come out slightly negative when
     # the hooked member of every pair got the quieter CPU window; a
     # negative overhead is measurement noise, not a speedup, so clamp
     # at zero rather than publishing a nonsensical negative cost.
     telemetry_delta_cpu_s = max(telemetry_delta_cpu_s, 0.0)
     faults_off_delta_cpu_s = max(faults_off_delta_cpu_s, 0.0)
+    monitor_delta_cpu_s = max(monitor_delta_cpu_s, 0.0)
 
     delta_fields = _delta_leg(scale, seed, workers)
 
@@ -433,6 +490,11 @@ def run_bench(scale: float, seed: int, workers: int) -> dict:
         "fault_hook_overhead_cpu_s": round(faults_off_delta_cpu_s, 3),
         "fault_hook_overhead": round(
             faults_off_delta_cpu_s / campaign_base_cpu_s, 4
+        ),
+        "campaign_monitor_cpu_s": round(campaign_monitor_cpu_s, 3),
+        "monitor_overhead_cpu_s": round(monitor_delta_cpu_s, 3),
+        "monitor_overhead": round(
+            monitor_delta_cpu_s / campaign_base_cpu_s, 4
         ),
         **delta_fields,
         "telemetry": {"metrics": seq_snapshot["metrics"]},
@@ -489,6 +551,11 @@ TELEMETRY_OVERHEAD_FLOOR_S = 0.1
 FAULT_HOOK_OVERHEAD_FRACTION = 0.02
 FAULT_HOOK_OVERHEAD_FLOOR_S = 0.1
 
+#: Live monitoring plane (StatusBoard + EventLog + HTTP endpoint)
+#: budget: 2 % of the campaign, same absolute noise floor.
+MONITOR_OVERHEAD_FRACTION = 0.02
+MONITOR_OVERHEAD_FLOOR_S = 0.1
+
 #: A steady-state delta round may cost at most this fraction of a full
 #: rescan's queries.
 DELTA_QUERIES_FRAC_LIMIT = 0.30
@@ -537,6 +604,24 @@ def check_fault_hook_overhead(result: dict) -> int:
         )
         return 1
     print("OK: fault-hook overhead within budget")
+    return 0
+
+
+def check_monitor_overhead(result: dict) -> int:
+    off = result["campaign_cpu_s"]
+    delta = result["monitor_overhead_cpu_s"]
+    budget = max(MONITOR_OVERHEAD_FRACTION * off, MONITOR_OVERHEAD_FLOOR_S)
+    print(
+        f"monitoring overhead: {delta:+.3f} CPU s (best pair, "
+        f"{result['monitor_overhead']:+.2%}, budget {budget:.3f}s)"
+    )
+    if delta > budget:
+        print(
+            f"FAIL: monitoring-on campaign exceeded the "
+            f"{MONITOR_OVERHEAD_FRACTION:.0%} overhead budget"
+        )
+        return 1
+    print("OK: monitoring overhead within budget")
     return 0
 
 
@@ -646,6 +731,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.telemetry_out is not None:
+        # Fail now, not after minutes of benchmarking: the snapshot is
+        # written at the very end of the run.
+        parent = args.telemetry_out.resolve().parent
+        if not parent.is_dir():
+            print(
+                f"error: --telemetry-out directory {parent} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        if not os.access(parent, os.W_OK):
+            print(
+                f"error: --telemetry-out directory {parent} is not writable",
+                file=sys.stderr,
+            )
+            return 2
+
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "2022"))
     print(
@@ -683,6 +785,7 @@ def main(argv: list[str] | None = None) -> int:
             status
             or check_telemetry_overhead(result)
             or check_fault_hook_overhead(result)
+            or check_monitor_overhead(result)
             or check_delta(result)
         )
     return 0

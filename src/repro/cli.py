@@ -71,6 +71,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _host_port(text: str) -> tuple[str, int]:
+    """argparse type: ``HOST:PORT`` (``--serve-status``, ``--status``)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not HOST:PORT (e.g. 127.0.0.1:9100)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port {port_text!r} is not an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port {port} out of range 0-65535")
+    return host, port
+
+
 def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=_positive_float, default=0.02,
                         help="world scale (1.0 = paper scale)")
@@ -295,6 +313,11 @@ def cmd_campaign(args) -> int:
                   "delta state persists in --snapshot-dir", file=sys.stderr)
             return 2
     telemetry = _make_telemetry(args)
+    if args.serve_status is not None and not telemetry.enabled:
+        # /metrics serves the live registry; a null one would be empty.
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     world = _world(args, telemetry)
     settings = EcsScanSettings(
         workers=args.workers,
@@ -302,42 +325,72 @@ def cmd_campaign(args) -> int:
         fault_plan=_fault_plan(args),
     )
     meta = {"world_seed": args.seed, "world_scale": args.scale}
-    if args.mode == "full":
-        with ScanCampaign(
-            world.route53, world.routing, world.clock, settings, telemetry,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-            checkpoint_meta=meta,
-        ) as campaign:
-            for month in campaign.run(world.scan_months()):
-                fallback = ("no fallback scan" if month.fallback is None else
-                            f"fallback {month.fallback.queries_sent} queries")
-                print(f"{month.year}-{month.month:02d}: "
-                      f"default {month.default.queries_sent} queries, "
-                      f"{fallback}")
-            archives = (campaign.default_archive, campaign.fallback_archive)
-    else:
-        with ScanCampaign(
-            world.route53, world.routing, world.clock, settings, telemetry,
-            checkpoint_meta=meta,
-            mode="delta",
-            snapshot_dir=args.snapshot_dir,
-            budget=args.budget,
-            refresh_rounds=args.refresh_rounds or 3,
-        ) as campaign:
-            deltas = campaign.run_continuous(
-                args.year, args.month, args.rounds or 3
-            )
-            for delta in deltas:
-                print(f"round {delta.index}: {delta.queries_sent} queries "
-                      f"({delta.queries_frac:.1%} of a full rescan), "
-                      f"{len(delta.events)} change events, "
-                      f"{delta.budget_deferred} budget-deferred")
-            archives = (campaign.default_archive, campaign.fallback_archive)
+    status = events = server = None
+    if args.serve_status is not None or args.event_log:
+        from repro.monitor import EventLog, MonitorServer, StatusBoard
+
+        status = StatusBoard()
+        if args.event_log:
+            events = EventLog(args.event_log, clock=world.clock)
+        if args.serve_status is not None:
+            host, port = args.serve_status
+            server = MonitorServer(status, telemetry, host=host, port=port)
+            server.start()
+            print(f"serving status on http://{server.host}:{server.port} "
+                  f"(/health /metrics /status)", flush=True)
+    try:
+        if args.mode == "full":
+            with ScanCampaign(
+                world.route53, world.routing, world.clock, settings, telemetry,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                checkpoint_meta=meta,
+                status=status,
+                events=events,
+            ) as campaign:
+                for month in campaign.run(world.scan_months()):
+                    fallback = ("no fallback scan" if month.fallback is None else
+                                f"fallback {month.fallback.queries_sent} queries")
+                    print(f"{month.year}-{month.month:02d}: "
+                          f"default {month.default.queries_sent} queries, "
+                          f"{fallback}")
+                archives = (campaign.default_archive, campaign.fallback_archive)
+        else:
+            with ScanCampaign(
+                world.route53, world.routing, world.clock, settings, telemetry,
+                checkpoint_meta=meta,
+                mode="delta",
+                snapshot_dir=args.snapshot_dir,
+                budget=args.budget,
+                refresh_rounds=args.refresh_rounds or 3,
+                status=status,
+                events=events,
+            ) as campaign:
+                deltas = campaign.run_continuous(
+                    args.year, args.month, args.rounds or 3
+                )
+                for delta in deltas:
+                    print(f"round {delta.index}: {delta.queries_sent} queries "
+                          f"({delta.queries_frac:.1%} of a full rescan), "
+                          f"{len(delta.events)} change events, "
+                          f"{delta.budget_deferred} budget-deferred")
+                archives = (campaign.default_archive, campaign.fallback_archive)
+    finally:
+        if server is not None:
+            server.stop()
+        if events is not None:
+            events.close()
     print(f"ingress (default):  {len(archives[0])} addresses")
     print(f"ingress (fallback): {len(archives[1])} addresses")
     _write_telemetry(args, telemetry)
     return 0
+
+
+def cmd_monitor(args) -> int:
+    """Dashboard/report over an event log or a live /status endpoint."""
+    from repro.monitor.cli import run_monitor
+
+    return run_monitor(args)
 
 
 def cmd_reproduce(args) -> int:
@@ -469,8 +522,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="full mode: restore already-checkpointed months "
                         "(requires --checkpoint-dir)")
+    p.add_argument("--serve-status", type=_host_port, default=None,
+                   metavar="HOST:PORT",
+                   help="serve /health, /metrics and /status over HTTP "
+                        "while the campaign runs (port 0 = ephemeral)")
+    p.add_argument("--event-log", type=str, default=None, metavar="PATH",
+                   help="append the structured JSONL event stream here "
+                        "(tail it with 'repro-relay monitor')")
     _add_fault_args(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "monitor",
+        help="live dashboard / report over a campaign's monitoring plane",
+    )
+    p.add_argument("--event-log", type=str, default=None, metavar="PATH",
+                   help="tail this JSONL event log")
+    p.add_argument("--status", type=_host_port, default=None,
+                   metavar="HOST:PORT",
+                   help="poll a running campaign's /status endpoint instead")
+    p.add_argument("--once", action="store_true",
+                   help="print one report/snapshot and exit")
+    p.add_argument("--refresh", type=_positive_float, default=1.0,
+                   metavar="SECONDS", help="dashboard redraw interval")
+    p.add_argument("--iterations", type=_positive_int, default=None,
+                   metavar="N",
+                   help="stop after N redraws (default: until the campaign "
+                        "finishes)")
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("reproduce", help="full paper-vs-measured report")
     _add_world_args(p)

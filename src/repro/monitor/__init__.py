@@ -1,0 +1,53 @@
+"""Live monitoring plane: status board, event log, HTTP endpoint.
+
+Long-running workloads (the monthly campaign, the continuous delta
+loop, bench runs) were previously blind until they finished: the only
+observability was a telemetry snapshot written at exit.  This package
+adds the *live* half — zero new dependencies, and deliberately split
+into three pieces any workload can attach independently:
+
+* :class:`~repro.monitor.status.StatusBoard` — a thread-safe bulletin
+  board the pipeline updates via cheap publish calls (current phase,
+  month, round, query counters, shard liveness, checkpoint age).
+  Writers are the campaign / scanners / sharded executor on their own
+  thread; the HTTP server reads consistent copies from its thread.
+* :class:`~repro.monitor.events.EventLog` — an append-only JSONL
+  stream of schema-versioned workload events (campaign/month/round
+  milestones, detected churn, shard crashes, checkpoints, budget
+  deferrals).  Event content is deterministic across worker counts:
+  records are sim-time stamped, and the wall clock appears only in the
+  explicitly non-deterministic ``wall`` field (see
+  :func:`~repro.monitor.events.canonical_lines`).
+* :class:`~repro.monitor.http.MonitorServer` — an asyncio HTTP
+  endpoint (stdlib only) serving ``/metrics`` (Prometheus text of the
+  live telemetry registry), ``/health``, and ``/status`` (the board as
+  JSON).
+
+``repro-relay monitor`` (:mod:`repro.monitor.cli`) tails an event log
+or polls ``/status`` and renders a live terminal dashboard, or a
+``--once`` detection-latency report against the full-rescan baseline.
+DESIGN.md §11 documents ownership, the event schema, and the endpoint
+contract.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.events import (
+    EVENT_SCHEMA_VERSION,
+    WALL_FIELD,
+    EventLog,
+    canonical_lines,
+    read_events,
+)
+from repro.monitor.http import MonitorServer
+from repro.monitor.status import StatusBoard
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "MonitorServer",
+    "StatusBoard",
+    "WALL_FIELD",
+    "canonical_lines",
+    "read_events",
+]

@@ -1,0 +1,318 @@
+"""``repro-relay monitor``: dashboards and reports over the live plane.
+
+Two sources, two modes:
+
+* ``--event-log PATH`` tails the JSONL :class:`~repro.monitor.events
+  .EventLog` a campaign writes.  With ``--once`` it prints a plain-text
+  report — detection latency per churn kind versus the full-rescan
+  baseline (which sees every change within one round, at 100 % of a
+  full scan's queries per round) plus round-cost and robustness
+  accounting.  Without ``--once`` it renders a live single-screen
+  dashboard, redrawn as new events append, until the campaign finishes.
+* ``--status HOST:PORT`` polls a running campaign's ``/status``
+  endpoint instead; ``--once`` prints a single snapshot.
+
+The follow loop sleeps on wall time between polls — that is interface
+pacing, not simulation state, and ``time.sleep`` is deliberately
+outside the lint ban list.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.monitor.events import EVENT_SCHEMA_VERSION, read_events
+
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+#: The comparison point for the --once report: a full monthly rescan
+#: observes any change in the next scan (latency 1 round) but pays the
+#: whole query bill every round.
+FULL_RESCAN_BASELINE = {"latency_rounds": 1, "cost_frac": 1.0}
+
+
+@dataclass
+class MonitorState:
+    """Everything the renderers need, folded from an event stream."""
+
+    schema: int = EVENT_SCHEMA_VERSION
+    total_events: int = 0
+    campaign: dict = field(default_factory=dict)
+    months: list = field(default_factory=list)
+    months_restored: int = 0
+    rounds: list = field(default_factory=list)
+    churn: list = field(default_factory=list)
+    deferrals: list = field(default_factory=list)
+    checkpoints: int = 0
+    crashes: int = 0
+    respawns: int = 0
+    seeded: list = field(default_factory=list)
+    finished: bool = False
+    last_event: dict = field(default_factory=dict)
+
+
+def fold_events(records: list[dict]) -> MonitorState:
+    """Fold raw event records into a :class:`MonitorState`.
+
+    Unknown event kinds and unknown fields are ignored, per the schema
+    contract (DESIGN.md §11).
+    """
+    state = MonitorState()
+    for record in records:
+        kind = record.get("event")
+        state.total_events += 1
+        state.last_event = record
+        if kind == "log_opened":
+            state.schema = record.get("schema", EVENT_SCHEMA_VERSION)
+        elif kind == "campaign_started":
+            state.campaign = record
+        elif kind == "month_completed":
+            state.months.append(record)
+        elif kind == "month_restored":
+            state.months_restored += 1
+        elif kind == "delta_seeded":
+            state.seeded.append(record)
+        elif kind == "round_summary":
+            state.rounds.append(record)
+        elif kind == "churn_detected":
+            state.churn.append(record)
+        elif kind == "budget_deferral":
+            state.deferrals.append(record)
+        elif kind == "checkpoint_written":
+            state.checkpoints += 1
+        elif kind == "shard_crash":
+            state.crashes += 1
+        elif kind == "shard_respawn":
+            state.respawns += 1
+        elif kind == "campaign_finished":
+            state.finished = True
+    return state
+
+
+def _latency_by_kind(state: MonitorState) -> dict[str, list[int]]:
+    out: dict[str, list[int]] = {}
+    for record in state.churn:
+        out.setdefault(record.get("change", "?"), []).append(
+            int(record.get("latency", 0))
+        )
+    return out
+
+
+def render_report(state: MonitorState, source: str) -> str:
+    """The ``--once`` plain-text report for an event log."""
+    lines = [
+        f"monitoring report — {source} "
+        f"(schema v{state.schema}, {state.total_events} events)"
+    ]
+    camp = state.campaign
+    if camp:
+        bits = [f"mode={camp.get('mode', '?')}"]
+        for key in ("year", "month", "months", "rounds", "domains"):
+            if key in camp:
+                bits.append(f"{key}={camp[key]}")
+        bits.append(f"finished={'yes' if state.finished else 'no'}")
+        lines.append("campaign: " + " ".join(bits))
+    if state.months:
+        queries = sum(m.get("queries", 0) for m in state.months)
+        lines.append(
+            f"months completed: {len(state.months)} "
+            f"(+{state.months_restored} restored from checkpoint), "
+            f"{queries} queries"
+        )
+    if state.rounds:
+        fracs = [r.get("frac", 0.0) for r in state.rounds]
+        mean = sum(fracs) / len(fracs)
+        lines.append(
+            f"delta rounds completed: {len(state.rounds)}; "
+            f"mean round cost {mean:.1%} of a full rescan "
+            f"(max {max(fracs):.1%}) — baseline pays "
+            f"{FULL_RESCAN_BASELINE['cost_frac']:.0%} every round"
+        )
+    if state.deferrals:
+        rows = sum(d.get("deferred", 0) for d in state.deferrals)
+        lines.append(
+            f"budget deferrals: {len(state.deferrals)} rounds, {rows} rows total"
+        )
+    latencies = _latency_by_kind(state)
+    if latencies:
+        lines.append(
+            "detection latency by churn kind (rounds), vs full-rescan "
+            f"baseline ({FULL_RESCAN_BASELINE['latency_rounds']} round "
+            f"@ {FULL_RESCAN_BASELINE['cost_frac']:.0%} cost/round):"
+        )
+        lines.append(f"  {'kind':<14}{'events':>7}{'mean':>7}{'max':>6}")
+        for kind in sorted(latencies):
+            values = latencies[kind]
+            lines.append(
+                f"  {kind:<14}{len(values):>7}"
+                f"{sum(values) / len(values):>7.1f}{max(values):>6}"
+            )
+    elif state.rounds:
+        lines.append("detection latency: no churn events observed")
+    lines.append(
+        f"shards: {state.crashes} crashes, {state.respawns} pool respawns"
+    )
+    if state.checkpoints:
+        lines.append(f"checkpoints written: {state.checkpoints}")
+    return "\n".join(lines) + "\n"
+
+
+def render_dashboard(state: MonitorState, source: str, tail: int = 5) -> str:
+    """One screenful of live campaign state, for the follow mode."""
+    width = 62
+    rule = "─" * width
+    lines = [
+        f"repro-relay monitor — {source}",
+        rule,
+    ]
+    camp = state.campaign
+    mode = camp.get("mode", "?") if camp else "?"
+    phase = "finished" if state.finished else state.last_event.get("event", "idle")
+    lines.append(f" campaign  mode={mode}  phase={phase}")
+    if "sim" in state.last_event:
+        lines.append(f" sim time  {state.last_event['sim']:.0f}s")
+    if state.months or state.months_restored:
+        lines.append(
+            f" months    {len(state.months)} scanned, "
+            f"{state.months_restored} restored, "
+            f"{state.checkpoints} checkpoints"
+        )
+    if state.rounds:
+        last = state.rounds[-1]
+        lines.append(
+            f" rounds    {len(state.rounds)} done — last: "
+            f"round={last.get('round')} queries={last.get('queries')} "
+            f"cost={last.get('frac', 0.0):.1%}"
+        )
+    lines.append(
+        f" churn     {len(state.churn)} detected, "
+        f"{sum(d.get('deferred', 0) for d in state.deferrals)} rows deferred"
+    )
+    lines.append(f" shards    {state.crashes} crashes, {state.respawns} respawns")
+    lines.append(rule)
+    lines.append(f" last {tail} events:")
+    lines.extend(_recent_event_lines(state, tail))
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+def _recent_event_lines(state: MonitorState, tail: int) -> list[str]:
+    shown: list[str] = []
+    pool = (
+        state.rounds[-tail:]
+        + state.churn[-tail:]
+        + state.months[-tail:]
+        + ([state.last_event] if state.last_event else [])
+    )
+    seen = set()
+    ordered = sorted(pool, key=lambda r: r.get("sim", 0.0))[-tail:]
+    for record in ordered:
+        key = json.dumps(record, sort_keys=True)
+        if key in seen:
+            continue
+        seen.add(key)
+        kind = record.get("event", "?")
+        detail = " ".join(
+            f"{k}={record[k]}"
+            for k in sorted(record)
+            if k not in ("event", "v", "sim", "wall")
+        )
+        sim = record.get("sim")
+        stamp = f"{sim:>10.0f}s" if isinstance(sim, (int, float)) else " " * 11
+        shown.append(f" {stamp}  {kind}  {detail}"[:78])
+    return shown if shown else ["  (none)"]
+
+
+def render_status(payload: dict, source: str) -> str:
+    """Plain-text rendering of one ``/status`` snapshot."""
+    lines = [f"status — {source}"]
+    counters = payload.get("counters", {})
+    shards = payload.get("shards", {})
+    for key in sorted(payload):
+        if key in ("counters", "shards"):
+            continue
+        lines.append(f"  {key}: {payload[key]}")
+    for name in sorted(counters):
+        lines.append(f"  counter {name}: {counters[name]}")
+    if shards:
+        states = ",".join(f"{k}:{v}" for k, v in sorted(shards.items()))
+        lines.append(f"  shards: {states}")
+    return "\n".join(lines) + "\n"
+
+
+def fetch_status(base_url: str, path: str = "/status", timeout: float = 5.0) -> dict:
+    """GET one JSON endpoint from a running monitor server."""
+    with urllib.request.urlopen(base_url + path, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _follow_event_log(path: Path, refresh: float, iterations, out) -> int:
+    state = MonitorState()
+    records: list[dict] = []
+    done = 0
+    with path.open(encoding="utf-8") as handle:
+        while True:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+            state = fold_events(records)
+            out.write(CLEAR_SCREEN + render_dashboard(state, str(path)))
+            out.flush()
+            done += 1
+            if state.finished or (iterations is not None and done >= iterations):
+                return 0
+            time.sleep(refresh)
+
+
+def _follow_status(base_url: str, refresh: float, iterations, out) -> int:
+    done = 0
+    while True:
+        try:
+            payload = fetch_status(base_url)
+        except (urllib.error.URLError, OSError):
+            out.write(f"monitor: {base_url} unreachable — campaign finished?\n")
+            return 0
+        out.write(CLEAR_SCREEN + render_status(payload, base_url))
+        out.flush()
+        done += 1
+        if iterations is not None and done >= iterations:
+            return 0
+        time.sleep(refresh)
+
+
+def run_monitor(args, out=None) -> int:
+    """Entry point behind the ``monitor`` subcommand.  Returns exit code."""
+    out = out if out is not None else sys.stdout
+    if bool(args.event_log) == bool(args.status):
+        print(
+            "error: monitor needs exactly one of --event-log or --status",
+            file=sys.stderr,
+        )
+        return 2
+    if args.event_log:
+        path = Path(args.event_log)
+        if not path.is_file():
+            print(f"error: event log {path} does not exist", file=sys.stderr)
+            return 2
+        if args.once:
+            out.write(render_report(fold_events(read_events(path)), str(path)))
+            return 0
+        return _follow_event_log(path, args.refresh, args.iterations, out)
+    host, port = args.status
+    base_url = f"http://{host}:{port}"
+    if args.once:
+        try:
+            payload = fetch_status(base_url)
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot reach {base_url}/status: {exc}", file=sys.stderr)
+            return 2
+        out.write(render_status(payload, base_url))
+        return 0
+    return _follow_status(base_url, args.refresh, args.iterations, out)

@@ -1,0 +1,122 @@
+"""Append-only structured event log with a versioned JSONL schema.
+
+Every record is one JSON object per line with sorted keys:
+
+* ``v`` — schema version (:data:`EVENT_SCHEMA_VERSION`).
+* ``event`` — the event kind (one of :data:`EVENT_KINDS`).
+* ``sim`` — the sim-clock timestamp, when a clock is attached.
+* ``wall`` — the wall-clock timestamp.  This is the *only*
+  non-deterministic field; everything else is a pure function of
+  (seed, scale, settings), independent of worker count, so two runs'
+  logs are byte-identical once ``wall`` is stripped
+  (:func:`canonical_lines` produces exactly that byte stream).
+
+Schema versioning rules (DESIGN.md §11): adding a new event kind or a
+new optional field is backwards compatible and does *not* bump the
+version; renaming or removing a field, changing a field's meaning or
+units, or changing the canonicalisation (key order, separators) bumps
+:data:`EVENT_SCHEMA_VERSION`.  Readers must ignore kinds and fields
+they do not know.
+
+Kinds whose *occurrence* depends on injected faults (``shard_crash``,
+``shard_respawn``) only ever fire under a fault plan that crashes
+workers; clean runs never emit them, which is what keeps clean logs
+identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+EVENT_SCHEMA_VERSION = 1
+
+#: The one non-deterministic field, stripped by :func:`canonical_lines`.
+WALL_FIELD = "wall"
+
+#: Known event kinds at schema v1.  Readers must tolerate unknown kinds.
+EVENT_KINDS = frozenset(
+    {
+        "log_opened",
+        "campaign_started",
+        "month_started",
+        "month_completed",
+        "month_restored",
+        "delta_seeded",
+        "round_summary",
+        "churn_detected",
+        "budget_deferral",
+        "checkpoint_written",
+        "shard_crash",
+        "shard_respawn",
+        "campaign_finished",
+    }
+)
+
+
+class EventLog:
+    """Append-only JSONL event stream, flushed per record for tailing."""
+
+    def __init__(self, path: str | Path, clock=None) -> None:
+        self.path = Path(path)
+        self.clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.emitted = 0
+        self.emit("log_opened", schema=EVENT_SCHEMA_VERSION)
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event record and flush it.
+
+        ``fields`` must be JSON-serialisable and deterministic; the
+        record's ``sim``/``wall`` stamps are added here.  Returns the
+        record as written (useful in tests).
+        """
+        record = {"v": EVENT_SCHEMA_VERSION, "event": event}
+        if self.clock is not None:
+            record["sim"] = self.clock.now
+        record.update(fields)
+        # repro: allow[DET001] the wall stamp is the schema's one non-deterministic field, stripped by canonical_lines
+        record[WALL_FIELD] = time.time()
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        self.emitted += 1
+        return record
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse every record in an event log, in order."""
+    out: list[dict] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def canonical_lines(path: str | Path) -> list[str]:
+    """The deterministic byte stream of a log: records minus ``wall``.
+
+    Re-serialised with the same canonical settings the writer uses, so
+    two logs from the same (seed, settings) — at any worker count —
+    compare equal line for line.
+    """
+    out: list[str] = []
+    for record in read_events(path):
+        record.pop(WALL_FIELD, None)
+        out.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return out

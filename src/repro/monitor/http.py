@@ -1,0 +1,164 @@
+"""Stdlib-only HTTP monitoring endpoint: ``/metrics``, ``/health``, ``/status``.
+
+The server runs an asyncio event loop on a daemon thread so attaching
+it to a synchronous workload costs one thread and zero changes to the
+workload's control flow.  The endpoint contract (DESIGN.md §11):
+
+* ``GET /health`` → 200, ``application/json``: ``{"status": "ok", ...}``
+  as soon as the server is accepting connections.
+* ``GET /metrics`` → 200, ``text/plain; version=0.0.4``: the live
+  telemetry registry rendered by
+  :func:`repro.telemetry.export.prometheus_text`.
+* ``GET /status`` → 200, ``application/json``: the
+  :class:`~repro.monitor.status.StatusBoard` snapshot, plus a derived
+  ``checkpoint_age_s`` when a checkpoint has been recorded.
+* anything else → 404; non-GET → 405.  Connections are one-shot
+  (``Connection: close``).
+
+The server only ever *reads* workload state; it must never block the
+workload.  Snapshotting the live registry races benignly with the
+workload thread registering new instruments — that surfaces as a
+``RuntimeError`` from dict iteration, which we simply retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.export import prometheus_text
+
+
+class MonitorServer:
+    """Serve live workload status over HTTP from a background thread."""
+
+    def __init__(
+        self,
+        status,
+        telemetry=NULL_TELEMETRY,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.status = status
+        self.telemetry = telemetry
+        self.host = host
+        self.port = port  # 0 → ephemeral; updated to the bound port by start()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "MonitorServer":
+        """Bind and serve; returns once the socket is accepting."""
+        if self._thread is not None:
+            raise RuntimeError("monitor server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-monitor", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed (startup failed)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+        self._ready = threading.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except OSError as exc:  # bind failure: surfaced to start()'s caller
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._shutdown.wait()
+
+    # -- request handling -----------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            while True:  # drain headers; the routes take no request body
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            method = parts[0] if parts else ""
+            target = parts[1] if len(parts) > 1 else "/"
+            code, reason, ctype, body = self._route(method, target)
+            head = (
+                f"HTTP/1.1 {code} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (OSError, asyncio.TimeoutError, UnicodeDecodeError):
+            pass  # torn connection or garbage request: drop it
+        finally:
+            writer.close()
+
+    def _route(self, method: str, target: str) -> tuple[int, str, str, bytes]:
+        target = target.split("?", 1)[0]
+        if method != "GET":
+            return 405, "Method Not Allowed", "text/plain", b"GET only\n"
+        if target == "/health":
+            body = json.dumps(
+                {"status": "ok", "endpoints": ["/health", "/metrics", "/status"]}
+            )
+            return 200, "OK", "application/json", body.encode()
+        if target == "/metrics":
+            text = prometheus_text(self._metrics_snapshot())
+            return 200, "OK", "text/plain; version=0.0.4", text.encode()
+        if target == "/status":
+            body = json.dumps(self._status_payload(), sort_keys=True)
+            return 200, "OK", "application/json", body.encode()
+        return 404, "Not Found", "text/plain", b"unknown path\n"
+
+    def _metrics_snapshot(self) -> dict:
+        for _ in range(5):
+            try:
+                return self.telemetry.registry.snapshot()
+            except RuntimeError:
+                # The workload thread registered an instrument while we
+                # iterated the registry dict; the next pass sees a
+                # consistent map.
+                continue
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def _status_payload(self) -> dict:
+        payload = self.status.snapshot() if self.status is not None else {}
+        wall = payload.get("checkpoint_wall")
+        if wall is not None:
+            # repro: allow[DET001] display-only checkpoint age; never feeds simulation state
+            payload["checkpoint_age_s"] = round(max(0.0, time.time() - wall), 3)
+        return payload

@@ -1,0 +1,76 @@
+"""Thread-safe status board: the live half of ``/status``.
+
+One board exists per workload run, created by the CLI (or a test) and
+handed to the campaign, which fans it out to the scanner, the sharded
+executor, and the delta engine.  Those writers call the publish
+methods from the workload thread; the :class:`~repro.monitor.http
+.MonitorServer` reads consistent copies from its own thread via
+:meth:`StatusBoard.snapshot`.
+
+Publish calls are deliberately coarse — once per scan, per round, per
+month, per shard incident, never per query — so the board costs
+nothing measurable on the hot path (the bench monitoring leg gates
+this at ≤2 % campaign CPU).  All methods are safe to call from any
+thread and from forked shard workers; a worker's updates land on its
+private post-fork copy and are simply invisible to the parent, which
+is fine: the parent-side executor publishes the merged view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class StatusBoard:
+    """A lock-guarded bulletin board of the workload's current state."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fields: dict = {}
+        self._counters: dict[str, float] = {}
+        self._shards: dict[int, str] = {}
+
+    # -- writers (workload thread) --------------------------------------
+
+    def publish(self, **fields) -> None:
+        """Set one or more free-form status fields (phase, month, round…)."""
+        with self._lock:
+            self._fields.update(fields)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment a monotonic counter (queries sent, rounds done…)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def shard_state(self, index: int, state: str) -> None:
+        """Record a shard's liveness: ``running`` / ``done`` / ``crashed``."""
+        with self._lock:
+            self._shards[index] = state
+
+    def clear_shards(self) -> None:
+        """Drop the per-shard map (a new scan is about to plan shards)."""
+        with self._lock:
+            self._shards.clear()
+
+    def record_checkpoint(self, sim_time: float, kind: str = "checkpoint") -> None:
+        """Note that durable state was just written.
+
+        The board is the one place wall time is read for checkpoint-age
+        display; it never feeds simulation results.
+        """
+        with self._lock:
+            self._fields["checkpoint_kind"] = kind
+            self._fields["checkpoint_sim"] = sim_time
+            # repro: allow[DET001] display-only checkpoint age for /status
+            self._fields["checkpoint_wall"] = time.time()
+
+    # -- reader (HTTP thread) -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A consistent, caller-owned copy of the whole board."""
+        with self._lock:
+            out = dict(self._fields)
+            out["counters"] = dict(self._counters)
+            out["shards"] = {str(k): v for k, v in sorted(self._shards.items())}
+        return out

@@ -78,6 +78,12 @@ class ScanCampaign:
     budget: int | None = None
     #: Full re-coverage horizon of the delta refresh wheel, in rounds.
     refresh_rounds: int = 3
+    #: Live monitoring plane (``repro.monitor``), both optional and
+    #: fanned out to the scanner / sharded executor / delta engine:
+    #: a ``StatusBoard`` updated with coarse progress, and an
+    #: ``EventLog`` receiving the schema-versioned milestone stream.
+    status: object | None = field(default=None, repr=False)
+    events: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "delta"):
@@ -100,8 +106,17 @@ class ScanCampaign:
                 self.settings,
                 telemetry=self.telemetry,
             )
+            scanner.status = self.status
             self.__dict__["_scanner_instance"] = scanner
         return scanner
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def _publish(self, **fields) -> None:
+        if self.status is not None:
+            self.status.publish(**fields)
 
     def _executor(self):
         """The campaign's scan front-end: the scanner itself with
@@ -115,6 +130,8 @@ class ScanCampaign:
         executor = self.__dict__.get("_executor_instance")
         if executor is None:
             executor = ShardedCampaignExecutor(self._scanner(), self.settings.workers)
+            executor.status = self.status
+            executor.events = self.events
             self.__dict__["_executor_instance"] = executor
         return executor
 
@@ -225,6 +242,8 @@ class ScanCampaign:
             registry.counter("campaign.months_restored").inc()
         result = MonthlyScan(year, month, default, fallback)
         self.months.append(result)
+        self._publish(phase="restore", year=year, month=month)
+        self._emit("month_restored", year=year, month=month)
         return result
 
     def run_month(self, year: int, month: int) -> MonthlyScan:
@@ -243,6 +262,8 @@ class ScanCampaign:
         if self.clock.now < target:
             self.clock.advance_to(target)
         scanner = self._executor()
+        self._publish(phase="scan", year=year, month=month)
+        self._emit("month_started", year=year, month=month)
         with self.telemetry.tracer.span("campaign.month", year=year, month=month):
             default = scanner.scan(RELAY_DOMAIN_QUIC)
             self.default_archive.record(default)
@@ -252,13 +273,31 @@ class ScanCampaign:
                 self.fallback_archive.record(fallback)
         result = MonthlyScan(year, month, default, fallback)
         self.months.append(result)
+        self._emit(
+            "month_completed",
+            year=year,
+            month=month,
+            queries=default.queries_sent
+            + (0 if fallback is None else fallback.queries_sent),
+            fallback=fallback is not None,
+        )
+        if self.status is not None:
+            self.status.add("months_completed")
         if checkpointer is not None:
             checkpointer.save(year, month, self._month_payload(result))
+            self._emit("checkpoint_written", year=year, month=month)
+            if self.status is not None:
+                self.status.record_checkpoint(self.clock.now)
         return result
 
     def run(self, calendar: list[tuple[int, int]]) -> list[MonthlyScan]:
         """Run the whole calendar in order."""
-        return [self.run_month(year, month) for year, month in calendar]
+        self._publish(phase="campaign", mode=self.mode)
+        self._emit("campaign_started", mode=self.mode, months=len(calendar))
+        out = [self.run_month(year, month) for year, month in calendar]
+        self._publish(phase="finished")
+        self._emit("campaign_finished", months=len(out))
+        return out
 
     # -- continuous monitoring (mode="delta") ---------------------------
 
@@ -286,6 +325,8 @@ class ScanCampaign:
                 refresh_rounds=self.refresh_rounds,
                 telemetry=self.telemetry,
             )
+            engine.status = self.status
+            engine.events = self.events
             self.__dict__["_delta_engine_instance"] = engine
         return engine
 
@@ -312,6 +353,10 @@ class ScanCampaign:
         if self.clock.now < target:
             self.clock.advance_to(target)
         engine = self.delta_engine()
+        self._publish(phase="delta_seed", year=year, month=month, mode=self.mode)
+        self._emit(
+            "campaign_started", mode=self.mode, year=year, month=month, rounds=rounds
+        )
         with self.telemetry.tracer.span("campaign.delta_seed", year=year, month=month):
             seeds = engine.ensure_seeded()
         for domain, result in seeds.items():
@@ -327,6 +372,8 @@ class ScanCampaign:
                 if archive is not None:
                     archive.record(engine.accumulated(domain))
             out.append(delta)
+        self._publish(phase="finished")
+        self._emit("campaign_finished", rounds=len(out))
         return out
 
     def table1_input(self) -> list[tuple[int, int, EcsScanResult, EcsScanResult | None]]:

@@ -394,6 +394,9 @@ class EcsScanner:
         #: records nothing — the hot loop is never touched either way
         #: (metrics are computed once at scan end).
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Optional live StatusBoard (repro.monitor): batch-updated once
+        #: per scan at scan end, so the hot loop never sees it.
+        self.status = None
         # Query-subnet intern table: a campaign walks the same routed /24
         # blocks once per scan, so later scans reuse the (immutable)
         # Prefix objects of the first instead of re-validating millions.
@@ -521,6 +524,11 @@ class EcsScanner:
         result.finished_at = self.clock.now
         # repro: allow[DET001] wall-time feeds the telemetry histogram only
         self._record_scan(result, bucket, time.perf_counter() - wall_start)
+        if self.status is not None:
+            # Once per scan (batch, like _record_scan) — never per query.
+            self.status.add("queries_sent", result.queries_sent)
+            self.status.add("scans_completed")
+            self.status.publish(last_domain=domain, sim_time=self.clock.now)
         return result
 
     def _record_scan(

@@ -496,6 +496,11 @@ class DeltaScanEngine:
         self.telemetry = telemetry
         self.snapshots: dict[str, DomainSnapshot] = {}
         self.rounds: list[DeltaRound] = []
+        #: Optional live monitoring plane (repro.monitor): a StatusBoard
+        #: receiving coarse per-round publishes and an EventLog receiving
+        #: round_summary / churn_detected / budget_deferral records.
+        self.status = None
+        self.events = None
 
     def period(self, domain: str) -> int:
         """The domain's refresh-wheel period, in rounds."""
@@ -558,6 +563,14 @@ class DeltaScanEngine:
         self.snapshots[domain] = snapshot
         if self.store is not None:
             self.store.save(snapshot)
+        if self.events is not None:
+            self.events.emit(
+                "delta_seeded",
+                domain=domain,
+                rows=len(snapshot.rows),
+                sparse=snapshot.sparse_positions,
+                queries=result.queries_sent,
+            )
         return result
 
     def ensure_seeded(self) -> dict[str, EcsScanResult | None]:
@@ -590,6 +603,8 @@ class DeltaScanEngine:
                     f"domain {domain!r} is not seeded; call ensure_seeded()"
                 )
         index = self.snapshots[self.domains[0]].round
+        if self.status is not None:
+            self.status.publish(phase="delta_round", round=index)
         rnd = DeltaRound(index=index, started_at=self.scanner.clock.now)
         spans, gaps = self.scanner.routed_ranges()
         spans = [tuple(span) for span in spans]
@@ -617,6 +632,42 @@ class DeltaScanEngine:
             for event in rnd.events:
                 histogram.observe(float(event.latency))
         self.rounds.append(rnd)
+        if self.events is not None:
+            for event in rnd.events:
+                self.events.emit(
+                    "churn_detected",
+                    domain=event.domain,
+                    value=event.value,
+                    scope=event.scope,
+                    change=event.kind,
+                    round=event.round,
+                    latency=event.latency,
+                )
+            if rnd.budget_deferred:
+                self.events.emit(
+                    "budget_deferral", round=index, deferred=rnd.budget_deferred
+                )
+            self.events.emit(
+                "round_summary",
+                round=index,
+                queries=rnd.queries_sent,
+                sparse=rnd.sparse_queries,
+                full_cost=rnd.full_cost,
+                frac=round(rnd.queries_frac, 6),
+                changed=rnd.changed_blocks,
+                new=rnd.new_blocks,
+                removed=rnd.removed_blocks,
+                events=len(rnd.events),
+            )
+        if self.status is not None:
+            self.status.add("rounds_completed")
+            self.status.add("churn_events", len(rnd.events))
+            if rnd.budget_deferred:
+                self.status.add("budget_deferred", rnd.budget_deferred)
+            if self.store is not None:
+                self.status.record_checkpoint(
+                    self.scanner.clock.now, kind="snapshot"
+                )
         return rnd
 
     def _round_domain(

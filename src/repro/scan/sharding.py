@@ -545,6 +545,11 @@ class ShardedCampaignExecutor:
         # Mutation tokens of the zones the pool's forked replicas were
         # built from, keyed by zone apex (see _refresh_if_stale).
         self._fork_tokens: dict[object, tuple] = {}
+        #: Optional live monitoring plane (repro.monitor): shard
+        #: liveness on the StatusBoard, crash/respawn records in the
+        #: EventLog.  Parent-side only — forked workers inherit copies.
+        self.status = None
+        self.events = None
 
     @staticmethod
     def supported() -> bool:
@@ -733,8 +738,14 @@ class ShardedCampaignExecutor:
         pending = list(plans)
         registry = self.scanner.telemetry.registry
         attempt = 0
+        if self.status is not None:
+            self.status.clear_shards()
+            self.status.publish(shards_planned=len(plans))
         while pending:
             pool = self._ensure_pool()
+            if self.status is not None:
+                for plan in pending:
+                    self.status.shard_state(plan.index, "running")
             futures = [
                 (
                     plan,
@@ -772,11 +783,23 @@ class ShardedCampaignExecutor:
                     if shm_name is not None:
                         self._cleanup_segment(shm_name)
                     crashed.append(plan)
+                    if self.status is not None:
+                        self.status.shard_state(plan.index, "crashed")
+                        self.status.add("shard_crashes")
+                    if self.events is not None:
+                        self.events.emit(
+                            "shard_crash",
+                            domain=domain,
+                            shard=plan.index,
+                            attempt=attempt,
+                        )
                 # repro: allow[HYG002] first failure re-raised after pool teardown
                 except BaseException as exc:
                     failure = exc
                 else:
                     outcomes[plan.index] = outcome
+                    if self.status is not None:
+                        self.status.shard_state(plan.index, "done")
                     if outcome.shm_name is None and shm_name is not None:
                         # Worker fell back to pickling; the allocated
                         # name was never (fully) used.
@@ -798,6 +821,15 @@ class ShardedCampaignExecutor:
                     registry.counter("shards.rerun", domain=domain).inc(
                         len(pending)
                     )
+                if self.events is not None:
+                    self.events.emit(
+                        "shard_respawn",
+                        domain=domain,
+                        shards=sorted(plan.index for plan in pending),
+                        attempt=attempt,
+                    )
+                if self.status is not None:
+                    self.status.add("pool_respawns")
                 self._respawn_pool()
         return [outcomes[plan.index] for plan in plans]
 
@@ -900,6 +932,12 @@ class ShardedCampaignExecutor:
         if result.fault_wait_seconds:
             scanner.clock.advance(result.fault_wait_seconds)
         result.finished_at = scanner.clock.now
+        if self.status is not None:
+            # Parent-side merged view (forked workers' boards are their
+            # own post-fork copies); batch, once per sharded scan.
+            self.status.add("queries_sent", result.queries_sent)
+            self.status.add("scans_completed")
+            self.status.publish(last_domain=domain, sim_time=scanner.clock.now)
         return result
 
     def _merge_outcomes(

@@ -171,3 +171,37 @@ def test_cli_telemetry_out_counters(dirty_tree):
         assert ("lint.findings", (("rule", rule_id),)) in counters
     assert counters[("lint.files_scanned", ())] == 1
     assert counters[("lint.new", ())] == 1
+
+
+def test_zero_count_rules_survive_export(dirty_tree):
+    """Zero-valued rule counters must round-trip and render, not vanish.
+
+    Trend dashboards diff successive scrapes; a rule that disappears
+    when its count hits zero reads as "no data" instead of "clean".
+    The dirty tree trips only DET001, so every other rule is the
+    zero-count case.
+    """
+    from repro.telemetry import prometheus_text
+
+    tel_path = dirty_tree / "telemetry.json"
+    main(["lint", str(dirty_tree), "--root", str(dirty_tree),
+          "--telemetry-out", str(tel_path)])
+    snapshot = json.loads(tel_path.read_text())
+
+    # JSON round-trip: one lint.findings counter per rule, zeros intact.
+    by_rule = {
+        c["labels"]["rule"]: c["value"]
+        for c in snapshot["metrics"]["counters"]
+        if c["name"] == "lint.findings"
+    }
+    assert by_rule["DET001"] == 1
+    zero_rules = [rule_id for rule_id in RULES if rule_id != "DET001"]
+    assert zero_rules  # the guard is vacuous with a one-rule registry
+    for rule_id in zero_rules:
+        assert by_rule[rule_id] == 0
+
+    # Prometheus render: the zero samples appear as explicit `... 0` lines.
+    text = prometheus_text(snapshot)
+    assert 'lint_findings_total{rule="DET001"} 1' in text
+    for rule_id in zero_rules:
+        assert f'lint_findings_total{{rule="{rule_id}"}} 0' in text

@@ -1,0 +1,110 @@
+"""Event-log determinism: byte-identical streams across worker counts.
+
+The event schema's contract (DESIGN.md §11): every field except the
+wall stamp is a pure function of (seed, scale, settings).  These tests
+run the same campaign at workers 1/2/4 and compare the canonical
+byte streams (``canonical_lines`` — records minus the wall field)
+line for line, for the delta loop (clean and churned) and the full
+monthly calendar.
+"""
+
+import pytest
+
+from repro.monitor import EventLog, canonical_lines, read_events
+from repro.scan.campaign import ScanCampaign
+from repro.scan.ecs_scanner import EcsScanSettings
+from repro.worldgen import WorldConfig, build_world
+from repro.worldgen.deployment import DeploymentChurn, scan_time
+
+SEED = 2022
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _delta_log(tmp_path, workers, churn_after=False):
+    """Run seed + 4 delta rounds, optionally injecting churn midway.
+
+    The campaign builds its own scanner/sharded executor from
+    ``settings.workers`` and fans the event log out to them — exactly
+    the wiring the CLI uses.
+    """
+    world = build_world(WorldConfig.tiny(seed=SEED))
+    settings = EcsScanSettings(workers=workers, campaign_seed=SEED)
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    path = tmp_path / f"events-w{workers}.jsonl"
+    with EventLog(path, clock=world.clock) as events:
+        with ScanCampaign(
+            world.route53,
+            world.routing,
+            world.clock,
+            settings,
+            mode="delta",
+            events=events,
+        ) as campaign:
+            world.clock.advance_to(scan_time(2022, 1))
+            engine = campaign.delta_engine()
+            engine.ensure_seeded()
+            engine.run_round()
+            if churn_after:
+                churn = DeploymentChurn(
+                    world.assignment, world.ingress_v4, world.clock.now
+                )
+                churn.inject_standard(seed=SEED)
+            for _ in range(3):
+                engine.run_round()
+    return path
+
+
+@pytest.mark.parametrize("churn", [False, True], ids=["clean", "churned"])
+def test_delta_event_stream_identical_across_workers(tmp_path, churn):
+    streams = {
+        workers: canonical_lines(
+            _delta_log(tmp_path / f"w{workers}", workers, churn_after=churn)
+        )
+        for workers in WORKER_COUNTS
+    }
+    reference = streams[WORKER_COUNTS[0]]
+    assert len(reference) > 4  # header + seeds + round summaries
+    if churn:
+        assert any('"event":"churn_detected"' in line for line in reference)
+    for workers in WORKER_COUNTS[1:]:
+        assert streams[workers] == reference, (
+            f"workers={workers} event stream diverges from workers=1"
+        )
+
+
+def _full_log(tmp_path, workers):
+    world = build_world(WorldConfig.tiny(seed=SEED))
+    settings = EcsScanSettings(workers=workers, campaign_seed=SEED)
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    path = tmp_path / f"full-w{workers}.jsonl"
+    with EventLog(path, clock=world.clock) as events:
+        with ScanCampaign(
+            world.route53,
+            world.routing,
+            world.clock,
+            settings,
+            events=events,
+        ) as campaign:
+            campaign.run(world.scan_months()[:2])
+    return path
+
+
+def test_full_campaign_event_stream_identical_across_workers(tmp_path):
+    streams = {
+        workers: canonical_lines(_full_log(tmp_path / f"w{workers}", workers))
+        for workers in WORKER_COUNTS
+    }
+    reference = streams[WORKER_COUNTS[0]]
+    months = [line for line in reference if '"event":"month_completed"' in line]
+    assert len(months) == 2
+    for workers in WORKER_COUNTS[1:]:
+        assert streams[workers] == reference
+
+
+def test_wall_field_is_the_only_difference(tmp_path):
+    """Two same-seed runs differ in nothing but the wall stamps."""
+    first = _delta_log(tmp_path / "a", 1)
+    second = _delta_log(tmp_path / "b", 1)
+    assert canonical_lines(first) == canonical_lines(second)
+    # The raw streams DO carry wall stamps (the field is present).
+    assert all("wall" in record for record in read_events(first))

@@ -1,0 +1,127 @@
+"""MonitorServer: endpoint contract, liveness, concurrency, lifecycle."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.monitor import MonitorServer, StatusBoard
+from repro.telemetry import Telemetry
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+@pytest.fixture()
+def server():
+    board = StatusBoard()
+    telemetry = Telemetry()
+    server = MonitorServer(board, telemetry).start()
+    yield server
+    server.stop()
+
+
+def test_health_endpoint(server):
+    status, headers, body = _get(server.url + "/health")
+    assert status == 200
+    assert headers["Content-Type"] == "application/json"
+    assert json.loads(body)["status"] == "ok"
+
+
+def test_status_reflects_board_publishes(server):
+    server.status.publish(phase="scan", year=2022, month=3)
+    server.status.add("queries_sent", 7342)
+    _, _, body = _get(server.url + "/status")
+    payload = json.loads(body)
+    assert payload["phase"] == "scan"
+    assert payload["month"] == 3
+    assert payload["counters"]["queries_sent"] == 7342
+
+
+def test_status_derives_checkpoint_age(server):
+    server.status.record_checkpoint(100.0)
+    _, _, body = _get(server.url + "/status")
+    payload = json.loads(body)
+    assert payload["checkpoint_sim"] == 100.0
+    assert payload["checkpoint_age_s"] >= 0
+
+
+def test_metrics_renders_live_registry(server):
+    server.telemetry.registry.counter("ecs.probes_sent", domain="x.").inc(42)
+    status, headers, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert '# TYPE ecs_probes_sent_total counter' in body
+    assert 'ecs_probes_sent_total{domain="x."} 42' in body
+
+
+def test_unknown_path_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server.url + "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_non_get_405(server):
+    request = urllib.request.Request(server.url + "/status", method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=5.0)
+    assert excinfo.value.code == 405
+
+
+def test_concurrent_updates_while_polling(server):
+    stop = threading.Event()
+
+    def writer():
+        i = 0
+        while not stop.is_set():
+            server.status.publish(round=i)
+            server.status.add("ticks")
+            server.telemetry.registry.counter("demo.tick", n=str(i % 13)).inc()
+            i += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(20):
+            _, _, body = _get(server.url + "/status")
+            json.loads(body)
+            status, _, _ = _get(server.url + "/metrics")
+            assert status == 200
+    finally:
+        stop.set()
+        thread.join()
+
+
+def test_ephemeral_port_reported():
+    server = MonitorServer(StatusBoard(), port=0)
+    server.start()
+    try:
+        assert server.port != 0
+        status, _, _ = _get(server.url + "/health")
+        assert status == 200
+    finally:
+        server.stop()
+
+
+def test_stop_releases_and_refuses_double_start():
+    server = MonitorServer(StatusBoard()).start()
+    port = server.port
+    with pytest.raises(RuntimeError):
+        server.start()
+    server.stop()
+    with pytest.raises((urllib.error.URLError, OSError)):
+        _get(f"http://127.0.0.1:{port}/health", timeout=1.0)
+
+
+def test_bind_failure_is_an_oserror():
+    first = MonitorServer(StatusBoard()).start()
+    try:
+        clash = MonitorServer(StatusBoard(), port=first.port)
+        with pytest.raises(OSError):
+            clash.start()
+    finally:
+        first.stop()

@@ -1,0 +1,166 @@
+"""The ``repro-relay monitor`` subcommand and campaign CLI wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.monitor import EventLog, MonitorServer, StatusBoard, read_events
+from repro.monitor.cli import fold_events, render_dashboard, render_report
+from repro.simtime import SimClock
+
+SCALE = ["--scale", "0.004"]
+
+
+def _write_demo_log(path):
+    clock = SimClock()
+    with EventLog(path, clock=clock) as log:
+        log.emit("campaign_started", mode="delta", year=2022, month=1, rounds=3)
+        log.emit("delta_seeded", domain="mask.icloud.com.", rows=10, queries=50)
+        clock.advance(60.0)
+        log.emit(
+            "round_summary", round=0, queries=12, frac=0.24,
+            full_cost=50, changed=0, new=0, removed=0, events=0,
+        )
+        clock.advance(60.0)
+        log.emit(
+            "churn_detected", domain="mask.icloud.com.", value=167837696,
+            scope=24, change="structure", round=1, latency=1,
+        )
+        log.emit(
+            "churn_detected", domain="mask.icloud.com.", value=167838208,
+            scope=24, change="answers", round=1, latency=2,
+        )
+        log.emit("budget_deferral", round=1, deferred=4)
+        log.emit(
+            "round_summary", round=1, queries=20, frac=0.40,
+            full_cost=50, changed=2, new=0, removed=0, events=2,
+        )
+        log.emit("shard_crash", domain="mask.icloud.com.", shard=1, attempt=0)
+        log.emit("shard_respawn", domain="mask.icloud.com.", shards=[1], attempt=1)
+        log.emit("campaign_finished", rounds=2)
+    return path
+
+
+class TestRenderers:
+    def test_report_contents(self, tmp_path):
+        path = _write_demo_log(tmp_path / "events.jsonl")
+        state = fold_events(read_events(path))
+        report = render_report(state, str(path))
+        assert "mode=delta" in report
+        assert "finished=yes" in report
+        assert "structure" in report and "answers" in report
+        assert "1 crashes, 1 pool respawns" in report
+        assert "baseline" in report
+        assert "4 rows total" in report
+
+    def test_dashboard_contents(self, tmp_path):
+        path = _write_demo_log(tmp_path / "events.jsonl")
+        state = fold_events(read_events(path))
+        screen = render_dashboard(state, str(path))
+        assert "mode=delta" in screen
+        assert "2 done" in screen  # rounds
+        assert "2 detected" in screen  # churn
+        assert "campaign_finished" in screen
+
+    def test_fold_ignores_unknown_kinds(self):
+        state = fold_events(
+            [{"v": 99, "event": "from_the_future", "mystery": 1}]
+        )
+        assert state.total_events == 1
+        assert not state.finished
+
+
+class TestMonitorCommand:
+    def test_once_report(self, tmp_path, capsys):
+        path = _write_demo_log(tmp_path / "events.jsonl")
+        assert main(["monitor", "--event-log", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "monitoring report" in out
+        assert "detection latency" in out
+
+    def test_follow_terminates_on_finished(self, tmp_path, capsys):
+        path = _write_demo_log(tmp_path / "events.jsonl")
+        assert main(["monitor", "--event-log", str(path)]) == 0
+        assert "repro-relay monitor" in capsys.readouterr().out
+
+    def test_follow_iterations_cap(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:  # never finishes
+            log.emit("campaign_started", mode="delta")
+        assert main(
+            ["monitor", "--event-log", str(path), "--iterations", "2",
+             "--refresh", "0.01"]
+        ) == 0
+
+    def test_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["monitor", "--once"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        path = _write_demo_log(tmp_path / "events.jsonl")
+        assert main(
+            ["monitor", "--event-log", str(path), "--status", "x:1", "--once"]
+        ) == 2
+
+    def test_missing_event_log(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["monitor", "--event-log", str(missing), "--once"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_status_once_against_live_server(self, capsys):
+        board = StatusBoard()
+        board.publish(phase="delta_round", round=7)
+        server = MonitorServer(board).start()
+        try:
+            target = f"127.0.0.1:{server.port}"
+            assert main(["monitor", "--status", target, "--once"]) == 0
+            out = capsys.readouterr().out
+            assert "phase: delta_round" in out
+            assert "round: 7" in out
+        finally:
+            server.stop()
+
+    def test_status_once_unreachable(self, capsys):
+        assert main(["monitor", "--status", "127.0.0.1:9", "--once"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_bad_host_port(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["monitor", "--status", "nocolon", "--once"])
+
+
+class TestCampaignWiring:
+    def test_campaign_event_log_and_serve_status(self, tmp_path, capsys):
+        """A delta campaign writes events and serves status while running.
+
+        The ephemeral port announcement proves the server came up before
+        the campaign ran; live polling against a scanning campaign is
+        exercised by the CI monitoring smoke drill
+        (benchmarks/perf/monitor_smoke.py).
+        """
+        log_path = tmp_path / "events.jsonl"
+        snapshot_dir = tmp_path / "snapshots"
+        assert main(
+            ["campaign", *SCALE, "--mode", "delta",
+             "--snapshot-dir", str(snapshot_dir),
+             "--rounds", "2",
+             "--serve-status", "127.0.0.1:0",
+             "--event-log", str(log_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving status on http://127.0.0.1:" in out
+        assert "http://127.0.0.1:0" not in out  # real bound port announced
+
+        records = read_events(log_path)
+        kinds = [record["event"] for record in records]
+        assert kinds[0] == "log_opened"
+        assert "campaign_started" in kinds
+        assert kinds.count("round_summary") == 2
+        assert kinds[-1] == "campaign_finished"
+
+    def test_campaign_full_mode_event_log(self, tmp_path, capsys):
+        log_path = tmp_path / "events.jsonl"
+        assert main(
+            ["campaign", *SCALE, "--event-log", str(log_path)]
+        ) == 0
+        kinds = [record["event"] for record in read_events(log_path)]
+        assert kinds.count("month_started") == 4
+        assert kinds.count("month_completed") == 4
+        assert "checkpoint_written" not in kinds  # no --checkpoint-dir

@@ -1,0 +1,73 @@
+"""StatusBoard: publishes, counters, shard liveness, thread safety."""
+
+import threading
+
+from repro.monitor import StatusBoard
+
+
+def test_publish_and_snapshot():
+    board = StatusBoard()
+    board.publish(phase="scan", year=2022, month=1)
+    board.publish(month=2)
+    snapshot = board.snapshot()
+    assert snapshot["phase"] == "scan"
+    assert snapshot["year"] == 2022
+    assert snapshot["month"] == 2
+
+
+def test_counters_accumulate():
+    board = StatusBoard()
+    board.add("queries_sent", 100)
+    board.add("queries_sent", 50)
+    board.add("scans_completed")
+    counters = board.snapshot()["counters"]
+    assert counters["queries_sent"] == 150
+    assert counters["scans_completed"] == 1
+
+
+def test_shard_liveness_map():
+    board = StatusBoard()
+    board.shard_state(2, "running")
+    board.shard_state(0, "done")
+    board.shard_state(2, "crashed")
+    assert board.snapshot()["shards"] == {"0": "done", "2": "crashed"}
+    board.clear_shards()
+    assert board.snapshot()["shards"] == {}
+
+
+def test_record_checkpoint_stamps_sim_and_wall():
+    board = StatusBoard()
+    board.record_checkpoint(1234.5, kind="snapshot")
+    snapshot = board.snapshot()
+    assert snapshot["checkpoint_sim"] == 1234.5
+    assert snapshot["checkpoint_kind"] == "snapshot"
+    assert snapshot["checkpoint_wall"] > 0
+
+
+def test_snapshot_is_a_copy():
+    board = StatusBoard()
+    board.publish(phase="scan")
+    board.add("n", 1)
+    snapshot = board.snapshot()
+    snapshot["phase"] = "mutated"
+    snapshot["counters"]["n"] = 999
+    snapshot["shards"]["7"] = "bogus"
+    fresh = board.snapshot()
+    assert fresh["phase"] == "scan"
+    assert fresh["counters"] == {"n": 1}
+    assert fresh["shards"] == {}
+
+
+def test_concurrent_adds_are_exact():
+    board = StatusBoard()
+    threads = [
+        threading.Thread(
+            target=lambda: [board.add("hits") for _ in range(1000)]
+        )
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert board.snapshot()["counters"]["hits"] == 8000
