@@ -326,18 +326,31 @@ def cmd_campaign(args) -> int:
     )
     meta = {"world_seed": args.seed, "world_scale": args.scale}
     status = events = server = None
+    plan = settings.fault_plan
     if args.serve_status is not None or args.event_log:
         from repro.monitor import EventLog, MonitorServer, StatusBoard
 
         status = StatusBoard()
         if args.event_log:
-            events = EventLog(args.event_log, clock=world.clock)
+            events = EventLog(
+                args.event_log,
+                clock=world.clock,
+                gate=plan.storage if plan is not None else None,
+                registry=telemetry.registry,
+                status=status,
+            )
         if args.serve_status is not None:
             host, port = args.serve_status
             server = MonitorServer(status, telemetry, host=host, port=port)
             server.start()
             print(f"serving status on http://{server.host}:{server.port} "
                   f"(/health /metrics /status)", flush=True)
+    from repro.scan.drain import DrainController
+
+    try:
+        drain = DrainController().install()
+    except ValueError:  # not the main thread: run without graceful drain
+        drain = None
     try:
         if args.mode == "full":
             with ScanCampaign(
@@ -347,6 +360,8 @@ def cmd_campaign(args) -> int:
                 checkpoint_meta=meta,
                 status=status,
                 events=events,
+                drain=drain,
+                shard_deadline=args.shard_deadline,
             ) as campaign:
                 for month in campaign.run(world.scan_months()):
                     fallback = ("no fallback scan" if month.fallback is None else
@@ -365,6 +380,8 @@ def cmd_campaign(args) -> int:
                 refresh_rounds=args.refresh_rounds or 3,
                 status=status,
                 events=events,
+                drain=drain,
+                shard_deadline=args.shard_deadline,
             ) as campaign:
                 deltas = campaign.run_continuous(
                     args.year, args.month, args.rounds or 3
@@ -376,10 +393,15 @@ def cmd_campaign(args) -> int:
                           f"{delta.budget_deferred} budget-deferred")
                 archives = (campaign.default_archive, campaign.fallback_archive)
     finally:
+        if drain is not None:
+            drain.uninstall()
         if server is not None:
             server.stop()
         if events is not None:
             events.close()
+    if drain is not None and drain.requested:
+        print("interrupted: drained in-flight work, state persisted; "
+              "resume with the same arguments to continue", flush=True)
     print(f"ingress (default):  {len(archives[0])} addresses")
     print(f"ingress (fallback): {len(archives[1])} addresses")
     _write_telemetry(args, telemetry)
@@ -529,6 +551,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--event-log", type=str, default=None, metavar="PATH",
                    help="append the structured JSONL event stream here "
                         "(tail it with 'repro-relay monitor')")
+    p.add_argument("--shard-deadline", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="hung-shard watchdog: terminate and re-run a shard "
+                        "whose worker makes no progress for this many wall "
+                        "seconds (default: off)")
     _add_fault_args(p)
     p.set_defaults(func=cmd_campaign)
 

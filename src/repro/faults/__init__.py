@@ -5,12 +5,15 @@ infrastructure: a :class:`FaultPlan` (derived from a named
 :class:`FaultProfile` plus a seed) decides per *event content* whether a
 DNS query is dropped / SERVFAILs / is refused / truncated / delayed,
 whether a relay connection attempt fails transiently, whether an Atlas
-probe goes dark, and which shard workers crash.  Off by default — a
-``None`` plan injects nothing and costs nothing.
+probe goes dark, which shard workers crash or hang, and whether a
+persistence write fails (the storage plane in
+:mod:`repro.faults.storage`).  Off by default — a ``None`` plan injects
+nothing and costs nothing.
 
 See DESIGN.md §7 for the determinism argument and the recovery layer
 built on top (scanner retry/backoff, campaign checkpoint/resume, shard
-crash recovery).
+crash recovery), and §12 for the host failure model the storage plane
+drills.
 """
 
 from repro.faults.plan import (
@@ -21,13 +24,23 @@ from repro.faults.plan import (
     quantize_wait,
 )
 from repro.faults.profiles import PROFILES, FaultProfile, profile_named
+from repro.faults.storage import (
+    InjectedStorageFault,
+    StorageFaultKind,
+    StorageGate,
+    atomic_write_json,
+)
 
 __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultProfile",
+    "InjectedStorageFault",
     "PROFILES",
+    "StorageFaultKind",
+    "StorageGate",
     "WAIT_QUANTUM",
+    "atomic_write_json",
     "fault_key",
     "profile_named",
     "quantize_wait",

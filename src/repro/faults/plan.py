@@ -138,6 +138,12 @@ class FaultPlan:
         self.dns_active = thresholds[-1] > 0
         self.connect_active = self._connect_threshold > 0
         self.probe_active = self._probe_threshold > 0
+        #: The storage boundary's gate (persistence surfaces draw their
+        #: failures here).  Imported lazily: storage.py imports this
+        #: module for the shared hash primitives.
+        from repro.faults.storage import StorageGate
+
+        self.storage = StorageGate(profile, self.seed)
 
     def __repr__(self) -> str:
         return f"FaultPlan(profile={self.profile.name!r}, seed={self.seed})"
@@ -240,6 +246,20 @@ class FaultPlan:
         return (
             run_attempt < profile.crash_attempts
             and shard_index in profile.crash_shards
+        )
+
+    def hang_shard(self, shard_index: int, run_attempt: int) -> bool:
+        """Whether this shard's worker should stop making progress (drill).
+
+        The hang drill models a wedged — not dead — worker: it keeps
+        the process alive but silent, so only the parent's heartbeat
+        watchdog can notice.  Like the crash drill it keys on the
+        re-run attempt, so watchdog recovery always terminates.
+        """
+        profile = self.profile
+        return (
+            run_attempt < profile.hang_attempts
+            and shard_index in profile.hang_shards
         )
 
     # -- helpers --------------------------------------------------------

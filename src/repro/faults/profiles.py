@@ -27,6 +27,16 @@ from repro.errors import FaultConfigError
 #: thresholds are laid out (must match the FaultKind numbering).
 _DNS_FIELDS = ("drop", "servfail", "refused", "truncated", "latency")
 
+#: The per-persistence-attempt probability fields, in the order the
+#: storage gate's cumulative thresholds are laid out (must match the
+#: StorageFaultKind numbering).
+_STORAGE_FIELDS = (
+    "storage_error",
+    "storage_short_write",
+    "storage_fsync",
+    "storage_torn_rename",
+)
+
 
 @dataclass(frozen=True, slots=True)
 class FaultProfile:
@@ -52,9 +62,31 @@ class FaultProfile:
     #: ``crash_attempts`` times, so recovery terminates by construction.
     crash_shards: tuple[int, ...] = ()
     crash_attempts: int = 1
+    #: Storage-boundary probabilities (independent per persistence
+    #: attempt; at most one kind fires — they partition the unit range).
+    #: ``storage_error`` is a write rejected outright (ENOSPC);
+    #: ``storage_short_write`` a write that lands only partially before
+    #: failing; ``storage_fsync`` an fsync refused after a full write
+    #: (EIO); ``storage_torn_rename`` a durable temp file whose rename
+    #: into place never happens (the crash-window model).
+    storage_error: float = 0.0
+    storage_short_write: float = 0.0
+    storage_fsync: float = 0.0
+    storage_torn_rename: float = 0.0
+    #: Shard indices whose worker stops making progress without dying
+    #: (hung-shard drill).  Fires only when the executor runs with a
+    #: heartbeat watchdog, and stops after ``hang_attempts`` re-runs, so
+    #: recovery terminates by construction — like the crash drill.
+    hang_shards: tuple[int, ...] = ()
+    hang_attempts: int = 1
 
     def __post_init__(self) -> None:
-        for name in (*_DNS_FIELDS, "connect_failure", "probe_loss"):
+        for name in (
+            *_DNS_FIELDS,
+            "connect_failure",
+            "probe_loss",
+            *_STORAGE_FIELDS,
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise FaultConfigError(
@@ -64,6 +96,10 @@ class FaultProfile:
             raise FaultConfigError(
                 f"{self.name}: DNS fault probabilities must sum to <= 1"
             )
+        if sum(getattr(self, name) for name in _STORAGE_FIELDS) > 1.0:
+            raise FaultConfigError(
+                f"{self.name}: storage fault probabilities must sum to <= 1"
+            )
         if self.latency_seconds < 0:
             raise FaultConfigError(
                 f"{self.name}: latency_seconds must be >= 0"
@@ -72,19 +108,29 @@ class FaultProfile:
             raise FaultConfigError(
                 f"{self.name}: crash_attempts must be >= 0"
             )
+        if self.hang_attempts < 0:
+            raise FaultConfigError(
+                f"{self.name}: hang_attempts must be >= 0"
+            )
 
     def dns_rates(self) -> tuple[float, ...]:
         """The DNS-boundary probabilities in FaultKind order."""
         return tuple(getattr(self, name) for name in _DNS_FIELDS)
 
+    def storage_rates(self) -> tuple[float, ...]:
+        """The storage-boundary probabilities in StorageFaultKind order."""
+        return tuple(getattr(self, name) for name in _STORAGE_FIELDS)
+
     @property
     def injects_anything(self) -> bool:
-        """Whether any probability (or crash drill) is non-zero."""
+        """Whether any probability (or crash/hang drill) is non-zero."""
         return bool(
             any(self.dns_rates())
+            or any(self.storage_rates())
             or self.connect_failure
             or self.probe_loss
             or self.crash_shards
+            or self.hang_shards
         )
 
 
@@ -113,6 +159,18 @@ PROFILES: dict[str, FaultProfile] = {
             connect_failure=0.2,
             probe_loss=0.15,
             crash_shards=(1,),
+            storage_error=0.08,
+            storage_short_write=0.04,
+            storage_fsync=0.04,
+            storage_torn_rename=0.04,
+            # Two hang attempts on purpose: shard 1's instant crash
+            # usually breaks the pool before attempt 0's hang can age
+            # past any watchdog deadline, so attempt 1 — a clean re-run
+            # with no concurrent crash — is where the watchdog actually
+            # catches the hang.  Attempt 2 completes, inside the
+            # executor's MAX_POOL_RESPAWNS budget.
+            hang_shards=(2,),
+            hang_attempts=2,
         ),
     )
 }

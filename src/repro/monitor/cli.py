@@ -52,6 +52,10 @@ class MonitorState:
     checkpoints: int = 0
     crashes: int = 0
     respawns: int = 0
+    hung: int = 0
+    degraded: list = field(default_factory=list)
+    rounds_skipped: int = 0
+    interrupted: dict | None = None
     seeded: list = field(default_factory=list)
     finished: bool = False
     last_event: dict = field(default_factory=dict)
@@ -90,6 +94,14 @@ def fold_events(records: list[dict]) -> MonitorState:
             state.crashes += 1
         elif kind == "shard_respawn":
             state.respawns += 1
+        elif kind == "shard_hung":
+            state.hung += 1
+        elif kind == "persistence_degraded":
+            state.degraded.append(record)
+        elif kind == "round_skipped":
+            state.rounds_skipped += 1
+        elif kind == "campaign_interrupted":
+            state.interrupted = record
         elif kind == "campaign_finished":
             state.finished = True
     return state
@@ -156,10 +168,18 @@ def render_report(state: MonitorState, source: str) -> str:
     elif state.rounds:
         lines.append("detection latency: no churn events observed")
     lines.append(
-        f"shards: {state.crashes} crashes, {state.respawns} pool respawns"
+        f"shards: {state.crashes} crashes, {state.hung} hangs, "
+        f"{state.respawns} pool respawns"
     )
     if state.checkpoints:
         lines.append(f"checkpoints written: {state.checkpoints}")
+    if state.degraded or state.rounds_skipped:
+        lines.append(
+            f"degraded: {len(state.degraded)} persistence failures, "
+            f"{state.rounds_skipped} rounds skipped"
+        )
+    if state.interrupted is not None:
+        lines.append("campaign interrupted: drained and exited cleanly")
     return "\n".join(lines) + "\n"
 
 
@@ -194,7 +214,16 @@ def render_dashboard(state: MonitorState, source: str, tail: int = 5) -> str:
         f" churn     {len(state.churn)} detected, "
         f"{sum(d.get('deferred', 0) for d in state.deferrals)} rows deferred"
     )
-    lines.append(f" shards    {state.crashes} crashes, {state.respawns} respawns")
+    lines.append(
+        f" shards    {state.crashes} crashes, {state.hung} hangs, "
+        f"{state.respawns} respawns"
+    )
+    if state.degraded or state.rounds_skipped or state.interrupted:
+        drained = ", drained" if state.interrupted is not None else ""
+        lines.append(
+            f" degraded  {len(state.degraded)} persistence failures, "
+            f"{state.rounds_skipped} rounds skipped{drained}"
+        )
     lines.append(rule)
     lines.append(f" last {tail} events:")
     lines.extend(_recent_event_lines(state, tail))
@@ -256,12 +285,23 @@ def _follow_event_log(path: Path, refresh: float, iterations, out) -> int:
     state = MonitorState()
     records: list[dict] = []
     done = 0
+    buffer = ""
     with path.open(encoding="utf-8") as handle:
         while True:
-            for line in handle:
+            # Only lines the writer finished (newline-terminated) are
+            # parsed; a torn tail — a crash mid-append, or simply an
+            # append in flight — stays buffered for the next poll.
+            buffer += handle.read()
+            lines = buffer.split("\n")
+            buffer = lines.pop()
+            for line in lines:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # garbage line a crashed writer left behind
             state = fold_events(records)
             out.write(CLEAR_SCREEN + render_dashboard(state, str(path)))
             out.flush()

@@ -30,6 +30,8 @@ import json
 import time
 from pathlib import Path
 
+from repro.faults.storage import count_handled, count_injected
+
 EVENT_SCHEMA_VERSION = 1
 
 #: The one non-deterministic field, stripped by :func:`canonical_lines`.
@@ -50,18 +52,77 @@ EVENT_KINDS = frozenset(
         "checkpoint_written",
         "shard_crash",
         "shard_respawn",
+        "shard_hung",
+        "campaign_interrupted",
+        "persistence_degraded",
+        "round_skipped",
         "campaign_finished",
     }
 )
 
 
-class EventLog:
-    """Append-only JSONL event stream, flushed per record for tailing."""
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop a torn final line (no trailing newline) before appending.
 
-    def __init__(self, path: str | Path, clock=None) -> None:
+    A crash mid-append leaves a partial record with no terminator; left
+    in place, the next append would concatenate onto it and corrupt a
+    *complete* record too.  Scanning backwards for the last newline and
+    truncating there keeps every intact line and costs one tail read.
+    """
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    with path.open("r+b") as handle:
+        end = size
+        keep = 0
+        while end > 0:
+            start = max(0, end - 65536)
+            handle.seek(start)
+            chunk = handle.read(end - start)
+            cut = chunk.rfind(b"\n")
+            if end == size and cut == len(chunk) - 1:
+                return  # file already ends on a record boundary
+            if cut >= 0:
+                keep = start + cut + 1
+                break
+            end = start
+        handle.truncate(keep)
+
+
+class EventLog:
+    """Append-only JSONL event stream, flushed per record for tailing.
+
+    ``gate``/``registry``/``status`` attach the host-failure plane: an
+    active storage gate drops records deterministically (keyed by the
+    canonical record content, so the same records drop at any worker
+    count), and any write failure — injected or real — flips the log
+    into *degraded* mode instead of aborting the campaign: the
+    ``events.dropped`` counter and the status board's
+    ``event_log_degraded`` flag record that the stream is incomplete
+    while scanning continues.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        clock=None,
+        *,
+        gate=None,
+        registry=None,
+        status=None,
+    ) -> None:
         self.path = Path(path)
         self.clock = clock
+        self.gate = gate
+        self.registry = registry
+        self.status = status
+        self.degraded = False
+        self.dropped = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        _truncate_torn_tail(self.path)
         self._handle = self.path.open("a", encoding="utf-8")
         self.emitted = 0
         self.emit("log_opened", schema=EVENT_SCHEMA_VERSION)
@@ -71,20 +132,44 @@ class EventLog:
 
         ``fields`` must be JSON-serialisable and deterministic; the
         record's ``sim``/``wall`` stamps are added here.  Returns the
-        record as written (useful in tests).
+        record as written (useful in tests) — even when the write was
+        dropped in degraded mode.
         """
         record = {"v": EVENT_SCHEMA_VERSION, "event": event}
         if self.clock is not None:
             record["sim"] = self.clock.now
         record.update(fields)
+        canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if self.gate is not None and self.gate.active:
+            kind = self.gate.outcome("eventlog", canonical, 0)
+            if kind:
+                # No retry for an append stream — the record is gone;
+                # one injected raise-equivalent, surfaced immediately.
+                count_injected(self.registry, "eventlog", kind)
+                count_handled(self.registry, "eventlog", 0, 1)
+                self._degrade()
+                record[WALL_FIELD] = 0.0
+                return record
         # repro: allow[DET001] the wall stamp is the schema's one non-deterministic field, stripped by canonical_lines
         record[WALL_FIELD] = time.time()
-        self._handle.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
-        self._handle.flush()
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        except OSError:
+            self._degrade()
+            return record
         self.emitted += 1
         return record
+
+    def _degrade(self) -> None:
+        """Record one dropped write; the campaign keeps running."""
+        self.dropped += 1
+        self.degraded = True
+        if self.registry is not None and self.registry.enabled:
+            self.registry.counter("events.dropped").inc()
+        if self.status is not None:
+            self.status.publish(event_log_degraded=True)
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -98,13 +183,27 @@ class EventLog:
 
 
 def read_events(path: str | Path) -> list[dict]:
-    """Parse every record in an event log, in order."""
+    """Parse every record in an event log, in order.
+
+    A torn *final* line — the footprint of a crash mid-append — is
+    skipped: readers must be able to replay the log a dead campaign
+    left behind.  Garbage anywhere else still raises; a mid-file parse
+    failure means real corruption, not a torn tail.
+    """
     out: list[dict] = []
     with Path(path).open(encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        lines = [line.strip() for line in handle]
+    while lines and not lines[-1]:
+        lines.pop()
+    for position, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                break  # torn tail from a crash mid-append
+            raise
     return out
 
 

@@ -46,6 +46,15 @@ class MonitorServer:
         self.telemetry = telemetry
         self.host = host
         self.port = port  # 0 → ephemeral; updated to the bound port by start()
+        # Created here, on the workload thread: registering from the
+        # handler would race the registry-dict iteration /metrics
+        # retries around.  Incrementing from the server thread is fine
+        # (plain int add on an existing Counter).
+        self._dropped_requests = (
+            telemetry.registry.counter("monitor.dropped_requests")
+            if telemetry.registry.enabled
+            else None
+        )
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
@@ -123,7 +132,11 @@ class MonitorServer:
             writer.write(head.encode("latin-1") + body)
             await writer.drain()
         except (OSError, asyncio.TimeoutError, UnicodeDecodeError):
-            pass  # torn connection or garbage request: drop it
+            # Torn connection or garbage request: drop it, but leave a
+            # telemetry trace — a monitoring plane that silently sheds
+            # requests looks healthy while being blind.
+            if self._dropped_requests is not None:
+                self._dropped_requests.inc()
         finally:
             writer.close()
 

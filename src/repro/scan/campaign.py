@@ -14,6 +14,8 @@ from pathlib import Path
 
 from repro.dns.name import DnsName
 from repro.dns.server import AuthoritativeServer, ServerStats
+from repro.errors import WorkerCrashed
+from repro.faults.storage import InjectedStorageFault, count_handled
 from repro.netmodel.bgp import RoutingTable
 from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
 from repro.scan.checkpoint import CampaignCheckpointer, decode_result, encode_result
@@ -84,6 +86,14 @@ class ScanCampaign:
     #: ``EventLog`` receiving the schema-versioned milestone stream.
     status: object | None = field(default=None, repr=False)
     events: object | None = field(default=None, repr=False)
+    #: Graceful-drain hook (``repro.scan.drain.DrainController`` or any
+    #: object with a ``requested`` flag): when set, the campaign checks
+    #: it at month/round boundaries and stops cleanly — in-flight work
+    #: drained, state persisted, ``campaign_interrupted`` emitted.
+    drain: object | None = field(default=None, repr=False)
+    #: Hung-shard watchdog deadline in wall seconds, threaded into the
+    #: sharded executor (None disables the watchdog).
+    shard_deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("full", "delta"):
@@ -129,7 +139,11 @@ class ScanCampaign:
             return self._scanner()
         executor = self.__dict__.get("_executor_instance")
         if executor is None:
-            executor = ShardedCampaignExecutor(self._scanner(), self.settings.workers)
+            executor = ShardedCampaignExecutor(
+                self._scanner(),
+                self.settings.workers,
+                heartbeat_deadline=self.shard_deadline,
+            )
             executor.status = self.status
             executor.events = self.events
             self.__dict__["_executor_instance"] = executor
@@ -149,13 +163,21 @@ class ScanCampaign:
 
     # -- checkpoint/resume ----------------------------------------------
 
+    def _storage_gate(self):
+        """The fault plan's storage gate (None without an active plan)."""
+        plan = self.settings.fault_plan
+        return plan.storage if plan is not None else None
+
     def _checkpointer(self) -> CampaignCheckpointer | None:
         if self.checkpoint_dir is None:
             return None
         checkpointer = self.__dict__.get("_checkpointer_instance")
         if checkpointer is None:
             checkpointer = CampaignCheckpointer(
-                self.checkpoint_dir, self._fingerprint()
+                self.checkpoint_dir,
+                self._fingerprint(),
+                gate=self._storage_gate(),
+                registry=self.telemetry.registry,
             )
             self.__dict__["_checkpointer_instance"] = checkpointer
         return checkpointer
@@ -284,17 +306,59 @@ class ScanCampaign:
         if self.status is not None:
             self.status.add("months_completed")
         if checkpointer is not None:
-            checkpointer.save(year, month, self._month_payload(result))
-            self._emit("checkpoint_written", year=year, month=month)
-            if self.status is not None:
-                self.status.record_checkpoint(self.clock.now)
+            try:
+                checkpointer.save(year, month, self._month_payload(result))
+            except OSError as exc:
+                # Degraded mode: the month's results are kept in memory
+                # and the campaign continues — a resume after this run
+                # re-scans the unpersisted month, bit-identically.
+                self._checkpoint_degraded(year, month, exc)
+            else:
+                self._emit("checkpoint_written", year=year, month=month)
+                if self.status is not None:
+                    self.status.record_checkpoint(self.clock.now)
         return result
 
+    def _checkpoint_degraded(self, year: int, month: int, exc: OSError) -> None:
+        """Account one failed checkpoint write and flag degraded mode."""
+        registry = self.telemetry.registry
+        if isinstance(exc, InjectedStorageFault):
+            # The injected raise was counted at the fault site; a
+            # checkpoint gets one attempt, so it surfaces immediately.
+            count_handled(registry, "checkpoint", 0, 1)
+        if registry.enabled:
+            registry.counter(
+                "persistence.save_failures", surface="checkpoint"
+            ).inc()
+        if self.status is not None:
+            self.status.publish(checkpoint_degraded=True)
+            self.status.add("months_unpersisted")
+        self._emit("persistence_degraded", surface="checkpoint", year=year, month=month)
+
+    def _drain_requested(self) -> bool:
+        return self.drain is not None and self.drain.requested
+
+    def _interrupt(self, **fields) -> None:
+        """Record a graceful drain: persisted state is already on disk."""
+        self._publish(phase="interrupted")
+        self._emit("campaign_interrupted", mode=self.mode, **fields)
+
     def run(self, calendar: list[tuple[int, int]]) -> list[MonthlyScan]:
-        """Run the whole calendar in order."""
+        """Run the whole calendar in order.
+
+        With a :attr:`drain` controller attached, a stop request is
+        honoured at month boundaries: the in-flight month completes (and
+        checkpoints) as usual, then the campaign returns the months it
+        finished instead of starting the next one.
+        """
         self._publish(phase="campaign", mode=self.mode)
         self._emit("campaign_started", mode=self.mode, months=len(calendar))
-        out = [self.run_month(year, month) for year, month in calendar]
+        out: list[MonthlyScan] = []
+        for year, month in calendar:
+            if self._drain_requested():
+                self._interrupt(months=len(out), planned=len(calendar))
+                return out
+            out.append(self.run_month(year, month))
         self._publish(phase="finished")
         self._emit("campaign_finished", months=len(out))
         return out
@@ -306,7 +370,12 @@ class ScanCampaign:
             return None
         store = self.__dict__.get("_snapshot_store_instance")
         if store is None:
-            store = SnapshotStore(self.snapshot_dir, self._fingerprint())
+            store = SnapshotStore(
+                self.snapshot_dir,
+                self._fingerprint(),
+                gate=self._storage_gate(),
+                registry=self.telemetry.registry,
+            )
             self.__dict__["_snapshot_store_instance"] = store
         return store
 
@@ -365,8 +434,20 @@ class ScanCampaign:
                 archive.record(result)
         out: list[DeltaRound] = []
         for _ in range(rounds):
-            with self.telemetry.tracer.span("campaign.delta_round"):
-                delta = engine.run_round()
+            if self._drain_requested():
+                self._interrupt(rounds=len(out), planned=rounds)
+                return out
+            try:
+                with self.telemetry.tracer.span("campaign.delta_round"):
+                    delta = engine.run_round()
+            except WorkerCrashed:
+                # Respawn exhaustion mid-round: the continuous campaign
+                # outlives it.  Skip the round, discard whatever partial
+                # in-memory state it left, and re-seed from the last
+                # persisted snapshots (a fresh seed scan without a
+                # store) before the next round.
+                self._round_skipped(engine)
+                continue
             for domain in engine.domains:
                 archive = self._archive_for(domain)
                 if archive is not None:
@@ -375,6 +456,19 @@ class ScanCampaign:
         self._publish(phase="finished")
         self._emit("campaign_finished", rounds=len(out))
         return out
+
+    def _round_skipped(self, engine: DeltaScanEngine) -> None:
+        """Account one abandoned round and restore a consistent engine."""
+        registry = self.telemetry.registry
+        if registry.enabled:
+            registry.counter("campaign.rounds_skipped").inc()
+        if self.status is not None:
+            self.status.add("rounds_skipped")
+            self.status.publish(phase="round_skipped")
+        self._emit("round_skipped", reason="worker_crashed")
+        # The executor already tore its broken pool down before raising;
+        # the next scan submission forks a fresh one.
+        engine.reseed_from_store()
 
     def table1_input(self) -> list[tuple[int, int, EcsScanResult, EcsScanResult | None]]:
         """All months in the shape ``build_table1`` expects."""

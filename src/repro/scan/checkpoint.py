@@ -25,16 +25,42 @@ under ``--workers 1`` and still produce bit-identical output.
 from __future__ import annotations
 
 import json
-import os
+import sys
+import zlib
 from pathlib import Path
 
 from repro.errors import CheckpointError
+from repro.faults.storage import atomic_write_json
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.scan.ecs_scanner import EcsResponse, EcsScanResult
 
 #: Bump when the checkpoint layout changes; mismatched files are treated
 #: as absent (the month is simply re-scanned), not as errors.
 CHECKPOINT_VERSION = 1
+
+
+def payload_crc(document: dict) -> int:
+    """The integrity checksum of one persisted document.
+
+    crc32 over the canonical JSON of everything but the ``crc`` field
+    itself — canonicalised independently of the on-disk byte layout, so
+    the checksum survives any future formatting change.
+    """
+    body = {key: value for key, value in document.items() if key != "crc"}
+    return zlib.crc32(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def quarantine_warning(path: Path, reason: str) -> None:
+    """One stderr line for a corrupt persisted file being set aside.
+
+    Deliberately a warning, never a traceback: a torn or bit-flipped
+    file on disk is an expected host failure, and the recovery path
+    (re-scan / re-seed) is already running by the time this prints.
+    """
+    print(f"warning: quarantined corrupt state file {path}: {reason}",
+          file=sys.stderr)
 
 
 def _encode_responses(responses: list[EcsResponse]) -> dict:
@@ -169,19 +195,33 @@ def decode_result(data: dict) -> EcsScanResult:
 
 
 class CampaignCheckpointer:
-    """Reads and writes one campaign's per-month checkpoint files."""
+    """Reads and writes one campaign's per-month checkpoint files.
 
-    def __init__(self, directory: str | Path, fingerprint: dict) -> None:
+    ``gate``/``registry`` attach the storage fault plane: with an
+    active gate every save draws one deterministic failure decision
+    keyed by the month (see :mod:`repro.faults.storage`), surfacing as
+    an :class:`OSError` the campaign's degraded mode handles.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fingerprint: dict,
+        *,
+        gate=None,
+        registry=None,
+    ) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
+        self.gate = gate
+        self.registry = registry
 
     def path_for(self, year: int, month: int) -> Path:
         """Where one month's checkpoint lives."""
         return self.directory / f"month-{year:04d}-{month:02d}.json"
 
-    def save(self, year: int, month: int, payload: dict) -> Path:
-        """Atomically persist one month's checkpoint."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def save(self, year: int, month: int, payload: dict, attempt: int = 0) -> Path:
+        """Durably and atomically persist one month's checkpoint."""
         path = self.path_for(year, month)
         document = {
             "version": CHECKPOINT_VERSION,
@@ -190,10 +230,16 @@ class CampaignCheckpointer:
             "month": month,
             **payload,
         }
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"))
-        os.replace(tmp, path)
+        document["crc"] = payload_crc(document)
+        atomic_write_json(
+            path,
+            document,
+            gate=self.gate,
+            surface="checkpoint",
+            item=f"{year:04d}-{month:02d}",
+            attempt=attempt,
+            registry=self.registry,
+        )
         return path
 
     def load(self, year: int, month: int) -> dict | None:
@@ -211,9 +257,19 @@ class CampaignCheckpointer:
                 document = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError as exc:
+            quarantine_warning(path, f"unparseable JSON ({exc})")
+            return None
+        except OSError:
+            return None
+        if not isinstance(document, dict):
+            quarantine_warning(path, "not a JSON object")
             return None
         if document.get("version") != CHECKPOINT_VERSION:
+            return None
+        crc = document.get("crc")
+        if crc is not None and crc != payload_crc(document):
+            quarantine_warning(path, "checksum mismatch (bit flip?)")
             return None
         if document.get("fingerprint") != self.fingerprint:
             raise CheckpointError(

@@ -1,0 +1,68 @@
+"""Graceful drain for long-running campaigns (DESIGN.md §12).
+
+An always-on monitoring campaign must be stoppable without corrupting
+its persisted state or losing the round it is in the middle of.  The
+:class:`DrainController` implements the standard two-signal contract:
+
+* the **first** ``SIGTERM``/``SIGINT`` only sets a flag — the campaign
+  finishes the in-flight month/round, persists its checkpoint and
+  snapshots as usual, emits a ``campaign_interrupted`` event and returns
+  normally (the CLI then exits 0);
+* a **second** signal means the operator is done waiting: the previous
+  handlers are restored and the signal re-raised, so the process dies
+  with the default disposition (``KeyboardInterrupt`` for ``SIGINT``,
+  immediate termination for ``SIGTERM``).
+
+The controller touches nothing but its own flag from the handler, so it
+is async-signal-safe in the Python sense; the campaign polls
+:attr:`requested` at round boundaries.  Handlers can only be installed
+from the main thread (a ``signal`` module restriction) — install from
+worker threads raises ``ValueError``, which callers should treat as
+"drain unavailable, run without it".
+"""
+
+from __future__ import annotations
+
+import signal
+
+#: The signals that request a drain.
+DRAIN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class DrainController:
+    """First signal drains, second signal kills — see the module doc."""
+
+    def __init__(self) -> None:
+        self.requested = False
+        self._previous: dict[int, object] = {}
+
+    def install(self) -> "DrainController":
+        """Take over the drain signals (idempotent); returns self."""
+        if not self._previous:
+            for signum in DRAIN_SIGNALS:
+                # repro: allow[CONC002] drain controller: the one sanctioned signal-handling site
+                self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def uninstall(self) -> None:
+        """Restore whatever handlers were installed before us."""
+        for signum, previous in self._previous.items():
+            # repro: allow[CONC002] drain controller: restoring the pre-install handlers
+            signal.signal(signum, previous)
+        self._previous = {}
+
+    def _handle(self, signum, frame) -> None:
+        if self.requested:
+            # Second signal: hand the process back to the default
+            # disposition and deliver the signal for real.
+            self.uninstall()
+            # repro: allow[CONC002] drain controller: second signal escalates to immediate exit
+            signal.raise_signal(signum)
+            return
+        self.requested = True
+
+    def __enter__(self) -> "DrainController":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()

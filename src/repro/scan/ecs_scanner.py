@@ -397,6 +397,11 @@ class EcsScanner:
         #: Optional live StatusBoard (repro.monitor): batch-updated once
         #: per scan at scan end, so the hot loop never sees it.
         self.status = None
+        #: Optional liveness callable for the parent-side hung-shard
+        #: watchdog (repro.scan.sharding): bumped at scan start and at
+        #: region/chunk boundaries — never per query, so a disabled
+        #: watchdog costs one attribute load per region.
+        self.heartbeat = None
         # Query-subnet intern table: a campaign walks the same routed /24
         # blocks once per scan, so later scans reuse the (immutable)
         # Prefix objects of the first instead of re-validating millions.
@@ -502,6 +507,8 @@ class EcsScanner:
         gate = None
         if plan is not None and plan.dns_active:
             gate = _FaultGate(plan, domain, settings, bucket, result.gave_up)
+        if self.heartbeat is not None:
+            self.heartbeat()
         # repro: allow[DET001] wall-time feeds the telemetry histogram only
         wall_start = time.perf_counter()
         with self.telemetry.tracer.span("ecs.scan", domain=domain):
@@ -678,7 +685,10 @@ class EcsScanner:
         sent = 0
         sparse_sent = 0
         sparse_answered = 0
+        hb = self.heartbeat
         for start, end, is_gap in _interleave(spans, gaps):
+            if hb is not None:
+                hb()
             if is_gap:
                 cursor = (start + sparse_stride - 1) // sparse_stride * sparse_stride
                 while cursor + 255 <= end:
@@ -1130,7 +1140,10 @@ class EcsScanner:
                 EcsResponse(Prefix(4, cursor, 24), a_scope_sp[ai], entry[0], entry[1])
             )
 
+        hb = self.heartbeat
         for start, end, is_gap in _interleave(spans, gaps):
+            if hb is not None:
+                hb()
             if is_gap:
                 cursor = (start + sparse_stride - 1) // sparse_stride * sparse_stride
                 if gate is not None:
@@ -1248,6 +1261,8 @@ class EcsScanner:
                     count += 1
                 take_many(count)
                 sent += count
+                if hb is not None:
+                    hb()
         flush()
         served = len(values_col) + n_nodata_prog + sparse_served
         cache.record_program_hits(served)
@@ -1309,7 +1324,10 @@ class EcsScanner:
         stride = settings.sparse_stride << 8
         sparse_sent = 0
         sparse_answered = 0
+        hb = self.heartbeat
         for start, end, is_gap in _interleave(spans, gaps):
+            if hb is not None:
+                hb()
             if is_gap:
                 if gate is None:
                     message_id = self._sparse_scan(

@@ -52,12 +52,18 @@ detected within ``refresh_rounds * secondary_stretch``.)
 from __future__ import annotations
 
 import json
-import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import CheckpointError
 from repro.faults.plan import MASK64, MIX_MULT_A, MIX_MULT_B, fault_key
+from repro.faults.storage import (
+    InjectedStorageFault,
+    atomic_write_json,
+    count_handled,
+)
+from repro.scan.checkpoint import payload_crc, quarantine_warning
 from repro.netmodel.addr import IPAddress, Prefix
 from repro.relay.service import RELAY_DOMAIN_FALLBACK, RELAY_DOMAIN_QUIC
 from repro.scan.ecs_scanner import EcsResponse, EcsScanResult, merge_ranges
@@ -374,27 +380,47 @@ class SnapshotStore:
     mode) would silently corrupt the accumulated state.
     """
 
-    def __init__(self, directory: str | Path, fingerprint: dict) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        fingerprint: dict,
+        *,
+        gate=None,
+        registry=None,
+    ) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
+        self.gate = gate
+        self.registry = registry
 
     def path_for(self, domain: str) -> Path:
         """Where one domain's snapshot lives."""
         return self.directory / f"snapshot-{domain.strip('.')}.json"
 
-    def save(self, snapshot: DomainSnapshot) -> Path:
-        """Atomically persist one domain snapshot."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def save(self, snapshot: DomainSnapshot, attempt: int = 0) -> Path:
+        """Durably and atomically persist one domain snapshot.
+
+        ``attempt`` keys the storage fault gate's draw: the engine's
+        degraded-mode retry loop passes fresh attempt numbers, so an
+        injected failure is transient — exactly like a retried query in
+        the packet plane.
+        """
         path = self.path_for(snapshot.domain)
         document = {
             "version": SNAPSHOT_VERSION,
             "fingerprint": self.fingerprint,
             **encode_snapshot(snapshot),
         }
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"))
-        os.replace(tmp, path)
+        document["crc"] = payload_crc(document)
+        atomic_write_json(
+            path,
+            document,
+            gate=self.gate,
+            surface="snapshot",
+            item=f"{snapshot.domain}:{snapshot.round}",
+            attempt=attempt,
+            registry=self.registry,
+        )
         return path
 
     def load(self, domain: str) -> DomainSnapshot | None:
@@ -405,9 +431,19 @@ class SnapshotStore:
                 document = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError as exc:
+            quarantine_warning(path, f"unparseable JSON ({exc})")
+            return None
+        except OSError:
+            return None
+        if not isinstance(document, dict):
+            quarantine_warning(path, "not a JSON object")
             return None
         if document.get("version") != SNAPSHOT_VERSION:
+            return None
+        crc = document.get("crc")
+        if crc is not None and crc != payload_crc(document):
+            quarantine_warning(path, "checksum mismatch (bit flip?)")
             return None
         if document.get("fingerprint") != self.fingerprint:
             raise CheckpointError(
@@ -562,7 +598,7 @@ class DeltaScanEngine:
                 snapshot.window_max = len(row.addresses)
         self.snapshots[domain] = snapshot
         if self.store is not None:
-            self.store.save(snapshot)
+            self._persist_snapshot(snapshot)
         if self.events is not None:
             self.events.emit(
                 "delta_seeded",
@@ -593,6 +629,19 @@ class DeltaScanEngine:
                 seeds[domain] = self.seed(domain)
         return seeds
 
+    def reseed_from_store(self) -> None:
+        """Degraded-mode recovery: drop in-memory state and re-seed.
+
+        Used by the campaign when a round is abandoned mid-flight
+        (worker respawn exhaustion): whatever partial per-domain state
+        the failed round left in :attr:`snapshots` is discarded, and the
+        engine restores the last *persisted* snapshots — or runs fresh
+        seed scans when no store is attached — so the next round starts
+        from a consistent baseline.
+        """
+        self.snapshots.clear()
+        self.ensure_seeded()
+
     # -- rounds ----------------------------------------------------------
 
     def run_round(self) -> DeltaRound:
@@ -618,11 +667,12 @@ class DeltaScanEngine:
             len(snapshot.rows) + snapshot.sparse_positions
             for snapshot in self.snapshots.values()
         )
+        unpersisted = 0
         for domain in self.domains:
             snapshot = self.snapshots[domain]
             snapshot.round = index + 1
-            if self.store is not None:
-                self.store.save(snapshot)
+            if self.store is not None and not self._persist_snapshot(snapshot):
+                unpersisted += 1
         registry = self.telemetry.registry
         if registry.enabled:
             registry.counter("delta.rounds").inc()
@@ -664,11 +714,61 @@ class DeltaScanEngine:
             self.status.add("churn_events", len(rnd.events))
             if rnd.budget_deferred:
                 self.status.add("budget_deferred", rnd.budget_deferred)
-            if self.store is not None:
+            if self.store is not None and not unpersisted:
                 self.status.record_checkpoint(
                     self.scanner.clock.now, kind="snapshot"
                 )
         return rnd
+
+    #: Degraded-mode snapshot persistence policy: save attempts per
+    #: round (each a fresh storage-gate draw) and the wall backoff base
+    #: between them.
+    SNAPSHOT_SAVE_ATTEMPTS = 3
+    SNAPSHOT_BACKOFF_SECONDS = 0.01
+
+    def _persist_snapshot(self, snapshot: DomainSnapshot) -> bool:
+        """Persist one round's snapshot, degrading instead of aborting.
+
+        Save failures retry with a short backoff (the attempt number is
+        part of the storage gate's key, so injected faults are
+        transient); after the last attempt the *previous* on-disk
+        snapshot is carried forward and the round marked unpersisted —
+        the in-memory snapshot stays current, so the next successful
+        save catches the store up and a resume from the stale file
+        merely re-runs a round it would have run anyway.  Returns
+        whether the snapshot landed on disk.
+        """
+        injected = 0
+        registry = self.telemetry.registry
+        for attempt in range(self.SNAPSHOT_SAVE_ATTEMPTS):
+            try:
+                self.store.save(snapshot, attempt=attempt)
+            except OSError as exc:
+                if isinstance(exc, InjectedStorageFault):
+                    injected += 1
+                if registry.enabled:
+                    registry.counter(
+                        "persistence.save_failures", surface="snapshot"
+                    ).inc()
+                if attempt + 1 < self.SNAPSHOT_SAVE_ATTEMPTS:
+                    time.sleep(self.SNAPSHOT_BACKOFF_SECONDS * (attempt + 1))
+            else:
+                count_handled(registry, "snapshot", injected, 0)
+                return True
+        count_handled(registry, "snapshot", 0, injected)
+        if registry.enabled:
+            registry.counter("persistence.rounds_unpersisted").inc()
+        if self.status is not None:
+            self.status.publish(snapshot_degraded=True)
+            self.status.add("rounds_unpersisted")
+        if self.events is not None:
+            self.events.emit(
+                "persistence_degraded",
+                surface="snapshot",
+                domain=snapshot.domain,
+                round=snapshot.round,
+            )
+        return False
 
     def _round_domain(
         self,

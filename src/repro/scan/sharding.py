@@ -237,6 +237,11 @@ class ShardTask:
     #: before submitting, so it can always clean the segment up — even
     #: when the worker dies mid-write.
     shm_name: str | None = None
+    #: Parent-created heartbeat segment (one u64 slot per pending shard)
+    #: and this task's slot in it.  None when the hung-shard watchdog is
+    #: off; the worker then skips all liveness bookkeeping.
+    heartbeat_name: str | None = None
+    heartbeat_slot: int = 0
 
 
 #: Pickled fallback for one response set's columns: (subnet values,
@@ -427,6 +432,9 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     """
     scanner = _WORKER_SCANNER
     assert scanner is not None, "worker forked without a scanner context"
+    # A previous task's heartbeat closure (left behind by an error
+    # unwind) points into a segment the parent has since unlinked.
+    scanner.heartbeat = None
     # Crash drill: profiles can nominate shard indices whose worker dies
     # mid-task.  os._exit (not an exception) models a real process death
     # — the pool breaks and the parent must respawn and re-run.  The
@@ -435,6 +443,44 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     if plan is not None and plan.crash_shard(task.index, task.run_attempt):
         # repro: allow[CONC002] fault-plan crash drill: models real worker death
         os._exit(70)
+    # Liveness heartbeat for the parent-side watchdog: bump the task's
+    # u64 slot once at start (a nonzero slot means "started" — queued
+    # shards stay at zero and never trip the deadline), then hand the
+    # scanner a bump callable it calls at region/chunk boundaries.
+    hb_segment = None
+    if task.heartbeat_name is not None and shared_memory is not None:
+        try:
+            hb_segment = shared_memory.SharedMemory(name=task.heartbeat_name)
+        except OSError:
+            hb_segment = None
+    if hb_segment is not None:
+        hb_buf = hb_segment.buf
+        hb_lo = task.heartbeat_slot * 8
+        hb_hi = hb_lo + 8
+
+        def _bump() -> None:
+            count = int.from_bytes(hb_buf[hb_lo:hb_hi], "little")
+            hb_buf[hb_lo:hb_hi] = ((count + 1) & 0xFFFFFFFFFFFFFFFF).to_bytes(
+                8, "little"
+            )
+
+        _bump()
+        scanner.heartbeat = _bump
+        # Hang drill: profiles can nominate shard indices that go silent
+        # mid-task — started (slot bumped above) but never progressing.
+        # Only armed when the watchdog is (heartbeat configured), so
+        # hostile-profile runs without a deadline never stall; keyed on
+        # run_attempt, so the post-recovery re-run completes.  The
+        # wall-clock backstop bounds an undetected hang instead of
+        # wedging the host forever.
+        if plan is not None and plan.hang_shard(task.index, task.run_attempt):
+            # repro: allow[DET001] hang-drill backstop timer; the task produces no results
+            backstop = time.monotonic() + 120.0
+            # repro: allow[DET001] hang-drill backstop timer; the task produces no results
+            while time.monotonic() < backstop:
+                time.sleep(0.05)
+            # repro: allow[CONC002] hang-drill backstop: models a truly wedged worker
+            os._exit(70)
     # Shard workers only ever run scans: their allocations (responses,
     # columnar encodings) are acyclic and freed per task by refcounting,
     # while every cyclic-GC generation collection would re-traverse the
@@ -463,6 +509,13 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     )
     # repro: allow[DET001] wall-time feeds the shard telemetry histogram only
     wall_seconds = time.perf_counter() - wall_start
+    if hb_segment is not None:
+        # The scan is the only phase worth watching; encoding the result
+        # is bounded work.  Release before close — the segment refuses
+        # to unmap while the buffer view is exported.
+        scanner.heartbeat = None
+        hb_buf.release()
+        hb_segment.close()
     routed_columns = _result_columns(result)
     sparse_columns = _encode_responses(result.sparse_responses)
     segment = (
@@ -523,9 +576,24 @@ class ShardedCampaignExecutor:
     use as a context manager) shuts it down.
     """
 
-    def __init__(self, scanner: EcsScanner, workers: int) -> None:
+    def __init__(
+        self,
+        scanner: EcsScanner,
+        workers: int,
+        heartbeat_deadline: float | None = None,
+    ) -> None:
         self.scanner = scanner
         self.workers = max(1, int(workers))
+        #: Hung-shard watchdog: a *started* shard whose heartbeat slot
+        #: stays unchanged for this many wall seconds is declared hung —
+        #: its pool is terminated and the shard re-runs through the same
+        #: respawn path a crashed worker takes.  None disables the
+        #: watchdog (and all heartbeat plumbing).
+        self.heartbeat_deadline = (
+            float(heartbeat_deadline)
+            if heartbeat_deadline is not None and heartbeat_deadline > 0
+            else None
+        )
         self._pool: ProcessPoolExecutor | None = None
         self._alignment_cache: tuple[object, int] | None = None
         # Parent-side interning for re-materialised shard responses:
@@ -746,6 +814,7 @@ class ShardedCampaignExecutor:
             if self.status is not None:
                 for plan in pending:
                     self.status.shard_state(plan.index, "running")
+            hb_name, hb_segment = self._heartbeat_segment(len(pending))
             futures = [
                 (
                     plan,
@@ -762,11 +831,19 @@ class ShardedCampaignExecutor:
                             gaps=plan.gaps,
                             run_attempt=attempt,
                             shm_name=shm_name,
+                            heartbeat_name=hb_name,
+                            heartbeat_slot=slot,
                         ),
                     ),
                 )
-                for plan in pending
+                for slot, plan in enumerate(pending)
             ]
+            if hb_segment is not None:
+                try:
+                    self._watch_heartbeats(domain, pool, hb_segment, futures, attempt)
+                finally:
+                    hb_segment.close()
+                    self._cleanup_segment(hb_name)
             crashed: list[ShardPlan] = []
             failure: BaseException | None = None
             for plan, shm_name, future in futures:
@@ -832,6 +909,97 @@ class ShardedCampaignExecutor:
                     self.status.add("pool_respawns")
                 self._respawn_pool()
         return [outcomes[plan.index] for plan in plans]
+
+    def _heartbeat_segment(self, count: int):
+        """Parent-created liveness slots: one u64 per pending shard.
+
+        Returns ``(name, segment)`` — or ``(None, None)`` when the
+        watchdog is off or shared memory is unusable, which disables the
+        whole heartbeat path for this attempt.  The name is tracked in
+        :attr:`_live_segments` before any worker sees it, same cleanup
+        guarantee as result segments.
+        """
+        if self.heartbeat_deadline is None or shared_memory is None:
+            return None, None
+        self._shm_seq += 1
+        name = f"repro-{os.getpid()}-{self._shm_seq}-hb"
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=8 * count
+            )
+        except OSError:
+            return None, None
+        self._live_segments.add(name)
+        segment.buf[:] = bytes(8 * count)
+        return name, segment
+
+    def _watch_heartbeats(
+        self, domain: str, pool, segment, futures: list, attempt: int
+    ) -> None:
+        """Poll shard liveness until every future settles or one hangs.
+
+        A shard is *hung* when its slot has been bumped at least once
+        (the worker started it) but then stays unchanged past
+        :attr:`heartbeat_deadline`.  Queued shards — slot still zero —
+        never trip the deadline, so deep work queues don't false-
+        positive.  Detection terminates every pool worker: the pool
+        breaks, all unfinished futures raise ``BrokenExecutor``, and the
+        caller's existing crash-recovery path re-runs them against a
+        fresh pool (the hang drill keys on ``run_attempt``, so re-runs
+        complete).  Innocent in-flight shards re-run too; that cannot
+        change the merged output (results depend only on shard index).
+        """
+        deadline = self.heartbeat_deadline
+        view = segment.buf.cast("Q")
+        counts = [0] * len(futures)
+        # repro: allow[DET001] watchdog liveness clock; never feeds simulation state
+        now = time.monotonic()
+        last_change = [now] * len(futures)
+        poll = min(0.05, deadline / 4)
+        try:
+            while True:
+                if all(future.done() for _, _, future in futures):
+                    return
+                # repro: allow[DET001] watchdog liveness clock; never feeds simulation state
+                now = time.monotonic()
+                hung = None
+                for slot, (plan, _, future) in enumerate(futures):
+                    if future.done():
+                        continue
+                    value = view[slot]
+                    if value != counts[slot]:
+                        counts[slot] = value
+                        last_change[slot] = now
+                    elif value and now - last_change[slot] > deadline:
+                        hung = plan
+                        break
+                if hung is not None:
+                    registry = self.scanner.telemetry.registry
+                    if registry.enabled:
+                        registry.counter("shards.hung", domain=domain).inc()
+                    if self.status is not None:
+                        self.status.shard_state(hung.index, "hung")
+                        self.status.add("shard_hangs")
+                    if self.events is not None:
+                        self.events.emit(
+                            "shard_hung",
+                            domain=domain,
+                            shard=hung.index,
+                            attempt=attempt,
+                        )
+                    # Killing the workers breaks the pool, which is the
+                    # point: the hung shard (and any collateral) surfaces
+                    # as BrokenExecutor and re-runs via the respawn path.
+                    # SIGKILL, not SIGTERM: a wedged worker may be stuck
+                    # in C code, and forked workers inherit the parent's
+                    # graceful-drain SIGTERM handler — a catchable signal
+                    # would be absorbed instead of ending the process.
+                    for process in list(pool._processes.values()):
+                        process.kill()
+                    return
+                time.sleep(poll)
+        finally:
+            view.release()
 
     def _respawn_pool(self) -> None:
         """Drop a broken pool so the next :meth:`_ensure_pool` forks anew."""

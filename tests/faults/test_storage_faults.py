@@ -1,0 +1,194 @@
+"""Storage fault plane: gate determinism, atomic-write exits, accounting."""
+
+import errno
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.profiles import FaultProfile
+from repro.faults.storage import (
+    InjectedStorageFault,
+    StorageFaultKind,
+    StorageGate,
+    atomic_write_json,
+    count_handled,
+    count_injected,
+)
+from repro.telemetry import Telemetry
+
+
+def _gate(seed=11, **rates):
+    return StorageGate(FaultProfile(name="none", **rates), seed=seed)
+
+
+def _counter_values(registry):
+    out = {}
+    for entry in registry.snapshot()["counters"]:
+        key = (entry["name"], tuple(sorted(entry["labels"].items())))
+        out[key] = entry["value"]
+    return out
+
+
+class TestStorageGate:
+    def test_inactive_without_rates(self):
+        assert not _gate().active
+        assert _gate(storage_error=0.1).active
+
+    def test_outcome_is_a_pure_function_of_the_key(self):
+        gate = _gate(storage_error=0.3, storage_fsync=0.2)
+        keys = [("checkpoint", f"2022-{m:02d}", a) for m in range(1, 13)
+                for a in range(3)]
+        forward = {k: gate.outcome(*k) for k in keys}
+        backward = {k: gate.outcome(*k) for k in reversed(keys)}
+        assert forward == backward
+        # A fresh gate with the same (profile, seed) — a resumed process
+        # — replays the same weather.
+        again = _gate(storage_error=0.3, storage_fsync=0.2)
+        assert {k: again.outcome(*k) for k in keys} == forward
+
+    def test_seed_and_surface_decorrelate_draws(self):
+        a = _gate(seed=1, storage_error=0.5)
+        b = _gate(seed=2, storage_error=0.5)
+        items = [("snapshot", f"d{i}.example.", 0) for i in range(64)]
+        assert [a.outcome(*k) for k in items] != [b.outcome(*k) for k in items]
+        surfaces = [a.outcome("checkpoint", f"d{i}.example.", 0)
+                    for i in range(64)]
+        assert surfaces != [a.outcome(*k) for k in items]
+
+    def test_attempt_is_part_of_the_key(self):
+        # Retryability: a failing first attempt must not doom every
+        # retry — some item's attempt 1 draws OK after attempt 0 failed.
+        gate = _gate(storage_error=0.5)
+        healed = [
+            item
+            for item in (f"2022-{m:02d}" for m in range(1, 13))
+            if gate.outcome("checkpoint", item, 0) != StorageFaultKind.OK
+            and gate.outcome("checkpoint", item, 1) == StorageFaultKind.OK
+        ]
+        assert healed
+
+    def test_rates_partition_the_unit_range(self):
+        gate = _gate(
+            storage_error=0.25,
+            storage_short_write=0.25,
+            storage_fsync=0.25,
+            storage_torn_rename=0.25,
+        )
+        outcomes = {gate.outcome("eventlog", str(n), 0) for n in range(200)}
+        assert outcomes == {1, 2, 3, 4}  # rates sum to 1: OK impossible
+
+    def test_plan_exposes_the_storage_gate(self):
+        plan = FaultPlan("hostile", seed=3)
+        assert plan.storage.active
+        assert not FaultPlan("none", seed=3).storage.active
+
+
+def _forced(kind_rate):
+    """A gate that injects exactly one kind on every attempt."""
+    return _gate(**{kind_rate: 1.0})
+
+
+class TestAtomicWriteJson:
+    def test_plain_write_is_canonical_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"b": 2, "a": 1})
+        text = path.read_text()
+        assert json.loads(text) == {"a": 1, "b": 2}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    @pytest.mark.parametrize(
+        "rate,kind,expected_errno",
+        [
+            ("storage_error", StorageFaultKind.WRITE_ERROR, errno.ENOSPC),
+            ("storage_short_write", StorageFaultKind.SHORT_WRITE, errno.ENOSPC),
+            ("storage_fsync", StorageFaultKind.FSYNC_FAIL, errno.EIO),
+            ("storage_torn_rename", StorageFaultKind.TORN_RENAME, errno.EIO),
+        ],
+    )
+    def test_each_kind_fails_cleanly(self, tmp_path, rate, kind, expected_errno):
+        path = tmp_path / "out.json"
+        with pytest.raises(InjectedStorageFault) as excinfo:
+            atomic_write_json(
+                path, {"x": 1}, gate=_forced(rate), surface="checkpoint",
+                item="2022-01",
+            )
+        assert excinfo.value.kind == kind
+        assert excinfo.value.errno == expected_errno
+        assert isinstance(excinfo.value, OSError)
+        # No torn target, no leaked temp file — ever.
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    @pytest.mark.parametrize(
+        "rate",
+        ["storage_error", "storage_short_write", "storage_fsync",
+         "storage_torn_rename"],
+    )
+    def test_previous_file_survives_every_kind(self, tmp_path, rate):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"generation": 1})
+        with pytest.raises(InjectedStorageFault):
+            atomic_write_json(
+                path, {"generation": 2}, gate=_forced(rate),
+                surface="snapshot", item="d.example.",
+            )
+        assert json.loads(path.read_text()) == {"generation": 1}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_injected_raises_are_counted_once(self, tmp_path):
+        telemetry = Telemetry()
+        with pytest.raises(InjectedStorageFault):
+            atomic_write_json(
+                tmp_path / "out.json", {},
+                gate=_forced("storage_fsync"), surface="checkpoint",
+                item="2022-01", registry=telemetry.registry,
+            )
+        values = _counter_values(telemetry.registry)
+        key = (
+            "faults.storage.injected",
+            (("kind", "fsync_fail"), ("surface", "checkpoint")),
+        )
+        assert values[key] == 1
+
+    def test_retry_with_higher_attempt_can_succeed(self, tmp_path):
+        gate = _gate(storage_error=0.5)
+        path = tmp_path / "out.json"
+        wrote = False
+        for item_n in range(12):
+            item = f"2022-{item_n:02d}"
+            if gate.outcome("checkpoint", item, 0) == StorageFaultKind.OK:
+                continue
+            with pytest.raises(InjectedStorageFault):
+                atomic_write_json(
+                    path, {"n": item_n}, gate=gate, surface="checkpoint",
+                    item=item, attempt=0,
+                )
+            if gate.outcome("checkpoint", item, 1) == StorageFaultKind.OK:
+                atomic_write_json(
+                    path, {"n": item_n}, gate=gate, surface="checkpoint",
+                    item=item, attempt=1,
+                )
+                wrote = True
+                break
+        assert wrote and path.exists()
+
+
+class TestAccountingHelpers:
+    def test_count_handled_splits_absorbed_and_surfaced(self):
+        telemetry = Telemetry()
+        count_injected(telemetry.registry, "snapshot", StorageFaultKind.WRITE_ERROR)
+        count_injected(telemetry.registry, "snapshot", StorageFaultKind.WRITE_ERROR)
+        count_handled(telemetry.registry, "snapshot", 1, 1)
+        values = _counter_values(telemetry.registry)
+        injected = sum(v for (name, _), v in values.items()
+                       if name == "faults.storage.injected")
+        absorbed = sum(v for (name, _), v in values.items()
+                       if name == "faults.storage.absorbed")
+        surfaced = sum(v for (name, _), v in values.items()
+                       if name == "faults.storage.surfaced")
+        assert injected == absorbed + surfaced == 2
+
+    def test_helpers_tolerate_missing_registry(self):
+        count_injected(None, "checkpoint", StorageFaultKind.FSYNC_FAIL)
+        count_handled(None, "checkpoint", 1, 0)

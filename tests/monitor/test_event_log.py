@@ -2,15 +2,21 @@
 
 import json
 
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.profiles import FaultProfile
 from repro.monitor import (
     EVENT_SCHEMA_VERSION,
     WALL_FIELD,
     EventLog,
+    StatusBoard,
     canonical_lines,
     read_events,
 )
 from repro.monitor.events import EVENT_KINDS
 from repro.simtime import SimClock
+from repro.telemetry import Telemetry
 
 
 def test_log_opened_header_first(tmp_path):
@@ -85,6 +91,122 @@ def test_emitted_counter(tmp_path):
         assert log.emitted == 2
 
 
+class TestTornTail:
+    """Crash-mid-append footprints: a final line with no terminator."""
+
+    def _torn_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, clock=SimClock()) as log:
+            log.emit("campaign_started", mode="delta")
+            log.emit("round_summary", round=0, queries=9)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v":1,"event":"round_su')  # no newline
+        return path
+
+    def test_read_events_skips_torn_final_line(self, tmp_path):
+        path = self._torn_log(tmp_path)
+        kinds = [r["event"] for r in read_events(path)]
+        assert kinds == ["log_opened", "campaign_started", "round_summary"]
+
+    def test_canonical_lines_skip_torn_final_line(self, tmp_path):
+        path = self._torn_log(tmp_path)
+        assert len(canonical_lines(path)) == 3
+
+    def test_mid_file_garbage_still_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("campaign_finished", rounds=1)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{corrupt")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        path = self._torn_log(tmp_path)
+        with EventLog(path, clock=SimClock()) as log:
+            log.emit("campaign_finished", rounds=1)
+        # Every record parses again: the torn fragment did not swallow
+        # or corrupt the reopening log's appends.
+        kinds = [r["event"] for r in read_events(path)]
+        assert kinds == [
+            "log_opened",
+            "campaign_started",
+            "round_summary",
+            "log_opened",
+            "campaign_finished",
+        ]
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_reopen_keeps_newline_terminated_logs_intact(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("campaign_finished", rounds=1)
+        before = path.read_text()
+        with EventLog(path):
+            pass
+        assert path.read_text().startswith(before)
+
+
+class TestDegradedMode:
+    def _gate(self, **rates):
+        profile = FaultProfile(name="none", **rates)
+        return FaultPlan(profile, seed=7).storage
+
+    def test_write_failure_degrades_instead_of_raising(self, tmp_path):
+        telemetry = Telemetry()
+        status = StatusBoard()
+        log = EventLog(
+            tmp_path / "events.jsonl",
+            registry=telemetry.registry,
+            status=status,
+        )
+        def _full_disk(_line):
+            raise OSError(28, "No space left on device")
+
+        log._handle.write = _full_disk  # every further write fails
+        record = log.emit("round_summary", round=1, queries=3)
+        assert record["event"] == "round_summary"
+        assert log.degraded and log.dropped == 1
+        assert status.snapshot()["event_log_degraded"] is True
+        assert telemetry.registry.counter("events.dropped").value == 1
+
+    def test_gate_drops_are_content_keyed_and_accounted(self, tmp_path):
+        telemetry = Telemetry()
+        gate = self._gate(storage_error=0.5)
+        with EventLog(
+            tmp_path / "a.jsonl",
+            clock=SimClock(),
+            gate=gate,
+            registry=telemetry.registry,
+        ) as log:
+            for n in range(40):
+                log.emit("round_summary", round=n, queries=n)
+            dropped_a = log.dropped
+        assert 0 < dropped_a < 41  # the gate dropped some, not all
+        # Same records, same gate → the same drops, independent of any
+        # other stream: content keying, not sequence keying.
+        with EventLog(
+            tmp_path / "b.jsonl", clock=SimClock(), gate=gate
+        ) as log:
+            log.emit("checkpoint_written", year=2022, month=1)  # extra
+            for n in range(40):
+                log.emit("round_summary", round=n, queries=n)
+        a = [line for line in canonical_lines(tmp_path / "a.jsonl")
+             if "round_summary" in line]
+        b = [line for line in canonical_lines(tmp_path / "b.jsonl")
+             if "round_summary" in line]
+        assert a == b
+        counters = telemetry.registry.snapshot()["counters"]
+        by_name: dict[str, int] = {}
+        for entry in counters:
+            by_name[entry["name"]] = by_name.get(entry["name"], 0) + entry["value"]
+        injected = by_name.get("faults.storage.injected", 0)
+        surfaced = by_name.get("faults.storage.surfaced", 0)
+        assert injected == dropped_a == surfaced
+
+
 def test_known_kinds_cover_the_emitting_sites():
     # The schema's documented kind set must include everything the
     # pipeline emits (grep-level guard: emission sites use literals).
@@ -100,6 +222,10 @@ def test_known_kinds_cover_the_emitting_sites():
         "checkpoint_written",
         "shard_crash",
         "shard_respawn",
+        "shard_hung",
+        "campaign_interrupted",
+        "persistence_degraded",
+        "round_skipped",
         "campaign_finished",
     ):
         assert kind in EVENT_KINDS

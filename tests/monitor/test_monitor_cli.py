@@ -48,7 +48,7 @@ class TestRenderers:
         assert "mode=delta" in report
         assert "finished=yes" in report
         assert "structure" in report and "answers" in report
-        assert "1 crashes, 1 pool respawns" in report
+        assert "1 crashes, 0 hangs, 1 pool respawns" in report
         assert "baseline" in report
         assert "4 rows total" in report
 
