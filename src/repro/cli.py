@@ -610,6 +610,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the rule catalogue and exit")
     p.add_argument("--telemetry-out", type=str, default=None, metavar="PATH",
                    help="write lint.findings{rule=...} counters here")
+    p.add_argument("--changed-since", type=str, default=None, metavar="REF",
+                   help="incremental mode: re-analyze only files changed "
+                        "since this git ref plus their reverse-dependency "
+                        "cone (stale-baseline reporting is suppressed)")
+    p.add_argument("--graph-out", type=str, default=None, metavar="PATH",
+                   help="write the whole-program graph (modules, import/"
+                        "call edges, unresolved calls, layers) as JSON")
+    p.add_argument("--cache", type=str, default=None, metavar="PATH",
+                   help="summary-cache file (default: <root>/"
+                        ".lint_cache.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-hash summary cache")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("telemetry",

@@ -69,7 +69,19 @@ def load_baseline(path: str | Path) -> list[BaselineEntry]:
 
 
 def write_baseline(path: str | Path, findings: list[Finding]) -> list[BaselineEntry]:
-    """Write the current (non-suppressed) findings as the new baseline."""
+    """Write the current (non-suppressed) findings as the new baseline.
+
+    A ``note`` header in the existing file (a human-written migration
+    comment) is carried over unchanged.
+    """
+    note = None
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict):
+            note = existing.get("note")
+    except (OSError, json.JSONDecodeError):
+        pass
     counts = Counter(f.fingerprint for f in findings)
     entries = [
         BaselineEntry(rule=rule, path=fpath, content=content, count=n)
@@ -79,6 +91,8 @@ def write_baseline(path: str | Path, findings: list[Finding]) -> list[BaselineEn
         "version": BASELINE_VERSION,
         "entries": [entry.to_json() for entry in entries],
     }
+    if note:
+        payload["note"] = note
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

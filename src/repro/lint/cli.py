@@ -8,9 +8,10 @@ handling).
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
 import textwrap
-from pathlib import Path
+from pathlib import Path, PurePosixPath
 
 from repro.errors import LintError
 from repro.lint.baseline import load_baseline, write_baseline
@@ -23,6 +24,33 @@ def default_lint_paths() -> list[str]:
     """The tree to lint when no paths are given: the repro package."""
     here = Path(__file__).resolve().parent.parent  # .../src/repro
     return [str(here)]
+
+
+def changed_files_since(root: Path, ref: str) -> list[str]:
+    """Paths (posix, relative to ``root``) changed since a git ref:
+    ``git diff --name-only <ref>`` plus untracked files."""
+    out: set[str] = set()
+    for argv in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                argv, cwd=root, capture_output=True, text=True, check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = f": {exc.stderr.strip()}"
+            raise LintError(
+                f"--changed-since {ref}: {' '.join(argv[:3])} failed{detail}"
+            ) from exc
+        out.update(
+            str(PurePosixPath(line.strip()))
+            for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return sorted(out)
 
 
 def render_rules() -> str:
@@ -53,6 +81,21 @@ def render_text(report: LintReport) -> str:
         f"{report.count('suppressed')} suppressed"
     )
     lines.append(summary)
+    if report.graph_summary is not None:
+        graph = report.graph_summary
+        cache = graph["cache"]
+        lines.append(
+            f"graph: {graph['modules']} modules, "
+            f"{graph['import_edges']} import edges, "
+            f"{graph['call_edges']} call edges, "
+            f"{graph['unresolved']} unresolved "
+            f"(cache: {cache['hits']} hit, {cache['misses']} miss)"
+        )
+    if report.changed is not None:
+        lines.append(
+            f"changed-since: {len(report.changed['files'])} changed "
+            f"file(s), {len(report.changed['cone'])} in re-analysis cone"
+        )
     for entry in report.stale_baseline:
         lines.append(
             f"stale baseline entry ({entry.count} unmatched): "
@@ -103,7 +146,28 @@ def run_lint(args) -> int:
     baseline = None
     if args.baseline and not args.update_baseline:
         baseline = load_baseline(args.baseline)
-    report = engine.run(paths, root=args.root, baseline=baseline)
+    root_path = Path(args.root) if args.root else Path.cwd()
+    cache_path = None
+    if not getattr(args, "no_cache", False):
+        cache_path = getattr(args, "cache", None) or (
+            root_path / ".lint_cache.json"
+        )
+    changed = None
+    ref = getattr(args, "changed_since", None)
+    if ref:
+        changed = changed_files_since(root_path, ref)
+    report = engine.run(
+        paths, root=args.root, baseline=baseline,
+        cache_path=cache_path, changed_files=changed,
+    )
+    graph_out = getattr(args, "graph_out", None)
+    if graph_out and report.program_graph is not None:
+        document = report.program_graph.export()
+        document["untested_counters"] = report.untested_counters
+        with open(graph_out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote graph to {graph_out}")
 
     if args.update_baseline:
         live = [f for f in report.findings if f.status == STATUS_NEW]

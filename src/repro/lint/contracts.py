@@ -1,0 +1,237 @@
+"""Cross-module contract checkers (CONTRACT001).
+
+Two contracts bind otherwise-independent modules:
+
+* **Event kinds** — producers (`campaign.py`, `incremental.py`,
+  `sharding.py`) emit record kinds; the schema registry
+  (``EVENT_KINDS`` in :mod:`repro.monitor.events`) declares them; the
+  monitor readers/renderers examine them via string comparisons.
+  Drift in any direction is silent at type-check time:
+
+  - an emitted kind missing from ``EVENT_KINDS`` (anchored at the
+    emit site),
+  - a declared kind nobody emits (anchored at the registry),
+  - an emitted kind no monitor-package module ever compares against
+    (anchored at the first emit site) — the record would be folded
+    into nothing by every renderer.
+
+* **Telemetry counters** — the same counter name used with two
+  different label keysets or instrument kinds merges apples into
+  oranges at absorb time (one finding per name, listing every
+  variant); a counter asserted in tests that no runtime path emits is
+  a test pinned to a renamed metric (anchored at the test line).
+
+Counters that are emitted but never asserted anywhere in tests are
+*informational*, not findings: they are returned separately and land
+in the ``--graph-out`` export as ``untested_counters``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path, PurePosixPath
+
+from repro.lint.findings import (
+    Finding,
+    apply_suppression_tables,
+    comment_only_lines,
+    scan_suppressions,
+)
+from repro.lint.graph import ProgramGraph
+from repro.lint.rules import Rule
+
+#: Where the event-kind registry lives: (module, constant name).
+EVENT_KINDS_REGISTRY = ("repro.monitor.events", "EVENT_KINDS")
+
+#: Modules whose string comparisons count as "handling" an event kind.
+MONITOR_PREFIX = "repro.monitor"
+
+#: ``registry.counter("name", ...)``-style assertions in test files.
+_TEST_COUNTER_RE = re.compile(
+    r"\.(counter|gauge|histogram)\(\s*[\"']([^\"']+)[\"']"
+)
+
+
+def _kind_sites(graph: ProgramGraph) -> dict[str, list[tuple]]:
+    emitted: dict[str, list[tuple]] = {}
+    for module in sorted(graph.summaries):
+        summary = graph.summaries[module]
+        for emit in summary.emits:
+            emitted.setdefault(emit["kind"], []).append((summary, emit))
+    return emitted
+
+
+def check_event_contract(
+    graph: ProgramGraph,
+    rule: Rule,
+    registry: tuple[str, str] = EVENT_KINDS_REGISTRY,
+    monitor_prefix: str = MONITOR_PREFIX,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    registry_module, registry_name = registry
+    declared: set[str] | None = None
+    declaration = None
+    reg_summary = graph.summaries.get(registry_module)
+    if reg_summary is not None:
+        declaration = reg_summary.string_sets.get(registry_name)
+        if declaration is not None:
+            declared = set(declaration["values"])
+    emitted = _kind_sites(graph)
+    handled: set[str] = set()
+    for module, summary in graph.summaries.items():
+        if module.startswith(monitor_prefix):
+            handled.update(summary.compare_literals)
+    for kind in sorted(emitted):
+        for summary, emit in emitted[kind]:
+            if declared is not None and kind not in declared:
+                findings.append(Finding(
+                    rule=rule.id, path=summary.path, line=emit["lineno"],
+                    col=emit["col"], severity=rule.severity,
+                    message=(f"event kind '{kind}' is emitted but missing "
+                             f"from {registry_module}.{registry_name}"),
+                    content=emit["content"],
+                    witness=[f"{summary.module} emits '{kind}'"],
+                ))
+    if declared is not None and declaration is not None \
+            and reg_summary is not None:
+        for kind in sorted(declared - set(emitted)):
+            findings.append(Finding(
+                rule=rule.id, path=reg_summary.path,
+                line=declaration["lineno"], col=declaration["col"],
+                severity=rule.severity,
+                message=(f"event kind '{kind}' is declared in "
+                         f"{registry_name} but never emitted"),
+                content=declaration["content"],
+                witness=[f"{registry_module}.{registry_name}"],
+            ))
+    for kind in sorted(emitted):
+        if declared is not None and kind not in declared:
+            continue  # already reported above
+        if kind in handled:
+            continue
+        summary, emit = min(
+            emitted[kind], key=lambda pair: (pair[0].path, pair[1]["lineno"])
+        )
+        findings.append(Finding(
+            rule=rule.id, path=summary.path, line=emit["lineno"],
+            col=emit["col"], severity=rule.severity,
+            message=(f"event kind '{kind}' is emitted but never examined "
+                     f"by any {monitor_prefix} reader/renderer; every "
+                     "dashboard and report would silently drop it"),
+            content=emit["content"],
+            witness=[f"{summary.module} emits '{kind}'"],
+        ))
+    return findings
+
+
+def check_counter_contract(
+    graph: ProgramGraph,
+    rule: Rule,
+    tests_root: str | Path | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Counter keyset/instrument drift + tests-vs-runtime cross-ref.
+
+    Returns (findings, untested_counters): the latter is the sorted
+    list of counter names emitted at runtime that no test asserts —
+    informational only.
+    """
+    findings: list[Finding] = []
+    #: name → {(instrument, labels...)} over non-dynamic sites.
+    variants: dict[str, set[tuple]] = {}
+    #: name → first (path, lineno, col, content) site.
+    first_site: dict[str, tuple] = {}
+    all_sites: dict[str, list[str]] = {}
+    for module in sorted(graph.summaries):
+        summary = graph.summaries[module]
+        for counter in summary.counters:
+            name = counter["name"]
+            where = (summary.path, counter["lineno"], counter["col"],
+                     counter["content"])
+            if name not in first_site or where < first_site[name]:
+                first_site[name] = where
+            if counter["dynamic"]:
+                continue
+            signature = (counter["instrument"], tuple(counter["labels"]))
+            variants.setdefault(name, set()).add(signature)
+            all_sites.setdefault(name, []).append(
+                f"{summary.path}:{counter['lineno']} "
+                f"{counter['instrument']}"
+                f"{{{', '.join(counter['labels'])}}}"
+            )
+    for name in sorted(variants):
+        if len(variants[name]) <= 1:
+            continue
+        path, lineno, col, content = first_site[name]
+        shapes = sorted(
+            f"{instrument}{{{', '.join(labels)}}}"
+            for instrument, labels in variants[name]
+        )
+        findings.append(Finding(
+            rule=rule.id, path=path, line=lineno, col=col,
+            severity=rule.severity,
+            message=(f"metric '{name}' is used with "
+                     f"{len(variants[name])} different shapes "
+                     f"({'; '.join(shapes)}); merged totals mix "
+                     "incompatible series"),
+            content=content,
+            witness=sorted(all_sites[name]),
+        ))
+
+    emitted_names = set(first_site)
+    untested = sorted(emitted_names)
+    if tests_root is None:
+        return findings, untested
+    tests_path = Path(tests_root)
+    if not tests_path.is_dir():
+        return findings, untested
+    asserted: dict[str, tuple] = {}
+    for test_file in sorted(tests_path.rglob("*.py")):
+        try:
+            text = test_file.read_text()
+        except OSError:
+            continue
+        lines = text.splitlines()
+        rel = str(PurePosixPath(test_file))
+        hits: list[Finding] = []
+        for lineno, line in enumerate(lines, start=1):
+            for match in _TEST_COUNTER_RE.finditer(line):
+                name = match.group(2)
+                if name not in asserted:
+                    asserted[name] = (rel, lineno)
+                if name in emitted_names:
+                    continue
+                # Only names inside a runtime metric family are drift
+                # candidates: a test-local fixture counter named
+                # outside every family is not a contract.
+                family = name.split(".")[0]
+                if not any(e.split(".")[0] == family
+                           for e in emitted_names):
+                    continue
+                hits.append(Finding(
+                    rule=rule.id, path=rel, line=lineno,
+                    col=match.start(), severity=rule.severity,
+                    message=(f"test asserts metric '{name}' but no "
+                             "runtime path in src emits it (renamed "
+                             "or removed counter?)"),
+                    content=line.strip(),
+                    witness=[f"{rel}:{lineno}"],
+                ))
+        if hits:
+            apply_suppression_tables(
+                hits, scan_suppressions(lines), comment_only_lines(lines))
+            findings.extend(hits)
+    untested = sorted(emitted_names - set(asserted))
+    return findings, untested
+
+
+def check_contracts(
+    graph: ProgramGraph,
+    rule: Rule,
+    tests_root: str | Path | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """All contract checks; returns (findings, untested_counters)."""
+    findings = check_event_contract(graph, rule)
+    counter_findings, untested = check_counter_contract(
+        graph, rule, tests_root)
+    findings.extend(counter_findings)
+    return findings, untested

@@ -17,7 +17,8 @@ Suppression syntax (same line, or a comment-only line directly above)::
 from __future__ import annotations
 
 import ast
-import re
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from fnmatch import fnmatch
@@ -29,14 +30,20 @@ from repro.lint.findings import (
     STATUS_NEW,
     STATUS_SUPPRESSED,
     Finding,
+    apply_suppression_tables,
+    comment_only_lines,
+    scan_suppressions,
 )
-from repro.lint.rules import CHECKERS, RULES, Rule
+from repro.lint.graph import (
+    CACHE_VERSION,
+    ModuleSummary,
+    ProgramGraph,
+    check_layering,
+    extract_summary,
+)
+from repro.lint.rules import CHECKERS, GRAPH_RULES, RULES, Rule
 
 REPORT_VERSION = 1
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow\[([A-Za-z]+\d+)\]\s*(.*?)\s*$"
-)
 
 
 class FileContext:
@@ -85,14 +92,7 @@ class FileContext:
 
     def suppressions(self) -> dict[int, list[tuple[str, str]]]:
         """Line number → [(rule-id, reason)] from allow comments."""
-        table: dict[int, list[tuple[str, str]]] = {}
-        for lineno, text in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(text)
-            if match:
-                table.setdefault(lineno, []).append(
-                    (match.group(1), match.group(2))
-                )
-        return table
+        return scan_suppressions(self.lines)
 
 
 @dataclass
@@ -103,6 +103,14 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: whole-program pass statistics (None when the graph did not run).
+    graph_summary: dict | None = None
+    #: --changed-since bookkeeping (None outside incremental mode).
+    changed: dict | None = None
+    #: the live ProgramGraph for --graph-out (never serialised).
+    program_graph: ProgramGraph | None = None
+    #: counters emitted at runtime that no test asserts (informational).
+    untested_counters: list[str] = field(default_factory=list)
 
     @property
     def new_findings(self) -> list[Finding]:
@@ -123,7 +131,7 @@ class LintReport:
         return dict(sorted(counts.items()))
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "version": REPORT_VERSION,
             "root": self.root,
             "files_scanned": self.files_scanned,
@@ -147,6 +155,11 @@ class LintReport:
                 "by_rule": self.by_rule(),
             },
         }
+        if self.graph_summary is not None:
+            data["graph"] = self.graph_summary
+        if self.changed is not None:
+            data["changed_since"] = self.changed
+        return data
 
 
 def _rule_applies(rule: Rule, path: str) -> bool:
@@ -198,6 +211,8 @@ class LintEngine:
         ctx = FileContext(path, source, tree)
         findings: list[Finding] = []
         for rule_id in self.rule_ids:
+            if rule_id not in CHECKERS:
+                continue  # whole-program rules only run in run()
             if not _rule_applies(RULES[rule_id], path):
                 continue
             findings.extend(CHECKERS[rule_id](ctx).run())
@@ -207,36 +222,148 @@ class LintEngine:
 
     @staticmethod
     def _apply_suppressions(ctx: FileContext, findings: list[Finding]) -> None:
-        table = ctx.suppressions()
-        if not table:
-            return
-        for finding in findings:
-            for lineno in (finding.line, finding.line - 1):
-                if lineno == finding.line - 1:
-                    # Comment-above style: only a comment-only line may
-                    # carry the suppression for the statement below it.
-                    if not (1 <= lineno <= len(ctx.lines)
-                            and ctx.lines[lineno - 1].lstrip().startswith("#")):
-                        continue
-                for rule_id, reason in table.get(lineno, ()):
-                    if rule_id == finding.rule:
-                        finding.status = STATUS_SUPPRESSED
-                        finding.suppress_reason = reason
-                        break
-                if finding.status == STATUS_SUPPRESSED:
-                    break
+        apply_suppression_tables(
+            findings, ctx.suppressions(), comment_only_lines(ctx.lines)
+        )
 
     # -- tree --------------------------------------------------------------
+
+    def _analyze_file(
+        self, rel_text: str, source: str
+    ) -> tuple[ModuleSummary, list[Finding]]:
+        """Parse once; extract the graph summary and run *every*
+        per-file checker (cache entries are rule-selection independent;
+        the caller filters to the engine's active rules)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise LintError(
+                f"{rel_text}:{exc.lineno}: cannot parse: {exc.msg}"
+            ) from exc
+        ctx = FileContext(rel_text, source, tree)
+        findings: list[Finding] = []
+        for rule_id in sorted(CHECKERS):
+            if not _rule_applies(RULES[rule_id], rel_text):
+                continue
+            findings.extend(CHECKERS[rule_id](ctx).run())
+        self._apply_suppressions(ctx, findings)
+        findings.sort(key=Finding.sort_key)
+        summary = extract_summary(rel_text, source, tree)
+        return summary, findings
+
+    @staticmethod
+    def _load_cache(cache_path: str | Path | None) -> dict:
+        if cache_path is None:
+            return {}
+        try:
+            with open(cache_path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    @staticmethod
+    def _write_cache(cache_path: str | Path | None, entries: dict) -> None:
+        if cache_path is None:
+            return
+        payload = {"version": CACHE_VERSION, "entries": entries}
+        try:
+            with open(cache_path, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+                handle.write("\n")
+        except OSError:
+            pass  # a read-only tree still lints, just without the cache
+
+    @staticmethod
+    def _finding_from_json(data: dict) -> Finding:
+        return Finding(
+            rule=data["rule"], path=data["path"], line=data["line"],
+            col=data["col"], severity=data["severity"],
+            message=data["message"], content=data["content"],
+            status=data["status"],
+            suppress_reason=data.get("suppress_reason", ""),
+            witness=list(data.get("witness", [])),
+        )
+
+    def _graph_findings(
+        self,
+        graph: ProgramGraph,
+        tests_root: str | Path | None,
+        sinks: dict[str, str] | None,
+        static_entry_points,
+    ) -> tuple[list[Finding], list[str]]:
+        """Run every selected whole-program pass over the graph."""
+        from repro.lint.contracts import check_contracts
+        from repro.lint.interproc import (
+            check_fork_safety,
+            check_set_order,
+            check_taint,
+        )
+
+        findings: list[Finding] = []
+        untested: list[str] = []
+        if "DET101" in self.rule_ids:
+            findings.extend(check_taint(graph, RULES["DET101"], sinks))
+        if "DET102" in self.rule_ids:
+            findings.extend(check_set_order(graph, RULES["DET102"]))
+        if "CONC101" in self.rule_ids:
+            findings.extend(check_fork_safety(
+                graph, RULES["CONC101"], static_entry_points))
+        if "LAYER001" in self.rule_ids:
+            findings.extend(check_layering(graph, RULES["LAYER001"]))
+        if "CONTRACT001" in self.rule_ids:
+            contract_findings, untested = check_contracts(
+                graph, RULES["CONTRACT001"], tests_root)
+            findings.extend(contract_findings)
+        findings = [
+            f for f in findings if _rule_applies(RULES[f.rule], f.path)
+        ]
+        # Inline allows apply to graph findings through the summaries'
+        # suppression tables (contract findings on test files arrive
+        # already processed by contracts.py).
+        by_path: dict[str, list[Finding]] = {}
+        for finding in findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        for path, group in by_path.items():
+            summary = graph.by_path.get(path)
+            if summary is None:
+                continue
+            apply_suppression_tables(
+                group, summary.suppressions, summary.comment_lines)
+        return findings, untested
 
     def run(
         self,
         paths: list[str | Path],
         root: str | Path | None = None,
         baseline: list[BaselineEntry] | None = None,
+        *,
+        cache_path: str | Path | None = None,
+        changed_files: list[str] | None = None,
+        tests_root: str | Path | None = None,
+        sinks: dict[str, str] | None = None,
+        static_entry_points=None,
     ) -> LintReport:
-        """Lint files/directories; apply the baseline; build the report."""
+        """Lint files/directories; apply the baseline; build the report.
+
+        ``cache_path`` enables the content-hash summary/finding cache.
+        ``changed_files`` (posix paths relative to ``root``) switches to
+        incremental mode: per-file and graph findings are limited to the
+        changed files plus their reverse-dependency cone, and stale-
+        baseline reporting is suppressed (the full tree was not seen by
+        the gate).  ``tests_root`` (default ``<root>/tests``) feeds the
+        CONTRACT001 tests-vs-runtime counter cross-reference.
+        """
         root_path = Path(root) if root is not None else Path.cwd()
         report = LintReport(root=str(root_path))
+        cache = self._load_cache(cache_path)
+        next_cache: dict = {}
+        hits = misses = 0
+        summaries: dict[str, ModuleSummary] = {}
+        per_file: dict[str, list[Finding]] = {}
         for start in paths:
             start_path = Path(start)
             if not start_path.exists():
@@ -247,11 +374,83 @@ class LintEngine:
                     rel_text = str(PurePosixPath(rel))
                 except ValueError:
                     rel_text = str(PurePosixPath(file_path))
+                if rel_text in summaries:
+                    continue
                 source = file_path.read_text()
-                report.findings.extend(self.lint_source(source, rel_text))
+                digest = hashlib.sha256(source.encode()).hexdigest()
+                entry = cache.get(rel_text)
+                if entry is not None and entry.get("hash") == digest:
+                    hits += 1
+                    summary = ModuleSummary.from_json(entry["summary"])
+                    findings = [
+                        self._finding_from_json(f)
+                        for f in entry["findings"]
+                    ]
+                    next_cache[rel_text] = entry
+                else:
+                    misses += 1
+                    summary, findings = self._analyze_file(rel_text, source)
+                    next_cache[rel_text] = {
+                        "hash": digest,
+                        "summary": summary.to_json(),
+                        "findings": [f.to_json() for f in findings],
+                    }
+                summaries[rel_text] = summary
+                per_file[rel_text] = findings
                 report.files_scanned += 1
+        self._write_cache(cache_path, next_cache)
+
+        run_graph = any(r in GRAPH_RULES for r in self.rule_ids)
+        # Incremental mode needs the import graph for the reverse-
+        # dependency cone even when no whole-program rule is selected.
+        need_graph = run_graph or changed_files is not None
+        graph: ProgramGraph | None = None
+        graph_findings: list[Finding] = []
+        if need_graph and summaries:
+            graph = ProgramGraph(list(summaries.values()))
+            report.program_graph = graph
+        if run_graph and graph is not None:
+            if tests_root is None:
+                candidate = root_path / "tests"
+                tests_root = candidate if candidate.is_dir() else None
+            graph_findings, report.untested_counters = self._graph_findings(
+                graph, tests_root, sinks, static_entry_points)
+            report.graph_summary = {
+                "modules": len(graph.summaries),
+                "import_edges": len(graph.import_edges),
+                "call_edges": sum(
+                    len(edges) for edges in graph.call_edges.values()),
+                "unresolved": len(graph.unresolved),
+                "cache": {"hits": hits, "misses": misses},
+            }
+
+        target: set[str] | None = None
+        if changed_files is not None:
+            changed = set(changed_files)
+            if graph is not None:
+                target = graph.importers_cone(changed)
+            else:
+                target = changed
+            report.changed = {
+                "files": sorted(changed),
+                "cone": sorted(target),
+            }
+
+        active = set(self.rule_ids)
+        for rel_text, findings in per_file.items():
+            if target is not None and rel_text not in target:
+                continue
+            report.findings.extend(
+                f for f in findings if f.rule in active
+            )
+        for finding in graph_findings:
+            if target is not None and finding.path not in target \
+                    and finding.path not in (changed_files or ()):
+                continue
+            report.findings.append(finding)
         report.findings.sort(key=Finding.sort_key)
         if baseline is not None:
             live = [f for f in report.findings if f.status == STATUS_NEW]
-            report.stale_baseline = apply_baseline(live, baseline)
+            stale = apply_baseline(live, baseline)
+            report.stale_baseline = [] if changed_files is not None else stale
         return report

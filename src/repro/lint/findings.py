@@ -9,6 +9,7 @@ churn the baseline file.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 #: Severity levels.  Both gate the exit code identically; severity is a
@@ -36,6 +37,10 @@ class Finding:
     content: str  # stripped source line (the baseline fingerprint)
     status: str = STATUS_NEW
     suppress_reason: str = ""
+    #: Call-path evidence for whole-program findings: ``source → f → g
+    #: → sink`` as a list of ``module:function`` hops.  Empty for
+    #: per-file findings and omitted from the JSON form when empty.
+    witness: list[str] = field(default_factory=list)
 
     @property
     def fingerprint(self) -> tuple[str, str, str]:
@@ -58,6 +63,8 @@ class Finding:
         }
         if self.suppress_reason:
             data["suppress_reason"] = self.suppress_reason
+        if self.witness:
+            data["witness"] = list(self.witness)
         return data
 
     def render(self) -> str:
@@ -66,3 +73,59 @@ class Finding:
             f"{self.path}:{self.line}:{self.col} "
             f"{self.rule} {self.severity}: {self.message}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Inline suppressions (shared by the per-file engine and the
+# whole-program passes, which scan files at different times).
+
+#: ``# repro: allow[DET001] reason`` — one rule id or a comma-separated
+#: list (``allow[CONC001,CONC101]``) covering several rules at once.
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*)\]\s*(.*?)\s*$"
+)
+
+
+def scan_suppressions(lines: list[str]) -> dict[int, list[tuple[str, str]]]:
+    """Line number → [(rule-id, reason)] from inline allow comments."""
+    table: dict[int, list[tuple[str, str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = SUPPRESS_RE.search(text)
+        if match:
+            reason = match.group(2)
+            for rule_id in match.group(1).split(","):
+                table.setdefault(lineno, []).append(
+                    (rule_id.strip(), reason)
+                )
+    return table
+
+
+def comment_only_lines(lines: list[str]) -> set[int]:
+    """Line numbers whose stripped content starts with ``#``."""
+    return {
+        lineno
+        for lineno, text in enumerate(lines, start=1)
+        if text.lstrip().startswith("#")
+    }
+
+
+def apply_suppression_tables(
+    findings: list[Finding],
+    table: dict[int, list[tuple[str, str]]],
+    comment_lines: set[int],
+) -> None:
+    """Mark findings suppressed by an allow comment on the finding's
+    line or on a comment-only line directly above it."""
+    if not table:
+        return
+    for finding in findings:
+        for lineno in (finding.line, finding.line - 1):
+            if lineno == finding.line - 1 and lineno not in comment_lines:
+                continue
+            for rule_id, reason in table.get(lineno, ()):
+                if rule_id == finding.rule:
+                    finding.status = STATUS_SUPPRESSED
+                    finding.suppress_reason = reason
+                    break
+            if finding.status == STATUS_SUPPRESSED:
+                break

@@ -1,0 +1,847 @@
+"""Whole-program import/call graph over the repro tree.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time;
+everything cross-module — a wall-clock value laundered through three
+calls into a checkpoint, a mutation two hops below a forked worker
+entry point, a package importing against the layer DAG — needs the
+whole program.  This module builds that view:
+
+* :func:`extract_summary` reduces one parsed file to a JSON-serialisable
+  :class:`ModuleSummary`: imports, per-function call/source/mutation
+  sites, telemetry and event-log contract surfaces, and the file's
+  suppression table.  Summaries are what the content-hash cache stores,
+  so a warm run never re-parses unchanged files.
+* :class:`ProgramGraph` joins summaries into a module import graph and
+  a name-resolved call graph.  Calls that cannot be resolved statically
+  (``getattr`` results, callback parameters, ambiguous method names)
+  are recorded as explicit *unresolved edges* with a reason — never
+  silently dropped.
+* :func:`check_layering` enforces the declared layer DAG
+  (:data:`LAYER_DAG`) as LAYER001 findings.
+
+Resolution strategy (deliberately conservative, documented in
+DESIGN.md §13): bare names resolve through module definitions and
+import aliases; ``self.m``/``cls.m`` resolve within the enclosing
+class; dotted names resolve through import aliases into other modules'
+top-level functions and methods.  A plain ``obj.m(...)`` whose head is
+a parameter falls back to *method-name candidates* across the program,
+capped at :data:`ATTR_CANDIDATE_CAP` targets and skipping the
+:data:`_ATTR_NOISE` names shared with builtins — beyond the cap the
+call is an unresolved ``ambiguous-method`` edge.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from repro.lint.findings import (
+    Finding,
+    comment_only_lines,
+    scan_suppressions,
+)
+from repro.lint.rules import (
+    _ENTROPY,
+    _RANDOM_FUNCS,
+    _WALL_CLOCK,
+    _dotted,
+    _has_suffix,
+    _is_set_expr,
+    Rule,
+    function_mutation_sites,
+    module_mutable_candidates,
+)
+
+#: Bump when the summary format or extraction logic changes; stale
+#: cache entries are discarded by version, not debugged.
+CACHE_VERSION = 1
+
+#: A plain ``obj.m(...)`` attribute call resolves to every class method
+#: named ``m`` in the program — up to this many candidates.  More means
+#: the name is too common to resolve and the call becomes an explicit
+#: ``ambiguous-method`` unresolved edge.
+ATTR_CANDIDATE_CAP = 6
+
+#: Method names shared with builtin container/file protocols: edges
+#: through them would connect everything to everything, so attribute
+#: fallback skips them silently (per-file rules still see the sites).
+_ATTR_NOISE = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "remove",
+    "discard", "pop", "popitem", "setdefault", "sort", "reverse",
+    "get", "items", "keys", "values", "copy", "join", "split", "strip",
+    "startswith", "endswith", "format", "replace", "lower", "upper",
+    "read", "write", "open", "close", "flush", "seek", "release",
+    "encode", "decode", "mkdir", "exists", "resolve", "relative_to",
+    "stat", "unlink", "is_file", "is_dir", "read_text", "write_text",
+    "emit", "inc", "dec", "observe", "publish", "counter", "gauge",
+    "histogram", "submit", "result", "shutdown", "cancel",
+})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: Names of set-materialising contexts that are *exempt* from
+#: order-sensitivity (building another unordered value).
+_ORDER_FREE_CALLS = frozenset({"set", "frozenset", "sorted", "len", "sum",
+                               "min", "max", "any", "all"})
+_MATERIALISERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def module_name(rel_path: str) -> str:
+    """Dotted module name for a posix path relative to the scan root
+    (``src/repro/scan/campaign.py`` → ``repro.scan.campaign``)."""
+    parts = list(PurePosixPath(rel_path).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<root>"
+
+
+# ---------------------------------------------------------------------------
+# Summary extraction
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the graph passes need about one top-level function or
+    method; nested ``def``s fold into their enclosing function."""
+
+    qname: str
+    lineno: int
+    returns_set: bool = False
+    #: call sites: name (dotted source text or None for dynamic
+    #: callees), lineno/col/content, iter_unsorted, assigned_to.
+    calls: list[dict] = field(default_factory=list)
+    #: DET taint sources: kind (wall/entropy/env), desc, site coords.
+    sources: list[dict] = field(default_factory=list)
+    #: module-global mutation sites: name, message, site coords.
+    mutations: list[dict] = field(default_factory=list)
+    #: unsorted iterations over bare local names: name, site coords.
+    var_iters: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "qname": self.qname, "lineno": self.lineno,
+            "returns_set": self.returns_set, "calls": self.calls,
+            "sources": self.sources, "mutations": self.mutations,
+            "var_iters": self.var_iters,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FunctionInfo":
+        return cls(**data)
+
+
+@dataclass
+class ModuleSummary:
+    """The JSON-serialisable reduction of one source file."""
+
+    path: str
+    module: str
+    is_package: bool = False
+    #: one entry per imported alias: kind (import/from), module, name,
+    #: asname, level, lineno, content.
+    imports: list[dict] = field(default_factory=list)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module-level mutable globals (CONC candidates): name → def line.
+    candidates: dict[str, int] = field(default_factory=dict)
+    #: ``pool.submit(fn, ...)`` first-arg names (worker entry points).
+    submit_targets: list[dict] = field(default_factory=list)
+    #: ``.emit("kind", ...)`` / ``._emit("kind", ...)`` literal sites.
+    emits: list[dict] = field(default_factory=list)
+    #: ``.counter/gauge/histogram("name", k=...)`` literal sites.
+    counters: list[dict] = field(default_factory=list)
+    #: module-level ``NAME = frozenset({"a", ...})`` string sets.
+    string_sets: dict[str, dict] = field(default_factory=dict)
+    #: string literals compared with ==/!=/in (reader-side handling).
+    compare_literals: list[str] = field(default_factory=list)
+    #: inline-allow table and comment-only lines, for applying
+    #: suppressions to graph findings without re-reading the file.
+    suppressions: dict[int, list[tuple[str, str]]] = field(
+        default_factory=dict)
+    comment_lines: set[int] = field(default_factory=set)
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path, "module": self.module,
+            "is_package": self.is_package, "imports": self.imports,
+            "functions": {q: f.to_json() for q, f in self.functions.items()},
+            "candidates": self.candidates,
+            "submit_targets": self.submit_targets,
+            "emits": self.emits, "counters": self.counters,
+            "string_sets": self.string_sets,
+            "compare_literals": self.compare_literals,
+            "suppressions": {
+                str(line): [[rule, reason] for rule, reason in pairs]
+                for line, pairs in self.suppressions.items()
+            },
+            "comment_lines": sorted(self.comment_lines),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ModuleSummary":
+        return cls(
+            path=data["path"], module=data["module"],
+            is_package=data["is_package"], imports=data["imports"],
+            functions={
+                q: FunctionInfo.from_json(f)
+                for q, f in data["functions"].items()
+            },
+            candidates=data["candidates"],
+            submit_targets=data["submit_targets"],
+            emits=data["emits"], counters=data["counters"],
+            string_sets=data["string_sets"],
+            compare_literals=data["compare_literals"],
+            suppressions={
+                int(line): [(rule, reason) for rule, reason in pairs]
+                for line, pairs in data["suppressions"].items()
+            },
+            comment_lines=set(data["comment_lines"]),
+        )
+
+
+def taint_source_kind(dotted: str | None, node: ast.Call) -> tuple[str, str] | None:
+    """(kind, description) when a call reads wall clock/entropy/env,
+    mirroring the DET001/DET003 source definitions."""
+    if dotted is not None:
+        parts = dotted.split(".")
+        if parts[0] == "secrets":
+            return ("entropy", f"{dotted}() draws OS entropy")
+        if any(_has_suffix(dotted, b) for b in _WALL_CLOCK):
+            return ("wall", f"{dotted}() reads the wall clock")
+        if any(_has_suffix(dotted, b) for b in _ENTROPY):
+            return ("entropy", f"{dotted}() draws OS entropy")
+        if _has_suffix(dotted, "os.getenv"):
+            return ("env", "os.getenv() reads hidden host state")
+        if _has_suffix(dotted, "random.SystemRandom"):
+            return ("entropy", "random.SystemRandom draws OS entropy")
+        if (len(parts) >= 2 and parts[-2] == "random"
+                and parts[-1] in _RANDOM_FUNCS):
+            return ("entropy",
+                    f"{dotted}() uses the shared module-level generator")
+    if not node.args and not node.keywords:
+        if (dotted is not None and _has_suffix(dotted, "random.Random")) or (
+            isinstance(node.func, ast.Name) and node.func.id == "Random"
+        ):
+            return ("entropy", "Random() without a seed is entropy-seeded")
+    return None
+
+
+def _returns_set(func: ast.AST) -> bool:
+    """Whether a function's return type is textually a set: annotation
+    ``-> set[...]``/``-> frozenset[...]`` or any ``return <set expr>``
+    in its own body (nested defs excluded)."""
+    ann = func.returns
+    if ann is not None:
+        base = ann.value if isinstance(ann, ast.Subscript) else ann
+        if isinstance(base, ast.Name) and base.id in ("set", "frozenset"):
+            return True
+        if isinstance(base, ast.Attribute) and base.attr in (
+                "Set", "FrozenSet", "AbstractSet"):
+            return True
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return) and node.value is not None \
+                and _is_set_expr(node.value):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _build_parents(tree: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+    return parents
+
+
+def _under_sorted(node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+    current = parents.get(id(node))
+    while current is not None:
+        if (isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id in _ORDER_FREE_CALLS):
+            return True
+        current = parents.get(id(current))
+    return False
+
+
+def _iterated_unsorted(node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+    """Whether an expression's iteration order can leak: it is the
+    iterable of a for/comprehension or a list()/tuple()/enumerate()/
+    iter()/join() argument, and not under sorted() or another
+    order-free reduction.  Set comprehensions are exempt (building a
+    set from a set is order-insensitive)."""
+    parent = parents.get(id(node))
+    context = False
+    if isinstance(parent, ast.For) and parent.iter is node:
+        context = True
+    elif isinstance(parent, ast.comprehension) and parent.iter is node:
+        owner = parents.get(id(parent))
+        context = not isinstance(owner, ast.SetComp)
+    elif isinstance(parent, ast.Call) and parent.args \
+            and parent.args[0] is node:
+        if isinstance(parent.func, ast.Name) \
+                and parent.func.id in _MATERIALISERS:
+            context = True
+        elif isinstance(parent.func, ast.Attribute) \
+                and parent.func.attr == "join":
+            context = True
+    return context and not _under_sorted(node, parents)
+
+
+def _assigned_name(node: ast.AST, parents: dict[int, ast.AST]) -> str | None:
+    parent = parents.get(id(node))
+    if isinstance(parent, ast.Assign) and parent.value is node \
+            and len(parent.targets) == 1 \
+            and isinstance(parent.targets[0], ast.Name):
+        return parent.targets[0].id
+    if isinstance(parent, ast.AnnAssign) and parent.value is node \
+            and isinstance(parent.target, ast.Name):
+        return parent.target.id
+    return None
+
+
+def extract_summary(
+    rel_path: str, source: str, tree: ast.Module | None = None
+) -> ModuleSummary:
+    """Reduce one file to the :class:`ModuleSummary` the graph needs."""
+    if tree is None:
+        tree = ast.parse(source)
+    lines = source.splitlines()
+    parents = _build_parents(tree)
+
+    def content(lineno: int) -> str:
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+    def site(node: ast.AST) -> dict:
+        lineno = getattr(node, "lineno", 1)
+        return {"lineno": lineno, "col": getattr(node, "col_offset", 0),
+                "content": content(lineno)}
+
+    summary = ModuleSummary(
+        path=rel_path,
+        module=module_name(rel_path),
+        is_package=PurePosixPath(rel_path).name == "__init__.py",
+        candidates=module_mutable_candidates(tree),
+        suppressions=scan_suppressions(lines),
+        comment_lines=comment_only_lines(lines),
+    )
+
+    # -- module-wide surfaces ---------------------------------------------
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                summary.imports.append({
+                    "kind": "import", "module": alias.name,
+                    "name": None, "asname": alias.asname, "level": 0,
+                    **site(node),
+                })
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                summary.imports.append({
+                    "kind": "from", "module": node.module or "",
+                    "name": alias.name, "asname": alias.asname,
+                    "level": node.level, **site(node),
+                })
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "submit" \
+                    and node.args and isinstance(node.args[0], ast.Name):
+                summary.submit_targets.append(
+                    {"name": node.args[0].id, **site(node)})
+            emit_name = None
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in ("emit", "_emit"):
+                emit_name = func.attr
+            elif isinstance(func, ast.Name) and func.id == "_emit":
+                emit_name = func.id
+            if emit_name and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                summary.emits.append(
+                    {"kind": node.args[0].value, **site(node)})
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in ("counter", "gauge", "histogram") \
+                    and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                summary.counters.append({
+                    "instrument": func.attr,
+                    "name": node.args[0].value,
+                    "labels": sorted(
+                        kw.arg for kw in node.keywords if kw.arg),
+                    "dynamic": any(kw.arg is None for kw in node.keywords),
+                    **site(node),
+                })
+        elif isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+                    continue
+                exprs = [node.left, comparator]
+                if isinstance(comparator, (ast.Set, ast.Tuple, ast.List)):
+                    exprs.extend(comparator.elts)
+                for expr in exprs:
+                    if isinstance(expr, ast.Constant) \
+                            and isinstance(expr.value, str):
+                        summary.compare_literals.append(expr.value)
+        elif isinstance(node, ast.MatchValue):
+            if isinstance(node.value, ast.Constant) \
+                    and isinstance(node.value.value, str):
+                summary.compare_literals.append(node.value.value)
+    summary.compare_literals = sorted(set(summary.compare_literals))
+
+    # -- module-level string-set constants (event-kind registries) --------
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+                and value.func.id in ("set", "frozenset") \
+                and len(value.args) == 1:
+            value = value.args[0]
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)) and value.elts \
+                and all(isinstance(e, ast.Constant)
+                        and isinstance(e.value, str) for e in value.elts):
+            summary.string_sets[stmt.targets[0].id] = {
+                "values": sorted(e.value for e in value.elts),
+                **site(stmt),
+            }
+
+    # -- per-function facts ------------------------------------------------
+    def extract_function(qname: str, func: ast.AST) -> None:
+        info = FunctionInfo(
+            qname=qname, lineno=func.lineno, returns_set=_returns_set(func))
+        for node, name, message in function_mutation_sites(
+            func, summary.candidates
+        ):
+            info.mutations.append({"name": name, "message": message,
+                                   **site(node)})
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                source_kind = taint_source_kind(dotted, node)
+                if source_kind is not None:
+                    info.sources.append({
+                        "kind": source_kind[0], "desc": source_kind[1],
+                        **site(node),
+                    })
+                info.calls.append({
+                    "name": dotted,
+                    "iter_unsorted": _iterated_unsorted(node, parents),
+                    "assigned_to": _assigned_name(node, parents),
+                    **site(node),
+                })
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted and _has_suffix(dotted, "os.environ"):
+                    info.sources.append({
+                        "kind": "env",
+                        "desc": "os.environ reads hidden host state",
+                        **site(node),
+                    })
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if _iterated_unsorted(node, parents):
+                    info.var_iters.append({"name": node.id, **site(node)})
+        summary.functions[qname] = info
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            extract_function(stmt.name, stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    extract_function(f"{stmt.name}.{item.name}", item)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# The program graph
+
+
+class ProgramGraph:
+    """Module import graph + name-resolved call graph over summaries."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.summaries: dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.summaries[summary.module] = summary
+        self.by_path: dict[str, ModuleSummary] = {
+            s.path: s for s in self.summaries.values()
+        }
+        #: fn id ``module:qname`` → (summary, FunctionInfo)
+        self.functions: dict[str, tuple[ModuleSummary, FunctionInfo]] = {}
+        #: method name → fn ids, for attribute-call fallback.
+        self._method_index: dict[str, list[str]] = {}
+        for summary in self.summaries.values():
+            for qname, info in summary.functions.items():
+                fn_id = f"{summary.module}:{qname}"
+                self.functions[fn_id] = (summary, info)
+                self._method_index.setdefault(
+                    qname.rsplit(".", 1)[-1], []).append(fn_id)
+        for ids in self._method_index.values():
+            ids.sort()
+        self._alias_maps: dict[str, dict[str, str]] = {
+            module: self._build_alias_map(summary)
+            for module, summary in self.summaries.items()
+        }
+        #: import edges: {"src", "dst", "lineno", "col", "content"}
+        self.import_edges: list[dict] = []
+        self._build_import_edges()
+        #: fn id → [(callee fn id, call-site dict, resolution kind)]
+        self.call_edges: dict[str, list[tuple[str, dict, str]]] = {}
+        #: explicitly unresolved calls: caller / name / reason / site.
+        self.unresolved: list[dict] = []
+        self._resolve_calls()
+
+    # -- construction ------------------------------------------------------
+
+    def _resolve_relative(self, summary: ModuleSummary, entry: dict) -> str:
+        base = summary.module.split(".")
+        if not summary.is_package:
+            base = base[:-1]
+        level = entry["level"]
+        if level > 1:
+            base = base[: len(base) - (level - 1)]
+        if entry["module"]:
+            base = base + entry["module"].split(".")
+        return ".".join(base)
+
+    def _build_alias_map(self, summary: ModuleSummary) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for entry in summary.imports:
+            if entry["kind"] == "import":
+                target = entry["module"]
+                if entry["asname"]:
+                    aliases[entry["asname"]] = target
+                else:
+                    aliases[target.split(".")[0]] = target.split(".")[0]
+            else:
+                if entry["name"] == "*":
+                    continue
+                target_module = (
+                    self._resolve_relative(summary, entry)
+                    if entry["level"] else entry["module"]
+                )
+                bound = entry["asname"] or entry["name"]
+                aliases[bound] = f"{target_module}.{entry['name']}"
+        return aliases
+
+    def _module_prefix(self, dotted: str) -> str | None:
+        """Longest known-module prefix of a dotted path."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.summaries:
+                return candidate
+        return None
+
+    def _build_import_edges(self) -> None:
+        for summary in self.summaries.values():
+            for entry in summary.imports:
+                if entry["kind"] == "import":
+                    target = entry["module"]
+                else:
+                    target_module = (
+                        self._resolve_relative(summary, entry)
+                        if entry["level"] else entry["module"]
+                    )
+                    # `from pkg import sub` may bind a submodule.
+                    sub = f"{target_module}.{entry['name']}"
+                    target = sub if sub in self.summaries else target_module
+                dst = self._module_prefix(target)
+                if dst is None or dst == summary.module:
+                    continue
+                self.import_edges.append({
+                    "src": summary.module, "dst": dst,
+                    "lineno": entry["lineno"], "col": entry["col"],
+                    "content": entry["content"],
+                })
+
+    def _resolve_dotted(self, target: str) -> str | None:
+        """A fully-qualified ``pkg.mod.f`` / ``pkg.mod.Cls.m`` → fn id."""
+        module = self._module_prefix(target)
+        if module is None:
+            return None
+        rest = target[len(module):].lstrip(".")
+        summary = self.summaries[module]
+        if rest in summary.functions:
+            return f"{module}:{rest}"
+        if rest and f"{rest}.__init__" in summary.functions:
+            return f"{module}:{rest}.__init__"
+        return None
+
+    def _resolve_calls(self) -> None:
+        for fn_id, (summary, info) in sorted(self.functions.items()):
+            edges = self.call_edges.setdefault(fn_id, [])
+            aliases = self._alias_maps[summary.module]
+            cls = info.qname.rsplit(".", 1)[0] if "." in info.qname else None
+            for call in info.calls:
+                name = call["name"]
+                if name is None:
+                    self.unresolved.append({
+                        "caller": fn_id, "name": None,
+                        "reason": "dynamic-callee",
+                        "lineno": call["lineno"], "col": call["col"],
+                    })
+                    continue
+                parts = name.split(".")
+                head = parts[0]
+                if head in ("self", "cls") and cls is not None \
+                        and len(parts) == 2:
+                    local = f"{cls}.{parts[1]}"
+                    if local in summary.functions:
+                        edges.append(
+                            (f"{summary.module}:{local}", call, "direct"))
+                        continue
+                    self._fallback(fn_id, name, parts[-1], call, edges)
+                elif len(parts) == 1:
+                    if name in summary.functions:
+                        edges.append(
+                            (f"{summary.module}:{name}", call, "direct"))
+                    elif f"{name}.__init__" in summary.functions:
+                        edges.append((f"{summary.module}:{name}.__init__",
+                                      call, "direct"))
+                    elif name in aliases:
+                        resolved = self._resolve_dotted(aliases[name])
+                        if resolved is not None:
+                            edges.append((resolved, call, "direct"))
+                    elif name not in _BUILTIN_NAMES:
+                        self.unresolved.append({
+                            "caller": fn_id, "name": name,
+                            "reason": "unknown-callable",
+                            "lineno": call["lineno"], "col": call["col"],
+                        })
+                else:
+                    if name in summary.functions:
+                        edges.append(
+                            (f"{summary.module}:{name}", call, "direct"))
+                        continue
+                    if head in aliases:
+                        target = ".".join([aliases[head]] + parts[1:])
+                        resolved = self._resolve_dotted(target)
+                        if resolved is not None:
+                            edges.append((resolved, call, "direct"))
+                            continue
+                        if target.split(".")[0] != "repro" or \
+                                self._module_prefix(target) is not None:
+                            # A known module's attribute that is not a
+                            # function (constant, class attr): silent.
+                            continue
+                    if head not in ("self", "cls"):
+                        self._fallback(fn_id, name, parts[-1], call, edges)
+
+    def _fallback(self, fn_id: str, name: str, method: str,
+                  call: dict, edges: list) -> None:
+        """Attribute-call fallback: method-name candidates program-wide."""
+        if method in _ATTR_NOISE:
+            return
+        candidates = self._method_index.get(method, [])
+        candidates = [c for c in candidates if "." in c.split(":", 1)[1]]
+        if not candidates:
+            self.unresolved.append({
+                "caller": fn_id, "name": name, "reason": "unknown-method",
+                "lineno": call["lineno"], "col": call["col"],
+            })
+            return
+        if len(candidates) > ATTR_CANDIDATE_CAP:
+            self.unresolved.append({
+                "caller": fn_id, "name": name,
+                "reason": f"ambiguous-method ({len(candidates)} candidates)",
+                "lineno": call["lineno"], "col": call["col"],
+            })
+            return
+        for candidate in candidates:
+            edges.append((candidate, call, "fallback"))
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_from(self, roots: list[str]) -> dict[str, tuple[str, ...]]:
+        """BFS over call edges from root fn ids → {fn id: witness path}
+        where the path runs root → … → fn (shortest, deterministic)."""
+        paths: dict[str, tuple[str, ...]] = {}
+        frontier: list[str] = []
+        for root in roots:
+            if root in self.functions and root not in paths:
+                paths[root] = (root,)
+                frontier.append(root)
+        while frontier:
+            next_frontier: list[str] = []
+            for fn_id in frontier:
+                for callee, _site, _kind in self.call_edges.get(fn_id, ()):
+                    if callee in paths or callee not in self.functions:
+                        continue
+                    paths[callee] = paths[fn_id] + (callee,)
+                    next_frontier.append(callee)
+            frontier = sorted(set(next_frontier))
+        return paths
+
+    def importers_cone(self, paths: set[str]) -> set[str]:
+        """The given file paths plus every file that (transitively)
+        imports one of them — the re-analysis cone for --changed-since."""
+        reverse: dict[str, set[str]] = {}
+        for edge in self.import_edges:
+            reverse.setdefault(edge["dst"], set()).add(edge["src"])
+        cone_modules = {
+            self.by_path[p].module for p in paths if p in self.by_path
+        }
+        frontier = set(cone_modules)
+        while frontier:
+            new: set[str] = set()
+            for module in frontier:
+                new |= reverse.get(module, set()) - cone_modules
+            cone_modules |= new
+            frontier = new
+        return set(paths) | {
+            self.summaries[m].path for m in cone_modules
+        }
+
+    def export(self) -> dict:
+        """The ``--graph-out`` debug document."""
+        return {
+            "version": CACHE_VERSION,
+            "modules": [
+                {
+                    "module": s.module, "path": s.path,
+                    "layer": layer_of(s.module),
+                    "functions": sorted(s.functions),
+                }
+                for s in sorted(
+                    self.summaries.values(), key=lambda s: s.module)
+            ],
+            "import_edges": sorted(
+                self.import_edges,
+                key=lambda e: (e["src"], e["lineno"], e["dst"]),
+            ),
+            "call_edges": [
+                {"caller": caller, "callee": callee,
+                 "lineno": site["lineno"], "resolution": kind}
+                for caller in sorted(self.call_edges)
+                for callee, site, kind in self.call_edges[caller]
+            ],
+            "unresolved": sorted(
+                self.unresolved,
+                key=lambda e: (e["caller"], e["lineno"], e["name"] or ""),
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Layering (LAYER001)
+
+#: Planes importable from any layer: error hierarchy, simulated time,
+#: metrics, fault injection, perf counters.  They still have their own
+#: allowed-imports rows below — a utility reaching *into the spine* is
+#: exactly the coupling LAYER001 exists to catch.
+UTILITY_LAYERS = frozenset(
+    {"errors", "simtime", "telemetry", "perfstats", "faults"}
+)
+
+#: Declared layer DAG: layer → layers it may import *directly*; the
+#: transitive closure is allowed too (scan may reach netmodel through
+#: relay).  Single-file top-level modules map to their own layer name;
+#: ``repro/cli.py`` and the top package form the ``app`` layer.
+LAYER_DAG: dict[str, frozenset] = {
+    "errors": frozenset(),
+    "simtime": frozenset({"errors"}),
+    "telemetry": frozenset({"errors", "simtime"}),
+    "perfstats": frozenset({"errors", "telemetry"}),
+    "faults": frozenset({"errors", "telemetry"}),
+    "quic": frozenset({"errors"}),
+    "netmodel": frozenset({"errors", "simtime", "perfstats"}),
+    "dns": frozenset({"netmodel"}),
+    "masque": frozenset({"netmodel"}),
+    "relay": frozenset({"dns", "quic", "masque"}),
+    "atlas": frozenset({"dns"}),
+    "worldgen": frozenset({"atlas", "relay"}),
+    "scan": frozenset({"worldgen", "quic"}),
+    "analysis": frozenset({"scan", "masque"}),
+    "archive": frozenset({"scan"}),
+    "monitor": frozenset({"faults"}),
+    "lint": frozenset({"telemetry"}),
+    "app": frozenset({"analysis", "archive", "monitor", "lint"}),
+}
+
+
+def layer_of(module: str) -> str | None:
+    """Layer for a dotted module name; None for non-repro modules,
+    ``"?"`` for repro modules outside the declared table."""
+    if module == "repro" or module == "repro.cli":
+        return "app"
+    if not module.startswith("repro."):
+        return None
+    segment = module.split(".")[1]
+    if segment in LAYER_DAG:
+        return segment
+    return "?"
+
+
+def _closure() -> dict[str, frozenset]:
+    closed: dict[str, set] = {}
+
+    def visit(layer: str) -> set:
+        if layer in closed:
+            return closed[layer]
+        closed[layer] = set()
+        allowed = set(LAYER_DAG[layer])
+        for dep in LAYER_DAG[layer]:
+            allowed |= visit(dep)
+        closed[layer] = allowed
+        return allowed
+
+    for layer in LAYER_DAG:
+        visit(layer)
+    return {layer: frozenset(deps) for layer, deps in closed.items()}
+
+
+_LAYER_CLOSURE = _closure()
+
+
+def check_layering(graph: ProgramGraph, rule: Rule) -> list[Finding]:
+    """LAYER001: imports that violate the declared layer DAG."""
+    findings: list[Finding] = []
+    for module, summary in sorted(graph.summaries.items()):
+        if layer_of(module) == "?":
+            findings.append(Finding(
+                rule=rule.id, path=summary.path, line=1, col=0,
+                severity=rule.severity,
+                message=(f"module {module} is outside the declared layer "
+                         "DAG; add it to LAYER_DAG in lint/graph.py"),
+                content="", witness=[module],
+            ))
+    for edge in sorted(graph.import_edges,
+                       key=lambda e: (e["src"], e["lineno"], e["dst"])):
+        src_layer = layer_of(edge["src"])
+        dst_layer = layer_of(edge["dst"])
+        if src_layer in (None, "?") or dst_layer in (None, "?"):
+            continue
+        if src_layer == dst_layer:
+            continue
+        allowed = (
+            dst_layer in UTILITY_LAYERS
+            or dst_layer in _LAYER_CLOSURE.get(src_layer, frozenset())
+        )
+        if not allowed:
+            src = graph.summaries[edge["src"]]
+            findings.append(Finding(
+                rule=rule.id, path=src.path, line=edge["lineno"],
+                col=edge["col"], severity=rule.severity,
+                message=(f"layer '{src_layer}' may not import layer "
+                         f"'{dst_layer}' ({edge['src']} → {edge['dst']}); "
+                         "allowed edges are declared in lint/graph.py"),
+                content=edge["content"],
+                witness=[edge["src"], edge["dst"]],
+            ))
+    return findings

@@ -1,0 +1,216 @@
+"""Interprocedural passes over the :class:`~repro.lint.graph.ProgramGraph`.
+
+Three analyses, all witness-carrying:
+
+* :func:`check_taint` (DET101) — a function is *taint-carrying* when it
+  reads the wall clock/OS entropy/environment itself or transitively
+  calls one that does.  A finding fires only when a registered contract
+  sink (:data:`DEFAULT_SINKS`) can reach such a read through its call
+  tree; the finding is anchored at the *source site* (that is where the
+  fix or the justification belongs) and its witness lists the
+  ``sink → … → source`` chain reversed into reading order.
+* :func:`check_fork_safety` (CONC101) — mutation sites of module-level
+  mutable globals that are reachable from sharded-worker entry points
+  (:data:`DEFAULT_ENTRY_POINTS` plus any ``pool.submit(fn, ...)``
+  target discovered in the tree).
+* :func:`check_set_order` (DET102) — call sites that iterate or
+  materialise the result of a *set-returning* callee without
+  ``sorted(...)``, either directly (``for x in f():``) or through a
+  local variable (``xs = f()`` … ``for x in xs:``).
+
+The taint lattice is function-granular (tainted or not); argument
+dataflow is not tracked — a caller computing a wall value and passing
+it *into* a sink as data is invisible here and remains the per-file
+DET001 rule's job at the read site.  See DESIGN.md §13.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding
+from repro.lint.graph import ProgramGraph
+from repro.lint.rules import Rule
+
+#: Contract sinks: the functions whose output the determinism contract
+#: covers (checkpoints, snapshots, digests, the canonical event stream,
+#: merged telemetry).  fn id → short description used in messages.
+DEFAULT_SINKS: dict[str, str] = {
+    "repro.scan.checkpoint:encode_result": "checkpoint encoder",
+    "repro.scan.checkpoint:CampaignCheckpointer.save": "checkpoint writer",
+    "repro.scan.incremental:encode_snapshot": "snapshot encoder",
+    "repro.scan.incremental:SnapshotStore.save": "snapshot writer",
+    "repro.scan.incremental:result_digest": "result digest",
+    "repro.scan.campaign:ScanCampaign._month_payload":
+        "campaign month payload",
+    "repro.monitor.events:EventLog.emit": "event stream record",
+    "repro.monitor.events:canonical_lines": "canonical event stream",
+    "repro.telemetry.registry:MetricsRegistry.absorb":
+        "merged telemetry totals",
+}
+
+#: Known sharded-worker entry points; ``pool.submit(fn, ...)`` sites
+#: found during extraction extend this list dynamically.
+DEFAULT_ENTRY_POINTS: tuple[tuple[str, str], ...] = (
+    ("repro.scan.sharding", "_run_shard"),
+)
+
+
+def _dedupe_anchor(
+    best: dict, key: tuple, distance: int, origin: str, path: tuple
+) -> None:
+    """Keep the shortest (then lexicographically first) chain per site."""
+    entry = (distance, origin, path)
+    if key not in best or entry < best[key]:
+        best[key] = entry
+
+
+def check_taint(
+    graph: ProgramGraph,
+    rule: Rule,
+    sinks: dict[str, str] | None = None,
+) -> list[Finding]:
+    """DET101: wall/entropy/env reads reachable from a contract sink."""
+    if sinks is None:
+        sinks = DEFAULT_SINKS
+    best: dict[tuple, tuple] = {}
+    sites: dict[tuple, dict] = {}
+    owners: dict[tuple, str] = {}
+    for sink_id in sorted(sinks):
+        reach = graph.reachable_from([sink_id])
+        for fn_id, chain in reach.items():
+            summary, info = graph.functions[fn_id]
+            for source in info.sources:
+                key = (summary.path, source["lineno"], source["col"],
+                       source["desc"])
+                sites[key] = source
+                owners[key] = fn_id
+                _dedupe_anchor(best, key, len(chain), sink_id, chain)
+    findings: list[Finding] = []
+    for key in sorted(best):
+        distance, sink_id, chain = best[key]
+        source = sites[key]
+        summary, _info = graph.functions[owners[key]]
+        # Witness in reading order: source site, then the call chain
+        # from the function containing it up to the sink.
+        witness = [
+            f"{source['desc']} @ {summary.path}:{source['lineno']}"
+        ] + [fn for fn in reversed(chain)]
+        hops = len(chain) - 1
+        via = "directly" if hops == 0 else f"through {hops} call(s)"
+        findings.append(Finding(
+            rule=rule.id, path=summary.path, line=source["lineno"],
+            col=source["col"], severity=rule.severity,
+            message=(f"{source['desc']}; the value can reach contract "
+                     f"sink {sink_id} ({sinks[sink_id]}) {via}"),
+            content=source["content"], witness=witness,
+        ))
+    return findings
+
+
+def entry_points(
+    graph: ProgramGraph,
+    static: tuple[tuple[str, str], ...] | None = None,
+) -> list[str]:
+    """Worker entry fn ids: the static registry plus submit() targets."""
+    if static is None:
+        static = DEFAULT_ENTRY_POINTS
+    ids: set[str] = set()
+    for module, qname in static:
+        fn_id = f"{module}:{qname}"
+        if fn_id in graph.functions:
+            ids.add(fn_id)
+    for summary in graph.summaries.values():
+        aliases = graph._alias_maps[summary.module]
+        for target in summary.submit_targets:
+            name = target["name"]
+            if name in summary.functions:
+                ids.add(f"{summary.module}:{name}")
+            elif name in aliases:
+                resolved = graph._resolve_dotted(aliases[name])
+                if resolved is not None:
+                    ids.add(resolved)
+    return sorted(ids)
+
+
+def check_fork_safety(
+    graph: ProgramGraph,
+    rule: Rule,
+    static_entry_points: tuple[tuple[str, str], ...] | None = None,
+) -> list[Finding]:
+    """CONC101: module-global mutations reachable from worker entries."""
+    entries = entry_points(graph, static_entry_points)
+    best: dict[tuple, tuple] = {}
+    sites: dict[tuple, dict] = {}
+    owners: dict[tuple, str] = {}
+    for entry in entries:
+        reach = graph.reachable_from([entry])
+        for fn_id, chain in reach.items():
+            summary, info = graph.functions[fn_id]
+            for mutation in info.mutations:
+                key = (summary.path, mutation["lineno"], mutation["col"],
+                       mutation["message"])
+                sites[key] = mutation
+                owners[key] = fn_id
+                _dedupe_anchor(best, key, len(chain), entry, chain)
+    findings: list[Finding] = []
+    for key in sorted(best):
+        distance, entry, chain = best[key]
+        mutation = sites[key]
+        summary, _info = graph.functions[owners[key]]
+        hops = len(chain) - 1
+        via = "directly" if hops == 0 else f"through {hops} call(s)"
+        findings.append(Finding(
+            rule=rule.id, path=summary.path, line=mutation["lineno"],
+            col=mutation["col"], severity=rule.severity,
+            message=(f"{mutation['message']}; reachable {via} from "
+                     f"forked worker entry point {entry}"),
+            content=mutation["content"], witness=list(chain),
+        ))
+    return findings
+
+
+def check_set_order(graph: ProgramGraph, rule: Rule) -> list[Finding]:
+    """DET102: unsorted iteration over a set-returning callee's result."""
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for fn_id in sorted(graph.call_edges):
+        summary, info = graph.functions[fn_id]
+        #: local name → set-returning callee it was assigned from.
+        set_vars: dict[str, str] = {}
+        for callee_id, site, _kind in graph.call_edges[fn_id]:
+            _callee_summary, callee_info = graph.functions[callee_id]
+            if not callee_info.returns_set:
+                continue
+            if site["iter_unsorted"]:
+                key = (summary.path, site["lineno"], site["col"])
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(Finding(
+                        rule=rule.id, path=summary.path,
+                        line=site["lineno"], col=site["col"],
+                        severity=rule.severity,
+                        message=(f"iterating the set returned by "
+                                 f"{callee_id} without sorted(...); set "
+                                 "order is hash-dependent"),
+                        content=site["content"],
+                        witness=[fn_id, callee_id],
+                    ))
+            elif site["assigned_to"]:
+                set_vars.setdefault(site["assigned_to"], callee_id)
+        for var_iter in info.var_iters:
+            callee_id = set_vars.get(var_iter["name"])
+            if callee_id is None:
+                continue
+            key = (summary.path, var_iter["lineno"], var_iter["col"])
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                rule=rule.id, path=summary.path, line=var_iter["lineno"],
+                col=var_iter["col"], severity=rule.severity,
+                message=(f"'{var_iter['name']}' holds the set returned "
+                         f"by {callee_id}; iterating it without "
+                         "sorted(...) leaks hash order"),
+                content=var_iter["content"],
+                witness=[fn_id, callee_id],
+            ))
+    return findings

@@ -299,6 +299,106 @@ def _is_mutable_value(node: ast.AST) -> bool:
     ))
 
 
+def module_mutable_candidates(tree: ast.Module) -> dict[str, int]:
+    """Module-level names bound to mutable values → definition line.
+
+    Shared with the whole-program fork-safety pass (CONC101), which
+    needs the same candidate set per module to locate mutation sites
+    reachable from worker entry points.
+    """
+    candidates: dict[str, int] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not _is_mutable_value(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                candidates[target.id] = stmt.lineno
+    return candidates
+
+
+def function_mutation_sites(
+    func: ast.AST, candidates: dict[str, int]
+) -> list[tuple[ast.AST, str, str]]:
+    """(node, global-name, message) for each mutation of a module-level
+    mutable candidate inside one function body.
+
+    Names shadowed by parameters or local assignment are excluded; a
+    ``global`` declaration re-exposes them.  Shared between the per-file
+    CONC001 checker and the whole-program CONC101 reachability pass.
+    """
+    args = func.args
+    local = {a.arg for a in (
+        args.posonlyargs + args.args + args.kwonlyargs
+    )}
+    if args.vararg:
+        local.add(args.vararg.arg)
+    if args.kwarg:
+        local.add(args.kwarg.arg)
+    declared_global: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+    local -= declared_global
+
+    def is_target(name: str) -> bool:
+        return name in candidates and name not in local
+
+    sites: list[tuple[ast.AST, str, str]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in candidates:
+                    sites.append((node, name,
+                                  f"'global {name}' rebinds module-"
+                                  "level mutable state from a function"))
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if (
+                isinstance(f, ast.Attribute)
+                and f.attr in _MUTATOR_METHODS
+                and isinstance(f.value, ast.Name)
+                and is_target(f.value.id)
+            ):
+                sites.append((node, f.value.id,
+                              f"mutates module-level '{f.value.id}' "
+                              f"via .{f.attr}() (fork-shared state)"))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                base = None
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    base = target.value
+                if isinstance(base, ast.Name) and is_target(base.id):
+                    sites.append((node, base.id,
+                                  "mutates module-level "
+                                  f"'{base.id}' in place "
+                                  "(fork-shared state)"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and is_target(target.value.id)
+                ):
+                    sites.append((node, target.value.id,
+                                  "deletes from module-level "
+                                  f"'{target.value.id}' "
+                                  "(fork-shared state)"))
+    return sites
+
+
 class ModuleStateMutation(Checker):
     rule = Rule(
         id="CONC001",
@@ -316,90 +416,15 @@ class ModuleStateMutation(Checker):
     )
 
     def run(self) -> list[Finding]:
-        candidates: dict[str, int] = {}
-        for stmt in self.ctx.tree.body:
-            targets: list[ast.expr] = []
-            if isinstance(stmt, ast.Assign):
-                targets = stmt.targets
-                value = stmt.value
-            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-                targets = [stmt.target]
-                value = stmt.value
-            else:
-                continue
-            if not _is_mutable_value(value):
-                continue
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    candidates[target.id] = stmt.lineno
+        candidates = module_mutable_candidates(self.ctx.tree)
         if candidates:
-            for func in self._functions(self.ctx.tree):
-                self._scan_function(func, candidates)
-        return self.findings
-
-    @staticmethod
-    def _functions(tree: ast.AST):
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node
-
-    def _scan_function(self, func, candidates: dict[str, int]) -> None:
-        args = func.args
-        local = {a.arg for a in (
-            args.posonlyargs + args.args + args.kwonlyargs
-        )}
-        if args.vararg:
-            local.add(args.vararg.arg)
-        if args.kwarg:
-            local.add(args.kwarg.arg)
-        declared_global: set[str] = set()
-        for node in ast.walk(func):
-            if isinstance(node, ast.Global):
-                declared_global.update(node.names)
-            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-                local.add(node.id)
-        local -= declared_global
-
-        def is_target(name: str) -> bool:
-            return name in candidates and name not in local
-
-        for node in ast.walk(func):
-            if isinstance(node, ast.Global):
-                for name in node.names:
-                    if name in candidates:
-                        self.emit(node, f"'global {name}' rebinds module-"
-                                        "level mutable state from a function")
-            elif isinstance(node, ast.Call):
-                f = node.func
-                if (
-                    isinstance(f, ast.Attribute)
-                    and f.attr in _MUTATOR_METHODS
-                    and isinstance(f.value, ast.Name)
-                    and is_target(f.value.id)
-                ):
-                    self.emit(node, f"mutates module-level '{f.value.id}' "
-                                    f"via .{f.attr}() (fork-shared state)")
-            elif isinstance(node, (ast.Assign, ast.AugAssign)):
-                targets = node.targets if isinstance(node, ast.Assign) \
-                    else [node.target]
-                for target in targets:
-                    base = None
-                    if isinstance(target, (ast.Subscript, ast.Attribute)):
-                        base = target.value
-                    if isinstance(base, ast.Name) and is_target(base.id):
-                        self.emit(node, "mutates module-level "
-                                        f"'{base.id}' in place "
-                                        "(fork-shared state)")
-            elif isinstance(node, ast.Delete):
-                for target in node.targets:
-                    if (
-                        isinstance(target, ast.Subscript)
-                        and isinstance(target.value, ast.Name)
-                        and is_target(target.value.id)
+            for func in ast.walk(self.ctx.tree):
+                if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for node, _name, message in function_mutation_sites(
+                        func, candidates
                     ):
-                        self.emit(node, "deletes from module-level "
-                                        f"'{target.value.id}' "
-                                        "(fork-shared state)")
+                        self.emit(node, message)
+        return self.findings
 
 
 # ---------------------------------------------------------------------------
@@ -545,5 +570,97 @@ _CHECKERS: tuple[type[Checker], ...] = (
     ExceptHygiene,
 )
 
-RULES: dict[str, Rule] = {c.rule.id: c.rule for c in _CHECKERS}
+# ---------------------------------------------------------------------------
+# Whole-program rules (graph passes — no per-file Checker class; they
+# run over the resolved import/call graph in engine.run()).
+
+
+GRAPH_RULE_LIST: tuple[Rule, ...] = (
+    Rule(
+        id="DET101",
+        name="interproc-taint",
+        severity=ERROR,
+        summary="wall-clock/entropy/env value reaches a contract sink "
+                "through the call graph",
+        rationale=(
+            "A time.time()/random.*/os.environ read is harmless in a "
+            "display path but poison in anything persisted: checkpoint "
+            "and snapshot encoders, result_digest, the canonical event "
+            "stream, merged telemetry totals.  The per-file DET rules "
+            "cannot see a wall value laundered through two calls; this "
+            "pass propagates taint along resolved call edges and flags "
+            "only functions whose taint can actually reach a registered "
+            "sink, with the source→…→sink path as the witness."
+        ),
+    ),
+    Rule(
+        id="DET102",
+        name="cross-module-set-order",
+        severity=ERROR,
+        summary="unsorted iteration over a set returned by a callee",
+        rationale=(
+            "DET002 only sees textually evident set expressions; a "
+            "function whose return type is a set hides the hazard from "
+            "it.  This pass marks set-returning functions across the "
+            "whole program and flags call sites that iterate or "
+            "materialise their result without sorted(...)."
+        ),
+    ),
+    Rule(
+        id="CONC101",
+        name="fork-reachable-mutation",
+        severity=ERROR,
+        summary="module-level mutable state mutated on a path reachable "
+                "from a sharded-worker entry point",
+        rationale=(
+            "CONC001 sees a mutation but not who runs it.  Workers "
+            "inherit module globals by fork; only mutations on call "
+            "paths reachable from worker entry points (sharding task "
+            "functions, heartbeat paths) actually diverge between "
+            "processes.  This pass walks the call graph from those "
+            "entries and flags reachable mutation sites, witnessed by "
+            "the entry→…→mutation path."
+        ),
+    ),
+    Rule(
+        id="LAYER001",
+        name="layering",
+        severity=ERROR,
+        summary="import that violates the declared layer DAG",
+        rationale=(
+            "The package spine (netmodel → dns/quic/masque → relay → "
+            "atlas/worldgen → scan → analysis/archive) plus leaf planes "
+            "(telemetry, faults, monitor, lint) is what keeps the "
+            "determinism boundary auditable: a lower layer importing a "
+            "higher one (or a utility plane reaching into the spine) "
+            "couples modules the contract treats as independent.  "
+            "Allowed edges are declared in lint/graph.py; everything "
+            "else is a violation."
+        ),
+    ),
+    Rule(
+        id="CONTRACT001",
+        name="contract-drift",
+        severity=WARNING,
+        summary="telemetry counter or event-kind drift between emitters, "
+                "schema, readers and tests",
+        rationale=(
+            "The event schema and telemetry counter names are cross-"
+            "module contracts: an emitted kind missing from EVENT_KINDS "
+            "(or never rendered by the monitor), a declared kind nobody "
+            "emits, a counter name used with two different label sets, "
+            "or a counter asserted in tests that no runtime path "
+            "increments — all drift silently because each side "
+            "type-checks alone.  This pass cross-references all four "
+            "surfaces."
+        ),
+    ),
+)
+
+GRAPH_RULES: dict[str, Rule] = {r.id: r for r in GRAPH_RULE_LIST}
+
+RULES: dict[str, Rule] = {
+    **{c.rule.id: c.rule for c in _CHECKERS},
+    **GRAPH_RULES,
+}
 CHECKERS: dict[str, type[Checker]] = {c.rule.id: c for c in _CHECKERS}

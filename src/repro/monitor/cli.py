@@ -46,6 +46,9 @@ class MonitorState:
     campaign: dict = field(default_factory=dict)
     months: list = field(default_factory=list)
     months_restored: int = 0
+    #: the month_started record without a matching completion/restore
+    #: yet — the month a crash would lose.
+    month_in_progress: dict | None = None
     rounds: list = field(default_factory=list)
     churn: list = field(default_factory=list)
     deferrals: list = field(default_factory=list)
@@ -76,10 +79,14 @@ def fold_events(records: list[dict]) -> MonitorState:
             state.schema = record.get("schema", EVENT_SCHEMA_VERSION)
         elif kind == "campaign_started":
             state.campaign = record
+        elif kind == "month_started":
+            state.month_in_progress = record
         elif kind == "month_completed":
             state.months.append(record)
+            state.month_in_progress = None
         elif kind == "month_restored":
             state.months_restored += 1
+            state.month_in_progress = None
         elif kind == "delta_seeded":
             state.seeded.append(record)
         elif kind == "round_summary":
@@ -136,6 +143,12 @@ def render_report(state: MonitorState, source: str) -> str:
             f"months completed: {len(state.months)} "
             f"(+{state.months_restored} restored from checkpoint), "
             f"{queries} queries"
+        )
+    if state.month_in_progress is not None and not state.finished:
+        started = state.month_in_progress
+        lines.append(
+            f"month in progress: {started.get('year', '?')}-"
+            f"{started.get('month', '?'):>02}"
         )
     if state.rounds:
         fracs = [r.get("frac", 0.0) for r in state.rounds]
@@ -202,6 +215,12 @@ def render_dashboard(state: MonitorState, source: str, tail: int = 5) -> str:
             f" months    {len(state.months)} scanned, "
             f"{state.months_restored} restored, "
             f"{state.checkpoints} checkpoints"
+        )
+    if state.month_in_progress is not None and not state.finished:
+        started = state.month_in_progress
+        lines.append(
+            f" scanning  {started.get('year', '?')}-"
+            f"{started.get('month', '?'):>02}"
         )
     if state.rounds:
         last = state.rounds[-1]

@@ -150,7 +150,7 @@ class EventLog:
                 self._degrade()
                 record[WALL_FIELD] = 0.0
                 return record
-        # repro: allow[DET001] the wall stamp is the schema's one non-deterministic field, stripped by canonical_lines
+        # repro: allow[DET001,DET101] the wall stamp is the schema's one non-deterministic field, stripped by canonical_lines
         record[WALL_FIELD] = time.time()
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         try:

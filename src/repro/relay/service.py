@@ -937,7 +937,8 @@ class PrivateRelayService:
                 registry.counter(
                     "relay.connect_refused", reason="fault_injected"
                 ).inc()
-                registry.counter("faults.injected", kind="connect").inc()
+                registry.counter("faults.injected", surface="relay",
+                                 kind="connect").inc()
                 raise ConnectionFailed(
                     f"transient connection failure to {ingress_address} (injected)"
                 )

@@ -162,9 +162,10 @@ class AtlasIngressScanner:
                 timed_out=True,
             )
         if registry.enabled:
-            registry.counter("faults.injected", kind="probe_loss").inc(losses)
-            registry.counter("scan.retries", scanner="atlas").inc(retried)
-            registry.counter("scan.gaveup", scanner="atlas").inc(len(lost))
+            registry.counter("faults.injected", surface="atlas",
+                             kind="probe_loss").inc(losses)
+            registry.counter("scan.retries", surface="atlas").inc(retried)
+            registry.counter("scan.gaveup", surface="atlas").inc(len(lost))
         return DnsMeasurementResult(
             spec=spec,
             started_at=result.started_at,

@@ -591,13 +591,13 @@ class EcsScanner:
             "ecs.scan_wall_seconds", DURATION_BUCKETS, domain=domain
         ).observe(wall_seconds)
         if self.settings.fault_plan is not None:
-            registry.counter("scan.retries", domain=domain).inc(result.retries)
-            registry.counter("scan.gaveup", domain=domain).inc(len(result.gave_up))
+            registry.counter("scan.retries", surface=domain).inc(result.retries)
+            registry.counter("scan.gaveup", surface=domain).inc(len(result.gave_up))
             registry.counter("faults.wait_seconds", domain=domain).inc(
                 result.fault_wait_seconds
             )
             for kind, count in sorted(result.fault_injected.items()):
-                registry.counter("faults.injected", domain=domain, kind=kind).inc(
+                registry.counter("faults.injected", surface=domain, kind=kind).inc(
                     count
                 )
 

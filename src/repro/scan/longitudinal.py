@@ -62,7 +62,7 @@ class IngressArchive:
             for address in asn_addresses:
                 by_asn[address] = asn
         addresses = scan.addresses()
-        for address in addresses:
+        for address in sorted(addresses):
             sighting = self._sightings.get(address)
             if sighting is None:
                 self._sightings[address] = AddressSighting(

@@ -108,7 +108,7 @@ class RelayScanSeries:
     def distinct_subnets(self, egress_list: EgressList) -> int:
         """Number of published egress subnets the addresses fall into."""
         subnets = set()
-        for address in self.distinct_addresses():
+        for address in sorted(self.distinct_addresses()):
             entry = egress_list.entry_for_address(address)
             if entry is not None:
                 subnets.add(entry.prefix)

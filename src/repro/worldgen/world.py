@@ -195,7 +195,7 @@ def build_world(
     With a non-null ``telemetry``, worldgen phases record spans, the
     relay service reports connection-plane counters, and the world's
     existing stats counters are adopted into the metrics registry
-    (:func:`~repro.telemetry.instrument.instrument_world`).
+    (:func:`~repro.worldgen.instrument.instrument_world`).
     """
     config = config or WorldConfig()
     telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -322,7 +322,7 @@ def build_world(
         as_graph=build_as_graph(config, ground),
     )
     # Local import: instrument depends on worldgen types only at runtime.
-    from repro.telemetry.instrument import instrument_world
+    from repro.worldgen.instrument import instrument_world
 
     instrument_world(telemetry, world)
     return world

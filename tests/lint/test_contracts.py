@@ -1,0 +1,225 @@
+"""CONTRACT001: event-kind drift between emitters, the schema registry
+and monitor readers; telemetry counter shape drift; and the tests-vs-
+runtime counter cross-reference with its family-prefix guard.
+"""
+
+import textwrap
+
+from repro.lint.contracts import (
+    check_counter_contract,
+    check_event_contract,
+)
+from repro.lint.findings import STATUS_SUPPRESSED
+from repro.lint.graph import ProgramGraph, extract_summary
+from repro.lint.rules import RULES
+
+
+def make_graph(files):
+    summaries = [
+        extract_summary(rel, textwrap.dedent(source))
+        for rel, source in sorted(files.items())
+    ]
+    return ProgramGraph(summaries)
+
+
+RULE = RULES["CONTRACT001"]
+
+
+# -- event kinds -----------------------------------------------------------
+
+
+EVENT_TREE = {
+    "src/repro/monitor/events.py": """\
+        EVENT_KINDS = frozenset({"known_kind", "quiet_kind", "ghost_kind"})
+
+        class EventLog:
+            def emit(self, event, **fields):
+                return {"event": event}
+    """,
+    "src/repro/producer.py": """\
+        def produce(log):
+            log.emit("known_kind", x=1)
+            log.emit("quiet_kind")
+            log.emit("mystery_kind")
+    """,
+    "src/repro/monitor/reader.py": """\
+        def fold(record):
+            if record["event"] == "known_kind":
+                return 1
+            return 0
+    """,
+}
+
+
+def event_findings(files):
+    return check_event_contract(make_graph(files), RULE)
+
+
+def test_event_contract_flags_all_three_drift_directions():
+    findings = event_findings(EVENT_TREE)
+    by_message = {f.message.split("'")[1]: f for f in findings}
+    assert set(by_message) == {"mystery_kind", "ghost_kind", "quiet_kind"}
+
+    # (a) emitted but missing from the registry: anchored at the emit.
+    mystery = by_message["mystery_kind"]
+    assert mystery.path == "src/repro/producer.py"
+    assert "missing from repro.monitor.events.EVENT_KINDS" in mystery.message
+
+    # (b) declared but never emitted: anchored at the registry line.
+    ghost = by_message["ghost_kind"]
+    assert ghost.path == "src/repro/monitor/events.py"
+    assert "never emitted" in ghost.message
+
+    # (c) emitted and declared but no monitor reader examines it.
+    quiet = by_message["quiet_kind"]
+    assert quiet.path == "src/repro/producer.py"
+    assert "never examined" in quiet.message
+
+
+def test_event_contract_clean_when_all_surfaces_agree():
+    files = dict(EVENT_TREE)
+    files["src/repro/monitor/events.py"] = """\
+        EVENT_KINDS = frozenset({"known_kind", "quiet_kind", "mystery_kind"})
+    """
+    files["src/repro/monitor/reader.py"] = """\
+        def fold(record):
+            if record["event"] in ("known_kind", "quiet_kind",
+                                   "mystery_kind"):
+                return 1
+            return 0
+    """
+    assert event_findings(files) == []
+
+
+def test_event_contract_without_a_registry_only_checks_handling():
+    # A tree with no EVENT_KINDS constant cannot check declaration
+    # drift, but unexamined kinds still fire.
+    files = {
+        "src/repro/producer.py": EVENT_TREE["src/repro/producer.py"],
+        "src/repro/monitor/reader.py":
+            EVENT_TREE["src/repro/monitor/reader.py"],
+    }
+    findings = event_findings(files)
+    kinds = {f.message.split("'")[1] for f in findings}
+    assert kinds == {"mystery_kind", "quiet_kind"}
+    assert all("never examined" in f.message for f in findings)
+
+
+# -- counter shapes --------------------------------------------------------
+
+
+COUNTER_TREE = {
+    "src/repro/m1.py": """\
+        def record(registry):
+            registry.counter("probe.retries", surface="ecs").inc()
+            registry.counter("probe.ok").inc()
+    """,
+    "src/repro/m2.py": """\
+        def record(registry):
+            registry.counter("probe.retries", kind="atlas").inc()
+    """,
+}
+
+
+def test_counter_shape_drift_lists_every_site():
+    graph = make_graph(COUNTER_TREE)
+    findings, _untested = check_counter_contract(graph, RULE)
+    (finding,) = findings
+    assert "metric 'probe.retries'" in finding.message
+    assert "2 different shapes" in finding.message
+    assert "counter{kind}" in finding.message
+    assert "counter{surface}" in finding.message
+    assert sorted(finding.witness) == [
+        "src/repro/m1.py:2 counter{surface}",
+        "src/repro/m2.py:2 counter{kind}",
+    ]
+
+
+def test_counter_same_shape_everywhere_is_clean():
+    graph = make_graph({
+        "src/repro/m1.py": """\
+            def record(registry):
+                registry.counter("probe.retries", surface="ecs").inc()
+        """,
+        "src/repro/m2.py": """\
+            def record(registry):
+                registry.counter("probe.retries", surface="atlas").inc()
+        """,
+    })
+    findings, _untested = check_counter_contract(graph, RULE)
+    assert findings == []
+
+
+# -- tests-vs-runtime cross-reference -------------------------------------
+
+
+#: Shape-consistent counters, so cross-ref tests see no drift noise.
+CLEAN_COUNTER_TREE = {
+    "src/repro/m1.py": """\
+        def record(registry):
+            registry.counter("probe.retries", surface="ecs").inc()
+            registry.counter("probe.ok").inc()
+    """,
+    "src/repro/m2.py": """\
+        def record(registry):
+            registry.counter("probe.retries", surface="atlas").inc()
+    """,
+}
+
+
+def write_test_file(tmp_path, body):
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_counts.py").write_text(textwrap.dedent(body))
+    return tests
+
+
+def test_asserted_counter_nobody_emits_is_flagged(tmp_path):
+    tests = write_test_file(tmp_path, """\
+        def test_counts(registry):
+            assert registry.counter("probe.gone").value == 1
+    """)
+    graph = make_graph(CLEAN_COUNTER_TREE)
+    findings, _untested = check_counter_contract(
+        graph, RULE, tests_root=tests)
+    hits = [f for f in findings if "probe.gone" in f.message]
+    (finding,) = hits
+    assert "no runtime path in src emits it" in finding.message
+    assert finding.path.endswith("tests/test_counts.py")
+    assert finding.line == 2
+
+
+def test_fixture_counters_outside_every_family_are_ignored(tmp_path):
+    tests = write_test_file(tmp_path, """\
+        def test_fixture(registry):
+            assert registry.counter("fixture.local").value == 2
+    """)
+    graph = make_graph(CLEAN_COUNTER_TREE)
+    findings, _untested = check_counter_contract(
+        graph, RULE, tests_root=tests)
+    assert findings == []
+
+
+def test_asserted_counter_can_be_suppressed_in_the_test(tmp_path):
+    tests = write_test_file(tmp_path, """\
+        def test_counts(registry):
+            # repro: allow[CONTRACT001] pinned to the renamed legacy metric
+            assert registry.counter("probe.legacy").value == 1
+    """)
+    graph = make_graph(CLEAN_COUNTER_TREE)
+    findings, _untested = check_counter_contract(
+        graph, RULE, tests_root=tests)
+    (finding,) = findings
+    assert finding.status == STATUS_SUPPRESSED
+
+
+def test_untested_counters_are_informational_not_findings(tmp_path):
+    tests = write_test_file(tmp_path, """\
+        def test_counts(registry):
+            assert registry.counter("probe.retries").value == 1
+    """)
+    graph = make_graph(CLEAN_COUNTER_TREE)
+    findings, untested = check_counter_contract(
+        graph, RULE, tests_root=tests)
+    assert findings == []
+    assert untested == ["probe.ok"]

@@ -1,0 +1,414 @@
+"""The program graph itself: module naming, import/call resolution,
+explicit unresolved edges, the reverse-dependency cone, layering, and
+the content-hash summary cache.
+
+Fixtures build miniature ``src/repro/...`` trees on disk (the graph
+derives module names from paths), then either summarise them directly
+or run the full engine when cache/report behaviour is under test.
+"""
+
+import json
+import textwrap
+
+from repro.lint import LintEngine
+from repro.lint.graph import (
+    ModuleSummary,
+    ProgramGraph,
+    check_layering,
+    extract_summary,
+    layer_of,
+    module_name,
+)
+from repro.lint.rules import RULES
+
+
+def build_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def make_graph(files):
+    summaries = [
+        extract_summary(rel, textwrap.dedent(source))
+        for rel, source in sorted(files.items())
+    ]
+    return ProgramGraph(summaries)
+
+
+# -- module naming ---------------------------------------------------------
+
+
+def test_module_name_strips_src_and_suffix():
+    assert module_name("src/repro/scan/campaign.py") == "repro.scan.campaign"
+    assert module_name("src/repro/__init__.py") == "repro"
+    assert module_name("src/repro/scan/__init__.py") == "repro.scan"
+    assert module_name("tools/helper.py") == "tools.helper"
+
+
+# -- summary serialisation -------------------------------------------------
+
+
+def test_summary_json_round_trip():
+    source = textwrap.dedent("""\
+        import time
+        from repro.other import helper
+
+        KINDS = frozenset({"a", "b"})
+        _CACHE = {}
+
+        def stamp():
+            # repro: allow[DET001] display only
+            value = time.time()
+            _CACHE["last"] = value
+            return helper(value)
+    """)
+    summary = extract_summary("src/repro/mod.py", source)
+    wire = json.loads(json.dumps(summary.to_json()))
+    restored = ModuleSummary.from_json(wire)
+    assert restored.to_json() == summary.to_json()
+    assert restored.module == "repro.mod"
+    assert restored.string_sets["KINDS"]["values"] == ["a", "b"]
+    assert restored.suppressions  # int keys survive the str round trip
+    assert set(restored.suppressions) == set(summary.suppressions)
+
+
+# -- import edges and the reverse cone ------------------------------------
+
+
+CYCLE = {
+    "src/repro/a.py": """\
+        from repro.b import g
+
+        def f():
+            return g()
+    """,
+    "src/repro/b.py": """\
+        from repro.a import f
+
+        def g():
+            return 1
+    """,
+}
+
+
+def test_cyclic_imports_terminate():
+    graph = make_graph(CYCLE)
+    edges = {(e["src"], e["dst"]) for e in graph.import_edges}
+    assert edges == {("repro.a", "repro.b"), ("repro.b", "repro.a")}
+
+
+def test_importers_cone_over_a_cycle():
+    graph = make_graph(CYCLE)
+    cone = graph.importers_cone({"src/repro/a.py"})
+    assert cone == {"src/repro/a.py", "src/repro/b.py"}
+
+
+def test_importers_cone_is_transitive():
+    graph = make_graph({
+        "src/repro/base.py": "def f():\n    return 1\n",
+        "src/repro/mid.py": "from repro.base import f\n",
+        "src/repro/top.py": "import repro.mid\n",
+        "src/repro/island.py": "def g():\n    return 2\n",
+    })
+    cone = graph.importers_cone({"src/repro/base.py"})
+    assert cone == {
+        "src/repro/base.py", "src/repro/mid.py", "src/repro/top.py",
+    }
+
+
+# -- call resolution -------------------------------------------------------
+
+
+def edge_pairs(graph):
+    return {
+        (caller, callee, kind)
+        for caller, edges in graph.call_edges.items()
+        for callee, _site, kind in edges
+    }
+
+
+def test_from_import_call_resolves_direct():
+    graph = make_graph({
+        "src/repro/util.py": "def helper(x):\n    return x\n",
+        "src/repro/use.py": """\
+            from repro.util import helper
+
+            def run():
+                return helper(1)
+        """,
+    })
+    assert ("repro.use:run", "repro.util:helper", "direct") \
+        in edge_pairs(graph)
+
+
+def test_module_alias_call_resolves_direct():
+    graph = make_graph({
+        "src/repro/util.py": "def helper(x):\n    return x\n",
+        "src/repro/use.py": """\
+            import repro.util as u
+
+            def run():
+                return u.helper(1)
+        """,
+    })
+    assert ("repro.use:run", "repro.util:helper", "direct") \
+        in edge_pairs(graph)
+
+
+def test_relative_import_call_resolves_direct():
+    graph = make_graph({
+        "src/repro/pkg/__init__.py": "",
+        "src/repro/pkg/other.py": "def f():\n    return 1\n",
+        "src/repro/pkg/mod.py": """\
+            from .other import f
+
+            def g():
+                return f()
+        """,
+    })
+    assert ("repro.pkg.mod:g", "repro.pkg.other:f", "direct") \
+        in edge_pairs(graph)
+    assert ("repro.pkg.mod", "repro.pkg.other") in {
+        (e["src"], e["dst"]) for e in graph.import_edges
+    }
+
+
+def test_self_method_call_resolves_within_class():
+    graph = make_graph({
+        "src/repro/svc.py": """\
+            class Service:
+                def step(self):
+                    return self.refresh()
+
+                def refresh(self):
+                    return 1
+        """,
+    })
+    assert ("repro.svc:Service.step", "repro.svc:Service.refresh",
+            "direct") in edge_pairs(graph)
+
+
+def test_unique_method_name_resolves_as_fallback():
+    graph = make_graph({
+        "src/repro/svc.py": """\
+            class Zones:
+                def refresh_zones(self):
+                    return 1
+        """,
+        "src/repro/use.py": """\
+            def run(zones):
+                return zones.refresh_zones()
+        """,
+    })
+    assert ("repro.use:run", "repro.svc:Zones.refresh_zones",
+            "fallback") in edge_pairs(graph)
+
+
+# -- unresolved edges are explicit, never dropped --------------------------
+
+
+def unresolved_reasons(graph):
+    return {(e["caller"], e["reason"]) for e in graph.unresolved}
+
+
+def test_getattr_call_is_a_dynamic_callee_edge():
+    graph = make_graph({
+        "src/repro/dyn.py": """\
+            def run(obj, name):
+                return getattr(obj, name)()
+        """,
+    })
+    assert ("repro.dyn:run", "dynamic-callee") in unresolved_reasons(graph)
+
+
+def test_callback_parameter_is_an_unknown_callable_edge():
+    graph = make_graph({
+        "src/repro/cb.py": """\
+            def run(callback):
+                return callback(1)
+        """,
+    })
+    assert ("repro.cb:run", "unknown-callable") in unresolved_reasons(graph)
+
+
+def test_unknown_method_is_recorded():
+    graph = make_graph({
+        "src/repro/use.py": """\
+            def run(obj):
+                return obj.zzz_missing_method()
+        """,
+    })
+    assert ("repro.use:run", "unknown-method") in unresolved_reasons(graph)
+
+
+def test_too_common_method_name_is_ambiguous():
+    classes = "\n".join(
+        f"class C{i}:\n    def frobnicate(self):\n        return {i}\n"
+        for i in range(7)
+    )
+    graph = make_graph({
+        "src/repro/many.py": classes,
+        "src/repro/use.py": """\
+            def run(obj):
+                return obj.frobnicate()
+        """,
+    })
+    assert ("repro.use:run", "ambiguous-method (7 candidates)") \
+        in unresolved_reasons(graph)
+    # No guessed edges out of an ambiguous call.
+    assert not any(caller == "repro.use:run"
+                   for caller, _callee, _kind in edge_pairs(graph))
+
+
+# -- reachability witnesses ------------------------------------------------
+
+
+def test_reachable_from_returns_shortest_witness_paths():
+    graph = make_graph({
+        "src/repro/chain.py": """\
+            def leaf():
+                return 1
+
+            def mid():
+                return leaf()
+
+            def top():
+                mid()
+                return leaf()
+        """,
+    })
+    paths = graph.reachable_from(["repro.chain:top"])
+    # top reaches leaf both directly and through mid; BFS keeps the
+    # direct (shortest) witness.
+    assert paths["repro.chain:leaf"] == (
+        "repro.chain:top", "repro.chain:leaf")
+    assert paths["repro.chain:mid"] == (
+        "repro.chain:top", "repro.chain:mid")
+
+
+# -- export ----------------------------------------------------------------
+
+
+def test_export_is_json_serialisable_and_complete():
+    graph = make_graph(CYCLE)
+    document = json.loads(json.dumps(graph.export()))
+    assert set(document) == {
+        "version", "modules", "import_edges", "call_edges", "unresolved",
+    }
+    assert {m["module"] for m in document["modules"]} == {
+        "repro.a", "repro.b",
+    }
+    assert all(
+        set(e) >= {"caller", "callee", "lineno", "resolution"}
+        for e in document["call_edges"]
+    )
+
+
+# -- layering --------------------------------------------------------------
+
+
+def test_layer_of_assignments():
+    assert layer_of("repro") == "app"
+    assert layer_of("repro.cli") == "app"
+    assert layer_of("repro.scan.campaign") == "scan"
+    assert layer_of("repro.mystery.thing") == "?"
+    assert layer_of("json") is None
+
+
+def layer_findings(files):
+    graph = make_graph(files)
+    return check_layering(graph, RULES["LAYER001"])
+
+
+def test_layering_flags_upward_import():
+    findings = layer_findings({
+        "src/repro/dns/zone.py": "from repro.scan.kernel import run\n",
+        "src/repro/scan/kernel.py": "def run():\n    return 1\n",
+    })
+    (finding,) = findings
+    assert finding.path == "src/repro/dns/zone.py"
+    assert "layer 'dns' may not import layer 'scan'" in finding.message
+    assert finding.witness == ["repro.dns.zone", "repro.scan.kernel"]
+
+
+def test_layering_allows_utilities_and_closure():
+    findings = layer_findings({
+        # telemetry is a utility plane: importable from anywhere.
+        "src/repro/scan/kernel.py": "from repro.telemetry.reg import c\n",
+        "src/repro/telemetry/reg.py": "def c():\n    return 1\n",
+        # scan -> dns is allowed through the declared transitive
+        # closure (scan -> worldgen -> atlas -> dns).
+        "src/repro/scan/probe.py": "from repro.dns.zone import z\n",
+        "src/repro/dns/zone.py": "def z():\n    return 1\n",
+    })
+    assert findings == []
+
+
+def test_layering_flags_module_outside_the_dag():
+    findings = layer_findings({
+        "src/repro/mystery/thing.py": "def f():\n    return 1\n",
+    })
+    (finding,) = findings
+    assert finding.line == 1
+    assert "outside the declared layer DAG" in finding.message
+
+
+# -- the summary/finding cache --------------------------------------------
+
+
+CACHED_TREE = {
+    "src/repro/clock.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+    """,
+    "src/repro/pure.py": """\
+        def double(x):
+            return 2 * x
+    """,
+}
+
+
+def report_key(report):
+    return [
+        (f.rule, f.path, f.line, f.status) for f in report.findings
+    ]
+
+
+def test_cache_reuses_every_unchanged_file(tmp_path):
+    build_tree(tmp_path, CACHED_TREE)
+    cache = tmp_path / "cache.json"
+    first = LintEngine().run(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache)
+    assert first.graph_summary["cache"] == {"hits": 0, "misses": 2}
+    second = LintEngine().run(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache)
+    assert second.graph_summary["cache"] == {"hits": 2, "misses": 0}
+    # A warm run reproduces the cold run's findings exactly.
+    assert report_key(second) == report_key(first)
+
+
+def test_cache_invalidates_only_the_edited_file(tmp_path):
+    build_tree(tmp_path, CACHED_TREE)
+    cache = tmp_path / "cache.json"
+    LintEngine().run([tmp_path / "src"], root=tmp_path, cache_path=cache)
+    (tmp_path / "src/repro/pure.py").write_text(
+        "def double(x):\n    return x + x\n")
+    report = LintEngine().run(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache)
+    assert report.graph_summary["cache"] == {"hits": 1, "misses": 1}
+
+
+def test_corrupt_cache_is_discarded_not_fatal(tmp_path):
+    build_tree(tmp_path, CACHED_TREE)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    report = LintEngine().run(
+        [tmp_path / "src"], root=tmp_path, cache_path=cache)
+    assert report.graph_summary["cache"] == {"hits": 0, "misses": 2}
+    # And the bad file was replaced with a valid one.
+    assert json.loads(cache.read_text())["entries"]

@@ -1,0 +1,185 @@
+"""Incremental mode: ``--changed-since`` cone filtering at the engine
+level, the git-backed changed-file discovery, and the ``--graph-out``
+debug export through the real CLI.
+"""
+
+import json
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintEngine
+from repro.lint.cli import changed_files_since
+
+
+def build_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+TREE = {
+    "src/repro/base.py": """\
+        def double(x):
+            return 2 * x
+    """,
+    "src/repro/uses_base.py": """\
+        import time
+
+        from repro.base import double
+
+        def stamp():
+            return double(time.time())
+    """,
+    "src/repro/other.py": """\
+        import time
+
+        def unrelated():
+            return time.time()
+    """,
+}
+
+
+# -- engine-level cone filtering ------------------------------------------
+
+
+def test_changed_since_limits_findings_to_the_cone(tmp_path):
+    build_tree(tmp_path, TREE)
+    report = LintEngine(rules=["DET001"]).run(
+        [tmp_path / "src"], root=tmp_path,
+        changed_files=["src/repro/base.py"])
+    # base.py changed; uses_base.py imports it and is in the cone;
+    # other.py's finding is out of scope for this run.
+    assert report.changed == {
+        "files": ["src/repro/base.py"],
+        "cone": ["src/repro/base.py", "src/repro/uses_base.py"],
+    }
+    assert {f.path for f in report.new_findings} == {
+        "src/repro/uses_base.py",
+    }
+
+
+def test_changed_since_suppresses_stale_baseline_reporting(tmp_path):
+    from repro.lint.baseline import BaselineEntry
+
+    build_tree(tmp_path, TREE)
+    ghost = [BaselineEntry("DET001", "src/repro/gone.py", "x = t()")]
+    full = LintEngine(rules=["DET001"]).run(
+        [tmp_path / "src"], root=tmp_path, baseline=ghost)
+    assert full.stale_baseline  # the full run reports it
+    partial = LintEngine(rules=["DET001"]).run(
+        [tmp_path / "src"], root=tmp_path, baseline=ghost,
+        changed_files=["src/repro/base.py"])
+    assert partial.stale_baseline == []  # the partial run cannot judge
+
+
+# -- git-backed discovery --------------------------------------------------
+
+
+GIT_ENV = [
+    "git", "-c", "user.email=lint@test", "-c", "user.name=lint",
+]
+
+
+def git_repo(tmp_path):
+    build_tree(tmp_path, TREE)
+    subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+    subprocess.run(["git", "add", "."], cwd=tmp_path, check=True)
+    subprocess.run(GIT_ENV + ["commit", "-qm", "seed"],
+                   cwd=tmp_path, check=True)
+    return tmp_path
+
+
+def test_changed_files_since_sees_edits_and_untracked(tmp_path):
+    root = git_repo(tmp_path)
+    (root / "src/repro/base.py").write_text(
+        "def double(x):\n    return x + x\n")
+    (root / "src/repro/fresh.py").write_text("VALUE = 1\n")
+    assert changed_files_since(root, "HEAD") == [
+        "src/repro/base.py", "src/repro/fresh.py",
+    ]
+
+
+def test_changed_files_since_bad_ref_raises(tmp_path):
+    from repro.errors import LintError
+
+    root = git_repo(tmp_path)
+    with pytest.raises(LintError, match="no-such-ref"):
+        changed_files_since(root, "no-such-ref")
+
+
+def test_cli_changed_since_skips_untouched_findings(tmp_path, capsys):
+    root = git_repo(tmp_path)
+    (root / "src/repro/base.py").write_text(
+        "def double(x):\n    return x + x\n")
+    code = main([
+        "lint", str(root / "src"), "--root", str(root),
+        "--rules", "DET001", "--changed-since", "HEAD",
+    ])
+    out = capsys.readouterr().out
+    # other.py's DET001 sits outside the cone: the incremental run
+    # still fails, but only on the cone's finding.
+    assert code == 1
+    assert "changed-since: 1 changed file(s), 2 in re-analysis cone" in out
+    assert "uses_base.py" in out
+    assert "other.py" not in out
+
+
+def test_cli_changed_since_clean_cone_passes(tmp_path, capsys):
+    root = git_repo(tmp_path)
+    (root / "src/repro/fresh.py").write_text("VALUE = 1\n")
+    code = main([
+        "lint", str(root / "src"), "--root", str(root),
+        "--rules", "DET001", "--changed-since", "HEAD",
+    ])
+    assert code == 0
+
+
+# -- --graph-out and the cache through the CLI -----------------------------
+
+
+def test_cli_graph_out_writes_the_debug_document(tmp_path, capsys):
+    build_tree(tmp_path, TREE)
+    graph_path = tmp_path / "graph.json"
+    main([
+        "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+        "--graph-out", str(graph_path),
+    ])
+    document = json.loads(graph_path.read_text())
+    assert set(document) == {
+        "version", "modules", "import_edges", "call_edges",
+        "unresolved", "untested_counters",
+    }
+    assert {m["module"] for m in document["modules"]} == {
+        "repro.base", "repro.uses_base", "repro.other",
+    }
+    assert any(
+        e["src"] == "repro.uses_base" and e["dst"] == "repro.base"
+        for e in document["import_edges"]
+    )
+
+
+def test_cli_caches_by_default_and_reports_reuse(tmp_path, capsys):
+    build_tree(tmp_path, TREE)
+    argv = ["lint", str(tmp_path / "src"), "--root", str(tmp_path)]
+    main(argv)
+    assert (tmp_path / ".lint_cache.json").exists()
+    capsys.readouterr()
+    main(argv)
+    out = capsys.readouterr().out
+    assert "(cache: 3 hit, 0 miss)" in out
+
+
+def test_cli_no_cache_opts_out(tmp_path, capsys):
+    build_tree(tmp_path, TREE)
+    main([
+        "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+        "--no-cache",
+    ])
+    assert not (tmp_path / ".lint_cache.json").exists()
+    out = capsys.readouterr().out
+    assert "(cache: 0 hit, 3 miss)" in out

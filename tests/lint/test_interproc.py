@@ -1,0 +1,251 @@
+"""Interprocedural passes: DET101 taint witnesses, CONC101 fork-safety
+reachability (static entries and discovered submit() targets), DET102
+cross-module set-order, and suppression scoping — an inline allow at
+the *source site* silences a finding whose evidence spans three files.
+"""
+
+import textwrap
+
+from repro.lint import LintEngine
+from repro.lint.findings import STATUS_NEW, STATUS_SUPPRESSED
+from repro.lint.graph import ProgramGraph, extract_summary
+from repro.lint.interproc import (
+    check_fork_safety,
+    check_set_order,
+    check_taint,
+    entry_points,
+)
+from repro.lint.rules import RULES
+
+
+def build_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def make_graph(files):
+    summaries = [
+        extract_summary(rel, textwrap.dedent(source))
+        for rel, source in sorted(files.items())
+    ]
+    return ProgramGraph(summaries)
+
+
+# -- DET101: interprocedural taint ----------------------------------------
+
+
+TAINT_TREE = {
+    "src/repro/leaf.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+    """,
+    "src/repro/mid.py": """\
+        from repro.leaf import stamp
+
+        def wrap():
+            return stamp()
+    """,
+    "src/repro/store.py": """\
+        from repro.mid import wrap
+
+        def save():
+            return wrap()
+
+        def display():
+            return 0
+    """,
+}
+
+SINKS = {"repro.store:save": "store writer"}
+
+
+def test_taint_finding_carries_the_full_witness_chain():
+    graph = make_graph(TAINT_TREE)
+    (finding,) = check_taint(graph, RULES["DET101"], sinks=SINKS)
+    # Anchored at the source site, where the fix belongs.
+    assert finding.path == "src/repro/leaf.py"
+    assert finding.line == 4
+    assert "repro.store:save" in finding.message
+    assert "through 2 call(s)" in finding.message
+    # Witness in reading order: the read, then source -> ... -> sink.
+    assert finding.witness == [
+        "time.time() reads the wall clock @ src/repro/leaf.py:4",
+        "repro.leaf:stamp",
+        "repro.mid:wrap",
+        "repro.store:save",
+    ]
+
+
+def test_taint_ignores_reads_no_sink_can_reach():
+    files = dict(TAINT_TREE)
+    files["src/repro/ui.py"] = """\
+        import time
+
+        def banner():
+            return time.time()
+    """
+    graph = make_graph(files)
+    findings = check_taint(graph, RULES["DET101"], sinks=SINKS)
+    assert {f.path for f in findings} == {"src/repro/leaf.py"}
+
+
+def test_taint_direct_read_inside_the_sink():
+    graph = make_graph({
+        "src/repro/store.py": """\
+            import time
+
+            def save():
+                return time.time()
+        """,
+    })
+    (finding,) = check_taint(graph, RULES["DET101"], sinks=SINKS)
+    assert "directly" in finding.message
+    assert finding.witness[-1] == "repro.store:save"
+
+
+def test_allow_at_the_source_site_suppresses_the_chain(tmp_path):
+    files = dict(TAINT_TREE)
+    files["src/repro/leaf.py"] = """\
+        import time
+
+        def stamp():
+            # repro: allow[DET001,DET101] boundary stamp, display only
+            return time.time()
+    """
+    build_tree(tmp_path, files)
+    report = LintEngine(rules=["DET101"]).run(
+        [tmp_path / "src"], root=tmp_path, sinks=SINKS)
+    (finding,) = report.findings
+    assert finding.status == STATUS_SUPPRESSED
+    assert finding.suppress_reason == "boundary stamp, display only"
+    assert report.new_findings == []
+
+
+# -- CONC101: fork-safety reachability ------------------------------------
+
+
+STATE_TREE = {
+    "src/repro/state.py": """\
+        _CACHE = {}
+
+        def remember(key, value):
+            _CACHE[key] = value
+
+        def reset():
+            _CACHE.clear()
+    """,
+    "src/repro/work.py": """\
+        from repro.state import remember
+
+        def entry(task):
+            remember(task, 1)
+    """,
+}
+
+
+def test_fork_safety_flags_only_reachable_mutations():
+    graph = make_graph(STATE_TREE)
+    findings = check_fork_safety(
+        graph, RULES["CONC101"],
+        static_entry_points=(("repro.work", "entry"),))
+    (finding,) = findings
+    assert finding.path == "src/repro/state.py"
+    assert finding.content == "_CACHE[key] = value"
+    assert "reachable through 1 call(s)" in finding.message
+    assert finding.witness == ["repro.work:entry", "repro.state:remember"]
+    # reset() mutates too but nothing forked reaches it: no finding.
+
+
+def test_fork_safety_silent_without_entry_points():
+    graph = make_graph(STATE_TREE)
+    assert check_fork_safety(
+        graph, RULES["CONC101"], static_entry_points=()) == []
+
+
+def test_submit_targets_become_entry_points():
+    files = dict(STATE_TREE)
+    files["src/repro/pool_mod.py"] = """\
+        from repro.state import remember
+
+        def worker(task):
+            remember(task, 2)
+
+        def launch(pool, tasks):
+            for task in tasks:
+                pool.submit(worker, task)
+    """
+    graph = make_graph(files)
+    assert entry_points(graph, static=()) == ["repro.pool_mod:worker"]
+    findings = check_fork_safety(
+        graph, RULES["CONC101"], static_entry_points=())
+    (finding,) = findings
+    assert finding.witness[0] == "repro.pool_mod:worker"
+
+
+# -- DET102: cross-module set order ---------------------------------------
+
+
+SET_TREE = {
+    "src/repro/cols.py": """\
+        def addresses() -> set:
+            return {"a", "b"}
+    """,
+    "src/repro/use.py": """\
+        from repro.cols import addresses
+
+        def render():
+            out = []
+            for address in addresses():
+                out.append(address)
+            return out
+
+        def render_sorted():
+            return [a for a in sorted(addresses())]
+
+        def via_variable():
+            addrs = addresses()
+            return list(addrs)
+    """,
+}
+
+
+def test_set_order_direct_and_variable_mediated():
+    graph = make_graph(SET_TREE)
+    findings = check_set_order(graph, RULES["DET102"])
+    by_line = {f.line: f for f in findings}
+    assert set(by_line) == {5, 14}
+    direct = by_line[5]
+    assert "repro.cols:addresses" in direct.message
+    assert direct.witness == ["repro.use:render", "repro.cols:addresses"]
+    mediated = by_line[14]
+    assert "'addrs' holds the set returned" in mediated.message
+
+
+def test_set_order_sorted_call_is_clean():
+    files = {
+        "src/repro/cols.py": SET_TREE["src/repro/cols.py"],
+        "src/repro/use.py": """\
+            from repro.cols import addresses
+
+            def render_sorted():
+                return [a for a in sorted(addresses())]
+        """,
+    }
+    graph = make_graph(files)
+    assert check_set_order(graph, RULES["DET102"]) == []
+
+
+def test_set_order_annotation_marks_the_callee(tmp_path):
+    # End to end through the engine: restricted to DET102, the one
+    # finding is the unsorted cross-module iteration.
+    build_tree(tmp_path, SET_TREE)
+    report = LintEngine(rules=["DET102"]).run(
+        [tmp_path / "src"], root=tmp_path)
+    assert [f.line for f in report.new_findings] == [5, 14]
+    assert all(f.rule == "DET102" for f in report.new_findings)
+    assert all(f.status == STATUS_NEW for f in report.new_findings)
